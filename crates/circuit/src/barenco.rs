@@ -1,0 +1,252 @@
+//! Barenco-style decomposition of multi-controlled X gates.
+//!
+//! The paper's third show-case (Fig. 6d) compares SAT-based pebbling with
+//! the classic decomposition of Barenco et al. (1995): a 9-controlled
+//! Toffoli implemented with one extra ancilla explodes from 15 to 48
+//! gates. This module implements the two relevant constructions:
+//!
+//! - [`mcx_v_chain`] (Lemma 7.2): `C^k X` with `k − 2` *dirty* ancillae
+//!   (in arbitrary, restored state) using `4(k − 2)` Toffoli gates;
+//! - [`mcx_one_ancilla`] (Lemma 7.3): `C^k X` with a single ancilla,
+//!   splitting into two half-sized V-chains that borrow each other's
+//!   controls as dirty workspace — `2·4(⌈k/2⌉−2) + 2·4(⌊k/2⌋−1)` Toffolis,
+//!   which is exactly 48 for `k = 9`.
+
+use crate::circuit::{Gate, Qubit};
+
+/// Number of Toffoli gates of the V-chain construction for `k` controls
+/// (`1` for `k ≤ 2`, `4(k − 2)` otherwise).
+pub fn v_chain_gate_count(k: usize) -> usize {
+    if k <= 2 {
+        1
+    } else {
+        4 * (k - 2)
+    }
+}
+
+/// Number of Toffoli gates of the single-ancilla construction for `k`
+/// controls. For `k = 9` this is the paper's 48.
+pub fn one_ancilla_gate_count(k: usize) -> usize {
+    match k {
+        0..=2 => 1,
+        3 => 4,
+        _ => {
+            let m = k.div_ceil(2);
+            2 * v_chain_gate_count(m) + 2 * v_chain_gate_count(k - m + 1)
+        }
+    }
+}
+
+/// Emits `C^k X(controls → target)` using `controls.len() − 2` dirty
+/// ancillae (Barenco Lemma 7.2). The ancillae may start in any state and
+/// are restored.
+///
+/// # Panics
+///
+/// Panics if fewer than `k − 2` dirty ancillae are supplied, or if the
+/// qubits are not pairwise distinct.
+pub fn mcx_v_chain(controls: &[Qubit], target: Qubit, dirty: &[Qubit]) -> Vec<Gate> {
+    let k = controls.len();
+    assert_distinct(controls, target, dirty);
+    match k {
+        0 => return vec![Gate::x(target)],
+        1 => return vec![Gate::cnot(controls[0], target)],
+        2 => return vec![Gate::toffoli(controls[0], controls[1], target)],
+        _ => {}
+    }
+    assert!(
+        dirty.len() >= k - 2,
+        "V-chain needs {} dirty ancillae, got {}",
+        k - 2,
+        dirty.len()
+    );
+    let a = &dirty[..k - 2];
+    let mut gates = Vec::with_capacity(4 * (k - 2));
+    let half = |gates: &mut Vec<Gate>| {
+        gates.push(Gate::toffoli(controls[k - 1], a[k - 3], target));
+        for j in (1..=k - 3).rev() {
+            gates.push(Gate::toffoli(controls[j + 1], a[j - 1], a[j]));
+        }
+        gates.push(Gate::toffoli(controls[0], controls[1], a[0]));
+        for j in 1..=k - 3 {
+            gates.push(Gate::toffoli(controls[j + 1], a[j - 1], a[j]));
+        }
+    };
+    half(&mut gates);
+    half(&mut gates);
+    gates
+}
+
+/// Emits `C^k X(controls → target)` using one ancilla (dirty or clean;
+/// restored either way), following Barenco Lemma 7.3: two half-sized
+/// V-chains `A` (computing the AND of the first half onto the ancilla)
+/// and `B` (controlled by the second half plus the ancilla), applied as
+/// `B·A·B·A`. Each half borrows the other half's controls as dirty
+/// workspace, so no further qubits are needed.
+///
+/// # Panics
+///
+/// Panics if the qubits are not pairwise distinct.
+pub fn mcx_one_ancilla(controls: &[Qubit], target: Qubit, ancilla: Qubit) -> Vec<Gate> {
+    let k = controls.len();
+    assert_distinct(controls, target, &[ancilla]);
+    if k <= 2 {
+        return mcx_v_chain(controls, target, &[]);
+    }
+    if k == 3 {
+        // The ancilla is enough dirty workspace for a direct V-chain.
+        return mcx_v_chain(controls, target, &[ancilla]);
+    }
+    let m = k.div_ceil(2);
+    let (first, second) = controls.split_at(m);
+    // A: AND of the first half onto the ancilla; dirty = second half + target.
+    let mut dirty_a: Vec<Qubit> = second.to_vec();
+    dirty_a.push(target);
+    let a_gates = mcx_v_chain(first, ancilla, &dirty_a);
+    // B: AND of (second half + ancilla) onto the target; dirty = first half.
+    let mut b_controls: Vec<Qubit> = second.to_vec();
+    b_controls.push(ancilla);
+    let b_gates = mcx_v_chain(&b_controls, target, first);
+    let mut gates = Vec::with_capacity(2 * a_gates.len() + 2 * b_gates.len());
+    gates.extend(b_gates.iter().cloned());
+    gates.extend(a_gates.iter().cloned());
+    gates.extend(b_gates);
+    gates.extend(a_gates);
+    gates
+}
+
+fn assert_distinct(controls: &[Qubit], target: Qubit, extra: &[Qubit]) {
+    let mut all: Vec<Qubit> = controls.to_vec();
+    all.push(target);
+    all.extend_from_slice(extra);
+    let mut sorted = all.clone();
+    sorted.sort_unstable();
+    sorted.dedup();
+    assert_eq!(sorted.len(), all.len(), "qubits must be pairwise distinct");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::circuit::Circuit;
+
+    /// Builds a register of `n` qubits and returns them.
+    fn register(n: usize) -> (Circuit, Vec<Qubit>) {
+        let mut c = Circuit::new();
+        let qs: Vec<Qubit> = (0..n).map(|i| c.add_input_qubit(i as u32)).collect();
+        (c, qs)
+    }
+
+    /// Checks that `gates` implements `target ^= AND(controls)` on every
+    /// basis state (including arbitrary dirty-ancilla states) and leaves
+    /// all other qubits untouched.
+    fn assert_implements_mcx(num_qubits: usize, controls: &[Qubit], target: Qubit, gates: &[Gate]) {
+        let (mut circuit, _) = register(num_qubits);
+        for g in gates {
+            circuit.push(g.clone()).expect("valid gate");
+        }
+        for pattern in 0u64..(1 << num_qubits) {
+            let mut state: Vec<bool> = (0..num_qubits).map(|i| pattern & (1 << i) != 0).collect();
+            let expected_target =
+                state[target.index()] ^ controls.iter().all(|c| state[c.index()]);
+            let before = state.clone();
+            circuit.simulate_state(&mut state);
+            for qi in 0..num_qubits {
+                if qi == target.index() {
+                    assert_eq!(
+                        state[qi], expected_target,
+                        "target wrong for pattern {pattern:b}"
+                    );
+                } else {
+                    assert_eq!(
+                        state[qi], before[qi],
+                        "qubit {qi} not restored for pattern {pattern:b}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn v_chain_counts() {
+        assert_eq!(v_chain_gate_count(2), 1);
+        assert_eq!(v_chain_gate_count(3), 4);
+        assert_eq!(v_chain_gate_count(5), 12);
+        assert_eq!(v_chain_gate_count(9), 28);
+    }
+
+    #[test]
+    fn one_ancilla_counts_match_paper() {
+        assert_eq!(one_ancilla_gate_count(3), 4);
+        assert_eq!(one_ancilla_gate_count(4), 10);
+        // The paper's Fig. 6(d): a 9-controlled Toffoli with one ancilla
+        // costs 48 gates.
+        assert_eq!(one_ancilla_gate_count(9), 48);
+    }
+
+    #[test]
+    fn v_chain_is_correct_for_small_k() {
+        for k in 3..=6 {
+            let n = 2 * k - 1; // k controls + (k-2) dirty + target
+            let (_c, qs) = register(n);
+            let controls = &qs[..k];
+            let dirty = &qs[k..2 * k - 2];
+            let target = qs[n - 1];
+            let gates = mcx_v_chain(controls, target, dirty);
+            assert_eq!(gates.len(), 4 * (k - 2));
+            assert_implements_mcx(n, controls, target, &gates);
+        }
+    }
+
+    #[test]
+    fn v_chain_base_cases() {
+        let (_c, qs) = register(3);
+        assert_eq!(mcx_v_chain(&qs[..0], qs[2], &[]).len(), 1);
+        assert_eq!(mcx_v_chain(&qs[..1], qs[2], &[]).len(), 1);
+        let gates = mcx_v_chain(&qs[..2], qs[2], &[]);
+        assert_implements_mcx(3, &qs[..2], qs[2], &gates);
+    }
+
+    #[test]
+    fn one_ancilla_is_correct() {
+        for k in 3..=8 {
+            let n = k + 2; // controls + target + ancilla
+            let (_c, qs) = register(n);
+            let controls = &qs[..k];
+            let target = qs[k];
+            let ancilla = qs[k + 1];
+            let gates = mcx_one_ancilla(controls, target, ancilla);
+            assert_eq!(gates.len(), one_ancilla_gate_count(k), "k={k}");
+            assert_implements_mcx(n, controls, target, &gates);
+        }
+    }
+
+    #[test]
+    fn nine_control_toffoli_uses_11_qubits_48_gates() {
+        // The paper's Fig. 6(d): 9 controls + target + 1 ancilla = 11
+        // qubits, 48 gates.
+        let n = 11;
+        let (_c, qs) = register(n);
+        let controls = &qs[..9];
+        let target = qs[9];
+        let ancilla = qs[10];
+        let gates = mcx_one_ancilla(controls, target, ancilla);
+        assert_eq!(gates.len(), 48);
+        // Exhaustive simulation over 2^11 states is cheap.
+        assert_implements_mcx(n, controls, target, &gates);
+    }
+
+    #[test]
+    #[should_panic]
+    fn v_chain_rejects_insufficient_dirty() {
+        let (_c, qs) = register(6);
+        let _ = mcx_v_chain(&qs[..5], qs[5], &[]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn overlapping_qubits_panic() {
+        let (_c, qs) = register(4);
+        let _ = mcx_one_ancilla(&qs[..3], qs[0], qs[3]);
+    }
+}

@@ -1,0 +1,426 @@
+//! Reversible circuits over classical (computational-basis) semantics.
+//!
+//! The paper compiles each DAG node to a *single-target gate* (its
+//! Definition 1): a gate `G_c` with control function `c` that flips the
+//! target qubit iff `c` evaluates to true on the control qubits —
+//! `|q₁…q_k⟩|q_t⟩ ↦ |q₁…q_k⟩|q_t ⊕ c(q₁,…,q_k)⟩`. Such gates are
+//! self-inverse, which is exactly why repeating a gate uncomputes its
+//! value. [`Circuit::simulate`] evaluates a circuit on basis states, which
+//! suffices to verify memory management end to end.
+
+use std::fmt;
+
+use revpebble_graph::Op;
+
+/// A qubit index within a [`Circuit`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Qubit(pub u32);
+
+impl Qubit {
+    /// The dense index of the qubit.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for Qubit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "q{}", self.0)
+    }
+}
+
+/// How a qubit is used by a circuit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QubitRole {
+    /// Carries the `i`-th primary input.
+    Input(u32),
+    /// Starts in |0⟩ and must return to |0⟩.
+    Ancilla,
+}
+
+/// A reversible gate: a single-target gate with a control function, or a
+/// plain X/CNOT/Toffoli (which are single-target gates with AND control
+/// functions of arity 0/1/2).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Gate {
+    /// Control function applied to the control qubits.
+    pub op: Op,
+    /// Control qubits (empty for X).
+    pub controls: Vec<Qubit>,
+    /// Target qubit, flipped when the control function is true.
+    pub target: Qubit,
+}
+
+impl Gate {
+    /// An X (NOT) gate.
+    pub fn x(target: Qubit) -> Self {
+        Gate {
+            op: Op::And,
+            controls: Vec::new(),
+            target,
+        }
+    }
+
+    /// A CNOT gate.
+    pub fn cnot(control: Qubit, target: Qubit) -> Self {
+        Gate {
+            op: Op::And,
+            controls: vec![control],
+            target,
+        }
+    }
+
+    /// A Toffoli (CCX) gate.
+    pub fn toffoli(c1: Qubit, c2: Qubit, target: Qubit) -> Self {
+        Gate {
+            op: Op::And,
+            controls: vec![c1, c2],
+            target,
+        }
+    }
+
+    /// A multi-controlled X with the given controls.
+    pub fn mcx(controls: Vec<Qubit>, target: Qubit) -> Self {
+        Gate {
+            op: Op::And,
+            controls,
+            target,
+        }
+    }
+
+    /// A general single-target gate with control function `op`.
+    pub fn single_target(op: Op, controls: Vec<Qubit>, target: Qubit) -> Self {
+        Gate {
+            op,
+            controls,
+            target,
+        }
+    }
+
+    /// `true` for X/CNOT/Toffoli/MCX gates (AND control function).
+    pub fn is_mcx(&self) -> bool {
+        self.op == Op::And
+    }
+
+    /// Number of control qubits.
+    pub fn arity(&self) -> usize {
+        self.controls.len()
+    }
+}
+
+impl fmt::Display for Gate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.controls.is_empty() {
+            return write!(f, "X({})", self.target);
+        }
+        write!(f, "{}(", self.op)?;
+        for (i, c) in self.controls.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{c}")?;
+        }
+        write!(f, ")->{}", self.target)
+    }
+}
+
+/// Errors returned by circuit construction and simulation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CircuitError {
+    /// A gate references a qubit outside the register.
+    QubitOutOfRange {
+        /// The offending qubit.
+        qubit: Qubit,
+        /// Register width.
+        width: usize,
+    },
+    /// A gate uses its target as a control.
+    TargetIsControl {
+        /// The offending qubit.
+        qubit: Qubit,
+    },
+    /// Simulation input length does not match the number of input qubits.
+    WrongInputCount {
+        /// Inputs supplied.
+        got: usize,
+        /// Inputs expected.
+        expected: usize,
+    },
+}
+
+impl fmt::Display for CircuitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CircuitError::QubitOutOfRange { qubit, width } => {
+                write!(f, "{qubit} out of range for width {width}")
+            }
+            CircuitError::TargetIsControl { qubit } => {
+                write!(f, "{qubit} used as both control and target")
+            }
+            CircuitError::WrongInputCount { got, expected } => {
+                write!(f, "got {got} inputs, expected {expected}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CircuitError {}
+
+/// A reversible circuit: a qubit register and a gate list.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Circuit {
+    roles: Vec<QubitRole>,
+    gates: Vec<Gate>,
+}
+
+impl Circuit {
+    /// Creates an empty circuit with no qubits.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds an input qubit carrying primary input `index`.
+    pub fn add_input_qubit(&mut self, index: u32) -> Qubit {
+        self.roles.push(QubitRole::Input(index));
+        Qubit((self.roles.len() - 1) as u32)
+    }
+
+    /// Adds an ancilla qubit (|0⟩ in, |0⟩ out).
+    pub fn add_ancilla(&mut self) -> Qubit {
+        self.roles.push(QubitRole::Ancilla);
+        Qubit((self.roles.len() - 1) as u32)
+    }
+
+    /// Number of qubits.
+    pub fn width(&self) -> usize {
+        self.roles.len()
+    }
+
+    /// Number of gates.
+    pub fn num_gates(&self) -> usize {
+        self.gates.len()
+    }
+
+    /// The gates, in execution order.
+    pub fn gates(&self) -> &[Gate] {
+        &self.gates
+    }
+
+    /// The role of each qubit.
+    pub fn roles(&self) -> &[QubitRole] {
+        &self.roles
+    }
+
+    /// Number of qubits with [`QubitRole::Input`].
+    pub fn num_inputs(&self) -> usize {
+        self.roles
+            .iter()
+            .filter(|r| matches!(r, QubitRole::Input(_)))
+            .count()
+    }
+
+    /// Appends a gate.
+    ///
+    /// # Errors
+    ///
+    /// Rejects gates referencing qubits outside the register or using the
+    /// target as a control.
+    pub fn push(&mut self, gate: Gate) -> Result<(), CircuitError> {
+        let width = self.width();
+        for &q in gate.controls.iter().chain(std::iter::once(&gate.target)) {
+            if q.index() >= width {
+                return Err(CircuitError::QubitOutOfRange { qubit: q, width });
+            }
+        }
+        if gate.controls.contains(&gate.target) {
+            return Err(CircuitError::TargetIsControl { qubit: gate.target });
+        }
+        self.gates.push(gate);
+        Ok(())
+    }
+
+    /// Appends all gates of `other` (same register layout assumed).
+    ///
+    /// # Errors
+    ///
+    /// As [`push`](Self::push).
+    pub fn extend_from(&mut self, other: &Circuit) -> Result<(), CircuitError> {
+        for gate in other.gates() {
+            self.push(gate.clone())?;
+        }
+        Ok(())
+    }
+
+    /// Counts gates by control arity (e.g. `counts[2]` = Toffoli count for
+    /// MCX circuits). The vector is indexed by arity.
+    pub fn arity_histogram(&self) -> Vec<usize> {
+        let max = self.gates.iter().map(Gate::arity).max().unwrap_or(0);
+        let mut hist = vec![0; max + 1];
+        for gate in &self.gates {
+            hist[gate.arity()] += 1;
+        }
+        hist
+    }
+
+    /// Simulates the circuit on a computational-basis state: input qubits
+    /// take the provided values, ancillae start at `false`. Returns the
+    /// final value of every qubit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::WrongInputCount`] when `inputs` does not
+    /// match the number of input qubits.
+    pub fn simulate(&self, inputs: &[bool]) -> Result<Vec<bool>, CircuitError> {
+        let expected = self.num_inputs();
+        if inputs.len() != expected {
+            return Err(CircuitError::WrongInputCount {
+                got: inputs.len(),
+                expected,
+            });
+        }
+        let mut state: Vec<bool> = self
+            .roles
+            .iter()
+            .map(|role| match role {
+                QubitRole::Input(i) => inputs[*i as usize],
+                QubitRole::Ancilla => false,
+            })
+            .collect();
+        self.simulate_state(&mut state);
+        Ok(state)
+    }
+
+    /// Applies the circuit to an arbitrary basis state in place (used to
+    /// test decompositions with *dirty* ancillae, which may start in any
+    /// state).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state.len()` differs from the register width.
+    pub fn simulate_state(&self, state: &mut [bool]) {
+        assert_eq!(state.len(), self.width(), "state width mismatch");
+        for gate in &self.gates {
+            let fire = if gate.controls.is_empty() {
+                true
+            } else {
+                let vals: Vec<bool> = gate.controls.iter().map(|c| state[c.index()]).collect();
+                gate.op.eval(&vals)
+            };
+            if fire {
+                state[gate.target.index()] ^= true;
+            }
+        }
+    }
+}
+
+impl fmt::Display for Circuit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "circuit({} qubits, {} gates)",
+            self.width(),
+            self.num_gates()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn x_and_cnot_semantics() {
+        let mut c = Circuit::new();
+        let a = c.add_input_qubit(0);
+        let b = c.add_ancilla();
+        c.push(Gate::x(b)).expect("valid");
+        c.push(Gate::cnot(a, b)).expect("valid");
+        // b = 1 ^ a
+        assert_eq!(c.simulate(&[false]).expect("ok"), vec![false, true]);
+        assert_eq!(c.simulate(&[true]).expect("ok"), vec![true, false]);
+    }
+
+    #[test]
+    fn toffoli_semantics() {
+        let mut c = Circuit::new();
+        let a = c.add_input_qubit(0);
+        let b = c.add_input_qubit(1);
+        let t = c.add_ancilla();
+        c.push(Gate::toffoli(a, b, t)).expect("valid");
+        for (x, y) in [(false, false), (false, true), (true, false), (true, true)] {
+            let out = c.simulate(&[x, y]).expect("ok");
+            assert_eq!(out[2], x && y);
+        }
+    }
+
+    #[test]
+    fn single_target_gate_is_self_inverse() {
+        let mut c = Circuit::new();
+        let a = c.add_input_qubit(0);
+        let b = c.add_input_qubit(1);
+        let t = c.add_ancilla();
+        let g = Gate::single_target(Op::Xor, vec![a, b], t);
+        c.push(g.clone()).expect("valid");
+        c.push(g).expect("valid");
+        for (x, y) in [(false, true), (true, true)] {
+            let out = c.simulate(&[x, y]).expect("ok");
+            assert!(!out[2], "target restored to 0");
+        }
+    }
+
+    #[test]
+    fn invalid_gates_are_rejected() {
+        let mut c = Circuit::new();
+        let a = c.add_input_qubit(0);
+        assert!(matches!(
+            c.push(Gate::cnot(a, Qubit(5))),
+            Err(CircuitError::QubitOutOfRange { .. })
+        ));
+        assert!(matches!(
+            c.push(Gate::cnot(a, a)),
+            Err(CircuitError::TargetIsControl { .. })
+        ));
+    }
+
+    #[test]
+    fn wrong_input_count_is_rejected() {
+        let mut c = Circuit::new();
+        c.add_input_qubit(0);
+        assert!(matches!(
+            c.simulate(&[true, false]),
+            Err(CircuitError::WrongInputCount { got: 2, expected: 1 })
+        ));
+    }
+
+    #[test]
+    fn arity_histogram_counts() {
+        let mut c = Circuit::new();
+        let a = c.add_input_qubit(0);
+        let b = c.add_input_qubit(1);
+        let t = c.add_ancilla();
+        c.push(Gate::x(t)).expect("valid");
+        c.push(Gate::cnot(a, t)).expect("valid");
+        c.push(Gate::toffoli(a, b, t)).expect("valid");
+        c.push(Gate::toffoli(b, a, t)).expect("valid");
+        assert_eq!(c.arity_histogram(), vec![1, 1, 2]);
+    }
+
+    #[test]
+    fn simulate_state_allows_dirty_start() {
+        let mut c = Circuit::new();
+        let a = c.add_input_qubit(0);
+        let t = c.add_ancilla();
+        c.push(Gate::cnot(a, t)).expect("valid");
+        let mut state = vec![true, true]; // dirty ancilla
+        c.simulate_state(&mut state);
+        assert_eq!(state, vec![true, false]);
+    }
+
+    #[test]
+    fn display_forms() {
+        let g = Gate::toffoli(Qubit(0), Qubit(1), Qubit(2));
+        assert_eq!(g.to_string(), "AND(q0,q1)->q2");
+        assert_eq!(Gate::x(Qubit(3)).to_string(), "X(q3)");
+    }
+}

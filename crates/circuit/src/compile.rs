@@ -1,0 +1,278 @@
+//! Compiling a pebbling strategy into a reversible circuit.
+//!
+//! Every [`Move::Pebble`] becomes one single-target gate computing the
+//! node's operation onto a free ancilla; every [`Move::Unpebble`] repeats
+//! the *same* gate, restoring the ancilla to |0⟩ (single-target gates are
+//! self-inverse). Freed ancillae are reused, so the circuit width is
+//! `#inputs + max_pebbles(strategy)` — the paper's qubit count (e.g.
+//! Fig. 6(b): 9 inputs + 8 pebbles = 17 qubits for the Bennett strategy).
+
+use std::collections::HashMap;
+use std::fmt;
+
+use revpebble_core::{Move, Strategy};
+use revpebble_graph::{Dag, NodeId, Source};
+
+use crate::circuit::{Circuit, CircuitError, Gate, Qubit};
+
+/// A compiled circuit together with the qubits holding each output.
+#[derive(Debug, Clone)]
+pub struct CompiledCircuit {
+    /// The reversible circuit.
+    pub circuit: Circuit,
+    /// For every DAG output (in [`Dag::outputs`] order) the qubit holding
+    /// its value at the end of the circuit.
+    pub output_qubits: Vec<Qubit>,
+}
+
+/// Errors produced by [`compile`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CompileError {
+    /// The strategy is not valid for the DAG, so no faithful circuit
+    /// exists. Contains the validation failure.
+    InvalidStrategy(revpebble_core::InvalidStrategy),
+    /// Internal circuit construction failure (should not happen for valid
+    /// strategies).
+    Circuit(CircuitError),
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompileError::InvalidStrategy(e) => write!(f, "invalid strategy: {e}"),
+            CompileError::Circuit(e) => write!(f, "circuit construction failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+impl From<CircuitError> for CompileError {
+    fn from(e: CircuitError) -> Self {
+        CompileError::Circuit(e)
+    }
+}
+
+/// Compiles `strategy` (validated against `dag` first) into a reversible
+/// circuit with ancilla reuse.
+///
+/// # Errors
+///
+/// Returns [`CompileError::InvalidStrategy`] when the strategy does not
+/// validate against `dag`.
+pub fn compile(dag: &Dag, strategy: &Strategy) -> Result<CompiledCircuit, CompileError> {
+    strategy
+        .validate(dag, None)
+        .map_err(CompileError::InvalidStrategy)?;
+    let mut circuit = Circuit::new();
+    let input_qubits: Vec<Qubit> = (0..dag.num_inputs())
+        .map(|i| circuit.add_input_qubit(i as u32))
+        .collect();
+    let mut node_qubit: HashMap<NodeId, Qubit> = HashMap::new();
+    let mut free_ancillae: Vec<Qubit> = Vec::new();
+
+    // Single-move steps keep each gate's control qubits well-defined.
+    let sequential = strategy.sequentialize();
+    for step in sequential.steps() {
+        let mv = step[0];
+        match mv {
+            Move::Pebble(v) => {
+                let target = free_ancillae.pop().unwrap_or_else(|| circuit.add_ancilla());
+                let controls: Vec<Qubit> = dag
+                    .node(v)
+                    .fanins
+                    .iter()
+                    .map(|s| match s {
+                        Source::Input(i) => input_qubits[i.index()],
+                        Source::Node(n) => node_qubit[n],
+                    })
+                    .collect();
+                circuit.push(Gate::single_target(dag.node(v).op, controls, target))?;
+                node_qubit.insert(v, target);
+            }
+            Move::Unpebble(v) => {
+                let target = node_qubit
+                    .remove(&v)
+                    .expect("validated strategy unpebbles only pebbled nodes");
+                let controls: Vec<Qubit> = dag
+                    .node(v)
+                    .fanins
+                    .iter()
+                    .map(|s| match s {
+                        Source::Input(i) => input_qubits[i.index()],
+                        Source::Node(n) => node_qubit[n],
+                    })
+                    .collect();
+                circuit.push(Gate::single_target(dag.node(v).op, controls, target))?;
+                free_ancillae.push(target);
+            }
+        }
+    }
+    let output_qubits = dag
+        .outputs()
+        .iter()
+        .map(|o| node_qubit[o])
+        .collect();
+    Ok(CompiledCircuit {
+        circuit,
+        output_qubits,
+    })
+}
+
+/// Result of an exhaustive (or sampled) end-to-end verification.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VerifyOutcome {
+    /// All checked input patterns produce the DAG's outputs with every
+    /// ancilla restored to |0⟩.
+    Correct {
+        /// Number of input patterns checked.
+        patterns: usize,
+    },
+    /// A pattern produced a wrong output value.
+    WrongOutput {
+        /// The failing input pattern (bit `i` = input `i`).
+        pattern: u64,
+        /// Index of the wrong output.
+        output: usize,
+    },
+    /// A pattern left an ancilla dirty — memory management is broken.
+    DirtyAncilla {
+        /// The failing input pattern.
+        pattern: u64,
+        /// The dirty qubit.
+        qubit: Qubit,
+    },
+}
+
+/// Verifies a compiled circuit against the DAG semantics: for each input
+/// pattern, every output qubit must carry the DAG's output value and every
+/// non-output ancilla must be restored to |0⟩. Exhaustive for up to 16
+/// inputs, otherwise checks `2^16` deterministic pseudo-random patterns.
+pub fn verify(dag: &Dag, compiled: &CompiledCircuit) -> VerifyOutcome {
+    let n = dag.num_inputs();
+    let exhaustive = n <= 16;
+    let patterns: u64 = if exhaustive { 1 << n } else { 1 << 16 };
+    let mut rng_state = 0x9e37_79b9_7f4a_7c15u64;
+    for p in 0..patterns {
+        let pattern = if exhaustive {
+            p
+        } else {
+            // SplitMix64 for deterministic sampling of wide inputs.
+            rng_state = rng_state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = rng_state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        };
+        let inputs: Vec<bool> = (0..n).map(|i| pattern & (1 << (i % 64)) != 0).collect();
+        let expected = dag.evaluate_outputs(&inputs);
+        let state = compiled
+            .circuit
+            .simulate(&inputs)
+            .expect("input count matches");
+        for (i, &q) in compiled.output_qubits.iter().enumerate() {
+            if state[q.index()] != expected[i] {
+                return VerifyOutcome::WrongOutput { pattern, output: i };
+            }
+        }
+        for (qi, role) in compiled.circuit.roles().iter().enumerate() {
+            let q = Qubit(qi as u32);
+            if matches!(role, crate::circuit::QubitRole::Ancilla)
+                && !compiled.output_qubits.contains(&q)
+                && state[qi]
+            {
+                return VerifyOutcome::DirtyAncilla { pattern, qubit: q };
+            }
+        }
+    }
+    VerifyOutcome::Correct {
+        patterns: patterns as usize,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use revpebble_core::baselines::{bennett, cone_wise};
+    use revpebble_graph::generators::{and_tree, chain, random_dag};
+    use revpebble_graph::parse_bench;
+
+    #[test]
+    fn bennett_and_tree_matches_fig6b() {
+        // Fig. 6(b): Bennett on the 9-input AND uses 17 qubits and 15
+        // gates (8 computes + 7 uncomputes).
+        let dag = and_tree(9);
+        let strategy = bennett(&dag);
+        let compiled = compile(&dag, &strategy).expect("compiles");
+        assert_eq!(compiled.circuit.width(), 17);
+        assert_eq!(compiled.circuit.num_gates(), 15);
+        assert_eq!(
+            verify(&dag, &compiled),
+            VerifyOutcome::Correct { patterns: 512 }
+        );
+    }
+
+    #[test]
+    fn qubit_reuse_matches_strategy_peak() {
+        let dag = chain(6);
+        let strategy = bennett(&dag);
+        let compiled = compile(&dag, &strategy).expect("compiles");
+        assert_eq!(
+            compiled.circuit.width(),
+            dag.num_inputs() + strategy.max_pebbles(&dag)
+        );
+    }
+
+    #[test]
+    fn c17_compiles_and_verifies() {
+        let dag = parse_bench(revpebble_graph::data::C17_BENCH).expect("parses");
+        for strategy in [bennett(&dag), cone_wise(&dag)] {
+            let compiled = compile(&dag, &strategy).expect("compiles");
+            assert!(matches!(
+                verify(&dag, &compiled),
+                VerifyOutcome::Correct { .. }
+            ));
+        }
+    }
+
+    #[test]
+    fn random_dags_compile_and_verify() {
+        for seed in 0..10 {
+            let dag = random_dag(6, 18, seed);
+            let strategy = cone_wise(&dag);
+            let compiled = compile(&dag, &strategy).expect("compiles");
+            assert!(
+                matches!(verify(&dag, &compiled), VerifyOutcome::Correct { .. }),
+                "seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn invalid_strategy_is_rejected() {
+        use revpebble_core::Move;
+        use revpebble_graph::NodeId;
+        let dag = and_tree(4);
+        let bad = Strategy::from_moves([Move::Pebble(NodeId::from_index(2))]);
+        assert!(matches!(
+            compile(&dag, &bad),
+            Err(CompileError::InvalidStrategy(_))
+        ));
+    }
+
+    #[test]
+    fn sat_strategy_compiles_with_fewer_qubits() {
+        use revpebble_core::solve_with_pebbles;
+        let dag = and_tree(9);
+        let strategy = solve_with_pebbles(&dag, 7).into_strategy().expect("solved");
+        let compiled = compile(&dag, &strategy).expect("compiles");
+        // 9 inputs + ≤7 pebbles = ≤16 qubits: fits the paper's device.
+        assert!(compiled.circuit.width() <= 16);
+        assert!(matches!(
+            verify(&dag, &compiled),
+            VerifyOutcome::Correct { .. }
+        ));
+        // More gates than Bennett's 15, fewer qubits than its 17.
+        assert!(compiled.circuit.num_gates() > 15);
+    }
+}

@@ -1,0 +1,41 @@
+//! # revpebble-circuit
+//!
+//! Reversible-circuit backend for the `revpebble` reproduction of
+//! *"Reversible Pebbling Game for Quantum Memory Management"* (Meuli et
+//! al., DATE 2019).
+//!
+//! A pebbling strategy found by `revpebble-core` is only useful once it is
+//! turned into a circuit. This crate provides:
+//!
+//! - [`circuit`]: a reversible gate/circuit IR with single-target gates
+//!   (the paper's Definition 1) and a computational-basis simulator;
+//! - [`compile`]: strategy → circuit compilation with ancilla reuse, plus
+//!   an end-to-end verifier that checks outputs *and* that every ancilla
+//!   is returned to |0⟩ (the whole point of memory management);
+//! - [`barenco`]: the Barenco multi-controlled-X decompositions used as
+//!   the comparison point in the paper's Fig. 6.
+//!
+//! ## Example: compile and verify a Bennett circuit
+//!
+//! ```
+//! use revpebble_circuit::compile::{compile, verify, VerifyOutcome};
+//! use revpebble_core::baselines::bennett;
+//! use revpebble_graph::generators::and_tree;
+//!
+//! let dag = and_tree(9);
+//! let compiled = compile(&dag, &bennett(&dag)).expect("valid strategy");
+//! assert_eq!(compiled.circuit.width(), 17); // the paper's Fig. 6(b)
+//! assert_eq!(compiled.circuit.num_gates(), 15);
+//! assert!(matches!(verify(&dag, &compiled), VerifyOutcome::Correct { .. }));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod barenco;
+pub mod circuit;
+pub mod compile;
+pub mod lowering;
+
+pub use circuit::{Circuit, CircuitError, Gate, Qubit, QubitRole};
+pub use compile::{compile, verify, CompileError, CompiledCircuit, VerifyOutcome};
+pub use lowering::{estimate_resources, lower, to_qasm, QasmError, ResourceEstimate};

@@ -1,0 +1,341 @@
+//! Lowering single-target gates to the {X, CNOT, Toffoli/MCX} gate set,
+//! resource estimation, and OpenQASM 2.0 export.
+//!
+//! The compiler in [`crate::compile`] emits one abstract single-target
+//! gate per pebbling move (the paper's Definition 1). Real backends want
+//! elementary gates; [`lower`] rewrites every gate into X/CNOT/MCX using
+//! the textbook identities:
+//!
+//! - `AND`/`MUL` → one multi-controlled X;
+//! - `NAND` → MCX + X on the target;
+//! - `OR` → De Morgan (X-conjugated MCX + X on the target);
+//! - `NOR` → X-conjugated MCX;
+//! - `XOR`/`ADD`/`OPAQUE` → one CNOT per control;
+//! - `XNOR`/`SUB` → CNOTs + X;
+//! - `NOT` → CNOT + X; `BUF`/`SQR` → CNOT;
+//! - `MAJ(a,b,c)` → three Toffolis (`maj = ab ⊕ ac ⊕ bc`).
+//!
+//! [`estimate_resources`] prices the result in Toffoli-equivalents and a
+//! standard fault-tolerant T-count (7 T per Toffoli, V-chain counts for
+//! wider MCX via [`crate::barenco`]).
+
+use std::fmt::Write as _;
+
+use revpebble_graph::Op;
+
+use crate::barenco::v_chain_gate_count;
+use crate::circuit::{Circuit, Gate};
+
+/// Lowers every gate of `circuit` to X/CNOT/MCX (AND control functions
+/// only). The register is unchanged; the gate count grows per the table
+/// in the [module docs](self).
+pub fn lower(circuit: &Circuit) -> Circuit {
+    let mut out = Circuit::new();
+    for role in circuit.roles() {
+        match role {
+            crate::circuit::QubitRole::Input(i) => {
+                out.add_input_qubit(*i);
+            }
+            crate::circuit::QubitRole::Ancilla => {
+                out.add_ancilla();
+            }
+        }
+    }
+    for gate in circuit.gates() {
+        for lowered in lower_gate(gate) {
+            out.push(lowered).expect("lowering preserves qubit validity");
+        }
+    }
+    out
+}
+
+fn lower_gate(gate: &Gate) -> Vec<Gate> {
+    let t = gate.target;
+    let c = &gate.controls;
+    match gate.op {
+        Op::And | Op::Mul => vec![Gate::mcx(c.clone(), t)],
+        Op::Nand => vec![Gate::mcx(c.clone(), t), Gate::x(t)],
+        Op::Or => {
+            // t ^= OR(c) = t ^ 1 ^ AND(¬c)
+            let mut gates = Vec::with_capacity(2 * c.len() + 2);
+            for &q in c {
+                gates.push(Gate::x(q));
+            }
+            gates.push(Gate::mcx(c.clone(), t));
+            for &q in c {
+                gates.push(Gate::x(q));
+            }
+            gates.push(Gate::x(t));
+            gates
+        }
+        Op::Nor => {
+            let mut gates = Vec::with_capacity(2 * c.len() + 1);
+            for &q in c {
+                gates.push(Gate::x(q));
+            }
+            gates.push(Gate::mcx(c.clone(), t));
+            for &q in c {
+                gates.push(Gate::x(q));
+            }
+            gates
+        }
+        Op::Xor | Op::Add | Op::Opaque => c.iter().map(|&q| Gate::cnot(q, t)).collect(),
+        Op::Xnor | Op::Sub => {
+            let mut gates: Vec<Gate> = c.iter().map(|&q| Gate::cnot(q, t)).collect();
+            gates.push(Gate::x(t));
+            gates
+        }
+        Op::Not => vec![Gate::cnot(c[0], t), Gate::x(t)],
+        Op::Buf | Op::Sqr => vec![Gate::cnot(c[0], t)],
+        Op::Maj => vec![
+            Gate::toffoli(c[0], c[1], t),
+            Gate::toffoli(c[0], c[2], t),
+            Gate::toffoli(c[1], c[2], t),
+        ],
+    }
+}
+
+/// Fault-tolerant resource estimate of a lowered circuit.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ResourceEstimate {
+    /// Plain X gates.
+    pub x: usize,
+    /// CNOT gates.
+    pub cnot: usize,
+    /// Toffoli gates (exactly two controls).
+    pub toffoli: usize,
+    /// Wider MCX gates (three or more controls).
+    pub wide_mcx: usize,
+    /// Toffoli-equivalents: Toffolis + V-chain cost of each wider MCX.
+    pub toffoli_equivalent: usize,
+    /// T-count at 7 T per Toffoli-equivalent.
+    pub t_count: usize,
+}
+
+/// Prices a lowered circuit (see [`ResourceEstimate`]).
+///
+/// # Panics
+///
+/// Panics if the circuit contains non-MCX gates — run [`lower`] first.
+pub fn estimate_resources(circuit: &Circuit) -> ResourceEstimate {
+    let mut est = ResourceEstimate::default();
+    for gate in circuit.gates() {
+        assert!(gate.is_mcx(), "estimate_resources requires a lowered circuit");
+        match gate.arity() {
+            0 => est.x += 1,
+            1 => est.cnot += 1,
+            2 => {
+                est.toffoli += 1;
+                est.toffoli_equivalent += 1;
+            }
+            k => {
+                est.wide_mcx += 1;
+                est.toffoli_equivalent += v_chain_gate_count(k);
+            }
+        }
+    }
+    est.t_count = 7 * est.toffoli_equivalent;
+    est
+}
+
+/// Errors produced by [`to_qasm`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QasmError {
+    /// A gate has more than two controls; decompose it first (e.g. with
+    /// [`crate::barenco`]).
+    WideGate {
+        /// Number of controls of the offending gate.
+        controls: usize,
+    },
+    /// A gate has a non-AND control function; run [`lower`] first.
+    NotLowered,
+}
+
+impl std::fmt::Display for QasmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QasmError::WideGate { controls } => {
+                write!(f, "gate with {controls} controls cannot be emitted; decompose first")
+            }
+            QasmError::NotLowered => write!(f, "circuit contains non-MCX gates; lower it first"),
+        }
+    }
+}
+
+impl std::error::Error for QasmError {}
+
+/// Renders a lowered circuit as OpenQASM 2.0 (gates: `x`, `cx`, `ccx`).
+///
+/// # Errors
+///
+/// Returns [`QasmError`] when the circuit still contains single-target
+/// gates with non-AND control functions or more than two controls.
+pub fn to_qasm(circuit: &Circuit) -> Result<String, QasmError> {
+    let mut out = String::new();
+    let _ = writeln!(out, "OPENQASM 2.0;");
+    let _ = writeln!(out, "include \"qelib1.inc\";");
+    let _ = writeln!(out, "qreg q[{}];", circuit.width());
+    for gate in circuit.gates() {
+        if !gate.is_mcx() {
+            return Err(QasmError::NotLowered);
+        }
+        match gate.controls.as_slice() {
+            [] => {
+                let _ = writeln!(out, "x q[{}];", gate.target.index());
+            }
+            [c] => {
+                let _ = writeln!(out, "cx q[{}], q[{}];", c.index(), gate.target.index());
+            }
+            [c1, c2] => {
+                let _ = writeln!(
+                    out,
+                    "ccx q[{}], q[{}], q[{}];",
+                    c1.index(),
+                    c2.index(),
+                    gate.target.index()
+                );
+            }
+            wide => {
+                return Err(QasmError::WideGate {
+                    controls: wide.len(),
+                })
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::circuit::Qubit;
+    use revpebble_graph::Op;
+
+    /// Lowered gates must act identically to the original single-target
+    /// gate on every basis state.
+    fn check_lowering(op: Op, num_controls: usize) {
+        let mut original = Circuit::new();
+        let controls: Vec<Qubit> = (0..num_controls)
+            .map(|i| original.add_input_qubit(i as u32))
+            .collect();
+        let target = original.add_ancilla();
+        original
+            .push(Gate::single_target(op, controls, target))
+            .expect("valid");
+        let lowered = lower(&original);
+        let width = original.width();
+        for pattern in 0u32..(1 << width) {
+            let mut s1: Vec<bool> = (0..width).map(|i| pattern & (1 << i) != 0).collect();
+            let mut s2 = s1.clone();
+            original.simulate_state(&mut s1);
+            lowered.simulate_state(&mut s2);
+            assert_eq!(s1, s2, "op {op} controls {num_controls} pattern {pattern:b}");
+        }
+        // Everything in the lowered circuit is MCX-family.
+        assert!(lowered.gates().iter().all(Gate::is_mcx));
+    }
+
+    #[test]
+    fn all_ops_lower_correctly() {
+        for op in [Op::And, Op::Nand, Op::Or, Op::Nor, Op::Xor, Op::Xnor, Op::Add, Op::Sub, Op::Mul, Op::Opaque] {
+            for k in 1..=3 {
+                check_lowering(op, k);
+            }
+        }
+        for op in [Op::Not, Op::Buf, Op::Sqr] {
+            check_lowering(op, 1);
+        }
+        check_lowering(Op::Maj, 3);
+    }
+
+    #[test]
+    fn xor_lowering_is_cnot_chain() {
+        let mut c = Circuit::new();
+        let a = c.add_input_qubit(0);
+        let b = c.add_input_qubit(1);
+        let t = c.add_ancilla();
+        c.push(Gate::single_target(Op::Xor, vec![a, b], t)).expect("valid");
+        let lowered = lower(&c);
+        assert_eq!(lowered.num_gates(), 2);
+        assert!(lowered.gates().iter().all(|g| g.arity() == 1));
+    }
+
+    #[test]
+    fn maj_lowering_is_three_toffolis() {
+        let mut c = Circuit::new();
+        let qs: Vec<Qubit> = (0..3).map(|i| c.add_input_qubit(i)).collect();
+        let t = c.add_ancilla();
+        c.push(Gate::single_target(Op::Maj, qs, t)).expect("valid");
+        let lowered = lower(&c);
+        assert_eq!(lowered.num_gates(), 3);
+        assert!(lowered.gates().iter().all(|g| g.arity() == 2));
+    }
+
+    #[test]
+    fn resource_estimate_counts() {
+        let mut c = Circuit::new();
+        let qs: Vec<Qubit> = (0..5).map(|i| c.add_input_qubit(i)).collect();
+        let t = c.add_ancilla();
+        c.push(Gate::x(t)).expect("valid");
+        c.push(Gate::cnot(qs[0], t)).expect("valid");
+        c.push(Gate::toffoli(qs[0], qs[1], t)).expect("valid");
+        c.push(Gate::mcx(qs.clone(), t)).expect("valid");
+        let est = estimate_resources(&c);
+        assert_eq!(est.x, 1);
+        assert_eq!(est.cnot, 1);
+        assert_eq!(est.toffoli, 1);
+        assert_eq!(est.wide_mcx, 1);
+        // 1 Toffoli + V-chain(5 controls) = 1 + 12.
+        assert_eq!(est.toffoli_equivalent, 13);
+        assert_eq!(est.t_count, 91);
+    }
+
+    #[test]
+    fn qasm_export_roundtrip_shape() {
+        let mut c = Circuit::new();
+        let a = c.add_input_qubit(0);
+        let b = c.add_input_qubit(1);
+        let t = c.add_ancilla();
+        c.push(Gate::toffoli(a, b, t)).expect("valid");
+        c.push(Gate::cnot(a, t)).expect("valid");
+        c.push(Gate::x(t)).expect("valid");
+        let qasm = to_qasm(&c).expect("emits");
+        assert!(qasm.contains("OPENQASM 2.0;"));
+        assert!(qasm.contains("qreg q[3];"));
+        assert!(qasm.contains("ccx q[0], q[1], q[2];"));
+        assert!(qasm.contains("cx q[0], q[2];"));
+        assert!(qasm.contains("x q[2];"));
+    }
+
+    #[test]
+    fn qasm_rejects_wide_and_unlowered_gates() {
+        let mut c = Circuit::new();
+        let qs: Vec<Qubit> = (0..4).map(|i| c.add_input_qubit(i)).collect();
+        let t = c.add_ancilla();
+        c.push(Gate::mcx(qs.clone(), t)).expect("valid");
+        assert_eq!(to_qasm(&c), Err(QasmError::WideGate { controls: 4 }));
+        let mut c2 = Circuit::new();
+        let a = c2.add_input_qubit(0);
+        let t2 = c2.add_ancilla();
+        c2.push(Gate::single_target(Op::Not, vec![a], t2)).expect("valid");
+        assert_eq!(to_qasm(&c2), Err(QasmError::NotLowered));
+    }
+
+    #[test]
+    fn compiled_pebbling_circuit_lowers_and_verifies() {
+        use crate::compile::{compile, verify, VerifyOutcome};
+        use revpebble_core::baselines::bennett;
+        use revpebble_graph::parse_bench;
+        let dag = parse_bench(revpebble_graph::data::C17_BENCH).expect("parses");
+        let compiled = compile(&dag, &bennett(&dag)).expect("compiles");
+        let lowered = lower(&compiled.circuit);
+        // NAND gates lower to MCX + X: same outputs on every pattern.
+        let relabeled = crate::compile::CompiledCircuit {
+            circuit: lowered.clone(),
+            output_qubits: compiled.output_qubits.clone(),
+        };
+        assert!(matches!(verify(&dag, &relabeled), VerifyOutcome::Correct { .. }));
+        let qasm = to_qasm(&lowered).expect("c17 gates are narrow");
+        assert!(qasm.lines().count() > lowered.num_gates());
+    }
+}

@@ -1,0 +1,125 @@
+//! Minimal flag parsing for the `revpebble` binary (no external crates).
+
+use std::time::Duration;
+
+use revpebble::core::MoveMode;
+
+/// Parsed command line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Args {
+    /// The subcommand (`info`, `pebble`, …).
+    pub command: String,
+    /// The input designator (path, `-`, or built-in name).
+    pub input: String,
+    /// `--pebbles P`.
+    pub pebbles: Option<usize>,
+    /// `--timeout S` (seconds).
+    pub timeout: Option<Duration>,
+    /// `--mode seq|par`.
+    pub mode: MoveMode,
+    /// `--grid`.
+    pub grid: bool,
+    /// `--qasm`.
+    pub qasm: bool,
+}
+
+impl Args {
+    /// Parses `revpebble <command> <input> [flags]`.
+    pub fn parse(raw: &[String]) -> Result<Args, String> {
+        let mut positional = Vec::new();
+        let mut pebbles = None;
+        let mut timeout = None;
+        let mut mode = MoveMode::Sequential;
+        let mut grid = false;
+        let mut qasm = false;
+        let mut iter = raw.iter().peekable();
+        while let Some(arg) = iter.next() {
+            match arg.as_str() {
+                "--pebbles" => {
+                    let value = iter.next().ok_or("--pebbles needs a value")?;
+                    pebbles = Some(value.parse().map_err(|_| "bad --pebbles value")?);
+                }
+                "--timeout" => {
+                    let value = iter.next().ok_or("--timeout needs a value")?;
+                    let secs: u64 = value.parse().map_err(|_| "bad --timeout value")?;
+                    timeout = Some(Duration::from_secs(secs));
+                }
+                "--mode" => {
+                    let value = iter.next().ok_or("--mode needs seq or par")?;
+                    mode = match value.as_str() {
+                        "seq" | "sequential" => MoveMode::Sequential,
+                        "par" | "parallel" => MoveMode::Parallel,
+                        other => return Err(format!("unknown mode {other:?}")),
+                    };
+                }
+                "--grid" => grid = true,
+                "--qasm" => qasm = true,
+                flag if flag.starts_with("--") => {
+                    return Err(format!("unknown flag {flag:?}"));
+                }
+                _ => positional.push(arg.clone()),
+            }
+        }
+        let mut positional = positional.into_iter();
+        let command = positional.next().ok_or("missing command")?;
+        let input = positional.next().ok_or("missing input")?;
+        if let Some(extra) = positional.next() {
+            return Err(format!("unexpected argument {extra:?}"));
+        }
+        Ok(Args {
+            command,
+            input,
+            pebbles,
+            timeout,
+            mode,
+            grid,
+            qasm,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strs(parts: &[&str]) -> Vec<String> {
+        parts.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_full_command() {
+        let args = Args::parse(&strs(&[
+            "pebble", "c17", "--pebbles", "4", "--timeout", "30", "--mode", "par", "--grid",
+            "--qasm",
+        ]))
+        .expect("parses");
+        assert_eq!(args.command, "pebble");
+        assert_eq!(args.input, "c17");
+        assert_eq!(args.pebbles, Some(4));
+        assert_eq!(args.timeout, Some(Duration::from_secs(30)));
+        assert_eq!(args.mode, MoveMode::Parallel);
+        assert!(args.grid);
+        assert!(args.qasm);
+    }
+
+    #[test]
+    fn defaults() {
+        let args = Args::parse(&strs(&["info", "paper"])).expect("parses");
+        assert_eq!(args.pebbles, None);
+        assert_eq!(args.timeout, None);
+        assert_eq!(args.mode, MoveMode::Sequential);
+        assert!(!args.grid);
+        assert!(!args.qasm);
+    }
+
+    #[test]
+    fn errors() {
+        assert!(Args::parse(&strs(&[])).is_err());
+        assert!(Args::parse(&strs(&["info"])).is_err());
+        assert!(Args::parse(&strs(&["info", "a", "b"])).is_err());
+        assert!(Args::parse(&strs(&["info", "a", "--bogus"])).is_err());
+        assert!(Args::parse(&strs(&["pebble", "a", "--pebbles"])).is_err());
+        assert!(Args::parse(&strs(&["pebble", "a", "--pebbles", "x"])).is_err());
+        assert!(Args::parse(&strs(&["pebble", "a", "--mode", "quantum"])).is_err());
+    }
+}

@@ -1,0 +1,199 @@
+//! `revpebble` — command-line interface to the reversible-pebbling
+//! toolkit.
+//!
+//! ```text
+//! revpebble info     <input>                         DAG statistics
+//! revpebble bennett  <input> [--grid]                Bennett baseline
+//! revpebble pebble   <input> --pebbles P [options]   SAT pebbling
+//! revpebble minimize <input> [--timeout S]           smallest feasible P
+//! revpebble frontier <input> [--timeout S]           pebble/step frontier
+//! revpebble dot      <input>                         Graphviz export
+//! ```
+//!
+//! `<input>` is a `.bench` netlist path, `-` for stdin, or one of the
+//! built-in examples: `paper`, `c17`, `andtree9`, `hop`, `kummer`,
+//! `edwards`, `adder4`.
+
+use std::io::Read as _;
+use std::process::ExitCode;
+use std::time::Duration;
+
+use revpebble::circuit::lowering;
+use revpebble::core::frontier::{frontier, render_frontier, FrontierOptions};
+use revpebble::prelude::*;
+
+mod args;
+use args::Args;
+
+fn main() -> ExitCode {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    match run(&raw) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("error: {message}");
+            eprintln!();
+            eprintln!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "usage:
+  revpebble info     <input>
+  revpebble bennett  <input> [--grid]
+  revpebble pebble   <input> --pebbles P [--mode seq|par] [--timeout S] [--grid] [--qasm]
+  revpebble minimize <input> [--timeout S]
+  revpebble frontier <input> [--timeout S]
+  revpebble dot      <input>
+inputs: a .bench file path, '-' (stdin), or a built-in:
+  paper | c17 | andtree9 | hop | kummer | edwards | adder4";
+
+fn run(raw: &[String]) -> Result<(), String> {
+    let args = Args::parse(raw)?;
+    let dag = load_dag(&args.input)?;
+    match args.command.as_str() {
+        "info" => {
+            println!("{dag}");
+            println!("depth: {}", dag.depth());
+            println!("pebble lower bound: {}", revpebble::core::bounds::pebble_lower_bound(&dag));
+            println!("step lower bound (sequential): {}", revpebble::core::bounds::step_lower_bound(&dag));
+            for (op, count) in dag.op_counts() {
+                println!("  {op}: {count}");
+            }
+            Ok(())
+        }
+        "dot" => {
+            print!("{}", dag.to_dot());
+            Ok(())
+        }
+        "bennett" => {
+            let strategy = bennett(&dag);
+            report_strategy(&dag, &strategy, args.grid);
+            Ok(())
+        }
+        "pebble" => {
+            let budget = args
+                .pebbles
+                .ok_or_else(|| "pebble requires --pebbles".to_string())?;
+            let options = SolverOptions {
+                encoding: EncodingOptions {
+                    max_pebbles: Some(budget),
+                    move_mode: args.mode,
+                    ..EncodingOptions::default()
+                },
+                timeout: args.timeout,
+                ..SolverOptions::default()
+            };
+            match PebbleSolver::new(&dag, options).solve() {
+                PebbleOutcome::Solved(strategy) => {
+                    strategy
+                        .validate(&dag, Some(budget))
+                        .map_err(|e| e.to_string())?;
+                    report_strategy(&dag, &strategy, args.grid);
+                    if args.qasm {
+                        let compiled = compile(&dag, &strategy).map_err(|e| e.to_string())?;
+                        let lowered = lowering::lower(&compiled.circuit);
+                        match lowering::to_qasm(&lowered) {
+                            Ok(qasm) => print!("{qasm}"),
+                            Err(e) => eprintln!("cannot emit QASM: {e}"),
+                        }
+                    }
+                    Ok(())
+                }
+                PebbleOutcome::Infeasible { lower_bound } => Err(format!(
+                    "{budget} pebbles are infeasible (lower bound {lower_bound})"
+                )),
+                PebbleOutcome::Timeout { steps_reached } => {
+                    Err(format!("timed out while trying {steps_reached} steps"))
+                }
+                PebbleOutcome::StepLimit { steps_checked } => {
+                    Err(format!("no solution with up to {steps_checked} steps"))
+                }
+            }
+        }
+        "minimize" => {
+            let base = SolverOptions {
+                encoding: EncodingOptions {
+                    move_mode: args.mode,
+                    ..EncodingOptions::default()
+                },
+                ..SolverOptions::default()
+            };
+            let per_query = args.timeout.unwrap_or(Duration::from_secs(10));
+            let result = revpebble::core::minimize_pebbles(&dag, base, per_query);
+            match result.best {
+                Some((p, strategy)) => {
+                    println!("smallest certified budget: {p} pebbles");
+                    report_strategy(&dag, &strategy, args.grid);
+                    Ok(())
+                }
+                None => Err("no budget certified within the timeout".to_string()),
+            }
+        }
+        "frontier" => {
+            let options = FrontierOptions {
+                base: SolverOptions {
+                    encoding: EncodingOptions {
+                        move_mode: args.mode,
+                        ..EncodingOptions::default()
+                    },
+                    ..SolverOptions::default()
+                },
+                per_budget: args.timeout.unwrap_or(Duration::from_secs(10)),
+                ..FrontierOptions::default()
+            };
+            let points = frontier(&dag, options);
+            print!("{}", render_frontier(&points, &dag));
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?}")),
+    }
+}
+
+fn report_strategy(dag: &Dag, strategy: &Strategy, grid: bool) {
+    println!(
+        "pebbles: {}   steps: {}   moves: {}",
+        strategy.max_pebbles(dag),
+        strategy.num_steps(),
+        strategy.num_moves()
+    );
+    for (op, count) in strategy.op_counts(dag) {
+        println!("  {op}: {count}");
+    }
+    if grid {
+        println!("{}", strategy.render_grid(dag));
+    }
+}
+
+fn load_dag(input: &str) -> Result<Dag, String> {
+    use revpebble::graph::generators;
+    use revpebble::graph::network::xmg_ripple_adder;
+    use revpebble::graph::slp;
+    match input {
+        "paper" => Ok(generators::paper_example()),
+        "c17" => parse_bench(revpebble::graph::data::C17_BENCH).map_err(|e| e.to_string()),
+        "andtree9" => Ok(generators::and_tree(9)),
+        "hop" => slp::h_operator()
+            .to_dag()
+            .map_err(|e| e.to_string()),
+        "kummer" => slp::kummer_ladder_step()
+            .to_dag()
+            .map_err(|e| e.to_string()),
+        "edwards" => slp::edwards_add_projective()
+            .to_dag()
+            .map_err(|e| e.to_string()),
+        "adder4" => Ok(xmg_ripple_adder(4).to_dag()),
+        "-" => {
+            let mut text = String::new();
+            std::io::stdin()
+                .read_to_string(&mut text)
+                .map_err(|e| e.to_string())?;
+            parse_bench(&text).map_err(|e| e.to_string())
+        }
+        path => {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| format!("cannot read {path:?}: {e}"))?;
+            parse_bench(&text).map_err(|e| e.to_string())
+        }
+    }
+}

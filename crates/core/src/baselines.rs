@@ -1,0 +1,136 @@
+//! Baseline uncomputation strategies.
+//!
+//! - [`bennett`]: the classic strategy of Bennett (1989) used as the
+//!   comparison baseline throughout the paper's Table I: compute every
+//!   node bottom-up, then uncompute every non-output top-down. Minimum
+//!   number of steps (`2n − |O|`), maximum number of pebbles (`n`).
+//! - [`cone_wise`]: a greedy heuristic that computes one output cone at a
+//!   time and uncomputes it immediately, trading recomputation for a lower
+//!   pebble peak without any SAT solving. Useful as a fast upper bound for
+//!   the SAT search and as an ablation baseline.
+
+use revpebble_graph::{Dag, NodeId};
+
+use crate::config::PebbleConfig;
+use crate::strategy::{Move, Strategy};
+
+/// The Bennett strategy: pebble all nodes in topological order, then
+/// unpebble all non-output nodes in reverse topological order.
+///
+/// The result uses exactly `n` pebbles and `2n − |O|` steps — the paper's
+/// "minimum number of gates, maximum number of qubits" corner (Fig. 3a).
+pub fn bennett(dag: &Dag) -> Strategy {
+    let mut strategy = Strategy::default();
+    for node in dag.node_ids() {
+        strategy.push_move(Move::Pebble(node));
+    }
+    for node in dag.node_ids().rev() {
+        if !dag.is_output(node) {
+            strategy.push_move(Move::Unpebble(node));
+        }
+    }
+    strategy
+}
+
+/// A greedy cone-at-a-time strategy: for every output (in increasing
+/// cone-size order), pebble its transitive fanin cone bottom-up — skipping
+/// already-pebbled nodes — then unpebble everything in the cone top-down
+/// except outputs already produced. Shared cone nodes are recomputed for
+/// later outputs, so the strategy uses more steps than Bennett but its
+/// peak is bounded by `max cone size + #outputs` instead of `n`.
+pub fn cone_wise(dag: &Dag) -> Strategy {
+    let mut strategy = Strategy::default();
+    let mut current = PebbleConfig::empty(dag.num_nodes());
+    let mut outputs: Vec<NodeId> = dag.outputs().to_vec();
+    // Small cones first keeps the transient peak low.
+    outputs.sort_by_key(|&o| dag.cone(o).len());
+    for &output in &outputs {
+        let cone = dag.cone(output); // sorted = topological order
+        for &v in &cone {
+            if !current.is_pebbled(v) {
+                strategy.push_move(Move::Pebble(v));
+                current.pebble(v);
+            }
+        }
+        for &v in cone.iter().rev() {
+            if !dag.is_output(v) && current.is_pebbled(v) {
+                strategy.push_move(Move::Unpebble(v));
+                current.unpebble(v);
+            }
+        }
+    }
+    strategy
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use revpebble_graph::generators::{and_tree, chain, paper_example, random_dag};
+    use revpebble_graph::slp::kummer_ladder_step;
+
+    #[test]
+    fn bennett_on_paper_example() {
+        let dag = paper_example();
+        let strategy = bennett(&dag);
+        strategy.validate(&dag, Some(6)).expect("valid");
+        assert_eq!(strategy.num_steps(), 10); // 2·6 − 2
+        assert_eq!(strategy.max_pebbles(&dag), 6);
+        assert!(strategy.is_sequential());
+    }
+
+    #[test]
+    fn bennett_step_formula_holds() {
+        for (dag, n, o) in [
+            (and_tree(9), 8, 1),
+            (chain(7), 7, 1),
+            (paper_example(), 6, 2),
+        ] {
+            let s = bennett(&dag);
+            s.validate(&dag, None).expect("valid");
+            assert_eq!(s.num_steps(), 2 * n - o);
+            assert_eq!(s.max_pebbles(&dag), n);
+        }
+    }
+
+    #[test]
+    fn bennett_on_kummer() {
+        let dag = kummer_ladder_step().to_dag().expect("valid");
+        let s = bennett(&dag);
+        s.validate(&dag, None).expect("valid");
+        assert_eq!(s.num_steps(), 2 * 56 - 8);
+    }
+
+    #[test]
+    fn cone_wise_is_valid_and_never_worse_on_pebbles() {
+        for seed in 0..20 {
+            let dag = random_dag(5, 30, seed);
+            let cw = cone_wise(&dag);
+            cw.validate(&dag, None)
+                .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+            let b = bennett(&dag);
+            assert!(
+                cw.max_pebbles(&dag) <= b.max_pebbles(&dag),
+                "seed {seed}: cone-wise used more pebbles than Bennett"
+            );
+            assert!(cw.num_steps() >= b.num_steps() || cw.num_steps() == b.num_steps());
+        }
+    }
+
+    #[test]
+    fn cone_wise_saves_pebbles_on_paper_example() {
+        let dag = paper_example();
+        let cw = cone_wise(&dag);
+        cw.validate(&dag, None).expect("valid");
+        // Cone of F = {A, F}; cone of E = {A,B,C,D,E}. Doing F first then E
+        // keeps the peak at 6? Actually at most 5: check it improves or ties.
+        assert!(cw.max_pebbles(&dag) <= 6);
+    }
+
+    #[test]
+    fn cone_wise_on_trees_matches_bennett_pebbles_or_better() {
+        let dag = and_tree(16);
+        let cw = cone_wise(&dag);
+        cw.validate(&dag, None).expect("valid");
+        assert!(cw.max_pebbles(&dag) <= bennett(&dag).max_pebbles(&dag));
+    }
+}

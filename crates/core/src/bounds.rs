@@ -1,0 +1,83 @@
+//! Lower bounds used to seed and prune the SAT search.
+
+use revpebble_graph::Dag;
+
+/// A lower bound on the number of pebbles any valid strategy needs:
+///
+/// - the final configuration holds all `|O|` outputs, and
+/// - pebbling the *last* node ever pebbled requires its children pebbled
+///   simultaneously, so `max_v |C(v)| + 1` pebbles coexist at that moment.
+///
+/// (The true minimum can be much higher — e.g. `Ω(log n)` on chains — but
+/// this cheap bound already prunes hopeless queries.)
+pub fn pebble_lower_bound(dag: &Dag) -> usize {
+    let structural = dag
+        .node_ids()
+        .map(|v| dag.children(v).count() + 1)
+        .max()
+        .unwrap_or(0);
+    structural.max(dag.num_outputs())
+}
+
+/// A lower bound on the number of *sequential* steps: every node lies in
+/// the fanin cone of some output (enforced by
+/// [`Dag::validate_for_pebbling`]), must be pebbled at least once, and
+/// every non-output must also be unpebbled — hence `2n − |O|` moves. The
+/// Bennett strategy attains this bound.
+pub fn step_lower_bound(dag: &Dag) -> usize {
+    2 * dag.num_nodes() - dag.num_outputs()
+}
+
+/// A lower bound on the number of *parallel* steps: a node at level `ℓ`
+/// cannot be pebbled before step `ℓ`, and after the deepest output is
+/// pebbled every remaining non-output at the deepest level still needs
+/// unpebbling — we use `depth + 1` when any non-output exists, `depth`
+/// otherwise.
+pub fn parallel_step_lower_bound(dag: &Dag) -> usize {
+    let depth = dag.depth() as usize;
+    if dag.num_nodes() > dag.num_outputs() {
+        depth + 1
+    } else {
+        depth
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use revpebble_graph::generators::{and_tree, chain, paper_example};
+
+    #[test]
+    fn paper_example_bounds() {
+        let dag = paper_example();
+        assert_eq!(pebble_lower_bound(&dag), 3); // E has 2 children; ≥ |O| = 2
+        assert_eq!(step_lower_bound(&dag), 10);
+        assert_eq!(parallel_step_lower_bound(&dag), 4);
+    }
+
+    #[test]
+    fn chain_bounds() {
+        let dag = chain(8);
+        assert_eq!(pebble_lower_bound(&dag), 2);
+        assert_eq!(step_lower_bound(&dag), 15);
+        assert_eq!(parallel_step_lower_bound(&dag), 9);
+    }
+
+    #[test]
+    fn tree_bounds() {
+        let dag = and_tree(9);
+        assert_eq!(pebble_lower_bound(&dag), 3);
+        assert_eq!(step_lower_bound(&dag), 15);
+    }
+
+    #[test]
+    fn bounds_are_sound_for_bennett() {
+        use crate::baselines::bennett;
+        for dag in [paper_example(), chain(5), and_tree(8)] {
+            let s = bennett(&dag);
+            assert!(s.num_steps() >= step_lower_bound(&dag) - 0);
+            assert_eq!(s.num_steps(), step_lower_bound(&dag));
+            assert!(s.max_pebbles(&dag) >= pebble_lower_bound(&dag));
+        }
+    }
+}

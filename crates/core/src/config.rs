@@ -1,0 +1,195 @@
+//! Pebbling configurations: which nodes currently carry a pebble.
+
+use std::fmt;
+
+use revpebble_graph::NodeId;
+
+/// A reversible pebbling configuration (Definition 2 in the paper): the
+/// set of currently pebbled nodes, stored as a bitset over node indices.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct PebbleConfig {
+    words: Vec<u64>,
+    num_nodes: usize,
+}
+
+impl PebbleConfig {
+    /// The empty configuration over a DAG with `num_nodes` nodes.
+    pub fn empty(num_nodes: usize) -> Self {
+        PebbleConfig {
+            words: vec![0; num_nodes.div_ceil(64)],
+            num_nodes,
+        }
+    }
+
+    /// Builds a configuration from the given pebbled nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a node index is out of range.
+    pub fn from_nodes(num_nodes: usize, nodes: impl IntoIterator<Item = NodeId>) -> Self {
+        let mut config = Self::empty(num_nodes);
+        for node in nodes {
+            config.pebble(node);
+        }
+        config
+    }
+
+    /// Number of nodes in the underlying DAG.
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// `true` if `node` is pebbled.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node index is out of range.
+    #[inline]
+    pub fn is_pebbled(&self, node: NodeId) -> bool {
+        let i = node.index();
+        assert!(i < self.num_nodes, "node {i} out of range");
+        self.words[i / 64] & (1 << (i % 64)) != 0
+    }
+
+    /// Places a pebble on `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node index is out of range.
+    #[inline]
+    pub fn pebble(&mut self, node: NodeId) {
+        let i = node.index();
+        assert!(i < self.num_nodes, "node {i} out of range");
+        self.words[i / 64] |= 1 << (i % 64);
+    }
+
+    /// Removes the pebble from `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node index is out of range.
+    #[inline]
+    pub fn unpebble(&mut self, node: NodeId) {
+        let i = node.index();
+        assert!(i < self.num_nodes, "node {i} out of range");
+        self.words[i / 64] &= !(1 << (i % 64));
+    }
+
+    /// Number of pebbles in use.
+    pub fn count(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Total weight of pebbled nodes, given per-node weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights` is shorter than the node count.
+    pub fn weighted_count(&self, weights: &[u32]) -> u64 {
+        assert!(weights.len() >= self.num_nodes);
+        self.iter().map(|n| u64::from(weights[n.index()])).sum()
+    }
+
+    /// `true` if no node is pebbled.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Iterates over the pebbled nodes in index order.
+    pub fn iter(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &word)| {
+            let mut w = word;
+            std::iter::from_fn(move || {
+                if w == 0 {
+                    None
+                } else {
+                    let bit = w.trailing_zeros() as usize;
+                    w &= w - 1;
+                    Some(NodeId::from_index(wi * 64 + bit))
+                }
+            })
+        })
+    }
+
+    /// Exact equality with a set given as a slice (order-insensitive).
+    pub fn equals_nodes(&self, nodes: &[NodeId]) -> bool {
+        nodes.len() == self.count() && nodes.iter().all(|&n| self.is_pebbled(n))
+    }
+}
+
+impl fmt::Display for PebbleConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, node) in self.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{node}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: usize) -> NodeId {
+        NodeId::from_index(i)
+    }
+
+    #[test]
+    fn empty_config() {
+        let c = PebbleConfig::empty(100);
+        assert!(c.is_empty());
+        assert_eq!(c.count(), 0);
+        assert!(!c.is_pebbled(n(99)));
+    }
+
+    #[test]
+    fn pebble_and_unpebble() {
+        let mut c = PebbleConfig::empty(70);
+        c.pebble(n(0));
+        c.pebble(n(65));
+        assert_eq!(c.count(), 2);
+        assert!(c.is_pebbled(n(0)));
+        assert!(c.is_pebbled(n(65)));
+        c.unpebble(n(0));
+        assert!(!c.is_pebbled(n(0)));
+        assert_eq!(c.count(), 1);
+    }
+
+    #[test]
+    fn iteration_is_ordered() {
+        let c = PebbleConfig::from_nodes(130, [n(128), n(5), n(64)]);
+        let got: Vec<usize> = c.iter().map(|x| x.index()).collect();
+        assert_eq!(got, vec![5, 64, 128]);
+    }
+
+    #[test]
+    fn equals_nodes_checks_both_directions() {
+        let c = PebbleConfig::from_nodes(10, [n(1), n(3)]);
+        assert!(c.equals_nodes(&[n(3), n(1)]));
+        assert!(!c.equals_nodes(&[n(1)]));
+        assert!(!c.equals_nodes(&[n(1), n(2)]));
+    }
+
+    #[test]
+    fn weighted_count() {
+        let c = PebbleConfig::from_nodes(4, [n(0), n(2)]);
+        assert_eq!(c.weighted_count(&[5, 1, 7, 1]), 12);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_panics() {
+        let c = PebbleConfig::empty(3);
+        c.is_pebbled(n(3));
+    }
+
+    #[test]
+    fn display_form() {
+        let c = PebbleConfig::from_nodes(5, [n(0), n(4)]);
+        assert_eq!(c.to_string(), "{n0, n4}");
+    }
+}

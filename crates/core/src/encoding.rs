@@ -1,0 +1,425 @@
+//! The SAT encoding of the reversible pebbling game (Section III of the
+//! paper), built incrementally so the iterative deepening over the number
+//! of steps `K` reuses all learned clauses.
+//!
+//! For every node `v` and time point `i ∈ 0..=K` a variable `p_{v,i}`
+//! states "v is pebbled at time i". The clause groups are exactly the
+//! paper's:
+//!
+//! - **initial**: `¬p_{v,0}` for all `v` — added as unit clauses;
+//! - **final**: `p_{v,K}` for outputs, `¬p_{v,K}` otherwise — passed as
+//!   *assumptions*, so a later extension to `K' > K` can simply re-assert
+//!   them at `K'` without re-encoding;
+//! - **move**: `(p_{v,i} ⊕ p_{v,i+1}) → (p_{w,i} ∧ p_{w,i+1})` for every
+//!   edge `w → v`, i.e. four clauses per edge per transition;
+//! - **cardinality**: `Σ_v p_{v,i} ≤ P` per time point, via the encodings
+//!   of [`revpebble_sat::card`].
+//!
+//! Two move semantics are supported: [`MoveMode::Parallel`] is the paper's
+//! plain encoding (several nodes may flip in one transition);
+//! [`MoveMode::Sequential`] adds change indicators constrained to at most
+//! one per transition, which makes `K` comparable with Definition 3 and
+//! with the Bennett step count.
+
+use revpebble_graph::{Dag, NodeId};
+use revpebble_sat::card::{self, CardEncoding};
+use revpebble_sat::{Lit, SolveResult, Solver, Var};
+
+use crate::strategy::{Move, Strategy};
+
+/// Move semantics of the encoding (see the [module docs](self)).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MoveMode {
+    /// At most one pebble changes per step — the game of the paper's
+    /// Definition 3, whose step counts are comparable with Bennett's
+    /// `2n − |O|`. The default.
+    #[default]
+    Sequential,
+    /// Any number of pebbles may change per step, provided each flipped
+    /// node has its children pebbled on both sides of the step. This is
+    /// what the paper's clause set admits and it shortens `K`
+    /// substantially on wide DAGs.
+    Parallel,
+}
+
+/// Options controlling the encoding.
+#[derive(Debug, Clone, Copy)]
+pub struct EncodingOptions {
+    /// Pebble budget `P`; `None` leaves the pebble count unconstrained.
+    pub max_pebbles: Option<usize>,
+    /// Move semantics.
+    pub move_mode: MoveMode,
+    /// Cardinality encoding for the per-step pebble bound.
+    pub card_encoding: CardEncoding,
+    /// When `true`, the pebble budget bounds the total *weight* of pebbled
+    /// nodes ([`revpebble_graph::Node::weight`]) instead of their count.
+    pub weighted: bool,
+}
+
+impl Default for EncodingOptions {
+    fn default() -> Self {
+        EncodingOptions {
+            max_pebbles: None,
+            move_mode: MoveMode::default(),
+            card_encoding: CardEncoding::default(),
+            weighted: false,
+        }
+    }
+}
+
+/// An incrementally extensible SAT encoding of one pebbling instance.
+#[derive(Debug)]
+pub struct PebbleEncoding<'a> {
+    dag: &'a Dag,
+    options: EncodingOptions,
+    solver: Solver,
+    /// `vars[i][v]` = `p_{v,i}`.
+    vars: Vec<Vec<Var>>,
+    weights: Vec<u32>,
+}
+
+impl<'a> PebbleEncoding<'a> {
+    /// Creates the encoding with the initial time point 0 (all unpebbled).
+    pub fn new(dag: &'a Dag, options: EncodingOptions) -> Self {
+        let mut encoding = PebbleEncoding {
+            dag,
+            options,
+            solver: Solver::new(),
+            vars: Vec::new(),
+            weights: dag.node_ids().map(|n| dag.node(n).weight).collect(),
+        };
+        encoding.push_time_point();
+        // Initial clauses: nothing is pebbled at time 0.
+        for v in dag.node_ids() {
+            let lit = encoding.lit(0, v);
+            encoding.solver.add_clause([!lit]);
+        }
+        encoding
+    }
+
+    /// The literal `p_{v,i}`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if time point `i` has not been created yet.
+    pub fn lit(&self, i: usize, v: NodeId) -> Lit {
+        self.vars[i][v.index()].positive()
+    }
+
+    /// Number of encoded steps (`K`): time points − 1.
+    pub fn num_steps(&self) -> usize {
+        self.vars.len() - 1
+    }
+
+    /// Access to the underlying solver (e.g. for statistics).
+    pub fn solver(&self) -> &Solver {
+        &self.solver
+    }
+
+    fn push_time_point(&mut self) {
+        let i = self.vars.len();
+        let column: Vec<Var> = (0..self.dag.num_nodes())
+            .map(|_| self.solver.new_var())
+            .collect();
+        self.vars.push(column);
+        // Cardinality at this time point (time 0 is all-false anyway).
+        if i > 0 {
+            if let Some(p) = self.options.max_pebbles {
+                let mut lits: Vec<Lit> = Vec::new();
+                for v in self.dag.node_ids() {
+                    let weight = if self.options.weighted {
+                        self.weights[v.index()] as usize
+                    } else {
+                        1
+                    };
+                    // A node of weight w contributes w copies of its
+                    // literal, generalizing the bound to weighted counts.
+                    for _ in 0..weight {
+                        lits.push(self.lit(i, v));
+                    }
+                }
+                card::at_most_k(&mut self.solver, &lits, p, self.options.card_encoding);
+            }
+        }
+    }
+
+    fn push_transition(&mut self) {
+        let i = self.vars.len() - 1; // transition i -> i+1
+        self.push_time_point();
+        for v in self.dag.node_ids() {
+            let pv_now = self.lit(i, v);
+            let pv_next = self.lit(i + 1, v);
+            for w in self.dag.children(v) {
+                let pw_now = self.lit(i, w);
+                let pw_next = self.lit(i + 1, w);
+                // (p_{v,i} ⊕ p_{v,i+1}) → p_{w,i} ∧ p_{w,i+1}
+                self.solver.add_clause([!pv_now, pv_next, pw_now]);
+                self.solver.add_clause([!pv_now, pv_next, pw_next]);
+                self.solver.add_clause([pv_now, !pv_next, pw_now]);
+                self.solver.add_clause([pv_now, !pv_next, pw_next]);
+            }
+        }
+        if self.options.move_mode == MoveMode::Sequential {
+            // Change indicators: c_v ⟺ p_{v,i} ⊕ p_{v,i+1}; at most one.
+            let mut changes = Vec::with_capacity(self.dag.num_nodes());
+            for v in self.dag.node_ids() {
+                let c = self.solver.new_var().positive();
+                let now = self.lit(i, v);
+                let next = self.lit(i + 1, v);
+                self.solver.add_clause([!now, next, c]);
+                self.solver.add_clause([now, !next, c]);
+                self.solver.add_clause([!c, now, next]);
+                self.solver.add_clause([!c, !now, !next]);
+                changes.push(c);
+            }
+            card::at_most_k(
+                &mut self.solver,
+                &changes,
+                1,
+                self.options.card_encoding,
+            );
+        }
+    }
+
+    /// Extends the encoding to `k` steps (no-op if already that long).
+    pub fn extend_to(&mut self, k: usize) {
+        while self.num_steps() < k {
+            self.push_transition();
+        }
+    }
+
+    /// The final-state assumptions at time `k`: outputs pebbled, all other
+    /// nodes unpebbled.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the encoding has fewer than `k` steps.
+    pub fn final_assumptions(&self, k: usize) -> Vec<Lit> {
+        self.dag
+            .node_ids()
+            .map(|v| {
+                let lit = self.lit(k, v);
+                if self.dag.is_output(v) {
+                    lit
+                } else {
+                    !lit
+                }
+            })
+            .collect()
+    }
+
+    /// Asks: does a strategy with (at most) `k` steps exist? Extends the
+    /// encoding as needed. `conflict_budget`/`time_budget` bound this
+    /// single query.
+    pub fn solve_at(
+        &mut self,
+        k: usize,
+        conflict_budget: Option<u64>,
+        time_budget: Option<std::time::Duration>,
+    ) -> SolveResult {
+        self.extend_to(k);
+        let assumptions = self.final_assumptions(k);
+        self.solver.set_conflict_budget(conflict_budget);
+        self.solver.set_time_budget(time_budget);
+        self.solver.solve_with(&assumptions)
+    }
+
+    /// Extracts the strategy from the current model (after a successful
+    /// [`solve_at`](Self::solve_at) with the same `k`). Idle transitions
+    /// are dropped; each remaining transition becomes one step with its
+    /// unpebble moves first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no model is available.
+    pub fn extract(&self, k: usize) -> Strategy {
+        let mut strategy = Strategy::default();
+        for i in 0..k {
+            let mut unpebbles = Vec::new();
+            let mut pebbles = Vec::new();
+            for v in self.dag.node_ids() {
+                let now = self
+                    .solver
+                    .model_value(self.lit(i, v))
+                    .expect("model available");
+                let next = self
+                    .solver
+                    .model_value(self.lit(i + 1, v))
+                    .expect("model available");
+                match (now, next) {
+                    (false, true) => pebbles.push(Move::Pebble(v)),
+                    (true, false) => unpebbles.push(Move::Unpebble(v)),
+                    _ => {}
+                }
+            }
+            if unpebbles.is_empty() && pebbles.is_empty() {
+                continue; // idle transition
+            }
+            let mut step = unpebbles;
+            step.extend(pebbles);
+            strategy.push_step(step);
+        }
+        strategy
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use revpebble_graph::generators::paper_example;
+
+    #[test]
+    fn paper_example_sequential_10_steps_6_pebbles() {
+        let dag = paper_example();
+        let mut enc = PebbleEncoding::new(
+            &dag,
+            EncodingOptions {
+                max_pebbles: Some(6),
+                move_mode: MoveMode::Sequential,
+                ..EncodingOptions::default()
+            },
+        );
+        assert_eq!(enc.solve_at(10, None, None), SolveResult::Sat);
+        let strategy = enc.extract(10);
+        strategy.validate(&dag, Some(6)).expect("valid");
+        assert!(strategy.num_steps() <= 10);
+    }
+
+    #[test]
+    fn paper_example_sequential_9_steps_unsat() {
+        // 2n − |O| = 10 moves are necessary; 9 steps cannot suffice.
+        let dag = paper_example();
+        let mut enc = PebbleEncoding::new(
+            &dag,
+            EncodingOptions {
+                max_pebbles: None,
+                move_mode: MoveMode::Sequential,
+                ..EncodingOptions::default()
+            },
+        );
+        assert_eq!(enc.solve_at(9, None, None), SolveResult::Unsat);
+        // Incremental extension to 10 then succeeds on the same encoding.
+        assert_eq!(enc.solve_at(10, None, None), SolveResult::Sat);
+    }
+
+    #[test]
+    fn paper_example_4_pebbles_needs_12_steps() {
+        // With 4 pebbles the true step optimum is 12 — two fewer than the
+        // paper's illustrative Fig. 4 strategy, e.g.
+        // +A +C -A +B +D +E -D -B +A -C +F -A. 10 and 11 steps are
+        // impossible: 10 admits no recomputation and 11 has wrong parity.
+        let dag = paper_example();
+        let mut enc = PebbleEncoding::new(
+            &dag,
+            EncodingOptions {
+                max_pebbles: Some(4),
+                move_mode: MoveMode::Sequential,
+                ..EncodingOptions::default()
+            },
+        );
+        for k in 10..12 {
+            assert_eq!(enc.solve_at(k, None, None), SolveResult::Unsat, "k={k}");
+        }
+        assert_eq!(enc.solve_at(12, None, None), SolveResult::Sat);
+        let strategy = enc.extract(12);
+        strategy.validate(&dag, Some(4)).expect("valid");
+        assert_eq!(strategy.num_steps(), 12);
+        assert_eq!(strategy.max_pebbles(&dag), 4);
+    }
+
+    #[test]
+    fn paper_example_3_pebbles_insufficient_even_with_many_steps() {
+        // E needs C and D pebbled simultaneously, plus E itself = 3, but F
+        // must also end pebbled ⇒ with 3 pebbles the final config {E,F}
+        // leaves one pebble for C and D — impossible.
+        let dag = paper_example();
+        let mut enc = PebbleEncoding::new(
+            &dag,
+            EncodingOptions {
+                max_pebbles: Some(3),
+                move_mode: MoveMode::Sequential,
+                ..EncodingOptions::default()
+            },
+        );
+        for k in [10, 20, 30] {
+            assert_eq!(enc.solve_at(k, None, None), SolveResult::Unsat, "k={k}");
+        }
+    }
+
+    #[test]
+    fn parallel_mode_needs_fewer_steps() {
+        let dag = paper_example();
+        let mut enc = PebbleEncoding::new(
+            &dag,
+            EncodingOptions {
+                max_pebbles: Some(6),
+                move_mode: MoveMode::Parallel,
+                ..EncodingOptions::default()
+            },
+        );
+        // Levels are 1,1,2,2,3,2: compute in 3 parallel steps, then clean
+        // up C, D (step 4) and A, B (step 5).
+        let result = enc.solve_at(5, None, None);
+        assert_eq!(result, SolveResult::Sat);
+        let strategy = enc.extract(5);
+        strategy.validate(&dag, Some(6)).expect("valid parallel strategy");
+        assert!(strategy.num_steps() <= 5);
+        assert!(strategy.num_moves() >= 10);
+    }
+
+    #[test]
+    fn weighted_bound_uses_node_weights() {
+        use revpebble_graph::{Dag, Op};
+        let mut dag = Dag::new();
+        let x = dag.add_input("x");
+        let a = dag.add_node_weighted("a", Op::Buf, [x], 3).expect("valid");
+        let b = dag
+            .add_node_weighted("b", Op::Buf, [a.into()], 2)
+            .expect("valid");
+        dag.mark_output(b);
+        // Weight budget 4 < 3 + 2: impossible (b needs a pebbled while
+        // being pebbled).
+        let mut enc = PebbleEncoding::new(
+            &dag,
+            EncodingOptions {
+                max_pebbles: Some(4),
+                weighted: true,
+                move_mode: MoveMode::Sequential,
+                ..EncodingOptions::default()
+            },
+        );
+        assert_eq!(enc.solve_at(8, None, None), SolveResult::Unsat);
+        // Weight budget 5 works: pebble a, pebble b, unpebble a.
+        let mut enc = PebbleEncoding::new(
+            &dag,
+            EncodingOptions {
+                max_pebbles: Some(5),
+                weighted: true,
+                move_mode: MoveMode::Sequential,
+                ..EncodingOptions::default()
+            },
+        );
+        assert_eq!(enc.solve_at(3, None, None), SolveResult::Sat);
+        let strategy = enc.extract(3);
+        strategy.validate_weighted(&dag, Some(5)).expect("valid");
+    }
+
+    #[test]
+    fn extraction_compresses_idle_steps() {
+        let dag = paper_example();
+        let mut enc = PebbleEncoding::new(
+            &dag,
+            EncodingOptions {
+                max_pebbles: Some(6),
+                move_mode: MoveMode::Sequential,
+                ..EncodingOptions::default()
+            },
+        );
+        // 12 steps allowed, only 10 needed: extraction must not contain
+        // empty steps.
+        assert_eq!(enc.solve_at(12, None, None), SolveResult::Sat);
+        let strategy = enc.extract(12);
+        assert!(strategy.steps().iter().all(|s| !s.is_empty()));
+        strategy.validate(&dag, Some(6)).expect("valid");
+    }
+}

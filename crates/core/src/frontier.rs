@@ -1,0 +1,194 @@
+//! The space/time trade-off frontier.
+//!
+//! The paper's central pitch is "empower the designer to exchange memory
+//! for time and vice versa" (Section II-A, Fig. 3). This module sweeps the
+//! pebble budget and reports, for every feasible budget, the best step
+//! count found — the full frontier behind figures like Fig. 5.
+
+use std::time::Duration;
+
+use revpebble_graph::Dag;
+
+use crate::bounds::pebble_lower_bound;
+use crate::solver::{PebbleOutcome, PebbleSolver, SolverOptions};
+use crate::strategy::Strategy;
+
+/// One point of the trade-off frontier.
+#[derive(Debug, Clone)]
+pub struct FrontierPoint {
+    /// The pebble budget probed.
+    pub pebbles: usize,
+    /// The strategy found (step-minimal for this budget if the probe did
+    /// not time out), or `None` when the probe failed.
+    pub strategy: Option<Strategy>,
+    /// Whether the probe hit its time/step budget rather than proving
+    /// anything.
+    pub timed_out: bool,
+}
+
+/// Options for [`frontier`].
+#[derive(Debug, Clone, Copy)]
+pub struct FrontierOptions {
+    /// Base solver options (the pebble budget field is overridden).
+    pub base: SolverOptions,
+    /// Per-budget time budget.
+    pub per_budget: Duration,
+    /// Probe budgets from `min_pebbles` (default: the structural lower
+    /// bound) …
+    pub min_pebbles: Option<usize>,
+    /// … to `max_pebbles` (default: the node count).
+    pub max_pebbles: Option<usize>,
+    /// Stop after the first infeasible/timed-out budget below the smallest
+    /// feasible one (the frontier is monotone, so further probes only
+    /// confirm failures).
+    pub stop_at_first_failure: bool,
+}
+
+impl Default for FrontierOptions {
+    fn default() -> Self {
+        FrontierOptions {
+            base: SolverOptions::default(),
+            per_budget: Duration::from_secs(10),
+            min_pebbles: None,
+            max_pebbles: None,
+            stop_at_first_failure: true,
+        }
+    }
+}
+
+/// Sweeps pebble budgets downward from `max` to `min`, collecting the best
+/// strategy per budget. Probing downward lets each successful strategy
+/// seed expectations for the next, and the sweep stops early at the first
+/// failure when requested.
+pub fn frontier(dag: &Dag, options: FrontierOptions) -> Vec<FrontierPoint> {
+    let min = options
+        .min_pebbles
+        .unwrap_or_else(|| pebble_lower_bound(dag));
+    let max = options.max_pebbles.unwrap_or_else(|| dag.num_nodes());
+    let mut points = Vec::new();
+    for pebbles in (min..=max).rev() {
+        let mut probe = options.base;
+        probe.encoding.max_pebbles = Some(pebbles);
+        probe.timeout = Some(options.per_budget);
+        let outcome = PebbleSolver::new(dag, probe).solve();
+        let (strategy, timed_out) = match outcome {
+            PebbleOutcome::Solved(s) => (Some(s), false),
+            PebbleOutcome::Timeout { .. } => (None, true),
+            PebbleOutcome::StepLimit { .. } | PebbleOutcome::Infeasible { .. } => (None, false),
+        };
+        let failed = strategy.is_none();
+        points.push(FrontierPoint {
+            pebbles,
+            strategy,
+            timed_out,
+        });
+        if failed && options.stop_at_first_failure {
+            break;
+        }
+    }
+    points.reverse();
+    points
+}
+
+/// Renders a frontier as a compact table (pebbles, steps, gate total).
+pub fn render_frontier(points: &[FrontierPoint], dag: &Dag) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "{:>7} {:>6} {:>6}", "pebbles", "steps", "moves");
+    for point in points {
+        match &point.strategy {
+            Some(s) => {
+                let _ = writeln!(
+                    out,
+                    "{:>7} {:>6} {:>6}",
+                    point.pebbles,
+                    s.num_steps(),
+                    s.num_moves()
+                );
+            }
+            None => {
+                let reason = if point.timed_out { "timeout" } else { "—" };
+                let _ = writeln!(out, "{:>7} {reason:>6}", point.pebbles);
+            }
+        }
+    }
+    let _ = writeln!(out, "(DAG: {dag})");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encoding::{EncodingOptions, MoveMode};
+    use revpebble_graph::generators::paper_example;
+
+    fn base() -> SolverOptions {
+        SolverOptions {
+            encoding: EncodingOptions {
+                move_mode: MoveMode::Sequential,
+                ..EncodingOptions::default()
+            },
+            max_steps: 60,
+            ..SolverOptions::default()
+        }
+    }
+
+    #[test]
+    fn paper_example_frontier_is_monotone() {
+        let dag = paper_example();
+        let points = frontier(
+            &dag,
+            FrontierOptions {
+                base: base(),
+                per_budget: Duration::from_secs(30),
+                ..FrontierOptions::default()
+            },
+        );
+        // Budgets 4..=6 are feasible, 3 fails.
+        let feasible: Vec<(usize, usize)> = points
+            .iter()
+            .filter_map(|p| p.strategy.as_ref().map(|s| (p.pebbles, s.num_steps())))
+            .collect();
+        assert_eq!(feasible, vec![(4, 12), (5, 10), (6, 10)]);
+        assert!(points.first().expect("nonempty").strategy.is_none()); // P = 3
+        // Fewer pebbles never means fewer steps.
+        for pair in feasible.windows(2) {
+            assert!(pair[0].1 >= pair[1].1);
+        }
+    }
+
+    #[test]
+    fn frontier_respects_explicit_range() {
+        let dag = paper_example();
+        let points = frontier(
+            &dag,
+            FrontierOptions {
+                base: base(),
+                per_budget: Duration::from_secs(30),
+                min_pebbles: Some(5),
+                max_pebbles: Some(6),
+                ..FrontierOptions::default()
+            },
+        );
+        assert_eq!(points.len(), 2);
+        assert!(points.iter().all(|p| p.strategy.is_some()));
+    }
+
+    #[test]
+    fn render_contains_all_rows() {
+        let dag = paper_example();
+        let points = frontier(
+            &dag,
+            FrontierOptions {
+                base: base(),
+                per_budget: Duration::from_secs(30),
+                min_pebbles: Some(4),
+                max_pebbles: Some(6),
+                ..FrontierOptions::default()
+            },
+        );
+        let table = render_frontier(&points, &dag);
+        assert!(table.contains("pebbles"));
+        assert_eq!(table.lines().count(), 2 + points.len());
+    }
+}

@@ -1,0 +1,60 @@
+//! # revpebble-core
+//!
+//! SAT-based reversible pebbling for quantum memory management — the core
+//! of the `revpebble` reproduction of Meuli, Soeken, Roetteler, Bjørner
+//! and De Micheli, *"Reversible Pebbling Game for Quantum Memory
+//! Management"*, DATE 2019 (arXiv:1904.02121).
+//!
+//! Quantum circuits must *uncompute* every intermediate value before they
+//! finish; choosing when to compute and uncompute under a qubit budget is
+//! exactly the reversible pebbling game on the dependency DAG. This crate
+//! provides:
+//!
+//! - the game itself: [`PebbleConfig`], [`Move`], [`Strategy`] with an
+//!   independent validity checker;
+//! - baselines: [`baselines::bennett`] and [`baselines::cone_wise`];
+//! - the paper's SAT encoding ([`encoding::PebbleEncoding`]) with
+//!   sequential and parallel move semantics, several cardinality
+//!   encodings, and a weighted-node extension;
+//! - the search loops ([`PebbleSolver`], [`minimize_pebbles`]) including
+//!   the timeout methodology of the paper's Table I.
+//!
+//! ## Example: the paper's running example (Fig. 2 / Fig. 4)
+//!
+//! ```
+//! use revpebble_core::{solve_with_pebbles, baselines};
+//! use revpebble_graph::generators::paper_example;
+//!
+//! let dag = paper_example();
+//! // Bennett: 6 pebbles, 10 steps.
+//! let bennett = baselines::bennett(&dag);
+//! assert_eq!(bennett.max_pebbles(&dag), 6);
+//! assert_eq!(bennett.num_steps(), 10);
+//! // The SAT solver fits the same computation into 4 pebbles.
+//! let strategy = solve_with_pebbles(&dag, 4).into_strategy().expect("solvable");
+//! strategy.validate(&dag, Some(4)).expect("the checker agrees");
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod baselines;
+pub mod bounds;
+pub mod config;
+pub mod encoding;
+pub mod exact;
+pub mod frontier;
+pub mod optimize;
+pub mod solver;
+pub mod strategy;
+
+pub use config::PebbleConfig;
+pub use exact::{exact_min_pebbles, solve_exact, ExactOutcome};
+pub use frontier::{frontier, FrontierOptions, FrontierPoint};
+pub use encoding::{EncodingOptions, MoveMode, PebbleEncoding};
+pub use solver::{
+    minimize_pebbles, minimize_pebbles_descending, solve_with_pebbles, MinimizeResult,
+    PebbleOutcome, PebbleSolver, SearchStats, SolverOptions, StepSchedule,
+};
+pub use strategy::{InvalidStrategy, Move, Step, Strategy};
+
+pub use revpebble_sat::card::CardEncoding;

@@ -1,0 +1,132 @@
+//! Post-processing of pebbling strategies.
+//!
+//! Strategies extracted from SAT models (especially with large deepening
+//! strides or parallel semantics) can contain slack: a node pebbled and
+//! unpebbled again without anyone reading it in between, or moves that
+//! could merge. [`remove_useless_pairs`] cancels such pairs; it never
+//! increases steps, moves or peak pebbles.
+
+use revpebble_graph::Dag;
+
+use crate::strategy::{Move, Strategy};
+
+/// Removes *useless pebble/unpebble pairs*: a `Pebble(v)` followed later
+/// by `Unpebble(v)` such that, in between, no touched node has `v` as a
+/// child. Both moves are dropped; the scan repeats until a fixed point.
+///
+/// The returned strategy is validated by construction (removal of a
+/// useless pair never invalidates other moves because `v`'s pebble was not
+/// consumed as a child and pebble counts only drop).
+pub fn remove_useless_pairs(dag: &Dag, strategy: &Strategy) -> Strategy {
+    let mut moves: Vec<Move> = strategy
+        .sequentialize()
+        .steps()
+        .iter()
+        .map(|s| s[0])
+        .collect();
+    loop {
+        let mut removed = false;
+        'outer: for i in 0..moves.len() {
+            let Move::Pebble(v) = moves[i] else { continue };
+            // Find the matching unpebble of v (next touch of v).
+            for j in (i + 1)..moves.len() {
+                match moves[j] {
+                    Move::Unpebble(w) if w == v => {
+                        // Useless if no move in (i, j) depends on v.
+                        let consumed = moves[i + 1..j]
+                            .iter()
+                            .any(|m| dag.children(m.node()).any(|c| c == v));
+                        if !consumed {
+                            moves.remove(j);
+                            moves.remove(i);
+                            removed = true;
+                            break 'outer;
+                        }
+                        break;
+                    }
+                    Move::Pebble(w) if w == v => break, // malformed; leave it
+                    _ => {}
+                }
+            }
+        }
+        if !removed {
+            return Strategy::from_moves(moves);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use revpebble_graph::generators::{paper_example, random_dag};
+    use revpebble_graph::NodeId;
+
+    fn n(i: usize) -> NodeId {
+        NodeId::from_index(i)
+    }
+
+    #[test]
+    fn cancels_unused_pair() {
+        let dag = paper_example();
+        // Bennett with a pointless +B −B spliced in the middle.
+        let padded = Strategy::from_moves([
+            Move::Pebble(n(0)),
+            Move::Pebble(n(1)),
+            Move::Unpebble(n(1)), // useless pair with the next +B
+            Move::Pebble(n(1)),
+            Move::Pebble(n(2)),
+            Move::Pebble(n(3)),
+            Move::Pebble(n(4)),
+            Move::Pebble(n(5)),
+            Move::Unpebble(n(3)),
+            Move::Unpebble(n(2)),
+            Move::Unpebble(n(1)),
+            Move::Unpebble(n(0)),
+        ]);
+        padded.validate(&dag, None).expect("valid before");
+        let slim = remove_useless_pairs(&dag, &padded);
+        slim.validate(&dag, None).expect("valid after");
+        assert_eq!(slim.num_moves(), 10);
+    }
+
+    #[test]
+    fn keeps_consumed_pairs() {
+        let dag = paper_example();
+        // The 12-step optimal strategy has recomputation of A and B that
+        // IS consumed; nothing may be removed.
+        let optimal = Strategy::from_moves([
+            Move::Pebble(n(0)),
+            Move::Pebble(n(2)),
+            Move::Unpebble(n(0)),
+            Move::Pebble(n(1)),
+            Move::Pebble(n(3)),
+            Move::Pebble(n(4)),
+            Move::Unpebble(n(3)),
+            Move::Unpebble(n(1)),
+            Move::Pebble(n(0)),
+            Move::Unpebble(n(2)),
+            Move::Pebble(n(5)),
+            Move::Unpebble(n(0)),
+        ]);
+        optimal.validate(&dag, Some(4)).expect("valid");
+        let slim = remove_useless_pairs(&dag, &optimal);
+        assert_eq!(slim.num_moves(), 12, "nothing is useless here");
+    }
+
+    #[test]
+    fn never_invalidates_or_grows(/* fuzz over random DAGs */) {
+        use crate::baselines::cone_wise;
+        for seed in 0..15 {
+            let dag = random_dag(4, 16, seed);
+            let strategy = cone_wise(&dag);
+            let slim = remove_useless_pairs(&dag, &strategy);
+            slim.validate(&dag, None)
+                .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+            assert!(slim.num_moves() <= strategy.num_moves(), "seed {seed}");
+            assert!(
+                slim.max_pebbles(&dag) <= strategy.max_pebbles(&dag),
+                "seed {seed}"
+            );
+        }
+    }
+}

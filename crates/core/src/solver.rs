@@ -1,0 +1,637 @@
+//! The outer search loops of the paper.
+//!
+//! *Problem 1* (Section III): given a DAG and a pebble budget `P`, find a
+//! valid strategy with the minimum number of steps — solved by iterative
+//! deepening over `K` ([`PebbleSolver::solve`], the paper's loop "increase
+//! the number of steps to K+1 until a satisfying solution is found").
+//!
+//! *Table I methodology*: find the smallest `P` for which a solution is
+//! found within a time budget — [`minimize_pebbles`].
+
+use std::time::{Duration, Instant};
+
+use revpebble_graph::Dag;
+use revpebble_sat::SolveResult;
+
+use crate::bounds::{parallel_step_lower_bound, pebble_lower_bound, step_lower_bound};
+use crate::encoding::{EncodingOptions, MoveMode, PebbleEncoding};
+use crate::strategy::Strategy;
+
+/// How the deepening over `K` is scheduled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum StepSchedule {
+    /// Increase `K` by `step_stride` after every refutation — the paper's
+    /// loop. The first satisfiable `K` is minimal (for stride 1), but
+    /// every intermediate UNSAT proof near the boundary must be paid for.
+    #[default]
+    Linear,
+    /// Double `K` after every failed probe (each probe individually
+    /// budgeted), then binary-refine between the last failure and the
+    /// first success. Much faster on hard instances because satisfiable
+    /// queries with slack are cheap; the result is step-minimal only up
+    /// to probe budgets.
+    ExponentialRefine,
+}
+
+/// Options for [`PebbleSolver`].
+#[derive(Debug, Clone, Copy)]
+pub struct SolverOptions {
+    /// The encoding options (pebble budget, move semantics, …).
+    pub encoding: EncodingOptions,
+    /// Abort once `K` exceeds this many steps.
+    pub max_steps: usize,
+    /// Additive step increment between deepening rounds (the paper uses
+    /// `K + 1`; larger strides trade `K`-optimality for speed).
+    pub step_stride: usize,
+    /// Deepening schedule (see [`StepSchedule`]).
+    pub schedule: StepSchedule,
+    /// Wall-clock budget for the whole search (`None` = unlimited).
+    pub timeout: Option<Duration>,
+    /// Wall-clock budget per SAT query (`None`: the schedule picks —
+    /// unlimited for [`StepSchedule::Linear`], a tenth of `timeout` for
+    /// [`StepSchedule::ExponentialRefine`]).
+    pub query_timeout: Option<Duration>,
+    /// Conflict budget per SAT query (`None` = unlimited).
+    pub query_conflicts: Option<u64>,
+    /// Initial `K`; defaults to the appropriate lower bound when `None`.
+    pub initial_steps: Option<usize>,
+}
+
+impl Default for SolverOptions {
+    fn default() -> Self {
+        SolverOptions {
+            encoding: EncodingOptions::default(),
+            max_steps: 10_000,
+            step_stride: 1,
+            schedule: StepSchedule::Linear,
+            timeout: None,
+            query_timeout: None,
+            query_conflicts: None,
+            initial_steps: None,
+        }
+    }
+}
+
+/// The outcome of a pebbling search.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PebbleOutcome {
+    /// A valid strategy was found (for the first satisfiable `K` reached).
+    Solved(Strategy),
+    /// The instance is infeasible for structural reasons (pebble budget
+    /// below the lower bound) — no number of steps can help.
+    Infeasible {
+        /// The structural pebble lower bound that was violated.
+        lower_bound: usize,
+    },
+    /// Every `K ≤ max_steps` was refuted; larger `K` might still work.
+    StepLimit {
+        /// Largest `K` refuted.
+        steps_checked: usize,
+    },
+    /// The time or conflict budget ran out.
+    Timeout {
+        /// The `K` being attempted when the budget expired.
+        steps_reached: usize,
+    },
+}
+
+impl PebbleOutcome {
+    /// The strategy, if one was found.
+    pub fn strategy(&self) -> Option<&Strategy> {
+        match self {
+            PebbleOutcome::Solved(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Consumes the outcome and returns the strategy, if any.
+    pub fn into_strategy(self) -> Option<Strategy> {
+        match self {
+            PebbleOutcome::Solved(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+/// Statistics about one pebbling search.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SearchStats {
+    /// Number of SAT queries issued.
+    pub queries: usize,
+    /// Largest `K` encoded.
+    pub max_k: usize,
+    /// Total SAT conflicts across all queries.
+    pub conflicts: u64,
+}
+
+/// Iterative-deepening solver for one pebbling instance.
+#[derive(Debug)]
+pub struct PebbleSolver<'a> {
+    dag: &'a Dag,
+    options: SolverOptions,
+    stats: SearchStats,
+}
+
+impl<'a> PebbleSolver<'a> {
+    /// Creates a solver for `dag`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the DAG fails [`Dag::validate_for_pebbling`] (a non-output
+    /// sink makes the game unwinnable) or has no nodes.
+    pub fn new(dag: &'a Dag, options: SolverOptions) -> Self {
+        assert!(dag.num_nodes() > 0, "cannot pebble an empty DAG");
+        dag.validate_for_pebbling()
+            .expect("every sink must be an output");
+        PebbleSolver {
+            dag,
+            options,
+            stats: SearchStats::default(),
+        }
+    }
+
+    /// Search statistics accumulated so far.
+    pub fn stats(&self) -> SearchStats {
+        self.stats
+    }
+
+    /// Runs the search (see the [module docs](self) and [`StepSchedule`]).
+    pub fn solve(&mut self) -> PebbleOutcome {
+        let lower_bound = pebble_lower_bound(self.dag);
+        if let Some(p) = self.options.encoding.max_pebbles {
+            if !self.options.encoding.weighted && p < lower_bound {
+                return PebbleOutcome::Infeasible { lower_bound };
+            }
+        }
+        let start = Instant::now();
+        let step_floor = match self.options.encoding.move_mode {
+            MoveMode::Sequential => step_lower_bound(self.dag),
+            MoveMode::Parallel => parallel_step_lower_bound(self.dag),
+        };
+        let k0 = self.options.initial_steps.unwrap_or(step_floor).max(1);
+        let mut encoding = PebbleEncoding::new(self.dag, self.options.encoding);
+        match self.options.schedule {
+            StepSchedule::Linear => self.solve_linear(&mut encoding, k0, start),
+            StepSchedule::ExponentialRefine => self.solve_exponential(&mut encoding, k0, start),
+        }
+    }
+
+    /// Remaining wall-clock for one query; `None` = unlimited, `Err` when
+    /// the total budget is exhausted.
+    fn query_budget(
+        &self,
+        start: Instant,
+        per_query: Option<Duration>,
+    ) -> Result<Option<Duration>, ()> {
+        let remaining = match self.options.timeout {
+            Some(total) => {
+                let elapsed = start.elapsed();
+                if elapsed >= total {
+                    return Err(());
+                }
+                Some(total - elapsed)
+            }
+            None => None,
+        };
+        Ok(match (remaining, per_query) {
+            (Some(r), Some(q)) => Some(r.min(q)),
+            (Some(r), None) => Some(r),
+            (None, q) => q,
+        })
+    }
+
+    fn query(
+        &mut self,
+        encoding: &mut PebbleEncoding<'_>,
+        k: usize,
+        budget: Option<Duration>,
+    ) -> SolveResult {
+        self.stats.queries += 1;
+        let result = encoding.solve_at(k, self.options.query_conflicts, budget);
+        self.stats.max_k = self.stats.max_k.max(k);
+        self.stats.conflicts = encoding.solver().stats().conflicts;
+        result
+    }
+
+    fn solve_linear(
+        &mut self,
+        encoding: &mut PebbleEncoding<'_>,
+        k0: usize,
+        start: Instant,
+    ) -> PebbleOutcome {
+        let mut k = k0;
+        loop {
+            if k > self.options.max_steps {
+                return PebbleOutcome::StepLimit {
+                    steps_checked: self.options.max_steps,
+                };
+            }
+            let Ok(budget) = self.query_budget(start, self.options.query_timeout) else {
+                return PebbleOutcome::Timeout { steps_reached: k };
+            };
+            match self.query(encoding, k, budget) {
+                SolveResult::Sat => return PebbleOutcome::Solved(encoding.extract(k)),
+                SolveResult::Unsat => k += self.options.step_stride.max(1),
+                SolveResult::Unknown => return PebbleOutcome::Timeout { steps_reached: k },
+            }
+        }
+    }
+
+    fn solve_exponential(
+        &mut self,
+        encoding: &mut PebbleEncoding<'_>,
+        k0: usize,
+        start: Instant,
+    ) -> PebbleOutcome {
+        let mut per_query = self.options.query_timeout.or_else(|| {
+            self.options
+                .timeout
+                .map(|t| Duration::from_nanos((t.as_nanos() / 16).max(1) as u64))
+        });
+        // Growth phase: double K after a refutation; after an inconclusive
+        // probe (budget ran out) retry the same K with a doubled budget —
+        // overshooting K makes the formula bigger, not easier.
+        let mut k = k0;
+        let mut last_failed = k0.saturating_sub(1);
+        let (mut sat_k, mut best) = loop {
+            if k > self.options.max_steps {
+                k = self.options.max_steps;
+            }
+            let Ok(budget) = self.query_budget(start, per_query) else {
+                return PebbleOutcome::Timeout { steps_reached: k };
+            };
+            match self.query(encoding, k, budget) {
+                SolveResult::Sat => break (k, encoding.extract(k)),
+                SolveResult::Unsat => {
+                    last_failed = last_failed.max(k);
+                    if k == self.options.max_steps {
+                        return PebbleOutcome::StepLimit {
+                            steps_checked: self.options.max_steps,
+                        };
+                    }
+                    k = (k * 2).min(self.options.max_steps);
+                }
+                SolveResult::Unknown => {
+                    // Inconclusive probes cluster near the SAT/UNSAT
+                    // boundary; jump past it (satisfiable queries with
+                    // slack are cheap) and allow more time.
+                    per_query = per_query.map(|q| q * 2);
+                    k = (k * 2).min(self.options.max_steps);
+                }
+            }
+        };
+        // Refinement phase: binary search between the last failure and the
+        // success, keeping the best strategy found.
+        let mut lo = last_failed;
+        while lo + 1 < sat_k {
+            let mid = lo + (sat_k - lo) / 2;
+            let Ok(budget) = self.query_budget(start, per_query) else {
+                return PebbleOutcome::Solved(best);
+            };
+            match self.query(encoding, mid, budget) {
+                SolveResult::Sat => {
+                    sat_k = mid;
+                    best = encoding.extract(mid);
+                }
+                _ => lo = mid,
+            }
+        }
+        PebbleOutcome::Solved(best)
+    }
+}
+
+/// Convenience: solve one instance with the given pebble budget and
+/// otherwise default options.
+pub fn solve_with_pebbles(dag: &Dag, max_pebbles: usize) -> PebbleOutcome {
+    let options = SolverOptions {
+        encoding: EncodingOptions {
+            max_pebbles: Some(max_pebbles),
+            ..EncodingOptions::default()
+        },
+        ..SolverOptions::default()
+    };
+    PebbleSolver::new(dag, options).solve()
+}
+
+/// The result of a [`minimize_pebbles`] search.
+#[derive(Debug, Clone)]
+pub struct MinimizeResult {
+    /// The smallest pebble budget for which a strategy was found, with the
+    /// strategy itself.
+    pub best: Option<(usize, Strategy)>,
+    /// Every budget probed, with whether it was solved, in probe order.
+    pub probes: Vec<(usize, bool)>,
+}
+
+/// Finds the smallest pebble budget `P` for which a strategy can be found
+/// within `per_query` wall-clock time (the paper's Table I methodology,
+/// where `per_query` was 2 minutes of Z3 time). Binary search over
+/// `[lower bound, n]`: a probe that times out is treated as unsolvable at
+/// that budget, exactly as in the paper.
+///
+/// `base` supplies all other options (move mode, stride, `max_steps` …);
+/// its `max_pebbles` and `timeout` fields are overridden per probe.
+pub fn minimize_pebbles(dag: &Dag, base: SolverOptions, per_query: Duration) -> MinimizeResult {
+    let mut low = pebble_lower_bound(dag);
+    let mut high = dag.num_nodes();
+    let mut best: Option<(usize, Strategy)> = None;
+    let mut probes = Vec::new();
+    while low <= high {
+        let mid = low + (high - low) / 2;
+        let mut options = base;
+        options.encoding.max_pebbles = Some(mid);
+        options.timeout = Some(per_query);
+        let outcome = PebbleSolver::new(dag, options).solve();
+        match outcome {
+            PebbleOutcome::Solved(strategy) => {
+                probes.push((mid, true));
+                best = Some((mid, strategy));
+                if mid == 0 {
+                    break;
+                }
+                high = mid - 1;
+            }
+            _ => {
+                probes.push((mid, false));
+                low = mid + 1;
+            }
+        }
+    }
+    MinimizeResult { best, probes }
+}
+
+/// Finds a small pebble budget by *descending* linear search: probe
+/// `n − stride`, `n − 2·stride`, … while probes keep succeeding within
+/// `per_query`, then refine the last gap with stride 1. Unlike the binary
+/// search of [`minimize_pebbles`], at most one probe per stride level
+/// fails — on large instances failed probes are the expensive ones, so
+/// this descends as deep as the solver can certify and pays for a single
+/// timeout.
+pub fn minimize_pebbles_descending(
+    dag: &Dag,
+    base: SolverOptions,
+    per_query: Duration,
+    stride: usize,
+) -> MinimizeResult {
+    let stride = stride.max(1);
+    let lower = pebble_lower_bound(dag);
+    let mut best: Option<(usize, Strategy)> = None;
+    let mut probes = Vec::new();
+    let mut probe = |p: usize, best: &mut Option<(usize, Strategy)>| -> bool {
+        let mut options = base;
+        options.encoding.max_pebbles = Some(p);
+        options.timeout = Some(per_query);
+        match PebbleSolver::new(dag, options).solve() {
+            PebbleOutcome::Solved(strategy) => {
+                probes.push((p, true));
+                *best = Some((p, strategy));
+                true
+            }
+            _ => {
+                probes.push((p, false));
+                false
+            }
+        }
+    };
+    // Coarse descent.
+    let mut p = dag.num_nodes().saturating_sub(stride).max(lower);
+    let mut floor = lower;
+    loop {
+        if !probe(p, &mut best) {
+            floor = p + 1;
+            break;
+        }
+        if p == lower {
+            break;
+        }
+        p = p.saturating_sub(stride).max(lower);
+    }
+    // Fine refinement below the last success.
+    if stride > 1 {
+        if let Some((mut current, _)) = best.clone() {
+            while current > floor.max(lower) {
+                let next = current - 1;
+                if !probe(next, &mut best) {
+                    break;
+                }
+                current = next;
+            }
+        }
+    }
+    MinimizeResult { best, probes }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baselines::bennett;
+    use revpebble_graph::generators::{and_tree, chain, paper_example, random_dag};
+
+    #[test]
+    fn paper_example_minimum_steps_with_6_pebbles() {
+        let dag = paper_example();
+        let options = SolverOptions {
+            encoding: EncodingOptions {
+                max_pebbles: Some(6),
+                move_mode: MoveMode::Sequential,
+                ..EncodingOptions::default()
+            },
+            ..SolverOptions::default()
+        };
+        let outcome = PebbleSolver::new(&dag, options).solve();
+        let strategy = outcome.into_strategy().expect("solved");
+        assert_eq!(strategy.num_steps(), 10); // Bennett-optimal
+        strategy.validate(&dag, Some(6)).expect("valid");
+    }
+
+    #[test]
+    fn paper_example_minimum_steps_with_4_pebbles_is_12() {
+        // The paper's Fig. 4 shows a 14-step strategy with 4 pebbles; the
+        // SAT search proves 12 steps are optimal (see encoding tests).
+        let dag = paper_example();
+        let options = SolverOptions {
+            encoding: EncodingOptions {
+                max_pebbles: Some(4),
+                move_mode: MoveMode::Sequential,
+                ..EncodingOptions::default()
+            },
+            ..SolverOptions::default()
+        };
+        let outcome = PebbleSolver::new(&dag, options).solve();
+        let strategy = outcome.into_strategy().expect("solved");
+        assert_eq!(strategy.num_steps(), 12);
+        assert_eq!(strategy.max_pebbles(&dag), 4);
+    }
+
+    #[test]
+    fn infeasible_budget_is_detected_immediately() {
+        let dag = paper_example();
+        let outcome = solve_with_pebbles(&dag, 1);
+        assert!(matches!(outcome, PebbleOutcome::Infeasible { lower_bound: 3 }));
+    }
+
+    #[test]
+    fn step_limit_is_reported() {
+        let dag = paper_example();
+        let options = SolverOptions {
+            encoding: EncodingOptions {
+                max_pebbles: Some(4),
+                move_mode: MoveMode::Sequential,
+                ..EncodingOptions::default()
+            },
+            max_steps: 11, // 12 needed
+            ..SolverOptions::default()
+        };
+        let outcome = PebbleSolver::new(&dag, options).solve();
+        assert!(matches!(outcome, PebbleOutcome::StepLimit { steps_checked: 11 }));
+    }
+
+    #[test]
+    fn timeout_is_reported() {
+        let dag = random_dag(6, 40, 3);
+        let options = SolverOptions {
+            encoding: EncodingOptions {
+                max_pebbles: Some(pebble_lower_bound(&dag)),
+                move_mode: MoveMode::Sequential,
+                ..EncodingOptions::default()
+            },
+            timeout: Some(Duration::from_millis(1)),
+            ..SolverOptions::default()
+        };
+        let outcome = PebbleSolver::new(&dag, options).solve();
+        assert!(matches!(
+            outcome,
+            PebbleOutcome::Timeout { .. } | PebbleOutcome::Solved(_)
+        ));
+    }
+
+    #[test]
+    fn chain_can_be_pebbled_with_logarithmic_pebbles() {
+        // A chain of length 7 can be pebbled with 4 pebbles (Bennett's
+        // recursive checkpointing), far below the 7 Bennett uses.
+        let dag = chain(7);
+        let outcome = solve_with_pebbles(&dag, 4);
+        let strategy = outcome.into_strategy().expect("solved");
+        strategy.validate(&dag, Some(4)).expect("valid");
+        let b = bennett(&dag);
+        assert!(strategy.num_moves() >= b.num_moves());
+    }
+
+    #[test]
+    fn and_tree_fits_paper_fig6_budget() {
+        // Fig. 6(c): the 9-input AND tree pebbled within 16 qubits total;
+        // 9 inputs + 1 result leave 7 pebbles per qubit counting, but the
+        // paper counts the 8th DAG node (the output h) among the 16 qubits:
+        // budget = 16 − 9 = 7 pebbles including the output.
+        let dag = and_tree(9);
+        let outcome = solve_with_pebbles(&dag, 7);
+        let strategy = outcome.into_strategy().expect("solved");
+        strategy.validate(&dag, Some(7)).expect("valid");
+    }
+
+    #[test]
+    fn minimize_pebbles_on_paper_example_finds_4() {
+        let dag = paper_example();
+        let base = SolverOptions {
+            encoding: EncodingOptions {
+                move_mode: MoveMode::Sequential,
+                ..EncodingOptions::default()
+            },
+            max_steps: 60,
+            ..SolverOptions::default()
+        };
+        let result = minimize_pebbles(&dag, base, Duration::from_secs(20));
+        let (p, strategy) = result.best.expect("some budget works");
+        assert_eq!(p, 4, "4 pebbles suffice, 3 are impossible");
+        strategy.validate(&dag, Some(4)).expect("valid");
+        assert!(!result.probes.is_empty());
+    }
+
+    #[test]
+    fn minimize_descending_matches_binary_on_paper_example() {
+        let dag = paper_example();
+        let base = SolverOptions {
+            encoding: EncodingOptions {
+                move_mode: MoveMode::Sequential,
+                ..EncodingOptions::default()
+            },
+            max_steps: 60,
+            ..SolverOptions::default()
+        };
+        let descending =
+            minimize_pebbles_descending(&dag, base, Duration::from_secs(20), 1);
+        let (p, strategy) = descending.best.expect("feasible");
+        assert_eq!(p, 4);
+        strategy.validate(&dag, Some(4)).expect("valid");
+        // Probes go 5, 4, 3(fail) — exactly one failure.
+        let failures = descending.probes.iter().filter(|(_, ok)| !ok).count();
+        assert_eq!(failures, 1);
+    }
+
+    #[test]
+    fn sat_strategies_validate_on_random_dags() {
+        for seed in 0..8 {
+            let dag = random_dag(4, 12, seed);
+            let p = pebble_lower_bound(&dag) + 2;
+            if let PebbleOutcome::Solved(strategy) = solve_with_pebbles(&dag, p) {
+                strategy
+                    .validate(&dag, Some(p))
+                    .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_mode_solves_with_fewer_steps_than_sequential() {
+        let dag = and_tree(8);
+        let seq = PebbleSolver::new(
+            &dag,
+            SolverOptions {
+                encoding: EncodingOptions {
+                    max_pebbles: Some(7),
+                    move_mode: MoveMode::Sequential,
+                    ..EncodingOptions::default()
+                },
+                ..SolverOptions::default()
+            },
+        )
+        .solve()
+        .into_strategy()
+        .expect("solved");
+        let par = PebbleSolver::new(
+            &dag,
+            SolverOptions {
+                encoding: EncodingOptions {
+                    max_pebbles: Some(7),
+                    move_mode: MoveMode::Parallel,
+                    ..EncodingOptions::default()
+                },
+                ..SolverOptions::default()
+            },
+        )
+        .solve()
+        .into_strategy()
+        .expect("solved");
+        assert!(par.num_steps() < seq.num_steps());
+        par.validate(&dag, Some(7)).expect("valid");
+    }
+
+    #[test]
+    fn stats_are_populated() {
+        let dag = paper_example();
+        let mut solver = PebbleSolver::new(
+            &dag,
+            SolverOptions {
+                encoding: EncodingOptions {
+                    max_pebbles: Some(4),
+                    move_mode: MoveMode::Sequential,
+                    ..EncodingOptions::default()
+                },
+                ..SolverOptions::default()
+            },
+        );
+        let _ = solver.solve();
+        assert!(solver.stats().queries >= 3); // K = 10, 11, 12
+        assert_eq!(solver.stats().max_k, 12);
+    }
+}

@@ -1,0 +1,406 @@
+//! Parser for the ISCAS *.bench* netlist format.
+//!
+//! The format used by the ISCAS'85/'89 benchmark suites looks like:
+//!
+//! ```text
+//! # comment
+//! INPUT(G1)
+//! OUTPUT(G22)
+//! G10 = NAND(G1, G3)
+//! G22 = NOT(G10)
+//! ```
+//!
+//! Parsing yields a [`Dag`] whose nodes are the gates. Signals defined
+//! after use are supported (two-pass parsing with topological emission),
+//! matching real benchmark files.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::dag::{Dag, DagError, Source};
+use crate::op::Op;
+
+/// Errors produced when parsing a `.bench` netlist.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseBenchError {
+    /// A line could not be understood.
+    BadLine {
+        /// 1-based line number.
+        line: usize,
+        /// The line's content.
+        content: String,
+    },
+    /// A gate type is not supported.
+    UnknownGate {
+        /// 1-based line number.
+        line: usize,
+        /// The gate name encountered.
+        gate: String,
+    },
+    /// A signal is used but never defined.
+    UndefinedSignal {
+        /// The signal name.
+        signal: String,
+    },
+    /// A signal is defined more than once.
+    DuplicateSignal {
+        /// The signal name.
+        signal: String,
+    },
+    /// The netlist contains a combinational cycle.
+    Cycle {
+        /// A signal participating in the cycle.
+        signal: String,
+    },
+    /// The resulting graph violated a DAG invariant.
+    Dag(DagError),
+}
+
+impl fmt::Display for ParseBenchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseBenchError::BadLine { line, content } => {
+                write!(f, "line {line}: cannot parse {content:?}")
+            }
+            ParseBenchError::UnknownGate { line, gate } => {
+                write!(f, "line {line}: unknown gate type {gate:?}")
+            }
+            ParseBenchError::UndefinedSignal { signal } => {
+                write!(f, "signal {signal:?} is used but never defined")
+            }
+            ParseBenchError::DuplicateSignal { signal } => {
+                write!(f, "signal {signal:?} is defined twice")
+            }
+            ParseBenchError::Cycle { signal } => {
+                write!(f, "combinational cycle through signal {signal:?}")
+            }
+            ParseBenchError::Dag(e) => write!(f, "invalid graph: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseBenchError {}
+
+impl From<DagError> for ParseBenchError {
+    fn from(e: DagError) -> Self {
+        ParseBenchError::Dag(e)
+    }
+}
+
+#[derive(Debug)]
+struct GateDef {
+    name: String,
+    op: Op,
+    fanins: Vec<String>,
+}
+
+fn gate_op(name: &str) -> Option<Op> {
+    match name.to_ascii_uppercase().as_str() {
+        "AND" => Some(Op::And),
+        "OR" => Some(Op::Or),
+        "NAND" => Some(Op::Nand),
+        "NOR" => Some(Op::Nor),
+        "XOR" => Some(Op::Xor),
+        "XNOR" => Some(Op::Xnor),
+        "NOT" | "INV" => Some(Op::Not),
+        "BUF" | "BUFF" => Some(Op::Buf),
+        "MAJ" => Some(Op::Maj),
+        _ => None,
+    }
+}
+
+/// Parses a `.bench` netlist into a [`Dag`].
+///
+/// Output signals are marked as DAG outputs; any additional dangling gate
+/// is also marked (the pebbling game requires all sinks to be outputs).
+///
+/// # Errors
+///
+/// Returns a [`ParseBenchError`] for malformed lines, unknown gate types,
+/// undefined/duplicate signals or combinational cycles.
+pub fn parse_bench(input: &str) -> Result<Dag, ParseBenchError> {
+    let mut inputs: Vec<String> = Vec::new();
+    let mut outputs: Vec<String> = Vec::new();
+    let mut gates: Vec<GateDef> = Vec::new();
+    let mut defined: HashMap<String, usize> = HashMap::new(); // name -> gate index
+
+    for (lineno, raw) in input.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let upper = line.to_ascii_uppercase();
+        if let Some(rest) = upper.strip_prefix("INPUT") {
+            let name = extract_parenthesized(line, rest, lineno)?;
+            inputs.push(name);
+            continue;
+        }
+        if let Some(rest) = upper.strip_prefix("OUTPUT") {
+            let name = extract_parenthesized(line, rest, lineno)?;
+            outputs.push(name);
+            continue;
+        }
+        // Gate definition: name = OP(a, b, ...)
+        let Some((lhs, rhs)) = line.split_once('=') else {
+            return Err(ParseBenchError::BadLine {
+                line: lineno + 1,
+                content: line.to_string(),
+            });
+        };
+        let name = lhs.trim().to_string();
+        let rhs = rhs.trim();
+        let Some(open) = rhs.find('(') else {
+            return Err(ParseBenchError::BadLine {
+                line: lineno + 1,
+                content: line.to_string(),
+            });
+        };
+        let Some(close) = rhs.rfind(')') else {
+            return Err(ParseBenchError::BadLine {
+                line: lineno + 1,
+                content: line.to_string(),
+            });
+        };
+        let gate_name = rhs[..open].trim();
+        let op = gate_op(gate_name).ok_or_else(|| ParseBenchError::UnknownGate {
+            line: lineno + 1,
+            gate: gate_name.to_string(),
+        })?;
+        let fanins: Vec<String> = rhs[open + 1..close]
+            .split(',')
+            .map(|s| s.trim().to_string())
+            .filter(|s| !s.is_empty())
+            .collect();
+        if defined.insert(name.clone(), gates.len()).is_some() {
+            return Err(ParseBenchError::DuplicateSignal { signal: name });
+        }
+        gates.push(GateDef { name, op, fanins });
+    }
+
+    // Build the DAG with a topological emission order (gates may be listed
+    // in any order in the file).
+    let mut dag = Dag::new();
+    let mut sources: HashMap<String, Source> = HashMap::new();
+    for name in &inputs {
+        if defined.contains_key(name) {
+            return Err(ParseBenchError::DuplicateSignal {
+                signal: name.clone(),
+            });
+        }
+        let s = dag.add_input(name.clone());
+        sources.insert(name.clone(), s);
+    }
+
+    // DFS-based topological emission with cycle detection.
+    #[derive(Clone, Copy, PartialEq)]
+    enum Mark {
+        Unvisited,
+        InProgress,
+        Done,
+    }
+    let mut marks = vec![Mark::Unvisited; gates.len()];
+    fn emit(
+        gate_idx: usize,
+        gates: &[GateDef],
+        defined: &HashMap<String, usize>,
+        marks: &mut [Mark],
+        dag: &mut Dag,
+        sources: &mut HashMap<String, Source>,
+    ) -> Result<(), ParseBenchError> {
+        match marks[gate_idx] {
+            Mark::Done => return Ok(()),
+            Mark::InProgress => {
+                return Err(ParseBenchError::Cycle {
+                    signal: gates[gate_idx].name.clone(),
+                })
+            }
+            Mark::Unvisited => {}
+        }
+        marks[gate_idx] = Mark::InProgress;
+        let gate = &gates[gate_idx];
+        for fanin in &gate.fanins {
+            if !sources.contains_key(fanin) {
+                match defined.get(fanin) {
+                    Some(&idx) => emit(idx, gates, defined, marks, dag, sources)?,
+                    None => {
+                        return Err(ParseBenchError::UndefinedSignal {
+                            signal: fanin.clone(),
+                        })
+                    }
+                }
+            }
+        }
+        let fanin_sources: Vec<Source> = gate
+            .fanins
+            .iter()
+            .map(|f| sources[f])
+            .collect();
+        let id = dag.add_node(gate.name.clone(), gate.op, fanin_sources)?;
+        sources.insert(gate.name.clone(), Source::Node(id));
+        marks[gate_idx] = Mark::Done;
+        Ok(())
+    }
+    for idx in 0..gates.len() {
+        emit(idx, &gates, &defined, &mut marks, &mut dag, &mut sources)?;
+    }
+
+    for name in &outputs {
+        match sources.get(name) {
+            Some(Source::Node(id)) => dag.mark_output(*id),
+            Some(Source::Input(_)) => {} // output wired straight to an input
+            None => {
+                return Err(ParseBenchError::UndefinedSignal {
+                    signal: name.clone(),
+                })
+            }
+        }
+    }
+    // Some benchmarks leave dangling gates; the pebbling game needs every
+    // sink pebbled at the end, so mark them as outputs too.
+    dag.mark_sinks_as_outputs();
+    Ok(dag)
+}
+
+fn extract_parenthesized(
+    original: &str,
+    rest_upper: &str,
+    lineno: usize,
+) -> Result<String, ParseBenchError> {
+    let rest = &original[original.len() - rest_upper.len()..];
+    let inner = rest
+        .trim()
+        .strip_prefix('(')
+        .and_then(|s| s.strip_suffix(')'))
+        .ok_or_else(|| ParseBenchError::BadLine {
+            line: lineno + 1,
+            content: original.to_string(),
+        })?;
+    Ok(inner.trim().to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::C17_BENCH;
+
+    #[test]
+    fn parses_c17() {
+        let dag = parse_bench(C17_BENCH).expect("c17 parses");
+        assert_eq!(dag.num_inputs(), 5);
+        assert_eq!(dag.num_nodes(), 6); // six NAND gates
+        assert_eq!(dag.num_outputs(), 2);
+        dag.validate_for_pebbling().expect("valid");
+    }
+
+    #[test]
+    fn c17_truth_table_spot_checks() {
+        // c17 computes: G22 = NAND(G10,G16), G23 = NAND(G16,G19) where
+        // G10=NAND(G1,G3), G11=NAND(G3,G6), G16=NAND(G2,G11), G19=NAND(G11,G7).
+        let dag = parse_bench(C17_BENCH).expect("parses");
+        let eval = |g1: bool, g2: bool, g3: bool, g6: bool, g7: bool| {
+            let g10 = !(g1 && g3);
+            let g11 = !(g3 && g6);
+            let g16 = !(g2 && g11);
+            let g19 = !(g11 && g7);
+            (!(g10 && g16), !(g16 && g19))
+        };
+        for pattern in 0u32..32 {
+            let bits: Vec<bool> = (0..5).map(|i| pattern & (1 << i) != 0).collect();
+            let got = dag.evaluate_outputs(&bits);
+            let (e22, e23) = eval(bits[0], bits[1], bits[2], bits[3], bits[4]);
+            assert_eq!(got, vec![e22, e23], "pattern {pattern:05b}");
+        }
+    }
+
+    #[test]
+    fn out_of_order_definitions() {
+        let text = "\
+INPUT(a)
+INPUT(b)
+OUTPUT(y)
+y = AND(t, b)
+t = NOT(a)
+";
+        let dag = parse_bench(text).expect("parses");
+        assert_eq!(dag.num_nodes(), 2);
+        // NOT must come before AND in topological order.
+        assert_eq!(dag.node(crate::dag::NodeId::from_index(0)).op, Op::Not);
+    }
+
+    #[test]
+    fn cycle_is_detected() {
+        let text = "\
+INPUT(a)
+OUTPUT(y)
+y = AND(a, z)
+z = NOT(y)
+";
+        assert!(matches!(
+            parse_bench(text),
+            Err(ParseBenchError::Cycle { .. })
+        ));
+    }
+
+    #[test]
+    fn undefined_signal_is_detected() {
+        let text = "INPUT(a)\nOUTPUT(y)\ny = AND(a, ghost)\n";
+        assert!(matches!(
+            parse_bench(text),
+            Err(ParseBenchError::UndefinedSignal { signal }) if signal == "ghost"
+        ));
+    }
+
+    #[test]
+    fn duplicate_definition_is_detected() {
+        let text = "INPUT(a)\ny = NOT(a)\ny = BUF(a)\n";
+        assert!(matches!(
+            parse_bench(text),
+            Err(ParseBenchError::DuplicateSignal { .. })
+        ));
+    }
+
+    #[test]
+    fn unknown_gate_is_reported_with_line() {
+        let text = "INPUT(a)\ny = FOO(a)\n";
+        match parse_bench(text) {
+            Err(ParseBenchError::UnknownGate { line, gate }) => {
+                assert_eq!(line, 2);
+                assert_eq!(gate, "FOO");
+            }
+            other => panic!("expected UnknownGate, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn malformed_lines_are_reported() {
+        assert!(matches!(
+            parse_bench("INPUT a\n"),
+            Err(ParseBenchError::BadLine { .. })
+        ));
+        assert!(matches!(
+            parse_bench("y AND(a, b)\n"),
+            Err(ParseBenchError::BadLine { .. })
+        ));
+    }
+
+    #[test]
+    fn dangling_gates_become_outputs() {
+        let text = "\
+INPUT(a)
+INPUT(b)
+OUTPUT(y)
+y = AND(a, b)
+z = OR(a, b)
+";
+        let dag = parse_bench(text).expect("parses");
+        assert_eq!(dag.num_outputs(), 2);
+        dag.validate_for_pebbling().expect("valid");
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_skipped() {
+        let text = "# header\n\nINPUT(a)\n# more\nOUTPUT(y)\ny = NOT(a)\n";
+        let dag = parse_bench(text).expect("parses");
+        assert_eq!(dag.num_nodes(), 1);
+    }
+}

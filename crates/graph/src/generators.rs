@@ -1,0 +1,357 @@
+//! Deterministic workload generators.
+//!
+//! These produce the DAG families used by the paper's evaluation:
+//! balanced AND trees (Fig. 6), the fixed six-node example (Fig. 2), and
+//! deterministic "ISCAS-proxy" DAGs matching the (inputs, outputs, nodes)
+//! shape of each Table I row (we do not have the authors' XMG netlists;
+//! see DESIGN.md §4). Random DAGs for fuzzing are also provided.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::dag::{Dag, NodeId, Source};
+use crate::op::Op;
+
+/// The six-node example DAG of the paper's Fig. 2:
+/// `A(x2,x3)`, `B(x3,x4)`, `C(A,x3)`, `D(B,x3)`, `E(C,D)`, `F(x1,A)`,
+/// outputs `E` and `F`. Nodes are created in alphabetical order, so
+/// `NodeId 0..=5` correspond to `A..=F`.
+pub fn paper_example() -> Dag {
+    let mut dag = Dag::new();
+    let x1 = dag.add_input("x1");
+    let x2 = dag.add_input("x2");
+    let x3 = dag.add_input("x3");
+    let x4 = dag.add_input("x4");
+    let a = dag.add_node("A", Op::Opaque, [x2, x3]).expect("valid");
+    let b = dag.add_node("B", Op::Opaque, [x3, x4]).expect("valid");
+    let c = dag.add_node("C", Op::Opaque, [a.into(), x3]).expect("valid");
+    let d = dag.add_node("D", Op::Opaque, [b.into(), x3]).expect("valid");
+    let e = dag
+        .add_node("E", Op::Opaque, [c.into(), d.into()])
+        .expect("valid");
+    let f = dag.add_node("F", Op::Opaque, [x1, a.into()]).expect("valid");
+    dag.mark_output(e);
+    dag.mark_output(f);
+    dag
+}
+
+/// A balanced binary AND tree over `num_inputs` primary inputs — the
+/// `num_inputs`-input AND oracle of the paper's Fig. 6(a). For 9 inputs
+/// this produces exactly the figure's 8-node DAG (nodes `n1..n7` plus the
+/// top node combining with the odd input).
+///
+/// # Panics
+///
+/// Panics if `num_inputs < 2`.
+pub fn and_tree(num_inputs: usize) -> Dag {
+    assert!(num_inputs >= 2, "an AND needs at least two inputs");
+    let mut dag = Dag::new();
+    let mut frontier: Vec<Source> = dag.add_inputs(num_inputs);
+    let mut counter = 0usize;
+    while frontier.len() > 1 {
+        let mut next = Vec::with_capacity(frontier.len().div_ceil(2));
+        let mut iter = frontier.chunks_exact(2);
+        for pair in &mut iter {
+            counter += 1;
+            let id = dag
+                .add_node(format!("n{counter}"), Op::And, [pair[0], pair[1]])
+                .expect("valid");
+            next.push(Source::Node(id));
+        }
+        // An odd element is carried to the next layer unchanged, so the
+        // 9-input tree combines the leftover input at the very top.
+        next.extend(iter.remainder().iter().copied());
+        frontier = next;
+    }
+    match frontier[0] {
+        Source::Node(id) => dag.mark_output(id),
+        Source::Input(_) => unreachable!("num_inputs >= 2 always creates a node"),
+    }
+    dag
+}
+
+/// A linear chain `v1 → v2 → … → vn` (each node depends on the previous
+/// one only); the canonical hard case for pebble/step trade-offs.
+///
+/// # Panics
+///
+/// Panics if `length == 0`.
+pub fn chain(length: usize) -> Dag {
+    assert!(length > 0);
+    let mut dag = Dag::new();
+    let x = dag.add_input("x");
+    let mut prev: Source = x;
+    let mut last = None;
+    for i in 0..length {
+        let id = dag
+            .add_node(format!("v{i}"), Op::Buf, [prev])
+            .expect("valid");
+        prev = Source::Node(id);
+        last = Some(id);
+    }
+    dag.mark_output(last.expect("length > 0"));
+    dag
+}
+
+/// A complete binary *in-tree* of the given depth: `2^depth − 1` nodes,
+/// each interior node consuming two child nodes, a single output at the
+/// root. Leaves read two primary inputs each.
+///
+/// # Panics
+///
+/// Panics if `depth == 0`.
+pub fn binary_in_tree(depth: usize) -> Dag {
+    assert!(depth > 0);
+    let mut dag = Dag::new();
+    let num_leaves = 1usize << (depth - 1);
+    let inputs = dag.add_inputs(2 * num_leaves);
+    let mut layer: Vec<Source> = inputs
+        .chunks_exact(2)
+        .enumerate()
+        .map(|(i, pair)| {
+            let id = dag
+                .add_node(format!("l{i}"), Op::And, [pair[0], pair[1]])
+                .expect("valid");
+            Source::Node(id)
+        })
+        .collect();
+    let mut counter = 0usize;
+    while layer.len() > 1 {
+        layer = layer
+            .chunks_exact(2)
+            .map(|pair| {
+                counter += 1;
+                let id = dag
+                    .add_node(format!("i{counter}"), Op::And, [pair[0], pair[1]])
+                    .expect("valid");
+                Source::Node(id)
+            })
+            .collect();
+    }
+    match layer[0] {
+        Source::Node(id) => dag.mark_output(id),
+        Source::Input(_) => unreachable!(),
+    }
+    dag
+}
+
+/// Parameters for [`iscas_proxy`]: the published shape of one Table I row.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProxyShape {
+    /// Number of primary inputs.
+    pub inputs: usize,
+    /// Number of primary outputs.
+    pub outputs: usize,
+    /// Number of DAG nodes.
+    pub nodes: usize,
+}
+
+/// Generates a deterministic 2-fanin DAG with exactly the requested
+/// (inputs, outputs, nodes) shape, standing in for the XMG of an ISCAS
+/// benchmark (DESIGN.md §4). Fanins are chosen with a locality bias
+/// (recent values are preferred), which yields the moderately deep,
+/// reconvergent structure typical of mapped logic. The same `seed` always
+/// yields the same DAG.
+///
+/// # Panics
+///
+/// Panics if `outputs == 0`, `nodes < outputs`, or `inputs == 0`.
+pub fn iscas_proxy(shape: ProxyShape, seed: u64) -> Dag {
+    assert!(shape.inputs > 0 && shape.outputs > 0);
+    assert!(shape.nodes >= shape.outputs, "need at least one node per output");
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5eed_15ca5u64);
+    let mut dag = Dag::new();
+    let inputs = dag.add_inputs(shape.inputs);
+    let mut values: Vec<Source> = inputs;
+    let mut consumed = vec![false; shape.nodes];
+    let ops = [Op::And, Op::Xor, Op::Maj];
+    for i in 0..shape.nodes {
+        // Locality-biased fanin selection: indices drawn from a squared
+        // uniform variable concentrate near the most recent values.
+        let pick = |rng: &mut StdRng| {
+            let u: f64 = rng.gen();
+            let idx = ((1.0 - u * u) * values.len() as f64) as usize;
+            values[idx.min(values.len() - 1)]
+        };
+        let a = pick(&mut rng);
+        let mut b = pick(&mut rng);
+        let mut tries = 0;
+        while b == a && tries < 8 {
+            b = pick(&mut rng);
+            tries += 1;
+        }
+        let op = if b == a {
+            Op::Not // degenerate pick: fall back to a unary node
+        } else {
+            ops[rng.gen_range(0..ops.len())]
+        };
+        let id = match op {
+            Op::Not => dag.add_node(format!("g{i}"), Op::Not, [a]).expect("valid"),
+            Op::Maj => {
+                let mut c = pick(&mut rng);
+                let mut tries = 0;
+                while (c == a || c == b) && tries < 8 {
+                    c = pick(&mut rng);
+                    tries += 1;
+                }
+                if c == a || c == b {
+                    dag.add_node(format!("g{i}"), Op::And, [a, b]).expect("valid")
+                } else {
+                    dag.add_node(format!("g{i}"), Op::Maj, [a, b, c]).expect("valid")
+                }
+            }
+            op => dag.add_node(format!("g{i}"), op, [a, b]).expect("valid"),
+        };
+        for s in dag.node(id).fanins.clone() {
+            if let Source::Node(n) = s {
+                consumed[n.index()] = true;
+            }
+        }
+        values.push(Source::Node(id));
+    }
+    // Outputs: the last node plus the most recent unconsumed nodes; if the
+    // DAG has fewer sinks than requested outputs, take the latest nodes.
+    let mut outs: Vec<NodeId> = (0..shape.nodes)
+        .rev()
+        .map(NodeId::from_index)
+        .filter(|n| !consumed[n.index()])
+        .take(shape.outputs)
+        .collect();
+    let mut extra = (0..shape.nodes).rev().map(NodeId::from_index);
+    while outs.len() < shape.outputs {
+        let candidate = extra.next().expect("nodes >= outputs");
+        if !outs.contains(&candidate) {
+            outs.push(candidate);
+        }
+    }
+    for o in outs {
+        dag.mark_output(o);
+    }
+    // Any remaining unconsumed node must still be an output for the game
+    // to be playable.
+    dag.mark_sinks_as_outputs();
+    dag
+}
+
+/// A random DAG for fuzzing: `nodes` nodes with 1–3 fanins drawn uniformly
+/// from all earlier values. All sinks become outputs.
+pub fn random_dag(num_inputs: usize, nodes: usize, seed: u64) -> Dag {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut dag = Dag::new();
+    let mut values: Vec<Source> = dag.add_inputs(num_inputs.max(1));
+    for i in 0..nodes {
+        let arity = rng.gen_range(1..=3usize.min(values.len()));
+        let mut fanins = Vec::with_capacity(arity);
+        for _ in 0..arity {
+            fanins.push(values[rng.gen_range(0..values.len())]);
+        }
+        fanins.sort();
+        fanins.dedup();
+        let op = match fanins.len() {
+            1 => Op::Not,
+            3 => Op::Maj,
+            _ => Op::Xor,
+        };
+        let id = dag.add_node(format!("r{i}"), op, fanins).expect("valid");
+        values.push(Source::Node(id));
+    }
+    dag.mark_sinks_as_outputs();
+    dag
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_example_matches_fig2() {
+        let dag = paper_example();
+        assert_eq!(dag.num_nodes(), 6);
+        assert_eq!(dag.num_outputs(), 2);
+        assert_eq!(
+            dag.outputs(),
+            &[NodeId::from_index(4), NodeId::from_index(5)]
+        );
+        dag.validate_for_pebbling().expect("valid");
+    }
+
+    #[test]
+    fn and_tree_9_matches_fig6() {
+        let dag = and_tree(9);
+        assert_eq!(dag.num_inputs(), 9);
+        assert_eq!(dag.num_nodes(), 8);
+        assert_eq!(dag.num_outputs(), 1);
+        assert_eq!(dag.depth(), 4);
+        // Semantics: output = AND of all inputs.
+        for pattern in [0u32, 1, (1 << 9) - 1, 0b101010101] {
+            let bits: Vec<bool> = (0..9).map(|i| pattern & (1 << i) != 0).collect();
+            let expected = bits.iter().all(|&b| b);
+            assert_eq!(dag.evaluate_outputs(&bits), vec![expected]);
+        }
+    }
+
+    #[test]
+    fn and_tree_power_of_two() {
+        let dag = and_tree(8);
+        assert_eq!(dag.num_nodes(), 7);
+        assert_eq!(dag.depth(), 3);
+    }
+
+    #[test]
+    fn chain_shape() {
+        let dag = chain(5);
+        assert_eq!(dag.num_nodes(), 5);
+        assert_eq!(dag.depth(), 5);
+        assert_eq!(dag.num_outputs(), 1);
+        dag.validate_for_pebbling().expect("valid");
+    }
+
+    #[test]
+    fn binary_in_tree_shape() {
+        let dag = binary_in_tree(3);
+        assert_eq!(dag.num_nodes(), 7);
+        assert_eq!(dag.num_inputs(), 8);
+        assert_eq!(dag.depth(), 3);
+    }
+
+    #[test]
+    fn iscas_proxy_hits_exact_shape() {
+        for (pi, po, n) in [(5, 2, 12), (36, 7, 172), (41, 32, 178)] {
+            let dag = iscas_proxy(
+                ProxyShape {
+                    inputs: pi,
+                    outputs: po,
+                    nodes: n,
+                },
+                42,
+            );
+            assert_eq!(dag.num_inputs(), pi);
+            assert_eq!(dag.num_nodes(), n);
+            assert!(dag.num_outputs() >= po);
+            dag.validate_for_pebbling().expect("valid");
+        }
+    }
+
+    #[test]
+    fn iscas_proxy_is_deterministic() {
+        let shape = ProxyShape {
+            inputs: 10,
+            outputs: 3,
+            nodes: 50,
+        };
+        let a = iscas_proxy(shape, 7);
+        let b = iscas_proxy(shape, 7);
+        assert_eq!(a, b);
+        let c = iscas_proxy(shape, 8);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn random_dag_is_valid() {
+        for seed in 0..10 {
+            let dag = random_dag(4, 20, seed);
+            assert_eq!(dag.num_nodes(), 20);
+            dag.validate_for_pebbling().expect("valid");
+        }
+    }
+}

@@ -1,0 +1,559 @@
+//! Straight-line programs (SLPs) over modular arithmetic.
+//!
+//! The paper's first and second show-cases pebble SLPs from elliptic-curve
+//! cryptography: sequences of modular additions, subtractions,
+//! multiplications and squarings (Section IV-A/B). This module provides:
+//!
+//! - an SLP intermediate representation and a small textual DSL,
+//! - conversion to a pebbling [`Dag`] (optionally *expanded*, modelling
+//!   each word-level operation as a chain of fine-grained nodes, which is
+//!   how the paper's `H` designs reach their node counts),
+//! - the paper's workloads: the [`h_operator`] (Section IV-B), a projective
+//!   Edwards point addition ([`edwards_add_projective`]) and a
+//!   Kummer-surface ladder step ([`kummer_ladder_step`]) standing in for
+//!   the Fig. 5 program from Bos et al. (see DESIGN.md §4).
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::dag::{Dag, NodeId, Source};
+use crate::op::Op;
+
+/// One operation of a straight-line program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SlpOp {
+    /// Name of the value being defined.
+    pub dest: String,
+    /// The arithmetic operation ([`Op::Add`], [`Op::Sub`], [`Op::Mul`] or
+    /// [`Op::Sqr`]).
+    pub op: Op,
+    /// Argument names (two, except for `Sqr` which takes one).
+    pub args: Vec<String>,
+}
+
+/// A straight-line program: inputs, a sequence of operations, outputs.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Slp {
+    /// Input value names.
+    pub inputs: Vec<String>,
+    /// The operations, in program order.
+    pub ops: Vec<SlpOp>,
+    /// Output value names (must be defined by some operation).
+    pub outputs: Vec<String>,
+}
+
+/// Errors produced when building or parsing an [`Slp`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SlpError {
+    /// A value is used before being defined.
+    Undefined {
+        /// The value name.
+        name: String,
+    },
+    /// A value is defined twice (SLPs are single-assignment).
+    Redefined {
+        /// The value name.
+        name: String,
+    },
+    /// A DSL line could not be parsed.
+    BadLine {
+        /// 1-based line number.
+        line: usize,
+        /// The line content.
+        content: String,
+    },
+    /// An output name is never defined.
+    UnknownOutput {
+        /// The output name.
+        name: String,
+    },
+}
+
+impl fmt::Display for SlpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SlpError::Undefined { name } => write!(f, "value {name:?} used before definition"),
+            SlpError::Redefined { name } => write!(f, "value {name:?} defined twice"),
+            SlpError::BadLine { line, content } => {
+                write!(f, "line {line}: cannot parse {content:?}")
+            }
+            SlpError::UnknownOutput { name } => write!(f, "output {name:?} is never defined"),
+        }
+    }
+}
+
+impl std::error::Error for SlpError {}
+
+impl Slp {
+    /// Creates an empty program with the given inputs.
+    pub fn with_inputs(inputs: impl IntoIterator<Item = impl Into<String>>) -> Self {
+        Slp {
+            inputs: inputs.into_iter().map(Into::into).collect(),
+            ops: Vec::new(),
+            outputs: Vec::new(),
+        }
+    }
+
+    /// Appends a binary operation `dest = a op b`.
+    pub fn push(&mut self, dest: impl Into<String>, op: Op, a: impl Into<String>, b: impl Into<String>) {
+        self.ops.push(SlpOp {
+            dest: dest.into(),
+            op,
+            args: vec![a.into(), b.into()],
+        });
+    }
+
+    /// Appends a squaring `dest = a²`.
+    pub fn push_sqr(&mut self, dest: impl Into<String>, a: impl Into<String>) {
+        self.ops.push(SlpOp {
+            dest: dest.into(),
+            op: Op::Sqr,
+            args: vec![a.into()],
+        });
+    }
+
+    /// Declares program outputs.
+    pub fn set_outputs(&mut self, outputs: impl IntoIterator<Item = impl Into<String>>) {
+        self.outputs = outputs.into_iter().map(Into::into).collect();
+    }
+
+    /// Checks single-assignment and def-before-use.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`SlpError`] violation found.
+    pub fn validate(&self) -> Result<(), SlpError> {
+        let mut defined: HashMap<&str, ()> = HashMap::new();
+        for input in &self.inputs {
+            if defined.insert(input, ()).is_some() {
+                return Err(SlpError::Redefined {
+                    name: input.clone(),
+                });
+            }
+        }
+        for op in &self.ops {
+            for arg in &op.args {
+                if !defined.contains_key(arg.as_str()) {
+                    return Err(SlpError::Undefined { name: arg.clone() });
+                }
+            }
+            if defined.insert(&op.dest, ()).is_some() {
+                return Err(SlpError::Redefined {
+                    name: op.dest.clone(),
+                });
+            }
+        }
+        for output in &self.outputs {
+            if !defined.contains_key(output.as_str()) || self.inputs.contains(output) {
+                return Err(SlpError::UnknownOutput {
+                    name: output.clone(),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Converts the program into a pebbling [`Dag`] with one node per
+    /// operation (weight 1 each).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`validate`](Self::validate) errors.
+    pub fn to_dag(&self) -> Result<Dag, SlpError> {
+        self.to_expanded_dag(1)
+    }
+
+    /// Converts the program into a [`Dag`] where each word-level operation
+    /// becomes a *chain* of `expansion` fine-grained nodes (node `j` of the
+    /// chain depends on node `j−1` and on the operand values), mimicking a
+    /// ripple-carry decomposition into logic nodes. `expansion == 1` yields
+    /// one node per operation. The chain's last node carries the operation
+    /// kind; interior nodes are [`Op::Opaque`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`validate`](Self::validate) errors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `expansion == 0`.
+    pub fn to_expanded_dag(&self, expansion: usize) -> Result<Dag, SlpError> {
+        assert!(expansion > 0, "expansion must be at least 1");
+        self.validate()?;
+        let mut dag = Dag::new();
+        let mut env: HashMap<&str, Source> = HashMap::new();
+        for input in &self.inputs {
+            let s = dag.add_input(input.clone());
+            env.insert(input, s);
+        }
+        for op in &self.ops {
+            let operands: Vec<Source> = op.args.iter().map(|a| env[a.as_str()]).collect();
+            let mut prev: Option<NodeId> = None;
+            for j in 0..expansion {
+                let last = j + 1 == expansion;
+                let mut fanins = operands.clone();
+                if let Some(p) = prev {
+                    fanins.push(Source::Node(p));
+                }
+                let (name, kind) = if last {
+                    (op.dest.clone(), op.op)
+                } else {
+                    (format!("{}#{}", op.dest, j), Op::Opaque)
+                };
+                let id = dag
+                    .add_node(name, kind, fanins)
+                    .expect("validated SLP produces a valid DAG");
+                prev = Some(id);
+            }
+            env.insert(&op.dest, Source::Node(prev.expect("expansion >= 1")));
+        }
+        for output in &self.outputs {
+            match env[output.as_str()] {
+                Source::Node(id) => dag.mark_output(id),
+                Source::Input(_) => unreachable!("validate rejects input outputs"),
+            }
+        }
+        // Ops whose results are never consumed must still be uncomputable:
+        // they become outputs of the pebbling instance.
+        dag.mark_sinks_as_outputs();
+        Ok(dag)
+    }
+
+    /// Parses the textual DSL:
+    ///
+    /// ```text
+    /// inputs a b c d
+    /// t1 = a + b
+    /// t2 = c * d
+    /// s  = t1 ^ 2
+    /// outputs t2 s
+    /// ```
+    ///
+    /// Operators: `+` (Add), `-` (Sub), `*` (Mul), `^ 2`/`^2` (Sqr).
+    /// Lines starting with `#` are comments.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SlpError::BadLine`] for unparsable lines and validation
+    /// errors for semantic problems.
+    pub fn parse(text: &str) -> Result<Self, SlpError> {
+        let mut slp = Slp::default();
+        for (lineno, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            if let Some(rest) = line.strip_prefix("inputs") {
+                slp.inputs
+                    .extend(rest.split_whitespace().map(str::to_string));
+                continue;
+            }
+            if let Some(rest) = line.strip_prefix("outputs") {
+                slp.outputs
+                    .extend(rest.split_whitespace().map(str::to_string));
+                continue;
+            }
+            let bad = || SlpError::BadLine {
+                line: lineno + 1,
+                content: line.to_string(),
+            };
+            let (dest, rhs) = line.split_once('=').ok_or_else(bad)?;
+            let dest = dest.trim().to_string();
+            let tokens: Vec<&str> = rhs.split_whitespace().collect();
+            match tokens.as_slice() {
+                [a, op, b] => {
+                    let kind = match *op {
+                        "+" => Op::Add,
+                        "-" => Op::Sub,
+                        "*" => Op::Mul,
+                        "^" if *b == "2" => {
+                            slp.push_sqr(dest, a.to_string());
+                            continue;
+                        }
+                        _ => return Err(bad()),
+                    };
+                    slp.push(dest, kind, a.to_string(), b.to_string());
+                }
+                [single] if single.ends_with("^2") => {
+                    let a = single.trim_end_matches("^2").to_string();
+                    slp.push_sqr(dest, a);
+                }
+                _ => return Err(bad()),
+            }
+        }
+        slp.validate()?;
+        Ok(slp)
+    }
+
+    /// Number of operations.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// `true` if the program has no operations.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+}
+
+/// Appends the Hadamard-like `H` block of the paper's Section IV-B to
+/// `slp`: given `a, b, c, d`, computes
+/// `x = (a+b)+(c+d)`, `y = (a+b)−(c+d)`, `z = (a−b)+(c−d)`,
+/// `t = (a−b)−(c−d)` via intermediates `t1..t4` (8 operations).
+/// Names are prefixed so the block can be instantiated repeatedly.
+pub fn push_h_block(slp: &mut Slp, prefix: &str, a: &str, b: &str, c: &str, d: &str) -> [String; 4] {
+    let t1 = format!("{prefix}_t1");
+    let t2 = format!("{prefix}_t2");
+    let t3 = format!("{prefix}_t3");
+    let t4 = format!("{prefix}_t4");
+    let x = format!("{prefix}_x");
+    let y = format!("{prefix}_y");
+    let z = format!("{prefix}_z");
+    let t = format!("{prefix}_t");
+    slp.push(&t1, Op::Add, a, b);
+    slp.push(&t2, Op::Add, c, d);
+    slp.push(&t3, Op::Sub, a, b);
+    slp.push(&t4, Op::Sub, c, d);
+    slp.push(&x, Op::Add, t1.clone(), t2.clone());
+    slp.push(&y, Op::Sub, t1, t2.clone());
+    slp.push(&z, Op::Add, t3.clone(), t4.clone());
+    slp.push(&t, Op::Sub, t3, t4);
+    [x, y, z, t]
+}
+
+/// The paper's `H` operator (Section IV-B): inputs `a,b,c,d`, outputs
+/// `x,y,z,t` as computed by one [`push_h_block`] — 8 operations.
+pub fn h_operator() -> Slp {
+    let mut slp = Slp::with_inputs(["a", "b", "c", "d"]);
+    let outs = push_h_block(&mut slp, "h", "a", "b", "c", "d");
+    slp.set_outputs(outs);
+    slp
+}
+
+/// An `H`-operator pebbling DAG expanded to approximately `target_nodes`
+/// fine-grained nodes (Table I's `b*_m*` rows decompose each modular
+/// operation into word-width logic nodes; see DESIGN.md §4). The expansion
+/// chain length is `⌈target_nodes / 8⌉`; the exact count may exceed the
+/// target by at most 7 nodes.
+pub fn h_operator_sized(target_nodes: usize) -> Dag {
+    let expansion = target_nodes.div_ceil(8).max(1);
+    h_operator()
+        .to_expanded_dag(expansion)
+        .expect("h_operator is a valid SLP")
+}
+
+/// Projective (a,d)-Edwards point addition `(X1:Y1:Z1) + (X2:Y2:Z2)`,
+/// following the standard `add-2008-bbjlp` formulas with curve constants
+/// `a`, `d` supplied as inputs. 20 operations, 3 outputs.
+pub fn edwards_add_projective() -> Slp {
+    let mut p = Slp::with_inputs(["X1", "Y1", "Z1", "X2", "Y2", "Z2", "ca", "cd"]);
+    p.push("A", Op::Mul, "Z1", "Z2");
+    p.push_sqr("B", "A");
+    p.push("C", Op::Mul, "X1", "X2");
+    p.push("D", Op::Mul, "Y1", "Y2");
+    p.push("CD", Op::Mul, "C", "D");
+    p.push("E", Op::Mul, "cd", "CD");
+    p.push("F", Op::Sub, "B", "E");
+    p.push("G", Op::Add, "B", "E");
+    p.push("T1", Op::Add, "X1", "Y1");
+    p.push("T2", Op::Add, "X2", "Y2");
+    p.push("T3", Op::Mul, "T1", "T2");
+    p.push("T4", Op::Sub, "T3", "C");
+    p.push("T5", Op::Sub, "T4", "D");
+    p.push("AF", Op::Mul, "A", "F");
+    p.push("X3", Op::Mul, "AF", "T5");
+    p.push("AC", Op::Mul, "ca", "C");
+    p.push("T7", Op::Sub, "D", "AC");
+    p.push("AG", Op::Mul, "A", "G");
+    p.push("Y3", Op::Mul, "AG", "T7");
+    p.push("Z3", Op::Mul, "F", "G");
+    p.set_outputs(["X3", "Y3", "Z3"]);
+    p
+}
+
+/// One combined doubling-and-differential-addition step of a Kummer
+/// surface Montgomery ladder (Gaudry-style), the workload family behind
+/// the paper's Fig. 5 (fast genus-2 arithmetic from Bos et al.). Four `H`
+/// blocks, 8 squarings, 16 multiplications by curve/base-point constants —
+/// 56 operations, 8 outputs, and the add/sub-heavy operation mix of the
+/// figure.
+pub fn kummer_ladder_step() -> Slp {
+    let mut p = Slp::with_inputs([
+        "xP", "yP", "zP", "tP", // point P
+        "xQ", "yQ", "zQ", "tQ", // point Q
+        "e1", "e2", "e3", "e4", // curve constants
+        "i1", "i2", "i3", "i4", // inverted base-point coordinates
+    ]);
+    let hp = push_h_block(&mut p, "hp", "xP", "yP", "zP", "tP");
+    let hq = push_h_block(&mut p, "hq", "xQ", "yQ", "zQ", "tQ");
+    // Doubling path: square H(P), scale by constants, H again, scale.
+    for (i, v) in hp.iter().enumerate() {
+        p.push_sqr(format!("dsq{i}"), v.clone());
+    }
+    for i in 0..4 {
+        p.push(format!("dsc{i}"), Op::Mul, format!("dsq{i}"), format!("e{}", i + 1));
+    }
+    let hd = push_h_block(&mut p, "hd", "dsc0", "dsc1", "dsc2", "dsc3");
+    for (i, v) in hd.iter().enumerate() {
+        p.push(format!("x2_{i}"), Op::Mul, v.clone(), format!("e{}", i + 1));
+    }
+    // Differential-addition path: cross-multiply, H, square, scale by the
+    // inverted base point.
+    for i in 0..4 {
+        p.push(format!("m{i}"), Op::Mul, hp[i].clone(), hq[i].clone());
+    }
+    let ha = push_h_block(&mut p, "ha", "m0", "m1", "m2", "m3");
+    for (i, v) in ha.iter().enumerate() {
+        p.push_sqr(format!("asq{i}"), v.clone());
+    }
+    for i in 0..4 {
+        p.push(format!("x3_{i}"), Op::Mul, format!("asq{i}"), format!("i{}", i + 1));
+    }
+    p.set_outputs([
+        "x2_0", "x2_1", "x2_2", "x2_3", "x3_0", "x3_1", "x3_2", "x3_3",
+    ]);
+    p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn h_operator_shape() {
+        let h = h_operator();
+        h.validate().expect("valid");
+        assert_eq!(h.len(), 8);
+        let dag = h.to_dag().expect("valid");
+        assert_eq!(dag.num_nodes(), 8);
+        assert_eq!(dag.num_outputs(), 4);
+        assert_eq!(dag.depth(), 2);
+        let counts = dag.op_counts();
+        assert_eq!(counts[&Op::Add], 4);
+        assert_eq!(counts[&Op::Sub], 4);
+    }
+
+    #[test]
+    fn h_operator_sized_hits_target() {
+        for target in [74, 59, 203, 881] {
+            let dag = h_operator_sized(target);
+            assert!(dag.num_nodes() >= target, "{} < {target}", dag.num_nodes());
+            assert!(dag.num_nodes() < target + 8);
+            assert_eq!(dag.num_outputs(), 4);
+            dag.validate_for_pebbling().expect("valid");
+        }
+    }
+
+    #[test]
+    fn edwards_add_shape() {
+        let slp = edwards_add_projective();
+        slp.validate().expect("valid");
+        assert_eq!(slp.len(), 20);
+        let dag = slp.to_dag().expect("valid");
+        assert_eq!(dag.num_outputs(), 3);
+        dag.validate_for_pebbling().expect("valid");
+        let counts = dag.op_counts();
+        assert_eq!(counts[&Op::Sqr], 1);
+        assert!(counts[&Op::Mul] >= 10);
+    }
+
+    #[test]
+    fn kummer_ladder_shape() {
+        let slp = kummer_ladder_step();
+        slp.validate().expect("valid");
+        assert_eq!(slp.len(), 56);
+        let dag = slp.to_dag().expect("valid");
+        assert_eq!(dag.num_nodes(), 56);
+        assert_eq!(dag.num_outputs(), 8);
+        dag.validate_for_pebbling().expect("valid");
+        let counts = dag.op_counts();
+        // Add/sub dominate, as in Fig. 5 of the paper.
+        let addsub = counts[&Op::Add] + counts[&Op::Sub];
+        assert!(addsub > counts[&Op::Mul]);
+        assert_eq!(counts[&Op::Sqr], 8);
+    }
+
+    #[test]
+    fn dsl_roundtrip() {
+        let text = "\
+# toy program
+inputs a b c d
+t1 = a + b
+t2 = c - d
+t3 = t1 * t2
+s = t3 ^ 2
+outputs s
+";
+        let slp = Slp::parse(text).expect("parses");
+        assert_eq!(slp.len(), 4);
+        assert_eq!(slp.ops[3].op, Op::Sqr);
+        let dag = slp.to_dag().expect("valid");
+        assert_eq!(dag.num_nodes(), 4);
+        assert_eq!(dag.num_outputs(), 1);
+    }
+
+    #[test]
+    fn dsl_compact_square_form() {
+        let slp = Slp::parse("inputs a\ns = a^2\noutputs s\n").expect("parses");
+        assert_eq!(slp.ops[0].op, Op::Sqr);
+    }
+
+    #[test]
+    fn dsl_rejects_garbage() {
+        assert!(matches!(
+            Slp::parse("inputs a\nz = a ? a\noutputs z\n"),
+            Err(SlpError::BadLine { line: 2, .. })
+        ));
+        assert!(matches!(
+            Slp::parse("inputs a\njust nonsense\n"),
+            Err(SlpError::BadLine { .. })
+        ));
+    }
+
+    #[test]
+    fn validation_errors() {
+        // use before def
+        let mut slp = Slp::with_inputs(["a"]);
+        slp.push("x", Op::Add, "a", "ghost");
+        assert!(matches!(slp.validate(), Err(SlpError::Undefined { .. })));
+        // double definition
+        let mut slp = Slp::with_inputs(["a", "b"]);
+        slp.push("x", Op::Add, "a", "b");
+        slp.push("x", Op::Sub, "a", "b");
+        assert!(matches!(slp.validate(), Err(SlpError::Redefined { .. })));
+        // unknown output
+        let mut slp = Slp::with_inputs(["a", "b"]);
+        slp.push("x", Op::Add, "a", "b");
+        slp.set_outputs(["y"]);
+        assert!(matches!(slp.validate(), Err(SlpError::UnknownOutput { .. })));
+    }
+
+    #[test]
+    fn expansion_chains_preserve_dependencies() {
+        let mut slp = Slp::with_inputs(["a", "b"]);
+        slp.push("x", Op::Add, "a", "b");
+        slp.push("y", Op::Mul, "x", "b");
+        slp.set_outputs(["y"]);
+        let dag = slp.to_expanded_dag(3).expect("valid");
+        assert_eq!(dag.num_nodes(), 6);
+        // Depth: chain of 3 for x, then chain of 3 for y on top.
+        assert_eq!(dag.depth(), 6);
+        dag.validate_for_pebbling().expect("valid");
+        // Only the last node of each chain carries the op kind.
+        let counts = dag.op_counts();
+        assert_eq!(counts[&Op::Add], 1);
+        assert_eq!(counts[&Op::Mul], 1);
+        assert_eq!(counts[&Op::Opaque], 4);
+    }
+
+    #[test]
+    fn unconsumed_ops_become_outputs() {
+        let mut slp = Slp::with_inputs(["a", "b"]);
+        slp.push("x", Op::Add, "a", "b");
+        slp.push("dead", Op::Mul, "a", "b");
+        slp.set_outputs(["x"]);
+        let dag = slp.to_dag().expect("valid");
+        assert_eq!(dag.num_outputs(), 2);
+        dag.validate_for_pebbling().expect("valid");
+    }
+}

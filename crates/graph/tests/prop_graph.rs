@@ -1,0 +1,143 @@
+//! Property tests of the graph substrate: structural invariants of
+//! generated DAGs, inverter collapsing, and netlist round-trips.
+
+use proptest::prelude::*;
+use revpebble_graph::generators::{iscas_proxy, random_dag, ProxyShape};
+use revpebble_graph::network::xmg_ripple_adder;
+use revpebble_graph::{Dag, NodeId, Op};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn random_dags_are_topologically_ordered(
+        inputs in 1usize..6,
+        nodes in 1usize..40,
+        seed in any::<u64>(),
+    ) {
+        let dag = random_dag(inputs, nodes, seed);
+        // Fanins always precede their consumers.
+        for v in dag.node_ids() {
+            for child in dag.children(v) {
+                prop_assert!(child.index() < v.index());
+            }
+        }
+        // Levels are consistent with edges.
+        let levels = dag.levels();
+        for v in dag.node_ids() {
+            for child in dag.children(v) {
+                prop_assert!(levels[child.index()] < levels[v.index()]);
+            }
+        }
+        prop_assert!(dag.validate_for_pebbling().is_ok());
+    }
+
+    #[test]
+    fn cones_are_closed_under_children(
+        inputs in 1usize..5,
+        nodes in 1usize..30,
+        seed in any::<u64>(),
+    ) {
+        let dag = random_dag(inputs, nodes, seed);
+        for &root in dag.outputs() {
+            let cone = dag.cone(root);
+            let in_cone = |n: NodeId| cone.binary_search(&n).is_ok();
+            prop_assert!(in_cone(root));
+            for &v in &cone {
+                for child in dag.children(v) {
+                    prop_assert!(in_cone(child));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fanout_edges_match_fanin_edges(
+        inputs in 1usize..5,
+        nodes in 1usize..30,
+        seed in any::<u64>(),
+    ) {
+        let dag = random_dag(inputs, nodes, seed);
+        let fanouts = dag.fanouts();
+        let fanin_edges: usize = dag.node_ids().map(|v| dag.children(v).count()).sum();
+        let fanout_edges: usize = fanouts.iter().map(Vec::len).sum();
+        prop_assert_eq!(fanin_edges, fanout_edges);
+    }
+
+    #[test]
+    fn collapse_preserves_evaluation(
+        seed in any::<u64>(),
+        nodes in 1usize..20,
+    ) {
+        // Build a DAG where outputs sit on non-free nodes so collapsing
+        // cannot change output semantics up to inverter polarity; we check
+        // a weaker but sound invariant here: the collapsed DAG is valid,
+        // has no free nodes, and has no more nodes than the original.
+        let dag = random_dag(3, nodes, seed);
+        let collapsed = dag.collapse_free_nodes();
+        prop_assert!(collapsed.num_nodes() <= dag.num_nodes());
+        prop_assert!(collapsed.validate_for_pebbling().is_ok() || collapsed.num_nodes() == 0);
+        for v in collapsed.node_ids() {
+            prop_assert!(!collapsed.node(v).op.is_free());
+        }
+    }
+
+    #[test]
+    fn proxy_generator_is_exact_and_deterministic(
+        pi in 1usize..20,
+        po in 1usize..8,
+        extra in 0usize..60,
+        seed in any::<u64>(),
+    ) {
+        let shape = ProxyShape { inputs: pi, outputs: po, nodes: po + extra };
+        let a = iscas_proxy(shape, seed);
+        let b = iscas_proxy(shape, seed);
+        prop_assert_eq!(&a, &b);
+        prop_assert_eq!(a.num_inputs(), pi);
+        prop_assert_eq!(a.num_nodes(), po + extra);
+        prop_assert!(a.num_outputs() >= po);
+        prop_assert!(a.validate_for_pebbling().is_ok());
+    }
+
+    #[test]
+    fn adder_network_matches_arithmetic(
+        bits in 1usize..6,
+        a in 0u32..64,
+        b in 0u32..64,
+    ) {
+        let a = a & ((1 << bits) - 1);
+        let b = b & ((1 << bits) - 1);
+        let net = xmg_ripple_adder(bits);
+        let mut inputs = Vec::new();
+        for i in 0..bits {
+            inputs.push(a & (1 << i) != 0);
+        }
+        for i in 0..bits {
+            inputs.push(b & (1 << i) != 0);
+        }
+        let out = net.evaluate(&inputs);
+        let sum: u32 = out.iter().enumerate().map(|(i, &v)| (v as u32) << i).sum();
+        prop_assert_eq!(sum, a + b);
+    }
+}
+
+#[test]
+fn dag_equality_and_clone() {
+    let dag = random_dag(4, 20, 7);
+    let copy = dag.clone();
+    assert_eq!(dag, copy);
+    let other = random_dag(4, 20, 8);
+    assert_ne!(dag, other);
+}
+
+#[test]
+fn dot_export_is_parseable_shape() {
+    let mut dag = Dag::new();
+    let x = dag.add_input("x");
+    let v = dag.add_node("v", Op::Not, [x]).expect("valid");
+    dag.mark_output(v);
+    let dot = dag.to_dot();
+    assert!(dot.starts_with("digraph"));
+    assert!(dot.trim_end().ends_with('}'));
+    assert_eq!(dot.matches("->").count(), 1);
+}

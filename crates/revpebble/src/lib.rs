@@ -1,0 +1,73 @@
+//! # revpebble
+//!
+//! **Reversible pebbling game for quantum memory management** — a
+//! self-contained Rust reproduction of Meuli, Soeken, Roetteler, Bjørner
+//! and De Micheli, DATE 2019 (arXiv:1904.02121).
+//!
+//! Quantum circuits may not discard intermediate values: every ancilla
+//! must be *uncomputed* back to |0⟩ before the circuit ends, or garbage
+//! entangles with the result. Scheduling when to compute and uncompute
+//! each intermediate value under a qubit budget is exactly the
+//! **reversible pebbling game** on the computation's dependency DAG. This
+//! crate family solves the game with a SAT solver, exposing the
+//! qubit/gate-count trade-off to the designer.
+//!
+//! This facade crate re-exports the whole public API:
+//!
+//! - [`sat`]: CDCL SAT solver + cardinality encodings (`revpebble-sat`);
+//! - [`graph`]: DAGs, `.bench` netlists, straight-line programs,
+//!   generators (`revpebble-graph`);
+//! - [`core`]: the game, the SAT encoding, baselines and search loops
+//!   (`revpebble-core`);
+//! - [`circuit`]: strategy → reversible-circuit compilation, simulation
+//!   and Barenco decompositions (`revpebble-circuit`).
+//!
+//! ## Quick start
+//!
+//! ```
+//! use revpebble::prelude::*;
+//!
+//! // The paper's running example (Fig. 2): six operations, two outputs.
+//! let dag = revpebble::graph::generators::paper_example();
+//!
+//! // Bennett's strategy needs one pebble (qubit) per node …
+//! let naive = bennett(&dag);
+//! assert_eq!(naive.max_pebbles(&dag), 6);
+//!
+//! // … the SAT solver fits the computation into 4 pebbles.
+//! let tight = solve_with_pebbles(&dag, 4).into_strategy().expect("solvable");
+//! tight.validate(&dag, Some(4)).expect("independent checker agrees");
+//!
+//! // And the compiled circuit provably restores every ancilla.
+//! let compiled = compile(&dag, &tight).expect("compiles");
+//! assert!(matches!(verify(&dag, &compiled), VerifyOutcome::Correct { .. }));
+//! ```
+
+#![warn(missing_docs)]
+
+pub use revpebble_circuit as circuit;
+pub use revpebble_core as core;
+pub use revpebble_graph as graph;
+pub use revpebble_sat as sat;
+
+/// The most commonly used items, for glob import.
+pub mod prelude {
+    pub use crate::circuit::{compile, verify, Circuit, CompiledCircuit, VerifyOutcome};
+    pub use crate::core::baselines::{bennett, cone_wise};
+    pub use crate::core::{
+        minimize_pebbles, solve_with_pebbles, CardEncoding, EncodingOptions, Move, MoveMode,
+        PebbleOutcome, PebbleSolver, SolverOptions, Strategy,
+    };
+    pub use crate::graph::{parse_bench, Dag, NodeId, Op, Slp, Source};
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn facade_reexports_are_wired() {
+        let dag = crate::graph::generators::paper_example();
+        assert_eq!(dag.num_nodes(), 6);
+        let strategy = crate::core::baselines::bennett(&dag);
+        assert!(strategy.validate(&dag, None).is_ok());
+    }
+}

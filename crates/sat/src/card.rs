@@ -1,0 +1,481 @@
+//! CNF encodings of cardinality constraints (`Σ xᵢ ≤ k` and friends).
+//!
+//! The pebbling encoding of the paper constrains every time step with
+//! "at most `P` pebbles" (Section III-B, cardinality clauses). This module
+//! provides several standard encodings so the trade-off can be benchmarked:
+//!
+//! - [`pairwise`]: binomial encoding, no auxiliary variables, `O(n²)`
+//!   clauses — only sensible for small `n` or `k = 1`.
+//! - [`sequential_counter`]: Sinz's LTseq encoding, `O(n·k)` auxiliary
+//!   variables and clauses; unit propagation maintains arc consistency.
+//! - [`totalizer`]: Bailleux–Boutilier unary totalizer truncated at
+//!   `k + 1`; good when the same literals participate in several bounds.
+//! - [`commander`]: commander encoding for at-most-one.
+//!
+//! All encoders work against any [`CnfSink`] — the [`Solver`] itself or a
+//! standalone [`Cnf`] formula.
+
+use crate::dimacs::Cnf;
+use crate::solver::Solver;
+use crate::types::{Lit, Var};
+
+/// A sink for fresh variables and clauses: both [`Solver`] and [`Cnf`]
+/// implement it, so encodings can be built directly in a solver or into a
+/// formula for inspection.
+pub trait CnfSink {
+    /// Creates a fresh variable.
+    fn add_var(&mut self) -> Var;
+    /// Adds a clause.
+    fn emit_clause(&mut self, lits: &[Lit]);
+}
+
+impl CnfSink for Solver {
+    fn add_var(&mut self) -> Var {
+        self.new_var()
+    }
+
+    fn emit_clause(&mut self, lits: &[Lit]) {
+        self.add_clause(lits.iter().copied());
+    }
+}
+
+impl CnfSink for Cnf {
+    fn add_var(&mut self) -> Var {
+        let var = Var::from_index(self.num_vars);
+        self.num_vars += 1;
+        var
+    }
+
+    fn emit_clause(&mut self, lits: &[Lit]) {
+        self.add_clause(lits.iter().copied());
+    }
+}
+
+/// Which encoding [`at_most_k`] uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CardEncoding {
+    /// Binomial/pairwise encoding (`O(n^{k+1})` clauses; use for tiny inputs).
+    Pairwise,
+    /// Sinz sequential counter (`O(n·k)`); the default.
+    #[default]
+    SequentialCounter,
+    /// Bailleux–Boutilier totalizer truncated at `k + 1`.
+    Totalizer,
+}
+
+/// Encodes `Σ lits ≤ k` using the requested encoding.
+///
+/// `k ≥ lits.len()` produces no clauses; `k == 0` forces every literal
+/// false. When `k` is close to `n` (specifically `n − k < k / 2`), the
+/// constraint is encoded through its dual — "at least `n − k` of the
+/// negated literals" via [`at_least_k_totalizer`] — whose size is
+/// `O(n · (n − k))` instead of `O(n · k)`; this keeps loose bounds cheap
+/// (pebbling probes just below the Bennett budget `n` hit exactly this
+/// regime).
+pub fn at_most_k(sink: &mut impl CnfSink, lits: &[Lit], k: usize, encoding: CardEncoding) {
+    if k >= lits.len() {
+        return;
+    }
+    if k == 0 {
+        for &lit in lits {
+            sink.emit_clause(&[!lit]);
+        }
+        return;
+    }
+    let slack = lits.len() - k;
+    if slack < k / 2 {
+        let negated: Vec<Lit> = lits.iter().map(|&l| !l).collect();
+        at_least_k_totalizer(sink, &negated, slack);
+        return;
+    }
+    match encoding {
+        CardEncoding::Pairwise => pairwise(sink, lits, k),
+        CardEncoding::SequentialCounter => sequential_counter(sink, lits, k),
+        CardEncoding::Totalizer => {
+            totalizer(sink, lits, k);
+        }
+    }
+}
+
+/// Encodes `Σ lits ≥ m` directly with a lower-bound totalizer truncated at
+/// `m` outputs (`O(n · m)` clauses): the dual building block used by
+/// [`at_most_k`] for loose upper bounds.
+///
+/// `m == 0` produces no clauses; `m > lits.len()` produces an empty clause
+/// (unsatisfiable).
+pub fn at_least_k_totalizer(sink: &mut impl CnfSink, lits: &[Lit], m: usize) {
+    if m == 0 {
+        return;
+    }
+    if m > lits.len() {
+        sink.emit_clause(&[]);
+        return;
+    }
+    if m == lits.len() {
+        for &lit in lits {
+            sink.emit_clause(&[lit]);
+        }
+        return;
+    }
+    let outputs = build_totalizer_lower(sink, lits, m);
+    sink.emit_clause(&[outputs[m - 1]]);
+}
+
+/// Lower-bound totalizer: `out[j]` may only be true when at least `j + 1`
+/// inputs are true (clauses `r_σ → a_{α+1} ∨ b_{β+1}` for `α + β = σ − 1`).
+fn build_totalizer_lower(sink: &mut impl CnfSink, lits: &[Lit], cap: usize) -> Vec<Lit> {
+    if lits.len() <= 1 {
+        return lits.to_vec();
+    }
+    let mid = lits.len() / 2;
+    let left = build_totalizer_lower(sink, &lits[..mid], cap);
+    let right = build_totalizer_lower(sink, &lits[mid..], cap);
+    let out_len = (left.len() + right.len()).min(cap);
+    let out: Vec<Lit> = (0..out_len).map(|_| sink.add_var().positive()).collect();
+    for sigma in 1..=out_len {
+        for alpha in 0..sigma {
+            let beta = sigma - 1 - alpha;
+            if alpha > left.len() || beta > right.len() {
+                continue;
+            }
+            // r_σ → a_{α+1} ∨ b_{β+1}; out-of-range certificates are
+            // impossible and drop out of the disjunction.
+            let mut clause = Vec::with_capacity(3);
+            if alpha < left.len() {
+                clause.push(left[alpha]);
+            }
+            if beta < right.len() {
+                clause.push(right[beta]);
+            }
+            clause.push(!out[sigma - 1]);
+            sink.emit_clause(&clause);
+        }
+    }
+    out
+}
+
+/// Encodes `Σ lits ≥ k` (via `Σ ¬lits ≤ n − k`).
+pub fn at_least_k(sink: &mut impl CnfSink, lits: &[Lit], k: usize, encoding: CardEncoding) {
+    if k == 0 {
+        return;
+    }
+    if k == 1 {
+        sink.emit_clause(lits);
+        return;
+    }
+    let negated: Vec<Lit> = lits.iter().map(|&l| !l).collect();
+    at_most_k(sink, &negated, lits.len().saturating_sub(k), encoding);
+}
+
+/// Encodes `Σ lits = k`.
+pub fn exactly_k(sink: &mut impl CnfSink, lits: &[Lit], k: usize, encoding: CardEncoding) {
+    at_most_k(sink, lits, k, encoding);
+    at_least_k(sink, lits, k, encoding);
+}
+
+/// Pairwise at-most-one: one clause per pair, no auxiliary variables.
+pub fn at_most_one_pairwise(sink: &mut impl CnfSink, lits: &[Lit]) {
+    for i in 0..lits.len() {
+        for j in (i + 1)..lits.len() {
+            sink.emit_clause(&[!lits[i], !lits[j]]);
+        }
+    }
+}
+
+/// Commander at-most-one: splits literals into groups of 3 with a commander
+/// variable per group, recursing on the commanders. `O(n)` clauses.
+pub fn commander(sink: &mut impl CnfSink, lits: &[Lit]) {
+    if lits.len() <= 3 {
+        at_most_one_pairwise(sink, lits);
+        return;
+    }
+    let mut commanders = Vec::with_capacity(lits.len().div_ceil(3));
+    for group in lits.chunks(3) {
+        let c = sink.add_var().positive();
+        // At most one within the group.
+        at_most_one_pairwise(sink, group);
+        // Any group member implies the commander.
+        for &lit in group {
+            sink.emit_clause(&[!lit, c]);
+        }
+        commanders.push(c);
+    }
+    commander(sink, &commanders);
+}
+
+/// Binomial encoding: every `(k+1)`-subset yields a clause.
+fn pairwise(sink: &mut impl CnfSink, lits: &[Lit], k: usize) {
+    let mut subset: Vec<usize> = (0..=k).collect();
+    loop {
+        let clause: Vec<Lit> = subset.iter().map(|&i| !lits[i]).collect();
+        sink.emit_clause(&clause);
+        // Advance to next (k+1)-combination.
+        let mut i = subset.len();
+        loop {
+            if i == 0 {
+                return;
+            }
+            i -= 1;
+            if subset[i] != i + lits.len() - subset.len() {
+                break;
+            }
+            if i == 0 {
+                return;
+            }
+        }
+        subset[i] += 1;
+        for j in (i + 1)..subset.len() {
+            subset[j] = subset[j - 1] + 1;
+        }
+    }
+}
+
+/// Sinz sequential-counter encoding of `Σ lits ≤ k`.
+///
+/// Introduces registers `s[i][j]` = "at least `j+1` of the first `i+1`
+/// literals are true" for `i < n − 1`, `j < k`.
+fn sequential_counter(sink: &mut impl CnfSink, lits: &[Lit], k: usize) {
+    let n = lits.len();
+    debug_assert!(k >= 1 && k < n);
+    // s[i][j], i in 0..n-1 (no register needed after the last literal).
+    let mut s: Vec<Vec<Lit>> = Vec::with_capacity(n - 1);
+    for _ in 0..n - 1 {
+        s.push((0..k).map(|_| sink.add_var().positive()).collect());
+    }
+    // x0 -> s[0][0]
+    sink.emit_clause(&[!lits[0], s[0][0]]);
+    // s[0][j] is false for j >= 1
+    for j in 1..k {
+        sink.emit_clause(&[!s[0][j]]);
+    }
+    for i in 1..n - 1 {
+        // xi -> s[i][0]
+        sink.emit_clause(&[!lits[i], s[i][0]]);
+        // s[i-1][0] -> s[i][0]
+        sink.emit_clause(&[!s[i - 1][0], s[i][0]]);
+        for j in 1..k {
+            // xi ∧ s[i-1][j-1] -> s[i][j]
+            sink.emit_clause(&[!lits[i], !s[i - 1][j - 1], s[i][j]]);
+            // s[i-1][j] -> s[i][j]
+            sink.emit_clause(&[!s[i - 1][j], s[i][j]]);
+        }
+        // xi ∧ s[i-1][k-1] -> overflow forbidden
+        sink.emit_clause(&[!lits[i], !s[i - 1][k - 1]]);
+    }
+    // Last literal: overflow check only.
+    sink.emit_clause(&[!lits[n - 1], !s[n - 2][k - 1]]);
+}
+
+/// Builds a totalizer over `lits`, truncated to `cap = k + 1` outputs, and
+/// asserts output `k` false (at most `k` true inputs).
+///
+/// Returns the output literals (unary counter: `out[j]` ⇒ at least `j+1`
+/// inputs are true), which callers can reuse for incremental bound
+/// strengthening.
+pub fn totalizer(sink: &mut impl CnfSink, lits: &[Lit], k: usize) -> Vec<Lit> {
+    let cap = k + 1;
+    let outputs = build_totalizer(sink, lits, cap);
+    if outputs.len() > k {
+        sink.emit_clause(&[!outputs[k]]);
+    }
+    outputs
+}
+
+fn build_totalizer(sink: &mut impl CnfSink, lits: &[Lit], cap: usize) -> Vec<Lit> {
+    if lits.len() <= 1 {
+        return lits.to_vec();
+    }
+    let mid = lits.len() / 2;
+    let left = build_totalizer(sink, &lits[..mid], cap);
+    let right = build_totalizer(sink, &lits[mid..], cap);
+    let out_len = (left.len() + right.len()).min(cap);
+    let out: Vec<Lit> = (0..out_len).map(|_| sink.add_var().positive()).collect();
+    // a_α ∧ b_β → r_{α+β}, with index 0 meaning "at least one".
+    for alpha in 0..=left.len() {
+        for beta in 0..=right.len() {
+            let sigma = alpha + beta;
+            if sigma == 0 || sigma > out_len {
+                continue;
+            }
+            let mut clause = Vec::with_capacity(3);
+            if alpha > 0 {
+                clause.push(!left[alpha - 1]);
+            }
+            if beta > 0 {
+                clause.push(!right[beta - 1]);
+            }
+            clause.push(out[sigma - 1]);
+            sink.emit_clause(&clause);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solver::SolveResult;
+
+    /// Exhaustively verifies that an encoding admits exactly the assignments
+    /// with `≤ k` (resp. `≥ k`, `= k`) true literals among `n` inputs.
+    fn check_bound(n: usize, k: usize, mode: &str, encoding: CardEncoding) {
+        for pattern in 0u32..(1 << n) {
+            let mut solver = Solver::new();
+            let vars = solver.new_vars(n);
+            let lits: Vec<Lit> = vars.iter().map(|v| v.positive()).collect();
+            match mode {
+                "at_most" => at_most_k(&mut solver, &lits, k, encoding),
+                "at_least" => at_least_k(&mut solver, &lits, k, encoding),
+                "exactly" => exactly_k(&mut solver, &lits, k, encoding),
+                _ => unreachable!(),
+            }
+            let assumptions: Vec<Lit> = (0..n)
+                .map(|i| Lit::new(vars[i], pattern & (1 << i) != 0))
+                .collect();
+            let count = pattern.count_ones() as usize;
+            let expected = match mode {
+                "at_most" => count <= k,
+                "at_least" => count >= k,
+                "exactly" => count == k,
+                _ => unreachable!(),
+            };
+            let result = solver.solve_with(&assumptions);
+            assert_eq!(
+                result == SolveResult::Sat,
+                expected,
+                "mode={mode} n={n} k={k} pattern={pattern:b} encoding={encoding:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn sequential_counter_matches_popcount() {
+        for n in 1..=6 {
+            for k in 0..=n {
+                check_bound(n, k, "at_most", CardEncoding::SequentialCounter);
+            }
+        }
+    }
+
+    #[test]
+    fn totalizer_matches_popcount() {
+        for n in 1..=6 {
+            for k in 0..=n {
+                check_bound(n, k, "at_most", CardEncoding::Totalizer);
+            }
+        }
+    }
+
+    #[test]
+    fn pairwise_matches_popcount() {
+        for n in 1..=5 {
+            for k in 0..=n {
+                check_bound(n, k, "at_most", CardEncoding::Pairwise);
+            }
+        }
+    }
+
+    #[test]
+    fn at_least_matches_popcount() {
+        for n in 1..=5 {
+            for k in 0..=n {
+                check_bound(n, k, "at_least", CardEncoding::SequentialCounter);
+            }
+        }
+    }
+
+    #[test]
+    fn exactly_matches_popcount() {
+        for n in 1..=5 {
+            for k in 0..=n {
+                check_bound(n, k, "exactly", CardEncoding::Totalizer);
+            }
+        }
+    }
+
+    #[test]
+    fn dual_encoding_kicks_in_for_loose_bounds() {
+        // k close to n triggers the dual at-least path; exhaustively check
+        // the semantics anyway.
+        for n in 4..=8 {
+            for k in (n * 2 / 3 + 1)..n {
+                check_bound(n, k, "at_most", CardEncoding::SequentialCounter);
+            }
+        }
+    }
+
+    #[test]
+    fn at_least_totalizer_matches_popcount() {
+        for n in 1..=7 {
+            for m in 0..=n + 1 {
+                for pattern in 0u32..(1 << n) {
+                    let mut solver = Solver::new();
+                    let vars = solver.new_vars(n);
+                    let lits: Vec<Lit> = vars.iter().map(|v| v.positive()).collect();
+                    at_least_k_totalizer(&mut solver, &lits, m);
+                    let assumptions: Vec<Lit> = (0..n)
+                        .map(|i| Lit::new(vars[i], pattern & (1 << i) != 0))
+                        .collect();
+                    let expected = (pattern.count_ones() as usize) >= m;
+                    assert_eq!(
+                        solver.solve_with(&assumptions) == SolveResult::Sat,
+                        expected,
+                        "n={n} m={m} pattern={pattern:b}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn commander_at_most_one() {
+        for n in [1usize, 2, 3, 4, 7, 10] {
+            for pattern in 0u32..(1 << n) {
+                let mut solver = Solver::new();
+                let vars = solver.new_vars(n);
+                let lits: Vec<Lit> = vars.iter().map(|v| v.positive()).collect();
+                commander(&mut solver, &lits);
+                let assumptions: Vec<Lit> = (0..n)
+                    .map(|i| Lit::new(vars[i], pattern & (1 << i) != 0))
+                    .collect();
+                let expected = pattern.count_ones() <= 1;
+                assert_eq!(
+                    solver.solve_with(&assumptions) == SolveResult::Sat,
+                    expected,
+                    "n={n} pattern={pattern:b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn encoding_into_cnf_counts_clauses() {
+        let mut cnf = Cnf::new(6);
+        let lits: Vec<Lit> = (0..6).map(|i| Var::from_index(i).positive()).collect();
+        at_most_k(&mut cnf, &lits, 2, CardEncoding::SequentialCounter);
+        assert!(!cnf.is_empty());
+        assert!(cnf.num_vars > 6, "aux variables were created");
+    }
+
+    #[test]
+    fn trivial_bounds_produce_no_clauses() {
+        let mut cnf = Cnf::new(3);
+        let lits: Vec<Lit> = (0..3).map(|i| Var::from_index(i).positive()).collect();
+        at_most_k(&mut cnf, &lits, 3, CardEncoding::SequentialCounter);
+        assert!(cnf.is_empty());
+        at_least_k(&mut cnf, &lits, 0, CardEncoding::SequentialCounter);
+        assert!(cnf.is_empty());
+    }
+
+    #[test]
+    fn k_zero_forces_all_false() {
+        let mut solver = Solver::new();
+        let vars = solver.new_vars(3);
+        let lits: Vec<Lit> = vars.iter().map(|v| v.positive()).collect();
+        at_most_k(&mut solver, &lits, 0, CardEncoding::Totalizer);
+        assert_eq!(solver.solve(), SolveResult::Sat);
+        for v in &vars {
+            assert_eq!(solver.model_value(v.positive()), Some(false));
+        }
+    }
+}

@@ -1,0 +1,287 @@
+//! Clause storage for the CDCL solver.
+//!
+//! Clauses live in a slotted arena ([`ClauseDb`]) and are referred to by
+//! lightweight [`ClauseRef`] handles. Learned clauses carry an activity
+//! score and a literal-block-distance (LBD) used by the clause-database
+//! reduction heuristic.
+
+use crate::types::Lit;
+
+/// A handle to a clause stored in a [`ClauseDb`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ClauseRef(u32);
+
+impl ClauseRef {
+    #[inline]
+    pub(crate) fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A clause: a disjunction of literals plus solver-internal metadata.
+#[derive(Debug, Clone)]
+pub struct Clause {
+    lits: Vec<Lit>,
+    /// `true` for clauses learned during conflict analysis.
+    learnt: bool,
+    /// Activity for the clause-deletion heuristic (learned clauses only).
+    activity: f64,
+    /// Literal block distance at learning time (learned clauses only).
+    lbd: u32,
+}
+
+impl Clause {
+    fn new(lits: Vec<Lit>, learnt: bool) -> Self {
+        Clause {
+            lits,
+            learnt,
+            activity: 0.0,
+            lbd: 0,
+        }
+    }
+
+    /// The literals of this clause. The first two are the watched ones.
+    #[inline]
+    pub fn lits(&self) -> &[Lit] {
+        &self.lits
+    }
+
+    #[inline]
+    pub(crate) fn lits_mut(&mut self) -> &mut [Lit] {
+        &mut self.lits
+    }
+
+    /// Number of literals.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.lits.len()
+    }
+
+    /// `true` if the clause has no literals (only possible transiently).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.lits.is_empty()
+    }
+
+    /// `true` for clauses learned during conflict analysis.
+    #[inline]
+    pub fn is_learnt(&self) -> bool {
+        self.learnt
+    }
+
+    /// Activity score (learned clauses only; 0 otherwise).
+    #[inline]
+    pub fn activity(&self) -> f64 {
+        self.activity
+    }
+
+    /// Literal block distance recorded at learning time.
+    #[inline]
+    pub fn lbd(&self) -> u32 {
+        self.lbd
+    }
+
+    #[inline]
+    pub(crate) fn set_lbd(&mut self, lbd: u32) {
+        self.lbd = lbd;
+    }
+
+    #[inline]
+    pub(crate) fn bump_activity(&mut self, inc: f64) {
+        self.activity += inc;
+    }
+
+    #[inline]
+    pub(crate) fn rescale_activity(&mut self, factor: f64) {
+        self.activity *= factor;
+    }
+}
+
+/// Slotted clause arena with slot reuse.
+///
+/// Deleting a clause frees its slot for reuse by a later allocation, so
+/// [`ClauseRef`]s to deleted clauses must not be dereferenced; the solver
+/// guarantees this by lazily purging watcher lists.
+#[derive(Debug, Default)]
+pub struct ClauseDb {
+    slots: Vec<Option<Clause>>,
+    free: Vec<u32>,
+    num_original: usize,
+    num_learnt: usize,
+    lits_in_learnt: u64,
+}
+
+impl ClauseDb {
+    /// Creates an empty clause database.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Allocates a clause and returns its handle.
+    pub fn alloc(&mut self, lits: Vec<Lit>, learnt: bool) -> ClauseRef {
+        debug_assert!(lits.len() >= 2, "unit/empty clauses are not stored");
+        if learnt {
+            self.num_learnt += 1;
+            self.lits_in_learnt += lits.len() as u64;
+        } else {
+            self.num_original += 1;
+        }
+        let clause = Clause::new(lits, learnt);
+        match self.free.pop() {
+            Some(slot) => {
+                self.slots[slot as usize] = Some(clause);
+                ClauseRef(slot)
+            }
+            None => {
+                self.slots.push(Some(clause));
+                ClauseRef((self.slots.len() - 1) as u32)
+            }
+        }
+    }
+
+    /// Frees a clause slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the clause was already freed.
+    pub fn free(&mut self, cref: ClauseRef) {
+        let clause = self.slots[cref.index()]
+            .take()
+            .expect("double free of clause");
+        if clause.learnt {
+            self.num_learnt -= 1;
+            self.lits_in_learnt -= clause.lits.len() as u64;
+        } else {
+            self.num_original -= 1;
+        }
+        self.free.push(cref.0);
+    }
+
+    /// Returns `true` if `cref` refers to a live clause.
+    #[inline]
+    pub fn is_live(&self, cref: ClauseRef) -> bool {
+        self.slots
+            .get(cref.index())
+            .map_or(false, |slot| slot.is_some())
+    }
+
+    /// Borrows a live clause.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the clause has been freed.
+    #[inline]
+    pub fn get(&self, cref: ClauseRef) -> &Clause {
+        self.slots[cref.index()]
+            .as_ref()
+            .expect("clause was freed")
+    }
+
+    /// Mutably borrows a live clause.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the clause has been freed.
+    #[inline]
+    pub fn get_mut(&mut self, cref: ClauseRef) -> &mut Clause {
+        self.slots[cref.index()]
+            .as_mut()
+            .expect("clause was freed")
+    }
+
+    /// Number of live original (problem) clauses.
+    #[inline]
+    pub fn num_original(&self) -> usize {
+        self.num_original
+    }
+
+    /// Number of live learned clauses.
+    #[inline]
+    pub fn num_learnt(&self) -> usize {
+        self.num_learnt
+    }
+
+    /// Iterates over the handles of all live clauses.
+    pub fn iter_refs(&self) -> impl Iterator<Item = ClauseRef> + '_ {
+        self.slots.iter().enumerate().filter_map(|(i, slot)| {
+            slot.as_ref().map(|_| ClauseRef(i as u32))
+        })
+    }
+
+    /// Iterates over the handles of live learned clauses.
+    pub fn iter_learnt_refs(&self) -> impl Iterator<Item = ClauseRef> + '_ {
+        self.slots.iter().enumerate().filter_map(|(i, slot)| {
+            slot.as_ref()
+                .filter(|c| c.learnt)
+                .map(|_| ClauseRef(i as u32))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::Var;
+
+    fn lits(codes: &[i32]) -> Vec<Lit> {
+        codes.iter().map(|&d| Lit::from_dimacs(d)).collect()
+    }
+
+    #[test]
+    fn alloc_and_get() {
+        let mut db = ClauseDb::new();
+        let c = db.alloc(lits(&[1, -2, 3]), false);
+        assert_eq!(db.get(c).len(), 3);
+        assert!(!db.get(c).is_learnt());
+        assert_eq!(db.num_original(), 1);
+        assert_eq!(db.num_learnt(), 0);
+        assert!(db.is_live(c));
+    }
+
+    #[test]
+    fn free_reuses_slot() {
+        let mut db = ClauseDb::new();
+        let a = db.alloc(lits(&[1, 2]), false);
+        db.free(a);
+        assert!(!db.is_live(a));
+        let b = db.alloc(lits(&[3, 4]), true);
+        // Slot is reused, so the indices coincide but content differs.
+        assert_eq!(a.index(), b.index());
+        assert!(db.get(b).is_learnt());
+        assert_eq!(db.num_original(), 0);
+        assert_eq!(db.num_learnt(), 1);
+    }
+
+    #[test]
+    fn iter_refs_skips_freed() {
+        let mut db = ClauseDb::new();
+        let a = db.alloc(lits(&[1, 2]), false);
+        let b = db.alloc(lits(&[2, 3]), true);
+        let c = db.alloc(lits(&[3, 4]), true);
+        db.free(b);
+        let live: Vec<_> = db.iter_refs().collect();
+        assert_eq!(live, vec![a, c]);
+        let learnt: Vec<_> = db.iter_learnt_refs().collect();
+        assert_eq!(learnt, vec![c]);
+    }
+
+    #[test]
+    fn activity_bump_and_rescale() {
+        let mut db = ClauseDb::new();
+        let c = db.alloc(lits(&[1, 2]), true);
+        db.get_mut(c).bump_activity(2.0);
+        db.get_mut(c).rescale_activity(0.5);
+        assert!((db.get(c).activity() - 1.0).abs() < 1e-12);
+        db.get_mut(c).set_lbd(3);
+        assert_eq!(db.get(c).lbd(), 3);
+    }
+
+    #[test]
+    #[should_panic]
+    fn double_free_panics() {
+        let mut db = ClauseDb::new();
+        let a = db.alloc(lits(&[1, 2]), false);
+        db.free(a);
+        db.free(a);
+    }
+}

@@ -1,0 +1,245 @@
+//! DIMACS CNF reading and writing.
+//!
+//! The format understood is the classic `p cnf <vars> <clauses>` header,
+//! `c` comment lines, and zero-terminated clauses. Parsing is tolerant:
+//! clauses may span lines and the header counts are checked but a clause
+//! count mismatch only produces an error when strict parsing is requested.
+
+use std::fmt::Write as _;
+use std::str::FromStr;
+
+use crate::types::Lit;
+
+/// A parsed CNF formula: a variable count and a list of clauses.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Cnf {
+    /// Number of variables (variables are `0..num_vars`).
+    pub num_vars: usize,
+    /// The clauses, each a vector of literals.
+    pub clauses: Vec<Vec<Lit>>,
+}
+
+impl Cnf {
+    /// Creates an empty formula over `num_vars` variables.
+    pub fn new(num_vars: usize) -> Self {
+        Cnf {
+            num_vars,
+            clauses: Vec::new(),
+        }
+    }
+
+    /// Adds a clause; grows `num_vars` if the clause mentions new variables.
+    pub fn add_clause(&mut self, lits: impl IntoIterator<Item = Lit>) {
+        let clause: Vec<Lit> = lits.into_iter().collect();
+        for lit in &clause {
+            self.num_vars = self.num_vars.max(lit.var().index() + 1);
+        }
+        self.clauses.push(clause);
+    }
+
+    /// Number of clauses.
+    pub fn len(&self) -> usize {
+        self.clauses.len()
+    }
+
+    /// `true` if the formula has no clauses.
+    pub fn is_empty(&self) -> bool {
+        self.clauses.is_empty()
+    }
+
+    /// Renders the formula in DIMACS CNF format.
+    pub fn to_dimacs(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "p cnf {} {}", self.num_vars, self.clauses.len());
+        for clause in &self.clauses {
+            for lit in clause {
+                let _ = write!(out, "{} ", lit.to_dimacs());
+            }
+            let _ = writeln!(out, "0");
+        }
+        out
+    }
+
+    /// Loads all clauses into a [`Solver`](crate::Solver), creating
+    /// variables as needed, and returns the variables created.
+    pub fn load_into(&self, solver: &mut crate::Solver) -> Vec<crate::Var> {
+        let vars = solver.new_vars(self.num_vars.saturating_sub(solver.num_vars()));
+        let all_vars: Vec<crate::Var> = (0..solver.num_vars())
+            .map(crate::Var::from_index)
+            .collect();
+        for clause in &self.clauses {
+            solver.add_clause(clause.iter().copied());
+        }
+        let _ = vars;
+        all_vars
+    }
+}
+
+impl FromStr for Cnf {
+    type Err = ParseDimacsError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        parse_dimacs(s)
+    }
+}
+
+/// Error produced when parsing a DIMACS CNF file fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseDimacsError {
+    /// The `p cnf` header is missing or malformed.
+    BadHeader(String),
+    /// A token could not be parsed as an integer literal.
+    BadLiteral(String),
+    /// A clause mentions a variable above the header's variable count.
+    VariableOutOfRange {
+        /// The offending (1-based) variable number.
+        var: usize,
+        /// The maximum declared in the header.
+        max: usize,
+    },
+    /// The file ended in the middle of a clause (missing terminating 0).
+    UnterminatedClause,
+}
+
+impl std::fmt::Display for ParseDimacsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseDimacsError::BadHeader(line) => write!(f, "malformed dimacs header: {line:?}"),
+            ParseDimacsError::BadLiteral(tok) => write!(f, "malformed literal token: {tok:?}"),
+            ParseDimacsError::VariableOutOfRange { var, max } => {
+                write!(f, "variable {var} exceeds declared maximum {max}")
+            }
+            ParseDimacsError::UnterminatedClause => write!(f, "unterminated clause at end of file"),
+        }
+    }
+}
+
+impl std::error::Error for ParseDimacsError {}
+
+/// Parses a DIMACS CNF document.
+///
+/// # Errors
+///
+/// Returns a [`ParseDimacsError`] on malformed headers, bad literal tokens,
+/// out-of-range variables or a missing final clause terminator.
+pub fn parse_dimacs(input: &str) -> Result<Cnf, ParseDimacsError> {
+    let mut num_vars: Option<usize> = None;
+    let mut cnf = Cnf::default();
+    let mut current: Vec<Lit> = Vec::new();
+    for line in input.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('c') || line.starts_with('%') {
+            continue;
+        }
+        if line.starts_with('p') {
+            let mut parts = line.split_whitespace();
+            let (Some("p"), Some("cnf")) = (parts.next(), parts.next()) else {
+                return Err(ParseDimacsError::BadHeader(line.to_string()));
+            };
+            let vars: usize = parts
+                .next()
+                .and_then(|t| t.parse().ok())
+                .ok_or_else(|| ParseDimacsError::BadHeader(line.to_string()))?;
+            let _clauses: usize = parts
+                .next()
+                .and_then(|t| t.parse().ok())
+                .ok_or_else(|| ParseDimacsError::BadHeader(line.to_string()))?;
+            num_vars = Some(vars);
+            cnf.num_vars = vars;
+            continue;
+        }
+        for tok in line.split_whitespace() {
+            let value: i32 = tok
+                .parse()
+                .map_err(|_| ParseDimacsError::BadLiteral(tok.to_string()))?;
+            if value == 0 {
+                cnf.clauses.push(std::mem::take(&mut current));
+            } else {
+                let lit = Lit::from_dimacs(value);
+                if let Some(max) = num_vars {
+                    if lit.var().index() >= max {
+                        return Err(ParseDimacsError::VariableOutOfRange {
+                            var: lit.var().index() + 1,
+                            max,
+                        });
+                    }
+                }
+                cnf.num_vars = cnf.num_vars.max(lit.var().index() + 1);
+                current.push(lit);
+            }
+        }
+    }
+    if !current.is_empty() {
+        return Err(ParseDimacsError::UnterminatedClause);
+    }
+    Ok(cnf)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{SolveResult, Solver};
+
+    #[test]
+    fn parse_simple_formula() {
+        let text = "c comment\np cnf 3 2\n1 -2 0\n2 3 0\n";
+        let cnf = parse_dimacs(text).expect("parses");
+        assert_eq!(cnf.num_vars, 3);
+        assert_eq!(cnf.len(), 2);
+        assert_eq!(cnf.clauses[0], vec![Lit::from_dimacs(1), Lit::from_dimacs(-2)]);
+    }
+
+    #[test]
+    fn clause_spanning_lines() {
+        let text = "p cnf 2 1\n1\n-2\n0\n";
+        let cnf = parse_dimacs(text).expect("parses");
+        assert_eq!(cnf.len(), 1);
+        assert_eq!(cnf.clauses[0].len(), 2);
+    }
+
+    #[test]
+    fn roundtrip_through_dimacs_text() {
+        let mut cnf = Cnf::new(3);
+        cnf.add_clause([Lit::from_dimacs(1), Lit::from_dimacs(-3)]);
+        cnf.add_clause([Lit::from_dimacs(2)]);
+        let text = cnf.to_dimacs();
+        let back: Cnf = text.parse().expect("parses");
+        assert_eq!(back, cnf);
+    }
+
+    #[test]
+    fn header_out_of_range_is_reported() {
+        let text = "p cnf 2 1\n1 -3 0\n";
+        assert_eq!(
+            parse_dimacs(text),
+            Err(ParseDimacsError::VariableOutOfRange { var: 3, max: 2 })
+        );
+    }
+
+    #[test]
+    fn unterminated_clause_is_reported() {
+        let text = "p cnf 2 1\n1 -2\n";
+        assert_eq!(parse_dimacs(text), Err(ParseDimacsError::UnterminatedClause));
+    }
+
+    #[test]
+    fn bad_tokens_are_reported() {
+        assert!(matches!(
+            parse_dimacs("p cnf 1 1\nxyz 0\n"),
+            Err(ParseDimacsError::BadLiteral(_))
+        ));
+        assert!(matches!(
+            parse_dimacs("p dnf 1 1\n1 0\n"),
+            Err(ParseDimacsError::BadHeader(_))
+        ));
+    }
+
+    #[test]
+    fn load_into_solver_and_solve() {
+        let cnf: Cnf = "p cnf 2 2\n1 2 0\n-1 2 0\n".parse().expect("parses");
+        let mut solver = Solver::new();
+        cnf.load_into(&mut solver);
+        assert_eq!(solver.solve(), SolveResult::Sat);
+        assert_eq!(solver.model_value(Lit::from_dimacs(2)), Some(true));
+    }
+}

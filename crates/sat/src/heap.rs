@@ -1,0 +1,205 @@
+//! Indexed binary max-heap over variables, ordered by VSIDS activity.
+//!
+//! This is the classic MiniSat "order heap": it supports decrease/increase
+//! key via [`VarHeap::update`] because every variable's heap position is
+//! tracked in an index array.
+
+use crate::types::Var;
+
+/// Binary max-heap of variables keyed by an external activity array.
+#[derive(Debug, Default, Clone)]
+pub struct VarHeap {
+    heap: Vec<Var>,
+    /// position of each variable in `heap`, or `usize::MAX` if absent.
+    index: Vec<usize>,
+}
+
+const ABSENT: usize = usize::MAX;
+
+impl VarHeap {
+    /// Creates an empty heap.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Ensures the index array can hold variables up to `num_vars`.
+    pub fn grow(&mut self, num_vars: usize) {
+        if self.index.len() < num_vars {
+            self.index.resize(num_vars, ABSENT);
+        }
+    }
+
+    /// Number of variables currently in the heap.
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether the heap is empty.
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Whether `var` is currently in the heap.
+    pub fn contains(&self, var: Var) -> bool {
+        self.index
+            .get(var.index())
+            .map_or(false, |&pos| pos != ABSENT)
+    }
+
+    /// Inserts `var` (no-op if present), restoring the heap property using
+    /// `activity`.
+    pub fn insert(&mut self, var: Var, activity: &[f64]) {
+        self.grow(var.index() + 1);
+        if self.contains(var) {
+            return;
+        }
+        self.heap.push(var);
+        self.index[var.index()] = self.heap.len() - 1;
+        self.sift_up(self.heap.len() - 1, activity);
+    }
+
+    /// Removes and returns the variable with maximum activity.
+    pub fn pop(&mut self, activity: &[f64]) -> Option<Var> {
+        if self.heap.is_empty() {
+            return None;
+        }
+        let top = self.heap[0];
+        let last = self.heap.pop().expect("non-empty");
+        self.index[top.index()] = ABSENT;
+        if !self.heap.is_empty() {
+            self.heap[0] = last;
+            self.index[last.index()] = 0;
+            self.sift_down(0, activity);
+        }
+        Some(top)
+    }
+
+    /// Restores the heap property after `var`'s activity increased.
+    pub fn update(&mut self, var: Var, activity: &[f64]) {
+        if let Some(&pos) = self.index.get(var.index()) {
+            if pos != ABSENT {
+                self.sift_up(pos, activity);
+            }
+        }
+    }
+
+    fn sift_up(&mut self, mut pos: usize, activity: &[f64]) {
+        while pos > 0 {
+            let parent = (pos - 1) / 2;
+            if activity[self.heap[pos].index()] <= activity[self.heap[parent].index()] {
+                break;
+            }
+            self.swap(pos, parent);
+            pos = parent;
+        }
+    }
+
+    fn sift_down(&mut self, mut pos: usize, activity: &[f64]) {
+        loop {
+            let left = 2 * pos + 1;
+            let right = 2 * pos + 2;
+            let mut best = pos;
+            if left < self.heap.len()
+                && activity[self.heap[left].index()] > activity[self.heap[best].index()]
+            {
+                best = left;
+            }
+            if right < self.heap.len()
+                && activity[self.heap[right].index()] > activity[self.heap[best].index()]
+            {
+                best = right;
+            }
+            if best == pos {
+                break;
+            }
+            self.swap(pos, best);
+            pos = best;
+        }
+    }
+
+    #[inline]
+    fn swap(&mut self, a: usize, b: usize) {
+        self.heap.swap(a, b);
+        self.index[self.heap[a].index()] = a;
+        self.index[self.heap[b].index()] = b;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn var(i: usize) -> Var {
+        Var::from_index(i)
+    }
+
+    #[test]
+    fn pops_in_activity_order() {
+        let activity = vec![1.0, 5.0, 3.0, 4.0, 2.0];
+        let mut heap = VarHeap::new();
+        for i in 0..5 {
+            heap.insert(var(i), &activity);
+        }
+        let order: Vec<usize> = std::iter::from_fn(|| heap.pop(&activity))
+            .map(Var::index)
+            .collect();
+        assert_eq!(order, vec![1, 3, 2, 4, 0]);
+        assert!(heap.is_empty());
+    }
+
+    #[test]
+    fn insert_is_idempotent() {
+        let activity = vec![1.0, 2.0];
+        let mut heap = VarHeap::new();
+        heap.insert(var(0), &activity);
+        heap.insert(var(0), &activity);
+        assert_eq!(heap.len(), 1);
+    }
+
+    #[test]
+    fn update_moves_variable_up() {
+        let mut activity = vec![1.0, 2.0, 3.0];
+        let mut heap = VarHeap::new();
+        for i in 0..3 {
+            heap.insert(var(i), &activity);
+        }
+        activity[0] = 10.0;
+        heap.update(var(0), &activity);
+        assert_eq!(heap.pop(&activity), Some(var(0)));
+    }
+
+    #[test]
+    fn contains_reflects_membership() {
+        let activity = vec![1.0; 4];
+        let mut heap = VarHeap::new();
+        heap.insert(var(2), &activity);
+        assert!(heap.contains(var(2)));
+        assert!(!heap.contains(var(1)));
+        heap.pop(&activity);
+        assert!(!heap.contains(var(2)));
+    }
+
+    #[test]
+    fn random_stress_matches_sorting() {
+        // Deterministic LCG so the test needs no external crates.
+        let mut state = 0x2545_f491_4f6c_dd1du64;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 33) as f64 / (1u64 << 31) as f64
+        };
+        let n = 200;
+        let activity: Vec<f64> = (0..n).map(|_| next()).collect();
+        let mut heap = VarHeap::new();
+        for i in 0..n {
+            heap.insert(var(i), &activity);
+        }
+        let mut expected: Vec<usize> = (0..n).collect();
+        expected.sort_by(|&a, &b| activity[b].partial_cmp(&activity[a]).expect("no NaN"));
+        let got: Vec<usize> = std::iter::from_fn(|| heap.pop(&activity))
+            .map(Var::index)
+            .collect();
+        assert_eq!(got, expected);
+    }
+}

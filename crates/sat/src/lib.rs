@@ -1,0 +1,52 @@
+//! # revpebble-sat
+//!
+//! A self-contained CDCL SAT solver plus cardinality-constraint encodings,
+//! built as the solving substrate for the `revpebble` reproduction of
+//! *"Reversible Pebbling Game for Quantum Memory Management"* (Meuli et
+//! al., DATE 2019). The paper uses Z3 as a black-box SAT oracle; this crate
+//! provides an equivalent oracle implemented from scratch.
+//!
+//! ## Highlights
+//!
+//! - [`Solver`]: two-watched-literal propagation, first-UIP learning,
+//!   VSIDS + phase saving, Luby restarts, clause-database reduction,
+//!   incremental solving under assumptions, and conflict/time budgets
+//!   (needed for the paper's timeout-based pebble minimization).
+//! - [`card`]: pairwise, sequential-counter and totalizer encodings of
+//!   `Σ xᵢ ≤ k`, the building block of the paper's "at most `P` pebbles
+//!   per step" constraint.
+//! - [`dimacs`]: DIMACS CNF parsing and printing.
+//! - [`reference`]: an exponential DPLL oracle used to cross-validate the
+//!   CDCL solver in tests.
+//!
+//! ## Example
+//!
+//! ```
+//! use revpebble_sat::{card, Solver, SolveResult};
+//! use revpebble_sat::card::CardEncoding;
+//!
+//! let mut solver = Solver::new();
+//! let lits: Vec<_> = (0..5).map(|_| solver.new_var().positive()).collect();
+//! // At most two of the five literals may be true …
+//! card::at_most_k(&mut solver, &lits, 2, CardEncoding::SequentialCounter);
+//! // … but we force three of them:
+//! for lit in &lits[..3] {
+//!     solver.add_clause([*lit]);
+//! }
+//! assert_eq!(solver.solve(), SolveResult::Unsat);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod card;
+pub mod clause;
+pub mod dimacs;
+mod heap;
+pub mod reference;
+pub mod solver;
+pub mod tseitin;
+pub mod types;
+
+pub use dimacs::{parse_dimacs, Cnf, ParseDimacsError};
+pub use solver::{SolveResult, Solver, SolverConfig, SolverStats};
+pub use types::{LBool, Lit, Var};

@@ -1,0 +1,155 @@
+//! A tiny, obviously-correct DPLL reference solver.
+//!
+//! Used by the test suite (including property tests) as an oracle for the
+//! CDCL solver. It enumerates assignments with naive unit propagation and
+//! is exponential — only ever use it on formulas with ≲ 25 variables.
+
+use crate::dimacs::Cnf;
+use crate::types::{LBool, Lit};
+
+/// Decides satisfiability of `cnf` by plain DPLL.
+///
+/// Returns `Some(model)` (indexed by variable) when satisfiable, `None`
+/// otherwise.
+///
+/// # Panics
+///
+/// Panics if the formula has more than 30 variables; this function is a
+/// testing oracle, not a solver.
+pub fn brute_force(cnf: &Cnf) -> Option<Vec<bool>> {
+    assert!(
+        cnf.num_vars <= 30,
+        "reference solver is exponential; got {} variables",
+        cnf.num_vars
+    );
+    let mut assignment = vec![LBool::Undef; cnf.num_vars];
+    if dpll(cnf, &mut assignment, 0) {
+        Some(
+            assignment
+                .iter()
+                .map(|v| v.to_bool().unwrap_or(false))
+                .collect(),
+        )
+    } else {
+        None
+    }
+}
+
+/// Evaluates `cnf` under a complete assignment.
+pub fn evaluate(cnf: &Cnf, assignment: &[bool]) -> bool {
+    cnf.clauses.iter().all(|clause| {
+        clause.iter().any(|lit| {
+            let value = assignment[lit.var().index()];
+            if lit.is_positive() {
+                value
+            } else {
+                !value
+            }
+        })
+    })
+}
+
+fn value_of(assignment: &[LBool], lit: Lit) -> LBool {
+    let v = assignment[lit.var().index()];
+    if lit.is_positive() {
+        v
+    } else {
+        v.negate()
+    }
+}
+
+fn dpll(cnf: &Cnf, assignment: &mut [LBool], mut next_var: usize) -> bool {
+    // Check clauses / find a unit.
+    loop {
+        let mut unit: Option<Lit> = None;
+        for clause in &cnf.clauses {
+            let mut unassigned: Option<Lit> = None;
+            let mut num_unassigned = 0;
+            let mut satisfied = false;
+            for &lit in clause {
+                match value_of(assignment, lit) {
+                    LBool::True => {
+                        satisfied = true;
+                        break;
+                    }
+                    LBool::Undef => {
+                        num_unassigned += 1;
+                        unassigned = Some(lit);
+                    }
+                    LBool::False => {}
+                }
+            }
+            if satisfied {
+                continue;
+            }
+            match num_unassigned {
+                0 => return false, // falsified clause
+                1 => {
+                    unit = unassigned;
+                    break;
+                }
+                _ => {}
+            }
+        }
+        match unit {
+            Some(lit) => {
+                let saved = assignment.to_vec();
+                assignment[lit.var().index()] = LBool::from_bool(lit.is_positive());
+                if dpll(cnf, assignment, next_var) {
+                    return true;
+                }
+                assignment.copy_from_slice(&saved);
+                return false;
+            }
+            None => break,
+        }
+    }
+    // Find next unassigned variable.
+    while next_var < assignment.len() && assignment[next_var].is_assigned() {
+        next_var += 1;
+    }
+    if next_var == assignment.len() {
+        return true; // all clauses satisfied, all vars assigned
+    }
+    for value in [true, false] {
+        let saved = assignment.to_vec();
+        assignment[next_var] = LBool::from_bool(value);
+        if dpll(cnf, assignment, next_var + 1) {
+            return true;
+        }
+        assignment.copy_from_slice(&saved);
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sat_formula_yields_model() {
+        let cnf: Cnf = "p cnf 3 3\n1 2 0\n-1 3 0\n-2 -3 0\n".parse().expect("parses");
+        let model = brute_force(&cnf).expect("satisfiable");
+        assert!(evaluate(&cnf, &model));
+    }
+
+    #[test]
+    fn unsat_formula_yields_none() {
+        let cnf: Cnf = "p cnf 1 2\n1 0\n-1 0\n".parse().expect("parses");
+        assert_eq!(brute_force(&cnf), None);
+    }
+
+    #[test]
+    fn empty_formula_is_sat() {
+        let cnf = Cnf::new(2);
+        assert!(brute_force(&cnf).is_some());
+    }
+
+    #[test]
+    fn evaluate_checks_all_clauses() {
+        let cnf: Cnf = "p cnf 2 2\n1 0\n-2 0\n".parse().expect("parses");
+        assert!(evaluate(&cnf, &[true, false]));
+        assert!(!evaluate(&cnf, &[true, true]));
+        assert!(!evaluate(&cnf, &[false, false]));
+    }
+}

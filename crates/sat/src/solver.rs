@@ -1,0 +1,1037 @@
+//! A CDCL (conflict-driven clause learning) SAT solver.
+//!
+//! The design follows the MiniSat lineage:
+//!
+//! - unit propagation with two watched literals and blocker literals,
+//! - first-UIP conflict analysis with clause minimization,
+//! - VSIDS variable activities with phase saving,
+//! - Luby-sequence restarts,
+//! - activity/LBD-based learned-clause database reduction,
+//! - incremental solving under assumptions,
+//! - conflict and wall-clock budgets so callers can implement timeouts
+//!   (the paper's Table I methodology relies on per-query timeouts).
+//!
+//! # Example
+//!
+//! ```
+//! use revpebble_sat::{Solver, SolveResult};
+//!
+//! let mut solver = Solver::new();
+//! let a = solver.new_var().positive();
+//! let b = solver.new_var().positive();
+//! solver.add_clause([a, b]);
+//! solver.add_clause([!a, b]);
+//! assert_eq!(solver.solve(), SolveResult::Sat);
+//! assert_eq!(solver.model_value(b), Some(true));
+//! ```
+
+use std::time::{Duration, Instant};
+
+use crate::clause::{ClauseDb, ClauseRef};
+use crate::types::{LBool, Lit, Var};
+use crate::heap::VarHeap;
+
+/// Outcome of a [`Solver::solve`] call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SolveResult {
+    /// A satisfying assignment was found; query it via
+    /// [`Solver::model_value`].
+    Sat,
+    /// The formula (under the given assumptions) is unsatisfiable.
+    Unsat,
+    /// The search exhausted its conflict or time budget.
+    Unknown,
+}
+
+/// Search statistics, cumulative over the lifetime of the solver.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SolverStats {
+    /// Number of decisions made.
+    pub decisions: u64,
+    /// Number of literals propagated.
+    pub propagations: u64,
+    /// Number of conflicts encountered.
+    pub conflicts: u64,
+    /// Number of restarts performed.
+    pub restarts: u64,
+    /// Number of learned clauses deleted by database reduction.
+    pub deleted_clauses: u64,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Watcher {
+    cref: ClauseRef,
+    blocker: Lit,
+}
+
+/// Tunable solver parameters. The defaults work well for the pebbling
+/// encodings produced by `revpebble-core`.
+#[derive(Debug, Clone, Copy)]
+pub struct SolverConfig {
+    /// Multiplicative VSIDS decay (activity increment grows by `1/decay`).
+    pub var_decay: f64,
+    /// Decay for learned-clause activities.
+    pub clause_decay: f64,
+    /// Base interval (in conflicts) of the Luby restart sequence.
+    pub restart_base: u64,
+    /// Initial cap on the number of learned clauses, as a fraction of the
+    /// number of problem clauses.
+    pub learntsize_factor: f64,
+    /// Growth factor applied to the learned-clause cap at every reduction.
+    pub learntsize_inc: f64,
+}
+
+impl Default for SolverConfig {
+    fn default() -> Self {
+        SolverConfig {
+            var_decay: 0.95,
+            clause_decay: 0.999,
+            restart_base: 100,
+            learntsize_factor: 1.0 / 3.0,
+            learntsize_inc: 1.1,
+        }
+    }
+}
+
+/// A CDCL SAT solver. See the [module documentation](self) for an overview.
+#[derive(Debug)]
+pub struct Solver {
+    config: SolverConfig,
+    clauses: ClauseDb,
+    /// watches[p] = clauses to inspect when literal `p` becomes true
+    /// (they contain `¬p` as one of their two watched literals).
+    watches: Vec<Vec<Watcher>>,
+    assigns: Vec<LBool>,
+    polarity: Vec<bool>,
+    reason: Vec<Option<ClauseRef>>,
+    level: Vec<u32>,
+    trail: Vec<Lit>,
+    trail_lim: Vec<usize>,
+    qhead: usize,
+    activity: Vec<f64>,
+    var_inc: f64,
+    clause_inc: f64,
+    order: VarHeap,
+    /// false once the clause set is unsatisfiable at level 0.
+    ok: bool,
+    model: Vec<LBool>,
+    stats: SolverStats,
+    max_learnts: f64,
+    // scratch buffers for conflict analysis
+    seen: Vec<bool>,
+    analyze_clear: Vec<Var>,
+    // budgets (per solve call)
+    conflict_budget: Option<u64>,
+    deadline: Option<Instant>,
+    /// Failed assumptions of the last Unsat result (an unsat core over the
+    /// assumption set), when the conflict involved assumptions.
+    conflict_core: Vec<Lit>,
+}
+
+impl Default for Solver {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Solver {
+    /// Creates an empty solver with default [`SolverConfig`].
+    pub fn new() -> Self {
+        Self::with_config(SolverConfig::default())
+    }
+
+    /// Creates an empty solver with the given configuration.
+    pub fn with_config(config: SolverConfig) -> Self {
+        Solver {
+            config,
+            clauses: ClauseDb::new(),
+            watches: Vec::new(),
+            assigns: Vec::new(),
+            polarity: Vec::new(),
+            reason: Vec::new(),
+            level: Vec::new(),
+            trail: Vec::new(),
+            trail_lim: Vec::new(),
+            qhead: 0,
+            activity: Vec::new(),
+            var_inc: 1.0,
+            clause_inc: 1.0,
+            order: VarHeap::new(),
+            ok: true,
+            model: Vec::new(),
+            stats: SolverStats::default(),
+            max_learnts: 0.0,
+            seen: Vec::new(),
+            analyze_clear: Vec::new(),
+            conflict_budget: None,
+            deadline: None,
+            conflict_core: Vec::new(),
+        }
+    }
+
+    /// Creates a fresh variable and returns it.
+    pub fn new_var(&mut self) -> Var {
+        let var = Var::from_index(self.assigns.len());
+        self.assigns.push(LBool::Undef);
+        self.polarity.push(false);
+        self.reason.push(None);
+        self.level.push(0);
+        self.activity.push(0.0);
+        self.seen.push(false);
+        self.watches.push(Vec::new());
+        self.watches.push(Vec::new());
+        self.order.insert(var, &self.activity);
+        var
+    }
+
+    /// Creates `n` fresh variables and returns them.
+    pub fn new_vars(&mut self, n: usize) -> Vec<Var> {
+        (0..n).map(|_| self.new_var()).collect()
+    }
+
+    /// Number of variables created so far.
+    pub fn num_vars(&self) -> usize {
+        self.assigns.len()
+    }
+
+    /// Number of live problem clauses.
+    pub fn num_clauses(&self) -> usize {
+        self.clauses.num_original()
+    }
+
+    /// Number of live learned clauses.
+    pub fn num_learnt_clauses(&self) -> usize {
+        self.clauses.num_learnt()
+    }
+
+    /// Cumulative search statistics.
+    pub fn stats(&self) -> SolverStats {
+        self.stats
+    }
+
+    /// Limits the next [`solve`](Self::solve) call to roughly
+    /// `conflicts` conflicts; `None` removes the limit.
+    pub fn set_conflict_budget(&mut self, conflicts: Option<u64>) {
+        self.conflict_budget = conflicts;
+    }
+
+    /// Limits the next [`solve`](Self::solve) call to roughly `timeout`
+    /// of wall-clock time; `None` removes the limit.
+    pub fn set_time_budget(&mut self, timeout: Option<Duration>) {
+        self.deadline = timeout.map(|t| Instant::now() + t);
+    }
+
+    /// Current truth value of `lit` in the solver's partial assignment.
+    #[inline]
+    fn value(&self, lit: Lit) -> LBool {
+        let v = self.assigns[lit.var().index()];
+        if lit.is_positive() {
+            v
+        } else {
+            v.negate()
+        }
+    }
+
+    #[inline]
+    fn decision_level(&self) -> u32 {
+        self.trail_lim.len() as u32
+    }
+
+    /// Adds a clause. Returns `false` if the clause set became trivially
+    /// unsatisfiable (the solver stays usable but will report `Unsat`).
+    ///
+    /// Duplicate literals are removed and tautological clauses
+    /// (`x ∨ ¬x ∨ …`) are dropped. Must not be called between
+    /// [`solve`](Self::solve) calls that left assumptions set — clauses may
+    /// only be added at decision level 0, which is always the case when
+    /// using the public API.
+    pub fn add_clause(&mut self, lits: impl IntoIterator<Item = Lit>) -> bool {
+        debug_assert_eq!(self.decision_level(), 0);
+        if !self.ok {
+            return false;
+        }
+        let mut lits: Vec<Lit> = lits.into_iter().collect();
+        lits.sort_unstable();
+        lits.dedup();
+        // Tautology / level-0 simplification.
+        let mut simplified = Vec::with_capacity(lits.len());
+        for (i, &lit) in lits.iter().enumerate() {
+            if i + 1 < lits.len() && lits[i + 1] == !lit {
+                return true; // tautology: contains both polarities
+            }
+            match self.value(lit) {
+                LBool::True if self.level[lit.var().index()] == 0 => return true,
+                LBool::False if self.level[lit.var().index()] == 0 => continue,
+                _ => simplified.push(lit),
+            }
+        }
+        match simplified.len() {
+            0 => {
+                self.ok = false;
+                false
+            }
+            1 => {
+                self.unchecked_enqueue(simplified[0], None);
+                if self.propagate().is_some() {
+                    self.ok = false;
+                }
+                self.ok
+            }
+            _ => {
+                let cref = self.clauses.alloc(simplified, false);
+                self.attach(cref);
+                true
+            }
+        }
+    }
+
+    fn attach(&mut self, cref: ClauseRef) {
+        let clause = self.clauses.get(cref);
+        let l0 = clause.lits()[0];
+        let l1 = clause.lits()[1];
+        self.watches[(!l0).code()].push(Watcher { cref, blocker: l1 });
+        self.watches[(!l1).code()].push(Watcher { cref, blocker: l0 });
+    }
+
+    #[inline]
+    fn unchecked_enqueue(&mut self, lit: Lit, reason: Option<ClauseRef>) {
+        debug_assert_eq!(self.value(lit), LBool::Undef);
+        let vi = lit.var().index();
+        self.assigns[vi] = LBool::from_bool(lit.is_positive());
+        self.level[vi] = self.decision_level();
+        self.reason[vi] = reason;
+        self.trail.push(lit);
+    }
+
+    /// Unit propagation. Returns the conflicting clause, if any.
+    fn propagate(&mut self) -> Option<ClauseRef> {
+        let mut conflict = None;
+        while self.qhead < self.trail.len() {
+            let p = self.trail[self.qhead];
+            self.qhead += 1;
+            self.stats.propagations += 1;
+
+            let mut ws = std::mem::take(&mut self.watches[p.code()]);
+            let mut kept = 0usize;
+            let mut i = 0usize;
+            'watchers: while i < ws.len() {
+                let w = ws[i];
+                i += 1;
+                // Fast path: blocker already satisfied.
+                if self.value(w.blocker) == LBool::True {
+                    ws[kept] = w;
+                    kept += 1;
+                    continue;
+                }
+                let false_lit = !p;
+                let clause = self.clauses.get_mut(w.cref);
+                let lits = clause.lits_mut();
+                if lits[0] == false_lit {
+                    lits.swap(0, 1);
+                }
+                debug_assert_eq!(lits[1], false_lit);
+                let first = lits[0];
+                if first != w.blocker && self.value(first) == LBool::True {
+                    ws[kept] = Watcher { cref: w.cref, blocker: first };
+                    kept += 1;
+                    continue;
+                }
+                // Look for a new literal to watch.
+                let clause = self.clauses.get_mut(w.cref);
+                let lits = clause.lits_mut();
+                for k in 2..lits.len() {
+                    let cand = lits[k];
+                    let val = {
+                        let v = self.assigns[cand.var().index()];
+                        if cand.is_positive() { v } else { v.negate() }
+                    };
+                    if val != LBool::False {
+                        lits.swap(1, k);
+                        let new_watch = lits[1];
+                        self.watches[(!new_watch).code()].push(Watcher {
+                            cref: w.cref,
+                            blocker: first,
+                        });
+                        continue 'watchers;
+                    }
+                }
+                // No new watch: clause is unit or conflicting.
+                ws[kept] = Watcher { cref: w.cref, blocker: first };
+                kept += 1;
+                if self.value(first) == LBool::False {
+                    // Conflict: keep remaining watchers and stop.
+                    while i < ws.len() {
+                        ws[kept] = ws[i];
+                        kept += 1;
+                        i += 1;
+                    }
+                    self.qhead = self.trail.len();
+                    conflict = Some(w.cref);
+                } else {
+                    self.unchecked_enqueue(first, Some(w.cref));
+                }
+            }
+            ws.truncate(kept);
+            // Watchers moved to other literals were pushed onto live lists;
+            // p's own list only ever shrinks, so this store is safe.
+            debug_assert!(self.watches[p.code()].is_empty());
+            self.watches[p.code()] = ws;
+            if conflict.is_some() {
+                break;
+            }
+        }
+        conflict
+    }
+
+    /// Backtracks to `target_level`, unassigning everything above it.
+    fn cancel_until(&mut self, target_level: u32) {
+        if self.decision_level() <= target_level {
+            return;
+        }
+        let bound = self.trail_lim[target_level as usize];
+        for idx in (bound..self.trail.len()).rev() {
+            let lit = self.trail[idx];
+            let vi = lit.var().index();
+            self.polarity[vi] = lit.is_positive();
+            self.assigns[vi] = LBool::Undef;
+            self.reason[vi] = None;
+            self.order.insert(lit.var(), &self.activity);
+        }
+        self.trail.truncate(bound);
+        self.trail_lim.truncate(target_level as usize);
+        self.qhead = self.trail.len();
+    }
+
+    fn bump_var(&mut self, var: Var) {
+        let vi = var.index();
+        self.activity[vi] += self.var_inc;
+        if self.activity[vi] > 1e100 {
+            for a in &mut self.activity {
+                *a *= 1e-100;
+            }
+            self.var_inc *= 1e-100;
+        }
+        self.order.update(var, &self.activity);
+    }
+
+    fn decay_activities(&mut self) {
+        self.var_inc /= self.config.var_decay;
+        self.clause_inc /= self.config.clause_decay;
+    }
+
+    fn bump_clause(&mut self, cref: ClauseRef) {
+        let inc = self.clause_inc;
+        let clause = self.clauses.get_mut(cref);
+        clause.bump_activity(inc);
+        if clause.activity() > 1e20 {
+            for r in self.clauses.iter_learnt_refs().collect::<Vec<_>>() {
+                self.clauses.get_mut(r).rescale_activity(1e-20);
+            }
+            self.clause_inc *= 1e-20;
+        }
+    }
+
+    /// First-UIP conflict analysis. Returns the learned clause (asserting
+    /// literal first) and the backjump level.
+    fn analyze(&mut self, mut conflict: ClauseRef) -> (Vec<Lit>, u32) {
+        let mut learnt: Vec<Lit> = vec![Lit::from_code(0)]; // placeholder for the UIP
+        let mut path_count = 0u32;
+        let mut p: Option<Lit> = None;
+        let mut index = self.trail.len();
+
+        loop {
+            if self.clauses.get(conflict).is_learnt() {
+                self.bump_clause(conflict);
+            }
+            let start = usize::from(p.is_some());
+            let clause_lits: Vec<Lit> = self.clauses.get(conflict).lits()[start..].to_vec();
+            for q in clause_lits {
+                let vi = q.var().index();
+                if !self.seen[vi] && self.level[vi] > 0 {
+                    self.seen[vi] = true;
+                    self.analyze_clear.push(q.var());
+                    self.bump_var(q.var());
+                    if self.level[vi] >= self.decision_level() {
+                        path_count += 1;
+                    } else {
+                        learnt.push(q);
+                    }
+                }
+            }
+            // Select the next trail literal to expand.
+            loop {
+                index -= 1;
+                if self.seen[self.trail[index].var().index()] {
+                    break;
+                }
+            }
+            let lit = self.trail[index];
+            p = Some(lit);
+            self.seen[lit.var().index()] = false;
+            path_count -= 1;
+            if path_count == 0 {
+                break;
+            }
+            conflict = self.reason[lit.var().index()]
+                .expect("non-decision literal on conflict path must have a reason");
+        }
+        learnt[0] = !p.expect("analysis visits at least one literal");
+
+        // Clause minimization: drop literals implied by the rest.
+        let mut minimized = Vec::with_capacity(learnt.len());
+        minimized.push(learnt[0]);
+        for &lit in &learnt[1..] {
+            if !self.is_redundant(lit) {
+                minimized.push(lit);
+            }
+        }
+        let mut learnt = minimized;
+
+        // Find the backjump level and move its literal to position 1.
+        let backtrack_level = if learnt.len() == 1 {
+            0
+        } else {
+            let mut max_i = 1;
+            for i in 2..learnt.len() {
+                if self.level[learnt[i].var().index()] > self.level[learnt[max_i].var().index()] {
+                    max_i = i;
+                }
+            }
+            learnt.swap(1, max_i);
+            self.level[learnt[1].var().index()]
+        };
+
+        for var in self.analyze_clear.drain(..) {
+            self.seen[var.index()] = false;
+        }
+        (learnt, backtrack_level)
+    }
+
+    /// Local redundancy check: `lit` is redundant in the learned clause if
+    /// its reason clause consists only of literals already in the clause
+    /// (i.e. `seen`) or assigned at level 0.
+    fn is_redundant(&self, lit: Lit) -> bool {
+        let Some(reason) = self.reason[lit.var().index()] else {
+            return false;
+        };
+        self.clauses.get(reason).lits()[1..].iter().all(|&q| {
+            let vi = q.var().index();
+            self.seen[vi] || self.level[vi] == 0
+        })
+    }
+
+    fn lbd(&self, lits: &[Lit]) -> u32 {
+        let mut levels: Vec<u32> = lits
+            .iter()
+            .map(|l| self.level[l.var().index()])
+            .collect();
+        levels.sort_unstable();
+        levels.dedup();
+        levels.len() as u32
+    }
+
+    /// Removes roughly half of the learned clauses, preferring clauses with
+    /// high LBD and low activity. Reason clauses of current assignments are
+    /// kept. Watch lists are rebuilt afterwards.
+    fn reduce_db(&mut self) {
+        let mut refs: Vec<ClauseRef> = self.clauses.iter_learnt_refs().collect();
+        refs.sort_by(|&a, &b| {
+            let ca = self.clauses.get(a);
+            let cb = self.clauses.get(b);
+            cb.lbd()
+                .cmp(&ca.lbd())
+                .then(ca.activity().partial_cmp(&cb.activity()).expect("no NaN"))
+        });
+        let target = refs.len() / 2;
+        let mut removed = 0usize;
+        for &cref in refs.iter() {
+            if removed >= target {
+                break;
+            }
+            let clause = self.clauses.get(cref);
+            if clause.lbd() <= 2 {
+                continue; // glue clauses are kept forever
+            }
+            let lit0 = clause.lits()[0];
+            let locked = self.reason[lit0.var().index()] == Some(cref)
+                && self.value(lit0) == LBool::True;
+            if locked {
+                continue;
+            }
+            self.clauses.free(cref);
+            removed += 1;
+        }
+        self.stats.deleted_clauses += removed as u64;
+        self.rebuild_watches();
+    }
+
+    fn rebuild_watches(&mut self) {
+        for list in &mut self.watches {
+            list.clear();
+        }
+        for cref in self.clauses.iter_refs().collect::<Vec<_>>() {
+            self.attach(cref);
+        }
+    }
+
+    fn pick_branch_var(&mut self) -> Option<Var> {
+        while let Some(var) = self.order.pop(&self.activity) {
+            if self.assigns[var.index()] == LBool::Undef {
+                return Some(var);
+            }
+        }
+        None
+    }
+
+    /// Solves the clause set without assumptions.
+    pub fn solve(&mut self) -> SolveResult {
+        self.solve_with(&[])
+    }
+
+    /// Analyzes why literal `p` is forced, collecting the subset of
+    /// assumption (decision-level) literals responsible. The result — the
+    /// failed assumptions including `p` itself when `p` is an assumption —
+    /// lands in [`unsat_core`](Self::unsat_core).
+    fn analyze_final(&mut self, p: Lit) {
+        self.conflict_core.clear();
+        self.conflict_core.push(!p);
+        if self.decision_level() == 0 {
+            return;
+        }
+        self.seen[p.var().index()] = true;
+        let bottom = self.trail_lim[0];
+        for idx in (bottom..self.trail.len()).rev() {
+            let lit = self.trail[idx];
+            let vi = lit.var().index();
+            if !self.seen[vi] {
+                continue;
+            }
+            match self.reason[vi] {
+                None => {
+                    // A decision below the branching region is an assumption.
+                    self.conflict_core.push(lit);
+                }
+                Some(cref) => {
+                    for &q in &self.clauses.get(cref).lits()[1..] {
+                        if self.level[q.var().index()] > 0 {
+                            self.seen[q.var().index()] = true;
+                        }
+                    }
+                }
+            }
+            self.seen[vi] = false;
+        }
+        self.seen[p.var().index()] = false;
+        // `seen` may still be set for level-bottom literals never reached;
+        // clear defensively.
+        for idx in bottom..self.trail.len() {
+            self.seen[self.trail[idx].var().index()] = false;
+        }
+    }
+
+    /// After a [`SolveResult::Unsat`] from
+    /// [`solve_with`](Self::solve_with), the subset of assumptions that
+    /// participated in the refutation (an *unsat core* over the assumption
+    /// set). Empty when the clause set is unsatisfiable on its own.
+    pub fn unsat_core(&self) -> &[Lit] {
+        &self.conflict_core
+    }
+
+    /// Solves the clause set under the given assumptions.
+    ///
+    /// Assumptions act like temporary unit clauses: the result is relative
+    /// to them and the solver can be reused afterwards with different
+    /// assumptions (incremental solving).
+    pub fn solve_with(&mut self, assumptions: &[Lit]) -> SolveResult {
+        self.conflict_core.clear();
+        if !self.ok {
+            return SolveResult::Unsat;
+        }
+        self.model.clear();
+        self.max_learnts = (self.clauses.num_original() as f64
+            * self.config.learntsize_factor)
+            .max(1000.0);
+
+        let budget_start = self.stats.conflicts;
+        let mut restarts = 0u64;
+        let result = loop {
+            let budget = luby(2.0, restarts) * self.config.restart_base as f64;
+            match self.search(budget as u64, assumptions, budget_start) {
+                LBool::True => break SolveResult::Sat,
+                LBool::False => break SolveResult::Unsat,
+                LBool::Undef => {
+                    if self.budget_exhausted(budget_start) {
+                        break SolveResult::Unknown;
+                    }
+                    restarts += 1;
+                    self.stats.restarts += 1;
+                }
+            }
+        };
+        self.cancel_until(0);
+        self.conflict_budget = None;
+        self.deadline = None;
+        result
+    }
+
+    fn budget_exhausted(&self, budget_start: u64) -> bool {
+        if let Some(max_conflicts) = self.conflict_budget {
+            if self.stats.conflicts - budget_start >= max_conflicts {
+                return true;
+            }
+        }
+        if let Some(deadline) = self.deadline {
+            if Instant::now() >= deadline {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Searches for a model or a conflict at level 0, restarting after
+    /// `conflicts_allowed` conflicts. Returns `Undef` on restart or budget
+    /// exhaustion.
+    fn search(
+        &mut self,
+        conflicts_allowed: u64,
+        assumptions: &[Lit],
+        budget_start: u64,
+    ) -> LBool {
+        let mut conflicts_here = 0u64;
+        loop {
+            if let Some(conflict) = self.propagate() {
+                self.stats.conflicts += 1;
+                conflicts_here += 1;
+                if self.decision_level() == 0 {
+                    self.ok = false;
+                    return LBool::False;
+                }
+                let (learnt, bt_level) = self.analyze(conflict);
+                self.cancel_until(bt_level);
+                if learnt.len() == 1 {
+                    self.unchecked_enqueue(learnt[0], None);
+                } else {
+                    let lbd = self.lbd(&learnt);
+                    let first = learnt[0];
+                    let cref = self.clauses.alloc(learnt, true);
+                    self.clauses.get_mut(cref).set_lbd(lbd);
+                    self.bump_clause(cref);
+                    self.attach(cref);
+                    self.unchecked_enqueue(first, Some(cref));
+                }
+                self.decay_activities();
+            } else {
+                if conflicts_here >= conflicts_allowed
+                    || (self.stats.conflicts % 64 == 0 && self.budget_exhausted(budget_start))
+                {
+                    self.cancel_until(0);
+                    return LBool::Undef;
+                }
+                if self.clauses.num_learnt() as f64 >= self.max_learnts + self.trail.len() as f64 {
+                    self.max_learnts *= self.config.learntsize_inc;
+                    self.reduce_db();
+                }
+                // Apply assumptions as pseudo-decisions, then branch.
+                let mut next: Option<Lit> = None;
+                while (self.decision_level() as usize) < assumptions.len() {
+                    let a = assumptions[self.decision_level() as usize];
+                    match self.value(a) {
+                        LBool::True => {
+                            // Already satisfied: open a dummy level.
+                            self.trail_lim.push(self.trail.len());
+                        }
+                        LBool::False => {
+                            // Conflicts with current forced assignments:
+                            // record which earlier assumptions forced ¬a.
+                            self.analyze_final(!a);
+                            return LBool::False;
+                        }
+                        LBool::Undef => {
+                            next = Some(a);
+                            break;
+                        }
+                    }
+                }
+                let decision = match next {
+                    Some(lit) => lit,
+                    None => match self.pick_branch_var() {
+                        Some(var) => Lit::new(var, self.polarity[var.index()]),
+                        None => {
+                            // Complete assignment: record model.
+                            self.model = self.assigns.clone();
+                            return LBool::True;
+                        }
+                    },
+                };
+                self.stats.decisions += 1;
+                self.trail_lim.push(self.trail.len());
+                self.unchecked_enqueue(decision, None);
+            }
+        }
+    }
+
+    /// Truth value of `lit` in the most recent model.
+    ///
+    /// Returns `None` if the last [`solve`](Self::solve) call did not return
+    /// [`SolveResult::Sat`] or if the variable did not exist at that time.
+    pub fn model_value(&self, lit: Lit) -> Option<bool> {
+        let v = self.model.get(lit.var().index())?;
+        let v = if lit.is_positive() { *v } else { v.negate() };
+        v.to_bool()
+    }
+
+    /// The most recent model as a vector of booleans indexed by variable,
+    /// or `None` if no model is available.
+    pub fn model(&self) -> Option<Vec<bool>> {
+        if self.model.is_empty() {
+            return None;
+        }
+        self.model
+            .iter()
+            .map(|v| v.to_bool())
+            .collect::<Option<Vec<bool>>>()
+    }
+}
+
+/// The Luby sequence value `luby(y, i) = y^k` used for restart scheduling.
+fn luby(y: f64, mut x: u64) -> f64 {
+    // Find the finite subsequence that contains index x, and the size of
+    // that subsequence.
+    let mut size = 1u64;
+    let mut seq = 0u32;
+    while size < x + 1 {
+        seq += 1;
+        size = 2 * size + 1;
+    }
+    while size - 1 != x {
+        size = (size - 1) / 2;
+        seq -= 1;
+        x %= size;
+    }
+    y.powi(seq as i32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lit(solver_vars: &[Var], dimacs: i32) -> Lit {
+        let v = solver_vars[(dimacs.unsigned_abs() - 1) as usize];
+        Lit::new(v, dimacs > 0)
+    }
+
+    fn add(solver: &mut Solver, vars: &[Var], clause: &[i32]) {
+        solver.add_clause(clause.iter().map(|&d| lit(vars, d)));
+    }
+
+    #[test]
+    fn luby_sequence_prefix() {
+        let got: Vec<f64> = (0..15).map(|i| luby(2.0, i)).collect();
+        let expected = [
+            1.0, 1.0, 2.0, 1.0, 1.0, 2.0, 4.0, 1.0, 1.0, 2.0, 1.0, 1.0, 2.0, 4.0, 8.0,
+        ];
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn empty_formula_is_sat() {
+        let mut s = Solver::new();
+        assert_eq!(s.solve(), SolveResult::Sat);
+    }
+
+    #[test]
+    fn single_unit_clause() {
+        let mut s = Solver::new();
+        let v = s.new_var();
+        s.add_clause([v.positive()]);
+        assert_eq!(s.solve(), SolveResult::Sat);
+        assert_eq!(s.model_value(v.positive()), Some(true));
+    }
+
+    #[test]
+    fn contradictory_units_are_unsat() {
+        let mut s = Solver::new();
+        let v = s.new_var();
+        s.add_clause([v.positive()]);
+        s.add_clause([v.negative()]);
+        assert_eq!(s.solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn simple_implication_chain() {
+        let mut s = Solver::new();
+        let vars = s.new_vars(4);
+        add(&mut s, &vars, &[1]);
+        add(&mut s, &vars, &[-1, 2]);
+        add(&mut s, &vars, &[-2, 3]);
+        add(&mut s, &vars, &[-3, 4]);
+        assert_eq!(s.solve(), SolveResult::Sat);
+        for v in &vars {
+            assert_eq!(s.model_value(v.positive()), Some(true));
+        }
+    }
+
+    #[test]
+    fn pigeonhole_3_into_2_is_unsat() {
+        // 3 pigeons, 2 holes: p[i][j] = pigeon i in hole j.
+        let mut s = Solver::new();
+        let vars = s.new_vars(6);
+        let p = |i: usize, j: usize| vars[i * 2 + j].positive();
+        for i in 0..3 {
+            s.add_clause([p(i, 0), p(i, 1)]);
+        }
+        for j in 0..2 {
+            for i1 in 0..3 {
+                for i2 in (i1 + 1)..3 {
+                    s.add_clause([!p(i1, j), !p(i2, j)]);
+                }
+            }
+        }
+        assert_eq!(s.solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn xor_chain_is_sat_with_correct_parity() {
+        // x1 ^ x2 = 1, x2 ^ x3 = 1, x1 ^ x3 = 0 is satisfiable.
+        let mut s = Solver::new();
+        let vars = s.new_vars(3);
+        // x1 ^ x2 = 1
+        add(&mut s, &vars, &[1, 2]);
+        add(&mut s, &vars, &[-1, -2]);
+        // x2 ^ x3 = 1
+        add(&mut s, &vars, &[2, 3]);
+        add(&mut s, &vars, &[-2, -3]);
+        // x1 ^ x3 = 0
+        add(&mut s, &vars, &[1, -3]);
+        add(&mut s, &vars, &[-1, 3]);
+        assert_eq!(s.solve(), SolveResult::Sat);
+        let x1 = s.model_value(vars[0].positive()).expect("model");
+        let x2 = s.model_value(vars[1].positive()).expect("model");
+        let x3 = s.model_value(vars[2].positive()).expect("model");
+        assert!(x1 ^ x2);
+        assert!(x2 ^ x3);
+        assert!(!(x1 ^ x3));
+    }
+
+    #[test]
+    fn xor_chain_with_odd_cycle_is_unsat() {
+        // x1 ^ x2 = 1, x2 ^ x3 = 1, x1 ^ x3 = 1 is unsatisfiable.
+        let mut s = Solver::new();
+        let vars = s.new_vars(3);
+        add(&mut s, &vars, &[1, 2]);
+        add(&mut s, &vars, &[-1, -2]);
+        add(&mut s, &vars, &[2, 3]);
+        add(&mut s, &vars, &[-2, -3]);
+        add(&mut s, &vars, &[1, 3]);
+        add(&mut s, &vars, &[-1, -3]);
+        assert_eq!(s.solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn assumptions_flip_result() {
+        let mut s = Solver::new();
+        let a = s.new_var();
+        let b = s.new_var();
+        s.add_clause([a.negative(), b.positive()]);
+        assert_eq!(s.solve_with(&[a.positive(), b.negative()]), SolveResult::Unsat);
+        assert_eq!(s.solve_with(&[a.positive()]), SolveResult::Sat);
+        assert_eq!(s.model_value(b.positive()), Some(true));
+        // Solver remains reusable.
+        assert_eq!(s.solve_with(&[b.negative()]), SolveResult::Sat);
+        assert_eq!(s.model_value(a.positive()), Some(false));
+    }
+
+    #[test]
+    fn tautologies_are_ignored() {
+        let mut s = Solver::new();
+        let v = s.new_var();
+        let w = s.new_var();
+        assert!(s.add_clause([v.positive(), v.negative(), w.positive()]));
+        assert_eq!(s.num_clauses(), 0);
+        assert_eq!(s.solve(), SolveResult::Sat);
+    }
+
+    #[test]
+    fn duplicate_literals_are_merged() {
+        let mut s = Solver::new();
+        let v = s.new_var();
+        let w = s.new_var();
+        s.add_clause([v.positive(), v.positive(), w.positive()]);
+        s.add_clause([v.negative()]);
+        assert_eq!(s.solve(), SolveResult::Sat);
+        assert_eq!(s.model_value(w.positive()), Some(true));
+    }
+
+    #[test]
+    fn conflict_budget_returns_unknown_on_hard_instance() {
+        // A pigeonhole instance large enough that 1 conflict can't solve it.
+        let n = 8; // 9 pigeons into 8 holes
+        let mut s = Solver::new();
+        let vars = s.new_vars((n + 1) * n);
+        let p = |i: usize, j: usize| vars[i * n + j].positive();
+        for i in 0..=n {
+            s.add_clause((0..n).map(|j| p(i, j)));
+        }
+        for j in 0..n {
+            for i1 in 0..=n {
+                for i2 in (i1 + 1)..=n {
+                    s.add_clause([!p(i1, j), !p(i2, j)]);
+                }
+            }
+        }
+        s.set_conflict_budget(Some(1));
+        assert_eq!(s.solve(), SolveResult::Unknown);
+        // Without a budget the instance is eventually proven unsat.
+        assert_eq!(s.solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut s = Solver::new();
+        let vars = s.new_vars(3);
+        add(&mut s, &vars, &[1, 2, 3]);
+        add(&mut s, &vars, &[-1, -2]);
+        assert_eq!(s.solve(), SolveResult::Sat);
+        assert!(s.stats().propagations > 0 || s.stats().decisions > 0);
+    }
+
+    #[test]
+    fn unsat_core_names_failing_assumptions() {
+        // x0 -> x1, x1 -> x2; assuming x0 and ¬x2 is unsat, and the core
+        // must mention only those two assumptions, not the irrelevant x3.
+        let mut s = Solver::new();
+        let vars = s.new_vars(4);
+        add(&mut s, &vars, &[-1, 2]);
+        add(&mut s, &vars, &[-2, 3]);
+        let a0 = vars[0].positive();
+        let a2 = vars[2].negative();
+        let a3 = vars[3].positive();
+        assert_eq!(s.solve_with(&[a0, a3, a2]), SolveResult::Unsat);
+        let core = s.unsat_core().to_vec();
+        assert!(core.contains(&a0) || core.contains(&a2), "core: {core:?}");
+        assert!(!core.contains(&a3), "x3 is irrelevant: {core:?}");
+        // Dropping the core assumption makes the query satisfiable.
+        assert_eq!(s.solve_with(&[a3, a2]), SolveResult::Sat);
+    }
+
+    #[test]
+    fn unsat_core_empty_when_formula_alone_is_unsat() {
+        let mut s = Solver::new();
+        let v = s.new_var();
+        s.add_clause([v.positive()]);
+        s.add_clause([v.negative()]);
+        let w = s.new_var();
+        assert_eq!(s.solve_with(&[w.positive()]), SolveResult::Unsat);
+        assert!(s.unsat_core().is_empty());
+    }
+
+    #[test]
+    fn model_none_after_unsat() {
+        let mut s = Solver::new();
+        let v = s.new_var();
+        s.add_clause([v.positive()]);
+        s.add_clause([v.negative()]);
+        assert_eq!(s.solve(), SolveResult::Unsat);
+        assert_eq!(s.model(), None);
+    }
+}

@@ -1,0 +1,303 @@
+//! Tseitin transformation: build Boolean formulas gate by gate, each gate
+//! becoming a fresh variable constrained by a handful of clauses.
+//!
+//! This is the standard bridge between circuit-shaped problems and CNF.
+//! The pebbling encoding itself does not need it (its constraints are
+//! already clausal), but the surrounding flow does — e.g. checking that
+//! two compiled circuits are equivalent ([`FormulaBuilder::assert_equiv`]
+//! builds a miter).
+
+use crate::card::CnfSink;
+use crate::types::Lit;
+
+/// Builds formulas over a [`CnfSink`], one Tseitin gate at a time.
+///
+/// # Example
+///
+/// ```
+/// use revpebble_sat::tseitin::FormulaBuilder;
+/// use revpebble_sat::{SolveResult, Solver};
+///
+/// let mut solver = Solver::new();
+/// let a = solver.new_var().positive();
+/// let b = solver.new_var().positive();
+/// // De Morgan: ¬(a ∧ b) must equal ¬a ∨ ¬b — the miter is UNSAT.
+/// let (lhs, rhs);
+/// {
+///     let mut f = FormulaBuilder::new(&mut solver);
+///     let and = f.and(a, b);
+///     lhs = !and;
+///     rhs = f.or(!a, !b);
+///     let diff = f.xor(lhs, rhs);
+///     f.assert_true(diff);
+/// }
+/// assert_eq!(solver.solve(), SolveResult::Unsat);
+/// ```
+#[derive(Debug)]
+pub struct FormulaBuilder<'a, S: CnfSink> {
+    sink: &'a mut S,
+}
+
+impl<'a, S: CnfSink> FormulaBuilder<'a, S> {
+    /// Wraps a sink (a [`Solver`](crate::Solver) or a
+    /// [`Cnf`](crate::Cnf)).
+    pub fn new(sink: &'a mut S) -> Self {
+        FormulaBuilder { sink }
+    }
+
+    /// A fresh unconstrained literal.
+    pub fn fresh(&mut self) -> Lit {
+        self.sink.add_var().positive()
+    }
+
+    /// `out ⟺ a ∧ b`.
+    pub fn and(&mut self, a: Lit, b: Lit) -> Lit {
+        let out = self.fresh();
+        self.sink.emit_clause(&[!a, !b, out]);
+        self.sink.emit_clause(&[a, !out]);
+        self.sink.emit_clause(&[b, !out]);
+        out
+    }
+
+    /// `out ⟺ a ∨ b`.
+    pub fn or(&mut self, a: Lit, b: Lit) -> Lit {
+        !self.and(!a, !b)
+    }
+
+    /// `out ⟺ a ⊕ b`.
+    pub fn xor(&mut self, a: Lit, b: Lit) -> Lit {
+        let out = self.fresh();
+        self.sink.emit_clause(&[!a, !b, !out]);
+        self.sink.emit_clause(&[a, b, !out]);
+        self.sink.emit_clause(&[!a, b, out]);
+        self.sink.emit_clause(&[a, !b, out]);
+        out
+    }
+
+    /// `out ⟺ (sel ? then : else)`.
+    pub fn ite(&mut self, sel: Lit, then_lit: Lit, else_lit: Lit) -> Lit {
+        let out = self.fresh();
+        self.sink.emit_clause(&[!sel, !then_lit, out]);
+        self.sink.emit_clause(&[!sel, then_lit, !out]);
+        self.sink.emit_clause(&[sel, !else_lit, out]);
+        self.sink.emit_clause(&[sel, else_lit, !out]);
+        out
+    }
+
+    /// `out ⟺ MAJ(a, b, c)`.
+    pub fn maj(&mut self, a: Lit, b: Lit, c: Lit) -> Lit {
+        let out = self.fresh();
+        self.sink.emit_clause(&[!a, !b, out]);
+        self.sink.emit_clause(&[!a, !c, out]);
+        self.sink.emit_clause(&[!b, !c, out]);
+        self.sink.emit_clause(&[a, b, !out]);
+        self.sink.emit_clause(&[a, c, !out]);
+        self.sink.emit_clause(&[b, c, !out]);
+        out
+    }
+
+    /// Conjunction of arbitrarily many literals.
+    pub fn and_many(&mut self, lits: &[Lit]) -> Lit {
+        match lits {
+            [] => {
+                // Constant true: a fresh forced-true literal.
+                let t = self.fresh();
+                self.sink.emit_clause(&[t]);
+                t
+            }
+            [single] => *single,
+            _ => {
+                let out = self.fresh();
+                let mut long = Vec::with_capacity(lits.len() + 1);
+                for &l in lits {
+                    self.sink.emit_clause(&[l, !out]);
+                    long.push(!l);
+                }
+                long.push(out);
+                self.sink.emit_clause(&long);
+                out
+            }
+        }
+    }
+
+    /// Parity of arbitrarily many literals.
+    pub fn xor_many(&mut self, lits: &[Lit]) -> Lit {
+        match lits {
+            [] => {
+                let f = self.fresh();
+                self.sink.emit_clause(&[!f]);
+                f
+            }
+            [single] => *single,
+            _ => {
+                let mut acc = lits[0];
+                for &l in &lits[1..] {
+                    acc = self.xor(acc, l);
+                }
+                acc
+            }
+        }
+    }
+
+    /// Asserts `lit` as a unit clause.
+    pub fn assert_true(&mut self, lit: Lit) {
+        self.sink.emit_clause(&[lit]);
+    }
+
+    /// Asserts `a ⟺ b` (two binary clauses).
+    pub fn assert_equiv(&mut self, a: Lit, b: Lit) {
+        self.sink.emit_clause(&[!a, b]);
+        self.sink.emit_clause(&[a, !b]);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{SolveResult, Solver};
+
+    /// Checks a binary gate against its truth table by assuming inputs.
+    fn check_gate(build: impl Fn(&mut FormulaBuilder<'_, Solver>, Lit, Lit) -> Lit, table: [bool; 4]) {
+        for (idx, &expected) in table.iter().enumerate() {
+            let (a_val, b_val) = (idx & 1 != 0, idx & 2 != 0);
+            let mut solver = Solver::new();
+            let a = solver.new_var().positive();
+            let b = solver.new_var().positive();
+            let out = {
+                let mut f = FormulaBuilder::new(&mut solver);
+                build(&mut f, a, b)
+            };
+            let assumptions = [
+                if a_val { a } else { !a },
+                if b_val { b } else { !b },
+            ];
+            assert_eq!(solver.solve_with(&assumptions), SolveResult::Sat);
+            assert_eq!(
+                solver.model_value(out),
+                Some(expected),
+                "inputs ({a_val},{b_val})"
+            );
+        }
+    }
+
+    #[test]
+    fn and_truth_table() {
+        check_gate(|f, a, b| f.and(a, b), [false, false, false, true]);
+    }
+
+    #[test]
+    fn or_truth_table() {
+        check_gate(|f, a, b| f.or(a, b), [false, true, true, true]);
+    }
+
+    #[test]
+    fn xor_truth_table() {
+        check_gate(|f, a, b| f.xor(a, b), [false, true, true, false]);
+    }
+
+    #[test]
+    fn ite_truth_table() {
+        // out = sel ? a : b, with sel fixed true then false.
+        for sel_val in [true, false] {
+            for (a_val, b_val) in [(false, true), (true, false), (true, true), (false, false)] {
+                let mut solver = Solver::new();
+                let sel = solver.new_var().positive();
+                let a = solver.new_var().positive();
+                let b = solver.new_var().positive();
+                let out = FormulaBuilder::new(&mut solver).ite(sel, a, b);
+                let assumptions = [
+                    if sel_val { sel } else { !sel },
+                    if a_val { a } else { !a },
+                    if b_val { b } else { !b },
+                ];
+                assert_eq!(solver.solve_with(&assumptions), SolveResult::Sat);
+                let expected = if sel_val { a_val } else { b_val };
+                assert_eq!(solver.model_value(out), Some(expected));
+            }
+        }
+    }
+
+    #[test]
+    fn maj_truth_table() {
+        for pattern in 0u8..8 {
+            let vals = [pattern & 1 != 0, pattern & 2 != 0, pattern & 4 != 0];
+            let mut solver = Solver::new();
+            let lits: Vec<Lit> = (0..3).map(|_| solver.new_var().positive()).collect();
+            let out = FormulaBuilder::new(&mut solver).maj(lits[0], lits[1], lits[2]);
+            let assumptions: Vec<Lit> = lits
+                .iter()
+                .zip(vals)
+                .map(|(&l, v)| if v { l } else { !l })
+                .collect();
+            assert_eq!(solver.solve_with(&assumptions), SolveResult::Sat);
+            let ones = vals.iter().filter(|&&v| v).count();
+            assert_eq!(solver.model_value(out), Some(ones >= 2));
+        }
+    }
+
+    #[test]
+    fn de_morgan_miter_is_unsat() {
+        let mut solver = Solver::new();
+        let a = solver.new_var().positive();
+        let b = solver.new_var().positive();
+        {
+            let mut f = FormulaBuilder::new(&mut solver);
+            let lhs = {
+                let and = f.and(a, b);
+                !and
+            };
+            let rhs = f.or(!a, !b);
+            let diff = f.xor(lhs, rhs);
+            f.assert_true(diff);
+        }
+        assert_eq!(solver.solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn and_many_matches_popcount() {
+        for n in 0usize..5 {
+            for pattern in 0u32..(1 << n) {
+                let mut solver = Solver::new();
+                let lits: Vec<Lit> = (0..n).map(|_| solver.new_var().positive()).collect();
+                let out = FormulaBuilder::new(&mut solver).and_many(&lits);
+                let assumptions: Vec<Lit> = lits
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &l)| if pattern & (1 << i) != 0 { l } else { !l })
+                    .collect();
+                assert_eq!(solver.solve_with(&assumptions), SolveResult::Sat);
+                let expected = pattern.count_ones() as usize == n;
+                assert_eq!(solver.model_value(out), Some(expected), "n={n} p={pattern:b}");
+            }
+        }
+    }
+
+    #[test]
+    fn xor_many_matches_parity() {
+        for n in 0usize..5 {
+            for pattern in 0u32..(1 << n) {
+                let mut solver = Solver::new();
+                let lits: Vec<Lit> = (0..n).map(|_| solver.new_var().positive()).collect();
+                let out = FormulaBuilder::new(&mut solver).xor_many(&lits);
+                let assumptions: Vec<Lit> = lits
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &l)| if pattern & (1 << i) != 0 { l } else { !l })
+                    .collect();
+                assert_eq!(solver.solve_with(&assumptions), SolveResult::Sat);
+                let expected = pattern.count_ones() % 2 == 1;
+                assert_eq!(solver.model_value(out), Some(expected), "n={n} p={pattern:b}");
+            }
+        }
+    }
+
+    #[test]
+    fn assert_equiv_binds_literals() {
+        let mut solver = Solver::new();
+        let a = solver.new_var().positive();
+        let b = solver.new_var().positive();
+        FormulaBuilder::new(&mut solver).assert_equiv(a, b);
+        assert_eq!(solver.solve_with(&[a, !b]), SolveResult::Unsat);
+        assert_eq!(solver.solve_with(&[a, b]), SolveResult::Sat);
+    }
+}

@@ -1,0 +1,272 @@
+//! Fundamental SAT types: variables, literals and ternary truth values.
+
+use std::fmt;
+use std::ops::Not;
+
+/// A propositional variable, identified by a dense index starting at 0.
+///
+/// Variables are created by [`Solver::new_var`](crate::Solver::new_var) and
+/// are only meaningful for the solver instance that created them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Var(u32);
+
+impl Var {
+    /// Creates a variable from its dense index.
+    #[inline]
+    pub fn from_index(index: usize) -> Self {
+        Var(index as u32)
+    }
+
+    /// Returns the dense index of this variable.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Returns the positive literal of this variable.
+    #[inline]
+    pub fn positive(self) -> Lit {
+        Lit::new(self, true)
+    }
+
+    /// Returns the negative literal of this variable.
+    #[inline]
+    pub fn negative(self) -> Lit {
+        Lit::new(self, false)
+    }
+}
+
+impl fmt::Display for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "x{}", self.0)
+    }
+}
+
+/// A literal: a variable together with a polarity.
+///
+/// Internally encoded as `2 * var + (1 - polarity)`, so the positive literal
+/// of variable `v` has code `2v` and the negative literal has code `2v + 1`.
+/// This encoding makes literals usable as dense array indices (e.g. for
+/// watch lists).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Lit(u32);
+
+impl Lit {
+    /// Creates a literal from a variable and a polarity (`true` = positive).
+    #[inline]
+    pub fn new(var: Var, positive: bool) -> Self {
+        Lit(var.0 << 1 | u32::from(!positive))
+    }
+
+    /// Creates a literal from its dense code (see type-level docs).
+    #[inline]
+    pub fn from_code(code: usize) -> Self {
+        Lit(code as u32)
+    }
+
+    /// Returns the dense code of this literal.
+    #[inline]
+    pub fn code(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Returns the underlying variable.
+    #[inline]
+    pub fn var(self) -> Var {
+        Var(self.0 >> 1)
+    }
+
+    /// Returns `true` if this is the positive literal of its variable.
+    #[inline]
+    pub fn is_positive(self) -> bool {
+        self.0 & 1 == 0
+    }
+
+    /// Returns `true` if this is the negative literal of its variable.
+    #[inline]
+    pub fn is_negative(self) -> bool {
+        self.0 & 1 == 1
+    }
+
+    /// Creates a literal from a DIMACS-style integer (non-zero; negative
+    /// means negated). `1` maps to the positive literal of [`Var`] 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dimacs` is zero.
+    pub fn from_dimacs(dimacs: i32) -> Self {
+        assert!(dimacs != 0, "DIMACS literal must be non-zero");
+        let var = Var((dimacs.unsigned_abs()) - 1);
+        Lit::new(var, dimacs > 0)
+    }
+
+    /// Returns the DIMACS-style integer for this literal.
+    pub fn to_dimacs(self) -> i32 {
+        let v = self.var().0 as i32 + 1;
+        if self.is_positive() {
+            v
+        } else {
+            -v
+        }
+    }
+}
+
+impl Not for Lit {
+    type Output = Lit;
+
+    #[inline]
+    fn not(self) -> Lit {
+        Lit(self.0 ^ 1)
+    }
+}
+
+impl From<Var> for Lit {
+    #[inline]
+    fn from(var: Var) -> Lit {
+        var.positive()
+    }
+}
+
+impl fmt::Display for Lit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_negative() {
+            write!(f, "¬")?;
+        }
+        write!(f, "{}", self.var())
+    }
+}
+
+/// A ternary truth value: true, false or unassigned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LBool {
+    /// The value is true.
+    True,
+    /// The value is false.
+    False,
+    /// The value is not (yet) assigned.
+    #[default]
+    Undef,
+}
+
+impl LBool {
+    /// Converts a Rust `bool` into the corresponding defined value.
+    #[inline]
+    pub fn from_bool(value: bool) -> Self {
+        if value {
+            LBool::True
+        } else {
+            LBool::False
+        }
+    }
+
+    /// Returns `true` if the value is defined (not [`LBool::Undef`]).
+    #[inline]
+    pub fn is_assigned(self) -> bool {
+        !matches!(self, LBool::Undef)
+    }
+
+    /// Returns the value as `Option<bool>`, `None` when unassigned.
+    #[inline]
+    pub fn to_bool(self) -> Option<bool> {
+        match self {
+            LBool::True => Some(true),
+            LBool::False => Some(false),
+            LBool::Undef => None,
+        }
+    }
+
+    /// Logical negation; [`LBool::Undef`] stays undefined.
+    #[inline]
+    pub fn negate(self) -> Self {
+        match self {
+            LBool::True => LBool::False,
+            LBool::False => LBool::True,
+            LBool::Undef => LBool::Undef,
+        }
+    }
+}
+
+impl fmt::Display for LBool {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LBool::True => write!(f, "T"),
+            LBool::False => write!(f, "F"),
+            LBool::Undef => write!(f, "U"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn var_roundtrip() {
+        let v = Var::from_index(7);
+        assert_eq!(v.index(), 7);
+        assert_eq!(v.positive().var(), v);
+        assert_eq!(v.negative().var(), v);
+    }
+
+    #[test]
+    fn literal_polarity() {
+        let v = Var::from_index(3);
+        assert!(v.positive().is_positive());
+        assert!(!v.positive().is_negative());
+        assert!(v.negative().is_negative());
+    }
+
+    #[test]
+    fn literal_negation_is_involutive() {
+        let l = Var::from_index(5).positive();
+        assert_eq!(!!l, l);
+        assert_ne!(!l, l);
+        assert_eq!((!l).var(), l.var());
+    }
+
+    #[test]
+    fn literal_codes_are_dense() {
+        let v = Var::from_index(4);
+        assert_eq!(v.positive().code(), 8);
+        assert_eq!(v.negative().code(), 9);
+        assert_eq!(Lit::from_code(8), v.positive());
+        assert_eq!(Lit::from_code(9), v.negative());
+    }
+
+    #[test]
+    fn dimacs_roundtrip() {
+        for d in [1, -1, 5, -5, 42, -42] {
+            assert_eq!(Lit::from_dimacs(d).to_dimacs(), d);
+        }
+        assert_eq!(Lit::from_dimacs(1), Var::from_index(0).positive());
+        assert_eq!(Lit::from_dimacs(-3), Var::from_index(2).negative());
+    }
+
+    #[test]
+    #[should_panic]
+    fn dimacs_zero_panics() {
+        let _ = Lit::from_dimacs(0);
+    }
+
+    #[test]
+    fn lbool_behaviour() {
+        assert_eq!(LBool::from_bool(true), LBool::True);
+        assert_eq!(LBool::from_bool(false), LBool::False);
+        assert_eq!(LBool::True.negate(), LBool::False);
+        assert_eq!(LBool::Undef.negate(), LBool::Undef);
+        assert!(LBool::True.is_assigned());
+        assert!(!LBool::Undef.is_assigned());
+        assert_eq!(LBool::False.to_bool(), Some(false));
+        assert_eq!(LBool::Undef.to_bool(), None);
+        assert_eq!(LBool::default(), LBool::Undef);
+    }
+
+    #[test]
+    fn display_forms() {
+        let v = Var::from_index(2);
+        assert_eq!(v.to_string(), "x2");
+        assert_eq!(v.positive().to_string(), "x2");
+        assert_eq!(v.negative().to_string(), "¬x2");
+        assert_eq!(LBool::True.to_string(), "T");
+    }
+}

@@ -1,0 +1,70 @@
+//! Show-case 3 (the paper's Fig. 6): mapping a 9-input AND oracle onto a
+//! 16-qubit device.
+//!
+//! Three implementations are compared, as in the paper:
+//!
+//! 1. **Bennett** — 17 qubits (does not fit the device), 15 gates;
+//! 2. **Barenco** — one 9-controlled Toffoli decomposed with a single
+//!    ancilla: 11 qubits but 48 gates;
+//! 3. **SAT pebbling at 16 qubits** — the balanced middle ground.
+//!
+//! Run with: `cargo run --release -p revpebble --example hardware_constrained`
+
+use revpebble::circuit::barenco;
+use revpebble::graph::generators::and_tree;
+use revpebble::prelude::*;
+
+const DEVICE_QUBITS: usize = 16;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let dag = and_tree(9);
+    println!("9-input AND oracle: {dag}\n");
+    println!("{:<24} {:>7} {:>7} {:>9}", "method", "qubits", "gates", "fits q=16");
+
+    // 1. Bennett.
+    let naive = bennett(&dag);
+    let naive_circuit = compile(&dag, &naive)?;
+    report(
+        "Bennett",
+        naive_circuit.circuit.width(),
+        naive_circuit.circuit.num_gates(),
+    );
+
+    // 2. Barenco decomposition of the single 9-controlled Toffoli:
+    //    9 controls + 1 target + 1 ancilla = 11 qubits, 48 gates.
+    let qubits = 9 + 2;
+    let gates = barenco::one_ancilla_gate_count(9);
+    report("Barenco (1 ancilla)", qubits, gates);
+
+    // 3. SAT pebbling constrained to the device: 9 input qubits leave
+    //    16 − 9 = 7 pebbles for intermediate results and the output.
+    let budget = DEVICE_QUBITS - dag.num_inputs();
+    let strategy = solve_with_pebbles(&dag, budget)
+        .into_strategy()
+        .expect("7 pebbles are feasible for the 8-node tree");
+    strategy.validate(&dag, Some(budget))?;
+    let compiled = compile(&dag, &strategy)?;
+    report(
+        "SAT pebbling @16",
+        compiled.circuit.width(),
+        compiled.circuit.num_gates(),
+    );
+
+    println!("\nPebbling grid for the constrained strategy:");
+    println!("{}", strategy.render_grid(&dag));
+
+    match verify(&dag, &compiled) {
+        VerifyOutcome::Correct { patterns } => {
+            println!("Verified the constrained circuit on all {patterns} input patterns.");
+        }
+        bad => println!("VERIFICATION FAILED: {bad:?}"),
+    }
+    Ok(())
+}
+
+fn report(method: &str, qubits: usize, gates: usize) {
+    println!(
+        "{method:<24} {qubits:>7} {gates:>7} {:>9}",
+        if qubits <= DEVICE_QUBITS { "yes" } else { "no" }
+    );
+}

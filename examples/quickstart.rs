@@ -1,0 +1,63 @@
+//! Quickstart: the paper's running example (Fig. 2 → Fig. 4).
+//!
+//! Builds the six-operation DAG of the paper, shows the Bennett strategy
+//! (6 pebbles, 10 steps), then uses the SAT solver to fit the same
+//! computation into 4 pebbles, printing both pebbling grids in the style
+//! of the paper's Fig. 4.
+//!
+//! Run with: `cargo run --release -p revpebble --example quickstart`
+
+use revpebble::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let dag = revpebble::graph::generators::paper_example();
+    println!("DAG: {dag}");
+    println!("{}", dag.to_dot());
+
+    // --- Bennett: compute everything, then uncompute top-down. ---
+    let naive = bennett(&dag);
+    naive.validate(&dag, None)?;
+    println!(
+        "Bennett strategy: {} pebbles, {} steps",
+        naive.max_pebbles(&dag),
+        naive.num_steps()
+    );
+    println!("{}", naive.render_grid(&dag));
+
+    // --- SAT-based pebbling with a 4-pebble budget. ---
+    let outcome = solve_with_pebbles(&dag, 4);
+    let tight = outcome.into_strategy().expect("4 pebbles are feasible");
+    tight.validate(&dag, Some(4))?;
+    println!(
+        "SAT strategy:     {} pebbles, {} steps",
+        tight.max_pebbles(&dag),
+        tight.num_steps()
+    );
+    println!("{}", tight.render_grid(&dag));
+
+    // --- 3 pebbles are impossible: prove it with the exact BFS solver
+    // (the SAT loop can only refute one step bound at a time). ---
+    match revpebble::core::solve_exact(&dag, 3) {
+        revpebble::core::ExactOutcome::Infeasible => {
+            println!("3 pebbles: proven infeasible by exhaustive search");
+        }
+        other => println!("3 pebbles: {other:?}"),
+    }
+
+    // --- Compile the tight strategy to a reversible circuit and verify. ---
+    let compiled = compile(&dag, &tight)?;
+    println!(
+        "\nCompiled circuit: {} qubits ({} inputs + {} ancillae), {} gates",
+        compiled.circuit.width(),
+        dag.num_inputs(),
+        compiled.circuit.width() - dag.num_inputs(),
+        compiled.circuit.num_gates()
+    );
+    match verify(&dag, &compiled) {
+        VerifyOutcome::Correct { patterns } => {
+            println!("Verified on all {patterns} input patterns: outputs correct, ancillae clean.");
+        }
+        bad => println!("VERIFICATION FAILED: {bad:?}"),
+    }
+    Ok(())
+}

@@ -1,0 +1,141 @@
+//! Direct checks of the concrete numbers stated in the paper, where our
+//! reproduction can match them exactly.
+
+use std::time::Duration;
+
+use revpebble::circuit::barenco;
+use revpebble::graph::generators::{and_tree, paper_example};
+use revpebble::prelude::*;
+
+/// Section II-B / Fig. 4 (left): Bennett pebbles the example with 6
+/// pebbles in 10 steps, "that is minimum".
+#[test]
+fn fig4_bennett_6_pebbles_10_steps() {
+    let dag = paper_example();
+    let strategy = bennett(&dag);
+    strategy.validate(&dag, Some(6)).expect("valid");
+    assert_eq!(strategy.max_pebbles(&dag), 6);
+    assert_eq!(strategy.num_steps(), 10);
+    // 10 steps is minimal: the SAT solver refutes 9 (sequential moves).
+    use revpebble::core::{EncodingOptions, MoveMode, PebbleEncoding};
+    let mut enc = PebbleEncoding::new(
+        &dag,
+        EncodingOptions {
+            max_pebbles: None,
+            move_mode: MoveMode::Sequential,
+            ..EncodingOptions::default()
+        },
+    );
+    assert_eq!(
+        enc.solve_at(9, None, None),
+        revpebble::sat::SolveResult::Unsat
+    );
+}
+
+/// Section II-B / Fig. 4 (right): the paper's 4-pebble strategy takes 14
+/// steps. We replay its exact configuration sequence and verify it; the
+/// SAT solver additionally proves 12 steps suffice (the paper's strategy
+/// is illustrative, not step-optimal).
+#[test]
+fn fig4_optimized_4_pebbles() {
+    let dag = paper_example();
+    let n = NodeId::from_index;
+    let paper_strategy = Strategy::from_moves([
+        Move::Pebble(n(0)),
+        Move::Pebble(n(2)),
+        Move::Unpebble(n(0)),
+        Move::Pebble(n(1)),
+        Move::Pebble(n(3)),
+        Move::Unpebble(n(1)),
+        Move::Pebble(n(4)),
+        Move::Pebble(n(0)),
+        Move::Unpebble(n(2)),
+        Move::Pebble(n(5)),
+        Move::Unpebble(n(0)),
+        Move::Pebble(n(1)),
+        Move::Unpebble(n(3)),
+        Move::Unpebble(n(1)),
+    ]);
+    paper_strategy.validate(&dag, Some(4)).expect("the paper's strategy is valid");
+    assert_eq!(paper_strategy.num_steps(), 14);
+    assert_eq!(paper_strategy.max_pebbles(&dag), 4);
+
+    let optimal = solve_with_pebbles(&dag, 4).into_strategy().expect("feasible");
+    assert_eq!(optimal.num_steps(), 12);
+}
+
+/// Fig. 6(b): Bennett on the 9-input AND needs 17 qubits — one too many
+/// for the 16-qubit device — and 15 gates.
+#[test]
+fn fig6b_bennett_17_qubits_15_gates() {
+    let dag = and_tree(9);
+    let compiled = compile(&dag, &bennett(&dag)).expect("compiles");
+    assert_eq!(compiled.circuit.width(), 17);
+    assert_eq!(compiled.circuit.num_gates(), 15);
+    assert!(compiled.circuit.width() > 16, "does not fit the device");
+}
+
+/// Fig. 6(d): the Barenco decomposition of a 9-controlled Toffoli uses 11
+/// qubits in total and 48 gates ("from 15 to 48").
+#[test]
+fn fig6d_barenco_11_qubits_48_gates() {
+    assert_eq!(barenco::one_ancilla_gate_count(9), 48);
+    // 9 controls + target + 1 ancilla = 11 qubits.
+    let qubits: Vec<_> = (0..11).map(revpebble::circuit::Qubit).collect();
+    let gates = barenco::mcx_one_ancilla(&qubits[..9], qubits[9], qubits[10]);
+    assert_eq!(gates.len(), 48);
+}
+
+/// Fig. 6(c): constrained to the 16-qubit device, SAT pebbling finds a
+/// circuit with more gates than Bennett's 15 but far fewer than Barenco's
+/// 48. (The paper reports 23 gates; the exact optimum depends on the move
+/// semantics — we assert the crossover, which is the claim's substance.)
+#[test]
+fn fig6c_pebbling_crossover() {
+    let dag = and_tree(9);
+    let budget = 16 - dag.num_inputs(); // 7 pebbles
+    let strategy = solve_with_pebbles(&dag, budget)
+        .into_strategy()
+        .expect("feasible");
+    let compiled = compile(&dag, &strategy).expect("compiles");
+    assert!(compiled.circuit.width() <= 16, "fits the device");
+    let gates = compiled.circuit.num_gates();
+    assert!(gates > 15, "pays gates over Bennett (got {gates})");
+    assert!(gates < 48, "beats Barenco (got {gates})");
+}
+
+/// Table I row `c17`: pi 5, po 2, 12 XMG nodes; the paper's pebbling finds
+/// P = 4, K = 12. Our c17 DAG is the raw 6-gate NAND netlist (the paper
+/// pebbles a 12-node XMG), so we check the methodology on our DAG: the
+/// minimum feasible pebble count is found and beats Bennett.
+#[test]
+fn table1_c17_methodology() {
+    let dag = parse_bench(revpebble::graph::data::C17_BENCH).expect("parses");
+    let base = SolverOptions {
+        encoding: EncodingOptions {
+            move_mode: MoveMode::Sequential,
+            ..EncodingOptions::default()
+        },
+        max_steps: 100,
+        ..SolverOptions::default()
+    };
+    let result = revpebble::core::minimize_pebbles(&dag, base, Duration::from_secs(20));
+    let (p, strategy) = result.best.expect("feasible");
+    let naive_p = bennett(&dag).max_pebbles(&dag);
+    assert!(p < naive_p, "SAT ({p}) must beat Bennett ({naive_p})");
+    strategy.validate(&dag, Some(p)).expect("valid");
+}
+
+/// Section IV-B: the H operator maps (a,b,c,d) through 8 add/sub
+/// operations to 4 outputs; its DAG has depth 2 and Bennett needs 8
+/// pebbles and 12 steps.
+#[test]
+fn h_operator_structure() {
+    let dag = revpebble::graph::slp::h_operator().to_dag().expect("valid");
+    assert_eq!(dag.num_nodes(), 8);
+    assert_eq!(dag.num_outputs(), 4);
+    assert_eq!(dag.depth(), 2);
+    let strategy = bennett(&dag);
+    assert_eq!(strategy.max_pebbles(&dag), 8);
+    assert_eq!(strategy.num_steps(), 12); // 2·8 − 4
+}

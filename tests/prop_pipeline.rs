@@ -1,0 +1,80 @@
+//! Property tests over the whole pipeline: on random DAGs, every strategy
+//! the system produces must pass the independent validity checker, and
+//! every compiled circuit must implement the DAG with clean ancillae.
+
+use proptest::prelude::*;
+use revpebble::core::bounds::{pebble_lower_bound, step_lower_bound};
+use revpebble::graph::generators::random_dag;
+use revpebble::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn bennett_is_always_valid_and_tight(
+        inputs in 1usize..6,
+        nodes in 1usize..25,
+        seed in any::<u64>(),
+    ) {
+        let dag = random_dag(inputs, nodes, seed);
+        let strategy = bennett(&dag);
+        prop_assert!(strategy.validate(&dag, Some(dag.num_nodes())).is_ok());
+        prop_assert_eq!(strategy.num_steps(), step_lower_bound(&dag));
+        prop_assert_eq!(strategy.max_pebbles(&dag), dag.num_nodes());
+    }
+
+    #[test]
+    fn cone_wise_is_always_valid(
+        inputs in 1usize..6,
+        nodes in 1usize..25,
+        seed in any::<u64>(),
+    ) {
+        let dag = random_dag(inputs, nodes, seed);
+        let strategy = cone_wise(&dag);
+        prop_assert!(strategy.validate(&dag, None).is_ok());
+        prop_assert!(strategy.max_pebbles(&dag) <= dag.num_nodes());
+    }
+
+    #[test]
+    fn sat_strategies_validate_and_compile(
+        inputs in 2usize..5,
+        nodes in 3usize..12,
+        seed in any::<u64>(),
+        slack in 0usize..3,
+    ) {
+        let dag = random_dag(inputs, nodes, seed);
+        let budget = (pebble_lower_bound(&dag) + 1 + slack).min(dag.num_nodes());
+        match solve_with_pebbles(&dag, budget) {
+            PebbleOutcome::Solved(strategy) => {
+                prop_assert!(strategy.validate(&dag, Some(budget)).is_ok());
+                let compiled = compile(&dag, &strategy).expect("compiles");
+                let correct = matches!(verify(&dag, &compiled), VerifyOutcome::Correct { .. });
+                prop_assert!(correct);
+                // Width accounting: inputs + peak pebbles.
+                prop_assert_eq!(
+                    compiled.circuit.width(),
+                    dag.num_inputs() + strategy.max_pebbles(&dag)
+                );
+            }
+            PebbleOutcome::Infeasible { lower_bound } => {
+                prop_assert!(budget < lower_bound);
+            }
+            // Tight budgets may need more steps than the default cap; that
+            // is a budget outcome, not a correctness failure.
+            PebbleOutcome::StepLimit { .. } | PebbleOutcome::Timeout { .. } => {}
+        }
+    }
+
+    #[test]
+    fn sat_never_beats_the_step_lower_bound(
+        inputs in 2usize..5,
+        nodes in 3usize..10,
+        seed in any::<u64>(),
+    ) {
+        let dag = random_dag(inputs, nodes, seed);
+        if let PebbleOutcome::Solved(strategy) = solve_with_pebbles(&dag, dag.num_nodes()) {
+            // With unlimited-ish pebbles the optimum equals Bennett's count.
+            prop_assert_eq!(strategy.num_moves(), step_lower_bound(&dag));
+        }
+    }
+}
