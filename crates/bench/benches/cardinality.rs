@@ -36,10 +36,7 @@ fn bench_encoding_unsat(c: &mut Criterion) {
     let mut group = c.benchmark_group("card_unsat");
     group.sample_size(20);
     let (n, k) = (60usize, 15usize);
-    for encoding in [
-        CardEncoding::SequentialCounter,
-        CardEncoding::Totalizer,
-    ] {
+    for encoding in [CardEncoding::SequentialCounter, CardEncoding::Totalizer] {
         group.bench_with_input(
             BenchmarkId::new(format!("{encoding:?}"), format!("n{n}_k{k}")),
             &(n, k),

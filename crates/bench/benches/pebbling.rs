@@ -3,9 +3,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use revpebble::core::baselines::{bennett, cone_wise};
-use revpebble::core::{
-    solve_with_pebbles, EncodingOptions, MoveMode, PebbleSolver, SolverOptions,
-};
+use revpebble::core::{solve_with_pebbles, EncodingOptions, MoveMode, PebbleSolver, SolverOptions};
 use revpebble::graph::generators::{and_tree, chain, paper_example};
 use revpebble::graph::slp::h_operator;
 use std::hint::black_box;
@@ -27,17 +25,13 @@ fn bench_paper_example(c: &mut Criterion) {
     group.sample_size(20);
     let dag = paper_example();
     for budget in [4usize, 5, 6] {
-        group.bench_with_input(
-            BenchmarkId::new("solve", budget),
-            &budget,
-            |b, &budget| {
-                b.iter(|| {
-                    solve_with_pebbles(black_box(&dag), budget)
-                        .into_strategy()
-                        .expect("feasible")
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("solve", budget), &budget, |b, &budget| {
+            b.iter(|| {
+                solve_with_pebbles(black_box(&dag), budget)
+                    .into_strategy()
+                    .expect("feasible")
+            })
+        });
     }
     group.finish();
 }
@@ -84,23 +78,27 @@ fn bench_step_stride_ablation(c: &mut Criterion) {
     group.sample_size(10);
     let dag = chain(12);
     for stride in [1usize, 2, 4] {
-        group.bench_with_input(BenchmarkId::new("chain12_at_5", stride), &stride, |b, &stride| {
-            b.iter(|| {
-                let options = SolverOptions {
-                    encoding: EncodingOptions {
-                        max_pebbles: Some(5),
-                        move_mode: MoveMode::Sequential,
-                        ..EncodingOptions::default()
-                    },
-                    step_stride: stride,
-                    ..SolverOptions::default()
-                };
-                PebbleSolver::new(black_box(&dag), options)
-                    .solve()
-                    .into_strategy()
-                    .expect("feasible")
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("chain12_at_5", stride),
+            &stride,
+            |b, &stride| {
+                b.iter(|| {
+                    let options = SolverOptions {
+                        encoding: EncodingOptions {
+                            max_pebbles: Some(5),
+                            move_mode: MoveMode::Sequential,
+                            ..EncodingOptions::default()
+                        },
+                        step_stride: stride,
+                        ..SolverOptions::default()
+                    };
+                    PebbleSolver::new(black_box(&dag), options)
+                        .solve()
+                        .into_strategy()
+                        .expect("feasible")
+                })
+            },
+        );
     }
     group.finish();
 }

@@ -1,0 +1,45 @@
+//! Portfolio-vs-single-configuration benchmarks on the pebbling
+//! workloads: how much wall-clock the first-winner-takes-all race
+//! recovers (or costs, on instances too small to amortize thread spawn).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use revpebble::core::{solve_with_pebbles, solve_with_pebbles_portfolio};
+use revpebble::graph::generators::{and_tree, chain, paper_example};
+use std::hint::black_box;
+
+fn bench_portfolio_vs_single(c: &mut Criterion) {
+    let mut group = c.benchmark_group("portfolio_vs_single");
+    group.sample_size(10);
+    let workloads: Vec<(&str, revpebble::graph::Dag, usize)> = vec![
+        ("paper_at_4", paper_example(), 4),
+        ("and_tree9_at_7", and_tree(9), 7),
+        ("chain10_at_5", chain(10), 5),
+    ];
+    for (name, dag, budget) in &workloads {
+        group.bench_with_input(BenchmarkId::new("single", name), budget, |b, &budget| {
+            b.iter(|| {
+                solve_with_pebbles(black_box(dag), budget)
+                    .into_strategy()
+                    .expect("feasible")
+            })
+        });
+        for workers in [2usize, 4] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("portfolio{workers}"), name),
+                budget,
+                |b, &budget| {
+                    b.iter(|| {
+                        solve_with_pebbles_portfolio(black_box(dag), budget, workers)
+                            .outcome
+                            .into_strategy()
+                            .expect("feasible")
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_portfolio_vs_single);
+criterion_main!(benches);

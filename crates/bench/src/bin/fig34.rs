@@ -48,7 +48,10 @@ fn main() {
     // Cross-check: the SAT engine agrees with exhaustive search at P = 4.
     match solve_with_pebbles(&dag, 4) {
         PebbleOutcome::Solved(strategy) => {
-            println!("\nSAT cross-check at P = 4: {} steps (matches BFS)", strategy.num_steps());
+            println!(
+                "\nSAT cross-check at P = 4: {} steps (matches BFS)",
+                strategy.num_steps()
+            );
         }
         other => println!("\nSAT cross-check failed: {other:?}"),
     }

@@ -13,7 +13,10 @@ fn main() {
     let dag = and_tree(9);
     println!("# Fig. 6 reproduction: 9-input AND on a 16-qubit device");
     println!("# DAG: {dag}");
-    println!("# {:<24} {:>7} {:>7} {:>10}   paper", "method", "qubits", "gates", "fits 16q");
+    println!(
+        "# {:<24} {:>7} {:>7} {:>10}   paper",
+        "method", "qubits", "gates", "fits 16q"
+    );
 
     let naive = compile(&dag, &bennett(&dag)).expect("compiles");
     println!(
@@ -28,7 +31,10 @@ fn main() {
     let barenco_gates = barenco::one_ancilla_gate_count(9);
     println!(
         "  {:<24} {:>7} {:>7} {:>10}   11 qubits, 48 gates",
-        "Barenco (6d)", barenco_qubits, barenco_gates, fits(barenco_qubits)
+        "Barenco (6d)",
+        barenco_qubits,
+        barenco_gates,
+        fits(barenco_qubits)
     );
 
     let budget = 16 - dag.num_inputs();

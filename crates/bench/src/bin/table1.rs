@@ -28,10 +28,24 @@ fn main() {
     let row_filter: Option<Vec<String>> =
         arg_value(&args, "--rows").map(|v| v.split(',').map(str::to_string).collect());
 
-    println!("# Table I reproduction (per-query timeout {timeout:?}, rows with <= {max_nodes} nodes)");
+    println!(
+        "# Table I reproduction (per-query timeout {timeout:?}, rows with <= {max_nodes} nodes)"
+    );
     println!(
         "# {:<8} {:>4} {:>4} {:>6} | {:>7} {:>7} | {:>7} {:>7} {:>8} {:>7} {:>7} | {:>8} {:>8}",
-        "design", "pi", "po", "nodes", "Ben P", "Ben K", "P", "K", "time[s]", "%P", "KxBen", "paper P", "paper K"
+        "design",
+        "pi",
+        "po",
+        "nodes",
+        "Ben P",
+        "Ben K",
+        "P",
+        "K",
+        "time[s]",
+        "%P",
+        "KxBen",
+        "paper P",
+        "paper K"
     );
 
     let mut reductions: Vec<f64> = Vec::new();

@@ -27,6 +27,7 @@ pub struct Table1Row {
 }
 
 /// All 20 rows of Table I (9 `H`-operator designs + 11 ISCAS circuits).
+#[rustfmt::skip]
 pub const TABLE1: [Table1Row; 20] = [
     Table1Row { name: "b2_m3", pi: 8, po: 8, nodes: 74, paper_p: 30, paper_k: 186 },
     Table1Row { name: "b3_m4", pi: 12, po: 12, nodes: 59, paper_p: 20, paper_k: 117 },

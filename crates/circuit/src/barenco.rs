@@ -147,8 +147,7 @@ mod tests {
         }
         for pattern in 0u64..(1 << num_qubits) {
             let mut state: Vec<bool> = (0..num_qubits).map(|i| pattern & (1 << i) != 0).collect();
-            let expected_target =
-                state[target.index()] ^ controls.iter().all(|c| state[c.index()]);
+            let expected_target = state[target.index()] ^ controls.iter().all(|c| state[c.index()]);
             let before = state.clone();
             circuit.simulate_state(&mut state);
             for qi in 0..num_qubits {

@@ -389,7 +389,10 @@ mod tests {
         c.add_input_qubit(0);
         assert!(matches!(
             c.simulate(&[true, false]),
-            Err(CircuitError::WrongInputCount { got: 2, expected: 1 })
+            Err(CircuitError::WrongInputCount {
+                got: 2,
+                expected: 1
+            })
         ));
     }
 

@@ -108,11 +108,7 @@ pub fn compile(dag: &Dag, strategy: &Strategy) -> Result<CompiledCircuit, Compil
             }
         }
     }
-    let output_qubits = dag
-        .outputs()
-        .iter()
-        .map(|o| node_qubit[o])
-        .collect();
+    let output_qubits = dag.outputs().iter().map(|o| node_qubit[o]).collect();
     Ok(CompiledCircuit {
         circuit,
         output_qubits,

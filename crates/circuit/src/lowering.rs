@@ -43,7 +43,8 @@ pub fn lower(circuit: &Circuit) -> Circuit {
     }
     for gate in circuit.gates() {
         for lowered in lower_gate(gate) {
-            out.push(lowered).expect("lowering preserves qubit validity");
+            out.push(lowered)
+                .expect("lowering preserves qubit validity");
         }
     }
     out
@@ -120,7 +121,10 @@ pub struct ResourceEstimate {
 pub fn estimate_resources(circuit: &Circuit) -> ResourceEstimate {
     let mut est = ResourceEstimate::default();
     for gate in circuit.gates() {
-        assert!(gate.is_mcx(), "estimate_resources requires a lowered circuit");
+        assert!(
+            gate.is_mcx(),
+            "estimate_resources requires a lowered circuit"
+        );
         match gate.arity() {
             0 => est.x += 1,
             1 => est.cnot += 1,
@@ -155,7 +159,10 @@ impl std::fmt::Display for QasmError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             QasmError::WideGate { controls } => {
-                write!(f, "gate with {controls} controls cannot be emitted; decompose first")
+                write!(
+                    f,
+                    "gate with {controls} controls cannot be emitted; decompose first"
+                )
             }
             QasmError::NotLowered => write!(f, "circuit contains non-MCX gates; lower it first"),
         }
@@ -229,7 +236,10 @@ mod tests {
             let mut s2 = s1.clone();
             original.simulate_state(&mut s1);
             lowered.simulate_state(&mut s2);
-            assert_eq!(s1, s2, "op {op} controls {num_controls} pattern {pattern:b}");
+            assert_eq!(
+                s1, s2,
+                "op {op} controls {num_controls} pattern {pattern:b}"
+            );
         }
         // Everything in the lowered circuit is MCX-family.
         assert!(lowered.gates().iter().all(Gate::is_mcx));
@@ -237,7 +247,18 @@ mod tests {
 
     #[test]
     fn all_ops_lower_correctly() {
-        for op in [Op::And, Op::Nand, Op::Or, Op::Nor, Op::Xor, Op::Xnor, Op::Add, Op::Sub, Op::Mul, Op::Opaque] {
+        for op in [
+            Op::And,
+            Op::Nand,
+            Op::Or,
+            Op::Nor,
+            Op::Xor,
+            Op::Xnor,
+            Op::Add,
+            Op::Sub,
+            Op::Mul,
+            Op::Opaque,
+        ] {
             for k in 1..=3 {
                 check_lowering(op, k);
             }
@@ -254,7 +275,8 @@ mod tests {
         let a = c.add_input_qubit(0);
         let b = c.add_input_qubit(1);
         let t = c.add_ancilla();
-        c.push(Gate::single_target(Op::Xor, vec![a, b], t)).expect("valid");
+        c.push(Gate::single_target(Op::Xor, vec![a, b], t))
+            .expect("valid");
         let lowered = lower(&c);
         assert_eq!(lowered.num_gates(), 2);
         assert!(lowered.gates().iter().all(|g| g.arity() == 1));
@@ -317,7 +339,8 @@ mod tests {
         let mut c2 = Circuit::new();
         let a = c2.add_input_qubit(0);
         let t2 = c2.add_ancilla();
-        c2.push(Gate::single_target(Op::Not, vec![a], t2)).expect("valid");
+        c2.push(Gate::single_target(Op::Not, vec![a], t2))
+            .expect("valid");
         assert_eq!(to_qasm(&c2), Err(QasmError::NotLowered));
     }
 
@@ -334,7 +357,10 @@ mod tests {
             circuit: lowered.clone(),
             output_qubits: compiled.output_qubits.clone(),
         };
-        assert!(matches!(verify(&dag, &relabeled), VerifyOutcome::Correct { .. }));
+        assert!(matches!(
+            verify(&dag, &relabeled),
+            VerifyOutcome::Correct { .. }
+        ));
         let qasm = to_qasm(&lowered).expect("c17 gates are narrow");
         assert!(qasm.lines().count() > lowered.num_gates());
     }

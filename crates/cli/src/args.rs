@@ -17,6 +17,9 @@ pub struct Args {
     pub timeout: Option<Duration>,
     /// `--mode seq|par`.
     pub mode: MoveMode,
+    /// `--portfolio N`: race `N` solver configurations on worker threads,
+    /// first winner takes all (0 picks one worker per available core).
+    pub portfolio: Option<usize>,
     /// `--grid`.
     pub grid: bool,
     /// `--qasm`.
@@ -30,6 +33,7 @@ impl Args {
         let mut pebbles = None;
         let mut timeout = None;
         let mut mode = MoveMode::Sequential;
+        let mut portfolio = None;
         let mut grid = false;
         let mut qasm = false;
         let mut iter = raw.iter().peekable();
@@ -52,6 +56,10 @@ impl Args {
                         other => return Err(format!("unknown mode {other:?}")),
                     };
                 }
+                "--portfolio" => {
+                    let value = iter.next().ok_or("--portfolio needs a worker count")?;
+                    portfolio = Some(value.parse().map_err(|_| "bad --portfolio value")?);
+                }
                 "--grid" => grid = true,
                 "--qasm" => qasm = true,
                 flag if flag.starts_with("--") => {
@@ -72,6 +80,7 @@ impl Args {
             pebbles,
             timeout,
             mode,
+            portfolio,
             grid,
             qasm,
         })
@@ -89,8 +98,18 @@ mod tests {
     #[test]
     fn parses_full_command() {
         let args = Args::parse(&strs(&[
-            "pebble", "c17", "--pebbles", "4", "--timeout", "30", "--mode", "par", "--grid",
+            "pebble",
+            "c17",
+            "--pebbles",
+            "4",
+            "--timeout",
+            "30",
+            "--mode",
+            "par",
+            "--grid",
             "--qasm",
+            "--portfolio",
+            "6",
         ]))
         .expect("parses");
         assert_eq!(args.command, "pebble");
@@ -98,6 +117,7 @@ mod tests {
         assert_eq!(args.pebbles, Some(4));
         assert_eq!(args.timeout, Some(Duration::from_secs(30)));
         assert_eq!(args.mode, MoveMode::Parallel);
+        assert_eq!(args.portfolio, Some(6));
         assert!(args.grid);
         assert!(args.qasm);
     }
@@ -108,8 +128,16 @@ mod tests {
         assert_eq!(args.pebbles, None);
         assert_eq!(args.timeout, None);
         assert_eq!(args.mode, MoveMode::Sequential);
+        assert_eq!(args.portfolio, None);
         assert!(!args.grid);
         assert!(!args.qasm);
+    }
+
+    #[test]
+    fn portfolio_zero_parses_and_defers_to_the_library() {
+        // `0` = one worker per core, resolved by `default_portfolio`.
+        let args = Args::parse(&strs(&["pebble", "paper", "--portfolio", "0"])).expect("parses");
+        assert_eq!(args.portfolio, Some(0));
     }
 
     #[test]
@@ -121,5 +149,7 @@ mod tests {
         assert!(Args::parse(&strs(&["pebble", "a", "--pebbles"])).is_err());
         assert!(Args::parse(&strs(&["pebble", "a", "--pebbles", "x"])).is_err());
         assert!(Args::parse(&strs(&["pebble", "a", "--mode", "quantum"])).is_err());
+        assert!(Args::parse(&strs(&["pebble", "a", "--portfolio"])).is_err());
+        assert!(Args::parse(&strs(&["pebble", "a", "--portfolio", "x"])).is_err());
     }
 }

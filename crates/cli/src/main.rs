@@ -10,6 +10,10 @@
 //! revpebble dot      <input>                         Graphviz export
 //! ```
 //!
+//! `pebble --portfolio N` races `N` solver configurations (deepening
+//! schedule × move semantics × cardinality encoding) on worker threads;
+//! the first strategy found cancels the rest (`0` = one per core).
+//!
 //! `<input>` is a `.bench` netlist path, `-` for stdin, or one of the
 //! built-in examples: `paper`, `c17`, `andtree9`, `hop`, `kummer`,
 //! `edwards`, `adder4`.
@@ -41,12 +45,16 @@ fn main() -> ExitCode {
 const USAGE: &str = "usage:
   revpebble info     <input>
   revpebble bennett  <input> [--grid]
-  revpebble pebble   <input> --pebbles P [--mode seq|par] [--timeout S] [--grid] [--qasm]
+  revpebble pebble   <input> --pebbles P [--mode seq|par] [--portfolio N] [--timeout S]
+                             [--grid] [--qasm]
   revpebble minimize <input> [--timeout S]
   revpebble frontier <input> [--timeout S]
   revpebble dot      <input>
 inputs: a .bench file path, '-' (stdin), or a built-in:
-  paper | c17 | andtree9 | hop | kummer | edwards | adder4";
+  paper | c17 | andtree9 | hop | kummer | edwards | adder4
+portfolio: race N configurations (schedule x move mode x cardinality
+  encoding) on worker threads; first winner cancels the rest (0 = one
+  worker per core)";
 
 fn run(raw: &[String]) -> Result<(), String> {
     let args = Args::parse(raw)?;
@@ -55,8 +63,14 @@ fn run(raw: &[String]) -> Result<(), String> {
         "info" => {
             println!("{dag}");
             println!("depth: {}", dag.depth());
-            println!("pebble lower bound: {}", revpebble::core::bounds::pebble_lower_bound(&dag));
-            println!("step lower bound (sequential): {}", revpebble::core::bounds::step_lower_bound(&dag));
+            println!(
+                "pebble lower bound: {}",
+                revpebble::core::bounds::pebble_lower_bound(&dag)
+            );
+            println!(
+                "step lower bound (sequential): {}",
+                revpebble::core::bounds::step_lower_bound(&dag)
+            );
             for (op, count) in dag.op_counts() {
                 println!("  {op}: {count}");
             }
@@ -84,7 +98,39 @@ fn run(raw: &[String]) -> Result<(), String> {
                 timeout: args.timeout,
                 ..SolverOptions::default()
             };
-            match PebbleSolver::new(&dag, options).solve() {
+            let outcome = match args.portfolio {
+                Some(workers) => {
+                    let portfolio = PortfolioSolver::with_default_portfolio(&dag, options, workers);
+                    eprintln!("portfolio: {} workers", portfolio.configs().len());
+                    for (index, config) in portfolio.configs().iter().enumerate() {
+                        eprintln!(
+                            "  worker {index}: {}",
+                            revpebble::core::portfolio::describe_options(config)
+                        );
+                    }
+                    let result = portfolio.solve();
+                    for (index, report) in result.workers.iter().enumerate() {
+                        let role = match result.winner {
+                            Some(winner) if winner == index => "winner",
+                            _ if report.cancelled => "cancelled",
+                            _ => "finished",
+                        };
+                        eprintln!(
+                            "  worker {index}: {role} after {:.1?} ({} queries, {} conflicts)",
+                            report.elapsed, report.search.queries, report.sat.conflicts
+                        );
+                    }
+                    // The winning configuration decides the strategy's move
+                    // semantics (the race may cross `--mode`), so name it on
+                    // stdout where the step counts it explains are printed.
+                    if let Some(report) = result.winning_report() {
+                        println!("portfolio winner: {}", report.describe());
+                    }
+                    result.outcome
+                }
+                None => PebbleSolver::new(&dag, options).solve(),
+            };
+            match outcome {
                 PebbleOutcome::Solved(strategy) => {
                     strategy
                         .validate(&dag, Some(budget))
@@ -173,9 +219,7 @@ fn load_dag(input: &str) -> Result<Dag, String> {
         "paper" => Ok(generators::paper_example()),
         "c17" => parse_bench(revpebble::graph::data::C17_BENCH).map_err(|e| e.to_string()),
         "andtree9" => Ok(generators::and_tree(9)),
-        "hop" => slp::h_operator()
-            .to_dag()
-            .map_err(|e| e.to_string()),
+        "hop" => slp::h_operator().to_dag().map_err(|e| e.to_string()),
         "kummer" => slp::kummer_ladder_step()
             .to_dag()
             .map_err(|e| e.to_string()),
@@ -191,8 +235,8 @@ fn load_dag(input: &str) -> Result<Dag, String> {
             parse_bench(&text).map_err(|e| e.to_string())
         }
         path => {
-            let text = std::fs::read_to_string(path)
-                .map_err(|e| format!("cannot read {path:?}: {e}"))?;
+            let text =
+                std::fs::read_to_string(path).map_err(|e| format!("cannot read {path:?}: {e}"))?;
             parse_bench(&text).map_err(|e| e.to_string())
         }
     }

@@ -1,0 +1,244 @@
+//! Offline stand-in for the [`criterion`](https://crates.io/crates/criterion)
+//! benchmark harness.
+//!
+//! The build environment has no access to crates.io, so this workspace
+//! vendors the subset of the criterion API its benches use:
+//! [`Criterion::benchmark_group`], [`BenchmarkGroup::bench_function`],
+//! [`BenchmarkGroup::bench_with_input`], [`BenchmarkId`], [`Bencher::iter`]
+//! and the [`criterion_group!`]/[`criterion_main!`] macros.
+//!
+//! Instead of criterion's statistical sampling it times a small fixed
+//! number of iterations per benchmark and prints min/median wall-clock
+//! times — enough to spot order-of-magnitude regressions in CI logs. In
+//! test mode (`cargo test --benches` passes `--test`) every benchmark
+//! runs exactly once, acting as a smoke test.
+
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// The benchmark manager handed to `criterion_group!` functions.
+#[derive(Debug)]
+pub struct Criterion {
+    /// `true` when invoked by `cargo test` (run once, no timing loops).
+    test_mode: bool,
+    /// Substring filter from the command line, as in upstream criterion.
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        let test_mode = args.iter().any(|a| a == "--test");
+        let filter = args.iter().find(|a| !a.starts_with('-')).cloned();
+        Criterion { test_mode, filter }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 10,
+        }
+    }
+}
+
+/// Identifier of one benchmark within a group: a function name plus an
+/// optional parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id from a function name and a parameter value.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// An id from a parameter value alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(id: String) -> Self {
+        BenchmarkId { id }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed iterations (upstream: samples) per bench.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        self.run(&id, |bencher| f(bencher));
+        self
+    }
+
+    /// Runs one benchmark parameterized by `input`.
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        self.run(&id, |bencher| f(bencher, input));
+        self
+    }
+
+    fn run(&mut self, id: &BenchmarkId, mut f: impl FnMut(&mut Bencher)) {
+        let full_name = format!("{}/{}", self.name, id.id);
+        if let Some(filter) = &self.criterion.filter {
+            if !full_name.contains(filter.as_str()) {
+                return;
+            }
+        }
+        // Criterion's sample counts assume sub-second iterations; this
+        // harness caps the measured iterations to keep `cargo bench` quick.
+        let samples = if self.criterion.test_mode {
+            1
+        } else {
+            self.sample_size.clamp(1, 10)
+        };
+        let mut times: Vec<Duration> = Vec::with_capacity(samples);
+        for _ in 0..samples {
+            let mut bencher = Bencher {
+                elapsed: Duration::ZERO,
+            };
+            f(&mut bencher);
+            times.push(bencher.elapsed);
+        }
+        times.sort_unstable();
+        let min = times.first().copied().unwrap_or_default();
+        let median = times[times.len() / 2];
+        println!(
+            "bench {full_name:<50} min {min:>12.3?}   median {median:>12.3?}   ({samples} samples)"
+        );
+    }
+
+    /// Ends the group (upstream finalizes reports here; a no-op).
+    pub fn finish(self) {}
+}
+
+/// Passed to each benchmark closure; runs and times the benchmark body.
+#[derive(Debug)]
+pub struct Bencher {
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times one execution of `routine` (upstream runs many; this harness
+    /// samples at the group level instead).
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        let output = routine();
+        self.elapsed = start.elapsed();
+        drop(output);
+    }
+}
+
+/// Re-export of [`std::hint::black_box`] under criterion's historical path.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Bundles benchmark functions into a runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running the given group functions.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_format_like_criterion() {
+        assert_eq!(BenchmarkId::new("solve", 4).id, "solve/4");
+        assert_eq!(BenchmarkId::from_parameter(8).id, "8");
+    }
+
+    #[test]
+    fn groups_run_benches_and_capture_timing() {
+        let mut criterion = Criterion {
+            test_mode: true,
+            filter: None,
+        };
+        let mut ran = 0;
+        let mut group = criterion.benchmark_group("g");
+        group.sample_size(20).bench_function("one", |b| {
+            b.iter(|| ran += 1);
+        });
+        group.bench_with_input(BenchmarkId::new("two", 7), &7, |b, &x| {
+            b.iter(|| assert_eq!(x, 7));
+        });
+        group.finish();
+        assert_eq!(ran, 1); // test mode: exactly one sample
+    }
+
+    #[test]
+    fn filter_skips_non_matching_benches() {
+        let mut criterion = Criterion {
+            test_mode: true,
+            filter: Some("match_me".to_string()),
+        };
+        let mut ran = false;
+        let mut group = criterion.benchmark_group("g");
+        group.bench_function("other", |b| b.iter(|| ran = true));
+        group.bench_function("match_me", |b| b.iter(|| ran = true));
+        group.finish();
+        assert!(ran);
+    }
+}

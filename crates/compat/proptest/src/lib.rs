@@ -1,0 +1,394 @@
+//! Offline stand-in for the [`proptest`](https://crates.io/crates/proptest)
+//! crate.
+//!
+//! The build environment has no access to crates.io, so this workspace
+//! vendors the subset of the proptest API its property tests use: the
+//! [`proptest!`] macro with `pattern in strategy` bindings and an optional
+//! `#![proptest_config(..)]` attribute, [`Strategy`] with
+//! [`prop_map`](Strategy::prop_map), [`any`](arbitrary::any), range and
+//! tuple strategies, [`collection::vec`], and the `prop_assert*` macros.
+//!
+//! Differences from upstream, by design:
+//!
+//! - **no shrinking** — a failing case reports its case number and the
+//!   deterministic seed, which reproduces it exactly;
+//! - **deterministic seeding** — cases are derived from a fixed seed plus
+//!   the test name, so CI failures always reproduce locally;
+//! - `prop_assert*` panic immediately instead of returning `Result`.
+
+#![warn(missing_docs)]
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Runner configuration (only the case count is honoured).
+pub mod test_runner {
+    /// Configuration for a [`proptest!`](crate::proptest) block.
+    #[derive(Debug, Clone, Copy)]
+    pub struct ProptestConfig {
+        /// Number of random cases each test runs.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` random cases per test.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256 }
+        }
+    }
+}
+
+/// Value-generation strategies.
+pub mod strategy {
+    use super::*;
+
+    /// A generator of random values of type [`Value`](Strategy::Value).
+    ///
+    /// Unlike upstream proptest there is no value tree and no shrinking:
+    /// a strategy simply draws a value from an RNG.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Draws one value.
+        fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+        /// Transforms generated values with `f`.
+        fn prop_map<T, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> T,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    /// Strategy returned by [`Strategy::prop_map`].
+    #[derive(Debug, Clone)]
+    pub struct Map<S, F> {
+        pub(crate) inner: S,
+        pub(crate) f: F,
+    }
+
+    impl<S, F, T> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> T,
+    {
+        type Value = T;
+
+        fn generate(&self, rng: &mut StdRng) -> T {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// Strategy that always yields clones of one value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn generate(&self, _rng: &mut StdRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut StdRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut StdRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(usize, u64, u32, u16, u8);
+
+    macro_rules! impl_tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+
+                #[allow(non_snake_case)]
+                fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        };
+    }
+
+    impl_tuple_strategy!(A);
+    impl_tuple_strategy!(A, B);
+    impl_tuple_strategy!(A, B, C);
+    impl_tuple_strategy!(A, B, C, D);
+    impl_tuple_strategy!(A, B, C, D, E);
+}
+
+/// The [`any`](arbitrary::any) entry point and the [`Arbitrary`]
+/// (arbitrary::Arbitrary) trait.
+pub mod arbitrary {
+    use super::*;
+    use crate::strategy::Strategy;
+
+    /// Types with a canonical full-domain strategy.
+    pub trait Arbitrary: Sized {
+        /// Draws one value covering the whole domain.
+        fn arbitrary(rng: &mut StdRng) -> Self;
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut StdRng) -> bool {
+            rng.gen()
+        }
+    }
+
+    impl Arbitrary for u32 {
+        fn arbitrary(rng: &mut StdRng) -> u32 {
+            rng.gen()
+        }
+    }
+
+    impl Arbitrary for u64 {
+        fn arbitrary(rng: &mut StdRng) -> u64 {
+            rng.gen()
+        }
+    }
+
+    impl Arbitrary for usize {
+        fn arbitrary(rng: &mut StdRng) -> usize {
+            rng.gen::<u64>() as usize
+        }
+    }
+
+    impl Arbitrary for u8 {
+        fn arbitrary(rng: &mut StdRng) -> u8 {
+            (rng.gen::<u32>() & 0xFF) as u8
+        }
+    }
+
+    /// Strategy returned by [`any`].
+    #[derive(Debug, Clone, Copy, Default)]
+    pub struct Any<T> {
+        _marker: core::marker::PhantomData<T>,
+    }
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut StdRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// The canonical strategy for `T` (uniform over its whole domain).
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any {
+            _marker: core::marker::PhantomData,
+        }
+    }
+}
+
+/// Collection strategies ([`vec`](collection::vec)).
+pub mod collection {
+    use super::*;
+    use crate::strategy::Strategy;
+
+    /// A source of collection sizes (from a fixed size or a range).
+    #[derive(Debug, Clone)]
+    pub struct SizeRange {
+        min: usize,
+        max: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { min: n, max: n }
+        }
+    }
+
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(r: core::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                min: r.start,
+                max: r.end - 1,
+            }
+        }
+    }
+
+    impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+            SizeRange {
+                min: *r.start(),
+                max: *r.end(),
+            }
+        }
+    }
+
+    /// Strategy returned by [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let len = rng.gen_range(self.size.min..=self.size.max);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// A strategy for `Vec`s whose elements come from `element` and whose
+    /// length is drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+}
+
+/// Runtime support used by the [`proptest!`] macro expansion; not part of
+/// the public proptest API surface.
+pub mod runner {
+    use super::*;
+
+    /// Deterministic RNG for one property test, derived from a fixed
+    /// global seed plus the test name (FNV-1a).
+    pub fn rng_for(test_name: &str) -> StdRng {
+        let mut hash: u64 = 0xCBF2_9CE4_8422_2325;
+        for byte in test_name.bytes() {
+            hash ^= byte as u64;
+            hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        StdRng::seed_from_u64(hash)
+    }
+}
+
+/// The most commonly used items; property tests glob-import this.
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Asserts a condition inside a property test (panics on failure).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Asserts equality inside a property test (panics on failure).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Asserts inequality inside a property test (panics on failure).
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+/// Declares property tests: `#[test]` functions whose arguments are drawn
+/// from strategies (`name(binding in strategy, ..) { body }`), each run
+/// for the configured number of cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@run ($config); $($rest)*);
+    };
+    (@run ($config:expr); $(
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $config;
+            let mut rng = $crate::runner::rng_for(stringify!($name));
+            for case in 0..config.cases {
+                let result = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(|| {
+                    $(let $pat = $crate::strategy::Strategy::generate(&$strat, &mut rng);)+
+                    $body
+                }));
+                if let Err(payload) = result {
+                    eprintln!(
+                        "proptest case {case}/{} of {} failed (deterministic seed: rerun reproduces it)",
+                        config.cases,
+                        stringify!($name),
+                    );
+                    ::std::panic::resume_unwind(payload);
+                }
+            }
+        }
+    )*};
+    ($($rest:tt)*) => {
+        $crate::proptest!(@run ($crate::test_runner::ProptestConfig::default()); $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 3usize..17, y in 0u32..5) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!(y < 5);
+        }
+
+        #[test]
+        fn tuples_and_maps_compose(
+            pair in (0usize..4, any::<bool>()).prop_map(|(n, b)| (n * 2, b)),
+        ) {
+            prop_assert!(pair.0 % 2 == 0 && pair.0 < 8);
+        }
+
+        #[test]
+        fn vec_lengths_respect_size_range(
+            v in prop::collection::vec(any::<u64>(), 2..=5),
+        ) {
+            prop_assert!((2..=5).contains(&v.len()));
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let mut a = crate::runner::rng_for("some_test");
+        let mut b = crate::runner::rng_for("some_test");
+        let sa: Vec<u64> = (0..10)
+            .map(|_| crate::arbitrary::Arbitrary::arbitrary(&mut a))
+            .collect();
+        let sb: Vec<u64> = (0..10)
+            .map(|_| crate::arbitrary::Arbitrary::arbitrary(&mut b))
+            .collect();
+        assert_eq!(sa, sb);
+    }
+}

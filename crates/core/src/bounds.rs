@@ -75,7 +75,7 @@ mod tests {
         use crate::baselines::bennett;
         for dag in [paper_example(), chain(5), and_tree(8)] {
             let s = bennett(&dag);
-            assert!(s.num_steps() >= step_lower_bound(&dag) - 0);
+            assert!(s.num_steps() >= step_lower_bound(&dag));
             assert_eq!(s.num_steps(), step_lower_bound(&dag));
             assert!(s.max_pebbles(&dag) >= pebble_lower_bound(&dag));
         }

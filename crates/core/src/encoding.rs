@@ -21,6 +21,9 @@
 //! one per transition, which makes `K` comparable with Definition 3 and
 //! with the Bennett step count.
 
+use std::sync::atomic::AtomicBool;
+use std::sync::Arc;
+
 use revpebble_graph::{Dag, NodeId};
 use revpebble_sat::card::{self, CardEncoding};
 use revpebble_sat::{Lit, SolveResult, Solver, Var};
@@ -43,7 +46,7 @@ pub enum MoveMode {
 }
 
 /// Options controlling the encoding.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, Default)]
 pub struct EncodingOptions {
     /// Pebble budget `P`; `None` leaves the pebble count unconstrained.
     pub max_pebbles: Option<usize>,
@@ -54,17 +57,6 @@ pub struct EncodingOptions {
     /// When `true`, the pebble budget bounds the total *weight* of pebbled
     /// nodes ([`revpebble_graph::Node::weight`]) instead of their count.
     pub weighted: bool,
-}
-
-impl Default for EncodingOptions {
-    fn default() -> Self {
-        EncodingOptions {
-            max_pebbles: None,
-            move_mode: MoveMode::default(),
-            card_encoding: CardEncoding::default(),
-            weighted: false,
-        }
-    }
 }
 
 /// An incrementally extensible SAT encoding of one pebbling instance.
@@ -114,6 +106,13 @@ impl<'a> PebbleEncoding<'a> {
     /// Access to the underlying solver (e.g. for statistics).
     pub fn solver(&self) -> &Solver {
         &self.solver
+    }
+
+    /// Installs a cooperative cancellation flag on the underlying solver
+    /// (see [`Solver::set_stop_flag`]); raised by portfolio rivals to
+    /// cancel this encoding's queries.
+    pub fn set_stop_flag(&mut self, stop: Option<Arc<AtomicBool>>) {
+        self.solver.set_stop_flag(stop);
     }
 
     fn push_time_point(&mut self) {
@@ -172,12 +171,7 @@ impl<'a> PebbleEncoding<'a> {
                 self.solver.add_clause([!c, !now, !next]);
                 changes.push(c);
             }
-            card::at_most_k(
-                &mut self.solver,
-                &changes,
-                1,
-                self.options.card_encoding,
-            );
+            card::at_most_k(&mut self.solver, &changes, 1, self.options.card_encoding);
         }
     }
 
@@ -362,7 +356,9 @@ mod tests {
         let result = enc.solve_at(5, None, None);
         assert_eq!(result, SolveResult::Sat);
         let strategy = enc.extract(5);
-        strategy.validate(&dag, Some(6)).expect("valid parallel strategy");
+        strategy
+            .validate(&dag, Some(6))
+            .expect("valid parallel strategy");
         assert!(strategy.num_steps() <= 5);
         assert!(strategy.num_moves() >= 10);
     }

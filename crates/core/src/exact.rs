@@ -77,10 +77,10 @@ pub fn solve_exact(dag: &Dag, max_pebbles: usize) -> ExactOutcome {
     queue.push_back(start);
     while let Some(state) = queue.pop_front() {
         let count = state.count_ones() as usize;
-        for v in 0..n {
+        for (v, &mask) in child_mask.iter().enumerate() {
             let bit = 1u32 << v;
             // Children must be pebbled to touch v.
-            if state & child_mask[v] != child_mask[v] {
+            if state & mask != mask {
                 continue;
             }
             let (next, mv) = if state & bit == 0 {

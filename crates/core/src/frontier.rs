@@ -151,7 +151,7 @@ mod tests {
             .collect();
         assert_eq!(feasible, vec![(4, 12), (5, 10), (6, 10)]);
         assert!(points.first().expect("nonempty").strategy.is_none()); // P = 3
-        // Fewer pebbles never means fewer steps.
+                                                                       // Fewer pebbles never means fewer steps.
         for pair in feasible.windows(2) {
             assert!(pair[0].1 >= pair[1].1);
         }

@@ -17,7 +17,9 @@
 //!   sequential and parallel move semantics, several cardinality
 //!   encodings, and a weighted-node extension;
 //! - the search loops ([`PebbleSolver`], [`minimize_pebbles`]) including
-//!   the timeout methodology of the paper's Table I.
+//!   the timeout methodology of the paper's Table I;
+//! - a multi-threaded [`PortfolioSolver`] racing several solver
+//!   configurations with first-winner-takes-all cancellation.
 //!
 //! ## Example: the paper's running example (Fig. 2 / Fig. 4)
 //!
@@ -44,13 +46,18 @@ pub mod encoding;
 pub mod exact;
 pub mod frontier;
 pub mod optimize;
+pub mod portfolio;
 pub mod solver;
 pub mod strategy;
 
 pub use config::PebbleConfig;
+pub use encoding::{EncodingOptions, MoveMode, PebbleEncoding};
 pub use exact::{exact_min_pebbles, solve_exact, ExactOutcome};
 pub use frontier::{frontier, FrontierOptions, FrontierPoint};
-pub use encoding::{EncodingOptions, MoveMode, PebbleEncoding};
+pub use portfolio::{
+    default_portfolio, solve_with_pebbles_portfolio, PortfolioOutcome, PortfolioSolver,
+    WorkerReport,
+};
 pub use solver::{
     minimize_pebbles, minimize_pebbles_descending, solve_with_pebbles, MinimizeResult,
     PebbleOutcome, PebbleSolver, SearchStats, SolverOptions, StepSchedule,

@@ -1,0 +1,467 @@
+//! A multi-threaded portfolio over solver configurations.
+//!
+//! The paper's methodology (Table I) probes one `(P, configuration)` pair
+//! at a time under a wall-clock budget. But the configuration space the
+//! codebase already exposes — deepening schedule, move semantics,
+//! cardinality encoding, step stride — contains no single dominant
+//! choice: exponential deepening wins on hard instances, linear deepening
+//! on easy ones; the totalizer beats the sequential counter on wide
+//! cardinality bounds and loses on narrow ones. A *portfolio* sidesteps
+//! the choice: spawn one worker thread per configuration on its own
+//! [`PebbleEncoding`](crate::encoding::PebbleEncoding), race them on the
+//! same instance, and let the first worker to find a strategy cancel the
+//! rest through a shared [`AtomicBool`] threaded all the way into the
+//! CDCL search loop ([`revpebble_sat::Solver::set_stop_flag`]).
+//!
+//! ```
+//! use revpebble_core::{PortfolioSolver, SolverOptions, EncodingOptions};
+//! use revpebble_graph::generators::paper_example;
+//!
+//! let dag = paper_example();
+//! let base = SolverOptions {
+//!     encoding: EncodingOptions { max_pebbles: Some(4), ..EncodingOptions::default() },
+//!     ..SolverOptions::default()
+//! };
+//! let result = PortfolioSolver::with_default_portfolio(&dag, base, 4).solve();
+//! let strategy = result.outcome.into_strategy().expect("solvable");
+//! strategy.validate(&dag, Some(4)).expect("valid");
+//! assert!(result.winner.is_some());
+//! ```
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use revpebble_graph::Dag;
+use revpebble_sat::card::CardEncoding;
+use revpebble_sat::SolverStats;
+
+use crate::encoding::MoveMode;
+use crate::solver::{PebbleOutcome, PebbleSolver, SearchStats, SolverOptions, StepSchedule};
+
+/// Sentinel for "no worker has claimed the win yet".
+const NO_WINNER: usize = usize::MAX;
+
+/// What one portfolio worker did, for diagnostics and benchmarking.
+#[derive(Debug, Clone)]
+pub struct WorkerReport {
+    /// The configuration this worker ran.
+    pub options: SolverOptions,
+    /// The worker's own outcome (the winner's is also the portfolio's).
+    pub outcome: PebbleOutcome,
+    /// Outer-search statistics (queries issued, largest `K`, conflicts).
+    pub search: SearchStats,
+    /// SAT-solver statistics as of the worker's last query.
+    pub sat: SolverStats,
+    /// Wall-clock time from spawn to return.
+    pub elapsed: Duration,
+    /// `true` when the worker gave up because a rival raised the stop
+    /// flag (as opposed to exhausting its own budgets).
+    pub cancelled: bool,
+}
+
+impl WorkerReport {
+    /// A compact single-line description of the worker's configuration,
+    /// e.g. `linear/seq/sequential-counter/stride1`.
+    pub fn describe(&self) -> String {
+        describe_options(&self.options)
+    }
+}
+
+/// A compact single-line description of one configuration,
+/// e.g. `exponential/par/totalizer/stride1`.
+pub fn describe_options(options: &SolverOptions) -> String {
+    let schedule = match options.schedule {
+        StepSchedule::Linear => "linear",
+        StepSchedule::ExponentialRefine => "exponential",
+    };
+    let mode = match options.encoding.move_mode {
+        MoveMode::Sequential => "seq",
+        MoveMode::Parallel => "par",
+    };
+    let card = match options.encoding.card_encoding {
+        CardEncoding::Pairwise => "pairwise",
+        CardEncoding::SequentialCounter => "sequential-counter",
+        CardEncoding::Totalizer => "totalizer",
+    };
+    format!(
+        "{schedule}/{mode}/{card}/stride{}",
+        options.step_stride.max(1)
+    )
+}
+
+/// The result of a [`PortfolioSolver::solve`] run.
+#[derive(Debug, Clone)]
+pub struct PortfolioOutcome {
+    /// The portfolio's verdict: the winner's strategy, or the most
+    /// definite failure among the workers (`Infeasible` over `StepLimit`
+    /// over `Timeout`) when nobody solved the instance.
+    pub outcome: PebbleOutcome,
+    /// Index (into [`workers`](Self::workers)) of the worker whose
+    /// strategy won the race, if any.
+    pub winner: Option<usize>,
+    /// One report per worker, in configuration order.
+    pub workers: Vec<WorkerReport>,
+}
+
+impl PortfolioOutcome {
+    /// The winning worker's report, if any worker won.
+    pub fn winning_report(&self) -> Option<&WorkerReport> {
+        self.winner.map(|idx| &self.workers[idx])
+    }
+}
+
+/// Builds `n` diverse configurations from `base`, cycling through the
+/// deepening schedules × cardinality encodings × move semantics the
+/// encoding layer supports (`base`'s own combination first). Extra
+/// workers beyond the 12 distinct combinations widen the step stride,
+/// trading step-optimality for speed exactly like
+/// [`SolverOptions::step_stride`] documents.
+///
+/// `n == 0` means "one worker per available core" (at least one), the
+/// same convention the CLI's `--portfolio 0` uses.
+pub fn default_portfolio(base: SolverOptions, n: usize) -> Vec<SolverOptions> {
+    let n = if n == 0 {
+        std::thread::available_parallelism().map_or(1, |cores| cores.get())
+    } else {
+        n
+    };
+    let schedules = [StepSchedule::Linear, StepSchedule::ExponentialRefine];
+    let cards = [
+        CardEncoding::SequentialCounter,
+        CardEncoding::Totalizer,
+        CardEncoding::Pairwise,
+    ];
+    let modes = [MoveMode::Sequential, MoveMode::Parallel];
+
+    // Rotate each axis so base's own combination comes first.
+    let rotate = |mut list: Vec<usize>, first: usize| {
+        list.rotate_left(first);
+        list
+    };
+    let schedule_order = rotate(
+        (0..schedules.len()).collect(),
+        schedules
+            .iter()
+            .position(|s| *s == base.schedule)
+            .unwrap_or(0),
+    );
+    let card_order = rotate(
+        (0..cards.len()).collect(),
+        cards
+            .iter()
+            .position(|c| *c == base.encoding.card_encoding)
+            .unwrap_or(0),
+    );
+    let mode_order = rotate(
+        (0..modes.len()).collect(),
+        modes
+            .iter()
+            .position(|m| *m == base.encoding.move_mode)
+            .unwrap_or(0),
+    );
+
+    let mut configs = Vec::with_capacity(n);
+    let mut stride_round = 0;
+    'fill: loop {
+        for &mode in &mode_order {
+            for &card in &card_order {
+                for &schedule in &schedule_order {
+                    if configs.len() == n {
+                        break 'fill;
+                    }
+                    let mut options = base;
+                    options.schedule = schedules[schedule];
+                    options.encoding.card_encoding = cards[card];
+                    options.encoding.move_mode = modes[mode];
+                    options.step_stride = base.step_stride.max(1) + stride_round;
+                    configs.push(options);
+                }
+            }
+        }
+        stride_round += 1;
+    }
+    configs
+}
+
+/// Races several solver configurations on one pebbling instance;
+/// first-winner-takes-all. See the [module docs](self).
+#[derive(Debug)]
+pub struct PortfolioSolver<'a> {
+    dag: &'a Dag,
+    configs: Vec<SolverOptions>,
+}
+
+impl<'a> PortfolioSolver<'a> {
+    /// Creates a portfolio running one worker per configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `configs` is empty, the DAG is empty, or the DAG fails
+    /// [`Dag::validate_for_pebbling`].
+    pub fn new(dag: &'a Dag, configs: Vec<SolverOptions>) -> Self {
+        assert!(
+            !configs.is_empty(),
+            "a portfolio needs at least one configuration"
+        );
+        assert!(dag.num_nodes() > 0, "cannot pebble an empty DAG");
+        dag.validate_for_pebbling()
+            .expect("every sink must be an output");
+        PortfolioSolver { dag, configs }
+    }
+
+    /// Creates a portfolio of `n` diverse variations of `base`; `n == 0`
+    /// spawns one worker per available core (see [`default_portfolio`]).
+    pub fn with_default_portfolio(dag: &'a Dag, base: SolverOptions, n: usize) -> Self {
+        Self::new(dag, default_portfolio(base, n))
+    }
+
+    /// The worker configurations, in spawn order.
+    pub fn configs(&self) -> &[SolverOptions] {
+        &self.configs
+    }
+
+    /// Runs every configuration on its own thread and returns the
+    /// first-found strategy plus per-worker reports. The winning worker
+    /// raises a shared stop flag that cancels the rivals' searches inside
+    /// the CDCL loop, so the call returns shortly after the first win
+    /// even when rival configurations would run far longer.
+    pub fn solve(&self) -> PortfolioOutcome {
+        let stop = Arc::new(AtomicBool::new(false));
+        let winner = AtomicUsize::new(NO_WINNER);
+        let workers: Vec<WorkerReport> = thread::scope(|scope| {
+            let handles: Vec<_> = self
+                .configs
+                .iter()
+                .enumerate()
+                .map(|(index, &options)| {
+                    let stop = Arc::clone(&stop);
+                    let winner = &winner;
+                    scope.spawn(move || {
+                        let start = Instant::now();
+                        let mut solver = PebbleSolver::new(self.dag, options);
+                        solver.set_stop_flag(Some(Arc::clone(&stop)));
+                        let outcome = solver.solve();
+                        let solved = matches!(outcome, PebbleOutcome::Solved(_));
+                        if solved
+                            && winner
+                                .compare_exchange(
+                                    NO_WINNER,
+                                    index,
+                                    Ordering::AcqRel,
+                                    Ordering::Acquire,
+                                )
+                                .is_ok()
+                        {
+                            stop.store(true, Ordering::Release);
+                        }
+                        WorkerReport {
+                            options,
+                            search: solver.stats(),
+                            sat: solver.sat_stats(),
+                            elapsed: start.elapsed(),
+                            cancelled: !solved && stop.load(Ordering::Acquire),
+                            outcome,
+                        }
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|handle| handle.join().expect("portfolio worker panicked"))
+                .collect()
+        });
+
+        let winner = match winner.load(Ordering::Acquire) {
+            NO_WINNER => None,
+            index => Some(index),
+        };
+        let outcome = match winner {
+            Some(index) => workers[index].outcome.clone(),
+            None => Self::most_definite(&workers),
+        };
+        PortfolioOutcome {
+            outcome,
+            winner,
+            workers,
+        }
+    }
+
+    /// When nobody solved the instance, report the most definite failure:
+    /// a structural `Infeasible` beats an exhausted `StepLimit` beats a
+    /// plain `Timeout`.
+    fn most_definite(workers: &[WorkerReport]) -> PebbleOutcome {
+        let rank = |outcome: &PebbleOutcome| match outcome {
+            PebbleOutcome::Solved(_) => 3,
+            PebbleOutcome::Infeasible { .. } => 2,
+            PebbleOutcome::StepLimit { .. } => 1,
+            PebbleOutcome::Timeout { .. } => 0,
+        };
+        workers
+            .iter()
+            .map(|worker| &worker.outcome)
+            .max_by_key(|outcome| rank(outcome))
+            .expect("portfolio has at least one worker")
+            .clone()
+    }
+}
+
+/// Convenience: race `workers` default-portfolio configurations with the
+/// given pebble budget and otherwise default options (`workers == 0` =
+/// one per available core).
+pub fn solve_with_pebbles_portfolio(
+    dag: &Dag,
+    max_pebbles: usize,
+    workers: usize,
+) -> PortfolioOutcome {
+    let base = SolverOptions {
+        encoding: crate::encoding::EncodingOptions {
+            max_pebbles: Some(max_pebbles),
+            ..crate::encoding::EncodingOptions::default()
+        },
+        ..SolverOptions::default()
+    };
+    PortfolioSolver::with_default_portfolio(dag, base, workers).solve()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encoding::EncodingOptions;
+    use crate::solver::solve_with_pebbles;
+    use revpebble_graph::generators::paper_example;
+
+    fn budgeted(max_pebbles: usize) -> SolverOptions {
+        SolverOptions {
+            encoding: EncodingOptions {
+                max_pebbles: Some(max_pebbles),
+                ..EncodingOptions::default()
+            },
+            ..SolverOptions::default()
+        }
+    }
+
+    #[test]
+    fn default_portfolio_is_diverse_and_sized() {
+        let configs = default_portfolio(SolverOptions::default(), 6);
+        assert_eq!(configs.len(), 6);
+        let descriptions: std::collections::BTreeSet<String> =
+            configs.iter().map(describe_options).collect();
+        assert_eq!(descriptions.len(), 6, "configurations must be distinct");
+        // The base configuration itself always runs as worker 0.
+        assert_eq!(configs[0].schedule, SolverOptions::default().schedule);
+        assert_eq!(
+            configs[0].encoding.card_encoding,
+            EncodingOptions::default().card_encoding
+        );
+    }
+
+    #[test]
+    fn zero_workers_means_one_per_core() {
+        let configs = default_portfolio(SolverOptions::default(), 0);
+        assert!(!configs.is_empty());
+        let dag = paper_example();
+        let result = solve_with_pebbles_portfolio(&dag, 4, 0);
+        assert!(matches!(result.outcome, PebbleOutcome::Solved(_)));
+    }
+
+    #[test]
+    fn oversized_portfolio_falls_back_to_stride_variants() {
+        let configs = default_portfolio(SolverOptions::default(), 15);
+        assert_eq!(configs.len(), 15);
+        assert!(configs[12..].iter().all(|c| c.step_stride == 2));
+    }
+
+    #[test]
+    fn portfolio_matches_single_threaded_bound_on_paper_example() {
+        let dag = paper_example();
+        let single = solve_with_pebbles(&dag, 4)
+            .into_strategy()
+            .expect("solvable");
+        single
+            .validate(&dag, Some(4))
+            .expect("single-threaded valid");
+
+        let result = solve_with_pebbles_portfolio(&dag, 4, 4);
+        let strategy = result
+            .outcome
+            .into_strategy()
+            .expect("portfolio solves too");
+        strategy
+            .validate(&dag, Some(4))
+            .expect("portfolio strategy fits the same pebble bound");
+        let winner = result.winner.expect("someone won");
+        assert!(winner < result.workers.len());
+        assert_eq!(result.workers.len(), 4);
+        assert!(result.workers.iter().all(|w| w.elapsed > Duration::ZERO));
+    }
+
+    #[test]
+    fn portfolio_with_two_workers_solves_and_reports_both() {
+        let dag = paper_example();
+        let result = PortfolioSolver::with_default_portfolio(&dag, budgeted(6), 2).solve();
+        assert!(matches!(result.outcome, PebbleOutcome::Solved(_)));
+        assert_eq!(result.workers.len(), 2);
+        let report = result.winning_report().expect("winner report");
+        assert!(matches!(report.outcome, PebbleOutcome::Solved(_)));
+        assert!(report.search.queries > 0);
+    }
+
+    #[test]
+    fn infeasible_budget_is_reported_not_raced_forever() {
+        let dag = paper_example();
+        let result = solve_with_pebbles_portfolio(&dag, 1, 3);
+        assert!(matches!(
+            result.outcome,
+            PebbleOutcome::Infeasible { lower_bound: 3 }
+        ));
+        assert!(result.winner.is_none());
+    }
+
+    #[test]
+    fn losing_workers_observe_the_stop_flag_and_exit_promptly() {
+        // Worker 1 is doomed: 3 pebbles pass the structural lower bound of
+        // the paper example but admit no strategy at any K (the final
+        // configuration {E, F} leaves one pebble for C and D), so linear
+        // deepening with an effectively unbounded step limit would refute
+        // K = 10, 11, 12, … forever. Only the winner's stop flag can end
+        // it — the whole test hanging is the failure mode guarded against.
+        let dag = paper_example();
+        let doomed = SolverOptions {
+            max_steps: usize::MAX / 2,
+            ..budgeted(3)
+        };
+        let start = Instant::now();
+        let result = PortfolioSolver::new(&dag, vec![budgeted(4), doomed]).solve();
+        let elapsed = start.elapsed();
+
+        assert_eq!(result.winner, Some(0), "only the 4-pebble worker can win");
+        let strategy = result.outcome.into_strategy().expect("winner's strategy");
+        strategy.validate(&dag, Some(4)).expect("valid");
+
+        let loser = &result.workers[1];
+        assert!(loser.cancelled, "loser must report being cancelled");
+        assert!(
+            matches!(loser.outcome, PebbleOutcome::Timeout { .. }),
+            "cancellation surfaces as a budget outcome, got {:?}",
+            loser.outcome
+        );
+        // Generous CI bound; the stop flag is polled at every CDCL
+        // decision, so real latency is micro- to milliseconds.
+        assert!(
+            elapsed < Duration::from_secs(30),
+            "losing worker took {elapsed:?} to observe the stop flag"
+        );
+    }
+
+    #[test]
+    fn reports_preserve_configuration_order() {
+        let dag = paper_example();
+        let configs = default_portfolio(budgeted(6), 3);
+        let expected: Vec<String> = configs.iter().map(describe_options).collect();
+        let result = PortfolioSolver::new(&dag, configs).solve();
+        let got: Vec<String> = result.workers.iter().map(WorkerReport::describe).collect();
+        assert_eq!(got, expected);
+    }
+}

@@ -8,10 +8,12 @@
 //! *Table I methodology*: find the smallest `P` for which a solution is
 //! found within a time budget — [`minimize_pebbles`].
 
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use revpebble_graph::Dag;
-use revpebble_sat::SolveResult;
+use revpebble_sat::{SolveResult, SolverStats};
 
 use crate::bounds::{parallel_step_lower_bound, pebble_lower_bound, step_lower_bound};
 use crate::encoding::{EncodingOptions, MoveMode, PebbleEncoding};
@@ -130,6 +132,8 @@ pub struct PebbleSolver<'a> {
     dag: &'a Dag,
     options: SolverOptions,
     stats: SearchStats,
+    sat_stats: SolverStats,
+    stop: Option<Arc<AtomicBool>>,
 }
 
 impl<'a> PebbleSolver<'a> {
@@ -147,12 +151,33 @@ impl<'a> PebbleSolver<'a> {
             dag,
             options,
             stats: SearchStats::default(),
+            sat_stats: SolverStats::default(),
+            stop: None,
         }
     }
 
     /// Search statistics accumulated so far.
     pub fn stats(&self) -> SearchStats {
         self.stats
+    }
+
+    /// Statistics of the underlying SAT solver, as of the last query.
+    pub fn sat_stats(&self) -> SolverStats {
+        self.sat_stats
+    }
+
+    /// Installs a cooperative cancellation flag, checked between and
+    /// inside SAT queries. When another thread raises it — the portfolio's
+    /// first winner does — the search unwinds with
+    /// [`PebbleOutcome::Timeout`] promptly.
+    pub fn set_stop_flag(&mut self, stop: Option<Arc<AtomicBool>>) {
+        self.stop = stop;
+    }
+
+    fn stop_requested(&self) -> bool {
+        self.stop
+            .as_ref()
+            .is_some_and(|flag| flag.load(Ordering::Relaxed))
     }
 
     /// Runs the search (see the [module docs](self) and [`StepSchedule`]).
@@ -170,6 +195,7 @@ impl<'a> PebbleSolver<'a> {
         };
         let k0 = self.options.initial_steps.unwrap_or(step_floor).max(1);
         let mut encoding = PebbleEncoding::new(self.dag, self.options.encoding);
+        encoding.set_stop_flag(self.stop.clone());
         match self.options.schedule {
             StepSchedule::Linear => self.solve_linear(&mut encoding, k0, start),
             StepSchedule::ExponentialRefine => self.solve_exponential(&mut encoding, k0, start),
@@ -209,7 +235,8 @@ impl<'a> PebbleSolver<'a> {
         self.stats.queries += 1;
         let result = encoding.solve_at(k, self.options.query_conflicts, budget);
         self.stats.max_k = self.stats.max_k.max(k);
-        self.stats.conflicts = encoding.solver().stats().conflicts;
+        self.sat_stats = encoding.solver().stats();
+        self.stats.conflicts = self.sat_stats.conflicts;
         result
     }
 
@@ -225,6 +252,9 @@ impl<'a> PebbleSolver<'a> {
                 return PebbleOutcome::StepLimit {
                     steps_checked: self.options.max_steps,
                 };
+            }
+            if self.stop_requested() {
+                return PebbleOutcome::Timeout { steps_reached: k };
             }
             let Ok(budget) = self.query_budget(start, self.options.query_timeout) else {
                 return PebbleOutcome::Timeout { steps_reached: k };
@@ -257,6 +287,9 @@ impl<'a> PebbleSolver<'a> {
             if k > self.options.max_steps {
                 k = self.options.max_steps;
             }
+            if self.stop_requested() {
+                return PebbleOutcome::Timeout { steps_reached: k };
+            }
             let Ok(budget) = self.query_budget(start, per_query) else {
                 return PebbleOutcome::Timeout { steps_reached: k };
             };
@@ -285,6 +318,11 @@ impl<'a> PebbleSolver<'a> {
         let mut lo = last_failed;
         while lo + 1 < sat_k {
             let mid = lo + (sat_k - lo) / 2;
+            if self.stop_requested() {
+                // Cancelled mid-refinement: the growth-phase strategy is
+                // already valid, just not step-minimal.
+                return PebbleOutcome::Solved(best);
+            }
             let Ok(budget) = self.query_budget(start, per_query) else {
                 return PebbleOutcome::Solved(best);
             };
@@ -467,7 +505,10 @@ mod tests {
     fn infeasible_budget_is_detected_immediately() {
         let dag = paper_example();
         let outcome = solve_with_pebbles(&dag, 1);
-        assert!(matches!(outcome, PebbleOutcome::Infeasible { lower_bound: 3 }));
+        assert!(matches!(
+            outcome,
+            PebbleOutcome::Infeasible { lower_bound: 3 }
+        ));
     }
 
     #[test]
@@ -483,7 +524,10 @@ mod tests {
             ..SolverOptions::default()
         };
         let outcome = PebbleSolver::new(&dag, options).solve();
-        assert!(matches!(outcome, PebbleOutcome::StepLimit { steps_checked: 11 }));
+        assert!(matches!(
+            outcome,
+            PebbleOutcome::StepLimit { steps_checked: 11 }
+        ));
     }
 
     #[test]
@@ -558,8 +602,7 @@ mod tests {
             max_steps: 60,
             ..SolverOptions::default()
         };
-        let descending =
-            minimize_pebbles_descending(&dag, base, Duration::from_secs(20), 1);
+        let descending = minimize_pebbles_descending(&dag, base, Duration::from_secs(20), 1);
         let (p, strategy) = descending.best.expect("feasible");
         assert_eq!(p, 4);
         strategy.validate(&dag, Some(4)).expect("valid");

@@ -110,7 +110,10 @@ impl fmt::Display for InvalidStrategy {
                 write!(f, "step {step}: move {mv} does not match the pebble state")
             }
             InvalidStrategy::ChildNotPebbled { step, mv, child } => {
-                write!(f, "step {step}: move {mv} requires child {child} to be pebbled")
+                write!(
+                    f,
+                    "step {step}: move {mv} requires child {child} to be pebbled"
+                )
             }
             InvalidStrategy::TooManyPebbles { step, used, limit } => {
                 write!(f, "after step {step}: {used} pebbles in use, limit {limit}")
@@ -284,7 +287,10 @@ impl Strategy {
             touched.sort_unstable();
             for w in touched.windows(2) {
                 if w[0] == w[1] {
-                    return Err(InvalidStrategy::DuplicateNode { step: i, node: w[0] });
+                    return Err(InvalidStrategy::DuplicateNode {
+                        step: i,
+                        node: w[0],
+                    });
                 }
             }
             let before = current.clone();
@@ -308,11 +314,7 @@ impl Strategy {
             for &mv in step {
                 for child in dag.children(mv.node()) {
                     if !before.is_pebbled(child) || !current.is_pebbled(child) {
-                        return Err(InvalidStrategy::ChildNotPebbled {
-                            step: i,
-                            mv,
-                            child,
-                        });
+                        return Err(InvalidStrategy::ChildNotPebbled { step: i, mv, child });
                     }
                 }
             }
@@ -608,12 +610,11 @@ mod tests {
             .add_node_weighted("b", Op::Buf, [a.into()], 2)
             .expect("valid");
         dag.mark_output(b);
-        let strategy = Strategy::from_moves([
-            Move::Pebble(n(0)),
-            Move::Pebble(n(1)),
-            Move::Unpebble(n(0)),
-        ]);
-        strategy.validate_weighted(&dag, Some(5)).expect("weight 5 ok");
+        let strategy =
+            Strategy::from_moves([Move::Pebble(n(0)), Move::Pebble(n(1)), Move::Unpebble(n(0))]);
+        strategy
+            .validate_weighted(&dag, Some(5))
+            .expect("weight 5 ok");
         assert!(matches!(
             strategy.validate_weighted(&dag, Some(4)),
             Err(InvalidStrategy::TooManyPebbles { used: 5, .. })

@@ -230,11 +230,7 @@ pub fn parse_bench(input: &str) -> Result<Dag, ParseBenchError> {
                 }
             }
         }
-        let fanin_sources: Vec<Source> = gate
-            .fanins
-            .iter()
-            .map(|f| sources[f])
-            .collect();
+        let fanin_sources: Vec<Source> = gate.fanins.iter().map(|f| sources[f]).collect();
         let id = dag.add_node(gate.name.clone(), gate.op, fanin_sources)?;
         sources.insert(gate.name.clone(), Source::Node(id));
         marks[gate_idx] = Mark::Done;

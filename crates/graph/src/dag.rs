@@ -142,7 +142,10 @@ impl fmt::Display for DagError {
                 write!(f, "node {node:?} references an unknown fanin")
             }
             DagError::ArityMismatch { node, op, fanins } => {
-                write!(f, "node {node:?}: operation {op} cannot take {fanins} fanins")
+                write!(
+                    f,
+                    "node {node:?}: operation {op} cannot take {fanins} fanins"
+                )
             }
             DagError::UnmarkedSink { node } => {
                 write!(f, "sink {node} is not marked as an output")
@@ -549,12 +552,18 @@ mod tests {
         let x4 = dag.add_input("x4");
         let a = dag.add_node("A", Op::Opaque, [x2, x3]).expect("valid");
         let b = dag.add_node("B", Op::Opaque, [x3, x4]).expect("valid");
-        let c = dag.add_node("C", Op::Opaque, [a.into(), x3]).expect("valid");
-        let d = dag.add_node("D", Op::Opaque, [b.into(), x3]).expect("valid");
+        let c = dag
+            .add_node("C", Op::Opaque, [a.into(), x3])
+            .expect("valid");
+        let d = dag
+            .add_node("D", Op::Opaque, [b.into(), x3])
+            .expect("valid");
         let e = dag
             .add_node("E", Op::Opaque, [c.into(), d.into()])
             .expect("valid");
-        let f = dag.add_node("F", Op::Opaque, [x1, a.into()]).expect("valid");
+        let f = dag
+            .add_node("F", Op::Opaque, [x1, a.into()])
+            .expect("valid");
         dag.mark_output(e);
         dag.mark_output(f);
         dag
@@ -646,7 +655,10 @@ mod tests {
         let dag = paper_dag();
         let fanouts = dag.fanouts();
         // A feeds C and F.
-        assert_eq!(fanouts[0], vec![NodeId::from_index(2), NodeId::from_index(5)]);
+        assert_eq!(
+            fanouts[0],
+            vec![NodeId::from_index(2), NodeId::from_index(5)]
+        );
         // E feeds nothing.
         assert!(fanouts[4].is_empty());
     }
@@ -670,7 +682,9 @@ mod tests {
         let y = dag.add_input("y");
         let inv = dag.add_node("inv", Op::Not, [x]).expect("valid");
         let buf = dag.add_node("buf", Op::Buf, [inv.into()]).expect("valid");
-        let and = dag.add_node("and", Op::And, [buf.into(), y]).expect("valid");
+        let and = dag
+            .add_node("and", Op::And, [buf.into(), y])
+            .expect("valid");
         dag.mark_output(and);
         let collapsed = dag.collapse_free_nodes();
         assert_eq!(collapsed.num_nodes(), 1);
@@ -715,6 +729,9 @@ mod tests {
     #[test]
     fn display_summary() {
         let dag = paper_dag();
-        assert_eq!(dag.to_string(), "dag(4 inputs, 6 nodes, 2 outputs, depth 3)");
+        assert_eq!(
+            dag.to_string(),
+            "dag(4 inputs, 6 nodes, 2 outputs, depth 3)"
+        );
     }
 }

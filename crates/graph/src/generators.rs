@@ -24,12 +24,18 @@ pub fn paper_example() -> Dag {
     let x4 = dag.add_input("x4");
     let a = dag.add_node("A", Op::Opaque, [x2, x3]).expect("valid");
     let b = dag.add_node("B", Op::Opaque, [x3, x4]).expect("valid");
-    let c = dag.add_node("C", Op::Opaque, [a.into(), x3]).expect("valid");
-    let d = dag.add_node("D", Op::Opaque, [b.into(), x3]).expect("valid");
+    let c = dag
+        .add_node("C", Op::Opaque, [a.into(), x3])
+        .expect("valid");
+    let d = dag
+        .add_node("D", Op::Opaque, [b.into(), x3])
+        .expect("valid");
     let e = dag
         .add_node("E", Op::Opaque, [c.into(), d.into()])
         .expect("valid");
-    let f = dag.add_node("F", Op::Opaque, [x1, a.into()]).expect("valid");
+    let f = dag
+        .add_node("F", Op::Opaque, [x1, a.into()])
+        .expect("valid");
     dag.mark_output(e);
     dag.mark_output(f);
     dag
@@ -158,7 +164,10 @@ pub struct ProxyShape {
 /// Panics if `outputs == 0`, `nodes < outputs`, or `inputs == 0`.
 pub fn iscas_proxy(shape: ProxyShape, seed: u64) -> Dag {
     assert!(shape.inputs > 0 && shape.outputs > 0);
-    assert!(shape.nodes >= shape.outputs, "need at least one node per output");
+    assert!(
+        shape.nodes >= shape.outputs,
+        "need at least one node per output"
+    );
     let mut rng = StdRng::seed_from_u64(seed ^ 0x5eed_15ca5u64);
     let mut dag = Dag::new();
     let inputs = dag.add_inputs(shape.inputs);
@@ -195,9 +204,11 @@ pub fn iscas_proxy(shape: ProxyShape, seed: u64) -> Dag {
                     tries += 1;
                 }
                 if c == a || c == b {
-                    dag.add_node(format!("g{i}"), Op::And, [a, b]).expect("valid")
+                    dag.add_node(format!("g{i}"), Op::And, [a, b])
+                        .expect("valid")
                 } else {
-                    dag.add_node(format!("g{i}"), Op::Maj, [a, b, c]).expect("valid")
+                    dag.add_node(format!("g{i}"), Op::Maj, [a, b, c])
+                        .expect("valid")
                 }
             }
             op => dag.add_node(format!("g{i}"), op, [a, b]).expect("valid"),

@@ -383,11 +383,7 @@ mod tests {
                     inputs.push(b & (1 << i) != 0);
                 }
                 let out = net.evaluate(&inputs);
-                let sum: u32 = out
-                    .iter()
-                    .enumerate()
-                    .map(|(i, &v)| (v as u32) << i)
-                    .sum();
+                let sum: u32 = out.iter().enumerate().map(|(i, &v)| (v as u32) << i).sum();
                 assert_eq!(sum, a + b, "a={a} b={b}");
             }
         }

@@ -95,7 +95,13 @@ impl Slp {
     }
 
     /// Appends a binary operation `dest = a op b`.
-    pub fn push(&mut self, dest: impl Into<String>, op: Op, a: impl Into<String>, b: impl Into<String>) {
+    pub fn push(
+        &mut self,
+        dest: impl Into<String>,
+        op: Op,
+        a: impl Into<String>,
+        b: impl Into<String>,
+    ) {
         self.ops.push(SlpOp {
             dest: dest.into(),
             op,
@@ -301,7 +307,14 @@ impl Slp {
 /// `x = (a+b)+(c+d)`, `y = (a+b)−(c+d)`, `z = (a−b)+(c−d)`,
 /// `t = (a−b)−(c−d)` via intermediates `t1..t4` (8 operations).
 /// Names are prefixed so the block can be instantiated repeatedly.
-pub fn push_h_block(slp: &mut Slp, prefix: &str, a: &str, b: &str, c: &str, d: &str) -> [String; 4] {
+pub fn push_h_block(
+    slp: &mut Slp,
+    prefix: &str,
+    a: &str,
+    b: &str,
+    c: &str,
+    d: &str,
+) -> [String; 4] {
     let t1 = format!("{prefix}_t1");
     let t2 = format!("{prefix}_t2");
     let t3 = format!("{prefix}_t3");
@@ -391,7 +404,12 @@ pub fn kummer_ladder_step() -> Slp {
         p.push_sqr(format!("dsq{i}"), v.clone());
     }
     for i in 0..4 {
-        p.push(format!("dsc{i}"), Op::Mul, format!("dsq{i}"), format!("e{}", i + 1));
+        p.push(
+            format!("dsc{i}"),
+            Op::Mul,
+            format!("dsq{i}"),
+            format!("e{}", i + 1),
+        );
     }
     let hd = push_h_block(&mut p, "hd", "dsc0", "dsc1", "dsc2", "dsc3");
     for (i, v) in hd.iter().enumerate() {
@@ -407,7 +425,12 @@ pub fn kummer_ladder_step() -> Slp {
         p.push_sqr(format!("asq{i}"), v.clone());
     }
     for i in 0..4 {
-        p.push(format!("x3_{i}"), Op::Mul, format!("asq{i}"), format!("i{}", i + 1));
+        p.push(
+            format!("x3_{i}"),
+            Op::Mul,
+            format!("asq{i}"),
+            format!("i{}", i + 1),
+        );
     }
     p.set_outputs([
         "x2_0", "x2_1", "x2_2", "x2_3", "x3_0", "x3_1", "x3_2", "x3_3",
@@ -525,7 +548,10 @@ outputs s
         let mut slp = Slp::with_inputs(["a", "b"]);
         slp.push("x", Op::Add, "a", "b");
         slp.set_outputs(["y"]);
-        assert!(matches!(slp.validate(), Err(SlpError::UnknownOutput { .. })));
+        assert!(matches!(
+            slp.validate(),
+            Err(SlpError::UnknownOutput { .. })
+        ));
     }
 
     #[test]

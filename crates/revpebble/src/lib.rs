@@ -42,6 +42,26 @@
 //! let compiled = compile(&dag, &tight).expect("compiles");
 //! assert!(matches!(verify(&dag, &compiled), VerifyOutcome::Correct { .. }));
 //! ```
+//!
+//! ## Portfolio solving
+//!
+//! No single solver configuration dominates: deepening schedule, move
+//! semantics and cardinality encoding each win on some instances and
+//! lose on others. On a multi-core machine,
+//! [`PortfolioSolver`](core::PortfolioSolver) races several
+//! configurations on worker threads and cancels the losers the moment
+//! one finds a strategy:
+//!
+//! ```
+//! use revpebble::prelude::*;
+//!
+//! let dag = revpebble::graph::generators::paper_example();
+//! // Race two configurations; first strategy found wins.
+//! let result = solve_with_pebbles_portfolio(&dag, 4, 2);
+//! println!("won by: {}", result.winning_report().expect("winner").describe());
+//! let strategy = result.outcome.into_strategy().expect("solvable");
+//! strategy.validate(&dag, Some(4)).expect("still within 4 pebbles");
+//! ```
 
 #![warn(missing_docs)]
 
@@ -55,8 +75,9 @@ pub mod prelude {
     pub use crate::circuit::{compile, verify, Circuit, CompiledCircuit, VerifyOutcome};
     pub use crate::core::baselines::{bennett, cone_wise};
     pub use crate::core::{
-        minimize_pebbles, solve_with_pebbles, CardEncoding, EncodingOptions, Move, MoveMode,
-        PebbleOutcome, PebbleSolver, SolverOptions, Strategy,
+        minimize_pebbles, solve_with_pebbles, solve_with_pebbles_portfolio, CardEncoding,
+        EncodingOptions, Move, MoveMode, PebbleOutcome, PebbleSolver, PortfolioOutcome,
+        PortfolioSolver, SolverOptions, Strategy,
     };
     pub use crate::graph::{parse_bench, Dag, NodeId, Op, Slp, Source};
 }

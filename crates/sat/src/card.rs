@@ -245,8 +245,8 @@ fn sequential_counter(sink: &mut impl CnfSink, lits: &[Lit], k: usize) {
     // x0 -> s[0][0]
     sink.emit_clause(&[!lits[0], s[0][0]]);
     // s[0][j] is false for j >= 1
-    for j in 1..k {
-        sink.emit_clause(&[!s[0][j]]);
+    for &reg in &s[0][1..] {
+        sink.emit_clause(&[!reg]);
     }
     for i in 1..n - 1 {
         // xi -> s[i][0]

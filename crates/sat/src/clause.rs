@@ -162,7 +162,7 @@ impl ClauseDb {
     pub fn is_live(&self, cref: ClauseRef) -> bool {
         self.slots
             .get(cref.index())
-            .map_or(false, |slot| slot.is_some())
+            .is_some_and(|slot| slot.is_some())
     }
 
     /// Borrows a live clause.
@@ -172,9 +172,7 @@ impl ClauseDb {
     /// Panics if the clause has been freed.
     #[inline]
     pub fn get(&self, cref: ClauseRef) -> &Clause {
-        self.slots[cref.index()]
-            .as_ref()
-            .expect("clause was freed")
+        self.slots[cref.index()].as_ref().expect("clause was freed")
     }
 
     /// Mutably borrows a live clause.
@@ -184,9 +182,7 @@ impl ClauseDb {
     /// Panics if the clause has been freed.
     #[inline]
     pub fn get_mut(&mut self, cref: ClauseRef) -> &mut Clause {
-        self.slots[cref.index()]
-            .as_mut()
-            .expect("clause was freed")
+        self.slots[cref.index()].as_mut().expect("clause was freed")
     }
 
     /// Number of live original (problem) clauses.
@@ -203,9 +199,10 @@ impl ClauseDb {
 
     /// Iterates over the handles of all live clauses.
     pub fn iter_refs(&self) -> impl Iterator<Item = ClauseRef> + '_ {
-        self.slots.iter().enumerate().filter_map(|(i, slot)| {
-            slot.as_ref().map(|_| ClauseRef(i as u32))
-        })
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, slot)| slot.as_ref().map(|_| ClauseRef(i as u32)))
     }
 
     /// Iterates over the handles of live learned clauses.
@@ -221,7 +218,6 @@ impl ClauseDb {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::types::Var;
 
     fn lits(codes: &[i32]) -> Vec<Lit> {
         codes.iter().map(|&d| Lit::from_dimacs(d)).collect()

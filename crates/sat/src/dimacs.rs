@@ -64,9 +64,8 @@ impl Cnf {
     /// variables as needed, and returns the variables created.
     pub fn load_into(&self, solver: &mut crate::Solver) -> Vec<crate::Var> {
         let vars = solver.new_vars(self.num_vars.saturating_sub(solver.num_vars()));
-        let all_vars: Vec<crate::Var> = (0..solver.num_vars())
-            .map(crate::Var::from_index)
-            .collect();
+        let all_vars: Vec<crate::Var> =
+            (0..solver.num_vars()).map(crate::Var::from_index).collect();
         for clause in &self.clauses {
             solver.add_clause(clause.iter().copied());
         }
@@ -186,7 +185,10 @@ mod tests {
         let cnf = parse_dimacs(text).expect("parses");
         assert_eq!(cnf.num_vars, 3);
         assert_eq!(cnf.len(), 2);
-        assert_eq!(cnf.clauses[0], vec![Lit::from_dimacs(1), Lit::from_dimacs(-2)]);
+        assert_eq!(
+            cnf.clauses[0],
+            vec![Lit::from_dimacs(1), Lit::from_dimacs(-2)]
+        );
     }
 
     #[test]
@@ -219,7 +221,10 @@ mod tests {
     #[test]
     fn unterminated_clause_is_reported() {
         let text = "p cnf 2 1\n1 -2\n";
-        assert_eq!(parse_dimacs(text), Err(ParseDimacsError::UnterminatedClause));
+        assert_eq!(
+            parse_dimacs(text),
+            Err(ParseDimacsError::UnterminatedClause)
+        );
     }
 
     #[test]

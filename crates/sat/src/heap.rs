@@ -45,7 +45,7 @@ impl VarHeap {
     pub fn contains(&self, var: Var) -> bool {
         self.index
             .get(var.index())
-            .map_or(false, |&pos| pos != ABSENT)
+            .is_some_and(|&pos| pos != ABSENT)
     }
 
     /// Inserts `var` (no-op if present), restoring the heap property using
@@ -186,7 +186,9 @@ mod tests {
         // Deterministic LCG so the test needs no external crates.
         let mut state = 0x2545_f491_4f6c_dd1du64;
         let mut next = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (state >> 33) as f64 / (1u64 << 31) as f64
         };
         let n = 200;

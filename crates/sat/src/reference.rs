@@ -59,50 +59,46 @@ fn value_of(assignment: &[LBool], lit: Lit) -> LBool {
 }
 
 fn dpll(cnf: &Cnf, assignment: &mut [LBool], mut next_var: usize) -> bool {
-    // Check clauses / find a unit.
-    loop {
-        let mut unit: Option<Lit> = None;
-        for clause in &cnf.clauses {
-            let mut unassigned: Option<Lit> = None;
-            let mut num_unassigned = 0;
-            let mut satisfied = false;
-            for &lit in clause {
-                match value_of(assignment, lit) {
-                    LBool::True => {
-                        satisfied = true;
-                        break;
-                    }
-                    LBool::Undef => {
-                        num_unassigned += 1;
-                        unassigned = Some(lit);
-                    }
-                    LBool::False => {}
-                }
-            }
-            if satisfied {
-                continue;
-            }
-            match num_unassigned {
-                0 => return false, // falsified clause
-                1 => {
-                    unit = unassigned;
+    // Check clauses / find a unit (propagation happens through the
+    // recursive call, which re-scans the clause set).
+    let mut unit: Option<Lit> = None;
+    for clause in &cnf.clauses {
+        let mut unassigned: Option<Lit> = None;
+        let mut num_unassigned = 0;
+        let mut satisfied = false;
+        for &lit in clause {
+            match value_of(assignment, lit) {
+                LBool::True => {
+                    satisfied = true;
                     break;
                 }
-                _ => {}
-            }
-        }
-        match unit {
-            Some(lit) => {
-                let saved = assignment.to_vec();
-                assignment[lit.var().index()] = LBool::from_bool(lit.is_positive());
-                if dpll(cnf, assignment, next_var) {
-                    return true;
+                LBool::Undef => {
+                    num_unassigned += 1;
+                    unassigned = Some(lit);
                 }
-                assignment.copy_from_slice(&saved);
-                return false;
+                LBool::False => {}
             }
-            None => break,
         }
+        if satisfied {
+            continue;
+        }
+        match num_unassigned {
+            0 => return false, // falsified clause
+            1 => {
+                unit = unassigned;
+                break;
+            }
+            _ => {}
+        }
+    }
+    if let Some(lit) = unit {
+        let saved = assignment.to_vec();
+        assignment[lit.var().index()] = LBool::from_bool(lit.is_positive());
+        if dpll(cnf, assignment, next_var) {
+            return true;
+        }
+        assignment.copy_from_slice(&saved);
+        return false;
     }
     // Find next unassigned variable.
     while next_var < assignment.len() && assignment[next_var].is_assigned() {
@@ -128,7 +124,9 @@ mod tests {
 
     #[test]
     fn sat_formula_yields_model() {
-        let cnf: Cnf = "p cnf 3 3\n1 2 0\n-1 3 0\n-2 -3 0\n".parse().expect("parses");
+        let cnf: Cnf = "p cnf 3 3\n1 2 0\n-1 3 0\n-2 -3 0\n"
+            .parse()
+            .expect("parses");
         let model = brute_force(&cnf).expect("satisfiable");
         assert!(evaluate(&cnf, &model));
     }

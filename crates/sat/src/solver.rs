@@ -25,11 +25,13 @@
 //! assert_eq!(solver.model_value(b), Some(true));
 //! ```
 
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use crate::clause::{ClauseDb, ClauseRef};
-use crate::types::{LBool, Lit, Var};
 use crate::heap::VarHeap;
+use crate::types::{LBool, Lit, Var};
 
 /// Outcome of a [`Solver::solve`] call.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -123,6 +125,11 @@ pub struct Solver {
     // budgets (per solve call)
     conflict_budget: Option<u64>,
     deadline: Option<Instant>,
+    /// Cooperative cancellation: when the flag is raised by another thread
+    /// the search unwinds with [`SolveResult::Unknown`]. Unlike the
+    /// budgets, the flag persists across `solve` calls — a cancelled
+    /// portfolio worker must stay cancelled for its remaining queries.
+    stop: Option<Arc<AtomicBool>>,
     /// Failed assumptions of the last Unsat result (an unsat core over the
     /// assumption set), when the conflict involved assumptions.
     conflict_core: Vec<Lit>,
@@ -165,6 +172,7 @@ impl Solver {
             analyze_clear: Vec::new(),
             conflict_budget: None,
             deadline: None,
+            stop: None,
             conflict_core: Vec::new(),
         }
     }
@@ -219,6 +227,23 @@ impl Solver {
     /// of wall-clock time; `None` removes the limit.
     pub fn set_time_budget(&mut self, timeout: Option<Duration>) {
         self.deadline = timeout.map(|t| Instant::now() + t);
+    }
+
+    /// Installs a cooperative cancellation flag, shared with other threads
+    /// (e.g. the portfolio's first-winner-takes-all broadcast). The search
+    /// loop polls it at every decision and restart; once raised, the
+    /// current and every future [`solve`](Self::solve) call return
+    /// [`SolveResult::Unknown`] promptly. `None` removes the flag.
+    pub fn set_stop_flag(&mut self, stop: Option<Arc<AtomicBool>>) {
+        self.stop = stop;
+    }
+
+    /// Whether the installed cancellation flag has been raised.
+    #[inline]
+    pub fn stop_requested(&self) -> bool {
+        self.stop
+            .as_ref()
+            .is_some_and(|flag| flag.load(Ordering::Relaxed))
     }
 
     /// Current truth value of `lit` in the solver's partial assignment.
@@ -332,7 +357,10 @@ impl Solver {
                 debug_assert_eq!(lits[1], false_lit);
                 let first = lits[0];
                 if first != w.blocker && self.value(first) == LBool::True {
-                    ws[kept] = Watcher { cref: w.cref, blocker: first };
+                    ws[kept] = Watcher {
+                        cref: w.cref,
+                        blocker: first,
+                    };
                     kept += 1;
                     continue;
                 }
@@ -343,7 +371,11 @@ impl Solver {
                     let cand = lits[k];
                     let val = {
                         let v = self.assigns[cand.var().index()];
-                        if cand.is_positive() { v } else { v.negate() }
+                        if cand.is_positive() {
+                            v
+                        } else {
+                            v.negate()
+                        }
                     };
                     if val != LBool::False {
                         lits.swap(1, k);
@@ -356,7 +388,10 @@ impl Solver {
                     }
                 }
                 // No new watch: clause is unit or conflicting.
-                ws[kept] = Watcher { cref: w.cref, blocker: first };
+                ws[kept] = Watcher {
+                    cref: w.cref,
+                    blocker: first,
+                };
                 kept += 1;
                 if self.value(first) == LBool::False {
                     // Conflict: keep remaining watchers and stop.
@@ -521,10 +556,7 @@ impl Solver {
     }
 
     fn lbd(&self, lits: &[Lit]) -> u32 {
-        let mut levels: Vec<u32> = lits
-            .iter()
-            .map(|l| self.level[l.var().index()])
-            .collect();
+        let mut levels: Vec<u32> = lits.iter().map(|l| self.level[l.var().index()]).collect();
         levels.sort_unstable();
         levels.dedup();
         levels.len() as u32
@@ -553,8 +585,8 @@ impl Solver {
                 continue; // glue clauses are kept forever
             }
             let lit0 = clause.lits()[0];
-            let locked = self.reason[lit0.var().index()] == Some(cref)
-                && self.value(lit0) == LBool::True;
+            let locked =
+                self.reason[lit0.var().index()] == Some(cref) && self.value(lit0) == LBool::True;
             if locked {
                 continue;
             }
@@ -648,9 +680,8 @@ impl Solver {
             return SolveResult::Unsat;
         }
         self.model.clear();
-        self.max_learnts = (self.clauses.num_original() as f64
-            * self.config.learntsize_factor)
-            .max(1000.0);
+        self.max_learnts =
+            (self.clauses.num_original() as f64 * self.config.learntsize_factor).max(1000.0);
 
         let budget_start = self.stats.conflicts;
         let mut restarts = 0u64;
@@ -660,7 +691,7 @@ impl Solver {
                 LBool::True => break SolveResult::Sat,
                 LBool::False => break SolveResult::Unsat,
                 LBool::Undef => {
-                    if self.budget_exhausted(budget_start) {
+                    if self.stop_requested() || self.budget_exhausted(budget_start) {
                         break SolveResult::Unknown;
                     }
                     restarts += 1;
@@ -691,12 +722,7 @@ impl Solver {
     /// Searches for a model or a conflict at level 0, restarting after
     /// `conflicts_allowed` conflicts. Returns `Undef` on restart or budget
     /// exhaustion.
-    fn search(
-        &mut self,
-        conflicts_allowed: u64,
-        assumptions: &[Lit],
-        budget_start: u64,
-    ) -> LBool {
+    fn search(&mut self, conflicts_allowed: u64, assumptions: &[Lit], budget_start: u64) -> LBool {
         let mut conflicts_here = 0u64;
         loop {
             if let Some(conflict) = self.propagate() {
@@ -722,7 +748,9 @@ impl Solver {
                 self.decay_activities();
             } else {
                 if conflicts_here >= conflicts_allowed
-                    || (self.stats.conflicts % 64 == 0 && self.budget_exhausted(budget_start))
+                    || self.stop_requested()
+                    || (self.stats.conflicts.is_multiple_of(64)
+                        && self.budget_exhausted(budget_start))
                 {
                     self.cancel_until(0);
                     return LBool::Undef;
@@ -933,7 +961,10 @@ mod tests {
         let a = s.new_var();
         let b = s.new_var();
         s.add_clause([a.negative(), b.positive()]);
-        assert_eq!(s.solve_with(&[a.positive(), b.negative()]), SolveResult::Unsat);
+        assert_eq!(
+            s.solve_with(&[a.positive(), b.negative()]),
+            SolveResult::Unsat
+        );
         assert_eq!(s.solve_with(&[a.positive()]), SolveResult::Sat);
         assert_eq!(s.model_value(b.positive()), Some(true));
         // Solver remains reusable.
@@ -1023,6 +1054,72 @@ mod tests {
         let w = s.new_var();
         assert_eq!(s.solve_with(&[w.positive()]), SolveResult::Unsat);
         assert!(s.unsat_core().is_empty());
+    }
+
+    /// An `n+1`-pigeons-into-`n`-holes instance: unsatisfiable, and
+    /// exponentially hard for resolution-based solvers as `n` grows.
+    fn pigeonhole(n: usize) -> Solver {
+        let mut s = Solver::new();
+        let vars = s.new_vars((n + 1) * n);
+        let p = |i: usize, j: usize| vars[i * n + j].positive();
+        for i in 0..=n {
+            s.add_clause((0..n).map(|j| p(i, j)));
+        }
+        for j in 0..n {
+            for i1 in 0..=n {
+                for i2 in (i1 + 1)..=n {
+                    s.add_clause([!p(i1, j), !p(i2, j)]);
+                }
+            }
+        }
+        s
+    }
+
+    #[test]
+    fn raised_stop_flag_preempts_search() {
+        let mut s = pigeonhole(10);
+        let stop = Arc::new(AtomicBool::new(true));
+        s.set_stop_flag(Some(stop));
+        // The flag is already raised: the solver must give up without
+        // searching (a full refutation of PHP(11, 10) would take far
+        // longer than this test allows).
+        let start = Instant::now();
+        assert_eq!(s.solve(), SolveResult::Unknown);
+        assert!(start.elapsed() < Duration::from_secs(5));
+        // The flag persists across calls, unlike the per-call budgets.
+        assert_eq!(s.solve(), SolveResult::Unknown);
+    }
+
+    #[test]
+    fn stop_flag_raised_mid_search_cancels_promptly() {
+        let mut s = pigeonhole(10);
+        let stop = Arc::new(AtomicBool::new(false));
+        s.set_stop_flag(Some(Arc::clone(&stop)));
+        let setter = std::thread::spawn({
+            let stop = Arc::clone(&stop);
+            move || {
+                std::thread::sleep(Duration::from_millis(30));
+                stop.store(true, Ordering::Relaxed);
+            }
+        });
+        let start = Instant::now();
+        let result = s.solve();
+        setter.join().expect("setter thread");
+        assert_eq!(result, SolveResult::Unknown);
+        // Generous bound: the search polls the flag at every decision, so
+        // cancellation latency is microseconds, not seconds.
+        assert!(start.elapsed() < Duration::from_secs(10));
+    }
+
+    #[test]
+    fn clearing_the_stop_flag_resumes_solving() {
+        let mut s = Solver::new();
+        let v = s.new_var();
+        s.add_clause([v.positive()]);
+        s.set_stop_flag(Some(Arc::new(AtomicBool::new(true))));
+        assert_eq!(s.solve(), SolveResult::Unknown);
+        s.set_stop_flag(None);
+        assert_eq!(s.solve(), SolveResult::Sat);
     }
 
     #[test]

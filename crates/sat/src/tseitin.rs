@@ -157,7 +157,10 @@ mod tests {
     use crate::{SolveResult, Solver};
 
     /// Checks a binary gate against its truth table by assuming inputs.
-    fn check_gate(build: impl Fn(&mut FormulaBuilder<'_, Solver>, Lit, Lit) -> Lit, table: [bool; 4]) {
+    fn check_gate(
+        build: impl Fn(&mut FormulaBuilder<'_, Solver>, Lit, Lit) -> Lit,
+        table: [bool; 4],
+    ) {
         for (idx, &expected) in table.iter().enumerate() {
             let (a_val, b_val) = (idx & 1 != 0, idx & 2 != 0);
             let mut solver = Solver::new();
@@ -167,10 +170,7 @@ mod tests {
                 let mut f = FormulaBuilder::new(&mut solver);
                 build(&mut f, a, b)
             };
-            let assumptions = [
-                if a_val { a } else { !a },
-                if b_val { b } else { !b },
-            ];
+            let assumptions = [if a_val { a } else { !a }, if b_val { b } else { !b }];
             assert_eq!(solver.solve_with(&assumptions), SolveResult::Sat);
             assert_eq!(
                 solver.model_value(out),
@@ -267,7 +267,11 @@ mod tests {
                     .collect();
                 assert_eq!(solver.solve_with(&assumptions), SolveResult::Sat);
                 let expected = pattern.count_ones() as usize == n;
-                assert_eq!(solver.model_value(out), Some(expected), "n={n} p={pattern:b}");
+                assert_eq!(
+                    solver.model_value(out),
+                    Some(expected),
+                    "n={n} p={pattern:b}"
+                );
             }
         }
     }
@@ -286,7 +290,11 @@ mod tests {
                     .collect();
                 assert_eq!(solver.solve_with(&assumptions), SolveResult::Sat);
                 let expected = pattern.count_ones() % 2 == 1;
-                assert_eq!(solver.model_value(out), Some(expected), "n={n} p={pattern:b}");
+                assert_eq!(
+                    solver.model_value(out),
+                    Some(expected),
+                    "n={n} p={pattern:b}"
+                );
             }
         }
     }

@@ -8,7 +8,7 @@
 //! Edwards point addition (20 operations) — the Kummer ladder step used by
 //! the full Fig. 5 reproduction lives in the bench harness (`fig5`).
 //!
-//! Run with: `cargo run --release -p revpebble --example edwards_curve`
+//! Run with: `cargo run --release --example edwards_curve`
 
 use revpebble::graph::slp::edwards_add_projective;
 use revpebble::graph::Op;
@@ -26,7 +26,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         naive.num_moves()
     );
 
-    println!("{:>7} {:>6} {:>5} {:>5} {:>5} {:>5} {:>6}", "pebbles", "steps", "Add", "Sub", "Sqr", "Mul", "total");
+    println!(
+        "{:>7} {:>6} {:>5} {:>5} {:>5} {:>5} {:>6}",
+        "pebbles", "steps", "Add", "Sub", "Sqr", "Mul", "total"
+    );
     for budget in [16, 12, 10, 8, 7] {
         let options = SolverOptions {
             encoding: EncodingOptions {

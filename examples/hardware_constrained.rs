@@ -8,7 +8,7 @@
 //!    ancilla: 11 qubits but 48 gates;
 //! 3. **SAT pebbling at 16 qubits** — the balanced middle ground.
 //!
-//! Run with: `cargo run --release -p revpebble --example hardware_constrained`
+//! Run with: `cargo run --release --example hardware_constrained`
 
 use revpebble::circuit::barenco;
 use revpebble::graph::generators::and_tree;
@@ -19,7 +19,10 @@ const DEVICE_QUBITS: usize = 16;
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let dag = and_tree(9);
     println!("9-input AND oracle: {dag}\n");
-    println!("{:<24} {:>7} {:>7} {:>9}", "method", "qubits", "gates", "fits q=16");
+    println!(
+        "{:<24} {:>7} {:>7} {:>9}",
+        "method", "qubits", "gates", "fits q=16"
+    );
 
     // 1. Bennett.
     let naive = bennett(&dag);

@@ -5,7 +5,7 @@
 //! cone-wise heuristic, compiles the best strategy to a reversible
 //! circuit and verifies it on all 32 input patterns.
 //!
-//! Run with: `cargo run --release -p revpebble --example netlist_pebbling`
+//! Run with: `cargo run --release --example netlist_pebbling`
 
 use std::time::Duration;
 

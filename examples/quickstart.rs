@@ -5,7 +5,7 @@
 //! computation into 4 pebbles, printing both pebbling grids in the style
 //! of the paper's Fig. 4.
 //!
-//! Run with: `cargo run --release -p revpebble --example quickstart`
+//! Run with: `cargo run --release --example quickstart`
 
 use revpebble::prelude::*;
 
@@ -34,6 +34,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         tight.num_steps()
     );
     println!("{}", tight.render_grid(&dag));
+
+    // --- The same bound, raced: 4 worker threads with distinct solver
+    // configurations; the first strategy found cancels the rest. ---
+    let raced = solve_with_pebbles_portfolio(&dag, 4, 4);
+    let winner = raced.winning_report().expect("feasible, so someone wins");
+    println!(
+        "Portfolio (4 workers): won by {} in {:.1?}",
+        winner.describe(),
+        winner.elapsed
+    );
+    raced
+        .outcome
+        .into_strategy()
+        .expect("winner carries a strategy")
+        .validate(&dag, Some(4))?;
 
     // --- 3 pebbles are impossible: prove it with the exact BFS solver
     // (the SAT loop can only refute one step bound at a time). ---

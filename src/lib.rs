@@ -1,0 +1,11 @@
+//! Workspace umbrella for the `revpebble` reproduction of *"Reversible
+//! Pebbling Game for Quantum Memory Management"* (Meuli, Soeken,
+//! Roetteler, Bjørner and De Micheli, DATE 2019).
+//!
+//! The real API lives in the [`revpebble`] facade crate; this package
+//! exists to host the workspace-level integration tests under `tests/`
+//! and the runnable examples under `examples/`.
+
+#![warn(missing_docs)]
+
+pub use revpebble;

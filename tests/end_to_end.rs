@@ -2,9 +2,9 @@
 //! → strategy validation → circuit compilation → simulation-based
 //! verification.
 
+use revpebble::graph::data::C17_BENCH;
 use revpebble::graph::generators::{and_tree, chain, paper_example, random_dag};
 use revpebble::graph::slp::{edwards_add_projective, h_operator};
-use revpebble::graph::data::C17_BENCH;
 use revpebble::prelude::*;
 
 /// Solve, validate, compile and verify one DAG under a pebble budget.
@@ -54,7 +54,10 @@ fn and_tree_fits_16_qubit_device() {
     assert_eq!(naive.circuit.num_gates(), 15);
     // The constrained strategy pays gates for qubits.
     assert!(strategy.num_moves() > 15);
-    assert!(compiled.circuit.num_gates() < 48, "fewer gates than Barenco");
+    assert!(
+        compiled.circuit.num_gates() < 48,
+        "fewer gates than Barenco"
+    );
 }
 
 #[test]
@@ -185,6 +188,9 @@ fn parallel_and_sequential_strategies_agree_on_validity() {
             .expect("feasible");
         strategy.validate(&dag, Some(7)).expect("valid");
         let compiled = compile(&dag, &strategy).expect("compiles");
-        assert!(matches!(verify(&dag, &compiled), VerifyOutcome::Correct { .. }));
+        assert!(matches!(
+            verify(&dag, &compiled),
+            VerifyOutcome::Correct { .. }
+        ));
     }
 }

@@ -56,11 +56,15 @@ fn fig4_optimized_4_pebbles() {
         Move::Unpebble(n(3)),
         Move::Unpebble(n(1)),
     ]);
-    paper_strategy.validate(&dag, Some(4)).expect("the paper's strategy is valid");
+    paper_strategy
+        .validate(&dag, Some(4))
+        .expect("the paper's strategy is valid");
     assert_eq!(paper_strategy.num_steps(), 14);
     assert_eq!(paper_strategy.max_pebbles(&dag), 4);
 
-    let optimal = solve_with_pebbles(&dag, 4).into_strategy().expect("feasible");
+    let optimal = solve_with_pebbles(&dag, 4)
+        .into_strategy()
+        .expect("feasible");
     assert_eq!(optimal.num_steps(), 12);
 }
 
