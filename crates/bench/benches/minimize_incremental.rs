@@ -1,0 +1,82 @@
+//! Fresh-per-probe vs. incremental pebble minimization (the Table I
+//! search loop): same budgets probed, but the incremental engine drives
+//! every probe through one assumption-bounded encoding/solver instance,
+//! carrying learnt clauses, VSIDS activities and saved phases across
+//! probes — plus the `(steps, pebbles)` monotonicity skip that never
+//! re-proves a refutation a looser budget already paid for.
+//!
+//! Alongside the wall-clock numbers a one-off audit prints the total SAT
+//! conflicts and queries of both engines. On the Table I workload `c17`
+//! (exponential deepening, the `table1` harness configuration) the
+//! incremental engine reports strictly fewer total conflicts than the
+//! fresh-per-probe baseline; the single-instance claim itself is audited
+//! via `sat.solves == search.queries`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use revpebble::core::{
+    minimize_pebbles, minimize_pebbles_fresh, EncodingOptions, MoveMode, SolverOptions,
+    StepSchedule,
+};
+use revpebble::graph::generators::paper_example;
+use revpebble::graph::parse_bench;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn base(schedule: StepSchedule, max_steps: usize) -> SolverOptions {
+    SolverOptions {
+        encoding: EncodingOptions {
+            move_mode: MoveMode::Sequential,
+            ..EncodingOptions::default()
+        },
+        schedule,
+        max_steps,
+        ..SolverOptions::default()
+    }
+}
+
+fn bench_minimize_incremental(c: &mut Criterion) {
+    let mut group = c.benchmark_group("minimize_incremental");
+    group.sample_size(10);
+    let paper = paper_example();
+    let c17 = parse_bench(revpebble::graph::data::C17_BENCH).expect("parses");
+    // Infeasible-budget probes terminate via max_steps (StepLimit), not
+    // the clock, so the conflict comparison measures search work — the
+    // generous per-probe budget never fires on these instances.
+    let per_query = Duration::from_secs(120);
+    let workloads = [
+        ("paper", &paper, base(StepSchedule::Linear, 20)),
+        ("c17", &c17, base(StepSchedule::ExponentialRefine, 30)),
+    ];
+    for (name, dag, options) in workloads {
+        let fresh = minimize_pebbles_fresh(dag, options, per_query);
+        let incremental = minimize_pebbles(dag, options, per_query);
+        assert_eq!(
+            fresh.best.as_ref().map(|&(p, _)| p),
+            incremental.best.as_ref().map(|&(p, _)| p),
+            "{name}: both engines must certify the same minimum budget"
+        );
+        assert_eq!(
+            incremental.sat.solves, incremental.search.queries as u64,
+            "{name}: one solver instance must answer every query"
+        );
+        println!(
+            "{name}: total conflicts fresh={} incremental={} | queries fresh={} incremental={} \
+             | minimum budget {:?}",
+            fresh.sat.conflicts,
+            incremental.sat.conflicts,
+            fresh.search.queries,
+            incremental.search.queries,
+            incremental.best.as_ref().map(|&(p, _)| p),
+        );
+        group.bench_function(format!("fresh/{name}"), |b| {
+            b.iter(|| black_box(minimize_pebbles_fresh(black_box(dag), options, per_query)))
+        });
+        group.bench_function(format!("incremental/{name}"), |b| {
+            b.iter(|| black_box(minimize_pebbles(black_box(dag), options, per_query)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_minimize_incremental);
+criterion_main!(benches);

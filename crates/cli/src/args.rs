@@ -20,6 +20,13 @@ pub struct Args {
     /// `--portfolio N`: race `N` solver configurations on worker threads,
     /// first winner takes all (0 picks one worker per available core).
     pub portfolio: Option<usize>,
+    /// `--minimize`: search for the smallest feasible pebble budget
+    /// instead of solving one fixed budget.
+    pub minimize: bool,
+    /// `--incremental`: drive all `--minimize` probes through one
+    /// assumption-bounded encoding/solver instance instead of a fresh
+    /// solver per probe.
+    pub incremental: bool,
     /// `--grid`.
     pub grid: bool,
     /// `--qasm`.
@@ -34,6 +41,8 @@ impl Args {
         let mut timeout = None;
         let mut mode = MoveMode::Sequential;
         let mut portfolio = None;
+        let mut minimize = false;
+        let mut incremental = false;
         let mut grid = false;
         let mut qasm = false;
         let mut iter = raw.iter().peekable();
@@ -60,6 +69,8 @@ impl Args {
                     let value = iter.next().ok_or("--portfolio needs a worker count")?;
                     portfolio = Some(value.parse().map_err(|_| "bad --portfolio value")?);
                 }
+                "--minimize" => minimize = true,
+                "--incremental" => incremental = true,
                 "--grid" => grid = true,
                 "--qasm" => qasm = true,
                 flag if flag.starts_with("--") => {
@@ -74,6 +85,12 @@ impl Args {
         if let Some(extra) = positional.next() {
             return Err(format!("unexpected argument {extra:?}"));
         }
+        if minimize && pebbles.is_some() {
+            return Err("--minimize searches for the budget; it conflicts with --pebbles".into());
+        }
+        if minimize && qasm {
+            return Err("--qasm is not supported with --minimize".into());
+        }
         Ok(Args {
             command,
             input,
@@ -81,6 +98,8 @@ impl Args {
             timeout,
             mode,
             portfolio,
+            minimize,
+            incremental,
             grid,
             qasm,
         })
@@ -129,8 +148,26 @@ mod tests {
         assert_eq!(args.timeout, None);
         assert_eq!(args.mode, MoveMode::Sequential);
         assert_eq!(args.portfolio, None);
+        assert!(!args.minimize);
+        assert!(!args.incremental);
         assert!(!args.grid);
         assert!(!args.qasm);
+    }
+
+    #[test]
+    fn minimize_flags_parse() {
+        let args = Args::parse(&strs(&[
+            "pebble",
+            "c17",
+            "--minimize",
+            "--incremental",
+            "--timeout",
+            "10",
+        ]))
+        .expect("parses");
+        assert!(args.minimize);
+        assert!(args.incremental);
+        assert_eq!(args.timeout, Some(Duration::from_secs(10)));
     }
 
     #[test]
@@ -151,5 +188,8 @@ mod tests {
         assert!(Args::parse(&strs(&["pebble", "a", "--mode", "quantum"])).is_err());
         assert!(Args::parse(&strs(&["pebble", "a", "--portfolio"])).is_err());
         assert!(Args::parse(&strs(&["pebble", "a", "--portfolio", "x"])).is_err());
+        // --minimize picks the budget itself and emits no fixed circuit.
+        assert!(Args::parse(&strs(&["pebble", "a", "--minimize", "--pebbles", "4"])).is_err());
+        assert!(Args::parse(&strs(&["pebble", "a", "--minimize", "--qasm"])).is_err());
     }
 }

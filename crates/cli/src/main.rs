@@ -5,6 +5,7 @@
 //! revpebble info     <input>                         DAG statistics
 //! revpebble bennett  <input> [--grid]                Bennett baseline
 //! revpebble pebble   <input> --pebbles P [options]   SAT pebbling
+//! revpebble pebble   <input> --minimize [options]    smallest feasible P
 //! revpebble minimize <input> [--timeout S]           smallest feasible P
 //! revpebble frontier <input> [--timeout S]           pebble/step frontier
 //! revpebble dot      <input>                         Graphviz export
@@ -13,6 +14,12 @@
 //! `pebble --portfolio N` races `N` solver configurations (deepening
 //! schedule × move semantics × cardinality encoding) on worker threads;
 //! the first strategy found cancels the rest (`0` = one per core).
+//!
+//! `pebble --minimize` searches for the smallest feasible budget with a
+//! fresh solver per probe (the paper's Table I methodology);
+//! `--incremental` reuses **one** assumption-bounded encoding/solver
+//! across every probe, and `--portfolio N` races `N` incremental budget
+//! schedules.
 //!
 //! `<input>` is a `.bench` netlist path, `-` for stdin, or one of the
 //! built-in examples: `paper`, `c17`, `andtree9`, `hop`, `kummer`,
@@ -47,14 +54,18 @@ const USAGE: &str = "usage:
   revpebble bennett  <input> [--grid]
   revpebble pebble   <input> --pebbles P [--mode seq|par] [--portfolio N] [--timeout S]
                              [--grid] [--qasm]
-  revpebble minimize <input> [--timeout S]
+  revpebble pebble   <input> --minimize [--incremental] [--portfolio N] [--timeout S]
+  revpebble minimize <input> [--timeout S] [--incremental] [--portfolio N]
   revpebble frontier <input> [--timeout S]
   revpebble dot      <input>
 inputs: a .bench file path, '-' (stdin), or a built-in:
   paper | c17 | andtree9 | hop | kummer | edwards | adder4
 portfolio: race N configurations (schedule x move mode x cardinality
   encoding) on worker threads; first winner cancels the rest (0 = one
-  worker per core)";
+  worker per core)
+minimize: --incremental reuses one assumption-bounded encoding/solver
+  across all budget probes; --portfolio N races N incremental budget
+  schedules (binary search vs descending strides)";
 
 fn run(raw: &[String]) -> Result<(), String> {
     let args = Args::parse(raw)?;
@@ -85,6 +96,7 @@ fn run(raw: &[String]) -> Result<(), String> {
             report_strategy(&dag, &strategy, args.grid);
             Ok(())
         }
+        "pebble" if args.minimize => run_minimize(&dag, &args),
         "pebble" => {
             let budget = args
                 .pebbles
@@ -157,25 +169,7 @@ fn run(raw: &[String]) -> Result<(), String> {
                 }
             }
         }
-        "minimize" => {
-            let base = SolverOptions {
-                encoding: EncodingOptions {
-                    move_mode: args.mode,
-                    ..EncodingOptions::default()
-                },
-                ..SolverOptions::default()
-            };
-            let per_query = args.timeout.unwrap_or(Duration::from_secs(10));
-            let result = revpebble::core::minimize_pebbles(&dag, base, per_query);
-            match result.best {
-                Some((p, strategy)) => {
-                    println!("smallest certified budget: {p} pebbles");
-                    report_strategy(&dag, &strategy, args.grid);
-                    Ok(())
-                }
-                None => Err("no budget certified within the timeout".to_string()),
-            }
-        }
+        "minimize" => run_minimize(&dag, &args),
         "frontier" => {
             let options = FrontierOptions {
                 base: SolverOptions {
@@ -193,6 +187,86 @@ fn run(raw: &[String]) -> Result<(), String> {
             Ok(())
         }
         other => Err(format!("unknown command {other:?}")),
+    }
+}
+
+/// `pebble --minimize` / `minimize`: find the smallest feasible budget.
+///
+/// Engine selection: `--incremental` drives every probe through one
+/// assumption-bounded encoding/solver instance; `--portfolio N` races `N`
+/// incremental workers over different budget schedules; the default is the
+/// paper's fresh-solver-per-probe methodology.
+fn run_minimize(dag: &Dag, args: &Args) -> Result<(), String> {
+    let base = SolverOptions {
+        encoding: EncodingOptions {
+            move_mode: args.mode,
+            ..EncodingOptions::default()
+        },
+        ..SolverOptions::default()
+    };
+    let per_query = args.timeout.unwrap_or(Duration::from_secs(10));
+    let best = if let Some(workers) = args.portfolio {
+        let outcome = revpebble::core::minimize_portfolio(dag, base, per_query, workers);
+        for (index, report) in outcome.workers.iter().enumerate() {
+            let role = match outcome.winner {
+                Some(winner) if winner == index => "winner",
+                _ if report.cancelled => "cancelled",
+                _ => "finished",
+            };
+            eprintln!(
+                "  worker {index} [{}]: {role} after {:.1?} ({} probes, {} conflicts)",
+                revpebble::core::portfolio::describe_minimize_config(&report.config),
+                report.elapsed,
+                report.result.probes.len(),
+                report.result.sat.conflicts,
+            );
+        }
+        let probes: usize = outcome
+            .workers
+            .iter()
+            .map(|worker| worker.result.probes.len())
+            .sum();
+        println!(
+            "minimize: engine=portfolio workers={} probes={probes}",
+            outcome.workers.len()
+        );
+        outcome.best
+    } else {
+        let result = if args.incremental {
+            revpebble::core::minimize_pebbles(dag, base, per_query)
+        } else {
+            revpebble::core::minimize_pebbles_fresh(dag, base, per_query)
+        };
+        let engine = if args.incremental {
+            "incremental"
+        } else {
+            "fresh"
+        };
+        // Derived from the stats, not asserted: one instance answered
+        // every query iff its cumulative solve counter matches the outer
+        // query count, so the CI grep on `solver-instances=1` genuinely
+        // guards the single-instance property.
+        let single_instance = result.sat.solves == result.search.queries as u64;
+        let instances = if args.incremental && single_instance {
+            1
+        } else {
+            result.probes.len()
+        };
+        println!(
+            "minimize: engine={engine} probes={} queries={} conflicts={} solver-instances={instances}",
+            result.probes.len(),
+            result.search.queries,
+            result.sat.conflicts,
+        );
+        result.best
+    };
+    match best {
+        Some((p, strategy)) => {
+            println!("smallest certified budget: {p} pebbles");
+            report_strategy(dag, &strategy, args.grid);
+            Ok(())
+        }
+        None => Err("no budget certified within the timeout".to_string()),
     }
 }
 

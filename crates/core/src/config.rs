@@ -90,6 +90,20 @@ impl PebbleConfig {
         self.iter().map(|n| u64::from(weights[n.index()])).sum()
     }
 
+    /// The budget cost of this configuration in the unit the searches
+    /// use: total node weight when `weights` are supplied (the weighted
+    /// game), plain pebble count otherwise.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights` is supplied but shorter than the node count.
+    pub fn cost(&self, weights: Option<&[u32]>) -> u64 {
+        match weights {
+            Some(weights) => self.weighted_count(weights),
+            None => self.count() as u64,
+        }
+    }
+
     /// `true` if no node is pebbled.
     pub fn is_empty(&self) -> bool {
         self.words.iter().all(|&w| w == 0)
@@ -178,6 +192,13 @@ mod tests {
     fn weighted_count() {
         let c = PebbleConfig::from_nodes(4, [n(0), n(2)]);
         assert_eq!(c.weighted_count(&[5, 1, 7, 1]), 12);
+    }
+
+    #[test]
+    fn cost_selects_the_budget_unit() {
+        let c = PebbleConfig::from_nodes(4, [n(0), n(2)]);
+        assert_eq!(c.cost(None), 2);
+        assert_eq!(c.cost(Some(&[5, 1, 7, 1])), 12);
     }
 
     #[test]

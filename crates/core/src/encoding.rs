@@ -13,7 +13,11 @@
 //! - **move**: `(p_{v,i} ⊕ p_{v,i+1}) → (p_{w,i} ∧ p_{w,i+1})` for every
 //!   edge `w → v`, i.e. four clauses per edge per transition;
 //! - **cardinality**: `Σ_v p_{v,i} ≤ P` per time point, via the encodings
-//!   of [`revpebble_sat::card`].
+//!   of [`revpebble_sat::card`]. With [`BoundMode::Assumed`] the bound is
+//!   not encoded at all: every time point keeps a persistent unary counter
+//!   ([`revpebble_sat::card::IncrementalTotalizer`]) and each query
+//!   *assumes* `!out[P]`, so one encoding serves every budget `P` — the
+//!   basis of the incremental pebble-minimization search.
 //!
 //! Two move semantics are supported: [`MoveMode::Parallel`] is the paper's
 //! plain encoding (several nodes may flip in one transition);
@@ -25,10 +29,31 @@ use std::sync::atomic::AtomicBool;
 use std::sync::Arc;
 
 use revpebble_graph::{Dag, NodeId};
-use revpebble_sat::card::{self, CardEncoding};
+use revpebble_sat::card::{self, CardEncoding, IncrementalTotalizer};
 use revpebble_sat::{Lit, SolveResult, Solver, Var};
 
 use crate::strategy::{Move, Strategy};
+
+/// How the pebble budget `P` is attached to the formula.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BoundMode {
+    /// `at_most_k(P)` clauses are added per time point at encoding time.
+    /// Simplest and smallest formula, but the budget is frozen — changing
+    /// it means rebuilding the encoding (and rediscovering every learnt
+    /// clause). The default.
+    #[default]
+    Baked,
+    /// Every time point gets a persistent [`IncrementalTotalizer`] whose
+    /// unary outputs stay unconstrained; each query *assumes* `!out[P]`
+    /// instead. One encoding (and one solver with all its learnt clauses,
+    /// activities and saved phases) then serves every budget — the engine
+    /// behind [`PebbleSolver::resolve_with_budget`] and the incremental
+    /// [`minimize_pebbles`] search.
+    ///
+    /// [`PebbleSolver::resolve_with_budget`]: crate::solver::PebbleSolver::resolve_with_budget
+    /// [`minimize_pebbles`]: crate::solver::minimize_pebbles
+    Assumed,
+}
 
 /// Move semantics of the encoding (see the [module docs](self)).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -57,6 +82,9 @@ pub struct EncodingOptions {
     /// When `true`, the pebble budget bounds the total *weight* of pebbled
     /// nodes ([`revpebble_graph::Node::weight`]) instead of their count.
     pub weighted: bool,
+    /// Whether the budget is baked into clauses or activated per query by
+    /// assumption (see [`BoundMode`]).
+    pub bound_mode: BoundMode,
 }
 
 /// An incrementally extensible SAT encoding of one pebbling instance.
@@ -68,6 +96,11 @@ pub struct PebbleEncoding<'a> {
     /// `vars[i][v]` = `p_{v,i}`.
     vars: Vec<Vec<Var>>,
     weights: Vec<u32>,
+    /// [`BoundMode::Assumed`]: one persistent unary counter per time point
+    /// `i ≥ 1` (`counters[0]` stays `None`; time 0 is all-unpebbled).
+    /// The budget the counters currently enforce is `options.max_pebbles`
+    /// — the single source of truth [`set_bound`](Self::set_bound) writes.
+    counters: Vec<Option<IncrementalTotalizer>>,
 }
 
 impl<'a> PebbleEncoding<'a> {
@@ -79,6 +112,7 @@ impl<'a> PebbleEncoding<'a> {
             solver: Solver::new(),
             vars: Vec::new(),
             weights: dag.node_ids().map(|n| dag.node(n).weight).collect(),
+            counters: Vec::new(),
         };
         encoding.push_time_point();
         // Initial clauses: nothing is pebbled at time 0.
@@ -122,22 +156,45 @@ impl<'a> PebbleEncoding<'a> {
             .collect();
         self.vars.push(column);
         // Cardinality at this time point (time 0 is all-false anyway).
-        if i > 0 {
-            if let Some(p) = self.options.max_pebbles {
-                let mut lits: Vec<Lit> = Vec::new();
-                for v in self.dag.node_ids() {
-                    let weight = if self.options.weighted {
-                        self.weights[v.index()] as usize
-                    } else {
-                        1
-                    };
-                    // A node of weight w contributes w copies of its
-                    // literal, generalizing the bound to weighted counts.
-                    for _ in 0..weight {
-                        lits.push(self.lit(i, v));
-                    }
+        if i == 0 {
+            self.counters.push(None);
+            return;
+        }
+        let items: Vec<(Lit, usize)> = self
+            .dag
+            .node_ids()
+            .map(|v| {
+                let weight = if self.options.weighted {
+                    self.weights[v.index()] as usize
+                } else {
+                    1
+                };
+                (self.lit(i, v), weight)
+            })
+            .collect();
+        match self.options.bound_mode {
+            BoundMode::Assumed => {
+                // Full unary counter, bound chosen per query by assumption.
+                self.counters.push(Some(IncrementalTotalizer::new_weighted(
+                    &mut self.solver,
+                    &items,
+                )));
+            }
+            BoundMode::Baked => {
+                self.counters.push(None);
+                let Some(p) = self.options.max_pebbles else {
+                    return;
+                };
+                if self.options.weighted {
+                    // A node of weight w contributes w to the unary count;
+                    // the weighted totalizer kills a weight-overflowing
+                    // node with a unit clause instead of the degenerate
+                    // duplicated-literal clauses of the plain encoders.
+                    card::weighted_at_most_k(&mut self.solver, &items, p);
+                } else {
+                    let lits: Vec<Lit> = items.iter().map(|&(lit, _)| lit).collect();
+                    card::at_most_k(&mut self.solver, &lits, p, self.options.card_encoding);
                 }
-                card::at_most_k(&mut self.solver, &lits, p, self.options.card_encoding);
             }
         }
     }
@@ -202,6 +259,41 @@ impl<'a> PebbleEncoding<'a> {
             .collect()
     }
 
+    /// The budget assumptions activating "≤ `p` pebbles" (weight units in
+    /// weighted mode) at every encoded time point: one `!out[p]` literal
+    /// per per-time-point counter that can exceed `p`. Empty in
+    /// [`BoundMode::Baked`] (the bound is already in the clause database)
+    /// and for budgets no configuration can exceed.
+    pub fn bound_assumptions(&self, p: usize) -> Vec<Lit> {
+        self.counters
+            .iter()
+            .flatten()
+            .filter_map(|counter| counter.at_most_assumption(p))
+            .collect()
+    }
+
+    /// Switches the budget that [`solve_at`](Self::solve_at) assumes from
+    /// now on (`None` removes the bound). Cheap: no clauses are added or
+    /// invalidated, and everything the solver learnt under other budgets
+    /// is kept.
+    ///
+    /// # Panics
+    ///
+    /// Panics in [`BoundMode::Baked`] — a baked budget cannot be changed.
+    pub fn set_bound(&mut self, p: Option<usize>) {
+        assert_eq!(
+            self.options.bound_mode,
+            BoundMode::Assumed,
+            "a baked pebble bound cannot be re-chosen; encode with BoundMode::Assumed"
+        );
+        self.options.max_pebbles = p;
+    }
+
+    /// The budget [`solve_at`](Self::solve_at) currently enforces.
+    pub fn bound(&self) -> Option<usize> {
+        self.options.max_pebbles
+    }
+
     /// Asks: does a strategy with (at most) `k` steps exist? Extends the
     /// encoding as needed. `conflict_budget`/`time_budget` bound this
     /// single query.
@@ -212,7 +304,16 @@ impl<'a> PebbleEncoding<'a> {
         time_budget: Option<std::time::Duration>,
     ) -> SolveResult {
         self.extend_to(k);
-        let assumptions = self.final_assumptions(k);
+        // Budget assumptions go first: they are the strongest pruners, and
+        // assumption-order is decision-order, so the counter outputs are
+        // pinned before the final-state literals branch.
+        let mut assumptions = Vec::new();
+        if self.options.bound_mode == BoundMode::Assumed {
+            if let Some(p) = self.options.max_pebbles {
+                assumptions = self.bound_assumptions(p);
+            }
+        }
+        assumptions.extend(self.final_assumptions(k));
         self.solver.set_conflict_budget(conflict_budget);
         self.solver.set_time_budget(time_budget);
         self.solver.solve_with(&assumptions)
@@ -398,6 +499,151 @@ mod tests {
         assert_eq!(enc.solve_at(3, None, None), SolveResult::Sat);
         let strategy = enc.extract(3);
         strategy.validate_weighted(&dag, Some(5)).expect("valid");
+    }
+
+    #[test]
+    fn assumed_bound_matches_baked_bound() {
+        // Same K, every budget: the assumption-activated bound must accept
+        // and refute exactly what the baked encoding does.
+        let dag = paper_example();
+        let mut assumed = PebbleEncoding::new(
+            &dag,
+            EncodingOptions {
+                max_pebbles: None,
+                move_mode: MoveMode::Sequential,
+                bound_mode: BoundMode::Assumed,
+                ..EncodingOptions::default()
+            },
+        );
+        for p in 3..=6 {
+            assumed.set_bound(Some(p));
+            for k in [10, 12] {
+                let mut baked = PebbleEncoding::new(
+                    &dag,
+                    EncodingOptions {
+                        max_pebbles: Some(p),
+                        move_mode: MoveMode::Sequential,
+                        ..EncodingOptions::default()
+                    },
+                );
+                assert_eq!(
+                    assumed.solve_at(k, None, None),
+                    baked.solve_at(k, None, None),
+                    "p={p} k={k}"
+                );
+            }
+        }
+        // The single assumed instance answered every (p, k) probe.
+        assert_eq!(assumed.solver().stats().solves, 8);
+    }
+
+    #[test]
+    fn assumed_bound_extracts_valid_strategies_after_budget_switches() {
+        let dag = paper_example();
+        let mut enc = PebbleEncoding::new(
+            &dag,
+            EncodingOptions {
+                max_pebbles: Some(6),
+                move_mode: MoveMode::Sequential,
+                bound_mode: BoundMode::Assumed,
+                ..EncodingOptions::default()
+            },
+        );
+        assert_eq!(enc.solve_at(10, None, None), SolveResult::Sat);
+        enc.extract(10).validate(&dag, Some(6)).expect("valid at 6");
+        // Tighten to 4 on the same instance: 10 and 11 steps refuted, 12
+        // solved, and the extracted strategy honours the *new* bound.
+        enc.set_bound(Some(4));
+        assert_eq!(enc.solve_at(10, None, None), SolveResult::Unsat);
+        assert_eq!(enc.solve_at(12, None, None), SolveResult::Sat);
+        let strategy = enc.extract(12);
+        strategy.validate(&dag, Some(4)).expect("valid at 4");
+        assert_eq!(strategy.max_pebbles(&dag), 4);
+        // Loosen again: the learnt clauses conditioned on the tight bound
+        // must not leak into the looser query.
+        enc.set_bound(Some(6));
+        assert_eq!(enc.solve_at(10, None, None), SolveResult::Sat);
+    }
+
+    #[test]
+    fn weighted_baked_bound_is_exact_under_every_card_encoding() {
+        // Regression for the duplicated-literal expansion: a weight-3 node
+        // under budget 2 must be force-killed (unit), not left satisfiable
+        // by a degenerate (!x ∨ !x) pairwise clause — and the weighted
+        // semantics must not depend on the configured CardEncoding.
+        use revpebble_graph::{Dag, Op};
+        for card in [
+            CardEncoding::Pairwise,
+            CardEncoding::SequentialCounter,
+            CardEncoding::Totalizer,
+        ] {
+            let mut dag = Dag::new();
+            let x = dag.add_input("x");
+            let a = dag.add_node_weighted("a", Op::Buf, [x], 3).expect("valid");
+            let b = dag
+                .add_node_weighted("b", Op::Buf, [a.into()], 2)
+                .expect("valid");
+            dag.mark_output(b);
+            // Budget 2 < weight(a): a can never be pebbled, so b cannot be
+            // computed — UNSAT at any depth.
+            let mut enc = PebbleEncoding::new(
+                &dag,
+                EncodingOptions {
+                    max_pebbles: Some(2),
+                    weighted: true,
+                    move_mode: MoveMode::Sequential,
+                    card_encoding: card,
+                    ..EncodingOptions::default()
+                },
+            );
+            assert_eq!(enc.solve_at(8, None, None), SolveResult::Unsat, "{card:?}");
+            // Budget 5 = w(a) + w(b) is exactly enough.
+            let mut enc = PebbleEncoding::new(
+                &dag,
+                EncodingOptions {
+                    max_pebbles: Some(5),
+                    weighted: true,
+                    move_mode: MoveMode::Sequential,
+                    card_encoding: card,
+                    ..EncodingOptions::default()
+                },
+            );
+            assert_eq!(enc.solve_at(3, None, None), SolveResult::Sat, "{card:?}");
+            let strategy = enc.extract(3);
+            strategy.validate_weighted(&dag, Some(5)).expect("valid");
+        }
+    }
+
+    #[test]
+    fn weighted_assumed_bound_probes_weight_budgets() {
+        use revpebble_graph::{Dag, Op};
+        let mut dag = Dag::new();
+        let x = dag.add_input("x");
+        let a = dag.add_node_weighted("a", Op::Buf, [x], 3).expect("valid");
+        let b = dag
+            .add_node_weighted("b", Op::Buf, [a.into()], 2)
+            .expect("valid");
+        dag.mark_output(b);
+        let mut enc = PebbleEncoding::new(
+            &dag,
+            EncodingOptions {
+                max_pebbles: None,
+                weighted: true,
+                move_mode: MoveMode::Sequential,
+                bound_mode: BoundMode::Assumed,
+                ..EncodingOptions::default()
+            },
+        );
+        // One instance, three weight budgets.
+        enc.set_bound(Some(4));
+        assert_eq!(enc.solve_at(8, None, None), SolveResult::Unsat);
+        enc.set_bound(Some(5));
+        assert_eq!(enc.solve_at(8, None, None), SolveResult::Sat);
+        enc.extract(8)
+            .validate_weighted(&dag, Some(5))
+            .expect("valid");
+        enc.set_bound(Some(6));
+        assert_eq!(enc.solve_at(3, None, None), SolveResult::Sat);
     }
 
     #[test]

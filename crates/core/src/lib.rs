@@ -17,9 +17,13 @@
 //!   sequential and parallel move semantics, several cardinality
 //!   encodings, and a weighted-node extension;
 //! - the search loops ([`PebbleSolver`], [`minimize_pebbles`]) including
-//!   the timeout methodology of the paper's Table I;
+//!   the timeout methodology of the paper's Table I — budget minimization
+//!   runs *incrementally*: one assumption-bounded encoding and solver
+//!   instance serves every `(steps, pebbles)` probe
+//!   ([`PebbleSolver::resolve_with_budget`]);
 //! - a multi-threaded [`PortfolioSolver`] racing several solver
-//!   configurations with first-winner-takes-all cancellation.
+//!   configurations with first-winner-takes-all cancellation, and
+//!   [`minimize_portfolio`] racing whole budget schedules.
 //!
 //! ## Example: the paper's running example (Fig. 2 / Fig. 4)
 //!
@@ -51,16 +55,18 @@ pub mod solver;
 pub mod strategy;
 
 pub use config::PebbleConfig;
-pub use encoding::{EncodingOptions, MoveMode, PebbleEncoding};
+pub use encoding::{BoundMode, EncodingOptions, MoveMode, PebbleEncoding};
 pub use exact::{exact_min_pebbles, solve_exact, ExactOutcome};
 pub use frontier::{frontier, FrontierOptions, FrontierPoint};
 pub use portfolio::{
-    default_portfolio, solve_with_pebbles_portfolio, PortfolioOutcome, PortfolioSolver,
-    WorkerReport,
+    default_minimize_portfolio, default_portfolio, minimize_portfolio, minimize_portfolio_with,
+    solve_with_pebbles_portfolio, MinimizeConfig, MinimizePortfolioOutcome, MinimizeWorkerReport,
+    PortfolioOutcome, PortfolioSolver, WorkerReport,
 };
 pub use solver::{
-    minimize_pebbles, minimize_pebbles_descending, solve_with_pebbles, MinimizeResult,
-    PebbleOutcome, PebbleSolver, SearchStats, SolverOptions, StepSchedule,
+    minimize, minimize_pebbles, minimize_pebbles_descending, minimize_pebbles_fresh,
+    solve_with_pebbles, BudgetSchedule, MinimizeOptions, MinimizeResult, PebbleOutcome,
+    PebbleSolver, SearchStats, SolverOptions, StepSchedule,
 };
 pub use strategy::{InvalidStrategy, Move, Step, Strategy};
 

@@ -27,6 +27,13 @@
 //! strategy.validate(&dag, Some(4)).expect("valid");
 //! assert!(result.winner.is_some());
 //! ```
+//!
+//! Beyond single-budget races, [`minimize_portfolio`] races whole
+//! *budget-minimization searches*: every worker drives one incremental
+//! assumption-bounded encoding through its own [`BudgetSchedule`] (binary
+//! search vs. descending strides), and the first complete search cancels
+//! the rest — so the portfolio now explores budget schedules, not just
+//! option sets.
 
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -38,7 +45,11 @@ use revpebble_sat::card::CardEncoding;
 use revpebble_sat::SolverStats;
 
 use crate::encoding::MoveMode;
-use crate::solver::{PebbleOutcome, PebbleSolver, SearchStats, SolverOptions, StepSchedule};
+use crate::solver::{
+    minimize, BudgetSchedule, MinimizeOptions, MinimizeResult, PebbleOutcome, PebbleSolver,
+    SearchStats, SolverOptions, StepSchedule,
+};
+use crate::strategy::Strategy;
 
 /// Sentinel for "no worker has claimed the win yet".
 const NO_WINNER: usize = usize::MAX;
@@ -307,6 +318,191 @@ impl<'a> PortfolioSolver<'a> {
     }
 }
 
+/// One worker's slice of a [`minimize_portfolio`] race: a solver
+/// configuration paired with a budget schedule.
+#[derive(Debug, Clone, Copy)]
+pub struct MinimizeConfig {
+    /// Options every probe of this worker shares.
+    pub base: SolverOptions,
+    /// How this worker walks the budget axis.
+    pub schedule: BudgetSchedule,
+}
+
+/// A compact single-line description of one minimize configuration,
+/// e.g. `binary/linear/seq` or `desc2/exponential/par`.
+pub fn describe_minimize_config(config: &MinimizeConfig) -> String {
+    let schedule = match config.schedule {
+        BudgetSchedule::Binary => "binary".to_string(),
+        BudgetSchedule::Descending { stride } => format!("desc{}", stride.max(1)),
+    };
+    format!("{schedule}/{}", describe_options(&config.base))
+}
+
+/// What one [`minimize_portfolio`] worker did.
+#[derive(Debug, Clone)]
+pub struct MinimizeWorkerReport {
+    /// The configuration this worker ran.
+    pub config: MinimizeConfig,
+    /// The worker's own (possibly cancelled-early) search result.
+    pub result: MinimizeResult,
+    /// Wall-clock time from spawn to return.
+    pub elapsed: Duration,
+    /// `true` when a rival finished first and raised the stop flag.
+    pub cancelled: bool,
+}
+
+/// The result of a [`minimize_portfolio`] race.
+#[derive(Debug, Clone)]
+pub struct MinimizePortfolioOutcome {
+    /// The smallest certified budget across *all* workers (a cancelled
+    /// descending worker may have certified a smaller budget than the
+    /// winner completed with).
+    pub best: Option<(usize, Strategy)>,
+    /// Index of the first worker to complete its whole search with a
+    /// certified budget, if any.
+    pub winner: Option<usize>,
+    /// One report per worker, in configuration order.
+    pub workers: Vec<MinimizeWorkerReport>,
+}
+
+/// Builds `n` diverse minimize configurations: budget schedules (binary
+/// first, then descending with widening strides) crossed with the
+/// deepening schedules. Every worker runs *incrementally* — one
+/// assumption-bounded encoding across all of its probes — so the race is
+/// between budget schedules, not just option sets.
+pub fn default_minimize_portfolio(base: SolverOptions, n: usize) -> Vec<MinimizeConfig> {
+    let n = if n == 0 {
+        std::thread::available_parallelism().map_or(1, |cores| cores.get())
+    } else {
+        n
+    };
+    let step_schedules = [base.schedule, other_schedule(base.schedule)];
+    let mut configs = Vec::with_capacity(n);
+    let mut stride = 1usize;
+    'fill: loop {
+        let budget_schedules = [
+            BudgetSchedule::Binary,
+            BudgetSchedule::Descending { stride },
+        ];
+        for &schedule in &budget_schedules {
+            for &step_schedule in &step_schedules {
+                if configs.len() == n {
+                    break 'fill;
+                }
+                // Binary search is schedule-complete after round one; only
+                // descending gains new configurations from wider strides.
+                if stride > 1 && schedule == BudgetSchedule::Binary {
+                    continue;
+                }
+                let mut options = base;
+                options.schedule = step_schedule;
+                configs.push(MinimizeConfig {
+                    base: options,
+                    schedule,
+                });
+            }
+        }
+        stride *= 2;
+    }
+    configs
+}
+
+fn other_schedule(schedule: StepSchedule) -> StepSchedule {
+    match schedule {
+        StepSchedule::Linear => StepSchedule::ExponentialRefine,
+        StepSchedule::ExponentialRefine => StepSchedule::Linear,
+    }
+}
+
+/// Races `configs` minimize searches on one instance,
+/// first-to-complete-takes-all: each worker drives its own incremental
+/// assumption-bounded encoding through its budget schedule, and the first
+/// worker to finish a *complete* search with a certified budget raises the
+/// shared stop flag. The returned `best` is the smallest budget certified
+/// by anyone — a cancelled rival may have descended further than the
+/// winner.
+///
+/// # Panics
+///
+/// Panics if `configs` is empty or the DAG is unfit for pebbling.
+pub fn minimize_portfolio_with(
+    dag: &Dag,
+    configs: Vec<MinimizeConfig>,
+    per_query: Duration,
+) -> MinimizePortfolioOutcome {
+    assert!(
+        !configs.is_empty(),
+        "a minimize portfolio needs at least one configuration"
+    );
+    assert!(dag.num_nodes() > 0, "cannot pebble an empty DAG");
+    dag.validate_for_pebbling()
+        .expect("every sink must be an output");
+    let stop = Arc::new(AtomicBool::new(false));
+    let winner = AtomicUsize::new(NO_WINNER);
+    let workers: Vec<MinimizeWorkerReport> = thread::scope(|scope| {
+        let handles: Vec<_> = configs
+            .iter()
+            .enumerate()
+            .map(|(index, &config)| {
+                let stop = Arc::clone(&stop);
+                let winner = &winner;
+                scope.spawn(move || {
+                    let start = Instant::now();
+                    let options = MinimizeOptions {
+                        base: config.base,
+                        per_query,
+                        schedule: config.schedule,
+                        incremental: true,
+                    };
+                    let result = minimize(dag, options, Some(Arc::clone(&stop)));
+                    let finished = result.best.is_some() && !stop.load(Ordering::Acquire);
+                    if finished
+                        && winner
+                            .compare_exchange(NO_WINNER, index, Ordering::AcqRel, Ordering::Acquire)
+                            .is_ok()
+                    {
+                        stop.store(true, Ordering::Release);
+                    }
+                    MinimizeWorkerReport {
+                        config,
+                        cancelled: !finished && stop.load(Ordering::Acquire),
+                        result,
+                        elapsed: start.elapsed(),
+                    }
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|handle| handle.join().expect("minimize worker panicked"))
+            .collect()
+    });
+    let winner = match winner.load(Ordering::Acquire) {
+        NO_WINNER => None,
+        index => Some(index),
+    };
+    let best = workers
+        .iter()
+        .filter_map(|worker| worker.result.best.clone())
+        .min_by_key(|&(p, _)| p);
+    MinimizePortfolioOutcome {
+        best,
+        winner,
+        workers,
+    }
+}
+
+/// Races `n` [`default_minimize_portfolio`] configurations (`n == 0` = one
+/// per available core).
+pub fn minimize_portfolio(
+    dag: &Dag,
+    base: SolverOptions,
+    per_query: Duration,
+    n: usize,
+) -> MinimizePortfolioOutcome {
+    minimize_portfolio_with(dag, default_minimize_portfolio(base, n), per_query)
+}
+
 /// Convenience: race `workers` default-portfolio configurations with the
 /// given pebble budget and otherwise default options (`workers == 0` =
 /// one per available core).
@@ -453,6 +649,42 @@ mod tests {
             elapsed < Duration::from_secs(30),
             "losing worker took {elapsed:?} to observe the stop flag"
         );
+    }
+
+    #[test]
+    fn minimize_portfolio_races_budget_schedules() {
+        let dag = paper_example();
+        let base = SolverOptions {
+            max_steps: 60,
+            ..SolverOptions::default()
+        };
+        let configs = default_minimize_portfolio(base, 4);
+        assert_eq!(configs.len(), 4);
+        let described: std::collections::BTreeSet<String> =
+            configs.iter().map(describe_minimize_config).collect();
+        assert_eq!(described.len(), 4, "configurations must be distinct");
+        assert!(configs.iter().any(|c| c.schedule == BudgetSchedule::Binary));
+        assert!(configs
+            .iter()
+            .any(|c| matches!(c.schedule, BudgetSchedule::Descending { .. })));
+
+        let outcome = minimize_portfolio_with(&dag, configs, Duration::from_secs(20));
+        let (p, strategy) = outcome.best.expect("paper example is feasible");
+        assert_eq!(p, 4, "all schedules agree on the minimum budget");
+        strategy.validate(&dag, Some(4)).expect("valid");
+        assert!(outcome.winner.is_some());
+        assert_eq!(outcome.workers.len(), 4);
+        // Every worker ran incrementally: its probes share one solver.
+        for worker in &outcome.workers {
+            if !worker.result.probes.is_empty() {
+                assert_eq!(
+                    worker.result.sat.solves,
+                    worker.result.search.queries as u64,
+                    "{}",
+                    describe_minimize_config(&worker.config)
+                );
+            }
+        }
     }
 
     #[test]

@@ -15,8 +15,10 @@ use std::time::{Duration, Instant};
 use revpebble_graph::Dag;
 use revpebble_sat::{SolveResult, SolverStats};
 
-use crate::bounds::{parallel_step_lower_bound, pebble_lower_bound, step_lower_bound};
-use crate::encoding::{EncodingOptions, MoveMode, PebbleEncoding};
+use crate::bounds::{
+    parallel_step_lower_bound, pebble_lower_bound, step_lower_bound, weighted_pebble_lower_bound,
+};
+use crate::encoding::{BoundMode, EncodingOptions, MoveMode, PebbleEncoding};
 use crate::strategy::Strategy;
 
 /// How the deepening over `K` is scheduled.
@@ -134,6 +136,19 @@ pub struct PebbleSolver<'a> {
     stats: SearchStats,
     sat_stats: SolverStats,
     stop: Option<Arc<AtomicBool>>,
+    /// In [`BoundMode::Assumed`] the encoding survives between [`solve`]
+    /// calls, so [`resolve_with_budget`] re-enters with every learnt
+    /// clause, variable activity and saved phase intact.
+    ///
+    /// [`solve`]: Self::solve
+    /// [`resolve_with_budget`]: Self::resolve_with_budget
+    encoding: Option<PebbleEncoding<'a>>,
+    /// `(budget, k)`: the largest `k` refuted under each probed budget
+    /// (`usize::MAX` = unbounded). Solvability is monotone in both axes —
+    /// more steps and more pebbles only help — so a probe at budget
+    /// `p ≤ budget` restarts its deepening *above* `k` instead of
+    /// re-proving known refutations.
+    refuted: Vec<(usize, usize)>,
 }
 
 impl<'a> PebbleSolver<'a> {
@@ -153,10 +168,14 @@ impl<'a> PebbleSolver<'a> {
             stats: SearchStats::default(),
             sat_stats: SolverStats::default(),
             stop: None,
+            encoding: None,
+            refuted: Vec::new(),
         }
     }
 
-    /// Search statistics accumulated so far.
+    /// Search statistics accumulated so far — cumulative over *every*
+    /// [`solve`](Self::solve)/[`resolve_with_budget`](Self::resolve_with_budget)
+    /// call on this instance, never reset.
     pub fn stats(&self) -> SearchStats {
         self.stats
     }
@@ -171,6 +190,9 @@ impl<'a> PebbleSolver<'a> {
     /// first winner does — the search unwinds with
     /// [`PebbleOutcome::Timeout`] promptly.
     pub fn set_stop_flag(&mut self, stop: Option<Arc<AtomicBool>>) {
+        if let Some(encoding) = self.encoding.as_mut() {
+            encoding.set_stop_flag(stop.clone());
+        }
         self.stop = stop;
     }
 
@@ -180,11 +202,25 @@ impl<'a> PebbleSolver<'a> {
             .is_some_and(|flag| flag.load(Ordering::Relaxed))
     }
 
+    /// The structural pebble lower bound in the units the options use:
+    /// weight units in weighted mode, node counts otherwise.
+    fn budget_lower_bound(&self) -> usize {
+        if self.options.encoding.weighted {
+            weighted_pebble_lower_bound(self.dag)
+        } else {
+            pebble_lower_bound(self.dag)
+        }
+    }
+
     /// Runs the search (see the [module docs](self) and [`StepSchedule`]).
+    ///
+    /// With [`BoundMode::Assumed`] encoding options the instance is
+    /// incremental: the encoding and solver persist, and later
+    /// [`resolve_with_budget`](Self::resolve_with_budget) calls reuse them.
     pub fn solve(&mut self) -> PebbleOutcome {
-        let lower_bound = pebble_lower_bound(self.dag);
+        let lower_bound = self.budget_lower_bound();
         if let Some(p) = self.options.encoding.max_pebbles {
-            if !self.options.encoding.weighted && p < lower_bound {
+            if p < lower_bound {
                 return PebbleOutcome::Infeasible { lower_bound };
             }
         }
@@ -193,13 +229,53 @@ impl<'a> PebbleSolver<'a> {
             MoveMode::Sequential => step_lower_bound(self.dag),
             MoveMode::Parallel => parallel_step_lower_bound(self.dag),
         };
-        let k0 = self.options.initial_steps.unwrap_or(step_floor).max(1);
-        let mut encoding = PebbleEncoding::new(self.dag, self.options.encoding);
-        encoding.set_stop_flag(self.stop.clone());
-        match self.options.schedule {
+        let mut k0 = self.options.initial_steps.unwrap_or(step_floor).max(1);
+        if let Some(k) = self.known_refuted_k() {
+            // Every k' ≤ k is already refuted for this (or a looser)
+            // budget on this instance; resume the deepening above it.
+            if k >= self.options.max_steps {
+                return PebbleOutcome::StepLimit {
+                    steps_checked: self.options.max_steps,
+                };
+            }
+            k0 = k0.max(k + 1);
+        }
+        let mut encoding = match self.encoding.take() {
+            Some(mut encoding) => {
+                // Re-entering the persistent instance: only the assumed
+                // budget changes, all learnt state carries over.
+                encoding.set_bound(self.options.encoding.max_pebbles);
+                encoding
+            }
+            None => {
+                let mut encoding = PebbleEncoding::new(self.dag, self.options.encoding);
+                encoding.set_stop_flag(self.stop.clone());
+                encoding
+            }
+        };
+        let outcome = match self.options.schedule {
             StepSchedule::Linear => self.solve_linear(&mut encoding, k0, start),
             StepSchedule::ExponentialRefine => self.solve_exponential(&mut encoding, k0, start),
+        };
+        if self.options.encoding.bound_mode == BoundMode::Assumed {
+            self.encoding = Some(encoding);
         }
+        outcome
+    }
+
+    /// Re-runs the search with pebble budget `p` on the *same* encoding
+    /// and solver instance: the budget is assumption-activated
+    /// ([`BoundMode::Assumed`]), so probes at different budgets share the
+    /// transition relation, all learnt clauses, VSIDS activities and saved
+    /// phases. This is the per-probe engine of the incremental
+    /// [`minimize_pebbles`] search; statistics accumulate across calls.
+    ///
+    /// The first call switches the options to [`BoundMode::Assumed`]
+    /// (subsequent [`solve`](Self::solve) calls stay incremental too).
+    pub fn resolve_with_budget(&mut self, p: usize) -> PebbleOutcome {
+        self.options.encoding.bound_mode = BoundMode::Assumed;
+        self.options.encoding.max_pebbles = Some(p);
+        self.solve()
     }
 
     /// Remaining wall-clock for one query; `None` = unlimited, `Err` when
@@ -237,7 +313,29 @@ impl<'a> PebbleSolver<'a> {
         self.stats.max_k = self.stats.max_k.max(k);
         self.sat_stats = encoding.solver().stats();
         self.stats.conflicts = self.sat_stats.conflicts;
+        if result == SolveResult::Unsat {
+            self.record_refuted(k);
+        }
         result
+    }
+
+    /// Largest `k` already refuted for the current budget, combining
+    /// refutations recorded under equal or larger budgets.
+    fn known_refuted_k(&self) -> Option<usize> {
+        let p = self.options.encoding.max_pebbles.unwrap_or(usize::MAX);
+        self.refuted
+            .iter()
+            .filter(|&&(q, _)| q >= p)
+            .map(|&(_, k)| k)
+            .max()
+    }
+
+    fn record_refuted(&mut self, k: usize) {
+        let p = self.options.encoding.max_pebbles.unwrap_or(usize::MAX);
+        match self.refuted.iter_mut().find(|(q, _)| *q == p) {
+            Some((_, max_k)) => *max_k = (*max_k).max(k),
+            None => self.refuted.push((p, k)),
+        }
     }
 
     fn solve_linear(
@@ -306,10 +404,23 @@ impl<'a> PebbleSolver<'a> {
                 }
                 SolveResult::Unknown => {
                     // Inconclusive probes cluster near the SAT/UNSAT
-                    // boundary; jump past it (satisfiable queries with
-                    // slack are cheap) and allow more time.
+                    // boundary. A throwaway encoding jumps past it
+                    // (satisfiable queries with slack are cheap); a
+                    // persistent assumption-bounded instance instead
+                    // retries the same K with a doubled time budget —
+                    // overshooting would permanently bloat the encoding
+                    // that every later budget probe pays propagation
+                    // over. When there is no time budget to grow (pure
+                    // conflict-budget callers), retrying the same K could
+                    // spin forever, so K must advance regardless — and
+                    // once it cannot, the budget outcome is final.
                     per_query = per_query.map(|q| q * 2);
-                    k = (k * 2).min(self.options.max_steps);
+                    if self.options.encoding.bound_mode == BoundMode::Baked || per_query.is_none() {
+                        if k == self.options.max_steps && per_query.is_none() {
+                            return PebbleOutcome::Timeout { steps_reached: k };
+                        }
+                        k = (k * 2).min(self.options.max_steps);
+                    }
                 }
             }
         };
@@ -351,7 +462,56 @@ pub fn solve_with_pebbles(dag: &Dag, max_pebbles: usize) -> PebbleOutcome {
     PebbleSolver::new(dag, options).solve()
 }
 
-/// The result of a [`minimize_pebbles`] search.
+/// How a [`minimize`] search walks the budget axis. Portfolio workers can
+/// race different schedules on the same instance (see
+/// [`minimize_portfolio`](crate::portfolio::minimize_portfolio)).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BudgetSchedule {
+    /// Binary search over `[lower bound, full budget]` — the paper's
+    /// Table I methodology. The default.
+    #[default]
+    Binary,
+    /// Descending linear search: probe `top − stride`, `top − 2·stride`, …
+    /// while probes keep succeeding, then refine the last gap with
+    /// stride 1. At most one probe per stride level fails — on large
+    /// instances failed probes are the expensive ones.
+    Descending {
+        /// Coarse step between probes (clamped to at least 1).
+        stride: usize,
+    },
+}
+
+/// Options for [`minimize`].
+#[derive(Debug, Clone, Copy)]
+pub struct MinimizeOptions {
+    /// Options every probe shares (move mode, step schedule, `max_steps`,
+    /// …); `encoding.max_pebbles` and `timeout` are overridden per probe.
+    pub base: SolverOptions,
+    /// Wall-clock budget per probe; a probe that exhausts it counts as
+    /// unsolvable at that budget, exactly as in the paper.
+    pub per_query: Duration,
+    /// How the budget axis is walked.
+    pub schedule: BudgetSchedule,
+    /// `true`: all probes share one assumption-bounded
+    /// [`PebbleEncoding`]/solver instance, carrying learnt clauses, VSIDS
+    /// activities and saved phases from probe to probe. `false`: the
+    /// paper's original fresh-solver-per-probe methodology.
+    pub incremental: bool,
+}
+
+impl MinimizeOptions {
+    /// Incremental binary search with the given per-probe budget.
+    pub fn new(base: SolverOptions, per_query: Duration) -> Self {
+        MinimizeOptions {
+            base,
+            per_query,
+            schedule: BudgetSchedule::Binary,
+            incremental: true,
+        }
+    }
+}
+
+/// The result of a [`minimize`] search.
 #[derive(Debug, Clone)]
 pub struct MinimizeResult {
     /// The smallest pebble budget for which a strategy was found, with the
@@ -359,104 +519,279 @@ pub struct MinimizeResult {
     pub best: Option<(usize, Strategy)>,
     /// Every budget probed, with whether it was solved, in probe order.
     pub probes: Vec<(usize, bool)>,
+    /// SAT-solver statistics after each probe, aligned with
+    /// [`probes`](Self::probes). Incremental searches snapshot the single
+    /// shared instance, so every counter is monotone across probes; fresh
+    /// searches record each probe's own solver.
+    pub probe_stats: Vec<SolverStats>,
+    /// Outer-search statistics summed over all probes.
+    pub search: SearchStats,
+    /// Final SAT-solver statistics: the shared instance's counters
+    /// (incremental) or the sum over all per-probe solvers (fresh). An
+    /// incremental run is auditable here: `sat.solves == search.queries`
+    /// proves one solver answered every query of every probe.
+    pub sat: SolverStats,
 }
 
-/// Finds the smallest pebble budget `P` for which a strategy can be found
-/// within `per_query` wall-clock time (the paper's Table I methodology,
-/// where `per_query` was 2 minutes of Z3 time). Binary search over
-/// `[lower bound, n]`: a probe that times out is treated as unsolvable at
-/// that budget, exactly as in the paper.
-///
-/// `base` supplies all other options (move mode, stride, `max_steps` …);
-/// its `max_pebbles` and `timeout` fields are overridden per probe.
-pub fn minimize_pebbles(dag: &Dag, base: SolverOptions, per_query: Duration) -> MinimizeResult {
-    let mut low = pebble_lower_bound(dag);
-    let mut high = dag.num_nodes();
-    let mut best: Option<(usize, Strategy)> = None;
-    let mut probes = Vec::new();
-    while low <= high {
-        let mid = low + (high - low) / 2;
-        let mut options = base;
-        options.encoding.max_pebbles = Some(mid);
-        options.timeout = Some(per_query);
-        let outcome = PebbleSolver::new(dag, options).solve();
-        match outcome {
-            PebbleOutcome::Solved(strategy) => {
-                probes.push((mid, true));
-                best = Some((mid, strategy));
-                if mid == 0 {
-                    break;
-                }
-                high = mid - 1;
-            }
-            _ => {
-                probes.push((mid, false));
-                low = mid + 1;
+/// Per-probe engine: either one persistent assumption-bounded instance or
+/// a fresh solver per budget.
+enum Prober<'a> {
+    Incremental(Box<PebbleSolver<'a>>),
+    Fresh(Box<FreshProber<'a>>),
+}
+
+/// State of the fresh-solver-per-probe engine (the paper's methodology):
+/// only accumulated statistics survive between probes.
+struct FreshProber<'a> {
+    dag: &'a Dag,
+    base: SolverOptions,
+    stop: Option<Arc<AtomicBool>>,
+    search: SearchStats,
+    sat: SolverStats,
+    last: SolverStats,
+}
+
+fn sum_stats(a: SolverStats, b: SolverStats) -> SolverStats {
+    SolverStats {
+        decisions: a.decisions + b.decisions,
+        propagations: a.propagations + b.propagations,
+        conflicts: a.conflicts + b.conflicts,
+        restarts: a.restarts + b.restarts,
+        deleted_clauses: a.deleted_clauses + b.deleted_clauses,
+        solves: a.solves + b.solves,
+    }
+}
+
+impl<'a> Prober<'a> {
+    fn new(dag: &'a Dag, options: &MinimizeOptions, stop: Option<Arc<AtomicBool>>) -> Self {
+        let mut base = options.base;
+        base.timeout = Some(options.per_query);
+        if options.incremental {
+            base.encoding.bound_mode = BoundMode::Assumed;
+            let mut solver = PebbleSolver::new(dag, base);
+            solver.set_stop_flag(stop);
+            Prober::Incremental(Box::new(solver))
+        } else {
+            Prober::Fresh(Box::new(FreshProber {
+                dag,
+                base,
+                stop,
+                search: SearchStats::default(),
+                sat: SolverStats::default(),
+                last: SolverStats::default(),
+            }))
+        }
+    }
+
+    fn probe(&mut self, p: usize) -> PebbleOutcome {
+        match self {
+            Prober::Incremental(solver) => solver.resolve_with_budget(p),
+            Prober::Fresh(fresh) => {
+                let mut options = fresh.base;
+                options.encoding.max_pebbles = Some(p);
+                let mut solver = PebbleSolver::new(fresh.dag, options);
+                solver.set_stop_flag(fresh.stop.clone());
+                let outcome = solver.solve();
+                fresh.search.queries += solver.stats().queries;
+                fresh.search.max_k = fresh.search.max_k.max(solver.stats().max_k);
+                fresh.search.conflicts += solver.stats().conflicts;
+                fresh.last = solver.sat_stats();
+                fresh.sat = sum_stats(fresh.sat, fresh.last);
+                outcome
             }
         }
     }
-    MinimizeResult { best, probes }
+
+    /// Statistics snapshot for the probe that just ran.
+    fn snapshot(&self) -> SolverStats {
+        match self {
+            Prober::Incremental(solver) => solver.sat_stats(),
+            Prober::Fresh(fresh) => fresh.last,
+        }
+    }
+
+    fn totals(&self) -> (SearchStats, SolverStats) {
+        match self {
+            Prober::Incremental(solver) => (solver.stats(), solver.sat_stats()),
+            Prober::Fresh(fresh) => (fresh.search, fresh.sat),
+        }
+    }
 }
 
-/// Finds a small pebble budget by *descending* linear search: probe
-/// `n − stride`, `n − 2·stride`, … while probes keep succeeding within
-/// `per_query`, then refine the last gap with stride 1. Unlike the binary
-/// search of [`minimize_pebbles`], at most one probe per stride level
-/// fails — on large instances failed probes are the expensive ones, so
-/// this descends as deep as the solver can certify and pays for a single
-/// timeout.
+/// Shared bookkeeping of one minimization run.
+struct MinimizeRun<'a> {
+    prober: Prober<'a>,
+    best: Option<(usize, Strategy)>,
+    probes: Vec<(usize, bool)>,
+    probe_stats: Vec<SolverStats>,
+    stop: Option<Arc<AtomicBool>>,
+}
+
+impl MinimizeRun<'_> {
+    fn probe(&mut self, p: usize) -> bool {
+        let outcome = self.prober.probe(p);
+        let solved = match outcome {
+            PebbleOutcome::Solved(strategy) => {
+                self.best = Some((p, strategy));
+                true
+            }
+            _ => false,
+        };
+        self.probes.push((p, solved));
+        self.probe_stats.push(self.prober.snapshot());
+        solved
+    }
+
+    fn probed(&self, p: usize) -> bool {
+        self.probes.iter().any(|&(budget, _)| budget == p)
+    }
+
+    fn stopped(&self) -> bool {
+        self.stop
+            .as_ref()
+            .is_some_and(|flag| flag.load(Ordering::Relaxed))
+    }
+
+    fn finish(self) -> MinimizeResult {
+        let (search, sat) = self.prober.totals();
+        MinimizeResult {
+            best: self.best,
+            probes: self.probes,
+            probe_stats: self.probe_stats,
+            search,
+            sat,
+        }
+    }
+}
+
+/// Finds the smallest pebble budget `P` for which a strategy can be found
+/// within the per-probe budget (the paper's Table I methodology, where
+/// each probe got 2 minutes of Z3 time). The budget axis is walked
+/// according to [`MinimizeOptions::schedule`]; in weighted mode the search
+/// range is `[weighted lower bound, total weight]` — weight units, which
+/// on heavy DAGs extend past `num_nodes()`.
+///
+/// `stop` is a cooperative cancellation flag (the portfolio's
+/// first-winner broadcast): once raised, no further probes start and the
+/// current one unwinds promptly.
+pub fn minimize(
+    dag: &Dag,
+    options: MinimizeOptions,
+    stop: Option<Arc<AtomicBool>>,
+) -> MinimizeResult {
+    let weighted = options.base.encoding.weighted;
+    let lower = if weighted {
+        weighted_pebble_lower_bound(dag)
+    } else {
+        pebble_lower_bound(dag)
+    };
+    let top = if weighted {
+        usize::try_from(dag.total_weight()).expect("total weight fits usize")
+    } else {
+        dag.num_nodes()
+    };
+    let mut run = MinimizeRun {
+        prober: Prober::new(dag, &options, stop.clone()),
+        best: None,
+        probes: Vec::new(),
+        probe_stats: Vec::new(),
+        stop,
+    };
+    match options.schedule {
+        BudgetSchedule::Binary => {
+            let (mut low, mut high) = (lower, top);
+            while low <= high && !run.stopped() {
+                let mid = low + (high - low) / 2;
+                if run.probe(mid) {
+                    if mid == 0 {
+                        break;
+                    }
+                    high = mid - 1;
+                } else {
+                    low = mid + 1;
+                }
+            }
+        }
+        BudgetSchedule::Descending { stride } => {
+            let stride = stride.max(1);
+            // Coarse descent.
+            let mut p = top.saturating_sub(stride).max(lower);
+            let mut floor = lower;
+            loop {
+                if run.stopped() {
+                    break;
+                }
+                if !run.probe(p) {
+                    floor = p + 1;
+                    break;
+                }
+                if p == lower {
+                    break;
+                }
+                p = p.saturating_sub(stride).max(lower);
+            }
+            // Nothing certified yet (the very first probe failed): the
+            // full budget admits the Bennett strategy, so certify it
+            // before giving up instead of reporting `best: None` with a
+            // trivially feasible budget on the table.
+            if run.best.is_none() && !run.probed(top) && !run.stopped() {
+                run.probe(top);
+            }
+            // Fine refinement below the last success.
+            if let Some(mut current) = run.best.as_ref().map(|&(p, _)| p) {
+                while current > floor && !run.stopped() {
+                    let next = current - 1;
+                    if !run.probe(next) {
+                        break;
+                    }
+                    current = next;
+                }
+            }
+        }
+    }
+    run.finish()
+}
+
+/// [`minimize`] with incremental binary search: every budget probe runs on
+/// **one** assumption-bounded [`PebbleEncoding`]/solver instance, so learnt
+/// clauses and heuristic state carry across the whole search (audit via
+/// [`MinimizeResult::sat`]). For the paper's original
+/// fresh-solver-per-probe methodology use [`minimize_pebbles_fresh`].
+pub fn minimize_pebbles(dag: &Dag, base: SolverOptions, per_query: Duration) -> MinimizeResult {
+    minimize(dag, MinimizeOptions::new(base, per_query), None)
+}
+
+/// [`minimize`] with the paper's fresh-solver-per-probe binary search:
+/// every probe rebuilds the encoding and discards all learnt state — the
+/// baseline the `minimize_incremental` bench compares against.
+pub fn minimize_pebbles_fresh(
+    dag: &Dag,
+    base: SolverOptions,
+    per_query: Duration,
+) -> MinimizeResult {
+    let options = MinimizeOptions {
+        incremental: false,
+        ..MinimizeOptions::new(base, per_query)
+    };
+    minimize(dag, options, None)
+}
+
+/// [`minimize`] with an incremental descending search (see
+/// [`BudgetSchedule::Descending`]): probes share one solver instance and
+/// descend from the full budget, paying for at most one failed probe per
+/// stride level. Falls back to certifying the full budget when even the
+/// first probe fails.
 pub fn minimize_pebbles_descending(
     dag: &Dag,
     base: SolverOptions,
     per_query: Duration,
     stride: usize,
 ) -> MinimizeResult {
-    let stride = stride.max(1);
-    let lower = pebble_lower_bound(dag);
-    let mut best: Option<(usize, Strategy)> = None;
-    let mut probes = Vec::new();
-    let mut probe = |p: usize, best: &mut Option<(usize, Strategy)>| -> bool {
-        let mut options = base;
-        options.encoding.max_pebbles = Some(p);
-        options.timeout = Some(per_query);
-        match PebbleSolver::new(dag, options).solve() {
-            PebbleOutcome::Solved(strategy) => {
-                probes.push((p, true));
-                *best = Some((p, strategy));
-                true
-            }
-            _ => {
-                probes.push((p, false));
-                false
-            }
-        }
+    let options = MinimizeOptions {
+        schedule: BudgetSchedule::Descending { stride },
+        ..MinimizeOptions::new(base, per_query)
     };
-    // Coarse descent.
-    let mut p = dag.num_nodes().saturating_sub(stride).max(lower);
-    let mut floor = lower;
-    loop {
-        if !probe(p, &mut best) {
-            floor = p + 1;
-            break;
-        }
-        if p == lower {
-            break;
-        }
-        p = p.saturating_sub(stride).max(lower);
-    }
-    // Fine refinement below the last success.
-    if stride > 1 {
-        if let Some((mut current, _)) = best.clone() {
-            while current > floor.max(lower) {
-                let next = current - 1;
-                if !probe(next, &mut best) {
-                    break;
-                }
-                current = next;
-            }
-        }
-    }
-    MinimizeResult { best, probes }
+    minimize(dag, options, None)
 }
 
 #[cfg(test)]
@@ -609,6 +944,126 @@ mod tests {
         // Probes go 5, 4, 3(fail) — exactly one failure.
         let failures = descending.probes.iter().filter(|(_, ok)| !ok).count();
         assert_eq!(failures, 1);
+    }
+
+    #[test]
+    fn resolve_with_budget_reuses_one_instance() {
+        let dag = paper_example();
+        let mut solver = PebbleSolver::new(
+            &dag,
+            SolverOptions {
+                encoding: EncodingOptions {
+                    move_mode: MoveMode::Sequential,
+                    ..EncodingOptions::default()
+                },
+                max_steps: 40,
+                ..SolverOptions::default()
+            },
+        );
+        let six = solver.resolve_with_budget(6).into_strategy().expect("6 ok");
+        six.validate(&dag, Some(6)).expect("valid");
+        let queries_after_six = solver.stats().queries;
+        let conflicts_after_six = solver.sat_stats().conflicts;
+        let four = solver.resolve_with_budget(4).into_strategy().expect("4 ok");
+        four.validate(&dag, Some(4)).expect("valid");
+        assert!(matches!(
+            solver.resolve_with_budget(3),
+            PebbleOutcome::StepLimit { .. }
+        ));
+        // One instance: outer and SAT statistics accumulate, never reset.
+        assert!(solver.stats().queries > queries_after_six);
+        assert!(solver.sat_stats().conflicts >= conflicts_after_six);
+        assert_eq!(solver.sat_stats().solves, solver.stats().queries as u64);
+        // Budgets below the structural bound short-circuit without a query.
+        assert!(matches!(
+            solver.resolve_with_budget(2),
+            PebbleOutcome::Infeasible { lower_bound: 3 }
+        ));
+    }
+
+    #[test]
+    fn minimize_runs_every_probe_on_one_solver() {
+        let dag = paper_example();
+        let base = SolverOptions {
+            encoding: EncodingOptions {
+                move_mode: MoveMode::Sequential,
+                ..EncodingOptions::default()
+            },
+            max_steps: 60,
+            ..SolverOptions::default()
+        };
+        let result = minimize_pebbles(&dag, base, Duration::from_secs(20));
+        let (p, strategy) = result.best.expect("feasible");
+        assert_eq!(p, 4);
+        strategy.validate(&dag, Some(4)).expect("valid");
+        // Single-instance audit: one solver answered every query of every
+        // probe, and its counters only ever grew.
+        assert_eq!(result.sat.solves, result.search.queries as u64);
+        assert!(result.probes.len() >= 2);
+        for window in result.probe_stats.windows(2) {
+            assert!(window[1].conflicts >= window[0].conflicts);
+            assert!(window[1].restarts >= window[0].restarts);
+            assert!(window[1].solves > window[0].solves);
+        }
+        // The fresh baseline agrees on the answer.
+        let fresh = minimize_pebbles_fresh(&dag, base, Duration::from_secs(20));
+        assert_eq!(fresh.best.as_ref().map(|&(p, _)| p), Some(4));
+        assert_eq!(fresh.sat.solves, fresh.search.queries as u64);
+    }
+
+    #[test]
+    fn descending_falls_back_to_the_top_budget() {
+        // stride 4 puts the first coarse probe at max(6 − 4, lower 3) = 3,
+        // which admits no strategy at any K. The search must certify the
+        // trivially feasible full budget instead of returning best: None,
+        // then refine back down to the true optimum.
+        let dag = paper_example();
+        let base = SolverOptions {
+            encoding: EncodingOptions {
+                move_mode: MoveMode::Sequential,
+                ..EncodingOptions::default()
+            },
+            max_steps: 20, // keeps the doomed probe fast (StepLimit)
+            ..SolverOptions::default()
+        };
+        let result = minimize_pebbles_descending(&dag, base, Duration::from_secs(30), 4);
+        let (p, strategy) = result.best.expect("fallback certifies the top budget");
+        assert_eq!(p, 4, "refinement descends 6 → 5 → 4");
+        strategy.validate(&dag, Some(p)).expect("valid");
+        assert!(result.probes.contains(&(3, false)), "{:?}", result.probes);
+        assert!(result.probes.contains(&(6, true)), "{:?}", result.probes);
+    }
+
+    #[test]
+    fn minimize_weighted_searches_weight_units() {
+        use revpebble_graph::{Dag, Op};
+        // Minimum weighted budget is 5 (a and b live simultaneously), yet
+        // the DAG has only 2 nodes — the old unweighted search range
+        // [lower, num_nodes] could not even represent the answer and
+        // returned best: None.
+        let mut dag = Dag::new();
+        let x = dag.add_input("x");
+        let a = dag.add_node_weighted("a", Op::Buf, [x], 3).expect("valid");
+        let b = dag
+            .add_node_weighted("b", Op::Buf, [a.into()], 2)
+            .expect("valid");
+        dag.mark_output(b);
+        let base = SolverOptions {
+            encoding: EncodingOptions {
+                weighted: true,
+                move_mode: MoveMode::Sequential,
+                ..EncodingOptions::default()
+            },
+            max_steps: 20,
+            ..SolverOptions::default()
+        };
+        let result = minimize_pebbles(&dag, base, Duration::from_secs(30));
+        let (p, strategy) = result.best.expect("feasible weight budgets exist");
+        assert_eq!(p, 5);
+        strategy.validate_weighted(&dag, Some(5)).expect("valid");
+        // The descending schedule searches the same weighted range.
+        let descending = minimize_pebbles_descending(&dag, base, Duration::from_secs(30), 1);
+        assert_eq!(descending.best.as_ref().map(|&(p, _)| p), Some(5));
     }
 
     #[test]

@@ -268,11 +268,7 @@ impl Strategy {
         let mut current = PebbleConfig::empty(dag.num_nodes());
         let check_limit = |config: &PebbleConfig, step: usize| -> Result<(), InvalidStrategy> {
             if let Some(limit) = limit {
-                let used = if weighted {
-                    config.weighted_count(&weights)
-                } else {
-                    config.count() as u64
-                };
+                let used = config.cost(weighted.then_some(weights.as_slice()));
                 if used > limit {
                     return Err(InvalidStrategy::TooManyPebbles { step, used, limit });
                 }

@@ -75,8 +75,9 @@ pub mod prelude {
     pub use crate::circuit::{compile, verify, Circuit, CompiledCircuit, VerifyOutcome};
     pub use crate::core::baselines::{bennett, cone_wise};
     pub use crate::core::{
-        minimize_pebbles, solve_with_pebbles, solve_with_pebbles_portfolio, CardEncoding,
-        EncodingOptions, Move, MoveMode, PebbleOutcome, PebbleSolver, PortfolioOutcome,
+        minimize_pebbles, minimize_pebbles_fresh, minimize_portfolio, solve_with_pebbles,
+        solve_with_pebbles_portfolio, BudgetSchedule, CardEncoding, EncodingOptions,
+        MinimizeResult, Move, MoveMode, PebbleOutcome, PebbleSolver, PortfolioOutcome,
         PortfolioSolver, SolverOptions, Strategy,
     };
     pub use crate::graph::{parse_bench, Dag, NodeId, Op, Slp, Source};

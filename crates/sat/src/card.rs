@@ -12,6 +12,13 @@
 //!   `k + 1`; good when the same literals participate in several bounds.
 //! - [`commander`]: commander encoding for at-most-one.
 //!
+//! For searches that probe *many* bounds over the same literals (the
+//! Table I pebble-minimization loop), [`IncrementalTotalizer`] keeps the
+//! unary counter alive across queries: "at most `k`" becomes the
+//! assumption `!outputs()[k]`, so one solver instance — learnt clauses,
+//! activities and all — serves every bound. [`weighted_at_most_k`] is its
+//! one-shot cousin for weighted inputs.
+//!
 //! All encoders work against any [`CnfSink`] — the [`Solver`] itself or a
 //! standalone [`Cnf`] formula.
 
@@ -281,6 +288,157 @@ pub fn totalizer(sink: &mut impl CnfSink, lits: &[Lit], k: usize) -> Vec<Lit> {
     outputs
 }
 
+/// Encodes `Σ wᵢ·litᵢ ≤ k` over weighted literals with a truncated weighted
+/// totalizer (a weight-`w` input contributes the unary vector `[lit; w]`),
+/// so a single literal whose weight alone exceeds `k` is killed by a *unit*
+/// clause — never by the degenerate duplicated-literal clauses the plain
+/// encoders would emit.
+pub fn weighted_at_most_k(sink: &mut impl CnfSink, items: &[(Lit, usize)], k: usize) {
+    let total: usize = items.iter().map(|&(_, w)| w).sum();
+    if k >= total {
+        return;
+    }
+    if k == 0 {
+        for &(lit, w) in items {
+            if w > 0 {
+                sink.emit_clause(&[!lit]);
+            }
+        }
+        return;
+    }
+    let outputs = build_weighted_unary(sink, items, k + 1);
+    sink.emit_clause(&[!outputs[k]]);
+}
+
+/// A totalizer whose output literals stay valid for the lifetime of the
+/// solver, so the bound "at most `k`" can be chosen *per query* by assuming
+/// `!outputs()[k]` instead of baking `at_most_k(k)` into the clause
+/// database. The clause set only ever says "enough true inputs force the
+/// unary counter up"; nothing constrains the count until an output is
+/// assumed false, which makes one encoding reusable across every bound —
+/// learnt clauses conditioned on a tighter bound stay valid (and, thanks to
+/// the monotonicity chain `out[j+1] → out[j]`, fire again under any bound
+/// at least as tight).
+///
+/// Inputs are weighted: a literal of weight `w` adds `w` to the count.
+/// [`extend`](Self::extend) merges additional inputs into the counter
+/// in place; output literals must be re-fetched afterwards.
+#[derive(Debug, Clone)]
+pub struct IncrementalTotalizer {
+    outputs: Vec<Lit>,
+    total: usize,
+    cap: usize,
+}
+
+impl IncrementalTotalizer {
+    /// Builds the counter over unit-weight literals.
+    pub fn new(sink: &mut impl CnfSink, lits: &[Lit]) -> Self {
+        let items: Vec<(Lit, usize)> = lits.iter().map(|&l| (l, 1)).collect();
+        Self::new_weighted(sink, &items)
+    }
+
+    /// Builds the counter over weighted literals (full output range, so any
+    /// bound up to the total weight can later be assumed).
+    pub fn new_weighted(sink: &mut impl CnfSink, items: &[(Lit, usize)]) -> Self {
+        Self::with_cap(sink, items, usize::MAX)
+    }
+
+    /// Builds the counter keeping at most `cap` outputs. Bounds `< cap` can
+    /// be assumed; bounds `≥` the total weight are trivially true; bounds in
+    /// between are inexpressible and make
+    /// [`at_most_assumption`](Self::at_most_assumption) panic.
+    pub fn with_cap(sink: &mut impl CnfSink, items: &[(Lit, usize)], cap: usize) -> Self {
+        let total: usize = items.iter().map(|&(_, w)| w).sum();
+        let outputs = build_weighted_unary(sink, items, cap);
+        let totalizer = IncrementalTotalizer {
+            outputs,
+            total,
+            cap,
+        };
+        totalizer.emit_monotonicity(sink);
+        totalizer
+    }
+
+    /// The sorted unary outputs: `outputs()[j]` is forced true once the
+    /// true-input weight exceeds `j`.
+    pub fn outputs(&self) -> &[Lit] {
+        &self.outputs
+    }
+
+    /// Total weight of all inputs merged so far.
+    pub fn total_weight(&self) -> usize {
+        self.total
+    }
+
+    /// Merges additional weighted inputs into the counter: the old root and
+    /// a fresh sub-totalizer over `items` become the children of a new
+    /// root. Previously fetched output literals keep their meaning but no
+    /// longer cover the extended input set.
+    pub fn extend(&mut self, sink: &mut impl CnfSink, items: &[(Lit, usize)]) {
+        let added: usize = items.iter().map(|&(_, w)| w).sum();
+        if added == 0 {
+            return;
+        }
+        let fresh = build_weighted_unary(sink, items, self.cap);
+        self.outputs = merge_unary(sink, &self.outputs, &fresh, self.cap);
+        self.total += added;
+        self.emit_monotonicity(sink);
+    }
+
+    /// The assumption literal asserting "total true weight ≤ k", or `None`
+    /// when the bound is trivially satisfied (`k ≥` total weight).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the counter was built with a `cap ≤ k` that truncated the
+    /// output needed to express this bound.
+    pub fn at_most_assumption(&self, k: usize) -> Option<Lit> {
+        if k >= self.total {
+            return None;
+        }
+        assert!(
+            k < self.outputs.len(),
+            "bound {k} needs output {k} but the totalizer was capped at {}",
+            self.outputs.len()
+        );
+        Some(!self.outputs[k])
+    }
+
+    /// Permanently asserts "total true weight ≤ k" as a unit clause (the
+    /// non-incremental use of the same counter).
+    pub fn assert_at_most(&self, sink: &mut impl CnfSink, k: usize) {
+        if let Some(lit) = self.at_most_assumption(k) {
+            sink.emit_clause(&[lit]);
+        }
+    }
+
+    /// `out[j+1] → out[j]`: redundant but lets an assumed `!out[k]`
+    /// propagate every looser output false immediately.
+    fn emit_monotonicity(&self, sink: &mut impl CnfSink) {
+        for pair in self.outputs.windows(2) {
+            if pair[0] != pair[1] {
+                sink.emit_clause(&[!pair[1], pair[0]]);
+            }
+        }
+    }
+}
+
+/// Weighted totalizer tree: a weight-`w` leaf is the unary vector
+/// `[lit; w]` (all copies perfectly correlated), inner nodes merge.
+fn build_weighted_unary(sink: &mut impl CnfSink, items: &[(Lit, usize)], cap: usize) -> Vec<Lit> {
+    let live: Vec<(Lit, usize)> = items.iter().copied().filter(|&(_, w)| w > 0).collect();
+    match live.len() {
+        0 => Vec::new(),
+        1 => vec![live[0].0; live[0].1.min(cap)],
+        _ => {
+            let mid = live.len() / 2;
+            let left = build_weighted_unary(sink, &live[..mid], cap);
+            let right = build_weighted_unary(sink, &live[mid..], cap);
+            merge_unary(sink, &left, &right, cap)
+        }
+    }
+}
+
 fn build_totalizer(sink: &mut impl CnfSink, lits: &[Lit], cap: usize) -> Vec<Lit> {
     if lits.len() <= 1 {
         return lits.to_vec();
@@ -288,9 +446,20 @@ fn build_totalizer(sink: &mut impl CnfSink, lits: &[Lit], cap: usize) -> Vec<Lit
     let mid = lits.len() / 2;
     let left = build_totalizer(sink, &lits[..mid], cap);
     let right = build_totalizer(sink, &lits[mid..], cap);
-    let out_len = (left.len() + right.len()).min(cap);
+    merge_unary(sink, &left, &right, cap)
+}
+
+/// Merges two unary counters into a fresh one of at most `cap` outputs:
+/// `a_α ∧ b_β → r_{α+β}`, with index 0 meaning "at least one".
+fn merge_unary(sink: &mut impl CnfSink, left: &[Lit], right: &[Lit], cap: usize) -> Vec<Lit> {
+    if left.is_empty() {
+        return right.to_vec();
+    }
+    if right.is_empty() {
+        return left.to_vec();
+    }
+    let out_len = left.len().saturating_add(right.len()).min(cap);
     let out: Vec<Lit> = (0..out_len).map(|_| sink.add_var().positive()).collect();
-    // a_α ∧ b_β → r_{α+β}, with index 0 meaning "at least one".
     for alpha in 0..=left.len() {
         for beta in 0..=right.len() {
             let sigma = alpha + beta;
@@ -465,6 +634,143 @@ mod tests {
         assert!(cnf.is_empty());
         at_least_k(&mut cnf, &lits, 0, CardEncoding::SequentialCounter);
         assert!(cnf.is_empty());
+    }
+
+    #[test]
+    fn incremental_totalizer_assumes_every_bound() {
+        // One encoding, every bound k checked by assumption only.
+        for n in 1..=6 {
+            let mut solver = Solver::new();
+            let vars = solver.new_vars(n);
+            let lits: Vec<Lit> = vars.iter().map(|v| v.positive()).collect();
+            let counter = IncrementalTotalizer::new(&mut solver, &lits);
+            assert_eq!(counter.total_weight(), n);
+            for k in 0..=n {
+                for pattern in 0u32..(1 << n) {
+                    let mut assumptions: Vec<Lit> = (0..n)
+                        .map(|i| Lit::new(vars[i], pattern & (1 << i) != 0))
+                        .collect();
+                    assumptions.extend(counter.at_most_assumption(k));
+                    let expected = (pattern.count_ones() as usize) <= k;
+                    assert_eq!(
+                        solver.solve_with(&assumptions) == SolveResult::Sat,
+                        expected,
+                        "n={n} k={k} pattern={pattern:b}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn incremental_totalizer_weighted_counts_weights() {
+        let weights = [3usize, 1, 2];
+        let mut solver = Solver::new();
+        let vars = solver.new_vars(weights.len());
+        let items: Vec<(Lit, usize)> = vars
+            .iter()
+            .zip(weights)
+            .map(|(v, w)| (v.positive(), w))
+            .collect();
+        let counter = IncrementalTotalizer::new_weighted(&mut solver, &items);
+        assert_eq!(counter.total_weight(), 6);
+        for k in 0..=6 {
+            for pattern in 0u32..(1 << weights.len()) {
+                let mut assumptions: Vec<Lit> = (0..weights.len())
+                    .map(|i| Lit::new(vars[i], pattern & (1 << i) != 0))
+                    .collect();
+                assumptions.extend(counter.at_most_assumption(k));
+                let weight: usize = (0..weights.len())
+                    .filter(|i| pattern & (1 << i) != 0)
+                    .map(|i| weights[i])
+                    .sum();
+                assert_eq!(
+                    solver.solve_with(&assumptions) == SolveResult::Sat,
+                    weight <= k,
+                    "k={k} pattern={pattern:b}"
+                );
+            }
+        }
+        // k >= total weight needs no assumption at all.
+        assert_eq!(counter.at_most_assumption(6), None);
+    }
+
+    #[test]
+    fn incremental_totalizer_extends_its_input_set() {
+        let mut solver = Solver::new();
+        let vars = solver.new_vars(5);
+        let lits: Vec<Lit> = vars.iter().map(|v| v.positive()).collect();
+        let mut counter = IncrementalTotalizer::new(&mut solver, &lits[..3]);
+        // Bound 1 over the first three inputs…
+        let a = counter.at_most_assumption(1).expect("bound exists");
+        solver.add_clause([lits[0]]);
+        solver.add_clause([lits[1]]);
+        assert_eq!(solver.solve_with(&[a]), SolveResult::Unsat);
+        // …then two more inputs merge in and every bound re-checks.
+        counter.extend(&mut solver, &[(lits[3], 1), (lits[4], 1)]);
+        assert_eq!(counter.total_weight(), 5);
+        for k in 0..=5 {
+            for pattern in 0u32..(1 << 5) {
+                if pattern & 0b11 != 0b11 {
+                    continue; // first two are units now
+                }
+                let mut assumptions: Vec<Lit> = (0..5)
+                    .map(|i| Lit::new(vars[i], pattern & (1 << i) != 0))
+                    .collect();
+                assumptions.extend(counter.at_most_assumption(k));
+                let expected = (pattern.count_ones() as usize) <= k;
+                assert_eq!(
+                    solver.solve_with(&assumptions) == SolveResult::Sat,
+                    expected,
+                    "k={k} pattern={pattern:b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn weighted_at_most_k_matches_weighted_popcount() {
+        let weights = [2usize, 3, 1, 2];
+        let total: usize = weights.iter().sum();
+        for k in 0..=total {
+            for pattern in 0u32..(1 << weights.len()) {
+                let mut solver = Solver::new();
+                let vars = solver.new_vars(weights.len());
+                let items: Vec<(Lit, usize)> = vars
+                    .iter()
+                    .zip(weights)
+                    .map(|(v, w)| (v.positive(), w))
+                    .collect();
+                weighted_at_most_k(&mut solver, &items, k);
+                let assumptions: Vec<Lit> = (0..weights.len())
+                    .map(|i| Lit::new(vars[i], pattern & (1 << i) != 0))
+                    .collect();
+                let weight: usize = (0..weights.len())
+                    .filter(|i| pattern & (1 << i) != 0)
+                    .map(|i| weights[i])
+                    .sum();
+                assert_eq!(
+                    solver.solve_with(&assumptions) == SolveResult::Sat,
+                    weight <= k,
+                    "k={k} pattern={pattern:b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn weighted_at_most_k_kills_overweight_literal_with_a_unit() {
+        // A single weight-5 literal under bound 3 must be forced false
+        // outright — the regression the duplicated-literal pairwise
+        // encoding got wrong.
+        let mut solver = Solver::new();
+        let heavy = solver.new_var().positive();
+        let light = solver.new_var().positive();
+        weighted_at_most_k(&mut solver, &[(heavy, 5), (light, 2)], 3);
+        assert_eq!(solver.solve(), SolveResult::Sat);
+        assert_eq!(solver.model_value(heavy), Some(false));
+        assert_eq!(solver.solve_with(&[heavy]), SolveResult::Unsat);
+        assert_eq!(solver.solve_with(&[light]), SolveResult::Sat);
     }
 
     #[test]

@@ -58,6 +58,11 @@ pub struct SolverStats {
     pub restarts: u64,
     /// Number of learned clauses deleted by database reduction.
     pub deleted_clauses: u64,
+    /// Number of [`Solver::solve`]/[`Solver::solve_with`] calls answered.
+    /// Cumulative like every other counter, so a search that claims to
+    /// reuse one incremental instance across `n` queries can be audited:
+    /// its final stats show `solves == n`.
+    pub solves: u64,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -675,6 +680,7 @@ impl Solver {
     /// to them and the solver can be reused afterwards with different
     /// assumptions (incremental solving).
     pub fn solve_with(&mut self, assumptions: &[Lit]) -> SolveResult {
+        self.stats.solves += 1;
         self.conflict_core.clear();
         if !self.ok {
             return SolveResult::Unsat;

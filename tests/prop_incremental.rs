@@ -1,0 +1,93 @@
+//! Property tests for the incremental assumption-bounded budget search:
+//! on random DAGs it must certify exactly the budgets the paper's
+//! fresh-solver-per-probe methodology certifies, produce valid
+//! strategies, and demonstrably run every probe on one solver instance
+//! (cumulative statistics never reset).
+
+use proptest::prelude::*;
+use revpebble::core::{
+    minimize, minimize_pebbles, minimize_pebbles_fresh, BudgetSchedule, EncodingOptions,
+    MinimizeOptions, MoveMode, SolverOptions,
+};
+use revpebble::graph::generators::random_dag;
+use std::time::Duration;
+
+fn base() -> SolverOptions {
+    SolverOptions {
+        encoding: EncodingOptions {
+            move_mode: MoveMode::Sequential,
+            ..EncodingOptions::default()
+        },
+        // StepLimit (not the clock) terminates infeasible probes, keeping
+        // every probe outcome deterministic.
+        max_steps: 40,
+        ..SolverOptions::default()
+    }
+}
+
+const PER_QUERY: Duration = Duration::from_secs(60);
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn incremental_matches_fresh_and_never_resets_stats(
+        inputs in 2usize..5,
+        nodes in 3usize..12,
+        seed in any::<u64>(),
+    ) {
+        let dag = random_dag(inputs, nodes, seed);
+        let fresh = minimize_pebbles_fresh(&dag, base(), PER_QUERY);
+        let incremental = minimize_pebbles(&dag, base(), PER_QUERY);
+
+        // Identical minimal budgets…
+        prop_assert_eq!(
+            fresh.best.as_ref().map(|&(p, _)| p),
+            incremental.best.as_ref().map(|&(p, _)| p)
+        );
+        // …and valid strategies from both engines.
+        if let Some((p, strategy)) = &fresh.best {
+            prop_assert!(strategy.validate(&dag, Some(*p)).is_ok());
+        }
+        if let Some((p, strategy)) = &incremental.best {
+            prop_assert!(strategy.validate(&dag, Some(*p)).is_ok());
+        }
+
+        // Single-instance audit: one solver answered every query, and its
+        // counters are monotone across probes — never reset.
+        prop_assert_eq!(incremental.sat.solves, incremental.search.queries as u64);
+        for window in incremental.probe_stats.windows(2) {
+            prop_assert!(window[1].conflicts >= window[0].conflicts);
+            prop_assert!(window[1].restarts >= window[0].restarts);
+            prop_assert!(window[1].decisions >= window[0].decisions);
+            prop_assert!(window[1].propagations >= window[0].propagations);
+            prop_assert!(window[1].solves > window[0].solves);
+        }
+    }
+
+    #[test]
+    fn budget_schedules_agree_on_the_minimum(
+        inputs in 2usize..5,
+        nodes in 3usize..10,
+        seed in any::<u64>(),
+        stride in 1usize..4,
+    ) {
+        let dag = random_dag(inputs, nodes, seed);
+        let binary = minimize_pebbles(&dag, base(), PER_QUERY);
+        let descending = minimize(
+            &dag,
+            MinimizeOptions {
+                schedule: BudgetSchedule::Descending { stride },
+                ..MinimizeOptions::new(base(), PER_QUERY)
+            },
+            None,
+        );
+        prop_assert_eq!(
+            binary.best.as_ref().map(|&(p, _)| p),
+            descending.best.as_ref().map(|&(p, _)| p)
+        );
+        if let Some((p, strategy)) = &descending.best {
+            prop_assert!(strategy.validate(&dag, Some(*p)).is_ok());
+        }
+    }
+}
