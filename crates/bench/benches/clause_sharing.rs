@@ -1,0 +1,179 @@
+//! Shared vs. isolated minimize portfolio (the cooperative layer): same
+//! four workers racing budget schedules, but the shared configuration
+//! exchanges short learnt clauses through one pool and certified
+//! refutations (unsat-core bound tightening, budget floor) through one
+//! blackboard.
+//!
+//! Alongside the wall-clock numbers a one-off audit asserts that the
+//! shared race certifies the same minimum as the isolated race and the
+//! single-worker incremental engine, and prints the cooperation counters:
+//! clause imports/exports, the certified floor, and the number of
+//! core-derived bound tightenings. On `b3_m4` (the smallest `H`-operator
+//! row of Table I, run with the `table1` harness configuration of
+//! parallel moves + exponential refine and a step cap) the audit checks
+//! that clause imports are nonzero and at least one core-derived
+//! lower-bound tightening fires.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use revpebble::core::{
+    minimize_pebbles, minimize_portfolio, minimize_portfolio_shared, EncodingOptions, MoveMode,
+    SolverOptions, StepSchedule,
+};
+use revpebble::graph::generators::chain;
+use revpebble::graph::parse_bench;
+use revpebble::graph::slp::h_operator_sized;
+use revpebble::graph::Dag;
+use std::hint::black_box;
+use std::time::Duration;
+
+const WORKERS: usize = 4;
+
+struct Workload {
+    name: &'static str,
+    dag: Dag,
+    base: SolverOptions,
+    per_query: Duration,
+    /// Assert nonzero clause imports and ≥ 1 core tightening (set on the
+    /// workloads where the probes deterministically produce them).
+    assert_cooperation: bool,
+    /// Every probe ends in SAT/UNSAT within the per-query budget, so all
+    /// engines must certify the *same* minimum. Timeout-bound workloads
+    /// (`b3_m4` under a 2 s probe clock) legitimately disagree: which
+    /// budgets get certified depends on wall-clock and core contention.
+    decisive: bool,
+}
+
+fn base(mode: MoveMode, schedule: StepSchedule, max_steps: usize) -> SolverOptions {
+    SolverOptions {
+        encoding: EncodingOptions {
+            move_mode: mode,
+            ..EncodingOptions::default()
+        },
+        schedule,
+        max_steps,
+        ..SolverOptions::default()
+    }
+}
+
+fn workloads() -> Vec<Workload> {
+    vec![
+        Workload {
+            name: "c17",
+            dag: parse_bench(revpebble::graph::data::C17_BENCH).expect("parses"),
+            base: base(MoveMode::Sequential, StepSchedule::Linear, 60),
+            per_query: Duration::from_secs(20),
+            assert_cooperation: true,
+            decisive: true,
+        },
+        Workload {
+            name: "b3_m4",
+            // Table I's smallest H-operator row, with the `table1` harness
+            // configuration: parallel moves + exponential refine. The step
+            // cap sits above the paper's K = 117, so infeasible budgets
+            // end in certified StepLimit refutations instead of timeouts.
+            dag: h_operator_sized(59),
+            base: base(MoveMode::Parallel, StepSchedule::ExponentialRefine, 150),
+            per_query: Duration::from_secs(2),
+            assert_cooperation: true,
+            decisive: false,
+        },
+        Workload {
+            name: "chain12",
+            // The exponential space/time trade-off family: pebbling a
+            // chain near the logarithmic budget floor needs exponentially
+            // many recomputation steps, so tight budgets die by step cap —
+            // exactly where the certified floor pays off.
+            dag: chain(12),
+            base: base(MoveMode::Sequential, StepSchedule::ExponentialRefine, 80),
+            per_query: Duration::from_secs(2),
+            assert_cooperation: false,
+            decisive: false,
+        },
+    ]
+}
+
+fn bench_clause_sharing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("clause_sharing");
+    group.sample_size(10);
+    for workload in workloads() {
+        let Workload {
+            name,
+            dag,
+            base,
+            per_query,
+            assert_cooperation,
+            decisive,
+        } = workload;
+        let shared = minimize_portfolio_shared(&dag, base, per_query, WORKERS);
+        let isolated = minimize_portfolio(&dag, base, per_query, WORKERS);
+        let single = minimize_pebbles(&dag, base, per_query);
+        let minimum =
+            |best: &Option<(usize, revpebble::core::Strategy)>| best.as_ref().map(|&(p, _)| p);
+        if decisive {
+            assert_eq!(
+                minimum(&shared.best),
+                minimum(&single.best),
+                "{name}: shared-pool portfolio and single-worker incremental must agree"
+            );
+            assert_eq!(
+                minimum(&shared.best),
+                minimum(&isolated.best),
+                "{name}: sharing must not change the certified minimum"
+            );
+        }
+        let (p, strategy) = shared.best.as_ref().expect("every workload is feasible");
+        strategy
+            .validate(&dag, Some(*p))
+            .expect("shared-race strategies stay valid");
+        assert!(
+            shared.sharing.floor <= *p,
+            "{name}: certified floor {} exceeds certified minimum {p}",
+            shared.sharing.floor
+        );
+        let (imports, exports) = shared.workers.iter().fold((0u64, 0u64), |(i, e), w| {
+            (
+                i + w.result.sat.imported_clauses,
+                e + w.result.sat.exported_clauses,
+            )
+        });
+        let tightenings = shared.sharing.step_tightenings + shared.sharing.floor_raises;
+        println!(
+            "{name}: minimum={:?} | imports={imports} exports={exports} pool-published={} \
+             | floor={} core-tightenings={tightenings}",
+            minimum(&shared.best),
+            shared.sharing.pool.published,
+            shared.sharing.floor,
+        );
+        if assert_cooperation {
+            assert!(imports > 0, "{name}: expected nonzero clause imports");
+            assert!(
+                tightenings > 0,
+                "{name}: expected at least one core-derived lower-bound tightening"
+            );
+        }
+        group.bench_function(format!("shared/{name}"), |b| {
+            b.iter(|| {
+                black_box(minimize_portfolio_shared(
+                    black_box(&dag),
+                    base,
+                    per_query,
+                    WORKERS,
+                ))
+            })
+        });
+        group.bench_function(format!("isolated/{name}"), |b| {
+            b.iter(|| {
+                black_box(minimize_portfolio(
+                    black_box(&dag),
+                    base,
+                    per_query,
+                    WORKERS,
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_clause_sharing);
+criterion_main!(benches);

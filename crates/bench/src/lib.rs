@@ -1,6 +1,19 @@
 //! Shared helpers for the `revpebble-bench` binaries and criterion
 //! benches: the Table I workload definitions and a tiny CLI-argument
 //! parser (no external dependencies).
+//!
+//! # Example
+//!
+//! ```
+//! use revpebble_bench::{table1_dag, TABLE1};
+//!
+//! // Materialize the smallest ISCAS row of the paper's Table I.
+//! let row = TABLE1.iter().find(|r| r.name == "c17").expect("present");
+//! let dag = table1_dag(row);
+//! assert_eq!(dag.num_inputs(), row.pi);
+//! assert_eq!(dag.num_outputs(), row.po);
+//! dag.validate_for_pebbling().expect("ready for the pebbling game");
+//! ```
 
 #![warn(missing_docs)]
 

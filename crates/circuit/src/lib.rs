@@ -9,7 +9,7 @@
 //!
 //! - [`circuit`]: a reversible gate/circuit IR with single-target gates
 //!   (the paper's Definition 1) and a computational-basis simulator;
-//! - [`compile`]: strategy → circuit compilation with ancilla reuse, plus
+//! - [`compile`](mod@compile): strategy → circuit compilation with ancilla reuse, plus
 //!   an end-to-end verifier that checks outputs *and* that every ancilla
 //!   is returned to |0⟩ (the whole point of memory management);
 //! - [`barenco`]: the Barenco multi-controlled-X decompositions used as

@@ -1,7 +1,7 @@
 //! Lowering single-target gates to the {X, CNOT, Toffoli/MCX} gate set,
 //! resource estimation, and OpenQASM 2.0 export.
 //!
-//! The compiler in [`crate::compile`] emits one abstract single-target
+//! The compiler in [`crate::compile`](mod@crate::compile) emits one abstract single-target
 //! gate per pebbling move (the paper's Definition 1). Real backends want
 //! elementary gates; [`lower`] rewrites every gate into X/CNOT/MCX using
 //! the textbook identities:

@@ -27,6 +27,10 @@ pub struct Args {
     /// assumption-bounded encoding/solver instance instead of a fresh
     /// solver per probe.
     pub incremental: bool,
+    /// `--share-clauses`: let `--minimize --portfolio` workers cooperate —
+    /// one learnt-clause pool and one certified-refutation blackboard
+    /// (unsat-core bound tightening) across all workers.
+    pub share_clauses: bool,
     /// `--grid`.
     pub grid: bool,
     /// `--qasm`.
@@ -43,6 +47,7 @@ impl Args {
         let mut portfolio = None;
         let mut minimize = false;
         let mut incremental = false;
+        let mut share_clauses = false;
         let mut grid = false;
         let mut qasm = false;
         let mut iter = raw.iter().peekable();
@@ -71,6 +76,7 @@ impl Args {
                 }
                 "--minimize" => minimize = true,
                 "--incremental" => incremental = true,
+                "--share-clauses" => share_clauses = true,
                 "--grid" => grid = true,
                 "--qasm" => qasm = true,
                 flag if flag.starts_with("--") => {
@@ -91,6 +97,12 @@ impl Args {
         if minimize && qasm {
             return Err("--qasm is not supported with --minimize".into());
         }
+        if share_clauses && !(minimize || command == "minimize") {
+            return Err("--share-clauses only applies to the minimize search".into());
+        }
+        if share_clauses && portfolio.is_none() {
+            return Err("--share-clauses needs --portfolio N workers to share with".into());
+        }
         Ok(Args {
             command,
             input,
@@ -100,6 +112,7 @@ impl Args {
             portfolio,
             minimize,
             incremental,
+            share_clauses,
             grid,
             qasm,
         })
@@ -167,7 +180,43 @@ mod tests {
         .expect("parses");
         assert!(args.minimize);
         assert!(args.incremental);
+        assert!(!args.share_clauses);
         assert_eq!(args.timeout, Some(Duration::from_secs(10)));
+    }
+
+    #[test]
+    fn share_clauses_needs_minimize_and_portfolio() {
+        let args = Args::parse(&strs(&[
+            "pebble",
+            "c17",
+            "--minimize",
+            "--portfolio",
+            "4",
+            "--share-clauses",
+        ]))
+        .expect("parses");
+        assert!(args.share_clauses);
+        // The bare `minimize` command counts as a minimize search too.
+        assert!(Args::parse(&strs(&[
+            "minimize",
+            "c17",
+            "--portfolio",
+            "0",
+            "--share-clauses"
+        ]))
+        .is_ok());
+        // Sharing without a portfolio (or outside minimize) is an error.
+        assert!(Args::parse(&strs(&["pebble", "c17", "--minimize", "--share-clauses"])).is_err());
+        assert!(Args::parse(&strs(&[
+            "pebble",
+            "c17",
+            "--pebbles",
+            "4",
+            "--portfolio",
+            "4",
+            "--share-clauses"
+        ]))
+        .is_err());
     }
 
     #[test]

@@ -19,7 +19,10 @@
 //! fresh solver per probe (the paper's Table I methodology);
 //! `--incremental` reuses **one** assumption-bounded encoding/solver
 //! across every probe, and `--portfolio N` races `N` incremental budget
-//! schedules.
+//! schedules. Adding `--share-clauses` makes the portfolio cooperative:
+//! workers exchange short learnt clauses through a shared pool and pool
+//! certified refutations (unsat-core bound tightening), so each prunes
+//! with everything any rival has proven.
 //!
 //! `<input>` is a `.bench` netlist path, `-` for stdin, or one of the
 //! built-in examples: `paper`, `c17`, `andtree9`, `hop`, `kummer`,
@@ -54,8 +57,9 @@ const USAGE: &str = "usage:
   revpebble bennett  <input> [--grid]
   revpebble pebble   <input> --pebbles P [--mode seq|par] [--portfolio N] [--timeout S]
                              [--grid] [--qasm]
-  revpebble pebble   <input> --minimize [--incremental] [--portfolio N] [--timeout S]
-  revpebble minimize <input> [--timeout S] [--incremental] [--portfolio N]
+  revpebble pebble   <input> --minimize [--incremental] [--portfolio N] [--share-clauses]
+                             [--timeout S]
+  revpebble minimize <input> [--timeout S] [--incremental] [--portfolio N] [--share-clauses]
   revpebble frontier <input> [--timeout S]
   revpebble dot      <input>
 inputs: a .bench file path, '-' (stdin), or a built-in:
@@ -65,7 +69,9 @@ portfolio: race N configurations (schedule x move mode x cardinality
   worker per core)
 minimize: --incremental reuses one assumption-bounded encoding/solver
   across all budget probes; --portfolio N races N incremental budget
-  schedules (binary search vs descending strides)";
+  schedules (binary search vs descending strides); --share-clauses makes
+  the portfolio cooperative (shared learnt-clause pool + unsat-core
+  bound tightening across workers)";
 
 fn run(raw: &[String]) -> Result<(), String> {
     let args = Args::parse(raw)?;
@@ -206,7 +212,11 @@ fn run_minimize(dag: &Dag, args: &Args) -> Result<(), String> {
     };
     let per_query = args.timeout.unwrap_or(Duration::from_secs(10));
     let best = if let Some(workers) = args.portfolio {
-        let outcome = revpebble::core::minimize_portfolio(dag, base, per_query, workers);
+        let outcome = if args.share_clauses {
+            revpebble::core::minimize_portfolio_shared(dag, base, per_query, workers)
+        } else {
+            revpebble::core::minimize_portfolio(dag, base, per_query, workers)
+        };
         for (index, report) in outcome.workers.iter().enumerate() {
             let role = match outcome.winner {
                 Some(winner) if winner == index => "winner",
@@ -214,11 +224,14 @@ fn run_minimize(dag: &Dag, args: &Args) -> Result<(), String> {
                 _ => "finished",
             };
             eprintln!(
-                "  worker {index} [{}]: {role} after {:.1?} ({} probes, {} conflicts)",
+                "  worker {index} [{}]: {role} after {:.1?} ({} probes, {} conflicts, \
+                 imported={} exported={})",
                 revpebble::core::portfolio::describe_minimize_config(&report.config),
                 report.elapsed,
                 report.result.probes.len(),
                 report.result.sat.conflicts,
+                report.result.sat.imported_clauses,
+                report.result.sat.exported_clauses,
             );
         }
         let probes: usize = outcome
@@ -226,9 +239,20 @@ fn run_minimize(dag: &Dag, args: &Args) -> Result<(), String> {
             .iter()
             .map(|worker| worker.result.probes.len())
             .sum();
+        let (imports, exports) = outcome.workers.iter().fold((0u64, 0u64), |(i, e), worker| {
+            (
+                i + worker.result.sat.imported_clauses,
+                e + worker.result.sat.exported_clauses,
+            )
+        });
+        let sharing = &outcome.sharing;
         println!(
-            "minimize: engine=portfolio workers={} probes={probes}",
-            outcome.workers.len()
+            "minimize: engine=portfolio workers={} probes={probes} share-clauses={} \
+             imports={imports} exports={exports} floor={} core-tightenings={}",
+            outcome.workers.len(),
+            if args.share_clauses { "on" } else { "off" },
+            sharing.floor,
+            sharing.step_tightenings + sharing.floor_raises,
         );
         outcome.best
     } else {
@@ -253,10 +277,13 @@ fn run_minimize(dag: &Dag, args: &Args) -> Result<(), String> {
             result.probes.len()
         };
         println!(
-            "minimize: engine={engine} probes={} queries={} conflicts={} solver-instances={instances}",
+            "minimize: engine={engine} probes={} queries={} conflicts={} floor={} \
+             core-tightenings={} solver-instances={instances}",
             result.probes.len(),
             result.search.queries,
             result.sat.conflicts,
+            result.floor,
+            result.step_tightenings + result.floor_raises,
         );
         result.best
     };

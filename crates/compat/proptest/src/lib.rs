@@ -4,8 +4,8 @@
 //! The build environment has no access to crates.io, so this workspace
 //! vendors the subset of the proptest API its property tests use: the
 //! [`proptest!`] macro with `pattern in strategy` bindings and an optional
-//! `#![proptest_config(..)]` attribute, [`Strategy`] with
-//! [`prop_map`](Strategy::prop_map), [`any`](arbitrary::any), range and
+//! `#![proptest_config(..)]` attribute, [`Strategy`](strategy::Strategy) with
+//! [`prop_map`](strategy::Strategy::prop_map), [`any`](arbitrary::any), range and
 //! tuple strategies, [`collection::vec`], and the `prop_assert*` macros.
 //!
 //! Differences from upstream, by design:
@@ -143,7 +143,7 @@ pub mod strategy {
     impl_tuple_strategy!(A, B, C, D, E);
 }
 
-/// The [`any`](arbitrary::any) entry point and the [`Arbitrary`]
+/// The [`any`](arbitrary::any) entry point and the [`Arbitrary`](arbitrary::Arbitrary)
 /// (arbitrary::Arbitrary) trait.
 pub mod arbitrary {
     use super::*;
@@ -244,7 +244,7 @@ pub mod collection {
         }
     }
 
-    /// Strategy returned by [`vec`].
+    /// Strategy returned by [`vec`](vec()).
     #[derive(Debug, Clone)]
     pub struct VecStrategy<S> {
         element: S,

@@ -30,7 +30,7 @@ use std::sync::Arc;
 
 use revpebble_graph::{Dag, NodeId};
 use revpebble_sat::card::{self, CardEncoding, IncrementalTotalizer};
-use revpebble_sat::{Lit, SolveResult, Solver, Var};
+use revpebble_sat::{Lit, SharedClausePool, SolveResult, Solver, Var};
 
 use crate::strategy::{Move, Strategy};
 
@@ -71,7 +71,12 @@ pub enum MoveMode {
 }
 
 /// Options controlling the encoding.
-#[derive(Debug, Clone, Copy, Default)]
+///
+/// Equality matters for clause sharing: two encodings of the same DAG
+/// built with equal options create variables in an identical deterministic
+/// order, which is what makes exchanging learnt clauses between portfolio
+/// workers sound (see [`revpebble_sat::pool`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct EncodingOptions {
     /// Pebble budget `P`; `None` leaves the pebble count unconstrained.
     pub max_pebbles: Option<usize>,
@@ -101,6 +106,10 @@ pub struct PebbleEncoding<'a> {
     /// The budget the counters currently enforce is `options.max_pebbles`
     /// — the single source of truth [`set_bound`](Self::set_bound) writes.
     counters: Vec<Option<IncrementalTotalizer>>,
+    /// The budget assumptions passed to the last [`solve_at`](Self::solve_at)
+    /// call, kept so an UNSAT answer's core can be classified as
+    /// budget-dependent or budget-free.
+    last_budget_assumptions: Vec<Lit>,
 }
 
 impl<'a> PebbleEncoding<'a> {
@@ -113,6 +122,7 @@ impl<'a> PebbleEncoding<'a> {
             vars: Vec::new(),
             weights: dag.node_ids().map(|n| dag.node(n).weight).collect(),
             counters: Vec::new(),
+            last_budget_assumptions: Vec::new(),
         };
         encoding.push_time_point();
         // Initial clauses: nothing is pebbled at time 0.
@@ -147,6 +157,29 @@ impl<'a> PebbleEncoding<'a> {
     /// cancel this encoding's queries.
     pub fn set_stop_flag(&mut self, stop: Option<Arc<AtomicBool>>) {
         self.solver.set_stop_flag(stop);
+    }
+
+    /// Connects the underlying solver to a portfolio clause-sharing pool
+    /// (see [`Solver::attach_clause_pool`]). Sound only between encodings
+    /// of the *same DAG* with *equal* [`EncodingOptions`]: variable
+    /// creation is deterministic, so such encodings agree on the meaning
+    /// of every shared variable no matter how far each has been extended.
+    pub fn attach_clause_pool(&mut self, pool: Arc<SharedClausePool>) {
+        self.solver.attach_clause_pool(pool);
+    }
+
+    /// Whether the last [`solve_at`](Self::solve_at) refutation holds at
+    /// *every* pebble budget: the solver's unsat core is non-empty and
+    /// names no budget assumption. Because a step-`k` instance extends
+    /// conservatively to any `k' > k` and solvability is monotone in the
+    /// step count, such a refutation certifies that **no** strategy with
+    /// ≤ `k` steps exists regardless of the budget.
+    pub fn last_refutation_is_budget_free(&self) -> bool {
+        let core = self.solver.unsat_core();
+        !core.is_empty()
+            && core
+                .iter()
+                .all(|lit| !self.last_budget_assumptions.contains(lit))
     }
 
     fn push_time_point(&mut self) {
@@ -313,6 +346,7 @@ impl<'a> PebbleEncoding<'a> {
                 assumptions = self.bound_assumptions(p);
             }
         }
+        self.last_budget_assumptions = assumptions.clone();
         assumptions.extend(self.final_assumptions(k));
         self.solver.set_conflict_budget(conflict_budget);
         self.solver.set_time_budget(time_budget);

@@ -4,12 +4,21 @@
 //! for time and vice versa" (Section II-A, Fig. 3). This module sweeps the
 //! pebble budget and reports, for every feasible budget, the best step
 //! count found — the full frontier behind figures like Fig. 5.
+//!
+//! By default the sweep rides **one** persistent assumption-bounded
+//! [`PebbleEncoding`](crate::encoding::PebbleEncoding): every budget probe
+//! re-enters the same solver via
+//! [`PebbleSolver::resolve_with_budget`], so learnt clauses, variable
+//! activities, saved phases and the refuted-steps table all carry from
+//! budget to budget — the whole frontier costs one encoding instead of
+//! one per point.
 
 use std::time::Duration;
 
 use revpebble_graph::Dag;
 
 use crate::bounds::pebble_lower_bound;
+use crate::encoding::BoundMode;
 use crate::solver::{PebbleOutcome, PebbleSolver, SolverOptions};
 use crate::strategy::Strategy;
 
@@ -42,6 +51,11 @@ pub struct FrontierOptions {
     /// feasible one (the frontier is monotone, so further probes only
     /// confirm failures).
     pub stop_at_first_failure: bool,
+    /// Drive every budget probe through **one** persistent
+    /// assumption-bounded encoding/solver instance (the default) instead
+    /// of rebuilding per budget. The points are identical; only the work
+    /// to reach them differs.
+    pub incremental: bool,
 }
 
 impl Default for FrontierOptions {
@@ -52,6 +66,7 @@ impl Default for FrontierOptions {
             min_pebbles: None,
             max_pebbles: None,
             stop_at_first_failure: true,
+            incremental: true,
         }
     }
 }
@@ -59,18 +74,33 @@ impl Default for FrontierOptions {
 /// Sweeps pebble budgets downward from `max` to `min`, collecting the best
 /// strategy per budget. Probing downward lets each successful strategy
 /// seed expectations for the next, and the sweep stops early at the first
-/// failure when requested.
+/// failure when requested. See the [module docs](self) for the persistent
+/// incremental engine behind the default configuration.
 pub fn frontier(dag: &Dag, options: FrontierOptions) -> Vec<FrontierPoint> {
     let min = options
         .min_pebbles
         .unwrap_or_else(|| pebble_lower_bound(dag));
     let max = options.max_pebbles.unwrap_or_else(|| dag.num_nodes());
     let mut points = Vec::new();
+    // One persistent instance for the whole sweep: every probe re-enters
+    // it with only the assumed budget changed, and each probe's refuted
+    // step counts seed the next (tighter) budget's deepening start.
+    let mut persistent = options.incremental.then(|| {
+        let mut base = options.base;
+        base.encoding.bound_mode = BoundMode::Assumed;
+        base.timeout = Some(options.per_budget);
+        PebbleSolver::new(dag, base)
+    });
     for pebbles in (min..=max).rev() {
-        let mut probe = options.base;
-        probe.encoding.max_pebbles = Some(pebbles);
-        probe.timeout = Some(options.per_budget);
-        let outcome = PebbleSolver::new(dag, probe).solve();
+        let outcome = match persistent.as_mut() {
+            Some(solver) => solver.resolve_with_budget(pebbles),
+            None => {
+                let mut probe = options.base;
+                probe.encoding.max_pebbles = Some(pebbles);
+                probe.timeout = Some(options.per_budget);
+                PebbleSolver::new(dag, probe).solve()
+            }
+        };
         let (strategy, timed_out) = match outcome {
             PebbleOutcome::Solved(s) => (Some(s), false),
             PebbleOutcome::Timeout { .. } => (None, true),
@@ -155,6 +185,27 @@ mod tests {
         for pair in feasible.windows(2) {
             assert!(pair[0].1 >= pair[1].1);
         }
+    }
+
+    #[test]
+    fn incremental_and_fresh_sweeps_agree_point_for_point() {
+        let dag = paper_example();
+        let options = |incremental| FrontierOptions {
+            base: base(),
+            per_budget: Duration::from_secs(30),
+            incremental,
+            ..FrontierOptions::default()
+        };
+        let persistent = frontier(&dag, options(true));
+        let fresh = frontier(&dag, options(false));
+        let feasible = |points: &[FrontierPoint]| -> Vec<(usize, usize)> {
+            points
+                .iter()
+                .filter_map(|p| p.strategy.as_ref().map(|s| (p.pebbles, s.num_steps())))
+                .collect()
+        };
+        assert_eq!(feasible(&persistent), feasible(&fresh));
+        assert_eq!(persistent.len(), fresh.len());
     }
 
     #[test]

@@ -51,6 +51,7 @@ pub mod exact;
 pub mod frontier;
 pub mod optimize;
 pub mod portfolio;
+pub mod sharing;
 pub mod solver;
 pub mod strategy;
 
@@ -59,15 +60,18 @@ pub use encoding::{BoundMode, EncodingOptions, MoveMode, PebbleEncoding};
 pub use exact::{exact_min_pebbles, solve_exact, ExactOutcome};
 pub use frontier::{frontier, FrontierOptions, FrontierPoint};
 pub use portfolio::{
-    default_minimize_portfolio, default_portfolio, minimize_portfolio, minimize_portfolio_with,
-    solve_with_pebbles_portfolio, MinimizeConfig, MinimizePortfolioOutcome, MinimizeWorkerReport,
-    PortfolioOutcome, PortfolioSolver, WorkerReport,
+    default_minimize_portfolio, default_portfolio, minimize_portfolio, minimize_portfolio_shared,
+    minimize_portfolio_with, minimize_portfolio_with_sharing, solve_with_pebbles_portfolio,
+    MinimizeConfig, MinimizePortfolioOutcome, MinimizeWorkerReport, PortfolioOutcome,
+    PortfolioSolver, ShareOptions, SharingReport, WorkerReport,
 };
+pub use sharing::SharedSearchState;
 pub use solver::{
     minimize, minimize_pebbles, minimize_pebbles_descending, minimize_pebbles_fresh,
-    solve_with_pebbles, BudgetSchedule, MinimizeOptions, MinimizeResult, PebbleOutcome,
-    PebbleSolver, SearchStats, SolverOptions, StepSchedule,
+    minimize_with_context, solve_with_pebbles, BudgetSchedule, MinimizeContext, MinimizeOptions,
+    MinimizeResult, PebbleOutcome, PebbleSolver, SearchStats, SolverOptions, StepSchedule,
 };
 pub use strategy::{InvalidStrategy, Move, Step, Strategy};
 
 pub use revpebble_sat::card::CardEncoding;
+pub use revpebble_sat::pool::{PoolConfig, PoolStats, SharedClausePool};

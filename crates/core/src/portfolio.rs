@@ -42,12 +42,13 @@ use std::time::{Duration, Instant};
 
 use revpebble_graph::Dag;
 use revpebble_sat::card::CardEncoding;
-use revpebble_sat::SolverStats;
+use revpebble_sat::{PoolStats, SharedClausePool, SolverStats};
 
 use crate::encoding::MoveMode;
+use crate::sharing::SharedSearchState;
 use crate::solver::{
-    minimize, BudgetSchedule, MinimizeOptions, MinimizeResult, PebbleOutcome, PebbleSolver,
-    SearchStats, SolverOptions, StepSchedule,
+    minimize_with_context, BudgetSchedule, MinimizeContext, MinimizeOptions, MinimizeResult,
+    PebbleOutcome, PebbleSolver, SearchStats, SolverOptions, StepSchedule,
 };
 use crate::strategy::Strategy;
 
@@ -351,6 +352,67 @@ pub struct MinimizeWorkerReport {
     pub cancelled: bool,
 }
 
+/// What a [`minimize_portfolio_with_sharing`] race shares between its
+/// workers. [`Default`] shares everything; [`ShareOptions::isolated`] is
+/// the PR-2 behaviour (workers only share the stop flag).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShareOptions {
+    /// Exchange short learnt clauses through one [`SharedClausePool`].
+    /// Only wired to workers whose encoding options equal worker 0's —
+    /// clause exchange is sound only between identical encodings.
+    pub clauses: bool,
+    /// Share the certified-refutation blackboard
+    /// ([`SharedSearchState`]): monotonicity-table entries, universal
+    /// (budget-free-core) step refutations and the budget floor. Only
+    /// wired to workers agreeing with worker 0 on the encoding options
+    /// and step cap.
+    pub bounds: bool,
+}
+
+impl Default for ShareOptions {
+    fn default() -> Self {
+        ShareOptions {
+            clauses: true,
+            bounds: true,
+        }
+    }
+}
+
+impl ShareOptions {
+    /// No cooperation beyond first-winner cancellation.
+    pub fn isolated() -> Self {
+        ShareOptions {
+            clauses: false,
+            bounds: false,
+        }
+    }
+}
+
+/// Aggregate view of what a minimize race shared (see
+/// [`MinimizePortfolioOutcome::sharing`]). For an isolated race the
+/// bound fields aggregate the workers' private blackboards instead.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SharingReport {
+    /// The [`ShareOptions`] the race ran with.
+    pub options: ShareOptions,
+    /// Certified budget floor at the end of the race — step-cap-relative
+    /// (see [`crate::sharing`]) and certified with respect to **worker
+    /// 0's configuration**, which for the default (homogeneous)
+    /// portfolios is every worker's. Never exceeds a budget certified by
+    /// a worker of that configuration; a heterogeneous custom portfolio
+    /// racing a different encoding or a larger step cap may certify a
+    /// [`best`](MinimizePortfolioOutcome::best) *below* this floor, since
+    /// the floor says nothing about other caps.
+    pub floor: usize,
+    /// Universal step refutations recorded from budget-free unsat cores.
+    pub step_tightenings: u64,
+    /// Times the budget floor was raised by an exhausted probe.
+    pub floor_raises: u64,
+    /// Total clauses published to / rejected by the shared pool (zeros
+    /// without clause sharing).
+    pub pool: PoolStats,
+}
+
 /// The result of a [`minimize_portfolio`] race.
 #[derive(Debug, Clone)]
 pub struct MinimizePortfolioOutcome {
@@ -363,6 +425,8 @@ pub struct MinimizePortfolioOutcome {
     pub winner: Option<usize>,
     /// One report per worker, in configuration order.
     pub workers: Vec<MinimizeWorkerReport>,
+    /// What the race shared and what the sharing proved.
+    pub sharing: SharingReport,
 }
 
 /// Builds `n` diverse minimize configurations: budget schedules (binary
@@ -414,13 +478,9 @@ fn other_schedule(schedule: StepSchedule) -> StepSchedule {
     }
 }
 
-/// Races `configs` minimize searches on one instance,
-/// first-to-complete-takes-all: each worker drives its own incremental
-/// assumption-bounded encoding through its budget schedule, and the first
-/// worker to finish a *complete* search with a certified budget raises the
-/// shared stop flag. The returned `best` is the smallest budget certified
-/// by anyone — a cancelled rival may have descended further than the
-/// winner.
+/// Races `configs` minimize searches on one instance without any sharing
+/// beyond first-to-complete cancellation — the isolated (PR-2) race kept
+/// as the comparison baseline for [`minimize_portfolio_with_sharing`].
 ///
 /// # Panics
 ///
@@ -430,6 +490,34 @@ pub fn minimize_portfolio_with(
     configs: Vec<MinimizeConfig>,
     per_query: Duration,
 ) -> MinimizePortfolioOutcome {
+    minimize_portfolio_with_sharing(dag, configs, per_query, ShareOptions::isolated())
+}
+
+/// Races `configs` minimize searches on one instance,
+/// first-to-complete-takes-all: each worker drives its own incremental
+/// assumption-bounded encoding through its budget schedule, and the first
+/// worker to finish a *complete* search with a certified budget raises the
+/// shared stop flag. The returned `best` is the smallest budget certified
+/// by anyone — a cancelled rival may have descended further than the
+/// winner.
+///
+/// With [`ShareOptions::clauses`] the workers exchange short learnt
+/// clauses through one [`SharedClausePool`]; with
+/// [`ShareOptions::bounds`] they pool certified refutations and the
+/// budget floor on one [`SharedSearchState`]. Both are only wired to
+/// workers whose encoding options (and, for bounds, step cap) equal
+/// worker 0's — sharing between diverging encodings would be unsound, so
+/// incompatible workers silently race isolated.
+///
+/// # Panics
+///
+/// Panics if `configs` is empty or the DAG is unfit for pebbling.
+pub fn minimize_portfolio_with_sharing(
+    dag: &Dag,
+    configs: Vec<MinimizeConfig>,
+    per_query: Duration,
+    share: ShareOptions,
+) -> MinimizePortfolioOutcome {
     assert!(
         !configs.is_empty(),
         "a minimize portfolio needs at least one configuration"
@@ -438,6 +526,20 @@ pub fn minimize_portfolio_with(
     dag.validate_for_pebbling()
         .expect("every sink must be an output");
     let stop = Arc::new(AtomicBool::new(false));
+    let pool = share.clauses.then(|| Arc::new(SharedClausePool::new()));
+    let shared = share.bounds.then(|| Arc::new(SharedSearchState::new()));
+    let reference = configs[0].base;
+    // Sharing is sound only between identical encodings (and, for the
+    // floor, identical step caps): incompatible workers keep racing, just
+    // without the pooled facts — and their results are excluded from the
+    // certified figures in the sharing report below.
+    let compatible: Vec<bool> = configs
+        .iter()
+        .map(|config| {
+            config.base.encoding == reference.encoding
+                && config.base.max_steps == reference.max_steps
+        })
+        .collect();
     let winner = AtomicUsize::new(NO_WINNER);
     let workers: Vec<MinimizeWorkerReport> = thread::scope(|scope| {
         let handles: Vec<_> = configs
@@ -446,6 +548,12 @@ pub fn minimize_portfolio_with(
             .map(|(index, &config)| {
                 let stop = Arc::clone(&stop);
                 let winner = &winner;
+                let compatible = compatible[index];
+                let ctx = MinimizeContext {
+                    stop: Some(Arc::clone(&stop)),
+                    pool: pool.clone().filter(|_| compatible),
+                    shared: shared.clone().filter(|_| compatible),
+                };
                 scope.spawn(move || {
                     let start = Instant::now();
                     let options = MinimizeOptions {
@@ -454,7 +562,7 @@ pub fn minimize_portfolio_with(
                         schedule: config.schedule,
                         incremental: true,
                     };
-                    let result = minimize(dag, options, Some(Arc::clone(&stop)));
+                    let result = minimize_with_context(dag, options, ctx);
                     let finished = result.best.is_some() && !stop.load(Ordering::Acquire);
                     if finished
                         && winner
@@ -485,15 +593,49 @@ pub fn minimize_portfolio_with(
         .iter()
         .filter_map(|worker| worker.result.best.clone())
         .min_by_key(|&(p, _)| p);
+    // Certified figures only ever aggregate reference-compatible workers:
+    // an incompatible worker's floor is certified relative to a *different*
+    // encoding or step cap, and mixing them could report a "floor" above a
+    // budget some larger-cap worker legitimately certified.
+    let compatible_workers = || {
+        workers
+            .iter()
+            .zip(&compatible)
+            .filter_map(|(w, &ok)| ok.then_some(w))
+    };
+    let sharing = match &shared {
+        Some(state) => SharingReport {
+            options: share,
+            floor: state.floor(),
+            step_tightenings: state.step_tightenings(),
+            floor_raises: state.floor_raises(),
+            pool: pool.as_ref().map(|p| p.stats()).unwrap_or_default(),
+        },
+        // Isolated race: aggregate the compatible workers' private
+        // blackboards so the report stays meaningful for comparisons.
+        None => SharingReport {
+            options: share,
+            floor: compatible_workers()
+                .map(|w| w.result.floor)
+                .max()
+                .unwrap_or_default(),
+            step_tightenings: compatible_workers()
+                .map(|w| w.result.step_tightenings)
+                .sum(),
+            floor_raises: compatible_workers().map(|w| w.result.floor_raises).sum(),
+            pool: pool.as_ref().map(|p| p.stats()).unwrap_or_default(),
+        },
+    };
     MinimizePortfolioOutcome {
         best,
         winner,
         workers,
+        sharing,
     }
 }
 
 /// Races `n` [`default_minimize_portfolio`] configurations (`n == 0` = one
-/// per available core).
+/// per available core) with no sharing — the isolated baseline.
 pub fn minimize_portfolio(
     dag: &Dag,
     base: SolverOptions,
@@ -501,6 +643,24 @@ pub fn minimize_portfolio(
     n: usize,
 ) -> MinimizePortfolioOutcome {
     minimize_portfolio_with(dag, default_minimize_portfolio(base, n), per_query)
+}
+
+/// Races `n` [`default_minimize_portfolio`] configurations (`n == 0` = one
+/// per available core) with full cooperation: one clause pool and one
+/// certified-refutation blackboard across all workers — the engine behind
+/// `pebble --minimize --portfolio N --share-clauses`.
+pub fn minimize_portfolio_shared(
+    dag: &Dag,
+    base: SolverOptions,
+    per_query: Duration,
+    n: usize,
+) -> MinimizePortfolioOutcome {
+    minimize_portfolio_with_sharing(
+        dag,
+        default_minimize_portfolio(base, n),
+        per_query,
+        ShareOptions::default(),
+    )
 }
 
 /// Convenience: race `workers` default-portfolio configurations with the
@@ -685,6 +845,81 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn shared_race_matches_isolated_minimum_on_c17() {
+        let dag = revpebble_graph::parse_bench(revpebble_graph::data::C17_BENCH).expect("parses");
+        let base = SolverOptions {
+            max_steps: 60,
+            ..SolverOptions::default()
+        };
+        let shared = minimize_portfolio_shared(&dag, base, Duration::from_secs(30), 4);
+        let (p, strategy) = shared.best.clone().expect("c17 is feasible");
+        strategy.validate(&dag, Some(p)).expect("valid");
+        // The single-worker incremental engine agrees on the minimum.
+        let single = crate::solver::minimize_pebbles(&dag, base, Duration::from_secs(30));
+        assert_eq!(Some(p), single.best.map(|(p, _)| p));
+        // The cooperative layer was actually on and did something.
+        assert!(shared.sharing.options.clauses && shared.sharing.options.bounds);
+        let exported: u64 = shared
+            .workers
+            .iter()
+            .map(|w| w.result.sat.exported_clauses)
+            .sum();
+        assert!(exported > 0, "c17 probes must learn poolable clauses");
+        assert!(shared.sharing.pool.published > 0);
+        assert!(
+            shared.sharing.floor <= p,
+            "certified floor {} must not exceed the certified minimum {p}",
+            shared.sharing.floor
+        );
+    }
+
+    #[test]
+    fn sequential_pool_handoff_imports_deterministically() {
+        // Two incremental solvers with *equal* encoding options on one
+        // pool, run one after the other: whatever the first learns, the
+        // second must import at the start of its own queries.
+        use crate::encoding::BoundMode;
+        let dag = revpebble_graph::parse_bench(revpebble_graph::data::C17_BENCH).expect("parses");
+        let pool = Arc::new(revpebble_sat::SharedClausePool::new());
+        let options = SolverOptions {
+            encoding: EncodingOptions {
+                bound_mode: BoundMode::Assumed,
+                ..EncodingOptions::default()
+            },
+            max_steps: 60,
+            ..SolverOptions::default()
+        };
+        let mut a = PebbleSolver::new(&dag, options);
+        a.set_clause_pool(Some(Arc::clone(&pool)));
+        assert!(matches!(a.resolve_with_budget(4), PebbleOutcome::Solved(_)));
+        assert!(
+            a.sat_stats().exported_clauses > 0,
+            "the budget-4 search must learn short clauses"
+        );
+        let mut b = PebbleSolver::new(&dag, options);
+        b.set_clause_pool(Some(Arc::clone(&pool)));
+        assert!(matches!(b.resolve_with_budget(4), PebbleOutcome::Solved(_)));
+        assert!(
+            b.sat_stats().imported_clauses > 0,
+            "b must pick up a's pooled clauses"
+        );
+    }
+
+    #[test]
+    fn isolated_race_reports_aggregated_private_floors() {
+        let dag = paper_example();
+        let base = SolverOptions {
+            max_steps: 60,
+            ..SolverOptions::default()
+        };
+        let outcome = minimize_portfolio(&dag, base, Duration::from_secs(20), 2);
+        assert_eq!(outcome.best.as_ref().map(|&(p, _)| p), Some(4));
+        assert_eq!(outcome.sharing.options, ShareOptions::isolated());
+        assert_eq!(outcome.sharing.pool.published, 0, "no pool exists");
+        assert!(outcome.sharing.floor <= 4);
     }
 
     #[test]

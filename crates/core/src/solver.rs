@@ -13,12 +13,13 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use revpebble_graph::Dag;
-use revpebble_sat::{SolveResult, SolverStats};
+use revpebble_sat::{SharedClausePool, SolveResult, SolverStats};
 
 use crate::bounds::{
     parallel_step_lower_bound, pebble_lower_bound, step_lower_bound, weighted_pebble_lower_bound,
 };
 use crate::encoding::{BoundMode, EncodingOptions, MoveMode, PebbleEncoding};
+use crate::sharing::SharedSearchState;
 use crate::strategy::Strategy;
 
 /// How the deepening over `K` is scheduled.
@@ -143,12 +144,17 @@ pub struct PebbleSolver<'a> {
     /// [`solve`]: Self::solve
     /// [`resolve_with_budget`]: Self::resolve_with_budget
     encoding: Option<PebbleEncoding<'a>>,
-    /// `(budget, k)`: the largest `k` refuted under each probed budget
-    /// (`usize::MAX` = unbounded). Solvability is monotone in both axes —
-    /// more steps and more pebbles only help — so a probe at budget
-    /// `p ≤ budget` restarts its deepening *above* `k` instead of
-    /// re-proving known refutations.
-    refuted: Vec<(usize, usize)>,
+    /// Certified refutations and the budget floor. Solvability is monotone
+    /// in both axes — more steps and more pebbles only help — so a probe
+    /// at budget `p` restarts its deepening *above* any `k` refuted under
+    /// an equal-or-looser budget. Privately owned by default; a minimize
+    /// portfolio installs one blackboard on every worker
+    /// ([`set_shared_state`](Self::set_shared_state)) so each prunes with
+    /// everything any rival has proven.
+    shared: Arc<SharedSearchState>,
+    /// Clause-sharing pool, attached to the encoding's solver when the
+    /// encoding is (re)built.
+    pool: Option<Arc<SharedClausePool>>,
 }
 
 impl<'a> PebbleSolver<'a> {
@@ -169,7 +175,8 @@ impl<'a> PebbleSolver<'a> {
             sat_stats: SolverStats::default(),
             stop: None,
             encoding: None,
-            refuted: Vec::new(),
+            shared: Arc::new(SharedSearchState::new()),
+            pool: None,
         }
     }
 
@@ -196,10 +203,44 @@ impl<'a> PebbleSolver<'a> {
         self.stop = stop;
     }
 
+    /// Replaces the solver's private refutation blackboard with a shared
+    /// one, so certified facts flow between portfolio workers. Install
+    /// before the first [`solve`](Self::solve) call. All solvers sharing a
+    /// blackboard must agree on the DAG, the move mode, the weighted flag
+    /// and `max_steps` (the portfolio wiring enforces this).
+    pub fn set_shared_state(&mut self, shared: Arc<SharedSearchState>) {
+        self.shared = shared;
+    }
+
+    /// The refutation blackboard this solver records into.
+    pub fn shared_state(&self) -> &Arc<SharedSearchState> {
+        &self.shared
+    }
+
+    /// Connects this solver's (current and future) encoding to a portfolio
+    /// clause-sharing pool. Sound only between workers encoding the same
+    /// DAG with equal [`EncodingOptions`]
+    /// (see [`PebbleEncoding::attach_clause_pool`]).
+    pub fn set_clause_pool(&mut self, pool: Option<Arc<SharedClausePool>>) {
+        if let (Some(encoding), Some(pool)) = (self.encoding.as_mut(), pool.clone()) {
+            encoding.attach_clause_pool(pool);
+        }
+        self.pool = pool;
+    }
+
     fn stop_requested(&self) -> bool {
         self.stop
             .as_ref()
             .is_some_and(|flag| flag.load(Ordering::Relaxed))
+    }
+
+    /// Whether a rival's certified floor has ruled out this solver's
+    /// current budget mid-search.
+    fn budget_ruled_out(&self) -> bool {
+        self.options
+            .encoding
+            .max_pebbles
+            .is_some_and(|p| p < self.shared.floor())
     }
 
     /// The structural pebble lower bound in the units the options use:
@@ -218,7 +259,10 @@ impl<'a> PebbleSolver<'a> {
     /// incremental: the encoding and solver persist, and later
     /// [`resolve_with_budget`](Self::resolve_with_budget) calls reuse them.
     pub fn solve(&mut self) -> PebbleOutcome {
-        let lower_bound = self.budget_lower_bound();
+        // The structural bound and the certified floor (raised by this
+        // solver's own exhausted probes, or a portfolio rival's) both rule
+        // budgets out before a single query is issued.
+        let lower_bound = self.budget_lower_bound().max(self.shared.floor());
         if let Some(p) = self.options.encoding.max_pebbles {
             if p < lower_bound {
                 return PebbleOutcome::Infeasible { lower_bound };
@@ -234,6 +278,9 @@ impl<'a> PebbleSolver<'a> {
             // Every k' ≤ k is already refuted for this (or a looser)
             // budget on this instance; resume the deepening above it.
             if k >= self.options.max_steps {
+                if let Some(p) = self.options.encoding.max_pebbles {
+                    self.shared.raise_floor(p + 1);
+                }
                 return PebbleOutcome::StepLimit {
                     steps_checked: self.options.max_steps,
                 };
@@ -250,6 +297,9 @@ impl<'a> PebbleSolver<'a> {
             None => {
                 let mut encoding = PebbleEncoding::new(self.dag, self.options.encoding);
                 encoding.set_stop_flag(self.stop.clone());
+                if let Some(pool) = self.pool.clone() {
+                    encoding.attach_clause_pool(pool);
+                }
                 encoding
             }
         };
@@ -259,6 +309,21 @@ impl<'a> PebbleSolver<'a> {
         };
         if self.options.encoding.bound_mode == BoundMode::Assumed {
             self.encoding = Some(encoding);
+        }
+        // A probe that refuted the entire step range certifies a budget
+        // floor: no strategy with ≤ max_steps steps fits this budget, so
+        // the minimize schedules (of every worker sharing this state) skip
+        // everything below it.
+        if let (PebbleOutcome::StepLimit { .. }, Some(p)) =
+            (&outcome, self.options.encoding.max_pebbles)
+        {
+            if self
+                .shared
+                .known_refuted_k(p)
+                .is_some_and(|k| k >= self.options.max_steps)
+            {
+                self.shared.raise_floor(p + 1);
+            }
         }
         outcome
     }
@@ -314,28 +379,29 @@ impl<'a> PebbleSolver<'a> {
         self.sat_stats = encoding.solver().stats();
         self.stats.conflicts = self.sat_stats.conflicts;
         if result == SolveResult::Unsat {
-            self.record_refuted(k);
+            let p = self.options.encoding.max_pebbles.unwrap_or(usize::MAX);
+            self.shared.record_refuted(p, k);
+            // When the budget is assumption-activated and the unsat core
+            // names no budget assumption, the refutation holds at *every*
+            // budget: record it universally so no worker at any budget
+            // re-proves `k' ≤ k` again. (In `Baked` mode the budget lives
+            // in clauses, so core inspection proves nothing.)
+            if self.options.encoding.bound_mode == BoundMode::Assumed
+                && self.options.encoding.max_pebbles.is_some()
+                && encoding.last_refutation_is_budget_free()
+            {
+                self.shared.record_universal_refuted(k);
+            }
         }
         result
     }
 
     /// Largest `k` already refuted for the current budget, combining
-    /// refutations recorded under equal or larger budgets.
+    /// refutations recorded under equal or larger budgets (possibly by
+    /// portfolio rivals, via the shared blackboard).
     fn known_refuted_k(&self) -> Option<usize> {
         let p = self.options.encoding.max_pebbles.unwrap_or(usize::MAX);
-        self.refuted
-            .iter()
-            .filter(|&&(q, _)| q >= p)
-            .map(|&(_, k)| k)
-            .max()
-    }
-
-    fn record_refuted(&mut self, k: usize) {
-        let p = self.options.encoding.max_pebbles.unwrap_or(usize::MAX);
-        match self.refuted.iter_mut().find(|(q, _)| *q == p) {
-            Some((_, max_k)) => *max_k = (*max_k).max(k),
-            None => self.refuted.push((p, k)),
-        }
+        self.shared.known_refuted_k(p)
     }
 
     fn solve_linear(
@@ -353,6 +419,12 @@ impl<'a> PebbleSolver<'a> {
             }
             if self.stop_requested() {
                 return PebbleOutcome::Timeout { steps_reached: k };
+            }
+            if self.budget_ruled_out() {
+                // A rival certified our whole budget away mid-probe.
+                return PebbleOutcome::Infeasible {
+                    lower_bound: self.shared.floor(),
+                };
             }
             let Ok(budget) = self.query_budget(start, self.options.query_timeout) else {
                 return PebbleOutcome::Timeout { steps_reached: k };
@@ -387,6 +459,11 @@ impl<'a> PebbleSolver<'a> {
             }
             if self.stop_requested() {
                 return PebbleOutcome::Timeout { steps_reached: k };
+            }
+            if self.budget_ruled_out() {
+                return PebbleOutcome::Infeasible {
+                    lower_bound: self.shared.floor(),
+                };
             }
             let Ok(budget) = self.query_budget(start, per_query) else {
                 return PebbleOutcome::Timeout { steps_reached: k };
@@ -531,6 +608,19 @@ pub struct MinimizeResult {
     /// incremental run is auditable here: `sat.solves == search.queries`
     /// proves one solver answered every query of every probe.
     pub sat: SolverStats,
+    /// The certified budget lower bound at the end of the search: the
+    /// structural bound, raised by every probe that UNSAT-refuted its
+    /// whole step range. Certified *relative to the step cap*
+    /// (`base.max_steps`) — see [`crate::sharing`]. When
+    /// [`best`](Self::best) is `Some((p, _))`, `floor ≤ p` always holds,
+    /// and `floor == p` means the minimum is certified optimal (within
+    /// the cap), not merely the smallest budget that happened to solve.
+    pub floor: usize,
+    /// Universal step refutations derived from budget-free unsat cores
+    /// during this search (shared runs report the blackboard's total).
+    pub step_tightenings: u64,
+    /// Times the budget floor was raised by an exhausted probe.
+    pub floor_raises: u64,
 }
 
 /// Per-probe engine: either one persistent assumption-bounded instance or
@@ -559,27 +649,47 @@ fn sum_stats(a: SolverStats, b: SolverStats) -> SolverStats {
         restarts: a.restarts + b.restarts,
         deleted_clauses: a.deleted_clauses + b.deleted_clauses,
         solves: a.solves + b.solves,
+        exported_clauses: a.exported_clauses + b.exported_clauses,
+        imported_clauses: a.imported_clauses + b.imported_clauses,
     }
 }
 
 impl<'a> Prober<'a> {
-    fn new(dag: &'a Dag, options: &MinimizeOptions, stop: Option<Arc<AtomicBool>>) -> Self {
+    fn new(dag: &'a Dag, options: &MinimizeOptions, ctx: &MinimizeContext) -> Self {
         let mut base = options.base;
         base.timeout = Some(options.per_query);
         if options.incremental {
             base.encoding.bound_mode = BoundMode::Assumed;
             let mut solver = PebbleSolver::new(dag, base);
-            solver.set_stop_flag(stop);
+            solver.set_stop_flag(ctx.stop.clone());
+            if let Some(shared) = ctx.shared.clone() {
+                solver.set_shared_state(shared);
+            }
+            solver.set_clause_pool(ctx.pool.clone());
             Prober::Incremental(Box::new(solver))
         } else {
+            // The fresh engine is the paper-faithful baseline: every probe
+            // is isolated, so neither the blackboard nor the clause pool
+            // is wired in.
             Prober::Fresh(Box::new(FreshProber {
                 dag,
                 base,
-                stop,
+                stop: ctx.stop.clone(),
                 search: SearchStats::default(),
                 sat: SolverStats::default(),
                 last: SolverStats::default(),
             }))
+        }
+    }
+
+    /// The refutation blackboard driving probe pruning: the incremental
+    /// solver's (possibly portfolio-shared) state, or a detached default
+    /// for the fresh baseline (whose floor stays at the primed structural
+    /// bound).
+    fn shared_state(&self) -> Arc<SharedSearchState> {
+        match self {
+            Prober::Incremental(solver) => Arc::clone(solver.shared_state()),
+            Prober::Fresh(_) => Arc::new(SharedSearchState::new()),
         }
     }
 
@@ -621,6 +731,7 @@ impl<'a> Prober<'a> {
 /// Shared bookkeeping of one minimization run.
 struct MinimizeRun<'a> {
     prober: Prober<'a>,
+    shared: Arc<SharedSearchState>,
     best: Option<(usize, Strategy)>,
     probes: Vec<(usize, bool)>,
     probe_stats: Vec<SolverStats>,
@@ -646,6 +757,13 @@ impl MinimizeRun<'_> {
         self.probes.iter().any(|&(budget, _)| budget == p)
     }
 
+    /// The certified budget floor, re-read before every schedule step so
+    /// raises by this worker's own probes *and* by portfolio rivals prune
+    /// the remaining budgets.
+    fn floor(&self) -> usize {
+        self.shared.floor()
+    }
+
     fn stopped(&self) -> bool {
         self.stop
             .as_ref()
@@ -660,8 +778,31 @@ impl MinimizeRun<'_> {
             probe_stats: self.probe_stats,
             search,
             sat,
+            floor: self.shared.floor(),
+            step_tightenings: self.shared.step_tightenings(),
+            floor_raises: self.shared.floor_raises(),
         }
     }
+}
+
+/// Cross-cutting hooks of one [`minimize_with_context`] run: the
+/// portfolio's cancellation flag, clause-sharing pool and refutation
+/// blackboard. [`Default`] is a fully isolated run.
+#[derive(Debug, Clone, Default)]
+pub struct MinimizeContext {
+    /// Cooperative cancellation (the portfolio's first-winner broadcast):
+    /// once raised, no further probes start and the current one unwinds
+    /// promptly.
+    pub stop: Option<Arc<AtomicBool>>,
+    /// Clause-sharing pool wired into the incremental engine's solver
+    /// (ignored by the fresh baseline). All workers on one pool must use
+    /// equal [`EncodingOptions`].
+    pub pool: Option<Arc<SharedClausePool>>,
+    /// Refutation blackboard shared with rival workers (ignored by the
+    /// fresh baseline); a private one is created when absent. All workers
+    /// on one blackboard must agree on move mode, weighted flag and
+    /// `max_steps`.
+    pub shared: Option<Arc<SharedSearchState>>,
 }
 
 /// Finds the smallest pebble budget `P` for which a strategy can be found
@@ -673,11 +814,32 @@ impl MinimizeRun<'_> {
 ///
 /// `stop` is a cooperative cancellation flag (the portfolio's
 /// first-winner broadcast): once raised, no further probes start and the
-/// current one unwinds promptly.
+/// current one unwinds promptly. For clause sharing and a cross-worker
+/// refutation blackboard, use [`minimize_with_context`].
 pub fn minimize(
     dag: &Dag,
     options: MinimizeOptions,
     stop: Option<Arc<AtomicBool>>,
+) -> MinimizeResult {
+    minimize_with_context(
+        dag,
+        options,
+        MinimizeContext {
+            stop,
+            ..MinimizeContext::default()
+        },
+    )
+}
+
+/// [`minimize`] with explicit sharing hooks — the engine under every
+/// worker of [`minimize_portfolio`](crate::portfolio::minimize_portfolio).
+/// Budgets below the blackboard's certified floor are skipped without a
+/// query, whether the floor was raised by this worker's own exhausted
+/// probes or by a rival's.
+pub fn minimize_with_context(
+    dag: &Dag,
+    options: MinimizeOptions,
+    ctx: MinimizeContext,
 ) -> MinimizeResult {
     let weighted = options.base.encoding.weighted;
     let lower = if weighted {
@@ -690,17 +852,27 @@ pub fn minimize(
     } else {
         dag.num_nodes()
     };
+    let prober = Prober::new(dag, &options, &ctx);
+    let shared = prober.shared_state();
+    shared.prime_floor(lower);
     let mut run = MinimizeRun {
-        prober: Prober::new(dag, &options, stop.clone()),
+        prober,
+        shared,
         best: None,
         probes: Vec::new(),
         probe_stats: Vec::new(),
-        stop,
+        stop: ctx.stop,
     };
     match options.schedule {
         BudgetSchedule::Binary => {
             let (mut low, mut high) = (lower, top);
             while low <= high && !run.stopped() {
+                // Budgets below the certified floor cannot work; jump the
+                // window past them instead of probing.
+                low = low.max(run.floor());
+                if low > high {
+                    break;
+                }
                 let mid = low + (high - low) / 2;
                 if run.probe(mid) {
                     if mid == 0 {
@@ -716,13 +888,13 @@ pub fn minimize(
             let stride = stride.max(1);
             // Coarse descent.
             let mut p = top.saturating_sub(stride).max(lower);
-            let mut floor = lower;
+            let mut failed_at = None;
             loop {
-                if run.stopped() {
+                if run.stopped() || p < run.floor() {
                     break;
                 }
                 if !run.probe(p) {
-                    floor = p + 1;
+                    failed_at = Some(p);
                     break;
                 }
                 if p == lower {
@@ -737,9 +909,11 @@ pub fn minimize(
             if run.best.is_none() && !run.probed(top) && !run.stopped() {
                 run.probe(top);
             }
-            // Fine refinement below the last success.
+            // Fine refinement below the last success, stopping at the
+            // certified floor and above any budget that already failed.
             if let Some(mut current) = run.best.as_ref().map(|&(p, _)| p) {
-                while current > floor && !run.stopped() {
+                let failed_floor = failed_at.map_or(0, |p| p + 1);
+                while current > run.floor().max(failed_floor) && !run.stopped() {
                     let next = current - 1;
                     if !run.probe(next) {
                         break;
@@ -974,10 +1148,12 @@ mod tests {
         assert!(solver.stats().queries > queries_after_six);
         assert!(solver.sat_stats().conflicts >= conflicts_after_six);
         assert_eq!(solver.sat_stats().solves, solver.stats().queries as u64);
-        // Budgets below the structural bound short-circuit without a query.
+        // Budgets below the certified floor short-circuit without a query.
+        // The budget-3 probe refuted every k ≤ max_steps, so the floor is
+        // the *certified* 4 — stronger than the structural bound of 3.
         assert!(matches!(
             solver.resolve_with_budget(2),
-            PebbleOutcome::Infeasible { lower_bound: 3 }
+            PebbleOutcome::Infeasible { lower_bound: 4 }
         ));
     }
 
@@ -1064,6 +1240,113 @@ mod tests {
         // The descending schedule searches the same weighted range.
         let descending = minimize_pebbles_descending(&dag, base, Duration::from_secs(30), 1);
         assert_eq!(descending.best.as_ref().map(|&(p, _)| p), Some(5));
+    }
+
+    #[test]
+    fn budget_free_cores_prune_every_budget_via_the_shared_table() {
+        use crate::sharing::SharedSearchState;
+        let dag = paper_example();
+        let shared = Arc::new(SharedSearchState::new());
+        // Solver A probes the full budget (6 = every node): its counters
+        // can never exceed 6, so no budget assumptions exist and every
+        // UNSAT core is budget-free. Starting the deepening at 5 forces
+        // refutations of k = 5..9 — certified at *every* budget.
+        let mut a = PebbleSolver::new(
+            &dag,
+            SolverOptions {
+                encoding: EncodingOptions {
+                    move_mode: MoveMode::Sequential,
+                    bound_mode: BoundMode::Assumed,
+                    ..EncodingOptions::default()
+                },
+                initial_steps: Some(5),
+                max_steps: 40,
+                ..SolverOptions::default()
+            },
+        );
+        a.set_shared_state(Arc::clone(&shared));
+        let strategy = a.resolve_with_budget(6).into_strategy().expect("solved");
+        strategy.validate(&dag, Some(6)).expect("valid");
+        assert!(
+            shared.step_tightenings() > 0,
+            "k = 5..9 refutations must land as universal entries"
+        );
+        assert_eq!(shared.known_refuted_k(1), Some(9));
+
+        // Solver B at the tight budget 4 starts its deepening at 10: the
+        // universal entries spare it every k < 10 probe.
+        let mut b = PebbleSolver::new(
+            &dag,
+            SolverOptions {
+                encoding: EncodingOptions {
+                    move_mode: MoveMode::Sequential,
+                    bound_mode: BoundMode::Assumed,
+                    ..EncodingOptions::default()
+                },
+                initial_steps: Some(5),
+                max_steps: 40,
+                ..SolverOptions::default()
+            },
+        );
+        b.set_shared_state(Arc::clone(&shared));
+        let strategy = b.resolve_with_budget(4).into_strategy().expect("solved");
+        strategy.validate(&dag, Some(4)).expect("valid");
+        assert_eq!(
+            b.stats().queries,
+            3,
+            "k = 10, 11 refuted, 12 solved — nothing below 10 re-probed"
+        );
+    }
+
+    #[test]
+    fn rival_floor_raise_rules_a_budget_out_without_queries() {
+        use crate::sharing::SharedSearchState;
+        let dag = paper_example();
+        let shared = Arc::new(SharedSearchState::new());
+        shared.raise_floor(5);
+        let mut solver = PebbleSolver::new(
+            &dag,
+            SolverOptions {
+                encoding: EncodingOptions {
+                    move_mode: MoveMode::Sequential,
+                    bound_mode: BoundMode::Assumed,
+                    ..EncodingOptions::default()
+                },
+                ..SolverOptions::default()
+            },
+        );
+        solver.set_shared_state(shared);
+        assert!(matches!(
+            solver.resolve_with_budget(4),
+            PebbleOutcome::Infeasible { lower_bound: 5 }
+        ));
+        assert_eq!(solver.stats().queries, 0);
+    }
+
+    #[test]
+    fn minimize_certifies_the_floor_at_the_optimum() {
+        // With a step cap comfortably above every optimum, the budget-3
+        // probe ends in StepLimit and raises the certified floor to 4 —
+        // exactly the minimum found. The core-derived lower bound can
+        // never exceed the certified best.
+        let dag = paper_example();
+        let base = SolverOptions {
+            encoding: EncodingOptions {
+                move_mode: MoveMode::Sequential,
+                ..EncodingOptions::default()
+            },
+            max_steps: 60,
+            ..SolverOptions::default()
+        };
+        let result = minimize_pebbles(&dag, base, Duration::from_secs(30));
+        let (best, _) = result.best.clone().expect("feasible");
+        assert_eq!(best, 4);
+        assert_eq!(result.floor, 4, "floor certifies the optimum");
+        assert!(result.floor_raises >= 1);
+        assert!(
+            result.floor <= best,
+            "a certified bound never exceeds the minimum"
+        );
     }
 
     #[test]

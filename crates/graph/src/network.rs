@@ -1,12 +1,12 @@
 //! A small structurally-hashed logic network (XMG-style).
 //!
 //! The paper obtains its ISCAS DAGs from *XOR-majority graphs* built by
-//! mockturtle [21]. This module provides the same modelling layer: a
+//! mockturtle \[21\]. This module provides the same modelling layer: a
 //! network over AND/XOR/MAJ nodes with complemented edges, structural
 //! hashing (identical gates are created once) and constant folding.
 //! Networks convert to pebbling [`Dag`]s — complemented edges are free
 //! (inverters are absorbed into successor gates), exactly like the XMG
-//! flow of [22].
+//! flow of \[22\].
 
 use std::collections::HashMap;
 use std::fmt;

@@ -62,8 +62,33 @@
 //! let strategy = result.outcome.into_strategy().expect("solvable");
 //! strategy.validate(&dag, Some(4)).expect("still within 4 pebbles");
 //! ```
+//!
+//! ## Cooperative minimize races
+//!
+//! [`minimize_portfolio_shared`](core::minimize_portfolio_shared) goes a
+//! step further: its workers don't just race, they *cooperate*. Every
+//! worker exports its short learnt clauses into a
+//! [`SharedClausePool`](sat::SharedClausePool) and imports rivals'
+//! clauses at restart boundaries, and certified refutations — including
+//! budget-independent ones derived from unsat cores — land on one
+//! [`SharedSearchState`](core::SharedSearchState) blackboard, so each
+//! worker prunes with everything any rival has proven:
+//!
+//! ```
+//! use std::time::Duration;
+//! use revpebble::prelude::*;
+//!
+//! let dag = revpebble::graph::generators::paper_example();
+//! let base = SolverOptions { max_steps: 60, ..SolverOptions::default() };
+//! let race = minimize_portfolio_shared(&dag, base, Duration::from_secs(30), 2);
+//! let (p, strategy) = race.best.expect("feasible");
+//! assert_eq!(p, 4);
+//! strategy.validate(&dag, Some(4)).expect("valid");
+//! // The exhausted budget-3 probe certifies the floor: 4 is optimal.
+//! assert!(race.sharing.floor <= p);
+//! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub use revpebble_circuit as circuit;
 pub use revpebble_core as core;
@@ -75,10 +100,11 @@ pub mod prelude {
     pub use crate::circuit::{compile, verify, Circuit, CompiledCircuit, VerifyOutcome};
     pub use crate::core::baselines::{bennett, cone_wise};
     pub use crate::core::{
-        minimize_pebbles, minimize_pebbles_fresh, minimize_portfolio, solve_with_pebbles,
-        solve_with_pebbles_portfolio, BudgetSchedule, CardEncoding, EncodingOptions,
-        MinimizeResult, Move, MoveMode, PebbleOutcome, PebbleSolver, PortfolioOutcome,
-        PortfolioSolver, SolverOptions, Strategy,
+        minimize_pebbles, minimize_pebbles_fresh, minimize_portfolio, minimize_portfolio_shared,
+        solve_with_pebbles, solve_with_pebbles_portfolio, BudgetSchedule, CardEncoding,
+        EncodingOptions, MinimizeResult, Move, MoveMode, PebbleOutcome, PebbleSolver,
+        PortfolioOutcome, PortfolioSolver, ShareOptions, SharedClausePool, SharedSearchState,
+        SolverOptions, Strategy,
     };
     pub use crate::graph::{parse_bench, Dag, NodeId, Op, Slp, Source};
 }

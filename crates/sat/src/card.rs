@@ -4,13 +4,13 @@
 //! "at most `P` pebbles" (Section III-B, cardinality clauses). This module
 //! provides several standard encodings so the trade-off can be benchmarked:
 //!
-//! - [`pairwise`]: binomial encoding, no auxiliary variables, `O(n²)`
+//! - `pairwise`: binomial encoding, no auxiliary variables, `O(n²)`
 //!   clauses — only sensible for small `n` or `k = 1`.
-//! - [`sequential_counter`]: Sinz's LTseq encoding, `O(n·k)` auxiliary
+//! - `sequential_counter`: Sinz's LTseq encoding, `O(n·k)` auxiliary
 //!   variables and clauses; unit propagation maintains arc consistency.
-//! - [`totalizer`]: Bailleux–Boutilier unary totalizer truncated at
+//! - `totalizer`: Bailleux–Boufkhad unary totalizer truncated at
 //!   `k + 1`; good when the same literals participate in several bounds.
-//! - [`commander`]: commander encoding for at-most-one.
+//! - `commander`: commander encoding for at-most-one.
 //!
 //! For searches that probe *many* bounds over the same literals (the
 //! Table I pebble-minimization loop), [`IncrementalTotalizer`] keeps the
@@ -66,7 +66,7 @@ pub enum CardEncoding {
     /// Sinz sequential counter (`O(n·k)`); the default.
     #[default]
     SequentialCounter,
-    /// Bailleux–Boutilier totalizer truncated at `k + 1`.
+    /// Bailleux–Boufkhad totalizer truncated at `k + 1`.
     Totalizer,
 }
 

@@ -15,8 +15,10 @@
 //! - [`card`]: pairwise, sequential-counter and totalizer encodings of
 //!   `Σ xᵢ ≤ k`, the building block of the paper's "at most `P` pebbles
 //!   per step" constraint.
+//! - [`pool`]: a bounded, sharded [`SharedClausePool`] through which
+//!   cooperative portfolio workers exchange short learnt clauses.
 //! - [`dimacs`]: DIMACS CNF parsing and printing.
-//! - [`reference`]: an exponential DPLL oracle used to cross-validate the
+//! - [`reference`](mod@reference): an exponential DPLL oracle used to cross-validate the
 //!   CDCL solver in tests.
 //!
 //! ## Example
@@ -42,11 +44,13 @@ pub mod card;
 pub mod clause;
 pub mod dimacs;
 mod heap;
+pub mod pool;
 pub mod reference;
 pub mod solver;
 pub mod tseitin;
 pub mod types;
 
 pub use dimacs::{parse_dimacs, Cnf, ParseDimacsError};
+pub use pool::{PoolConfig, PoolStats, SharedClausePool};
 pub use solver::{SolveResult, Solver, SolverConfig, SolverStats};
 pub use types::{LBool, Lit, Var};

@@ -1,0 +1,294 @@
+//! A shared pool of learnt clauses for cooperative portfolio solving.
+//!
+//! Portfolio workers that race *the same formula* rediscover each other's
+//! conflicts: every worker pays for every refutation from scratch. A
+//! [`SharedClausePool`] lets solvers exchange short, low-LBD learnt
+//! clauses instead — each worker *publishes* the clauses it learns (capped
+//! by [`PoolConfig::max_len`]/[`PoolConfig::max_lbd`]) and *imports* its
+//! rivals' clauses at restart boundaries, where the trail is at decision
+//! level 0 and attaching new clauses is safe.
+//!
+//! The pool is sharded: clauses hash to one of [`PoolConfig::num_shards`]
+//! independently locked buckets, so publishing from one worker rarely
+//! contends with importing in another. Buckets are append-only up to
+//! [`PoolConfig::shard_capacity`]; once a bucket is full, further
+//! publishes to it are counted as rejected and dropped — the pool bounds
+//! memory instead of growing with the race.
+//!
+//! # Soundness contract
+//!
+//! The pool copies literals verbatim; it has no notion of what a variable
+//! *means*. Callers must only connect solvers whose variable numbering
+//! agrees on every exchanged variable — e.g. portfolio workers built from
+//! the *same deterministic encoding* of one instance, where worker A's
+//! variable `17` and worker B's variable `17` denote the same proposition
+//! and both clause databases entail the same constraints over the shared
+//! prefix. Learnt clauses are logical consequences of the clause database
+//! alone (assumptions are decisions, never axioms), so any clause learnt
+//! by one such worker is sound for every other. `revpebble-core` enforces
+//! this by only wiring the pool to minimize-portfolio workers with
+//! identical encoding options, and [`crate::Solver::set_share_limit`]
+//! additionally restricts the exchange to a variable prefix.
+//!
+//! # Example
+//!
+//! ```
+//! use std::sync::Arc;
+//! use revpebble_sat::pool::SharedClausePool;
+//! use revpebble_sat::{Solver, SolveResult};
+//!
+//! let pool = Arc::new(SharedClausePool::new());
+//! let mut a = Solver::new();
+//! let mut b = Solver::new();
+//! a.attach_clause_pool(Arc::clone(&pool));
+//! b.attach_clause_pool(Arc::clone(&pool));
+//! // Both solvers encode the same formula with identical numbering …
+//! for solver in [&mut a, &mut b] {
+//!     let x = solver.new_var().positive();
+//!     let y = solver.new_var().positive();
+//!     solver.add_clause([x, y]);
+//!     solver.add_clause([!x, y]);
+//! }
+//! // … so clauses learnt by `a` are sound for `b` and vice versa.
+//! assert_eq!(a.solve(), SolveResult::Sat);
+//! assert_eq!(b.solve(), SolveResult::Sat);
+//! ```
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use crate::types::Lit;
+
+/// Limits on what a [`SharedClausePool`] accepts and stores.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PoolConfig {
+    /// Longest clause (in literals) the pool accepts. Long clauses prune
+    /// little and cost every importer propagation weight.
+    pub max_len: usize,
+    /// Largest literal-block distance the pool accepts. Low-LBD ("glue")
+    /// clauses are the ones empirically worth shipping between solvers.
+    pub max_lbd: u32,
+    /// Clauses per shard before further publishes are rejected.
+    pub shard_capacity: usize,
+    /// Number of independently locked shards.
+    pub num_shards: usize,
+}
+
+impl Default for PoolConfig {
+    fn default() -> Self {
+        PoolConfig {
+            max_len: 8,
+            max_lbd: 6,
+            shard_capacity: 4096,
+            num_shards: 16,
+        }
+    }
+}
+
+/// One pooled clause: the literals plus the publisher and its LBD.
+#[derive(Debug, Clone)]
+struct PoolClause {
+    /// [`SharedClausePool::register`] id of the publishing solver, so
+    /// importers skip their own clauses.
+    source: usize,
+    lbd: u32,
+    lits: Box<[Lit]>,
+}
+
+/// Cumulative pool counters (see [`SharedClausePool::stats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Clauses accepted into the pool.
+    pub published: u64,
+    /// Clauses rejected because their shard was full.
+    pub rejected: u64,
+    /// Solvers registered with the pool.
+    pub workers: usize,
+}
+
+/// A bounded, sharded exchange of learnt clauses between portfolio
+/// workers. See the [module documentation](self) for the soundness
+/// contract.
+#[derive(Debug)]
+pub struct SharedClausePool {
+    config: PoolConfig,
+    shards: Vec<Mutex<Vec<PoolClause>>>,
+    workers: AtomicUsize,
+    published: AtomicU64,
+    rejected: AtomicU64,
+}
+
+impl Default for SharedClausePool {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SharedClausePool {
+    /// Creates a pool with [`PoolConfig::default`] limits.
+    pub fn new() -> Self {
+        Self::with_config(PoolConfig::default())
+    }
+
+    /// Creates a pool with explicit limits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_shards` is zero.
+    pub fn with_config(config: PoolConfig) -> Self {
+        assert!(config.num_shards > 0, "a pool needs at least one shard");
+        SharedClausePool {
+            shards: (0..config.num_shards)
+                .map(|_| Mutex::new(Vec::new()))
+                .collect(),
+            config,
+            workers: AtomicUsize::new(0),
+            published: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+        }
+    }
+
+    /// The pool's limits.
+    pub fn config(&self) -> PoolConfig {
+        self.config
+    }
+
+    /// Registers a solver with the pool and returns its id. The id keys
+    /// self-import suppression: [`collect_new`](Self::collect_new) never
+    /// hands a solver its own clauses back.
+    pub fn register(&self) -> usize {
+        self.workers.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Whether a clause of this shape passes the pool's caps.
+    pub fn admits(&self, len: usize, lbd: u32) -> bool {
+        len > 0 && len <= self.config.max_len && lbd <= self.config.max_lbd
+    }
+
+    /// Publishes a clause. Returns `false` when the clause fails
+    /// [`admits`](Self::admits) or its shard is full.
+    pub fn publish(&self, source: usize, lits: &[Lit], lbd: u32) -> bool {
+        if !self.admits(lits.len(), lbd) {
+            return false;
+        }
+        let shard = &self.shards[self.shard_of(lits)];
+        let mut bucket = shard.lock().expect("pool shard poisoned");
+        if bucket.len() >= self.config.shard_capacity {
+            self.rejected.fetch_add(1, Ordering::Relaxed);
+            return false;
+        }
+        bucket.push(PoolClause {
+            source,
+            lbd,
+            lits: lits.into(),
+        });
+        self.published.fetch_add(1, Ordering::Relaxed);
+        true
+    }
+
+    /// Appends every clause published since the caller's last visit to
+    /// `sink` (skipping the caller's own), advancing the caller's
+    /// per-shard `cursors` (resized to the shard count on first use).
+    pub fn collect_new(
+        &self,
+        source: usize,
+        cursors: &mut Vec<usize>,
+        sink: &mut Vec<(Vec<Lit>, u32)>,
+    ) {
+        cursors.resize(self.shards.len(), 0);
+        for (shard, cursor) in self.shards.iter().zip(cursors.iter_mut()) {
+            let bucket = shard.lock().expect("pool shard poisoned");
+            for clause in &bucket[(*cursor).min(bucket.len())..] {
+                if clause.source != source {
+                    sink.push((clause.lits.to_vec(), clause.lbd));
+                }
+            }
+            *cursor = bucket.len();
+        }
+    }
+
+    /// Cumulative counters.
+    pub fn stats(&self) -> PoolStats {
+        PoolStats {
+            published: self.published.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+            workers: self.workers.load(Ordering::Relaxed),
+        }
+    }
+
+    fn shard_of(&self, lits: &[Lit]) -> usize {
+        // First-literal hashing keeps all duplicates of a clause in one
+        // shard; the multiplier spreads consecutive codes across shards.
+        (lits[0].code().wrapping_mul(0x9E37_79B9)) % self.shards.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::Var;
+
+    fn lits(codes: &[i32]) -> Vec<Lit> {
+        codes
+            .iter()
+            .map(|&d| Lit::new(Var::from_index((d.unsigned_abs() - 1) as usize), d > 0))
+            .collect()
+    }
+
+    #[test]
+    fn publish_and_collect_roundtrip() {
+        let pool = SharedClausePool::new();
+        let a = pool.register();
+        let b = pool.register();
+        assert!(pool.publish(a, &lits(&[1, -2]), 2));
+        assert!(pool.publish(b, &lits(&[2, 3]), 2));
+        let mut cursors = Vec::new();
+        let mut got = Vec::new();
+        pool.collect_new(a, &mut cursors, &mut got);
+        // `a` sees only `b`'s clause.
+        assert_eq!(got, vec![(lits(&[2, 3]), 2)]);
+        // A second visit with the same cursors yields nothing new.
+        got.clear();
+        pool.collect_new(a, &mut cursors, &mut got);
+        assert!(got.is_empty());
+    }
+
+    #[test]
+    fn caps_are_enforced() {
+        let pool = SharedClausePool::with_config(PoolConfig {
+            max_len: 2,
+            max_lbd: 3,
+            ..PoolConfig::default()
+        });
+        let w = pool.register();
+        assert!(!pool.publish(w, &lits(&[1, 2, 3]), 2), "too long");
+        assert!(!pool.publish(w, &lits(&[1, 2]), 4), "LBD too high");
+        assert!(!pool.publish(w, &[], 1), "empty");
+        assert!(pool.publish(w, &lits(&[1, 2]), 3));
+        assert_eq!(pool.stats().published, 1);
+    }
+
+    #[test]
+    fn full_shards_reject_and_count() {
+        let pool = SharedClausePool::with_config(PoolConfig {
+            shard_capacity: 1,
+            num_shards: 1,
+            ..PoolConfig::default()
+        });
+        let w = pool.register();
+        assert!(pool.publish(w, &lits(&[1, 2]), 2));
+        assert!(!pool.publish(w, &lits(&[3, 4]), 2));
+        let stats = pool.stats();
+        assert_eq!(stats.published, 1);
+        assert_eq!(stats.rejected, 1);
+    }
+
+    #[test]
+    fn registration_ids_are_distinct() {
+        let pool = SharedClausePool::new();
+        let ids: Vec<usize> = (0..4).map(|_| pool.register()).collect();
+        let unique: std::collections::BTreeSet<usize> = ids.iter().copied().collect();
+        assert_eq!(unique.len(), 4);
+        assert_eq!(pool.stats().workers, 4);
+    }
+}

@@ -31,6 +31,7 @@ use std::time::{Duration, Instant};
 
 use crate::clause::{ClauseDb, ClauseRef};
 use crate::heap::VarHeap;
+use crate::pool::SharedClausePool;
 use crate::types::{LBool, Lit, Var};
 
 /// Outcome of a [`Solver::solve`] call.
@@ -63,6 +64,12 @@ pub struct SolverStats {
     /// reuse one incremental instance across `n` queries can be audited:
     /// its final stats show `solves == n`.
     pub solves: u64,
+    /// Learnt clauses published to the attached [`SharedClausePool`].
+    pub exported_clauses: u64,
+    /// Rivals' clauses installed from the attached [`SharedClausePool`]
+    /// (counting only clauses actually added, not ones already satisfied
+    /// at level 0).
+    pub imported_clauses: u64,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -138,6 +145,23 @@ pub struct Solver {
     /// Failed assumptions of the last Unsat result (an unsat core over the
     /// assumption set), when the conflict involved assumptions.
     conflict_core: Vec<Lit>,
+    /// Clause-sharing endpoint, when the solver runs in a cooperative
+    /// portfolio (see [`Solver::attach_clause_pool`]).
+    shared_pool: Option<PoolEndpoint>,
+    /// Only clauses whose variables all lie below this index are exchanged
+    /// through the pool — the portfolio's common variable prefix.
+    share_limit: usize,
+}
+
+/// This solver's view of a [`SharedClausePool`]: its registration id,
+/// per-shard read cursors, and clauses seen but not yet installable
+/// (they mention variables this solver has not created yet).
+#[derive(Debug)]
+struct PoolEndpoint {
+    pool: Arc<SharedClausePool>,
+    source: usize,
+    cursors: Vec<usize>,
+    deferred: Vec<(Vec<Lit>, u32)>,
 }
 
 impl Default for Solver {
@@ -179,6 +203,8 @@ impl Solver {
             deadline: None,
             stop: None,
             conflict_core: Vec::new(),
+            shared_pool: None,
+            share_limit: usize::MAX,
         }
     }
 
@@ -249,6 +275,112 @@ impl Solver {
         self.stop
             .as_ref()
             .is_some_and(|flag| flag.load(Ordering::Relaxed))
+    }
+
+    /// Connects this solver to a clause-sharing pool: learnt clauses that
+    /// pass the pool's length/LBD caps (and the
+    /// [`share limit`](Self::set_share_limit)) are published, and rivals'
+    /// clauses are installed at every restart boundary and at the start of
+    /// every [`solve`](Self::solve) call.
+    ///
+    /// Soundness is the *caller's* obligation: every solver attached to
+    /// one pool must agree on the meaning of every exchanged variable (see
+    /// the [pool module docs](crate::pool)).
+    pub fn attach_clause_pool(&mut self, pool: Arc<SharedClausePool>) {
+        let source = pool.register();
+        self.shared_pool = Some(PoolEndpoint {
+            pool,
+            source,
+            cursors: Vec::new(),
+            deferred: Vec::new(),
+        });
+    }
+
+    /// Disconnects the pool, returning it if one was attached.
+    pub fn detach_clause_pool(&mut self) -> Option<Arc<SharedClausePool>> {
+        self.shared_pool.take().map(|endpoint| endpoint.pool)
+    }
+
+    /// Restricts clause sharing to variables below `limit` — the common
+    /// variable prefix of the portfolio. `None` removes the restriction
+    /// (every variable of this solver is considered shared).
+    pub fn set_share_limit(&mut self, limit: Option<usize>) {
+        self.share_limit = limit.unwrap_or(usize::MAX);
+    }
+
+    /// Publishes a freshly learnt clause to the pool, if it passes the
+    /// caps and lies within the shared variable prefix.
+    fn export_learnt(&mut self, lits: &[Lit], lbd: u32) {
+        let Some(endpoint) = &self.shared_pool else {
+            return;
+        };
+        if !endpoint.pool.admits(lits.len(), lbd) {
+            return;
+        }
+        if lits.iter().any(|l| l.var().index() >= self.share_limit) {
+            return;
+        }
+        if endpoint.pool.publish(endpoint.source, lits, lbd) {
+            self.stats.exported_clauses += 1;
+        }
+    }
+
+    /// Installs rivals' pooled clauses. Must run at decision level 0 (the
+    /// solver imports at restart boundaries and between queries). Clauses
+    /// over variables this solver has not created yet — a rival's encoding
+    /// may have grown further — are deferred and retried on later imports.
+    fn import_shared_clauses(&mut self) {
+        debug_assert_eq!(self.decision_level(), 0);
+        let Some(mut endpoint) = self.shared_pool.take() else {
+            return;
+        };
+        let mut pending = std::mem::take(&mut endpoint.deferred);
+        endpoint
+            .pool
+            .collect_new(endpoint.source, &mut endpoint.cursors, &mut pending);
+        let limit = self.share_limit.min(self.num_vars());
+        for (lits, lbd) in pending {
+            if !self.ok {
+                break; // level-0 unsat: nothing left to strengthen
+            }
+            if lits.iter().any(|l| l.var().index() >= limit) {
+                endpoint.deferred.push((lits, lbd));
+                continue;
+            }
+            self.install_imported(lits, lbd);
+        }
+        self.shared_pool = Some(endpoint);
+    }
+
+    /// Adds one imported clause, simplified against the level-0 trail.
+    /// Imported clauses are allocated as *learnt*, so database reduction
+    /// can drop them again if they never participate in conflicts.
+    fn install_imported(&mut self, lits: Vec<Lit>, lbd: u32) {
+        let mut remaining = Vec::with_capacity(lits.len());
+        for &lit in &lits {
+            match self.value(lit) {
+                // Only level-0 assignments exist here.
+                LBool::True => return,
+                LBool::False => continue,
+                LBool::Undef => remaining.push(lit),
+            }
+        }
+        self.stats.imported_clauses += 1;
+        match remaining.len() {
+            0 => self.ok = false,
+            1 => {
+                self.unchecked_enqueue(remaining[0], None);
+                if self.propagate().is_some() {
+                    self.ok = false;
+                }
+            }
+            _ => {
+                let cref = self.clauses.alloc(remaining, true);
+                self.clauses.get_mut(cref).set_lbd(lbd);
+                self.bump_clause(cref);
+                self.attach(cref);
+            }
+        }
     }
 
     /// Current truth value of `lit` in the solver's partial assignment.
@@ -685,6 +817,12 @@ impl Solver {
         if !self.ok {
             return SolveResult::Unsat;
         }
+        // Pick up rivals' clauses learnt since the last query (cheap no-op
+        // without a pool). May conclude level-0 unsatisfiability.
+        self.import_shared_clauses();
+        if !self.ok {
+            return SolveResult::Unsat;
+        }
         self.model.clear();
         self.max_learnts =
             (self.clauses.num_original() as f64 * self.config.learntsize_factor).max(1000.0);
@@ -702,6 +840,12 @@ impl Solver {
                     }
                     restarts += 1;
                     self.stats.restarts += 1;
+                    // Restart boundary: the trail is back at level 0, the
+                    // cheapest moment to install rivals' clauses.
+                    self.import_shared_clauses();
+                    if !self.ok {
+                        break SolveResult::Unsat;
+                    }
                 }
             }
         };
@@ -741,9 +885,11 @@ impl Solver {
                 let (learnt, bt_level) = self.analyze(conflict);
                 self.cancel_until(bt_level);
                 if learnt.len() == 1 {
+                    self.export_learnt(&learnt, 1);
                     self.unchecked_enqueue(learnt[0], None);
                 } else {
                     let lbd = self.lbd(&learnt);
+                    self.export_learnt(&learnt, lbd);
                     let first = learnt[0];
                     let cref = self.clauses.alloc(learnt, true);
                     self.clauses.get_mut(cref).set_lbd(lbd);
@@ -1126,6 +1272,71 @@ mod tests {
         assert_eq!(s.solve(), SolveResult::Unknown);
         s.set_stop_flag(None);
         assert_eq!(s.solve(), SolveResult::Sat);
+    }
+
+    #[test]
+    fn pooled_clauses_flow_between_identical_solvers() {
+        use crate::pool::SharedClausePool;
+        // Two solvers over the *same* formula with identical numbering:
+        // whatever `a` learns is sound for `b`. Run `a` first, then `b`
+        // imports `a`'s clauses at the start of its own solve call.
+        let pool = Arc::new(SharedClausePool::new());
+        let mut a = pigeonhole(6);
+        let mut b = pigeonhole(6);
+        a.attach_clause_pool(Arc::clone(&pool));
+        b.attach_clause_pool(Arc::clone(&pool));
+        assert_eq!(a.solve(), SolveResult::Unsat);
+        assert!(
+            a.stats().exported_clauses > 0,
+            "PHP(7,6) must learn at least one short clause"
+        );
+        assert_eq!(b.solve(), SolveResult::Unsat);
+        assert!(
+            b.stats().imported_clauses > 0,
+            "b must install a's pooled clauses"
+        );
+        assert_eq!(pool.stats().workers, 2);
+        assert!(pool.stats().published >= a.stats().exported_clauses);
+    }
+
+    #[test]
+    fn share_limit_blocks_out_of_prefix_clauses() {
+        use crate::pool::SharedClausePool;
+        let pool = Arc::new(SharedClausePool::new());
+        let mut a = pigeonhole(6);
+        a.attach_clause_pool(Arc::clone(&pool));
+        a.set_share_limit(Some(0)); // nothing is shared
+        assert_eq!(a.solve(), SolveResult::Unsat);
+        assert_eq!(a.stats().exported_clauses, 0);
+        assert_eq!(pool.stats().published, 0);
+    }
+
+    #[test]
+    fn imports_beyond_own_variables_are_deferred_until_the_vars_exist() {
+        use crate::pool::SharedClausePool;
+        let pool = Arc::new(SharedClausePool::new());
+        let publisher = pool.register();
+        // A clause over variables 0 and 5 arrives before the importer has
+        // created variable 5: it must wait, not crash or be dropped.
+        let mut s = Solver::new();
+        s.attach_clause_pool(Arc::clone(&pool));
+        let v0 = s.new_var();
+        pool.publish(
+            publisher,
+            &[v0.positive(), Lit::new(Var::from_index(5), true)],
+            2,
+        );
+        assert_eq!(s.solve(), SolveResult::Sat);
+        assert_eq!(s.stats().imported_clauses, 0, "deferred, not installed");
+        s.new_vars(5);
+        s.add_clause([v0.negative()]);
+        assert_eq!(s.solve(), SolveResult::Sat);
+        assert_eq!(s.stats().imported_clauses, 1, "installed once v5 exists");
+        // The imported clause is active: with v0 false it forces v5.
+        assert_eq!(
+            s.model_value(Lit::new(Var::from_index(5), true)),
+            Some(true)
+        );
     }
 
     #[test]
