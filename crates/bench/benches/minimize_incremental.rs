@@ -11,16 +11,24 @@
 //! incremental engine reports strictly fewer total conflicts than the
 //! fresh-per-probe baseline; the single-instance claim itself is audited
 //! via `sat.solves == search.queries`.
+//!
+//! Every audited run also lands in the machine-readable `BENCH_sat.json`
+//! (wall-clock + propagations + conflicts + arena GCs for `paper`, `c17`
+//! and the timeout-bound Table I row `b3_m4`), giving later PRs a
+//! committed perf trajectory. The `b3_m4` audit additionally asserts that
+//! the clause arena was garbage-collected at least once — the workload CI
+//! uses to prove the mark-compact path runs in production-shaped searches.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use revpebble::core::{
-    minimize_pebbles, minimize_pebbles_fresh, EncodingOptions, MoveMode, SolverOptions,
-    StepSchedule,
+    minimize, minimize_pebbles, minimize_pebbles_fresh, BudgetSchedule, EncodingOptions,
+    MinimizeOptions, MinimizeResult, MoveMode, SolverOptions, StepSchedule,
 };
 use revpebble::graph::generators::paper_example;
-use revpebble::graph::parse_bench;
+use revpebble::graph::{parse_bench, Dag};
+use revpebble_bench::{record_bench_json, table1_dag, BenchRecord, TABLE1};
 use std::hint::black_box;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 fn base(schedule: StepSchedule, max_steps: usize) -> SolverOptions {
     SolverOptions {
@@ -34,7 +42,29 @@ fn base(schedule: StepSchedule, max_steps: usize) -> SolverOptions {
     }
 }
 
+/// One timed minimize run, recorded for `BENCH_sat.json`.
+fn audit(
+    name: &str,
+    engine: &str,
+    dag: &Dag,
+    options: MinimizeOptions,
+) -> (MinimizeResult, BenchRecord) {
+    let start = Instant::now();
+    let result = minimize(dag, options, None);
+    let wall_s = start.elapsed().as_secs_f64();
+    let record = BenchRecord {
+        bench: "minimize_incremental",
+        id: format!("{engine}/{name}"),
+        wall_s,
+        propagations: result.sat.propagations,
+        conflicts: result.sat.conflicts,
+        arena_gcs: result.sat.arena_gcs,
+    };
+    (result, record)
+}
+
 fn bench_minimize_incremental(c: &mut Criterion) {
+    let mut records = Vec::new();
     let mut group = c.benchmark_group("minimize_incremental");
     group.sample_size(10);
     let paper = paper_example();
@@ -48,8 +78,19 @@ fn bench_minimize_incremental(c: &mut Criterion) {
         ("c17", &c17, base(StepSchedule::ExponentialRefine, 30)),
     ];
     for (name, dag, options) in workloads {
-        let fresh = minimize_pebbles_fresh(dag, options, per_query);
-        let incremental = minimize_pebbles(dag, options, per_query);
+        let fresh_options = MinimizeOptions {
+            incremental: false,
+            ..MinimizeOptions::new(options, per_query)
+        };
+        let (fresh, fresh_record) = audit(name, "fresh", dag, fresh_options);
+        let (incremental, incremental_record) = audit(
+            name,
+            "incremental",
+            dag,
+            MinimizeOptions::new(options, per_query),
+        );
+        records.push(fresh_record);
+        records.push(incremental_record);
         assert_eq!(
             fresh.best.as_ref().map(|&(p, _)| p),
             incremental.best.as_ref().map(|&(p, _)| p),
@@ -76,6 +117,71 @@ fn bench_minimize_incremental(c: &mut Criterion) {
         });
     }
     group.finish();
+
+    // The timeout-bound Table I row `b3_m4`, in the `table1` harness
+    // configuration (parallel moves, exponential deepening, descending
+    // budget schedule, 2 s per probe). Timed once per engine — seconds,
+    // not criterion loops. Timeout-bound quantities (which budget each
+    // engine certifies) are machine-dependent, so they are *reported*,
+    // not hard-asserted; only machine-robust invariants gate CI.
+    let row = TABLE1.iter().find(|r| r.name == "b3_m4").expect("present");
+    let dag = table1_dag(row);
+    let n = dag.num_nodes();
+    let b3_options = SolverOptions {
+        encoding: EncodingOptions {
+            move_mode: MoveMode::Parallel,
+            ..EncodingOptions::default()
+        },
+        schedule: StepSchedule::ExponentialRefine,
+        max_steps: 16 * n,
+        step_stride: (n / 16).max(1),
+        sat: revpebble::sat::SolverConfig {
+            // A tighter learnt cap than the default third: reductions —
+            // and with them arena GCs, the invariant CI asserts below —
+            // then fire after a few thousand learnt clauses, which even a
+            // much slower machine accumulates inside the 2 s probes.
+            learntsize_factor: 0.05,
+            ..revpebble::sat::SolverConfig::default()
+        },
+        ..SolverOptions::default()
+    };
+    let minimize_options = |incremental| MinimizeOptions {
+        schedule: BudgetSchedule::Descending {
+            stride: (n / 12).max(1),
+        },
+        incremental,
+        ..MinimizeOptions::new(b3_options, Duration::from_secs(2))
+    };
+    let (fresh, fresh_record) = audit("b3_m4", "fresh", &dag, minimize_options(false));
+    let (incremental, incremental_record) =
+        audit("b3_m4", "incremental", &dag, minimize_options(true));
+    let fresh_p = fresh.best.as_ref().map(|&(p, _)| p);
+    let incremental_p = incremental.best.as_ref().map(|&(p, _)| p);
+    println!(
+        "b3_m4: certified budget fresh={fresh_p:?} incremental={incremental_p:?} | \
+         wall fresh={:.2}s incremental={:.2}s | incremental arena GCs={}",
+        fresh_record.wall_s, incremental_record.wall_s, incremental.sat.arena_gcs,
+    );
+    // The descending schedule's fallback certifies the trivially feasible
+    // full budget even when every timed probe fails, so *some* budget is
+    // certified on any machine.
+    let fresh_p = fresh_p.expect("b3_m4 certifies under fresh probes");
+    let incremental_p = incremental_p.expect("b3_m4 certifies under incremental probes");
+    if incremental_p > fresh_p {
+        // Expected on every measured box (warm probes certify tighter
+        // budgets — the PR-2 result); timeout-bound, so only a warning.
+        println!(
+            "b3_m4: WARNING warm probes certified {incremental_p} vs fresh {fresh_p} \
+             (timing-dependent; not failing the bench)"
+        );
+    }
+    assert!(
+        incremental.sat.arena_gcs >= 1,
+        "the b3_m4 search must reduce its clause DB and GC the arena at least once"
+    );
+    records.push(fresh_record);
+    records.push(incremental_record);
+    record_bench_json("minimize_incremental", &records);
 }
 
 criterion_group!(benches, bench_minimize_incremental);

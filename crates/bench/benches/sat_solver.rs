@@ -1,9 +1,14 @@
 //! Benches of the CDCL substrate itself: structured UNSAT (pigeonhole)
-//! and random 3-SAT near the phase transition.
+//! and random 3-SAT near the phase transition. One timed run per
+//! workload is also recorded in the machine-readable `BENCH_sat.json`
+//! (wall-clock + propagations + conflicts + arena GCs) so the solver's
+//! perf trajectory is committed alongside the code.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use revpebble::sat::{Lit, SolveResult, Solver, Var};
+use revpebble_bench::{record_bench_json, BenchRecord};
 use std::hint::black_box;
+use std::time::Instant;
 
 fn pigeonhole(holes: usize) -> Solver {
     let mut solver = Solver::new();
@@ -102,10 +107,49 @@ fn bench_incremental_assumptions(c: &mut Criterion) {
     group.finish();
 }
 
+/// One timed run per core workload, recorded in `BENCH_sat.json`.
+fn record_baseline(_c: &mut Criterion) {
+    let mut records = Vec::new();
+    let mut measure = |id: String, mut solver: Solver, expected: Option<SolveResult>| {
+        let start = Instant::now();
+        let result = solver.solve();
+        let wall_s = start.elapsed().as_secs_f64();
+        if let Some(expected) = expected {
+            assert_eq!(result, expected, "{id}");
+        }
+        let stats = solver.stats();
+        records.push(BenchRecord {
+            bench: "sat_solver",
+            id,
+            wall_s,
+            propagations: stats.propagations,
+            conflicts: stats.conflicts,
+            arena_gcs: stats.arena_gcs,
+        });
+    };
+    for holes in [7usize, 8] {
+        measure(
+            format!("pigeonhole/{holes}"),
+            pigeonhole(holes),
+            Some(SolveResult::Unsat),
+        );
+    }
+    for n in [60usize, 100] {
+        let m = (n as f64 * 4.2) as usize;
+        measure(
+            format!("random_3sat/{n}"),
+            random_3sat(n, m, 0xDEAD_BEEF ^ n as u64),
+            None,
+        );
+    }
+    record_bench_json("sat_solver", &records);
+}
+
 criterion_group!(
     benches,
     bench_pigeonhole,
     bench_random_3sat,
-    bench_incremental_assumptions
+    bench_incremental_assumptions,
+    record_baseline
 );
 criterion_main!(benches);

@@ -10,7 +10,7 @@
 //! Usage:
 //!   cargo run --release -p revpebble-bench --bin table1 -- \
 //!       [--timeout SECS] [--max-nodes N] [--rows name1,name2] [--stride S]
-//!       [--incremental]
+//!       [--incremental] [--portfolio N]
 //!
 //! Defaults keep the run laptop-sized: `--timeout 5 --max-nodes 260`.
 //! The paper's full setting is `--timeout 120 --max-nodes 100000`.
@@ -20,12 +20,18 @@
 //! `--incremental` opts into the assumption-bounded single-instance
 //! engine instead (usually certifies smaller budgets in the same
 //! per-probe timeout — but that is *our* methodology, not the paper's).
+//! `--portfolio N` goes further and routes every row through the
+//! cooperative minimize engine: `N` incremental workers (0 = one per
+//! core) racing budget schedules on one clause pool and one certified-
+//! refutation blackboard, each worker reusing a single arena-backed
+//! solver across all of its probes.
 
 use std::time::{Duration, Instant};
 
 use revpebble::core::baselines::bennett;
 use revpebble::core::{
-    minimize, BudgetSchedule, EncodingOptions, MinimizeOptions, MoveMode, SolverOptions,
+    minimize, minimize_portfolio_shared, BudgetSchedule, EncodingOptions, MinimizeOptions,
+    MoveMode, SolverOptions,
 };
 use revpebble_bench::{arg_num, arg_value, table1_dag, TABLE1};
 
@@ -35,16 +41,21 @@ fn main() {
     let max_nodes: usize = arg_num(&args, "--max-nodes", 260);
     let stride_override: usize = arg_num(&args, "--stride", 0);
     let incremental = args.iter().any(|a| a == "--incremental");
+    let portfolio: Option<usize> = args
+        .iter()
+        .any(|a| a == "--portfolio")
+        .then(|| arg_num(&args, "--portfolio", 0));
     let row_filter: Option<Vec<String>> =
         arg_value(&args, "--rows").map(|v| v.split(',').map(str::to_string).collect());
 
     println!(
         "# Table I reproduction (per-query timeout {timeout:?}, rows with <= {max_nodes} nodes, \
          {} probes)",
-        if incremental {
-            "incremental"
-        } else {
-            "fresh-per-probe"
+        match portfolio {
+            Some(0) => "cooperative-portfolio (one worker per core)".to_string(),
+            Some(n) => format!("cooperative-portfolio ({n} workers)"),
+            None if incremental => "incremental".to_string(),
+            None => "fresh-per-probe".to_string(),
         }
     );
     println!(
@@ -100,16 +111,27 @@ fn main() {
             ..SolverOptions::default()
         };
         let start = Instant::now();
-        let options = MinimizeOptions {
-            schedule: BudgetSchedule::Descending {
-                stride: (n / 12).max(1),
-            },
-            incremental,
-            ..MinimizeOptions::new(base, timeout)
+        let best = match portfolio {
+            Some(workers) => {
+                // Cooperative engine: incremental workers race budget
+                // schedules on one shared clause pool + refutation
+                // blackboard; each reuses one arena-backed solver for
+                // every probe of its schedule.
+                minimize_portfolio_shared(&dag, base, timeout, workers).best
+            }
+            None => {
+                let options = MinimizeOptions {
+                    schedule: BudgetSchedule::Descending {
+                        stride: (n / 12).max(1),
+                    },
+                    incremental,
+                    ..MinimizeOptions::new(base, timeout)
+                };
+                minimize(&dag, options, None).best
+            }
         };
-        let result = minimize(&dag, options, None);
         let elapsed = start.elapsed().as_secs_f64();
-        match result.best {
+        match best {
             Some((p, strategy)) => {
                 let k = strategy.num_moves();
                 let reduction = 100.0 * (bennett_p - p) as f64 / bennett_p as f64;

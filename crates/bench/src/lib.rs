@@ -87,6 +87,100 @@ pub fn table1_dag(row: &Table1Row) -> Dag {
     }
 }
 
+/// One measured benchmark entry destined for [`BENCH_sat.json`]
+/// (see [`write_bench_json`]): wall-clock plus the SAT-solver counters
+/// that make a perf trajectory auditable across PRs.
+///
+/// [`BENCH_sat.json`]: bench_json_path
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchRecord {
+    /// The emitting bench target, e.g. `"minimize_incremental"`. Entries
+    /// are replaced per bench: re-running one bench leaves the others'
+    /// entries in the file untouched.
+    pub bench: &'static str,
+    /// Workload id within the bench, e.g. `"incremental/c17"`.
+    pub id: String,
+    /// Wall-clock seconds of one measured run.
+    pub wall_s: f64,
+    /// SAT propagations performed during the run.
+    pub propagations: u64,
+    /// SAT conflicts encountered during the run.
+    pub conflicts: u64,
+    /// Clause-arena garbage collections during the run.
+    pub arena_gcs: u64,
+}
+
+impl BenchRecord {
+    /// The entry as one JSON object on a single line. `bench` and `id`
+    /// are code-controlled identifiers (no quotes/escapes needed).
+    fn to_json_line(&self) -> String {
+        format!(
+            "{{\"bench\":\"{}\",\"id\":\"{}\",\"wall_s\":{:.6},\"propagations\":{},\
+             \"conflicts\":{},\"arena_gcs\":{}}}",
+            self.bench, self.id, self.wall_s, self.propagations, self.conflicts, self.arena_gcs
+        )
+    }
+}
+
+/// Where `BENCH_sat.json` lives: `$BENCH_SAT_JSON` when set, otherwise
+/// the workspace root (so `cargo bench` from anywhere updates the
+/// committed baseline).
+pub fn bench_json_path() -> std::path::PathBuf {
+    std::env::var_os("BENCH_SAT_JSON")
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|| {
+            std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_sat.json")
+        })
+}
+
+/// Writes `records` into the machine-readable `BENCH_sat.json` at `path`,
+/// replacing any previous entries of the same `bench` and keeping every
+/// other bench's entries. The file is line-oriented JSON — one entry
+/// object per line inside a single `entries` array — so it can be both
+/// `jq`-parsed and grepped.
+pub fn write_bench_json(
+    path: &std::path::Path,
+    bench: &str,
+    records: &[BenchRecord],
+) -> std::io::Result<()> {
+    let mut kept: Vec<String> = Vec::new();
+    if let Ok(existing) = std::fs::read_to_string(path) {
+        let marker = format!("{{\"bench\":\"{bench}\"");
+        for line in existing.lines() {
+            let line = line.trim().trim_end_matches(',');
+            if line.starts_with("{\"bench\":") && !line.starts_with(marker.as_str()) {
+                kept.push(line.to_string());
+            }
+        }
+    }
+    kept.extend(records.iter().map(BenchRecord::to_json_line));
+    let mut out = String::from("{ \"schema\": 1, \"entries\": [\n");
+    for (index, line) in kept.iter().enumerate() {
+        out.push_str(line);
+        if index + 1 < kept.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push_str("] }\n");
+    std::fs::write(path, out)
+}
+
+/// [`write_bench_json`] at [`bench_json_path`], reporting (but not
+/// failing on) IO errors — a read-only checkout must not break `cargo
+/// bench`.
+pub fn record_bench_json(bench: &'static str, records: &[BenchRecord]) {
+    let path = bench_json_path();
+    match write_bench_json(&path, bench, records) {
+        Ok(()) => println!(
+            "BENCH_sat.json: recorded {} {bench} entries at {}",
+            records.len(),
+            path.display()
+        ),
+        Err(err) => eprintln!("BENCH_sat.json: could not write {}: {err}", path.display()),
+    }
+}
+
 /// Parses `--flag value` style arguments; returns the value for `flag`.
 pub fn arg_value(args: &[String], flag: &str) -> Option<String> {
     args.iter()
@@ -120,6 +214,46 @@ mod tests {
         let dag = table1_dag(row);
         assert_eq!(dag.num_inputs(), 5);
         assert_eq!(dag.num_outputs(), 2);
+    }
+
+    #[test]
+    fn bench_json_merges_per_bench() {
+        let path = std::env::temp_dir().join(format!(
+            "revpebble_bench_json_test_{}_{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let record = |bench, id: &str, conflicts| BenchRecord {
+            bench,
+            id: id.to_string(),
+            wall_s: 0.5,
+            propagations: 100,
+            conflicts,
+            arena_gcs: 1,
+        };
+        write_bench_json(&path, "alpha", &[record("alpha", "a/1", 1)]).expect("write");
+        write_bench_json(
+            &path,
+            "beta",
+            &[record("beta", "b/1", 2), record("beta", "b/2", 3)],
+        )
+        .expect("write");
+        // Re-recording `alpha` replaces its entry but keeps `beta`'s.
+        write_bench_json(&path, "alpha", &[record("alpha", "a/2", 9)]).expect("write");
+        let contents = std::fs::read_to_string(&path).expect("read");
+        std::fs::remove_file(&path).ok();
+        assert!(contents.starts_with("{ \"schema\": 1, \"entries\": ["));
+        assert!(!contents.contains("\"id\":\"a/1\""), "{contents}");
+        assert!(contents.contains("\"id\":\"a/2\""));
+        assert!(contents.contains("\"id\":\"b/1\""));
+        assert!(contents.contains("\"id\":\"b/2\""));
+        assert_eq!(contents.matches("{\"bench\":").count(), 3);
+        // Exactly one entry lacks the separating comma (the last).
+        let entry_lines: Vec<&str> = contents
+            .lines()
+            .filter(|l| l.starts_with("{\"bench\":"))
+            .collect();
+        assert_eq!(entry_lines.iter().filter(|l| !l.ends_with(',')).count(), 1);
     }
 
     #[test]

@@ -30,7 +30,7 @@ use std::sync::Arc;
 
 use revpebble_graph::{Dag, NodeId};
 use revpebble_sat::card::{self, CardEncoding, IncrementalTotalizer};
-use revpebble_sat::{Lit, SharedClausePool, SolveResult, Solver, Var};
+use revpebble_sat::{Lit, SharedClausePool, SolveResult, Solver, SolverConfig, Var};
 
 use crate::strategy::{Move, Strategy};
 
@@ -115,10 +115,22 @@ pub struct PebbleEncoding<'a> {
 impl<'a> PebbleEncoding<'a> {
     /// Creates the encoding with the initial time point 0 (all unpebbled).
     pub fn new(dag: &'a Dag, options: EncodingOptions) -> Self {
+        Self::with_solver_config(dag, options, SolverConfig::default())
+    }
+
+    /// [`new`](Self::new) with an explicit CDCL [`SolverConfig`] for the
+    /// underlying solver (e.g. a low
+    /// [`min_learnts`](SolverConfig::min_learnts) to force frequent
+    /// clause-database reductions and arena garbage collections in tests).
+    pub fn with_solver_config(
+        dag: &'a Dag,
+        options: EncodingOptions,
+        config: SolverConfig,
+    ) -> Self {
         let mut encoding = PebbleEncoding {
             dag,
             options,
-            solver: Solver::new(),
+            solver: Solver::with_config(config),
             vars: Vec::new(),
             weights: dag.node_ids().map(|n| dag.node(n).weight).collect(),
             counters: Vec::new(),

@@ -13,7 +13,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use revpebble_graph::Dag;
-use revpebble_sat::{SharedClausePool, SolveResult, SolverStats};
+use revpebble_sat::{SharedClausePool, SolveResult, SolverConfig, SolverStats};
 
 use crate::bounds::{
     parallel_step_lower_bound, pebble_lower_bound, step_lower_bound, weighted_pebble_lower_bound,
@@ -60,6 +60,11 @@ pub struct SolverOptions {
     pub query_conflicts: Option<u64>,
     /// Initial `K`; defaults to the appropriate lower bound when `None`.
     pub initial_steps: Option<usize>,
+    /// Configuration of the underlying CDCL solver. The default is right
+    /// for production; tests lower
+    /// [`min_learnts`](SolverConfig::min_learnts) to force frequent
+    /// clause-database reductions and arena garbage collections.
+    pub sat: SolverConfig,
 }
 
 impl Default for SolverOptions {
@@ -73,6 +78,7 @@ impl Default for SolverOptions {
             query_timeout: None,
             query_conflicts: None,
             initial_steps: None,
+            sat: SolverConfig::default(),
         }
     }
 }
@@ -295,7 +301,11 @@ impl<'a> PebbleSolver<'a> {
                 encoding
             }
             None => {
-                let mut encoding = PebbleEncoding::new(self.dag, self.options.encoding);
+                let mut encoding = PebbleEncoding::with_solver_config(
+                    self.dag,
+                    self.options.encoding,
+                    self.options.sat,
+                );
                 encoding.set_stop_flag(self.stop.clone());
                 if let Some(pool) = self.pool.clone() {
                     encoding.attach_clause_pool(pool);
@@ -592,9 +602,15 @@ impl MinimizeOptions {
 #[derive(Debug, Clone)]
 pub struct MinimizeResult {
     /// The smallest pebble budget for which a strategy was found, with the
-    /// strategy itself.
+    /// strategy itself. *Model-based upper-bound tightening*: when a probe
+    /// at budget `p` extracts a strategy that actually touches only
+    /// `p' < p` pebbles (weight units in weighted mode), the strategy
+    /// certifies `p'` directly, so `best` records `p'` — possibly smaller
+    /// than every probed budget — and the search continues below it.
     pub best: Option<(usize, Strategy)>,
     /// Every budget probed, with whether it was solved, in probe order.
+    /// (The budgets *probed*; `best` can undercut them — see
+    /// [`best`](Self::best).)
     pub probes: Vec<(usize, bool)>,
     /// SAT-solver statistics after each probe, aligned with
     /// [`probes`](Self::probes). Incremental searches snapshot the single
@@ -651,6 +667,7 @@ fn sum_stats(a: SolverStats, b: SolverStats) -> SolverStats {
         solves: a.solves + b.solves,
         exported_clauses: a.exported_clauses + b.exported_clauses,
         imported_clauses: a.imported_clauses + b.imported_clauses,
+        arena_gcs: a.arena_gcs + b.arena_gcs,
     }
 }
 
@@ -730,6 +747,8 @@ impl<'a> Prober<'a> {
 
 /// Shared bookkeeping of one minimization run.
 struct MinimizeRun<'a> {
+    dag: &'a Dag,
+    weighted: bool,
     prober: Prober<'a>,
     shared: Arc<SharedSearchState>,
     best: Option<(usize, Strategy)>,
@@ -739,18 +758,33 @@ struct MinimizeRun<'a> {
 }
 
 impl MinimizeRun<'_> {
-    fn probe(&mut self, p: usize) -> bool {
+    /// Probes budget `p`. On success returns the budget the extracted
+    /// strategy *actually certifies* — its own maximum pebble count
+    /// (weight in weighted mode), which can undercut `p`. The schedules
+    /// use that to jump their windows below the model instead of walking
+    /// budget-by-budget down to it (model-based upper-bound tightening).
+    fn probe(&mut self, p: usize) -> Option<usize> {
         let outcome = self.prober.probe(p);
-        let solved = match outcome {
+        let achieved = match outcome {
             PebbleOutcome::Solved(strategy) => {
-                self.best = Some((p, strategy));
-                true
+                let used = if self.weighted {
+                    usize::try_from(strategy.max_weight(self.dag)).unwrap_or(p)
+                } else {
+                    strategy.max_pebbles(self.dag)
+                };
+                // A valid strategy never exceeds its probe budget; the
+                // `min` merely keeps a corrupt model from loosening `p`.
+                let achieved = used.min(p);
+                if self.best.as_ref().is_none_or(|&(b, _)| achieved < b) {
+                    self.best = Some((achieved, strategy));
+                }
+                Some(achieved)
             }
-            _ => false,
+            _ => None,
         };
-        self.probes.push((p, solved));
+        self.probes.push((p, achieved.is_some()));
         self.probe_stats.push(self.prober.snapshot());
-        solved
+        achieved
     }
 
     fn probed(&self, p: usize) -> bool {
@@ -835,7 +869,11 @@ pub fn minimize(
 /// worker of [`minimize_portfolio`](crate::portfolio::minimize_portfolio).
 /// Budgets below the blackboard's certified floor are skipped without a
 /// query, whether the floor was raised by this worker's own exhausted
-/// probes or by a rival's.
+/// probes or by a rival's. Successful probes tighten from above
+/// symmetrically: the extracted strategy's *actual* pebble count (not the
+/// probed budget) becomes the new upper end of the search, so a slack
+/// model can collapse several budget steps into one probe
+/// ([`MinimizeResult::best`]).
 pub fn minimize_with_context(
     dag: &Dag,
     options: MinimizeOptions,
@@ -856,6 +894,8 @@ pub fn minimize_with_context(
     let shared = prober.shared_state();
     shared.prime_floor(lower);
     let mut run = MinimizeRun {
+        dag,
+        weighted,
         prober,
         shared,
         best: None,
@@ -874,13 +914,16 @@ pub fn minimize_with_context(
                     break;
                 }
                 let mid = low + (high - low) / 2;
-                if run.probe(mid) {
-                    if mid == 0 {
-                        break;
+                match run.probe(mid) {
+                    Some(achieved) => {
+                        // The extracted strategy certifies `achieved`
+                        // (≤ mid); resume strictly below *it*.
+                        if achieved == 0 {
+                            break;
+                        }
+                        high = achieved - 1;
                     }
-                    high = mid - 1;
-                } else {
-                    low = mid + 1;
+                    None => low = mid + 1,
                 }
             }
         }
@@ -893,14 +936,16 @@ pub fn minimize_with_context(
                 if run.stopped() || p < run.floor() {
                     break;
                 }
-                if !run.probe(p) {
+                let Some(achieved) = run.probe(p) else {
                     failed_at = Some(p);
                     break;
-                }
-                if p == lower {
+                };
+                if achieved <= lower {
                     break;
                 }
-                p = p.saturating_sub(stride).max(lower);
+                // Descend from the strategy's actual pebble count, which
+                // may sit well below the probed budget.
+                p = achieved.saturating_sub(stride).max(lower);
             }
             // Nothing certified yet (the very first probe failed): the
             // full budget admits the Bennett strategy, so certify it
@@ -915,10 +960,10 @@ pub fn minimize_with_context(
                 let failed_floor = failed_at.map_or(0, |p| p + 1);
                 while current > run.floor().max(failed_floor) && !run.stopped() {
                     let next = current - 1;
-                    if !run.probe(next) {
-                        break;
+                    match run.probe(next) {
+                        Some(achieved) => current = achieved.min(next),
+                        None => break,
                     }
-                    current = next;
                 }
             }
         }
@@ -1347,6 +1392,85 @@ mod tests {
             result.floor <= best,
             "a certified bound never exceeds the minimum"
         );
+    }
+
+    #[test]
+    fn minimize_best_budget_is_the_strategys_own_pebble_count() {
+        // Model-based upper-bound tightening: `best` records what the
+        // extracted strategy actually certifies, never just the budget
+        // that happened to be probed.
+        let dag = paper_example();
+        let base = SolverOptions {
+            encoding: EncodingOptions {
+                move_mode: MoveMode::Sequential,
+                ..EncodingOptions::default()
+            },
+            max_steps: 60,
+            ..SolverOptions::default()
+        };
+        let binary = minimize_pebbles(&dag, base, Duration::from_secs(20));
+        let descending = minimize_pebbles_descending(&dag, base, Duration::from_secs(20), 2);
+        for result in [binary, descending] {
+            let (p, strategy) = result.best.expect("feasible");
+            assert_eq!(p, strategy.max_pebbles(&dag));
+            assert_eq!(p, 4);
+            // A solved probe's budget is never undercut by `best` by more
+            // than the model allows; failed probes sit at or above it.
+            for &(budget, solved) in &result.probes {
+                if solved {
+                    assert!(p <= budget);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tightening_jumps_the_descending_refinement_past_slack_budgets() {
+        // Descending with an oversized stride: the coarse probe at the
+        // structural bound 3 fails, the fallback certifies the full
+        // budget 6, and refinement + model tightening must land on 4
+        // without ever walking below a certified strategy's own count.
+        let dag = paper_example();
+        let base = SolverOptions {
+            encoding: EncodingOptions {
+                move_mode: MoveMode::Sequential,
+                ..EncodingOptions::default()
+            },
+            max_steps: 20,
+            ..SolverOptions::default()
+        };
+        let result = minimize_pebbles_descending(&dag, base, Duration::from_secs(30), 10);
+        let (p, strategy) = result.best.expect("feasible");
+        assert_eq!(p, 4);
+        assert_eq!(p, strategy.max_pebbles(&dag));
+        // Worst case (every model pebble-maximal): probes 3, 6, 5, 4.
+        // Model tightening can only shorten that.
+        assert!(result.probes.len() <= 4, "{:?}", result.probes);
+    }
+
+    #[test]
+    fn weighted_minimize_best_uses_weight_units_for_tightening() {
+        use revpebble_graph::{Dag, Op};
+        let mut dag = Dag::new();
+        let x = dag.add_input("x");
+        let a = dag.add_node_weighted("a", Op::Buf, [x], 3).expect("valid");
+        let b = dag
+            .add_node_weighted("b", Op::Buf, [a.into()], 2)
+            .expect("valid");
+        dag.mark_output(b);
+        let base = SolverOptions {
+            encoding: EncodingOptions {
+                weighted: true,
+                move_mode: MoveMode::Sequential,
+                ..EncodingOptions::default()
+            },
+            max_steps: 20,
+            ..SolverOptions::default()
+        };
+        let result = minimize_pebbles(&dag, base, Duration::from_secs(30));
+        let (p, strategy) = result.best.expect("feasible");
+        assert_eq!(p as u64, strategy.max_weight(&dag));
+        assert_eq!(p, 5);
     }
 
     #[test]

@@ -12,6 +12,10 @@
 //!   VSIDS + phase saving, Luby restarts, clause-database reduction,
 //!   incremental solving under assumptions, and conflict/time budgets
 //!   (needed for the paper's timeout-based pebble minimization).
+//! - [`clause`](mod@clause): the flat clause arena underneath — one
+//!   contiguous `u32`-word buffer with inline headers, reclaimed by a
+//!   mark-compact garbage collector at reduction time, so the
+//!   propagation hot path reads clauses through a single slice borrow.
 //! - [`card`]: pairwise, sequential-counter and totalizer encodings of
 //!   `Σ xᵢ ≤ k`, the building block of the paper's "at most `P` pebbles
 //!   per step" constraint.
@@ -51,6 +55,6 @@ pub mod tseitin;
 pub mod types;
 
 pub use dimacs::{parse_dimacs, Cnf, ParseDimacsError};
-pub use pool::{PoolConfig, PoolStats, SharedClausePool};
+pub use pool::{ClauseBatch, PoolConfig, PoolStats, SharedClausePool};
 pub use solver::{SolveResult, Solver, SolverConfig, SolverStats};
 pub use types::{LBool, Lit, Var};

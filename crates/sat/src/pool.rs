@@ -85,6 +85,70 @@ impl Default for PoolConfig {
     }
 }
 
+/// A reusable flat batch of clauses: all literals in one buffer, one
+/// `(end offset, LBD)` record per clause.
+///
+/// [`SharedClausePool::collect_new`] appends into a batch instead of
+/// returning one `Vec<Lit>` per clause, so a solver that imports at every
+/// restart boundary reuses the same two allocations for its whole
+/// lifetime (see the import path in [`crate::Solver`]).
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct ClauseBatch {
+    lits: Vec<Lit>,
+    /// `(end, lbd)` per clause; clause `i` spans
+    /// `lits[meta[i-1].0 .. meta[i].0]`.
+    meta: Vec<(u32, u32)>,
+}
+
+impl ClauseBatch {
+    /// Creates an empty batch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends one clause.
+    pub fn push(&mut self, lits: &[Lit], lbd: u32) {
+        self.lits.extend_from_slice(lits);
+        self.meta.push((self.lits.len() as u32, lbd));
+    }
+
+    /// The `idx`-th clause: its literals and LBD.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of bounds.
+    pub fn get(&self, idx: usize) -> (&[Lit], u32) {
+        let start = if idx == 0 {
+            0
+        } else {
+            self.meta[idx - 1].0 as usize
+        };
+        let (end, lbd) = self.meta[idx];
+        (&self.lits[start..end as usize], lbd)
+    }
+
+    /// Number of clauses in the batch.
+    pub fn len(&self) -> usize {
+        self.meta.len()
+    }
+
+    /// `true` when the batch holds no clauses.
+    pub fn is_empty(&self) -> bool {
+        self.meta.is_empty()
+    }
+
+    /// Drops all clauses, keeping the capacity of both buffers.
+    pub fn clear(&mut self) {
+        self.lits.clear();
+        self.meta.clear();
+    }
+
+    /// Iterates over `(literals, lbd)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&[Lit], u32)> + '_ {
+        (0..self.len()).map(|idx| self.get(idx))
+    }
+}
+
 /// One pooled clause: the literals plus the publisher and its LBD.
 #[derive(Debug, Clone)]
 struct PoolClause {
@@ -189,18 +253,15 @@ impl SharedClausePool {
     /// Appends every clause published since the caller's last visit to
     /// `sink` (skipping the caller's own), advancing the caller's
     /// per-shard `cursors` (resized to the shard count on first use).
-    pub fn collect_new(
-        &self,
-        source: usize,
-        cursors: &mut Vec<usize>,
-        sink: &mut Vec<(Vec<Lit>, u32)>,
-    ) {
+    /// The flat `sink` batch is reusable, so steady-state collection
+    /// allocates nothing.
+    pub fn collect_new(&self, source: usize, cursors: &mut Vec<usize>, sink: &mut ClauseBatch) {
         cursors.resize(self.shards.len(), 0);
         for (shard, cursor) in self.shards.iter().zip(cursors.iter_mut()) {
             let bucket = shard.lock().expect("pool shard poisoned");
             for clause in &bucket[(*cursor).min(bucket.len())..] {
                 if clause.source != source {
-                    sink.push((clause.lits.to_vec(), clause.lbd));
+                    sink.push(&clause.lits, clause.lbd);
                 }
             }
             *cursor = bucket.len();
@@ -243,14 +304,38 @@ mod tests {
         assert!(pool.publish(a, &lits(&[1, -2]), 2));
         assert!(pool.publish(b, &lits(&[2, 3]), 2));
         let mut cursors = Vec::new();
-        let mut got = Vec::new();
+        let mut got = ClauseBatch::new();
         pool.collect_new(a, &mut cursors, &mut got);
         // `a` sees only `b`'s clause.
-        assert_eq!(got, vec![(lits(&[2, 3]), 2)]);
+        assert_eq!(got.len(), 1);
+        assert_eq!(got.get(0), (lits(&[2, 3]).as_slice(), 2));
         // A second visit with the same cursors yields nothing new.
         got.clear();
         pool.collect_new(a, &mut cursors, &mut got);
         assert!(got.is_empty());
+    }
+
+    #[test]
+    fn clause_batch_is_a_flat_reusable_buffer() {
+        let mut batch = ClauseBatch::new();
+        assert!(batch.is_empty());
+        batch.push(&lits(&[1, -2]), 2);
+        batch.push(&lits(&[3]), 1);
+        batch.push(&lits(&[-1, 2, 4]), 3);
+        assert_eq!(batch.len(), 3);
+        assert_eq!(batch.get(0), (lits(&[1, -2]).as_slice(), 2));
+        assert_eq!(batch.get(1), (lits(&[3]).as_slice(), 1));
+        assert_eq!(batch.get(2), (lits(&[-1, 2, 4]).as_slice(), 3));
+        let collected: Vec<(Vec<Lit>, u32)> =
+            batch.iter().map(|(l, lbd)| (l.to_vec(), lbd)).collect();
+        assert_eq!(
+            collected,
+            vec![(lits(&[1, -2]), 2), (lits(&[3]), 1), (lits(&[-1, 2, 4]), 3)]
+        );
+        batch.clear();
+        assert!(batch.is_empty());
+        batch.push(&lits(&[5, 6]), 4);
+        assert_eq!(batch.get(0), (lits(&[5, 6]).as_slice(), 4));
     }
 
     #[test]

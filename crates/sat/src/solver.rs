@@ -31,7 +31,7 @@ use std::time::{Duration, Instant};
 
 use crate::clause::{ClauseDb, ClauseRef};
 use crate::heap::VarHeap;
-use crate::pool::SharedClausePool;
+use crate::pool::{ClauseBatch, SharedClausePool};
 use crate::types::{LBool, Lit, Var};
 
 /// Outcome of a [`Solver::solve`] call.
@@ -70,6 +70,9 @@ pub struct SolverStats {
     /// (counting only clauses actually added, not ones already satisfied
     /// at level 0).
     pub imported_clauses: u64,
+    /// Mark-compact garbage collections of the clause arena (run at
+    /// clause-database-reduction time; see [`crate::clause::ClauseDb`]).
+    pub arena_gcs: u64,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -93,6 +96,11 @@ pub struct SolverConfig {
     pub learntsize_factor: f64,
     /// Growth factor applied to the learned-clause cap at every reduction.
     pub learntsize_inc: f64,
+    /// Floor of the learned-clause cap, in clauses. The default (1000)
+    /// keeps reduction rare on small formulas; tests force frequent
+    /// database reductions — and thus arena garbage collections — by
+    /// lowering it.
+    pub min_learnts: f64,
 }
 
 impl Default for SolverConfig {
@@ -103,6 +111,7 @@ impl Default for SolverConfig {
             restart_base: 100,
             learntsize_factor: 1.0 / 3.0,
             learntsize_inc: 1.1,
+            min_learnts: 1000.0,
         }
     }
 }
@@ -131,9 +140,14 @@ pub struct Solver {
     model: Vec<LBool>,
     stats: SolverStats,
     max_learnts: f64,
-    // scratch buffers for conflict analysis
+    // scratch buffers for conflict analysis (reused across conflicts so
+    // the hot path stops allocating)
     seen: Vec<bool>,
     analyze_clear: Vec<Var>,
+    analyze_lits: Vec<Lit>,
+    /// Scratch for simplifying one imported clause against the level-0
+    /// trail (reused so pool imports stop allocating per clause).
+    import_tmp: Vec<Lit>,
     // budgets (per solve call)
     conflict_budget: Option<u64>,
     deadline: Option<Instant>,
@@ -161,7 +175,11 @@ struct PoolEndpoint {
     pool: Arc<SharedClausePool>,
     source: usize,
     cursors: Vec<usize>,
-    deferred: Vec<(Vec<Lit>, u32)>,
+    deferred: ClauseBatch,
+    /// Reusable staging buffer for [`Solver::import_shared_clauses`]:
+    /// kept (empty) between imports so the pool round-trip allocates
+    /// nothing once the buffers have warmed up.
+    scratch: ClauseBatch,
 }
 
 impl Default for Solver {
@@ -199,6 +217,8 @@ impl Solver {
             max_learnts: 0.0,
             seen: Vec::new(),
             analyze_clear: Vec::new(),
+            analyze_lits: Vec::new(),
+            import_tmp: Vec::new(),
             conflict_budget: None,
             deadline: None,
             stop: None,
@@ -292,7 +312,8 @@ impl Solver {
             pool,
             source,
             cursors: Vec::new(),
-            deferred: Vec::new(),
+            deferred: ClauseBatch::new(),
+            scratch: ClauseBatch::new(),
         });
     }
 
@@ -334,64 +355,80 @@ impl Solver {
         let Some(mut endpoint) = self.shared_pool.take() else {
             return;
         };
-        let mut pending = std::mem::take(&mut endpoint.deferred);
+        // Stage = previously deferred clauses + everything new in the
+        // pool; the two batches swap roles every import, so no per-import
+        // (let alone per-clause) allocation survives warmup.
+        let mut pending = std::mem::replace(
+            &mut endpoint.deferred,
+            std::mem::take(&mut endpoint.scratch),
+        );
+        debug_assert!(endpoint.deferred.is_empty());
         endpoint
             .pool
             .collect_new(endpoint.source, &mut endpoint.cursors, &mut pending);
         let limit = self.share_limit.min(self.num_vars());
-        for (lits, lbd) in pending {
+        for idx in 0..pending.len() {
+            let (lits, lbd) = pending.get(idx);
             if !self.ok {
-                break; // level-0 unsat: nothing left to strengthen
+                // Level-0 unsat: nothing left to strengthen; keep the
+                // rest deferred so the batch is not silently dropped.
+                endpoint.deferred.push(lits, lbd);
+                continue;
             }
             if lits.iter().any(|l| l.var().index() >= limit) {
-                endpoint.deferred.push((lits, lbd));
+                endpoint.deferred.push(lits, lbd);
                 continue;
             }
             self.install_imported(lits, lbd);
         }
+        pending.clear();
+        endpoint.scratch = pending;
         self.shared_pool = Some(endpoint);
     }
 
     /// Adds one imported clause, simplified against the level-0 trail.
     /// Imported clauses are allocated as *learnt*, so database reduction
     /// can drop them again if they never participate in conflicts.
-    fn install_imported(&mut self, lits: Vec<Lit>, lbd: u32) {
-        let mut remaining = Vec::with_capacity(lits.len());
-        for &lit in &lits {
+    fn install_imported(&mut self, lits: &[Lit], lbd: u32) {
+        let mut remaining = std::mem::take(&mut self.import_tmp);
+        remaining.clear();
+        let mut satisfied = false;
+        for &lit in lits {
             match self.value(lit) {
                 // Only level-0 assignments exist here.
-                LBool::True => return,
+                LBool::True => {
+                    satisfied = true;
+                    break;
+                }
                 LBool::False => continue,
                 LBool::Undef => remaining.push(lit),
             }
         }
-        self.stats.imported_clauses += 1;
-        match remaining.len() {
-            0 => self.ok = false,
-            1 => {
-                self.unchecked_enqueue(remaining[0], None);
-                if self.propagate().is_some() {
-                    self.ok = false;
+        if !satisfied {
+            self.stats.imported_clauses += 1;
+            match remaining.len() {
+                0 => self.ok = false,
+                1 => {
+                    self.unchecked_enqueue(remaining[0], None);
+                    if self.propagate().is_some() {
+                        self.ok = false;
+                    }
+                }
+                _ => {
+                    let cref = self.clauses.alloc(&remaining, true);
+                    self.clauses.set_lbd(cref, lbd);
+                    self.bump_clause(cref);
+                    self.attach(cref);
                 }
             }
-            _ => {
-                let cref = self.clauses.alloc(remaining, true);
-                self.clauses.get_mut(cref).set_lbd(lbd);
-                self.bump_clause(cref);
-                self.attach(cref);
-            }
         }
+        self.import_tmp = remaining;
     }
 
     /// Current truth value of `lit` in the solver's partial assignment.
     #[inline]
     fn value(&self, lit: Lit) -> LBool {
-        let v = self.assigns[lit.var().index()];
-        if lit.is_positive() {
-            v
-        } else {
-            v.negate()
-        }
+        lit_value(&self.assigns, lit)
     }
 
     #[inline]
@@ -440,7 +477,7 @@ impl Solver {
                 self.ok
             }
             _ => {
-                let cref = self.clauses.alloc(simplified, false);
+                let cref = self.clauses.alloc(&simplified, false);
                 self.attach(cref);
                 true
             }
@@ -448,9 +485,9 @@ impl Solver {
     }
 
     fn attach(&mut self, cref: ClauseRef) {
-        let clause = self.clauses.get(cref);
-        let l0 = clause.lits()[0];
-        let l1 = clause.lits()[1];
+        let lits = self.clauses.lits(cref);
+        let l0 = lits[0];
+        let l1 = lits[1];
         self.watches[(!l0).code()].push(Watcher { cref, blocker: l1 });
         self.watches[(!l1).code()].push(Watcher { cref, blocker: l0 });
     }
@@ -466,6 +503,15 @@ impl Solver {
     }
 
     /// Unit propagation. Returns the conflicting clause, if any.
+    ///
+    /// The watcher loop compacts `watches[p]` *in place* with a
+    /// read/write cursor pair: relocated watchers are pushed onto other
+    /// literals' lists (never `p`'s own — a new watch is by construction
+    /// not the falsified literal), kept ones slide down, and one final
+    /// `truncate` drops the tail. Clause literals are read through a
+    /// single slice borrow into the flat arena, with the blocker check
+    /// answered from the watcher itself before the clause is touched at
+    /// all.
     fn propagate(&mut self) -> Option<ClauseRef> {
         let mut conflict = None;
         while self.qhead < self.trail.len() {
@@ -473,28 +519,28 @@ impl Solver {
             self.qhead += 1;
             self.stats.propagations += 1;
 
-            let mut ws = std::mem::take(&mut self.watches[p.code()]);
+            let pi = p.code();
+            let false_lit = !p;
             let mut kept = 0usize;
             let mut i = 0usize;
-            'watchers: while i < ws.len() {
-                let w = ws[i];
+            'watchers: while i < self.watches[pi].len() {
+                let w = self.watches[pi][i];
                 i += 1;
-                // Fast path: blocker already satisfied.
-                if self.value(w.blocker) == LBool::True {
-                    ws[kept] = w;
+                // Fast path: blocker already satisfied — the clause is
+                // never dereferenced.
+                if lit_value(&self.assigns, w.blocker) == LBool::True {
+                    self.watches[pi][kept] = w;
                     kept += 1;
                     continue;
                 }
-                let false_lit = !p;
-                let clause = self.clauses.get_mut(w.cref);
-                let lits = clause.lits_mut();
+                let lits = self.clauses.lits_mut(w.cref);
                 if lits[0] == false_lit {
                     lits.swap(0, 1);
                 }
                 debug_assert_eq!(lits[1], false_lit);
                 let first = lits[0];
-                if first != w.blocker && self.value(first) == LBool::True {
-                    ws[kept] = Watcher {
+                if first != w.blocker && lit_value(&self.assigns, first) == LBool::True {
+                    self.watches[pi][kept] = Watcher {
                         cref: w.cref,
                         blocker: first,
                     };
@@ -502,22 +548,11 @@ impl Solver {
                     continue;
                 }
                 // Look for a new literal to watch.
-                let clause = self.clauses.get_mut(w.cref);
-                let lits = clause.lits_mut();
                 for k in 2..lits.len() {
                     let cand = lits[k];
-                    let val = {
-                        let v = self.assigns[cand.var().index()];
-                        if cand.is_positive() {
-                            v
-                        } else {
-                            v.negate()
-                        }
-                    };
-                    if val != LBool::False {
+                    if lit_value(&self.assigns, cand) != LBool::False {
                         lits.swap(1, k);
-                        let new_watch = lits[1];
-                        self.watches[(!new_watch).code()].push(Watcher {
+                        self.watches[(!cand).code()].push(Watcher {
                             cref: w.cref,
                             blocker: first,
                         });
@@ -525,15 +560,15 @@ impl Solver {
                     }
                 }
                 // No new watch: clause is unit or conflicting.
-                ws[kept] = Watcher {
+                self.watches[pi][kept] = Watcher {
                     cref: w.cref,
                     blocker: first,
                 };
                 kept += 1;
-                if self.value(first) == LBool::False {
+                if lit_value(&self.assigns, first) == LBool::False {
                     // Conflict: keep remaining watchers and stop.
-                    while i < ws.len() {
-                        ws[kept] = ws[i];
+                    while i < self.watches[pi].len() {
+                        self.watches[pi][kept] = self.watches[pi][i];
                         kept += 1;
                         i += 1;
                     }
@@ -543,11 +578,7 @@ impl Solver {
                     self.unchecked_enqueue(first, Some(w.cref));
                 }
             }
-            ws.truncate(kept);
-            // Watchers moved to other literals were pushed onto live lists;
-            // p's own list only ever shrinks, so this store is safe.
-            debug_assert!(self.watches[p.code()].is_empty());
-            self.watches[p.code()] = ws;
+            self.watches[pi].truncate(kept);
             if conflict.is_some() {
                 break;
             }
@@ -592,12 +623,10 @@ impl Solver {
     }
 
     fn bump_clause(&mut self, cref: ClauseRef) {
-        let inc = self.clause_inc;
-        let clause = self.clauses.get_mut(cref);
-        clause.bump_activity(inc);
-        if clause.activity() > 1e20 {
+        self.clauses.bump_activity(cref, self.clause_inc as f32);
+        if self.clauses.activity(cref) > 1e20 {
             for r in self.clauses.iter_learnt_refs().collect::<Vec<_>>() {
-                self.clauses.get_mut(r).rescale_activity(1e-20);
+                self.clauses.rescale_activity(r, 1e-20);
             }
             self.clause_inc *= 1e-20;
         }
@@ -612,12 +641,20 @@ impl Solver {
         let mut index = self.trail.len();
 
         loop {
-            if self.clauses.get(conflict).is_learnt() {
+            if self.clauses.is_learnt(conflict) {
                 self.bump_clause(conflict);
             }
             let start = usize::from(p.is_some());
-            let clause_lits: Vec<Lit> = self.clauses.get(conflict).lits()[start..].to_vec();
-            for q in clause_lits {
+            // Copy into the reusable scratch buffer (bumping activities
+            // below needs `&mut self` while the literals live in the
+            // clause arena): no allocation once the buffer has warmed up.
+            self.analyze_lits.clear();
+            self.analyze_lits
+                .extend_from_slice(&self.clauses.lits(conflict)[start..]);
+            let mut q_idx = 0;
+            while q_idx < self.analyze_lits.len() {
+                let q = self.analyze_lits[q_idx];
+                q_idx += 1;
                 let vi = q.var().index();
                 if !self.seen[vi] && self.level[vi] > 0 {
                     self.seen[vi] = true;
@@ -686,7 +723,7 @@ impl Solver {
         let Some(reason) = self.reason[lit.var().index()] else {
             return false;
         };
-        self.clauses.get(reason).lits()[1..].iter().all(|&q| {
+        self.clauses.lits(reason)[1..].iter().all(|&q| {
             let vi = q.var().index();
             self.seen[vi] || self.level[vi] == 0
         })
@@ -701,15 +738,19 @@ impl Solver {
 
     /// Removes roughly half of the learned clauses, preferring clauses with
     /// high LBD and low activity. Reason clauses of current assignments are
-    /// kept. Watch lists are rebuilt afterwards.
+    /// kept. The freed arena space is reclaimed by a mark-compact garbage
+    /// collection straight away, so the whole reduction costs O(live
+    /// clauses + watchers) — there is no full-slot rescan and no watcher
+    /// rebuild-from-scratch.
     fn reduce_db(&mut self) {
         let mut refs: Vec<ClauseRef> = self.clauses.iter_learnt_refs().collect();
         refs.sort_by(|&a, &b| {
-            let ca = self.clauses.get(a);
-            let cb = self.clauses.get(b);
-            cb.lbd()
-                .cmp(&ca.lbd())
-                .then(ca.activity().partial_cmp(&cb.activity()).expect("no NaN"))
+            self.clauses.lbd(b).cmp(&self.clauses.lbd(a)).then(
+                self.clauses
+                    .activity(a)
+                    .partial_cmp(&self.clauses.activity(b))
+                    .expect("no NaN"),
+            )
         });
         let target = refs.len() / 2;
         let mut removed = 0usize;
@@ -717,11 +758,10 @@ impl Solver {
             if removed >= target {
                 break;
             }
-            let clause = self.clauses.get(cref);
-            if clause.lbd() <= 2 {
+            if self.clauses.lbd(cref) <= 2 {
                 continue; // glue clauses are kept forever
             }
-            let lit0 = clause.lits()[0];
+            let lit0 = self.clauses.lits(cref)[0];
             let locked =
                 self.reason[lit0.var().index()] == Some(cref) && self.value(lit0) == LBool::True;
             if locked {
@@ -731,16 +771,50 @@ impl Solver {
             removed += 1;
         }
         self.stats.deleted_clauses += removed as u64;
-        self.rebuild_watches();
+        self.collect_garbage();
     }
 
-    fn rebuild_watches(&mut self) {
+    /// Mark-compact garbage collection of the clause arena: compacts the
+    /// records, then rewrites every [`ClauseRef`] held outside the arena —
+    /// watcher lists (dropping watchers of freed clauses) and trail
+    /// reasons — through the relocation map. Clauses that are the reason
+    /// of a current assignment are never freed (see
+    /// [`reduce_db`](Self::reduce_db)), so live reasons always relocate.
+    fn collect_garbage(&mut self) {
+        if self.clauses.wasted() == 0 {
+            return;
+        }
+        self.gc_now();
+    }
+
+    fn gc_now(&mut self) {
+        let reloc = self.clauses.compact();
         for list in &mut self.watches {
-            list.clear();
+            list.retain_mut(|w| match reloc.relocate(w.cref) {
+                Some(new) => {
+                    w.cref = new;
+                    true
+                }
+                None => false,
+            });
         }
-        for cref in self.clauses.iter_refs().collect::<Vec<_>>() {
-            self.attach(cref);
+        for reason in &mut self.reason {
+            if let Some(cref) = reason {
+                *reason = reloc.relocate(*cref);
+                debug_assert!(reason.is_some(), "a live reason clause must relocate");
+            }
         }
+        self.stats.arena_gcs += 1;
+    }
+
+    /// Forces a mark-compact garbage collection of the clause arena right
+    /// now (it normally runs as part of learned-clause database
+    /// reduction, and only when there is something to reclaim). A
+    /// diagnostic/testing hook: relocation of watcher lists and trail
+    /// reasons is exercised deterministically this way, even on an arena
+    /// with nothing to reclaim.
+    pub fn force_clause_gc(&mut self) {
+        self.gc_now();
     }
 
     fn pick_branch_var(&mut self) -> Option<Var> {
@@ -781,7 +855,7 @@ impl Solver {
                     self.conflict_core.push(lit);
                 }
                 Some(cref) => {
-                    for &q in &self.clauses.get(cref).lits()[1..] {
+                    for &q in &self.clauses.lits(cref)[1..] {
                         if self.level[q.var().index()] > 0 {
                             self.seen[q.var().index()] = true;
                         }
@@ -824,8 +898,8 @@ impl Solver {
             return SolveResult::Unsat;
         }
         self.model.clear();
-        self.max_learnts =
-            (self.clauses.num_original() as f64 * self.config.learntsize_factor).max(1000.0);
+        self.max_learnts = (self.clauses.num_original() as f64 * self.config.learntsize_factor)
+            .max(self.config.min_learnts);
 
         let budget_start = self.stats.conflicts;
         let mut restarts = 0u64;
@@ -891,8 +965,8 @@ impl Solver {
                     let lbd = self.lbd(&learnt);
                     self.export_learnt(&learnt, lbd);
                     let first = learnt[0];
-                    let cref = self.clauses.alloc(learnt, true);
-                    self.clauses.get_mut(cref).set_lbd(lbd);
+                    let cref = self.clauses.alloc(&learnt, true);
+                    self.clauses.set_lbd(cref, lbd);
                     self.bump_clause(cref);
                     self.attach(cref);
                     self.unchecked_enqueue(first, Some(cref));
@@ -970,6 +1044,19 @@ impl Solver {
             .iter()
             .map(|v| v.to_bool())
             .collect::<Option<Vec<bool>>>()
+    }
+}
+
+/// Truth value of `lit` under a partial assignment, as a free function so
+/// the propagation loop can consult it while a clause borrow from the
+/// arena is live (disjoint-field borrows).
+#[inline]
+fn lit_value(assigns: &[LBool], lit: Lit) -> LBool {
+    let v = assigns[lit.var().index()];
+    if lit.is_positive() {
+        v
+    } else {
+        v.negate()
     }
 }
 
@@ -1208,10 +1295,20 @@ mod tests {
         assert!(s.unsat_core().is_empty());
     }
 
+    /// A configuration that reduces the learned-clause database (and thus
+    /// garbage-collects the arena) as aggressively as possible.
+    fn aggressive_gc_config() -> SolverConfig {
+        SolverConfig {
+            min_learnts: 8.0,
+            learntsize_factor: 0.0,
+            ..SolverConfig::default()
+        }
+    }
+
     /// An `n+1`-pigeons-into-`n`-holes instance: unsatisfiable, and
     /// exponentially hard for resolution-based solvers as `n` grows.
-    fn pigeonhole(n: usize) -> Solver {
-        let mut s = Solver::new();
+    fn pigeonhole_with(n: usize, config: SolverConfig) -> Solver {
+        let mut s = Solver::with_config(config);
         let vars = s.new_vars((n + 1) * n);
         let p = |i: usize, j: usize| vars[i * n + j].positive();
         for i in 0..=n {
@@ -1225,6 +1322,128 @@ mod tests {
             }
         }
         s
+    }
+
+    fn pigeonhole(n: usize) -> Solver {
+        pigeonhole_with(n, SolverConfig::default())
+    }
+
+    #[test]
+    fn aggressive_reduction_garbage_collects_the_arena_mid_search() {
+        // A tiny learned-clause cap forces database reductions (each one a
+        // mark-compact GC relocating watchers and in-flight trail reasons)
+        // throughout the refutation — and the answer must not change.
+        let mut s = pigeonhole_with(7, aggressive_gc_config());
+        assert_eq!(s.solve(), SolveResult::Unsat);
+        assert!(s.stats().deleted_clauses > 0, "reductions must fire");
+        assert!(
+            s.stats().arena_gcs >= 1,
+            "every freeing reduction compacts the arena"
+        );
+        // The default configuration agrees, with (far) fewer collections.
+        let mut reference = pigeonhole(7);
+        assert_eq!(reference.solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn forced_gc_between_queries_preserves_watchers_and_answers() {
+        // x1 ^ x2 = 1, x2 ^ x3 = 1 — solve under alternating assumptions
+        // with a forced arena compaction between every query; a stale
+        // watcher or reason ref would derail propagation immediately.
+        let mut s = Solver::new();
+        let vars = s.new_vars(3);
+        add(&mut s, &vars, &[1, 2]);
+        add(&mut s, &vars, &[-1, -2]);
+        add(&mut s, &vars, &[2, 3]);
+        add(&mut s, &vars, &[-2, -3]);
+        for round in 0..4 {
+            s.force_clause_gc();
+            let a = Lit::new(vars[0], round % 2 == 0);
+            assert_eq!(s.solve_with(&[a]), SolveResult::Sat);
+            assert_eq!(s.model_value(a), Some(true));
+            let x2 = s.model_value(vars[1].positive()).expect("model");
+            assert_eq!(x2, round % 2 != 0, "x1 ^ x2 must hold");
+        }
+        // Clauses added after a compaction coexist with relocated ones.
+        s.force_clause_gc();
+        add(&mut s, &vars, &[-3]);
+        assert_eq!(s.solve_with(&[vars[1].negative()]), SolveResult::Unsat);
+        assert_eq!(s.solve(), SolveResult::Sat);
+    }
+
+    #[test]
+    fn level0_reason_refs_survive_a_forced_gc() {
+        // A unit clause propagates a chain at level 0, leaving reason refs
+        // on the trail. The forced compaction must rewrite them (the
+        // locked-clause check of the next reduction dereferences reasons).
+        let mut s = Solver::with_config(aggressive_gc_config());
+        let vars = s.new_vars(4);
+        add(&mut s, &vars, &[1]);
+        add(&mut s, &vars, &[-1, 2]);
+        add(&mut s, &vars, &[-2, 3]);
+        add(&mut s, &vars, &[-3, 4]);
+        assert_eq!(s.solve(), SolveResult::Sat);
+        s.force_clause_gc();
+        // Still solvable, and the level-0 chain still forces everything.
+        assert_eq!(s.solve(), SolveResult::Sat);
+        for v in &vars {
+            assert_eq!(s.model_value(v.positive()), Some(true));
+        }
+        assert_eq!(s.solve_with(&[vars[3].negative()]), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn unsat_cores_are_correct_after_arena_gcs() {
+        // Same contract as `unsat_core_names_failing_assumptions`, but on
+        // a solver whose arena has been compacted (conflict analysis and
+        // `analyze_final` read reason clauses through relocated refs).
+        let mut s = Solver::with_config(aggressive_gc_config());
+        let vars = s.new_vars(4);
+        add(&mut s, &vars, &[-1, 2]);
+        add(&mut s, &vars, &[-2, 3]);
+        s.force_clause_gc();
+        let a0 = vars[0].positive();
+        let a2 = vars[2].negative();
+        let a3 = vars[3].positive();
+        assert_eq!(s.solve_with(&[a0, a3, a2]), SolveResult::Unsat);
+        let core = s.unsat_core().to_vec();
+        assert!(core.contains(&a0) || core.contains(&a2), "core: {core:?}");
+        assert!(!core.contains(&a3), "x3 is irrelevant: {core:?}");
+    }
+
+    #[test]
+    fn pool_endpoint_survives_forced_gcs() {
+        use crate::pool::SharedClausePool;
+        // The deferred-import buffer and per-shard cursors live outside
+        // the arena; compaction must not disturb them. Mirrors
+        // `imports_beyond_own_variables_are_deferred_until_the_vars_exist`
+        // with a forced GC at every stage.
+        let pool = Arc::new(SharedClausePool::new());
+        let publisher = pool.register();
+        let mut s = Solver::new();
+        s.attach_clause_pool(Arc::clone(&pool));
+        let v0 = s.new_var();
+        pool.publish(
+            publisher,
+            &[v0.positive(), Lit::new(Var::from_index(5), true)],
+            2,
+        );
+        assert_eq!(s.solve(), SolveResult::Sat);
+        assert_eq!(s.stats().imported_clauses, 0, "deferred, not installed");
+        s.force_clause_gc();
+        s.new_vars(5);
+        s.add_clause([v0.negative()]);
+        assert_eq!(s.solve(), SolveResult::Sat);
+        assert_eq!(s.stats().imported_clauses, 1, "installed once v5 exists");
+        s.force_clause_gc();
+        assert_eq!(
+            s.model_value(Lit::new(Var::from_index(5), true)),
+            Some(true)
+        );
+        // The cursor advanced past the consumed clause: a fresh import
+        // pass after the GC must not re-install it.
+        assert_eq!(s.solve(), SolveResult::Sat);
+        assert_eq!(s.stats().imported_clauses, 1);
     }
 
     #[test]

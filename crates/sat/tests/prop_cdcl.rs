@@ -3,7 +3,7 @@
 
 use proptest::prelude::*;
 use revpebble_sat::reference::{brute_force, evaluate};
-use revpebble_sat::{card, Cnf, Lit, SolveResult, Solver, Var};
+use revpebble_sat::{card, Cnf, Lit, SolveResult, Solver, SolverConfig, Var};
 
 /// Strategy: a random CNF over `max_vars` variables.
 fn arb_cnf(max_vars: usize, max_clauses: usize) -> impl Strategy<Value = Cnf> {
@@ -78,6 +78,33 @@ proptest! {
         // The solver stays usable afterwards and gives the unconditional answer.
         let unconditional = solver.solve();
         prop_assert_eq!(unconditional == SolveResult::Sat, brute_force(&cnf).is_some());
+    }
+
+    #[test]
+    fn gc_heavy_solver_agrees_with_reference(cnf in arb_cnf(10, 40)) {
+        // A learned-clause cap of (almost) zero forces a database
+        // reduction — and with it a mark-compact arena GC relocating
+        // watchers and trail reasons — after nearly every conflict. The
+        // solver must still agree with the brute-force oracle, and its
+        // models must still satisfy the formula.
+        let mut solver = Solver::with_config(SolverConfig {
+            min_learnts: 1.0,
+            learntsize_factor: 0.0,
+            ..SolverConfig::default()
+        });
+        solver.new_vars(cnf.num_vars);
+        for clause in &cnf.clauses {
+            solver.add_clause(clause.iter().copied());
+        }
+        let result = solver.solve();
+        match brute_force(&cnf) {
+            Some(_) => {
+                prop_assert_eq!(result, SolveResult::Sat);
+                let model = solver.model().expect("model on SAT");
+                prop_assert!(evaluate(&cnf, &model), "model must satisfy formula");
+            }
+            None => prop_assert_eq!(result, SolveResult::Unsat),
+        }
     }
 
     #[test]

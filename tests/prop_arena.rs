@@ -1,0 +1,115 @@
+//! Property tests for the flat clause arena's garbage collection: a
+//! solver configured to reduce its learned-clause database (and thus
+//! mark-compact the arena) as often as possible must certify exactly the
+//! same pebbling answers as the default configuration on random DAGs —
+//! same SAT/UNSAT outcomes per budget, same certified minima, same floors.
+
+use proptest::prelude::*;
+use revpebble::core::{
+    minimize_pebbles, EncodingOptions, MoveMode, PebbleOutcome, PebbleSolver, SolverOptions,
+};
+use revpebble::graph::generators::random_dag;
+use revpebble::sat::SolverConfig;
+use std::time::Duration;
+
+/// Forces a clause-database reduction — and with it an arena GC — at
+/// nearly every opportunity.
+fn gc_heavy() -> SolverConfig {
+    SolverConfig {
+        min_learnts: 4.0,
+        learntsize_factor: 0.0,
+        ..SolverConfig::default()
+    }
+}
+
+fn base(sat: SolverConfig) -> SolverOptions {
+    SolverOptions {
+        encoding: EncodingOptions {
+            move_mode: MoveMode::Sequential,
+            ..EncodingOptions::default()
+        },
+        // StepLimit (not the clock) terminates infeasible probes, keeping
+        // every probe outcome deterministic.
+        max_steps: 40,
+        sat,
+        ..SolverOptions::default()
+    }
+}
+
+const PER_QUERY: Duration = Duration::from_secs(60);
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn gc_heavy_minimize_certifies_the_same_minima(
+        inputs in 2usize..5,
+        nodes in 3usize..10,
+        seed in any::<u64>(),
+    ) {
+        let dag = random_dag(inputs, nodes, seed);
+        let compacting = minimize_pebbles(&dag, base(gc_heavy()), PER_QUERY);
+        let reference = minimize_pebbles(&dag, base(SolverConfig::default()), PER_QUERY);
+
+        prop_assert_eq!(
+            compacting.best.as_ref().map(|&(p, _)| p),
+            reference.best.as_ref().map(|&(p, _)| p),
+            "arena compaction must not change the certified minimum"
+        );
+        prop_assert_eq!(compacting.floor, reference.floor);
+        if let Some((p, strategy)) = &compacting.best {
+            prop_assert!(strategy.validate(&dag, Some(*p)).is_ok());
+            // Model-based tightening invariant: `best` records exactly
+            // what the strategy itself certifies.
+            prop_assert_eq!(*p, strategy.max_pebbles(&dag));
+        }
+    }
+
+    #[test]
+    fn gc_heavy_probes_agree_budget_by_budget(
+        inputs in 2usize..4,
+        nodes in 3usize..8,
+        seed in any::<u64>(),
+    ) {
+        // Sweep every budget with both configurations on one incremental
+        // instance each: identical Solved/StepLimit/Infeasible outcomes.
+        let dag = random_dag(inputs, nodes, seed);
+        let mut compacting = PebbleSolver::new(&dag, base(gc_heavy()));
+        let mut reference = PebbleSolver::new(&dag, base(SolverConfig::default()));
+        for p in (1..=dag.num_nodes()).rev() {
+            let a = compacting.resolve_with_budget(p);
+            let b = reference.resolve_with_budget(p);
+            let solved = |o: &PebbleOutcome| matches!(o, PebbleOutcome::Solved(_));
+            prop_assert_eq!(solved(&a), solved(&b), "budget {}: {:?} vs {:?}", p, a, b);
+            if let PebbleOutcome::Solved(strategy) = &a {
+                prop_assert!(strategy.validate(&dag, Some(p)).is_ok());
+            }
+        }
+    }
+
+    #[test]
+    fn single_budget_probes_match_under_gc(
+        inputs in 2usize..5,
+        nodes in 3usize..10,
+        seed in any::<u64>(),
+        budget in 2usize..8,
+    ) {
+        let dag = random_dag(inputs, nodes, seed);
+        let gc_options = SolverOptions {
+            encoding: EncodingOptions {
+                max_pebbles: Some(budget),
+                move_mode: MoveMode::Sequential,
+                ..EncodingOptions::default()
+            },
+            ..base(gc_heavy())
+        };
+        let outcome = PebbleSolver::new(&dag, gc_options).solve();
+        let reference_options = SolverOptions {
+            sat: SolverConfig::default(),
+            ..gc_options
+        };
+        let reference = PebbleSolver::new(&dag, reference_options).solve();
+        let solved = |o: &PebbleOutcome| matches!(o, PebbleOutcome::Solved(_));
+        prop_assert_eq!(solved(&outcome), solved(&reference));
+    }
+}
