@@ -16,8 +16,8 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use revpebble::core::{
-    minimize_pebbles, minimize_portfolio, minimize_portfolio_shared, EncodingOptions, MoveMode,
-    SolverOptions, StepSchedule,
+    EncodingOptions, MinimizePortfolioOutcome, MinimizeResult, MoveMode, PebblingSession,
+    SessionOutcome, ShareOptions, SolverOptions, StepSchedule,
 };
 use revpebble::graph::generators::chain;
 use revpebble::graph::parse_bench;
@@ -27,6 +27,42 @@ use std::hint::black_box;
 use std::time::Duration;
 
 const WORKERS: usize = 4;
+
+/// One minimize race through the session front door.
+fn race(
+    dag: &Dag,
+    base: SolverOptions,
+    per_query: Duration,
+    shared: bool,
+) -> MinimizePortfolioOutcome {
+    let mut session = PebblingSession::new(dag)
+        .solver_options(base)
+        .minimize()
+        .portfolio(WORKERS)
+        .per_query_timeout(per_query);
+    if shared {
+        session = session.share_clauses(ShareOptions::default());
+    }
+    let report = session.run().expect("a valid bench configuration");
+    match report.outcome {
+        SessionOutcome::MinimizePortfolio(outcome) => outcome,
+        _ => unreachable!("a minimize portfolio ran"),
+    }
+}
+
+/// The single-worker incremental reference, same front door.
+fn single(dag: &Dag, base: SolverOptions, per_query: Duration) -> MinimizeResult {
+    let report = PebblingSession::new(dag)
+        .solver_options(base)
+        .minimize()
+        .per_query_timeout(per_query)
+        .run()
+        .expect("a valid bench configuration");
+    match report.outcome {
+        SessionOutcome::Minimize(result) => result,
+        _ => unreachable!("a single-worker minimize ran"),
+    }
+}
 
 struct Workload {
     name: &'static str,
@@ -104,9 +140,9 @@ fn bench_clause_sharing(c: &mut Criterion) {
             assert_cooperation,
             decisive,
         } = workload;
-        let shared = minimize_portfolio_shared(&dag, base, per_query, WORKERS);
-        let isolated = minimize_portfolio(&dag, base, per_query, WORKERS);
-        let single = minimize_pebbles(&dag, base, per_query);
+        let shared = race(&dag, base, per_query, true);
+        let isolated = race(&dag, base, per_query, false);
+        let single = single(&dag, base, per_query);
         let minimum =
             |best: &Option<(usize, revpebble::core::Strategy)>| best.as_ref().map(|&(p, _)| p);
         if decisive {
@@ -152,24 +188,10 @@ fn bench_clause_sharing(c: &mut Criterion) {
             );
         }
         group.bench_function(format!("shared/{name}"), |b| {
-            b.iter(|| {
-                black_box(minimize_portfolio_shared(
-                    black_box(&dag),
-                    base,
-                    per_query,
-                    WORKERS,
-                ))
-            })
+            b.iter(|| black_box(race(black_box(&dag), base, per_query, true)))
         });
         group.bench_function(format!("isolated/{name}"), |b| {
-            b.iter(|| {
-                black_box(minimize_portfolio(
-                    black_box(&dag),
-                    base,
-                    per_query,
-                    WORKERS,
-                ))
-            })
+            b.iter(|| black_box(race(black_box(&dag), base, per_query, false)))
         });
     }
     group.finish();

@@ -21,8 +21,8 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use revpebble::core::{
-    minimize, minimize_pebbles, minimize_pebbles_fresh, BudgetSchedule, EncodingOptions,
-    MinimizeOptions, MinimizeResult, MoveMode, SolverOptions, StepSchedule,
+    BudgetSchedule, EncodingOptions, MinimizeResult, MoveMode, PebblingSession, SessionOutcome,
+    SolverOptions, StepSchedule,
 };
 use revpebble::graph::generators::paper_example;
 use revpebble::graph::{parse_bench, Dag};
@@ -42,15 +42,41 @@ fn base(schedule: StepSchedule, max_steps: usize) -> SolverOptions {
     }
 }
 
+/// One minimize search through the session front door (what the bench
+/// measures is exactly what the CLI and the library run).
+fn minimize_session(
+    dag: &Dag,
+    base: SolverOptions,
+    schedule: BudgetSchedule,
+    incremental: bool,
+    per_query: Duration,
+) -> MinimizeResult {
+    let report = PebblingSession::new(dag)
+        .solver_options(base)
+        .minimize()
+        .budget(schedule)
+        .incremental(incremental)
+        .per_query_timeout(per_query)
+        .run()
+        .expect("a valid bench configuration");
+    match report.outcome {
+        SessionOutcome::Minimize(result) => result,
+        _ => unreachable!("a single-worker minimize session ran"),
+    }
+}
+
 /// One timed minimize run, recorded for `BENCH_sat.json`.
 fn audit(
     name: &str,
     engine: &str,
     dag: &Dag,
-    options: MinimizeOptions,
+    base: SolverOptions,
+    schedule: BudgetSchedule,
+    incremental: bool,
+    per_query: Duration,
 ) -> (MinimizeResult, BenchRecord) {
     let start = Instant::now();
-    let result = minimize(dag, options, None);
+    let result = minimize_session(dag, base, schedule, incremental, per_query);
     let wall_s = start.elapsed().as_secs_f64();
     let record = BenchRecord {
         bench: "minimize_incremental",
@@ -78,16 +104,23 @@ fn bench_minimize_incremental(c: &mut Criterion) {
         ("c17", &c17, base(StepSchedule::ExponentialRefine, 30)),
     ];
     for (name, dag, options) in workloads {
-        let fresh_options = MinimizeOptions {
-            incremental: false,
-            ..MinimizeOptions::new(options, per_query)
-        };
-        let (fresh, fresh_record) = audit(name, "fresh", dag, fresh_options);
+        let (fresh, fresh_record) = audit(
+            name,
+            "fresh",
+            dag,
+            options,
+            BudgetSchedule::Binary,
+            false,
+            per_query,
+        );
         let (incremental, incremental_record) = audit(
             name,
             "incremental",
             dag,
-            MinimizeOptions::new(options, per_query),
+            options,
+            BudgetSchedule::Binary,
+            true,
+            per_query,
         );
         records.push(fresh_record);
         records.push(incremental_record);
@@ -110,10 +143,26 @@ fn bench_minimize_incremental(c: &mut Criterion) {
             incremental.best.as_ref().map(|&(p, _)| p),
         );
         group.bench_function(format!("fresh/{name}"), |b| {
-            b.iter(|| black_box(minimize_pebbles_fresh(black_box(dag), options, per_query)))
+            b.iter(|| {
+                black_box(minimize_session(
+                    black_box(dag),
+                    options,
+                    BudgetSchedule::Binary,
+                    false,
+                    per_query,
+                ))
+            })
         });
         group.bench_function(format!("incremental/{name}"), |b| {
-            b.iter(|| black_box(minimize_pebbles(black_box(dag), options, per_query)))
+            b.iter(|| {
+                black_box(minimize_session(
+                    black_box(dag),
+                    options,
+                    BudgetSchedule::Binary,
+                    true,
+                    per_query,
+                ))
+            })
         });
     }
     group.finish();
@@ -145,16 +194,28 @@ fn bench_minimize_incremental(c: &mut Criterion) {
         },
         ..SolverOptions::default()
     };
-    let minimize_options = |incremental| MinimizeOptions {
-        schedule: BudgetSchedule::Descending {
-            stride: (n / 12).max(1),
-        },
-        incremental,
-        ..MinimizeOptions::new(b3_options, Duration::from_secs(2))
+    let b3_schedule = BudgetSchedule::Descending {
+        stride: (n / 12).max(1),
     };
-    let (fresh, fresh_record) = audit("b3_m4", "fresh", &dag, minimize_options(false));
-    let (incremental, incremental_record) =
-        audit("b3_m4", "incremental", &dag, minimize_options(true));
+    let b3_per_query = Duration::from_secs(2);
+    let (fresh, fresh_record) = audit(
+        "b3_m4",
+        "fresh",
+        &dag,
+        b3_options,
+        b3_schedule,
+        false,
+        b3_per_query,
+    );
+    let (incremental, incremental_record) = audit(
+        "b3_m4",
+        "incremental",
+        &dag,
+        b3_options,
+        b3_schedule,
+        true,
+        b3_per_query,
+    );
     let fresh_p = fresh.best.as_ref().map(|&(p, _)| p);
     let incremental_p = incremental.best.as_ref().map(|&(p, _)| p);
     println!(

@@ -3,7 +3,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use revpebble::core::baselines::{bennett, cone_wise};
-use revpebble::core::{solve_with_pebbles, EncodingOptions, MoveMode, PebbleSolver, SolverOptions};
+use revpebble::core::{EncodingOptions, MoveMode, PebbleSolver, PebblingSession, SolverOptions};
 use revpebble::graph::generators::{and_tree, chain, paper_example};
 use revpebble::graph::slp::h_operator;
 use std::hint::black_box;
@@ -27,7 +27,10 @@ fn bench_paper_example(c: &mut Criterion) {
     for budget in [4usize, 5, 6] {
         group.bench_with_input(BenchmarkId::new("solve", budget), &budget, |b, &budget| {
             b.iter(|| {
-                solve_with_pebbles(black_box(&dag), budget)
+                PebblingSession::new(black_box(&dag))
+                    .pebbles(budget)
+                    .run()
+                    .expect("a valid bench configuration")
                     .into_strategy()
                     .expect("feasible")
             })
@@ -42,7 +45,10 @@ fn bench_fig6(c: &mut Criterion) {
     let dag = and_tree(9);
     group.bench_function("and_tree9_at_7_pebbles", |b| {
         b.iter(|| {
-            solve_with_pebbles(black_box(&dag), 7)
+            PebblingSession::new(black_box(&dag))
+                .pebbles(7)
+                .run()
+                .expect("a valid bench configuration")
                 .into_strategy()
                 .expect("feasible")
         })
@@ -56,7 +62,10 @@ fn bench_workloads(c: &mut Criterion) {
     let h = h_operator().to_dag().expect("valid");
     group.bench_function("h_operator_at_6", |b| {
         b.iter(|| {
-            solve_with_pebbles(black_box(&h), 6)
+            PebblingSession::new(black_box(&h))
+                .pebbles(6)
+                .run()
+                .expect("a valid bench configuration")
                 .into_strategy()
                 .expect("feasible")
         })
@@ -64,7 +73,10 @@ fn bench_workloads(c: &mut Criterion) {
     let ch = chain(10);
     group.bench_function("chain10_at_5", |b| {
         b.iter(|| {
-            solve_with_pebbles(black_box(&ch), 5)
+            PebblingSession::new(black_box(&ch))
+                .pebbles(5)
+                .run()
+                .expect("a valid bench configuration")
                 .into_strategy()
                 .expect("feasible")
         })

@@ -3,7 +3,7 @@
 //! recovers (or costs, on instances too small to amortize thread spawn).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use revpebble::core::{solve_with_pebbles, solve_with_pebbles_portfolio};
+use revpebble::core::PebblingSession;
 use revpebble::graph::generators::{and_tree, chain, paper_example};
 use std::hint::black_box;
 
@@ -18,7 +18,10 @@ fn bench_portfolio_vs_single(c: &mut Criterion) {
     for (name, dag, budget) in &workloads {
         group.bench_with_input(BenchmarkId::new("single", name), budget, |b, &budget| {
             b.iter(|| {
-                solve_with_pebbles(black_box(dag), budget)
+                PebblingSession::new(black_box(dag))
+                    .pebbles(budget)
+                    .run()
+                    .expect("a valid bench configuration")
                     .into_strategy()
                     .expect("feasible")
             })
@@ -29,8 +32,11 @@ fn bench_portfolio_vs_single(c: &mut Criterion) {
                 budget,
                 |b, &budget| {
                     b.iter(|| {
-                        solve_with_pebbles_portfolio(black_box(dag), budget, workers)
-                            .outcome
+                        PebblingSession::new(black_box(dag))
+                            .pebbles(budget)
+                            .portfolio(workers)
+                            .run()
+                            .expect("a valid bench configuration")
                             .into_strategy()
                             .expect("feasible")
                     })

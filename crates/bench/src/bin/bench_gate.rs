@@ -1,0 +1,133 @@
+//! `bench_gate` — the `BENCH_sat.json` perf-regression gate.
+//!
+//! Compares freshly written bench records against the committed baseline
+//! and fails (exit 1) when any entry's wall-clock drifted more than
+//! `--max-ratio` (default 2.0) above its baseline. Entries below the
+//! noise floor (`--min-wall`, default 0.05 s on both sides) and entries
+//! present on only one side are skipped.
+//!
+//! Usage:
+//!   cargo run -p revpebble-bench --bin bench_gate -- \
+//!       [--baseline PATH] [--fresh PATH] [--max-ratio R] [--min-wall S]
+//!       [--update-baseline]
+//!
+//! `--baseline` defaults to the committed workspace `BENCH_sat.json` —
+//! deliberately *not* `$BENCH_SAT_JSON`, which CI points at the fresh
+//! file while the benches run; `--fresh` is the file a
+//! `BENCH_SAT_JSON=… cargo bench` run just wrote.
+//!
+//! `--update-baseline` is the escape hatch for deliberate perf changes:
+//! instead of gating, it copies the fresh records over the baseline file
+//! (commit the result). See the crate docs for the full workflow.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use revpebble_bench::{arg_value, compare_bench_records, parse_bench_json};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let baseline_path = arg_value(&args, "--baseline")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| {
+            // The committed workspace baseline (not $BENCH_SAT_JSON: CI
+            // points that at the fresh file while benches run).
+            std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_sat.json")
+        });
+    let fresh_path = arg_value(&args, "--fresh")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("fresh_BENCH_sat.json"));
+    let max_ratio: f64 = arg_value(&args, "--max-ratio")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(2.0);
+    let min_wall: f64 = arg_value(&args, "--min-wall")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0.05);
+    let update_baseline = args.iter().any(|a| a == "--update-baseline");
+
+    let fresh_text = match std::fs::read_to_string(&fresh_path) {
+        Ok(text) => text,
+        Err(err) => {
+            eprintln!(
+                "bench_gate: cannot read fresh {}: {err}",
+                fresh_path.display()
+            );
+            return ExitCode::FAILURE;
+        }
+    };
+    let fresh = parse_bench_json(&fresh_text);
+    if fresh.is_empty() {
+        eprintln!(
+            "bench_gate: {} contains no bench entries",
+            fresh_path.display()
+        );
+        return ExitCode::FAILURE;
+    }
+
+    if update_baseline {
+        // Escape hatch: adopt the fresh records as the new baseline.
+        if let Err(err) = std::fs::copy(&fresh_path, &baseline_path) {
+            eprintln!(
+                "bench_gate: cannot update baseline {}: {err}",
+                baseline_path.display()
+            );
+            return ExitCode::FAILURE;
+        }
+        println!(
+            "bench_gate: baseline {} updated from {} ({} entries) — commit it",
+            baseline_path.display(),
+            fresh_path.display(),
+            fresh.len()
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    let baseline_text = match std::fs::read_to_string(&baseline_path) {
+        Ok(text) => text,
+        Err(err) => {
+            eprintln!(
+                "bench_gate: cannot read baseline {}: {err}",
+                baseline_path.display()
+            );
+            return ExitCode::FAILURE;
+        }
+    };
+    let baseline = parse_bench_json(&baseline_text);
+    if baseline.is_empty() {
+        eprintln!(
+            "bench_gate: {} contains no bench entries",
+            baseline_path.display()
+        );
+        return ExitCode::FAILURE;
+    }
+
+    let drifts = compare_bench_records(&baseline, &fresh, max_ratio, min_wall);
+    println!(
+        "bench_gate: {} fresh entries, {} compared against {} (max ratio {max_ratio}, \
+         noise floor {min_wall}s)",
+        fresh.len(),
+        drifts.len(),
+        baseline_path.display()
+    );
+    let mut regressions = 0;
+    for drift in &drifts {
+        let verdict = if drift.regressed { "REGRESSED" } else { "ok" };
+        println!(
+            "  {:<40} baseline {:>9.3}s fresh {:>9.3}s ratio {:>5.2}x  {verdict}",
+            drift.key, drift.baseline_s, drift.fresh_s, drift.ratio
+        );
+        if drift.regressed {
+            regressions += 1;
+        }
+    }
+    if regressions > 0 {
+        eprintln!(
+            "bench_gate: {regressions} entr{} regressed more than {max_ratio}x; \
+             if deliberate, re-record with --update-baseline and commit BENCH_sat.json",
+            if regressions == 1 { "y" } else { "ies" }
+        );
+        return ExitCode::FAILURE;
+    }
+    println!("bench_gate: no wall-clock regressions");
+    ExitCode::SUCCESS
+}

@@ -6,7 +6,7 @@
 //! Usage: cargo run --release -p revpebble-bench --bin fig34
 
 use revpebble::core::baselines::bennett;
-use revpebble::core::{solve_with_pebbles, PebbleOutcome};
+use revpebble::core::PebblingSession;
 use revpebble::graph::generators::paper_example;
 
 fn main() {
@@ -21,15 +21,19 @@ fn main() {
     );
     println!("{}", naive.render_grid(&dag));
 
-    match solve_with_pebbles(&dag, 4) {
-        PebbleOutcome::Solved(strategy) => {
+    let report = PebblingSession::new(&dag)
+        .pebbles(4)
+        .run()
+        .expect("a valid configuration");
+    match report.into_strategy() {
+        Some(strategy) => {
             println!(
                 "SAT strategy with 4 pebbles — {} steps (paper's Fig. 4 shows 14; 12 is optimal):",
                 strategy.num_steps()
             );
             println!("{}", strategy.render_grid(&dag));
         }
-        other => println!("unexpected outcome: {other:?}"),
+        None => println!("unexpected: 4 pebbles should be feasible"),
     }
 
     println!("Trade-off frontier (minimum steps per pebble budget, exact BFS):");
@@ -46,13 +50,17 @@ fn main() {
     }
 
     // Cross-check: the SAT engine agrees with exhaustive search at P = 4.
-    match solve_with_pebbles(&dag, 4) {
-        PebbleOutcome::Solved(strategy) => {
+    let cross_check = PebblingSession::new(&dag)
+        .pebbles(4)
+        .run()
+        .expect("a valid configuration");
+    match cross_check.into_strategy() {
+        Some(strategy) => {
             println!(
                 "\nSAT cross-check at P = 4: {} steps (matches BFS)",
                 strategy.num_steps()
             );
         }
-        other => println!("\nSAT cross-check failed: {other:?}"),
+        None => println!("\nSAT cross-check failed"),
     }
 }

@@ -6,7 +6,7 @@
 use revpebble::circuit::barenco;
 use revpebble::circuit::compile::{compile, verify, VerifyOutcome};
 use revpebble::core::baselines::bennett;
-use revpebble::core::solve_with_pebbles;
+use revpebble::core::PebblingSession;
 use revpebble::graph::generators::and_tree;
 
 fn main() {
@@ -38,7 +38,10 @@ fn main() {
     );
 
     let budget = 16 - dag.num_inputs();
-    let strategy = solve_with_pebbles(&dag, budget)
+    let strategy = PebblingSession::new(&dag)
+        .pebbles(budget)
+        .run()
+        .expect("a valid configuration")
         .into_strategy()
         .expect("7 pebbles suffice");
     let compiled = compile(&dag, &strategy).expect("compiles");

@@ -30,8 +30,8 @@ use std::time::{Duration, Instant};
 
 use revpebble::core::baselines::bennett;
 use revpebble::core::{
-    minimize, minimize_portfolio_shared, BudgetSchedule, EncodingOptions, MinimizeOptions,
-    MoveMode, SolverOptions,
+    BudgetSchedule, EncodingOptions, MoveMode, PebblingSession, SessionOutcome, ShareOptions,
+    SolverOptions,
 };
 use revpebble_bench::{arg_num, arg_value, table1_dag, TABLE1};
 
@@ -111,23 +111,41 @@ fn main() {
             ..SolverOptions::default()
         };
         let start = Instant::now();
+        // One front door for both engines: every row constructs its
+        // search through the `PebblingSession` builder, exactly like the
+        // CLI and the library examples.
+        let session = PebblingSession::new(&dag)
+            .solver_options(base)
+            .minimize()
+            .per_query_timeout(timeout);
         let best = match portfolio {
             Some(workers) => {
                 // Cooperative engine: incremental workers race budget
                 // schedules on one shared clause pool + refutation
                 // blackboard; each reuses one arena-backed solver for
                 // every probe of its schedule.
-                minimize_portfolio_shared(&dag, base, timeout, workers).best
+                let report = session
+                    .portfolio(workers)
+                    .share_clauses(ShareOptions::default())
+                    .run()
+                    .expect("a valid Table I configuration");
+                match report.outcome {
+                    SessionOutcome::MinimizePortfolio(outcome) => outcome.best,
+                    _ => unreachable!("a minimize portfolio ran"),
+                }
             }
             None => {
-                let options = MinimizeOptions {
-                    schedule: BudgetSchedule::Descending {
+                let report = session
+                    .budget(BudgetSchedule::Descending {
                         stride: (n / 12).max(1),
-                    },
-                    incremental,
-                    ..MinimizeOptions::new(base, timeout)
-                };
-                minimize(&dag, options, None).best
+                    })
+                    .incremental(incremental)
+                    .run()
+                    .expect("a valid Table I configuration");
+                match report.outcome {
+                    SessionOutcome::Minimize(result) => result.best,
+                    _ => unreachable!("a single-worker minimize ran"),
+                }
             }
         };
         let elapsed = start.elapsed().as_secs_f64();

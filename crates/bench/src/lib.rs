@@ -1,6 +1,7 @@
 //! Shared helpers for the `revpebble-bench` binaries and criterion
-//! benches: the Table I workload definitions and a tiny CLI-argument
-//! parser (no external dependencies).
+//! benches: the Table I workload definitions, the `BENCH_sat.json`
+//! writer/parser behind the perf-regression gate, and a tiny
+//! CLI-argument parser (no external dependencies).
 //!
 //! # Example
 //!
@@ -14,6 +15,32 @@
 //! assert_eq!(dag.num_outputs(), row.po);
 //! dag.validate_for_pebbling().expect("ready for the pebbling game");
 //! ```
+//!
+//! # The `BENCH_sat.json` regression gate
+//!
+//! Benches that call [`record_bench_json`] land their wall-clock and SAT
+//! counters in the committed `BENCH_sat.json` baseline. CI's bench-smoke
+//! job re-runs those benches into a *fresh* file (`BENCH_SAT_JSON=… cargo
+//! bench …`) and then runs the `bench_gate` binary, which fails when any
+//! entry's fresh wall-clock drifts more than 2× above the baseline:
+//!
+//! ```text
+//! BENCH_SAT_JSON=fresh.json cargo bench -p revpebble-bench --bench minimize_incremental
+//! cargo run -p revpebble-bench --bin bench_gate -- --baseline BENCH_sat.json --fresh fresh.json
+//! ```
+//!
+//! Entries below the gate's noise floor (50 ms by default, `--min-wall`)
+//! are skipped: at millisecond scale a 2× "drift" is scheduler noise.
+//! When a deliberate change moves the numbers, re-record and commit the
+//! baseline with the escape hatch:
+//!
+//! ```text
+//! cargo run -p revpebble-bench --bin bench_gate -- --fresh fresh.json --update-baseline
+//! ```
+//!
+//! which copies the fresh records over the baseline file instead of
+//! gating; commit the rewritten `BENCH_sat.json` alongside the change
+//! that justified it.
 
 #![warn(missing_docs)]
 
@@ -181,6 +208,109 @@ pub fn record_bench_json(bench: &'static str, records: &[BenchRecord]) {
     }
 }
 
+/// One parsed `BENCH_sat.json` entry, keyed for baseline comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParsedBenchEntry {
+    /// The emitting bench target.
+    pub bench: String,
+    /// Workload id within the bench.
+    pub id: String,
+    /// Wall-clock seconds of the recorded run.
+    pub wall_s: f64,
+}
+
+/// Extracts the value of a string field from one JSON entry line.
+fn json_str_field(line: &str, key: &str) -> Option<String> {
+    let marker = format!("\"{key}\":\"");
+    let start = line.find(&marker)? + marker.len();
+    let end = line[start..].find('"')? + start;
+    Some(line[start..end].to_string())
+}
+
+/// Extracts the value of a numeric field from one JSON entry line.
+fn json_num_field(line: &str, key: &str) -> Option<f64> {
+    let marker = format!("\"{key}\":");
+    let start = line.find(&marker)? + marker.len();
+    let end = line[start..]
+        .find([',', '}'])
+        .map(|i| i + start)
+        .unwrap_or(line.len());
+    line[start..end].trim().parse().ok()
+}
+
+/// Parses the line-oriented `BENCH_sat.json` format written by
+/// [`write_bench_json`] — one entry object per line — without an external
+/// JSON crate. Malformed lines are skipped; the regression gate treats a
+/// file that yields no entries as an error.
+pub fn parse_bench_json(text: &str) -> Vec<ParsedBenchEntry> {
+    text.lines()
+        .map(|line| line.trim().trim_end_matches(','))
+        .filter(|line| line.starts_with("{\"bench\":"))
+        .filter_map(|line| {
+            Some(ParsedBenchEntry {
+                bench: json_str_field(line, "bench")?,
+                id: json_str_field(line, "id")?,
+                wall_s: json_num_field(line, "wall_s")?,
+            })
+        })
+        .collect()
+}
+
+/// One per-entry verdict of [`compare_bench_records`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchDrift {
+    /// `bench/id` of the compared entry.
+    pub key: String,
+    /// Baseline wall-clock seconds.
+    pub baseline_s: f64,
+    /// Freshly measured wall-clock seconds.
+    pub fresh_s: f64,
+    /// `fresh_s / baseline_s`.
+    pub ratio: f64,
+    /// `true` when the drift exceeds the gate's ratio.
+    pub regressed: bool,
+}
+
+/// Compares freshly written bench records against the committed baseline:
+/// an entry regresses when `fresh > max_ratio × baseline`. Entries whose
+/// wall-clock is below `min_wall_s` on *both* sides are skipped — at
+/// millisecond scale a 2× "drift" is scheduler noise, not a regression —
+/// and entries present on only one side are skipped too (new or retired
+/// benches are not regressions).
+///
+/// This is the engine of the `bench_gate` binary (see the crate docs for
+/// the CI wiring and the `--update-baseline` escape hatch).
+pub fn compare_bench_records(
+    baseline: &[ParsedBenchEntry],
+    fresh: &[ParsedBenchEntry],
+    max_ratio: f64,
+    min_wall_s: f64,
+) -> Vec<BenchDrift> {
+    fresh
+        .iter()
+        .filter_map(|entry| {
+            let base = baseline
+                .iter()
+                .find(|b| b.bench == entry.bench && b.id == entry.id)?;
+            if base.wall_s < min_wall_s && entry.wall_s < min_wall_s {
+                return None;
+            }
+            let ratio = if base.wall_s > 0.0 {
+                entry.wall_s / base.wall_s
+            } else {
+                f64::INFINITY
+            };
+            Some(BenchDrift {
+                key: format!("{}/{}", entry.bench, entry.id),
+                baseline_s: base.wall_s,
+                fresh_s: entry.wall_s,
+                ratio,
+                regressed: ratio > max_ratio,
+            })
+        })
+        .collect()
+}
+
 /// Parses `--flag value` style arguments; returns the value for `flag`.
 pub fn arg_value(args: &[String], flag: &str) -> Option<String> {
     args.iter()
@@ -254,6 +384,72 @@ mod tests {
             .filter(|l| l.starts_with("{\"bench\":"))
             .collect();
         assert_eq!(entry_lines.iter().filter(|l| !l.ends_with(',')).count(), 1);
+    }
+
+    #[test]
+    fn bench_json_round_trips_through_the_parser() {
+        let path = std::env::temp_dir().join(format!(
+            "revpebble_bench_gate_test_{}_{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let records = [
+            BenchRecord {
+                bench: "gate",
+                id: "fast".to_string(),
+                wall_s: 0.25,
+                propagations: 10,
+                conflicts: 1,
+                arena_gcs: 0,
+            },
+            BenchRecord {
+                bench: "gate",
+                id: "slow".to_string(),
+                wall_s: 2.0,
+                propagations: 99,
+                conflicts: 9,
+                arena_gcs: 1,
+            },
+        ];
+        write_bench_json(&path, "gate", &records).expect("write");
+        let text = std::fs::read_to_string(&path).expect("read");
+        std::fs::remove_file(&path).ok();
+        let parsed = parse_bench_json(&text);
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed[0].bench, "gate");
+        assert_eq!(parsed[0].id, "fast");
+        assert!((parsed[0].wall_s - 0.25).abs() < 1e-9);
+        assert!((parsed[1].wall_s - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bench_gate_flags_only_true_regressions() {
+        let entry = |id: &str, wall_s| ParsedBenchEntry {
+            bench: "b".to_string(),
+            id: id.to_string(),
+            wall_s,
+        };
+        let baseline = [
+            entry("steady", 1.0),
+            entry("regressed", 1.0),
+            entry("noise", 0.001),
+            entry("retired", 1.0),
+        ];
+        let fresh = [
+            entry("steady", 1.8),    // under 2x: fine
+            entry("regressed", 2.5), // over 2x: flagged
+            entry("noise", 0.004),   // 4x but under the noise floor
+            entry("brand-new", 9.0), // no baseline: skipped
+        ];
+        let drifts = compare_bench_records(&baseline, &fresh, 2.0, 0.05);
+        let regressed: Vec<&str> = drifts
+            .iter()
+            .filter(|d| d.regressed)
+            .map(|d| d.key.as_str())
+            .collect();
+        assert_eq!(regressed, ["b/regressed"]);
+        assert_eq!(drifts.len(), 2, "noise + unmatched entries are skipped");
+        assert!(drifts.iter().all(|d| d.key != "b/brand-new"));
     }
 
     #[test]

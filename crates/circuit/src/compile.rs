@@ -258,9 +258,14 @@ mod tests {
 
     #[test]
     fn sat_strategy_compiles_with_fewer_qubits() {
-        use revpebble_core::solve_with_pebbles;
+        use revpebble_core::PebblingSession;
         let dag = and_tree(9);
-        let strategy = solve_with_pebbles(&dag, 7).into_strategy().expect("solved");
+        let strategy = PebblingSession::new(&dag)
+            .pebbles(7)
+            .run()
+            .expect("a valid configuration")
+            .into_strategy()
+            .expect("solved");
         let compiled = compile(&dag, &strategy).expect("compiles");
         // 9 inputs + ≤7 pebbles = ≤16 qubits: fits the paper's device.
         assert!(compiled.circuit.width() <= 16);

@@ -1,4 +1,10 @@
 //! Minimal flag parsing for the `revpebble` binary (no external crates).
+//!
+//! Parsing is purely *syntactic*: flag spelling, value shapes, arity.
+//! Semantic flag combinations (`--share-clauses` without `--portfolio`,
+//! `--minimize` with `--pebbles`, …) are validated by the
+//! [`PebblingSession`](revpebble::core::PebblingSession) builder itself,
+//! so the CLI and the library reject identically — see `main.rs`.
 
 use std::time::Duration;
 
@@ -31,6 +37,9 @@ pub struct Args {
     /// one learnt-clause pool and one certified-refutation blackboard
     /// (unsat-core bound tightening) across all workers.
     pub share_clauses: bool,
+    /// `--json`: print the session's unified report as one JSON object on
+    /// stdout instead of the human-readable summary.
+    pub json: bool,
     /// `--grid`.
     pub grid: bool,
     /// `--qasm`.
@@ -48,6 +57,7 @@ impl Args {
         let mut minimize = false;
         let mut incremental = false;
         let mut share_clauses = false;
+        let mut json = false;
         let mut grid = false;
         let mut qasm = false;
         let mut iter = raw.iter().peekable();
@@ -77,6 +87,7 @@ impl Args {
                 "--minimize" => minimize = true,
                 "--incremental" => incremental = true,
                 "--share-clauses" => share_clauses = true,
+                "--json" => json = true,
                 "--grid" => grid = true,
                 "--qasm" => qasm = true,
                 flag if flag.starts_with("--") => {
@@ -91,17 +102,13 @@ impl Args {
         if let Some(extra) = positional.next() {
             return Err(format!("unexpected argument {extra:?}"));
         }
-        if minimize && pebbles.is_some() {
-            return Err("--minimize searches for the budget; it conflicts with --pebbles".into());
-        }
+        // Output-format conflicts are the CLI's own concern; everything
+        // about the *search configuration* is validated by the session.
         if minimize && qasm {
             return Err("--qasm is not supported with --minimize".into());
         }
-        if share_clauses && !(minimize || command == "minimize") {
-            return Err("--share-clauses only applies to the minimize search".into());
-        }
-        if share_clauses && portfolio.is_none() {
-            return Err("--share-clauses needs --portfolio N workers to share with".into());
+        if json && qasm {
+            return Err("--qasm writes QASM to stdout; it conflicts with --json".into());
         }
         Ok(Args {
             command,
@@ -113,6 +120,7 @@ impl Args {
             minimize,
             incremental,
             share_clauses,
+            json,
             grid,
             qasm,
         })
@@ -163,6 +171,7 @@ mod tests {
         assert_eq!(args.portfolio, None);
         assert!(!args.minimize);
         assert!(!args.incremental);
+        assert!(!args.json);
         assert!(!args.grid);
         assert!(!args.qasm);
     }
@@ -176,16 +185,33 @@ mod tests {
             "--incremental",
             "--timeout",
             "10",
+            "--json",
         ]))
         .expect("parses");
         assert!(args.minimize);
         assert!(args.incremental);
         assert!(!args.share_clauses);
+        assert!(args.json);
         assert_eq!(args.timeout, Some(Duration::from_secs(10)));
     }
 
     #[test]
-    fn share_clauses_needs_minimize_and_portfolio() {
+    fn semantic_combinations_parse_and_defer_to_the_session() {
+        // These used to be ad-hoc parse errors; they now parse fine and
+        // the session rejects them with a typed `SessionError` (covered
+        // by the exit-code integration tests).
+        assert!(Args::parse(&strs(&["pebble", "c17", "--minimize", "--share-clauses"])).is_ok());
+        assert!(Args::parse(&strs(&[
+            "pebble",
+            "c17",
+            "--pebbles",
+            "4",
+            "--portfolio",
+            "4",
+            "--share-clauses"
+        ]))
+        .is_ok());
+        assert!(Args::parse(&strs(&["pebble", "a", "--minimize", "--pebbles", "4"])).is_ok());
         let args = Args::parse(&strs(&[
             "pebble",
             "c17",
@@ -196,27 +222,6 @@ mod tests {
         ]))
         .expect("parses");
         assert!(args.share_clauses);
-        // The bare `minimize` command counts as a minimize search too.
-        assert!(Args::parse(&strs(&[
-            "minimize",
-            "c17",
-            "--portfolio",
-            "0",
-            "--share-clauses"
-        ]))
-        .is_ok());
-        // Sharing without a portfolio (or outside minimize) is an error.
-        assert!(Args::parse(&strs(&["pebble", "c17", "--minimize", "--share-clauses"])).is_err());
-        assert!(Args::parse(&strs(&[
-            "pebble",
-            "c17",
-            "--pebbles",
-            "4",
-            "--portfolio",
-            "4",
-            "--share-clauses"
-        ]))
-        .is_err());
     }
 
     #[test]
@@ -237,8 +242,17 @@ mod tests {
         assert!(Args::parse(&strs(&["pebble", "a", "--mode", "quantum"])).is_err());
         assert!(Args::parse(&strs(&["pebble", "a", "--portfolio"])).is_err());
         assert!(Args::parse(&strs(&["pebble", "a", "--portfolio", "x"])).is_err());
-        // --minimize picks the budget itself and emits no fixed circuit.
-        assert!(Args::parse(&strs(&["pebble", "a", "--minimize", "--pebbles", "4"])).is_err());
+        // --minimize emits no fixed circuit, so --qasm stays a CLI error;
+        // --json promises one JSON object on stdout, so --qasm conflicts.
         assert!(Args::parse(&strs(&["pebble", "a", "--minimize", "--qasm"])).is_err());
+        assert!(Args::parse(&strs(&[
+            "pebble",
+            "a",
+            "--pebbles",
+            "4",
+            "--qasm",
+            "--json"
+        ]))
+        .is_err());
     }
 }

@@ -11,6 +11,14 @@
 //! revpebble dot      <input>                         Graphviz export
 //! ```
 //!
+//! Every solving command constructs one [`PebblingSession`] — the same
+//! front door the library exposes. Invalid flag combinations are rejected by
+//! the session's typed `SessionError` (exit code 2), so the CLI and the
+//! library reject identically; runtime failures (timeouts, infeasible
+//! budgets) exit 1. While a session runs, its probe events stream to
+//! stderr as live progress lines; `--json` prints the unified report as
+//! one JSON object on stdout for machine consumers.
+//!
 //! `pebble --portfolio N` races `N` solver configurations (deepening
 //! schedule × move semantics × cardinality encoding) on worker threads;
 //! the first strategy found cancels the rest (`0` = one per core).
@@ -33,20 +41,42 @@ use std::process::ExitCode;
 use std::time::Duration;
 
 use revpebble::circuit::lowering;
-use revpebble::core::frontier::{frontier, render_frontier, FrontierOptions};
+use revpebble::core::frontier::render_frontier;
+use revpebble::core::portfolio::{describe_minimize_config, describe_options};
+use revpebble::core::{default_portfolio, Engine, SessionOutcome};
 use revpebble::prelude::*;
 
 mod args;
 use args::Args;
 
+/// The CLI's three failure classes, each with its own exit code.
+enum CliError {
+    /// Malformed command line (unknown flag, missing value): exit 2 with
+    /// the usage text.
+    Usage(String),
+    /// A configuration the session rejects ([`SessionError`]): exit 2 —
+    /// the library and the CLI reject identically.
+    Invalid(SessionError),
+    /// A runtime failure (infeasible budget, timeout, IO): exit 1.
+    Failed(String),
+}
+
 fn main() -> ExitCode {
     let raw: Vec<String> = std::env::args().skip(1).collect();
     match run(&raw) {
         Ok(()) => ExitCode::SUCCESS,
-        Err(message) => {
+        Err(CliError::Usage(message)) => {
             eprintln!("error: {message}");
             eprintln!();
             eprintln!("{USAGE}");
+            ExitCode::from(2)
+        }
+        Err(CliError::Invalid(error)) => {
+            eprintln!("error: {error}");
+            ExitCode::from(2)
+        }
+        Err(CliError::Failed(message)) => {
+            eprintln!("error: {message}");
             ExitCode::FAILURE
         }
     }
@@ -56,11 +86,12 @@ const USAGE: &str = "usage:
   revpebble info     <input>
   revpebble bennett  <input> [--grid]
   revpebble pebble   <input> --pebbles P [--mode seq|par] [--portfolio N] [--timeout S]
-                             [--grid] [--qasm]
+                             [--grid] [--qasm] [--json]
   revpebble pebble   <input> --minimize [--incremental] [--portfolio N] [--share-clauses]
-                             [--timeout S]
+                             [--timeout S] [--json]
   revpebble minimize <input> [--timeout S] [--incremental] [--portfolio N] [--share-clauses]
-  revpebble frontier <input> [--timeout S]
+                             [--json]
+  revpebble frontier <input> [--timeout S] [--json]
   revpebble dot      <input>
 inputs: a .bench file path, '-' (stdin), or a built-in:
   paper | c17 | andtree9 | hop | kummer | edwards | adder4
@@ -71,11 +102,14 @@ minimize: --incremental reuses one assumption-bounded encoding/solver
   across all budget probes; --portfolio N races N incremental budget
   schedules (binary search vs descending strides); --share-clauses makes
   the portfolio cooperative (shared learnt-clause pool + unsat-core
-  bound tightening across workers)";
+  bound tightening across workers)
+output: probe events stream to stderr while solving; --json prints the
+  session report as one JSON object on stdout
+exit codes: 0 success | 1 runtime failure | 2 invalid usage/configuration";
 
-fn run(raw: &[String]) -> Result<(), String> {
-    let args = Args::parse(raw)?;
-    let dag = load_dag(&args.input)?;
+fn run(raw: &[String]) -> Result<(), CliError> {
+    let args = Args::parse(raw).map_err(CliError::Usage)?;
+    let dag = load_dag(&args.input).map_err(CliError::Failed)?;
     match args.command.as_str() {
         "info" => {
             println!("{dag}");
@@ -103,96 +137,123 @@ fn run(raw: &[String]) -> Result<(), String> {
             Ok(())
         }
         "pebble" if args.minimize => run_minimize(&dag, &args),
-        "pebble" => {
-            let budget = args
-                .pebbles
-                .ok_or_else(|| "pebble requires --pebbles".to_string())?;
-            let options = SolverOptions {
-                encoding: EncodingOptions {
-                    max_pebbles: Some(budget),
-                    move_mode: args.mode,
-                    ..EncodingOptions::default()
-                },
-                timeout: args.timeout,
-                ..SolverOptions::default()
+        "pebble" => run_pebble(&dag, &args),
+        "minimize" => run_minimize(&dag, &args),
+        "frontier" => run_frontier(&dag, &args),
+        other => Err(CliError::Usage(format!("unknown command {other:?}"))),
+    }
+}
+
+/// Builds the session every solving command shares: base solver options
+/// from the common flags, plus the fixed-budget / portfolio / sharing
+/// setters. Validation happens inside the session's `plan()`.
+fn session_for<'a>(dag: &'a Dag, args: &Args) -> PebblingSession<'a> {
+    let base = SolverOptions {
+        encoding: EncodingOptions {
+            move_mode: args.mode,
+            ..EncodingOptions::default()
+        },
+        ..SolverOptions::default()
+    };
+    let mut session = PebblingSession::new(dag).solver_options(base);
+    if let Some(budget) = args.pebbles {
+        session = session.pebbles(budget);
+    }
+    if let Some(workers) = args.portfolio {
+        session = session.portfolio(workers);
+    }
+    if args.share_clauses {
+        session = session.share_clauses(ShareOptions::default());
+    }
+    session
+}
+
+/// `pebble --pebbles P`: one fixed-budget solve, optionally raced by a
+/// portfolio.
+fn run_pebble(dag: &Dag, args: &Args) -> Result<(), CliError> {
+    let mut session = session_for(dag, args);
+    if let Some(timeout) = args.timeout {
+        session = session.timeout(timeout);
+    }
+    let plan = session.plan().map_err(CliError::Invalid)?;
+    if plan.engine == Engine::SinglePortfolio {
+        let configs = default_portfolio(plan.base, plan.workers);
+        eprintln!("portfolio: {} workers", configs.len());
+        for (index, config) in configs.iter().enumerate() {
+            eprintln!("  worker {index}: {}", describe_options(config));
+        }
+    }
+    let report = session
+        .on_event(|event| eprintln!("  {event}"))
+        .run()
+        .map_err(CliError::Invalid)?;
+    if let SessionOutcome::Portfolio(outcome) = &report.outcome {
+        for (index, worker) in outcome.workers.iter().enumerate() {
+            let role = match outcome.winner {
+                Some(winner) if winner == index => "winner",
+                _ if worker.cancelled => "cancelled",
+                _ => "finished",
             };
-            let outcome = match args.portfolio {
-                Some(workers) => {
-                    let portfolio = PortfolioSolver::with_default_portfolio(&dag, options, workers);
-                    eprintln!("portfolio: {} workers", portfolio.configs().len());
-                    for (index, config) in portfolio.configs().iter().enumerate() {
-                        eprintln!(
-                            "  worker {index}: {}",
-                            revpebble::core::portfolio::describe_options(config)
-                        );
-                    }
-                    let result = portfolio.solve();
-                    for (index, report) in result.workers.iter().enumerate() {
-                        let role = match result.winner {
-                            Some(winner) if winner == index => "winner",
-                            _ if report.cancelled => "cancelled",
-                            _ => "finished",
-                        };
-                        eprintln!(
-                            "  worker {index}: {role} after {:.1?} ({} queries, {} conflicts)",
-                            report.elapsed, report.search.queries, report.sat.conflicts
-                        );
-                    }
-                    // The winning configuration decides the strategy's move
-                    // semantics (the race may cross `--mode`), so name it on
-                    // stdout where the step counts it explains are printed.
-                    if let Some(report) = result.winning_report() {
-                        println!("portfolio winner: {}", report.describe());
-                    }
-                    result.outcome
-                }
-                None => PebbleSolver::new(&dag, options).solve(),
-            };
-            match outcome {
-                PebbleOutcome::Solved(strategy) => {
-                    strategy
-                        .validate(&dag, Some(budget))
-                        .map_err(|e| e.to_string())?;
-                    report_strategy(&dag, &strategy, args.grid);
-                    if args.qasm {
-                        let compiled = compile(&dag, &strategy).map_err(|e| e.to_string())?;
-                        let lowered = lowering::lower(&compiled.circuit);
-                        match lowering::to_qasm(&lowered) {
-                            Ok(qasm) => print!("{qasm}"),
-                            Err(e) => eprintln!("cannot emit QASM: {e}"),
-                        }
-                    }
-                    Ok(())
-                }
-                PebbleOutcome::Infeasible { lower_bound } => Err(format!(
-                    "{budget} pebbles are infeasible (lower bound {lower_bound})"
-                )),
-                PebbleOutcome::Timeout { steps_reached } => {
-                    Err(format!("timed out while trying {steps_reached} steps"))
-                }
-                PebbleOutcome::StepLimit { steps_checked } => {
-                    Err(format!("no solution with up to {steps_checked} steps"))
+            eprintln!(
+                "  worker {index}: {role} after {:.1?} ({} queries, {} conflicts)",
+                worker.elapsed, worker.search.queries, worker.sat.conflicts
+            );
+        }
+        // The winning configuration decides the strategy's move semantics
+        // (the race may cross `--mode`), so name it on stdout where the
+        // step counts it explains are printed.
+        if let (Some(winning), false) = (outcome.winning_report(), args.json) {
+            println!("portfolio winner: {}", winning.describe());
+        }
+    }
+    if args.json {
+        println!("{}", report.to_json());
+    }
+    let budget = plan.pebbles.expect("the pebble engines carry a budget");
+    let failure = describe_failure(&report, budget);
+    match report.into_strategy() {
+        Some(strategy) => {
+            strategy
+                .validate(dag, Some(budget))
+                .map_err(|e| CliError::Failed(e.to_string()))?;
+            if !args.json {
+                report_strategy(dag, &strategy, args.grid);
+            }
+            if args.qasm {
+                let compiled =
+                    compile(dag, &strategy).map_err(|e| CliError::Failed(e.to_string()))?;
+                let lowered = lowering::lower(&compiled.circuit);
+                match lowering::to_qasm(&lowered) {
+                    Ok(qasm) => print!("{qasm}"),
+                    Err(e) => eprintln!("cannot emit QASM: {e}"),
                 }
             }
-        }
-        "minimize" => run_minimize(&dag, &args),
-        "frontier" => {
-            let options = FrontierOptions {
-                base: SolverOptions {
-                    encoding: EncodingOptions {
-                        move_mode: args.mode,
-                        ..EncodingOptions::default()
-                    },
-                    ..SolverOptions::default()
-                },
-                per_budget: args.timeout.unwrap_or(Duration::from_secs(10)),
-                ..FrontierOptions::default()
-            };
-            let points = frontier(&dag, options);
-            print!("{}", render_frontier(&points, &dag));
             Ok(())
         }
-        other => Err(format!("unknown command {other:?}")),
+        None => Err(CliError::Failed(failure)),
+    }
+}
+
+/// Renders a fixed-budget session's failure the way the pre-session CLI
+/// did, from the raw engine outcome.
+fn describe_failure(report: &Report, budget: usize) -> String {
+    let outcome = match &report.outcome {
+        SessionOutcome::Single(outcome) => outcome,
+        SessionOutcome::Portfolio(outcome) => &outcome.outcome,
+        _ => return "the search failed".to_string(),
+    };
+    match outcome {
+        PebbleOutcome::Infeasible { lower_bound } => {
+            format!("{budget} pebbles are infeasible (lower bound {lower_bound})")
+        }
+        PebbleOutcome::Timeout { steps_reached } => {
+            format!("timed out while trying {steps_reached} steps")
+        }
+        PebbleOutcome::StepLimit { steps_checked } => {
+            format!("no solution with up to {steps_checked} steps")
+        }
+        // Rendered eagerly even on success; never shown then.
+        PebbleOutcome::Solved(_) => String::new(),
     }
 }
 
@@ -202,99 +263,120 @@ fn run(raw: &[String]) -> Result<(), String> {
 /// assumption-bounded encoding/solver instance; `--portfolio N` races `N`
 /// incremental workers over different budget schedules; the default is the
 /// paper's fresh-solver-per-probe methodology.
-fn run_minimize(dag: &Dag, args: &Args) -> Result<(), String> {
-    let base = SolverOptions {
-        encoding: EncodingOptions {
-            move_mode: args.mode,
-            ..EncodingOptions::default()
-        },
-        ..SolverOptions::default()
-    };
+fn run_minimize(dag: &Dag, args: &Args) -> Result<(), CliError> {
     let per_query = args.timeout.unwrap_or(Duration::from_secs(10));
-    let best = if let Some(workers) = args.portfolio {
-        let outcome = if args.share_clauses {
-            revpebble::core::minimize_portfolio_shared(dag, base, per_query, workers)
-        } else {
-            revpebble::core::minimize_portfolio(dag, base, per_query, workers)
-        };
-        for (index, report) in outcome.workers.iter().enumerate() {
-            let role = match outcome.winner {
-                Some(winner) if winner == index => "winner",
-                _ if report.cancelled => "cancelled",
-                _ => "finished",
-            };
-            eprintln!(
-                "  worker {index} [{}]: {role} after {:.1?} ({} probes, {} conflicts, \
-                 imported={} exported={})",
-                revpebble::core::portfolio::describe_minimize_config(&report.config),
-                report.elapsed,
-                report.result.probes.len(),
-                report.result.sat.conflicts,
-                report.result.sat.imported_clauses,
-                report.result.sat.exported_clauses,
-            );
+    let mut session = session_for(dag, args)
+        .minimize()
+        .per_query_timeout(per_query);
+    if args.portfolio.is_none() {
+        session = session.incremental(args.incremental);
+    }
+    let report = session
+        .on_event(|event| eprintln!("  {event}"))
+        .run()
+        .map_err(CliError::Invalid)?;
+    match &report.outcome {
+        SessionOutcome::MinimizePortfolio(outcome) => {
+            for (index, worker) in outcome.workers.iter().enumerate() {
+                let role = match outcome.winner {
+                    Some(winner) if winner == index => "winner",
+                    _ if worker.cancelled => "cancelled",
+                    _ => "finished",
+                };
+                eprintln!(
+                    "  worker {index} [{}]: {role} after {:.1?} ({} probes, {} conflicts, \
+                     imported={} exported={})",
+                    describe_minimize_config(&worker.config),
+                    worker.elapsed,
+                    worker.result.probes.len(),
+                    worker.result.sat.conflicts,
+                    worker.result.sat.imported_clauses,
+                    worker.result.sat.exported_clauses,
+                );
+            }
+            let (imports, exports) = outcome.workers.iter().fold((0u64, 0u64), |(i, e), w| {
+                (
+                    i + w.result.sat.imported_clauses,
+                    e + w.result.sat.exported_clauses,
+                )
+            });
+            let sharing = &outcome.sharing;
+            if !args.json {
+                println!(
+                    "minimize: engine=portfolio workers={} probes={} share-clauses={} \
+                     imports={imports} exports={exports} floor={} core-tightenings={}",
+                    outcome.workers.len(),
+                    report.probes(),
+                    if args.share_clauses { "on" } else { "off" },
+                    sharing.floor,
+                    sharing.step_tightenings + sharing.floor_raises,
+                );
+            }
         }
-        let probes: usize = outcome
-            .workers
-            .iter()
-            .map(|worker| worker.result.probes.len())
-            .sum();
-        let (imports, exports) = outcome.workers.iter().fold((0u64, 0u64), |(i, e), worker| {
-            (
-                i + worker.result.sat.imported_clauses,
-                e + worker.result.sat.exported_clauses,
-            )
-        });
-        let sharing = &outcome.sharing;
-        println!(
-            "minimize: engine=portfolio workers={} probes={probes} share-clauses={} \
-             imports={imports} exports={exports} floor={} core-tightenings={}",
-            outcome.workers.len(),
-            if args.share_clauses { "on" } else { "off" },
-            sharing.floor,
-            sharing.step_tightenings + sharing.floor_raises,
-        );
-        outcome.best
-    } else {
-        let result = if args.incremental {
-            revpebble::core::minimize_pebbles(dag, base, per_query)
-        } else {
-            revpebble::core::minimize_pebbles_fresh(dag, base, per_query)
-        };
-        let engine = if args.incremental {
-            "incremental"
-        } else {
-            "fresh"
-        };
-        // Derived from the stats, not asserted: one instance answered
-        // every query iff its cumulative solve counter matches the outer
-        // query count, so the CI grep on `solver-instances=1` genuinely
-        // guards the single-instance property.
-        let single_instance = result.sat.solves == result.search.queries as u64;
-        let instances = if args.incremental && single_instance {
-            1
-        } else {
-            result.probes.len()
-        };
-        println!(
-            "minimize: engine={engine} probes={} queries={} conflicts={} floor={} \
-             core-tightenings={} solver-instances={instances}",
-            result.probes.len(),
-            result.search.queries,
-            result.sat.conflicts,
-            result.floor,
-            result.step_tightenings + result.floor_raises,
-        );
-        result.best
-    };
-    match best {
-        Some((p, strategy)) => {
-            println!("smallest certified budget: {p} pebbles");
-            report_strategy(dag, &strategy, args.grid);
+        SessionOutcome::Minimize(result) => {
+            // Derived from the stats, not asserted: one instance answered
+            // every query iff its cumulative solve counter matches the
+            // outer query count, so the CI grep on `solver-instances=1`
+            // genuinely guards the single-instance property.
+            let single_instance = result.sat.solves == result.search.queries as u64;
+            let instances = if args.incremental && single_instance {
+                1
+            } else {
+                result.probes.len()
+            };
+            if !args.json {
+                println!(
+                    "minimize: engine={} probes={} queries={} conflicts={} floor={} \
+                     core-tightenings={} solver-instances={instances}",
+                    report.engine,
+                    result.probes.len(),
+                    result.search.queries,
+                    result.sat.conflicts,
+                    result.floor,
+                    result.step_tightenings + result.floor_raises,
+                );
+            }
+        }
+        _ => unreachable!("a minimize session drives a minimize engine"),
+    }
+    if args.json {
+        println!("{}", report.to_json());
+    }
+    let json = args.json;
+    let grid = args.grid;
+    let minimum = report.minimum;
+    match report.into_strategy() {
+        Some(strategy) => {
+            let p = minimum.expect("a strategy certifies its budget");
+            if !json {
+                println!("smallest certified budget: {p} pebbles");
+                report_strategy(dag, &strategy, grid);
+            }
             Ok(())
         }
-        None => Err("no budget certified within the timeout".to_string()),
+        None => Err(CliError::Failed(
+            "no budget certified within the timeout".to_string(),
+        )),
     }
+}
+
+/// `frontier`: sweep the pebble/step trade-off through the session.
+fn run_frontier(dag: &Dag, args: &Args) -> Result<(), CliError> {
+    let report = session_for(dag, args)
+        .sweep_frontier()
+        .per_query_timeout(args.timeout.unwrap_or(Duration::from_secs(10)))
+        .on_event(|event| eprintln!("  {event}"))
+        .run()
+        .map_err(CliError::Invalid)?;
+    if args.json {
+        println!("{}", report.to_json());
+        return Ok(());
+    }
+    let SessionOutcome::Frontier(points) = &report.outcome else {
+        unreachable!("a frontier session drives the frontier engine");
+    };
+    print!("{}", render_frontier(points, dag));
+    Ok(())
 }
 
 fn report_strategy(dag: &Dag, strategy: &Strategy, grid: bool) {

@@ -1,0 +1,125 @@
+//! Exit-code contract of the `revpebble` binary:
+//!
+//! - `0` — success;
+//! - `1` — runtime failure (infeasible budget, timeout, missing input);
+//! - `2` — invalid usage or configuration, whether rejected by the flag
+//!   parser (unknown flag) or by the `PebblingSession` plan (semantic
+//!   combination) — the CLI and the library reject identically.
+
+use std::process::{Command, Output};
+
+fn revpebble(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_revpebble"))
+        .args(args)
+        .output()
+        .expect("binary runs")
+}
+
+fn stderr(output: &Output) -> String {
+    String::from_utf8_lossy(&output.stderr).into_owned()
+}
+
+#[test]
+fn success_exits_zero() {
+    let output = revpebble(&["pebble", "paper", "--pebbles", "4"]);
+    assert_eq!(output.status.code(), Some(0), "{}", stderr(&output));
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(stdout.contains("pebbles: 4"), "{stdout}");
+}
+
+#[test]
+fn session_errors_exit_two_minimize_with_pebbles() {
+    let output = revpebble(&["pebble", "paper", "--minimize", "--pebbles", "4"]);
+    assert_eq!(output.status.code(), Some(2));
+    let stderr = stderr(&output);
+    assert!(
+        stderr.contains("--minimize searches for the budget"),
+        "{stderr}"
+    );
+}
+
+#[test]
+fn session_errors_exit_two_share_without_portfolio() {
+    let output = revpebble(&["pebble", "paper", "--minimize", "--share-clauses"]);
+    assert_eq!(output.status.code(), Some(2));
+    let stderr = stderr(&output);
+    assert!(
+        stderr.contains("--share-clauses needs --portfolio"),
+        "{stderr}"
+    );
+}
+
+#[test]
+fn session_errors_exit_two_share_without_minimize() {
+    let output = revpebble(&[
+        "pebble",
+        "paper",
+        "--pebbles",
+        "4",
+        "--portfolio",
+        "2",
+        "--share-clauses",
+    ]);
+    assert_eq!(output.status.code(), Some(2));
+    let stderr = stderr(&output);
+    assert!(
+        stderr.contains("--share-clauses only applies to the minimize search"),
+        "{stderr}"
+    );
+}
+
+#[test]
+fn session_errors_exit_two_missing_budget() {
+    let output = revpebble(&["pebble", "paper"]);
+    assert_eq!(output.status.code(), Some(2));
+    let stderr = stderr(&output);
+    assert!(stderr.contains("no budget given"), "{stderr}");
+}
+
+#[test]
+fn parse_errors_exit_two_with_usage() {
+    let output = revpebble(&["pebble", "paper", "--bogus"]);
+    assert_eq!(output.status.code(), Some(2));
+    let stderr = stderr(&output);
+    assert!(stderr.contains("unknown flag"), "{stderr}");
+    assert!(stderr.contains("usage:"), "{stderr}");
+}
+
+#[test]
+fn runtime_failures_exit_one() {
+    // 2 pebbles are below the paper example's structural lower bound of
+    // 3: a valid configuration whose *search* fails.
+    let output = revpebble(&["pebble", "paper", "--pebbles", "2"]);
+    assert_eq!(output.status.code(), Some(1));
+    let stderr = stderr(&output);
+    assert!(stderr.contains("infeasible"), "{stderr}");
+}
+
+#[test]
+fn json_report_carries_the_schema_keys() {
+    let output = revpebble(&["pebble", "paper", "--minimize", "--timeout", "30", "--json"]);
+    assert_eq!(output.status.code(), Some(0), "{}", stderr(&output));
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    let json = stdout.trim();
+    assert!(json.starts_with('{') && json.ends_with('}'), "{json}");
+    for key in [
+        "\"engine\":",
+        "\"minimum\":4",
+        "\"floor\":",
+        "\"workers\":[",
+        "\"events_emitted\":",
+    ] {
+        assert!(json.contains(key), "{key} missing in {json}");
+    }
+    // JSON mode keeps stdout machine-readable: exactly one line.
+    assert_eq!(stdout.trim().lines().count(), 1, "{stdout}");
+}
+
+#[test]
+fn probe_events_stream_to_stderr() {
+    let output = revpebble(&["pebble", "paper", "--minimize", "--timeout", "30"]);
+    assert_eq!(output.status.code(), Some(0), "{}", stderr(&output));
+    let stderr = stderr(&output);
+    assert!(stderr.contains("trying budget"), "{stderr}");
+    assert!(stderr.contains("certified minimum budget: 4"), "{stderr}");
+}

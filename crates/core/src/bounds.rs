@@ -149,7 +149,10 @@ mod tests {
         dag.mark_output(b);
         assert_eq!(pebble_lower_bound(&dag), 2);
         assert_eq!(weighted_pebble_lower_bound(&dag), 2);
-        let strategy = crate::solver::solve_with_pebbles(&dag, 2)
+        let strategy = crate::session::PebblingSession::new(&dag)
+            .pebbles(2)
+            .run()
+            .expect("valid configuration")
             .into_strategy()
             .expect("budget 2 is feasible");
         strategy.validate(&dag, Some(2)).expect("valid");

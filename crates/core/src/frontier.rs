@@ -19,6 +19,7 @@ use revpebble_graph::Dag;
 
 use crate::bounds::pebble_lower_bound;
 use crate::encoding::BoundMode;
+use crate::session::{ProbeEvent, ProbeEventSender};
 use crate::solver::{PebbleOutcome, PebbleSolver, SolverOptions};
 use crate::strategy::Strategy;
 
@@ -77,10 +78,27 @@ impl Default for FrontierOptions {
 /// failure when requested. See the [module docs](self) for the persistent
 /// incremental engine behind the default configuration.
 pub fn frontier(dag: &Dag, options: FrontierOptions) -> Vec<FrontierPoint> {
+    frontier_with_events(dag, options, None)
+}
+
+/// [`frontier`] with a live probe-event stream: every budget probe emits
+/// [`ProbeEvent::ProbeStarted`] and a solved/refuted event — the view the
+/// session's frontier executor streams to its
+/// [`on_event`](crate::session::PebblingSession::on_event) callback.
+pub fn frontier_with_events(
+    dag: &Dag,
+    options: FrontierOptions,
+    events: Option<ProbeEventSender>,
+) -> Vec<FrontierPoint> {
     let min = options
         .min_pebbles
         .unwrap_or_else(|| pebble_lower_bound(dag));
     let max = options.max_pebbles.unwrap_or_else(|| dag.num_nodes());
+    let emit = |event: ProbeEvent| {
+        if let Some(events) = &events {
+            let _ = events.send(event);
+        }
+    };
     let mut points = Vec::new();
     // One persistent instance for the whole sweep: every probe re-enters
     // it with only the assumed budget changed, and each probe's refuted
@@ -92,6 +110,12 @@ pub fn frontier(dag: &Dag, options: FrontierOptions) -> Vec<FrontierPoint> {
         PebbleSolver::new(dag, base)
     });
     for pebbles in (min..=max).rev() {
+        let probe = points.len();
+        emit(ProbeEvent::ProbeStarted {
+            worker: 0,
+            probe,
+            budget: pebbles,
+        });
         let outcome = match persistent.as_mut() {
             Some(solver) => solver.resolve_with_budget(pebbles),
             None => {
@@ -106,6 +130,19 @@ pub fn frontier(dag: &Dag, options: FrontierOptions) -> Vec<FrontierPoint> {
             PebbleOutcome::Timeout { .. } => (None, true),
             PebbleOutcome::StepLimit { .. } | PebbleOutcome::Infeasible { .. } => (None, false),
         };
+        emit(match &strategy {
+            Some(s) => ProbeEvent::ProbeSolved {
+                worker: 0,
+                probe,
+                budget: pebbles,
+                achieved: crate::session::achieved_budget(dag, options.base.encoding.weighted, s),
+            },
+            None => ProbeEvent::ProbeRefuted {
+                worker: 0,
+                probe,
+                budget: pebbles,
+            },
+        });
         let failed = strategy.is_none();
         points.push(FrontierPoint {
             pebbles,

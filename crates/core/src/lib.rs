@@ -16,19 +16,24 @@
 //! - the paper's SAT encoding ([`encoding::PebbleEncoding`]) with
 //!   sequential and parallel move semantics, several cardinality
 //!   encodings, and a weighted-node extension;
-//! - the search loops ([`PebbleSolver`], [`minimize_pebbles`]) including
+//! - the search loops ([`PebbleSolver`], [`solver::minimize`]) including
 //!   the timeout methodology of the paper's Table I — budget minimization
 //!   runs *incrementally*: one assumption-bounded encoding and solver
 //!   instance serves every `(steps, pebbles)` probe
 //!   ([`PebbleSolver::resolve_with_budget`]);
 //! - a multi-threaded [`PortfolioSolver`] racing several solver
-//!   configurations with first-winner-takes-all cancellation, and
-//!   [`minimize_portfolio`] racing whole budget schedules.
+//!   configurations with first-winner-takes-all cancellation, plus races
+//!   over whole budget schedules with optional clause sharing;
+//! - **the one front door**: [`session::PebblingSession`], a builder that
+//!   reaches every engine above, validates its configuration into a
+//!   typed [`session::SessionError`] before running, streams
+//!   [`session::ProbeEvent`]s while solving, and unifies every result
+//!   into one [`session::Report`].
 //!
 //! ## Example: the paper's running example (Fig. 2 / Fig. 4)
 //!
 //! ```
-//! use revpebble_core::{solve_with_pebbles, baselines};
+//! use revpebble_core::{baselines, PebblingSession};
 //! use revpebble_graph::generators::paper_example;
 //!
 //! let dag = paper_example();
@@ -37,7 +42,8 @@
 //! assert_eq!(bennett.max_pebbles(&dag), 6);
 //! assert_eq!(bennett.num_steps(), 10);
 //! // The SAT solver fits the same computation into 4 pebbles.
-//! let strategy = solve_with_pebbles(&dag, 4).into_strategy().expect("solvable");
+//! let report = PebblingSession::new(&dag).pebbles(4).run().expect("valid");
+//! let strategy = report.into_strategy().expect("solvable");
 //! strategy.validate(&dag, Some(4)).expect("the checker agrees");
 //! ```
 
@@ -51,6 +57,7 @@ pub mod exact;
 pub mod frontier;
 pub mod optimize;
 pub mod portfolio;
+pub mod session;
 pub mod sharing;
 pub mod solver;
 pub mod strategy;
@@ -58,20 +65,33 @@ pub mod strategy;
 pub use config::PebbleConfig;
 pub use encoding::{BoundMode, EncodingOptions, MoveMode, PebbleEncoding};
 pub use exact::{exact_min_pebbles, solve_exact, ExactOutcome};
-pub use frontier::{frontier, FrontierOptions, FrontierPoint};
+pub use frontier::{frontier, frontier_with_events, FrontierOptions, FrontierPoint};
 pub use portfolio::{
-    default_minimize_portfolio, default_portfolio, minimize_portfolio, minimize_portfolio_shared,
-    minimize_portfolio_with, minimize_portfolio_with_sharing, solve_with_pebbles_portfolio,
-    MinimizeConfig, MinimizePortfolioOutcome, MinimizeWorkerReport, PortfolioOutcome,
-    PortfolioSolver, ShareOptions, SharingReport, WorkerReport,
+    default_minimize_portfolio, default_portfolio, minimize_portfolio_with,
+    minimize_portfolio_with_sharing, MinimizeConfig, MinimizePortfolioOutcome,
+    MinimizeWorkerReport, PortfolioOutcome, PortfolioSolver, ShareOptions, SharingReport,
+    WorkerReport,
+};
+pub use session::{
+    Engine, PebblingSession, ProbeEvent, ProbeEventSender, Report, SessionError, SessionOutcome,
+    SessionPlan, WorkerSummary,
 };
 pub use sharing::SharedSearchState;
 pub use solver::{
-    minimize, minimize_pebbles, minimize_pebbles_descending, minimize_pebbles_fresh,
-    minimize_with_context, solve_with_pebbles, BudgetSchedule, MinimizeContext, MinimizeOptions,
-    MinimizeResult, PebbleOutcome, PebbleSolver, SearchStats, SolverOptions, StepSchedule,
+    minimize, BudgetSchedule, MinimizeContext, MinimizeOptions, MinimizeResult, PebbleOutcome,
+    PebbleSolver, SearchStats, SolverOptions, StepSchedule,
 };
 pub use strategy::{InvalidStrategy, Move, Step, Strategy};
+
+// The deprecated 8-way free-function API stays re-exported (as shims over
+// the session) so downstream code keeps compiling while it migrates.
+#[allow(deprecated)]
+pub use portfolio::{minimize_portfolio, minimize_portfolio_shared, solve_with_pebbles_portfolio};
+#[allow(deprecated)]
+pub use solver::{
+    minimize_pebbles, minimize_pebbles_descending, minimize_pebbles_fresh, minimize_with_context,
+    solve_with_pebbles,
+};
 
 pub use revpebble_sat::card::CardEncoding;
 pub use revpebble_sat::pool::{PoolConfig, PoolStats, SharedClausePool};

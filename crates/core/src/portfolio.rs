@@ -45,9 +45,10 @@ use revpebble_sat::card::CardEncoding;
 use revpebble_sat::{PoolStats, SharedClausePool, SolverStats};
 
 use crate::encoding::MoveMode;
+use crate::session::{ProbeEvent, ProbeEventSender};
 use crate::sharing::SharedSearchState;
 use crate::solver::{
-    minimize_with_context, BudgetSchedule, MinimizeContext, MinimizeOptions, MinimizeResult,
+    run_minimize_with_context, BudgetSchedule, MinimizeContext, MinimizeOptions, MinimizeResult,
     PebbleOutcome, PebbleSolver, SearchStats, SolverOptions, StepSchedule,
 };
 use crate::strategy::Strategy;
@@ -240,6 +241,14 @@ impl<'a> PortfolioSolver<'a> {
     /// the CDCL loop, so the call returns shortly after the first win
     /// even when rival configurations would run far longer.
     pub fn solve(&self) -> PortfolioOutcome {
+        self.solve_with_events(None)
+    }
+
+    /// [`solve`](Self::solve) with a live probe-event stream: each worker
+    /// emits [`ProbeEvent::ProbeStarted`] before its search and a
+    /// solved/refuted event after — the session executor's view into the
+    /// race.
+    pub(crate) fn solve_with_events(&self, events: Option<ProbeEventSender>) -> PortfolioOutcome {
         let stop = Arc::new(AtomicBool::new(false));
         let winner = AtomicUsize::new(NO_WINNER);
         let workers: Vec<WorkerReport> = thread::scope(|scope| {
@@ -250,12 +259,41 @@ impl<'a> PortfolioSolver<'a> {
                 .map(|(index, &options)| {
                     let stop = Arc::clone(&stop);
                     let winner = &winner;
+                    let events = events.clone();
                     scope.spawn(move || {
                         let start = Instant::now();
+                        let budget = options.encoding.max_pebbles.unwrap_or_default();
+                        let emit = |event: ProbeEvent| {
+                            if let Some(events) = &events {
+                                let _ = events.send(event);
+                            }
+                        };
+                        emit(ProbeEvent::ProbeStarted {
+                            worker: index,
+                            probe: 0,
+                            budget,
+                        });
                         let mut solver = PebbleSolver::new(self.dag, options);
                         solver.set_stop_flag(Some(Arc::clone(&stop)));
                         let outcome = solver.solve();
                         let solved = matches!(outcome, PebbleOutcome::Solved(_));
+                        emit(match &outcome {
+                            PebbleOutcome::Solved(strategy) => ProbeEvent::ProbeSolved {
+                                worker: index,
+                                probe: 0,
+                                budget,
+                                achieved: crate::session::achieved_budget(
+                                    self.dag,
+                                    options.encoding.weighted,
+                                    strategy,
+                                ),
+                            },
+                            _ => ProbeEvent::ProbeRefuted {
+                                worker: index,
+                                probe: 0,
+                                budget,
+                            },
+                        });
                         if solved
                             && winner
                                 .compare_exchange(
@@ -518,6 +556,20 @@ pub fn minimize_portfolio_with_sharing(
     per_query: Duration,
     share: ShareOptions,
 ) -> MinimizePortfolioOutcome {
+    minimize_portfolio_session(dag, configs, per_query, share, None)
+}
+
+/// The minimize-race executor under
+/// [`minimize_portfolio_with_sharing`] and the session's portfolio
+/// engines: the same race, with an optional live probe-event stream every
+/// worker clones.
+pub(crate) fn minimize_portfolio_session(
+    dag: &Dag,
+    configs: Vec<MinimizeConfig>,
+    per_query: Duration,
+    share: ShareOptions,
+    events: Option<ProbeEventSender>,
+) -> MinimizePortfolioOutcome {
     assert!(
         !configs.is_empty(),
         "a minimize portfolio needs at least one configuration"
@@ -553,6 +605,8 @@ pub fn minimize_portfolio_with_sharing(
                     stop: Some(Arc::clone(&stop)),
                     pool: pool.clone().filter(|_| compatible),
                     shared: shared.clone().filter(|_| compatible),
+                    events: events.clone(),
+                    worker: index,
                 };
                 scope.spawn(move || {
                     let start = Instant::now();
@@ -562,7 +616,7 @@ pub fn minimize_portfolio_with_sharing(
                         schedule: config.schedule,
                         incremental: true,
                     };
-                    let result = minimize_with_context(dag, options, ctx);
+                    let result = run_minimize_with_context(dag, options, ctx);
                     let finished = result.best.is_some() && !stop.load(Ordering::Acquire);
                     if finished
                         && winner
@@ -634,55 +688,112 @@ pub fn minimize_portfolio_with_sharing(
     }
 }
 
+/// Unwraps a minimize-portfolio session's result (shim plumbing).
+fn session_minimize_portfolio(
+    session: crate::session::PebblingSession<'_>,
+) -> MinimizePortfolioOutcome {
+    let report = session
+        .run()
+        .unwrap_or_else(|err| panic!("invalid pebbling configuration: {err}"));
+    match report.outcome {
+        crate::session::SessionOutcome::MinimizePortfolio(outcome) => outcome,
+        _ => unreachable!("a minimize-portfolio session drives the portfolio engine"),
+    }
+}
+
 /// Races `n` [`default_minimize_portfolio`] configurations (`n == 0` = one
 /// per available core) with no sharing — the isolated baseline.
+///
+/// # Deprecated
+///
+/// Shim over [`session::PebblingSession`](crate::session::PebblingSession):
+/// `PebblingSession::new(dag).minimize().portfolio(n).run()`.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `session::PebblingSession::new(dag).minimize().portfolio(n).run()`"
+)]
 pub fn minimize_portfolio(
     dag: &Dag,
     base: SolverOptions,
     per_query: Duration,
     n: usize,
 ) -> MinimizePortfolioOutcome {
-    minimize_portfolio_with(dag, default_minimize_portfolio(base, n), per_query)
+    session_minimize_portfolio(
+        crate::session::PebblingSession::new(dag)
+            .solver_options(base)
+            .minimize()
+            .portfolio(n)
+            .per_query_timeout(per_query),
+    )
 }
 
 /// Races `n` [`default_minimize_portfolio`] configurations (`n == 0` = one
 /// per available core) with full cooperation: one clause pool and one
 /// certified-refutation blackboard across all workers — the engine behind
 /// `pebble --minimize --portfolio N --share-clauses`.
+///
+/// # Deprecated
+///
+/// Shim over [`session::PebblingSession`](crate::session::PebblingSession):
+/// add [`share_clauses`](crate::session::PebblingSession::share_clauses)
+/// to a minimize-portfolio session.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `session::PebblingSession::new(dag).minimize().portfolio(n)\
+            .share_clauses(ShareOptions::default()).run()`"
+)]
 pub fn minimize_portfolio_shared(
     dag: &Dag,
     base: SolverOptions,
     per_query: Duration,
     n: usize,
 ) -> MinimizePortfolioOutcome {
-    minimize_portfolio_with_sharing(
-        dag,
-        default_minimize_portfolio(base, n),
-        per_query,
-        ShareOptions::default(),
+    session_minimize_portfolio(
+        crate::session::PebblingSession::new(dag)
+            .solver_options(base)
+            .minimize()
+            .portfolio(n)
+            .share_clauses(ShareOptions::default())
+            .per_query_timeout(per_query),
     )
 }
 
 /// Convenience: race `workers` default-portfolio configurations with the
 /// given pebble budget and otherwise default options (`workers == 0` =
 /// one per available core).
+///
+/// # Deprecated
+///
+/// Shim over [`session::PebblingSession`](crate::session::PebblingSession):
+/// `PebblingSession::new(dag).pebbles(p).portfolio(workers).run()`.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `session::PebblingSession::new(dag).pebbles(p).portfolio(workers).run()`"
+)]
 pub fn solve_with_pebbles_portfolio(
     dag: &Dag,
     max_pebbles: usize,
     workers: usize,
 ) -> PortfolioOutcome {
-    let base = SolverOptions {
-        encoding: crate::encoding::EncodingOptions {
-            max_pebbles: Some(max_pebbles),
-            ..crate::encoding::EncodingOptions::default()
-        },
-        ..SolverOptions::default()
-    };
-    PortfolioSolver::with_default_portfolio(dag, base, workers).solve()
+    let report = crate::session::PebblingSession::new(dag)
+        .pebbles(max_pebbles)
+        .portfolio(workers)
+        .run()
+        .unwrap_or_else(|err| panic!("invalid pebbling configuration: {err}"));
+    match report.outcome {
+        crate::session::SessionOutcome::Portfolio(outcome) => outcome,
+        _ => unreachable!("a fixed-budget portfolio session drives the race engine"),
+    }
 }
 
 #[cfg(test)]
 mod tests {
+    // The deprecated convenience shims stay exercised here on purpose:
+    // these unit tests cover both the engine and the shim → session →
+    // engine plumbing (equivalence is additionally property-tested at the
+    // workspace level).
+    #![allow(deprecated)]
+
     use super::*;
     use crate::encoding::EncodingOptions;
     use crate::solver::solve_with_pebbles;

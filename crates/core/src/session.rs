@@ -1,0 +1,1290 @@
+//! The one front door to every pebbling engine: [`PebblingSession`].
+//!
+//! The paper describes *one* conceptual operation — "find the smallest
+//! pebble budget for this DAG within a timeout" — but the engines that
+//! grew around it (single-budget solve, incremental and fresh budget
+//! minimization, descending schedules, racing portfolios, cooperative
+//! clause-sharing portfolios, the trade-off frontier) each sprouted their
+//! own free function and options struct. This module folds them behind a
+//! single builder:
+//!
+//! ```
+//! use revpebble_core::session::PebblingSession;
+//! use revpebble_graph::generators::paper_example;
+//!
+//! let dag = paper_example();
+//! let report = PebblingSession::new(&dag)
+//!     .minimize()
+//!     .run()
+//!     .expect("a valid configuration");
+//! assert_eq!(report.minimum, Some(4));
+//! ```
+//!
+//! The builder walks three stages:
+//!
+//! 1. **builder** — fluent setters collect *intent* without validating;
+//! 2. **plan** — [`PebblingSession::plan`] checks every cross-field
+//!    invariant (sharing requires a minimize portfolio, a fixed budget
+//!    conflicts with minimization, weighted budgets must fit the total
+//!    weight, …) and rejects bad combinations with a typed
+//!    [`SessionError`] *before* any solver is built;
+//! 3. **executor** — [`PebblingSession::run`] drives the engine named by
+//!    the validated [`SessionPlan`] and unifies the result into one
+//!    [`Report`].
+//!
+//! While an engine runs, it streams [`ProbeEvent`]s over a channel; the
+//! callback installed with [`PebblingSession::on_event`] observes them
+//! live (the CLI prints progress lines from it, benches collect
+//! structured traces). The terminal [`ProbeEvent::BudgetCertified`] event
+//! is emitted exactly once per session, after every worker has finished —
+//! even when a portfolio cancels rivals mid-probe.
+
+use std::fmt;
+use std::sync::mpsc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use revpebble_graph::{Dag, DagError};
+use revpebble_sat::SolverConfig;
+
+use revpebble_sat::card::CardEncoding;
+
+use crate::bounds::{pebble_lower_bound, weighted_pebble_lower_bound};
+use crate::encoding::MoveMode;
+use crate::frontier::{frontier_with_events, FrontierOptions, FrontierPoint};
+use crate::portfolio::{
+    default_minimize_portfolio, describe_minimize_config, describe_options,
+    minimize_portfolio_session, MinimizeConfig, MinimizePortfolioOutcome, PortfolioOutcome,
+    PortfolioSolver, ShareOptions,
+};
+use crate::solver::{
+    run_minimize_with_context, BudgetSchedule, MinimizeContext, MinimizeOptions, MinimizeResult,
+    PebbleOutcome, PebbleSolver, SolverOptions, StepSchedule,
+};
+use crate::strategy::Strategy;
+
+/// The channel end engines push [`ProbeEvent`]s into. Workers hold clones
+/// of one sender; the session drains the receiving end and forwards each
+/// event to the [`PebblingSession::on_event`] callback.
+pub type ProbeEventSender = mpsc::Sender<ProbeEvent>;
+
+/// One structured progress event from a running session.
+///
+/// Events are delivered from worker threads over a channel, in send
+/// order. Within one `worker`, `probe` indices are monotone
+/// (non-decreasing); [`BudgetCertified`](Self::BudgetCertified) is the
+/// terminal event — emitted exactly once per session, after every worker
+/// has finished, even when a portfolio cancels rivals.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ProbeEvent {
+    /// A worker is about to probe a pebble budget.
+    ProbeStarted {
+        /// Worker index (0 for single-worker engines).
+        worker: usize,
+        /// The worker's own probe counter, monotone per worker.
+        probe: usize,
+        /// The pebble budget being probed.
+        budget: usize,
+    },
+    /// A probe found a valid strategy.
+    ProbeSolved {
+        /// Worker index.
+        worker: usize,
+        /// The worker's own probe counter.
+        probe: usize,
+        /// The pebble budget that was probed.
+        budget: usize,
+        /// What the extracted strategy actually certifies (its own
+        /// pebble count — possibly below `budget`).
+        achieved: usize,
+    },
+    /// A probe was refuted or exhausted its time/step budget.
+    ProbeRefuted {
+        /// Worker index.
+        worker: usize,
+        /// The worker's own probe counter.
+        probe: usize,
+        /// The pebble budget that was probed.
+        budget: usize,
+    },
+    /// The certified budget floor rose (an exhausted probe, possibly a
+    /// rival worker's, proved every smaller budget infeasible within the
+    /// step cap).
+    FloorRaised {
+        /// Worker whose probe observed the raise.
+        worker: usize,
+        /// The new certified floor.
+        floor: usize,
+    },
+    /// Clause-sharing counters after a probe of a cooperative portfolio
+    /// worker (cumulative for that worker's solver).
+    ClauseSharingTick {
+        /// Worker index.
+        worker: usize,
+        /// Rivals' clauses imported so far.
+        imported: u64,
+        /// Learnt clauses exported to the pool so far.
+        exported: u64,
+    },
+    /// Terminal event: the session finished. Emitted exactly once, after
+    /// all workers joined; no event follows it.
+    BudgetCertified {
+        /// The smallest certified budget, or `None` when no budget was
+        /// certified (infeasible instance or exhausted timeout).
+        minimum: Option<usize>,
+    },
+}
+
+impl fmt::Display for ProbeEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            ProbeEvent::ProbeStarted {
+                worker,
+                probe,
+                budget,
+            } => write!(f, "worker {worker} probe {probe}: trying budget {budget}"),
+            ProbeEvent::ProbeSolved {
+                worker,
+                probe,
+                budget,
+                achieved,
+            } => write!(
+                f,
+                "worker {worker} probe {probe}: budget {budget} solved (certifies {achieved})"
+            ),
+            ProbeEvent::ProbeRefuted {
+                worker,
+                probe,
+                budget,
+            } => write!(f, "worker {worker} probe {probe}: budget {budget} refuted"),
+            ProbeEvent::FloorRaised { worker, floor } => {
+                write!(f, "worker {worker}: certified floor raised to {floor}")
+            }
+            ProbeEvent::ClauseSharingTick {
+                worker,
+                imported,
+                exported,
+            } => write!(
+                f,
+                "worker {worker}: clause sharing imported={imported} exported={exported}"
+            ),
+            ProbeEvent::BudgetCertified { minimum: Some(p) } => {
+                write!(f, "certified minimum budget: {p}")
+            }
+            ProbeEvent::BudgetCertified { minimum: None } => {
+                write!(f, "no budget certified")
+            }
+        }
+    }
+}
+
+/// A configuration the session builder rejects at plan time.
+///
+/// Every invalid combination of setters maps to a variant here — the
+/// library and the CLI reject identically, with no panics and no
+/// stringly-typed errors. The enum is `#[non_exhaustive]`: future
+/// engines may add variants.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SessionError {
+    /// The DAG has no nodes; there is nothing to pebble.
+    EmptyDag,
+    /// The DAG fails [`Dag::validate_for_pebbling`] (a sink is not
+    /// marked as an output, so the game is unwinnable).
+    UnpebblableDag(DagError),
+    /// Neither a fixed budget ([`PebblingSession::pebbles`]) nor a search
+    /// mode ([`PebblingSession::minimize`] /
+    /// [`PebblingSession::sweep_frontier`]) was selected.
+    MissingBudget,
+    /// A fixed pebble budget conflicts with budget minimization — the
+    /// search picks the budget itself.
+    BudgetWithMinimize {
+        /// The conflicting fixed budget.
+        budget: usize,
+    },
+    /// A fixed pebble budget conflicts with a frontier sweep, which
+    /// probes a whole budget range (use
+    /// [`PebblingSession::frontier_range`] instead).
+    BudgetWithFrontier {
+        /// The conflicting fixed budget.
+        budget: usize,
+    },
+    /// A frontier sweep conflicts with budget minimization.
+    FrontierWithMinimize,
+    /// The frontier sweep is single-threaded; it cannot race a portfolio.
+    FrontierWithPortfolio,
+    /// Clause sharing needs portfolio workers to share with.
+    ShareClausesWithoutPortfolio,
+    /// Clause sharing only applies to the minimize search.
+    ShareClausesWithoutMinimize,
+    /// Minimize-portfolio workers always run incrementally; a fresh
+    /// solver per probe cannot share clauses or certified bounds.
+    FreshPortfolio,
+    /// In weighted mode the budget counts weight units; a budget above
+    /// the DAG's total weight is meaningless.
+    WeightedBudgetOutOfRange {
+        /// The requested budget (weight units).
+        budget: usize,
+        /// The DAG's total weight.
+        total_weight: usize,
+    },
+    /// A step cap of zero admits no strategy on any DAG.
+    ZeroStepCap,
+}
+
+impl fmt::Display for SessionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SessionError::EmptyDag => write!(f, "cannot pebble an empty DAG"),
+            SessionError::UnpebblableDag(err) => {
+                write!(f, "the DAG is unfit for pebbling: {err}")
+            }
+            SessionError::MissingBudget => write!(
+                f,
+                "no budget given: set a fixed budget (--pebbles / .pebbles(p)) or search for one \
+                 (--minimize / .minimize())"
+            ),
+            SessionError::BudgetWithMinimize { budget } => write!(
+                f,
+                "--minimize searches for the budget; it conflicts with --pebbles {budget}"
+            ),
+            SessionError::BudgetWithFrontier { budget } => write!(
+                f,
+                "the frontier sweeps a budget range; it conflicts with --pebbles {budget}"
+            ),
+            SessionError::FrontierWithMinimize => {
+                write!(f, "the frontier sweep conflicts with --minimize")
+            }
+            SessionError::FrontierWithPortfolio => {
+                write!(f, "the frontier sweep is single-threaded; drop --portfolio")
+            }
+            SessionError::ShareClausesWithoutPortfolio => write!(
+                f,
+                "--share-clauses needs --portfolio N workers to share with"
+            ),
+            SessionError::ShareClausesWithoutMinimize => {
+                write!(f, "--share-clauses only applies to the minimize search")
+            }
+            SessionError::FreshPortfolio => write!(
+                f,
+                "minimize-portfolio workers always run incrementally; drop the fresh-per-probe \
+                 request or the portfolio"
+            ),
+            SessionError::WeightedBudgetOutOfRange {
+                budget,
+                total_weight,
+            } => write!(
+                f,
+                "weighted budget {budget} exceeds the DAG's total weight {total_weight}"
+            ),
+            SessionError::ZeroStepCap => write!(f, "a step cap of 0 admits no strategy"),
+        }
+    }
+}
+
+impl std::error::Error for SessionError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SessionError::UnpebblableDag(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+/// Which engine a validated [`SessionPlan`] drives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Engine {
+    /// One fixed-budget search on one thread.
+    Single,
+    /// A fixed-budget race over diverse solver configurations.
+    SinglePortfolio,
+    /// Budget minimization with a fresh solver per probe (the paper's
+    /// Table I methodology).
+    MinimizeFresh,
+    /// Budget minimization on one assumption-bounded incremental
+    /// encoding/solver instance.
+    MinimizeIncremental,
+    /// A race of incremental minimize workers over budget schedules,
+    /// sharing nothing but the first-winner stop flag.
+    MinimizePortfolio,
+    /// The cooperative race: minimize workers on one learnt-clause pool
+    /// and one certified-refutation blackboard.
+    MinimizePortfolioShared,
+    /// The pebble/step trade-off frontier sweep.
+    Frontier,
+}
+
+impl Engine {
+    /// A stable machine-readable name (the `engine` key of
+    /// [`Report::to_json`]).
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Engine::Single => "single",
+            Engine::SinglePortfolio => "portfolio",
+            Engine::MinimizeFresh => "fresh",
+            Engine::MinimizeIncremental => "incremental",
+            Engine::MinimizePortfolio => "minimize-portfolio",
+            Engine::MinimizePortfolioShared => "minimize-portfolio-shared",
+            Engine::Frontier => "frontier",
+        }
+    }
+}
+
+impl fmt::Display for Engine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// A validated execution plan: what [`PebblingSession::run`] will do,
+/// with every invariant already checked. Produced by
+/// [`PebblingSession::plan`]; useful on its own to validate a
+/// configuration (the CLI does) without paying for the run.
+#[derive(Debug, Clone)]
+#[non_exhaustive]
+pub struct SessionPlan {
+    /// The engine the plan drives.
+    pub engine: Engine,
+    /// Solver options every probe shares (encoding, deepening schedule,
+    /// step cap, SAT configuration).
+    pub base: SolverOptions,
+    /// Wall-clock budget per probe (minimize engines) or per budget
+    /// point (frontier).
+    pub per_query: Duration,
+    /// How minimize engines walk the budget axis.
+    pub budget_schedule: BudgetSchedule,
+    /// The fixed budget of the single engines.
+    pub pebbles: Option<usize>,
+    /// Requested worker count for the portfolio engines (`0` = one per
+    /// available core).
+    pub workers: usize,
+    /// What the cooperative portfolio shares.
+    pub share: ShareOptions,
+    /// Whether minimize probes reuse one assumption-bounded instance.
+    pub incremental: bool,
+    /// Budget range of a frontier sweep (`None` = structural bounds).
+    pub frontier_range: (Option<usize>, Option<usize>),
+}
+
+/// What one worker of a session did — a uniform per-worker view across
+/// all engines, for reports and the JSON output.
+#[derive(Debug, Clone)]
+#[non_exhaustive]
+pub struct WorkerSummary {
+    /// Compact description of the worker's configuration.
+    pub config: String,
+    /// Budget probes this worker issued.
+    pub probes: usize,
+    /// SAT queries this worker issued.
+    pub queries: usize,
+    /// SAT conflicts this worker paid.
+    pub conflicts: u64,
+    /// Clauses imported from the shared pool.
+    pub imported: u64,
+    /// Clauses exported to the shared pool.
+    pub exported: u64,
+    /// `true` when a rival finished first and cancelled this worker.
+    pub cancelled: bool,
+    /// `true` when this worker's result decided the session.
+    pub winner: bool,
+    /// Wall-clock from spawn to return.
+    pub elapsed: Duration,
+}
+
+/// The engine-specific artifact behind a [`Report`], for callers that
+/// need more than the unified fields (per-probe stats snapshots, the
+/// full frontier, per-worker minimize results).
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum SessionOutcome {
+    /// [`Engine::Single`]: the raw outcome.
+    Single(PebbleOutcome),
+    /// [`Engine::SinglePortfolio`]: the raw race outcome.
+    Portfolio(PortfolioOutcome),
+    /// [`Engine::MinimizeFresh`] / [`Engine::MinimizeIncremental`]: the
+    /// raw minimize result.
+    Minimize(MinimizeResult),
+    /// [`Engine::MinimizePortfolio`] /
+    /// [`Engine::MinimizePortfolioShared`]: the raw race outcome.
+    MinimizePortfolio(MinimizePortfolioOutcome),
+    /// [`Engine::Frontier`]: the swept trade-off points.
+    Frontier(Vec<FrontierPoint>),
+}
+
+/// The unified result of a session: what every engine reports, in one
+/// shape, with a serde-free [`to_json`](Self::to_json) for machine
+/// consumers.
+#[derive(Debug)]
+#[non_exhaustive]
+pub struct Report {
+    /// The engine that ran.
+    pub engine: Engine,
+    /// The smallest certified budget (weight units in weighted mode), or
+    /// `None` when nothing was certified.
+    pub minimum: Option<usize>,
+    /// The certified budget floor at the end of the run — step-cap
+    /// relative for minimize engines (see [`crate::sharing`]), the
+    /// structural lower bound otherwise.
+    pub floor: usize,
+    /// One summary per worker, in configuration order.
+    pub workers: Vec<WorkerSummary>,
+    /// Events delivered over the session's channel (including the
+    /// terminal [`ProbeEvent::BudgetCertified`]).
+    pub events_emitted: u64,
+    /// The engine-specific artifact (probe logs, per-worker results,
+    /// frontier points).
+    pub outcome: SessionOutcome,
+}
+
+impl Report {
+    /// The best strategy the session found, if any.
+    pub fn strategy(&self) -> Option<&Strategy> {
+        match &self.outcome {
+            SessionOutcome::Single(outcome) => outcome.strategy(),
+            SessionOutcome::Portfolio(outcome) => outcome.outcome.strategy(),
+            SessionOutcome::Minimize(result) => result.best.as_ref().map(|(_, s)| s),
+            SessionOutcome::MinimizePortfolio(outcome) => outcome.best.as_ref().map(|(_, s)| s),
+            SessionOutcome::Frontier(points) => {
+                points.iter().find_map(|point| point.strategy.as_ref())
+            }
+        }
+    }
+
+    /// Consumes the report and returns the best strategy, if any.
+    pub fn into_strategy(self) -> Option<Strategy> {
+        match self.outcome {
+            SessionOutcome::Single(outcome) => outcome.into_strategy(),
+            SessionOutcome::Portfolio(outcome) => outcome.outcome.into_strategy(),
+            SessionOutcome::Minimize(result) => result.best.map(|(_, s)| s),
+            SessionOutcome::MinimizePortfolio(outcome) => outcome.best.map(|(_, s)| s),
+            SessionOutcome::Frontier(points) => points.into_iter().find_map(|point| point.strategy),
+        }
+    }
+
+    /// Total budget probes across all workers.
+    pub fn probes(&self) -> usize {
+        self.workers.iter().map(|w| w.probes).sum()
+    }
+
+    /// The report as one JSON object (no external serialization crate;
+    /// every string is code-controlled, so no escaping is needed).
+    ///
+    /// Keys: `engine`, `minimum` (number or `null`), `floor`, `workers`
+    /// (array of per-worker objects), `events_emitted`, `probes`,
+    /// `strategy` (object or `null`), and for frontier runs `frontier`.
+    pub fn to_json(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::from("{");
+        let _ = write!(out, "\"engine\":\"{}\"", self.engine.as_str());
+        match self.minimum {
+            Some(p) => {
+                let _ = write!(out, ",\"minimum\":{p}");
+            }
+            None => out.push_str(",\"minimum\":null"),
+        }
+        let _ = write!(out, ",\"floor\":{}", self.floor);
+        out.push_str(",\"workers\":[");
+        for (index, worker) in self.workers.iter().enumerate() {
+            if index > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"config\":\"{}\",\"probes\":{},\"queries\":{},\"conflicts\":{},\
+                 \"imported\":{},\"exported\":{},\"cancelled\":{},\"winner\":{},\
+                 \"elapsed_s\":{:.6}}}",
+                worker.config,
+                worker.probes,
+                worker.queries,
+                worker.conflicts,
+                worker.imported,
+                worker.exported,
+                worker.cancelled,
+                worker.winner,
+                worker.elapsed.as_secs_f64(),
+            );
+        }
+        out.push(']');
+        let _ = write!(out, ",\"events_emitted\":{}", self.events_emitted);
+        let _ = write!(out, ",\"probes\":{}", self.probes());
+        match self.strategy() {
+            Some(strategy) => {
+                let _ = write!(
+                    out,
+                    ",\"strategy\":{{\"steps\":{},\"moves\":{}}}",
+                    strategy.num_steps(),
+                    strategy.num_moves()
+                );
+            }
+            None => out.push_str(",\"strategy\":null"),
+        }
+        if let SessionOutcome::Frontier(points) = &self.outcome {
+            out.push_str(",\"frontier\":[");
+            for (index, point) in points.iter().enumerate() {
+                if index > 0 {
+                    out.push(',');
+                }
+                match &point.strategy {
+                    Some(s) => {
+                        let _ = write!(out, "[{},{}]", point.pebbles, s.num_steps());
+                    }
+                    None => {
+                        let _ = write!(out, "[{},null]", point.pebbles);
+                    }
+                }
+            }
+            out.push(']');
+        }
+        out.push('}');
+        out
+    }
+}
+
+/// Builder for one pebbling run — the single entry point the CLI, the
+/// bench harnesses and library consumers all drive. See the
+/// [module docs](self) for the builder → plan → executor pipeline and
+/// the crate docs for a worked example.
+pub struct PebblingSession<'a> {
+    dag: &'a Dag,
+    base: SolverOptions,
+    pebbles: Option<usize>,
+    minimize: bool,
+    frontier: bool,
+    budget_schedule: BudgetSchedule,
+    incremental: Option<bool>,
+    portfolio: Option<usize>,
+    share: Option<ShareOptions>,
+    per_query: Option<Duration>,
+    frontier_range: (Option<usize>, Option<usize>),
+    #[allow(clippy::type_complexity)]
+    on_event: Option<Box<dyn FnMut(ProbeEvent) + Send + 'a>>,
+}
+
+impl fmt::Debug for PebblingSession<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("PebblingSession")
+            .field("base", &self.base)
+            .field("pebbles", &self.pebbles)
+            .field("minimize", &self.minimize)
+            .field("frontier", &self.frontier)
+            .field("budget_schedule", &self.budget_schedule)
+            .field("incremental", &self.incremental)
+            .field("portfolio", &self.portfolio)
+            .field("share", &self.share)
+            .field("per_query", &self.per_query)
+            .field("on_event", &self.on_event.is_some())
+            .finish_non_exhaustive()
+    }
+}
+
+impl<'a> PebblingSession<'a> {
+    /// Starts a session on `dag` with paper-faithful defaults: sequential
+    /// moves, linear deepening, default SAT configuration. Nothing is
+    /// validated until [`plan`](Self::plan) / [`run`](Self::run).
+    pub fn new(dag: &'a Dag) -> Self {
+        PebblingSession {
+            dag,
+            base: SolverOptions::default(),
+            pebbles: None,
+            minimize: false,
+            frontier: false,
+            budget_schedule: BudgetSchedule::Binary,
+            incremental: None,
+            portfolio: None,
+            share: None,
+            per_query: None,
+            frontier_range: (None, None),
+            on_event: None,
+        }
+    }
+
+    /// Solve with this fixed pebble budget (weight units in weighted
+    /// mode). Conflicts with [`minimize`](Self::minimize) and
+    /// [`sweep_frontier`](Self::sweep_frontier).
+    pub fn pebbles(mut self, budget: usize) -> Self {
+        self.pebbles = Some(budget);
+        self.base.encoding.max_pebbles = Some(budget);
+        self
+    }
+
+    /// Search for the smallest certifiable pebble budget (the paper's
+    /// Table I methodology) instead of solving one fixed budget.
+    pub fn minimize(mut self) -> Self {
+        self.minimize = true;
+        self
+    }
+
+    /// Sweep the pebble/step trade-off frontier: probe every budget in
+    /// [`frontier_range`](Self::frontier_range) (default: structural
+    /// bounds) and report the best step count per feasible budget.
+    pub fn sweep_frontier(mut self) -> Self {
+        self.frontier = true;
+        self
+    }
+
+    /// Restricts a frontier sweep to `[min, max]` budgets (either side
+    /// `None` = the structural default).
+    pub fn frontier_range(mut self, min: Option<usize>, max: Option<usize>) -> Self {
+        self.frontier_range = (min, max);
+        self
+    }
+
+    /// How the deepening over the step count `K` is scheduled.
+    pub fn steps(mut self, schedule: StepSchedule) -> Self {
+        self.base.schedule = schedule;
+        self
+    }
+
+    /// How a minimize search walks the budget axis.
+    pub fn budget(mut self, schedule: BudgetSchedule) -> Self {
+        self.budget_schedule = schedule;
+        self
+    }
+
+    /// `true` (the default): every minimize probe reuses one
+    /// assumption-bounded encoding/solver instance. `false`: the paper's
+    /// fresh-solver-per-probe methodology.
+    pub fn incremental(mut self, incremental: bool) -> Self {
+        self.incremental = Some(incremental);
+        self
+    }
+
+    /// Shorthand for [`incremental(false)`](Self::incremental): rebuild
+    /// the encoding for every probe, as the paper's Table I runs did.
+    pub fn fresh_per_probe(self) -> Self {
+        self.incremental(false)
+    }
+
+    /// Race `n` workers (`0` = one per available core): diverse solver
+    /// configurations for a fixed budget, incremental budget schedules
+    /// for a minimize search.
+    pub fn portfolio(mut self, n: usize) -> Self {
+        self.portfolio = Some(n);
+        self
+    }
+
+    /// Makes a minimize portfolio cooperative: workers exchange short
+    /// learnt clauses and certified refutations per `share`. Requires
+    /// [`minimize`](Self::minimize) + [`portfolio`](Self::portfolio).
+    pub fn share_clauses(mut self, share: ShareOptions) -> Self {
+        self.share = Some(share);
+        self
+    }
+
+    /// Wall-clock budget per minimize probe / frontier point (default
+    /// 10 s, as the CLI uses).
+    pub fn per_query_timeout(mut self, per_query: Duration) -> Self {
+        self.per_query = Some(per_query);
+        self
+    }
+
+    /// Wall-clock budget for a whole fixed-budget solve.
+    pub fn timeout(mut self, timeout: Duration) -> Self {
+        self.base.timeout = Some(timeout);
+        self
+    }
+
+    /// Move semantics of the encoding (sequential vs. parallel).
+    pub fn move_mode(mut self, mode: MoveMode) -> Self {
+        self.base.encoding.move_mode = mode;
+        self
+    }
+
+    /// Cardinality encoding for the per-step pebble bound.
+    pub fn card_encoding(mut self, encoding: CardEncoding) -> Self {
+        self.base.encoding.card_encoding = encoding;
+        self
+    }
+
+    /// Bound the total *weight* of pebbled nodes instead of their count.
+    pub fn weighted(mut self, weighted: bool) -> Self {
+        self.base.encoding.weighted = weighted;
+        self
+    }
+
+    /// Abort the deepening once `K` exceeds this step cap.
+    pub fn max_steps(mut self, max_steps: usize) -> Self {
+        self.base.max_steps = max_steps;
+        self
+    }
+
+    /// Configuration of the underlying CDCL solver.
+    pub fn solver_config(mut self, config: SolverConfig) -> Self {
+        self.base.sat = config;
+        self
+    }
+
+    /// Replaces the whole base [`SolverOptions`] at once (power users;
+    /// the individual setters cover the common axes). A fixed budget
+    /// already set via [`pebbles`](Self::pebbles) is preserved.
+    pub fn solver_options(mut self, base: SolverOptions) -> Self {
+        self.base = base;
+        if let Some(budget) = self.pebbles {
+            self.base.encoding.max_pebbles = Some(budget);
+        }
+        self
+    }
+
+    /// Installs a live observer for [`ProbeEvent`]s. The callback runs on
+    /// the session's own thread while workers solve, in channel-delivery
+    /// order; the terminal [`ProbeEvent::BudgetCertified`] arrives last.
+    pub fn on_event(mut self, callback: impl FnMut(ProbeEvent) + Send + 'a) -> Self {
+        self.on_event = Some(Box::new(callback));
+        self
+    }
+
+    /// Validates the configuration and names the engine it will drive,
+    /// without running anything. Every cross-field invariant is checked
+    /// here; [`run`](Self::run) cannot panic on configuration errors.
+    pub fn plan(&self) -> Result<SessionPlan, SessionError> {
+        if self.dag.num_nodes() == 0 {
+            return Err(SessionError::EmptyDag);
+        }
+        if let Err(err) = self.dag.validate_for_pebbling() {
+            return Err(SessionError::UnpebblableDag(err));
+        }
+        if self.base.max_steps == 0 {
+            return Err(SessionError::ZeroStepCap);
+        }
+        if let (true, Some(budget)) = (self.base.encoding.weighted, self.pebbles) {
+            let total_weight = usize::try_from(self.dag.total_weight()).unwrap_or(usize::MAX);
+            if budget > total_weight {
+                return Err(SessionError::WeightedBudgetOutOfRange {
+                    budget,
+                    total_weight,
+                });
+            }
+        }
+        let engine = if self.frontier {
+            if self.minimize {
+                return Err(SessionError::FrontierWithMinimize);
+            }
+            if let Some(budget) = self.pebbles {
+                return Err(SessionError::BudgetWithFrontier { budget });
+            }
+            if self.portfolio.is_some() {
+                return Err(SessionError::FrontierWithPortfolio);
+            }
+            if self.share.is_some() {
+                return Err(SessionError::ShareClausesWithoutMinimize);
+            }
+            Engine::Frontier
+        } else if self.minimize {
+            if let Some(budget) = self.pebbles {
+                return Err(SessionError::BudgetWithMinimize { budget });
+            }
+            match self.portfolio {
+                Some(_) => {
+                    if self.incremental == Some(false) {
+                        return Err(SessionError::FreshPortfolio);
+                    }
+                    if self.share.is_some() {
+                        Engine::MinimizePortfolioShared
+                    } else {
+                        Engine::MinimizePortfolio
+                    }
+                }
+                None => {
+                    if self.share.is_some() {
+                        return Err(SessionError::ShareClausesWithoutPortfolio);
+                    }
+                    if self.incremental.unwrap_or(true) {
+                        Engine::MinimizeIncremental
+                    } else {
+                        Engine::MinimizeFresh
+                    }
+                }
+            }
+        } else {
+            if self.share.is_some() {
+                return Err(SessionError::ShareClausesWithoutMinimize);
+            }
+            let Some(_) = self.pebbles else {
+                return Err(SessionError::MissingBudget);
+            };
+            if self.portfolio.is_some() {
+                Engine::SinglePortfolio
+            } else {
+                Engine::Single
+            }
+        };
+        Ok(SessionPlan {
+            engine,
+            base: self.base,
+            per_query: self.per_query.unwrap_or(Duration::from_secs(10)),
+            budget_schedule: self.budget_schedule,
+            pebbles: self.pebbles,
+            workers: self.portfolio.unwrap_or(0),
+            share: self.share.unwrap_or_else(ShareOptions::isolated),
+            incremental: self.incremental.unwrap_or(true),
+            frontier_range: self.frontier_range,
+        })
+    }
+
+    /// Validates ([`plan`](Self::plan)) and runs the session, streaming
+    /// [`ProbeEvent`]s to the [`on_event`](Self::on_event) callback while
+    /// workers solve, and returns the unified [`Report`].
+    pub fn run(mut self) -> Result<Report, SessionError> {
+        let plan = self.plan()?;
+        let dag = self.dag;
+        let mut callback = self.on_event.take();
+        let mut events_emitted: u64 = 0;
+        let (tx, rx) = mpsc::channel();
+        let (outcome, workers) = match callback.as_mut() {
+            // Live stream: the engine runs on a scoped thread while this
+            // thread drains the channel, so each event reaches the
+            // callback while rivals are still solving.
+            Some(callback) => thread::scope(|scope| {
+                let engine_plan = plan.clone();
+                let handle = scope.spawn(move || execute_plan(dag, &engine_plan, tx));
+                // Drains until the engine (and every worker clone)
+                // drops its sender.
+                for event in rx {
+                    events_emitted += 1;
+                    callback(event);
+                }
+                handle.join().expect("session engine panicked")
+            }),
+            // No observer: run inline — no thread spawn on the
+            // library's hottest path — and tally the buffered events
+            // afterwards so `events_emitted` stays accurate.
+            None => {
+                let result = execute_plan(dag, &plan, tx);
+                events_emitted += rx.try_iter().count() as u64;
+                result
+            }
+        };
+        let (minimum, floor) = self.certified(&plan, &outcome);
+        // The terminal event: exactly once per session, after every
+        // worker joined — a cancelled rival can never emit after it.
+        events_emitted += 1;
+        if let Some(callback) = callback.as_mut() {
+            callback(ProbeEvent::BudgetCertified { minimum });
+        }
+        Ok(Report {
+            engine: plan.engine,
+            minimum,
+            floor,
+            workers,
+            events_emitted,
+            outcome,
+        })
+    }
+
+    /// The unified `(minimum, floor)` pair for a finished engine run.
+    fn certified(&self, plan: &SessionPlan, outcome: &SessionOutcome) -> (Option<usize>, usize) {
+        let structural = if plan.base.encoding.weighted {
+            weighted_pebble_lower_bound(self.dag)
+        } else {
+            pebble_lower_bound(self.dag)
+        };
+        let achieved =
+            |strategy: &Strategy| achieved_budget(self.dag, plan.base.encoding.weighted, strategy);
+        match outcome {
+            SessionOutcome::Single(outcome) => (outcome.strategy().map(achieved), structural),
+            SessionOutcome::Portfolio(outcome) => {
+                (outcome.outcome.strategy().map(achieved), structural)
+            }
+            SessionOutcome::Minimize(result) => {
+                (result.best.as_ref().map(|&(p, _)| p), result.floor)
+            }
+            SessionOutcome::MinimizePortfolio(outcome) => (
+                outcome.best.as_ref().map(|&(p, _)| p),
+                outcome.sharing.floor,
+            ),
+            SessionOutcome::Frontier(points) => (
+                points
+                    .iter()
+                    .filter(|point| point.strategy.is_some())
+                    .map(|point| point.pebbles)
+                    .min(),
+                structural,
+            ),
+        }
+    }
+}
+
+/// Runs the engine a validated plan names, pushing progress events into
+/// `tx`. Dropping `tx` (and every worker clone) ends the session's event
+/// stream.
+/// What a strategy certifies, in the units the encoding budgets:
+/// weight units in weighted mode, pebble counts otherwise. Every
+/// engine's `ProbeSolved { achieved }` (and the terminal minimum) uses
+/// this, so the event stream never mixes units.
+pub(crate) fn achieved_budget(dag: &Dag, weighted: bool, strategy: &Strategy) -> usize {
+    if weighted {
+        usize::try_from(strategy.max_weight(dag)).unwrap_or(usize::MAX)
+    } else {
+        strategy.max_pebbles(dag)
+    }
+}
+
+fn execute_plan(
+    dag: &Dag,
+    plan: &SessionPlan,
+    tx: ProbeEventSender,
+) -> (SessionOutcome, Vec<WorkerSummary>) {
+    match plan.engine {
+        Engine::Single => {
+            let budget = plan.pebbles.expect("validated: single needs a budget");
+            let start = Instant::now();
+            let _ = tx.send(ProbeEvent::ProbeStarted {
+                worker: 0,
+                probe: 0,
+                budget,
+            });
+            let mut solver = PebbleSolver::new(dag, plan.base);
+            let outcome = solver.solve();
+            let event = match &outcome {
+                PebbleOutcome::Solved(strategy) => ProbeEvent::ProbeSolved {
+                    worker: 0,
+                    probe: 0,
+                    budget,
+                    achieved: achieved_budget(dag, plan.base.encoding.weighted, strategy),
+                },
+                _ => ProbeEvent::ProbeRefuted {
+                    worker: 0,
+                    probe: 0,
+                    budget,
+                },
+            };
+            let _ = tx.send(event);
+            let summary = WorkerSummary {
+                config: describe_options(&plan.base),
+                probes: 1,
+                queries: solver.stats().queries,
+                conflicts: solver.sat_stats().conflicts,
+                imported: solver.sat_stats().imported_clauses,
+                exported: solver.sat_stats().exported_clauses,
+                cancelled: false,
+                winner: matches!(outcome, PebbleOutcome::Solved(_)),
+                elapsed: start.elapsed(),
+            };
+            (SessionOutcome::Single(outcome), vec![summary])
+        }
+        Engine::SinglePortfolio => {
+            let portfolio = PortfolioSolver::with_default_portfolio(dag, plan.base, plan.workers);
+            let outcome = portfolio.solve_with_events(Some(tx));
+            let workers = outcome
+                .workers
+                .iter()
+                .enumerate()
+                .map(|(index, worker)| WorkerSummary {
+                    config: describe_options(&worker.options),
+                    probes: 1,
+                    queries: worker.search.queries,
+                    conflicts: worker.sat.conflicts,
+                    imported: worker.sat.imported_clauses,
+                    exported: worker.sat.exported_clauses,
+                    cancelled: worker.cancelled,
+                    winner: outcome.winner == Some(index),
+                    elapsed: worker.elapsed,
+                })
+                .collect();
+            (SessionOutcome::Portfolio(outcome), workers)
+        }
+        Engine::MinimizeFresh | Engine::MinimizeIncremental => {
+            let start = Instant::now();
+            let options = MinimizeOptions {
+                base: plan.base,
+                per_query: plan.per_query,
+                schedule: plan.budget_schedule,
+                incremental: plan.engine == Engine::MinimizeIncremental,
+            };
+            let ctx = MinimizeContext {
+                events: Some(tx),
+                ..MinimizeContext::default()
+            };
+            let result = run_minimize_with_context(dag, options, ctx);
+            let summary = WorkerSummary {
+                config: describe_minimize_config(&MinimizeConfig {
+                    base: plan.base,
+                    schedule: plan.budget_schedule,
+                }),
+                probes: result.probes.len(),
+                queries: result.search.queries,
+                conflicts: result.sat.conflicts,
+                imported: result.sat.imported_clauses,
+                exported: result.sat.exported_clauses,
+                cancelled: false,
+                winner: result.best.is_some(),
+                elapsed: start.elapsed(),
+            };
+            (SessionOutcome::Minimize(result), vec![summary])
+        }
+        Engine::MinimizePortfolio | Engine::MinimizePortfolioShared => {
+            let configs = default_minimize_portfolio(plan.base, plan.workers);
+            let share = if plan.engine == Engine::MinimizePortfolioShared {
+                plan.share
+            } else {
+                ShareOptions::isolated()
+            };
+            let outcome = minimize_portfolio_session(dag, configs, plan.per_query, share, Some(tx));
+            let workers = outcome
+                .workers
+                .iter()
+                .enumerate()
+                .map(|(index, worker)| WorkerSummary {
+                    config: describe_minimize_config(&worker.config),
+                    probes: worker.result.probes.len(),
+                    queries: worker.result.search.queries,
+                    conflicts: worker.result.sat.conflicts,
+                    imported: worker.result.sat.imported_clauses,
+                    exported: worker.result.sat.exported_clauses,
+                    cancelled: worker.cancelled,
+                    winner: outcome.winner == Some(index),
+                    elapsed: worker.elapsed,
+                })
+                .collect();
+            (SessionOutcome::MinimizePortfolio(outcome), workers)
+        }
+        Engine::Frontier => {
+            let start = Instant::now();
+            let options = FrontierOptions {
+                base: plan.base,
+                per_budget: plan.per_query,
+                min_pebbles: plan.frontier_range.0,
+                max_pebbles: plan.frontier_range.1,
+                incremental: plan.incremental,
+                ..FrontierOptions::default()
+            };
+            let points = frontier_with_events(dag, options, Some(tx));
+            let summary = WorkerSummary {
+                config: format!("frontier/{}", describe_options(&plan.base)),
+                probes: points.len(),
+                queries: 0,
+                conflicts: 0,
+                imported: 0,
+                exported: 0,
+                cancelled: false,
+                winner: points.iter().any(|point| point.strategy.is_some()),
+                elapsed: start.elapsed(),
+            };
+            (SessionOutcome::Frontier(points), vec![summary])
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use revpebble_graph::generators::paper_example;
+    use revpebble_graph::{Dag, Op};
+
+    #[test]
+    fn plan_names_every_engine() {
+        let dag = paper_example();
+        let engine = |session: PebblingSession<'_>| session.plan().expect("valid").engine;
+        assert_eq!(
+            engine(PebblingSession::new(&dag).pebbles(4)),
+            Engine::Single
+        );
+        assert_eq!(
+            engine(PebblingSession::new(&dag).pebbles(4).portfolio(2)),
+            Engine::SinglePortfolio
+        );
+        assert_eq!(
+            engine(PebblingSession::new(&dag).minimize()),
+            Engine::MinimizeIncremental
+        );
+        assert_eq!(
+            engine(PebblingSession::new(&dag).minimize().fresh_per_probe()),
+            Engine::MinimizeFresh
+        );
+        assert_eq!(
+            engine(PebblingSession::new(&dag).minimize().portfolio(2)),
+            Engine::MinimizePortfolio
+        );
+        assert_eq!(
+            engine(
+                PebblingSession::new(&dag)
+                    .minimize()
+                    .portfolio(2)
+                    .share_clauses(ShareOptions::default())
+            ),
+            Engine::MinimizePortfolioShared
+        );
+        assert_eq!(
+            engine(PebblingSession::new(&dag).sweep_frontier()),
+            Engine::Frontier
+        );
+    }
+
+    #[test]
+    fn invalid_combinations_are_rejected_with_typed_errors() {
+        let dag = paper_example();
+        let err = |session: PebblingSession<'_>| session.plan().expect_err("invalid");
+        assert_eq!(err(PebblingSession::new(&dag)), SessionError::MissingBudget);
+        assert_eq!(
+            err(PebblingSession::new(&dag).minimize().pebbles(4)),
+            SessionError::BudgetWithMinimize { budget: 4 }
+        );
+        assert_eq!(
+            err(PebblingSession::new(&dag)
+                .minimize()
+                .share_clauses(ShareOptions::default())),
+            SessionError::ShareClausesWithoutPortfolio
+        );
+        assert_eq!(
+            err(PebblingSession::new(&dag)
+                .pebbles(4)
+                .portfolio(4)
+                .share_clauses(ShareOptions::default())),
+            SessionError::ShareClausesWithoutMinimize
+        );
+        assert_eq!(
+            err(PebblingSession::new(&dag)
+                .minimize()
+                .portfolio(2)
+                .fresh_per_probe()),
+            SessionError::FreshPortfolio
+        );
+        assert_eq!(
+            err(PebblingSession::new(&dag).sweep_frontier().minimize()),
+            SessionError::FrontierWithMinimize
+        );
+        assert_eq!(
+            err(PebblingSession::new(&dag).sweep_frontier().pebbles(4)),
+            SessionError::BudgetWithFrontier { budget: 4 }
+        );
+        assert_eq!(
+            err(PebblingSession::new(&dag).sweep_frontier().portfolio(2)),
+            SessionError::FrontierWithPortfolio
+        );
+        assert_eq!(
+            err(PebblingSession::new(&dag).pebbles(4).max_steps(0)),
+            SessionError::ZeroStepCap
+        );
+        let empty = Dag::new();
+        assert_eq!(
+            err(PebblingSession::new(&empty).pebbles(1)),
+            SessionError::EmptyDag
+        );
+    }
+
+    #[test]
+    fn weighted_budget_out_of_range_is_rejected() {
+        let mut dag = Dag::new();
+        let x = dag.add_input("x");
+        let a = dag.add_node_weighted("a", Op::Buf, [x], 3).expect("valid");
+        dag.mark_output(a);
+        let err = PebblingSession::new(&dag)
+            .weighted(true)
+            .pebbles(99)
+            .plan()
+            .expect_err("budget exceeds total weight");
+        assert_eq!(
+            err,
+            SessionError::WeightedBudgetOutOfRange {
+                budget: 99,
+                total_weight: 3
+            }
+        );
+        // In range: fine.
+        assert!(PebblingSession::new(&dag)
+            .weighted(true)
+            .pebbles(3)
+            .plan()
+            .is_ok());
+    }
+
+    #[test]
+    fn unpebblable_dag_is_rejected_not_panicked() {
+        let mut dag = Dag::new();
+        let x = dag.add_input("x");
+        let a = dag.add_node("a", Op::Buf, [x]).expect("valid");
+        let _ = a; // a is a sink but not marked as an output
+        let err = PebblingSession::new(&dag)
+            .pebbles(2)
+            .plan()
+            .expect_err("unmarked sink");
+        assert!(matches!(err, SessionError::UnpebblableDag(_)));
+        assert!(err.to_string().contains("unfit for pebbling"));
+    }
+
+    #[test]
+    fn single_run_reports_and_serializes() {
+        let dag = paper_example();
+        let report = PebblingSession::new(&dag)
+            .pebbles(4)
+            .run()
+            .expect("valid configuration");
+        assert_eq!(report.engine, Engine::Single);
+        assert_eq!(report.minimum, Some(4));
+        assert_eq!(report.workers.len(), 1);
+        assert!(report.workers[0].winner);
+        // Two probe events + the terminal certification.
+        assert_eq!(report.events_emitted, 3);
+        let strategy = report.strategy().expect("solved");
+        strategy.validate(&dag, Some(4)).expect("valid");
+        let json = report.to_json();
+        for key in [
+            "\"engine\":\"single\"",
+            "\"minimum\":4",
+            "\"floor\":",
+            "\"workers\":[",
+            "\"events_emitted\":3",
+            "\"strategy\":{\"steps\":12",
+        ] {
+            assert!(json.contains(key), "{key} missing in {json}");
+        }
+    }
+
+    #[test]
+    fn minimize_run_streams_probe_events_live() {
+        use std::sync::{Arc, Mutex};
+        let dag = paper_example();
+        let events: Arc<Mutex<Vec<ProbeEvent>>> = Arc::new(Mutex::new(Vec::new()));
+        let sink = Arc::clone(&events);
+        let report = PebblingSession::new(&dag)
+            .minimize()
+            .max_steps(60)
+            .per_query_timeout(Duration::from_secs(30))
+            .on_event(move |event| sink.lock().expect("sink").push(event))
+            .run()
+            .expect("valid configuration");
+        assert_eq!(report.minimum, Some(4));
+        assert_eq!(report.floor, 4, "the budget-3 refutation certifies 4");
+        let events = events.lock().expect("sink");
+        assert_eq!(events.len() as u64, report.events_emitted);
+        assert!(matches!(
+            events.last(),
+            Some(ProbeEvent::BudgetCertified { minimum: Some(4) })
+        ));
+        let starts = events
+            .iter()
+            .filter(|e| matches!(e, ProbeEvent::ProbeStarted { .. }))
+            .count();
+        assert_eq!(starts, report.probes());
+    }
+
+    #[test]
+    fn frontier_run_reports_points_and_minimum() {
+        let dag = paper_example();
+        let report = PebblingSession::new(&dag)
+            .sweep_frontier()
+            .max_steps(60)
+            .per_query_timeout(Duration::from_secs(30))
+            .run()
+            .expect("valid configuration");
+        assert_eq!(report.engine, Engine::Frontier);
+        assert_eq!(report.minimum, Some(4));
+        let SessionOutcome::Frontier(points) = &report.outcome else {
+            panic!("frontier outcome expected");
+        };
+        assert!(points.len() >= 3, "budgets 3..=6 probed: {points:?}");
+        assert!(report.to_json().contains("\"frontier\":["));
+    }
+
+    #[test]
+    fn errors_render_and_expose_sources() {
+        let text = SessionError::ShareClausesWithoutPortfolio.to_string();
+        assert!(text.contains("--portfolio"), "{text}");
+        let err = SessionError::UnpebblableDag(DagError::UnmarkedSink {
+            node: revpebble_graph::NodeId::from_index(0),
+        });
+        assert!(std::error::Error::source(&err).is_some());
+    }
+}

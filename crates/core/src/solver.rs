@@ -19,6 +19,7 @@ use crate::bounds::{
     parallel_step_lower_bound, pebble_lower_bound, step_lower_bound, weighted_pebble_lower_bound,
 };
 use crate::encoding::{BoundMode, EncodingOptions, MoveMode, PebbleEncoding};
+use crate::session::{ProbeEvent, ProbeEventSender};
 use crate::sharing::SharedSearchState;
 use crate::strategy::Strategy;
 
@@ -538,15 +539,33 @@ impl<'a> PebbleSolver<'a> {
 
 /// Convenience: solve one instance with the given pebble budget and
 /// otherwise default options.
+///
+/// # Deprecated
+///
+/// Shim over the one front door,
+/// [`session::PebblingSession`](crate::session::PebblingSession) — this
+/// call is `PebblingSession::new(dag).pebbles(p).run()` with the result
+/// unwrapped. Defaults are unchanged (paper-faithful sequential moves,
+/// linear deepening).
+///
+/// # Panics
+///
+/// Panics when the configuration is invalid (empty DAG, unmarked sink) —
+/// the historical behaviour. The session returns a typed
+/// [`SessionError`](crate::session::SessionError) instead.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `session::PebblingSession::new(dag).pebbles(p).run()`"
+)]
 pub fn solve_with_pebbles(dag: &Dag, max_pebbles: usize) -> PebbleOutcome {
-    let options = SolverOptions {
-        encoding: EncodingOptions {
-            max_pebbles: Some(max_pebbles),
-            ..EncodingOptions::default()
-        },
-        ..SolverOptions::default()
-    };
-    PebbleSolver::new(dag, options).solve()
+    let report = crate::session::PebblingSession::new(dag)
+        .pebbles(max_pebbles)
+        .run()
+        .unwrap_or_else(|err| panic!("invalid pebbling configuration: {err}"));
+    match report.outcome {
+        crate::session::SessionOutcome::Single(outcome) => outcome,
+        _ => unreachable!("a fixed-budget session drives the single engine"),
+    }
 }
 
 /// How a [`minimize`] search walks the budget axis. Portfolio workers can
@@ -755,15 +774,38 @@ struct MinimizeRun<'a> {
     probes: Vec<(usize, bool)>,
     probe_stats: Vec<SolverStats>,
     stop: Option<Arc<AtomicBool>>,
+    /// Live probe-event stream of the owning session, if any.
+    events: Option<ProbeEventSender>,
+    /// Worker index stamped on every emitted event.
+    worker: usize,
+    /// Emit [`ProbeEvent::ClauseSharingTick`] after each probe (set when
+    /// a clause pool is wired in).
+    share_ticks: bool,
+    /// Last floor observed, so only actual raises emit
+    /// [`ProbeEvent::FloorRaised`].
+    last_floor: usize,
 }
 
 impl MinimizeRun<'_> {
+    fn emit(&self, event: ProbeEvent) {
+        if let Some(events) = &self.events {
+            // A receiver that hung up only silences the stream.
+            let _ = events.send(event);
+        }
+    }
+
     /// Probes budget `p`. On success returns the budget the extracted
     /// strategy *actually certifies* — its own maximum pebble count
     /// (weight in weighted mode), which can undercut `p`. The schedules
     /// use that to jump their windows below the model instead of walking
     /// budget-by-budget down to it (model-based upper-bound tightening).
     fn probe(&mut self, p: usize) -> Option<usize> {
+        let probe_index = self.probes.len();
+        self.emit(ProbeEvent::ProbeStarted {
+            worker: self.worker,
+            probe: probe_index,
+            budget: p,
+        });
         let outcome = self.prober.probe(p);
         let achieved = match outcome {
             PebbleOutcome::Solved(strategy) => {
@@ -784,6 +826,35 @@ impl MinimizeRun<'_> {
         };
         self.probes.push((p, achieved.is_some()));
         self.probe_stats.push(self.prober.snapshot());
+        match achieved {
+            Some(achieved) => self.emit(ProbeEvent::ProbeSolved {
+                worker: self.worker,
+                probe: probe_index,
+                budget: p,
+                achieved,
+            }),
+            None => self.emit(ProbeEvent::ProbeRefuted {
+                worker: self.worker,
+                probe: probe_index,
+                budget: p,
+            }),
+        }
+        if self.share_ticks {
+            let snapshot = self.prober.snapshot();
+            self.emit(ProbeEvent::ClauseSharingTick {
+                worker: self.worker,
+                imported: snapshot.imported_clauses,
+                exported: snapshot.exported_clauses,
+            });
+        }
+        let floor = self.shared.floor();
+        if floor > self.last_floor {
+            self.last_floor = floor;
+            self.emit(ProbeEvent::FloorRaised {
+                worker: self.worker,
+                floor,
+            });
+        }
         achieved
     }
 
@@ -837,6 +908,13 @@ pub struct MinimizeContext {
     /// on one blackboard must agree on move mode, weighted flag and
     /// `max_steps`.
     pub shared: Option<Arc<SharedSearchState>>,
+    /// Live probe-event stream of the owning
+    /// [`PebblingSession`](crate::session::PebblingSession), if any:
+    /// every probe emits [`ProbeEvent`]s into it.
+    pub events: Option<ProbeEventSender>,
+    /// Worker index stamped on this run's events (portfolio executors
+    /// number their workers; single runs use 0).
+    pub worker: usize,
 }
 
 /// Finds the smallest pebble budget `P` for which a strategy can be found
@@ -848,14 +926,15 @@ pub struct MinimizeContext {
 ///
 /// `stop` is a cooperative cancellation flag (the portfolio's
 /// first-winner broadcast): once raised, no further probes start and the
-/// current one unwinds promptly. For clause sharing and a cross-worker
-/// refutation blackboard, use [`minimize_with_context`].
+/// current one unwinds promptly. For clause sharing, a cross-worker
+/// refutation blackboard and live probe events, construct a
+/// [`session::PebblingSession`](crate::session::PebblingSession).
 pub fn minimize(
     dag: &Dag,
     options: MinimizeOptions,
     stop: Option<Arc<AtomicBool>>,
 ) -> MinimizeResult {
-    minimize_with_context(
+    run_minimize_with_context(
         dag,
         options,
         MinimizeContext {
@@ -865,16 +944,37 @@ pub fn minimize(
     )
 }
 
-/// [`minimize`] with explicit sharing hooks — the engine under every
-/// worker of [`minimize_portfolio`](crate::portfolio::minimize_portfolio).
-/// Budgets below the blackboard's certified floor are skipped without a
-/// query, whether the floor was raised by this worker's own exhausted
-/// probes or by a rival's. Successful probes tighten from above
-/// symmetrically: the extracted strategy's *actual* pebble count (not the
-/// probed budget) becomes the new upper end of the search, so a slack
-/// model can collapse several budget steps into one probe
-/// ([`MinimizeResult::best`]).
+/// [`minimize`] with explicit sharing hooks.
+///
+/// # Deprecated
+///
+/// The [`session::PebblingSession`](crate::session::PebblingSession)
+/// builder is the one front door now; its executors wire the stop flag,
+/// clause pool, refutation blackboard and event stream for you. This
+/// shim forwards to the same engine the session drives and remains for
+/// callers that thread a hand-built [`MinimizeContext`].
+#[deprecated(
+    since = "0.2.0",
+    note = "construct a `session::PebblingSession` instead; its portfolio executors wire the \
+            sharing hooks"
+)]
 pub fn minimize_with_context(
+    dag: &Dag,
+    options: MinimizeOptions,
+    ctx: MinimizeContext,
+) -> MinimizeResult {
+    run_minimize_with_context(dag, options, ctx)
+}
+
+/// The minimize engine under every session executor and every worker of
+/// the minimize portfolio: budgets below the blackboard's certified floor
+/// are skipped without a query, whether the floor was raised by this
+/// worker's own exhausted probes or by a rival's. Successful probes
+/// tighten from above symmetrically: the extracted strategy's *actual*
+/// pebble count (not the probed budget) becomes the new upper end of the
+/// search, so a slack model can collapse several budget steps into one
+/// probe ([`MinimizeResult::best`]).
+pub(crate) fn run_minimize_with_context(
     dag: &Dag,
     options: MinimizeOptions,
     ctx: MinimizeContext,
@@ -893,6 +993,7 @@ pub fn minimize_with_context(
     let prober = Prober::new(dag, &options, &ctx);
     let shared = prober.shared_state();
     shared.prime_floor(lower);
+    let last_floor = shared.floor();
     let mut run = MinimizeRun {
         dag,
         weighted,
@@ -902,6 +1003,10 @@ pub fn minimize_with_context(
         probes: Vec::new(),
         probe_stats: Vec::new(),
         stop: ctx.stop,
+        events: ctx.events,
+        worker: ctx.worker,
+        share_ticks: ctx.pool.is_some(),
+        last_floor,
     };
     match options.schedule {
         BudgetSchedule::Binary => {
@@ -971,50 +1076,107 @@ pub fn minimize_with_context(
     run.finish()
 }
 
-/// [`minimize`] with incremental binary search: every budget probe runs on
-/// **one** assumption-bounded [`PebbleEncoding`]/solver instance, so learnt
-/// clauses and heuristic state carry across the whole search (audit via
-/// [`MinimizeResult::sat`]). For the paper's original
-/// fresh-solver-per-probe methodology use [`minimize_pebbles_fresh`].
-pub fn minimize_pebbles(dag: &Dag, base: SolverOptions, per_query: Duration) -> MinimizeResult {
-    minimize(dag, MinimizeOptions::new(base, per_query), None)
+/// Unwraps a minimize session's result (shim plumbing).
+fn session_minimize(session: crate::session::PebblingSession<'_>) -> MinimizeResult {
+    let report = session
+        .run()
+        .unwrap_or_else(|err| panic!("invalid pebbling configuration: {err}"));
+    match report.outcome {
+        crate::session::SessionOutcome::Minimize(result) => result,
+        _ => unreachable!("a single-worker minimize session drives the minimize engine"),
+    }
 }
 
-/// [`minimize`] with the paper's fresh-solver-per-probe binary search:
-/// every probe rebuilds the encoding and discards all learnt state — the
-/// baseline the `minimize_incremental` bench compares against.
+/// Incremental binary-search budget minimization: every budget probe runs
+/// on **one** assumption-bounded [`PebbleEncoding`]/solver instance, so
+/// learnt clauses and heuristic state carry across the whole search
+/// (audit via [`MinimizeResult::sat`]).
+///
+/// # Deprecated
+///
+/// Shim over [`session::PebblingSession`](crate::session::PebblingSession):
+/// `PebblingSession::new(dag).solver_options(base).minimize()
+/// .per_query_timeout(per_query).run()`.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `session::PebblingSession::new(dag).minimize().run()`"
+)]
+pub fn minimize_pebbles(dag: &Dag, base: SolverOptions, per_query: Duration) -> MinimizeResult {
+    session_minimize(
+        crate::session::PebblingSession::new(dag)
+            .solver_options(base)
+            .minimize()
+            .per_query_timeout(per_query),
+    )
+}
+
+/// The paper's fresh-solver-per-probe binary search: every probe rebuilds
+/// the encoding and discards all learnt state — the baseline the
+/// `minimize_incremental` bench compares against.
+///
+/// # Deprecated
+///
+/// Shim over [`session::PebblingSession`](crate::session::PebblingSession):
+/// add [`fresh_per_probe`](crate::session::PebblingSession::fresh_per_probe)
+/// to a minimize session.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `session::PebblingSession::new(dag).minimize().fresh_per_probe().run()`"
+)]
 pub fn minimize_pebbles_fresh(
     dag: &Dag,
     base: SolverOptions,
     per_query: Duration,
 ) -> MinimizeResult {
-    let options = MinimizeOptions {
-        incremental: false,
-        ..MinimizeOptions::new(base, per_query)
-    };
-    minimize(dag, options, None)
+    session_minimize(
+        crate::session::PebblingSession::new(dag)
+            .solver_options(base)
+            .minimize()
+            .fresh_per_probe()
+            .per_query_timeout(per_query),
+    )
 }
 
-/// [`minimize`] with an incremental descending search (see
+/// Incremental descending budget search (see
 /// [`BudgetSchedule::Descending`]): probes share one solver instance and
 /// descend from the full budget, paying for at most one failed probe per
 /// stride level. Falls back to certifying the full budget when even the
 /// first probe fails.
+///
+/// # Deprecated
+///
+/// Shim over [`session::PebblingSession`](crate::session::PebblingSession):
+/// pass [`BudgetSchedule::Descending`] to
+/// [`budget`](crate::session::PebblingSession::budget) on a minimize
+/// session.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `session::PebblingSession::new(dag).minimize().budget(BudgetSchedule::Descending \
+            { stride }).run()`"
+)]
 pub fn minimize_pebbles_descending(
     dag: &Dag,
     base: SolverOptions,
     per_query: Duration,
     stride: usize,
 ) -> MinimizeResult {
-    let options = MinimizeOptions {
-        schedule: BudgetSchedule::Descending { stride },
-        ..MinimizeOptions::new(base, per_query)
-    };
-    minimize(dag, options, None)
+    session_minimize(
+        crate::session::PebblingSession::new(dag)
+            .solver_options(base)
+            .minimize()
+            .budget(BudgetSchedule::Descending { stride })
+            .per_query_timeout(per_query),
+    )
 }
 
 #[cfg(test)]
 mod tests {
+    // The deprecated convenience shims stay exercised here on purpose:
+    // these unit tests cover both the engine and the shim → session →
+    // engine plumbing (equivalence is additionally property-tested at the
+    // workspace level).
+    #![allow(deprecated)]
+
     use super::*;
     use crate::baselines::bennett;
     use revpebble_graph::generators::{and_tree, chain, paper_example, random_dag};

@@ -17,12 +17,18 @@
 //! - [`sat`]: CDCL SAT solver + cardinality encodings (`revpebble-sat`);
 //! - [`graph`]: DAGs, `.bench` netlists, straight-line programs,
 //!   generators (`revpebble-graph`);
-//! - [`core`]: the game, the SAT encoding, baselines and search loops
+//! - [`core`]: the game, the SAT encoding, baselines, search loops and
+//!   the [`PebblingSession`](core::PebblingSession) front door
 //!   (`revpebble-core`);
 //! - [`circuit`]: strategy → reversible-circuit compilation, simulation
 //!   and Barenco decompositions (`revpebble-circuit`).
 //!
-//! ## Quick start
+//! ## Quick start: one front door
+//!
+//! Every engine — fixed-budget solving, budget minimization, racing
+//! portfolios, cooperative clause-sharing portfolios, the trade-off
+//! frontier — is reached through one builder,
+//! [`PebblingSession`](core::PebblingSession):
 //!
 //! ```
 //! use revpebble::prelude::*;
@@ -35,7 +41,8 @@
 //! assert_eq!(naive.max_pebbles(&dag), 6);
 //!
 //! // … the SAT solver fits the computation into 4 pebbles.
-//! let tight = solve_with_pebbles(&dag, 4).into_strategy().expect("solvable");
+//! let report = PebblingSession::new(&dag).pebbles(4).run().expect("valid");
+//! let tight = report.into_strategy().expect("solvable");
 //! tight.validate(&dag, Some(4)).expect("independent checker agrees");
 //!
 //! // And the compiled circuit provably restores every ancilla.
@@ -43,49 +50,56 @@
 //! assert!(matches!(verify(&dag, &compiled), VerifyOutcome::Correct { .. }));
 //! ```
 //!
-//! ## Portfolio solving
-//!
-//! No single solver configuration dominates: deepening schedule, move
-//! semantics and cardinality encoding each win on some instances and
-//! lose on others. On a multi-core machine,
-//! [`PortfolioSolver`](core::PortfolioSolver) races several
-//! configurations on worker threads and cancels the losers the moment
-//! one finds a strategy:
+//! Invalid configurations never reach a solver: the builder validates at
+//! plan time and returns a typed [`SessionError`](core::SessionError):
 //!
 //! ```
 //! use revpebble::prelude::*;
 //!
 //! let dag = revpebble::graph::generators::paper_example();
-//! // Race two configurations; first strategy found wins.
-//! let result = solve_with_pebbles_portfolio(&dag, 4, 2);
-//! println!("won by: {}", result.winning_report().expect("winner").describe());
-//! let strategy = result.outcome.into_strategy().expect("solvable");
-//! strategy.validate(&dag, Some(4)).expect("still within 4 pebbles");
+//! // Clause sharing needs a minimize portfolio to share within.
+//! let err = PebblingSession::new(&dag)
+//!     .minimize()
+//!     .share_clauses(ShareOptions::default())
+//!     .run()
+//!     .expect_err("rejected at plan time");
+//! assert_eq!(err, SessionError::ShareClausesWithoutPortfolio);
 //! ```
 //!
-//! ## Cooperative minimize races
+//! ## Finding the smallest budget, cooperatively
 //!
-//! [`minimize_portfolio_shared`](core::minimize_portfolio_shared) goes a
-//! step further: its workers don't just race, they *cooperate*. Every
-//! worker exports its short learnt clauses into a
-//! [`SharedClausePool`](sat::SharedClausePool) and imports rivals'
-//! clauses at restart boundaries, and certified refutations — including
-//! budget-independent ones derived from unsat cores — land on one
-//! [`SharedSearchState`](core::SharedSearchState) blackboard, so each
-//! worker prunes with everything any rival has proven:
+//! A minimize session races portfolio workers over budget schedules;
+//! with [`share_clauses`](core::PebblingSession::share_clauses) they
+//! exchange short learnt clauses through a
+//! [`SharedClausePool`](sat::SharedClausePool) and pool certified
+//! refutations — including budget-independent ones derived from unsat
+//! cores — on one [`SharedSearchState`](core::SharedSearchState)
+//! blackboard. Progress streams out as
+//! [`ProbeEvent`](core::ProbeEvent)s:
 //!
 //! ```
 //! use std::time::Duration;
 //! use revpebble::prelude::*;
 //!
 //! let dag = revpebble::graph::generators::paper_example();
-//! let base = SolverOptions { max_steps: 60, ..SolverOptions::default() };
-//! let race = minimize_portfolio_shared(&dag, base, Duration::from_secs(30), 2);
-//! let (p, strategy) = race.best.expect("feasible");
-//! assert_eq!(p, 4);
-//! strategy.validate(&dag, Some(4)).expect("valid");
+//! let mut trace = Vec::new();
+//! let report = PebblingSession::new(&dag)
+//!     .minimize()
+//!     .portfolio(2)
+//!     .share_clauses(ShareOptions::default())
+//!     .max_steps(60)
+//!     .per_query_timeout(Duration::from_secs(30))
+//!     .on_event(|event| trace.push(event))
+//!     .run()
+//!     .expect("valid");
+//! assert_eq!(report.minimum, Some(4));
 //! // The exhausted budget-3 probe certifies the floor: 4 is optimal.
-//! assert!(race.sharing.floor <= p);
+//! assert!(report.floor <= 4);
+//! // The terminal event arrives exactly once, after every worker.
+//! assert!(matches!(
+//!     trace.last(),
+//!     Some(ProbeEvent::BudgetCertified { minimum: Some(4) })
+//! ));
 //! ```
 
 #![deny(missing_docs)]
@@ -100,11 +114,17 @@ pub mod prelude {
     pub use crate::circuit::{compile, verify, Circuit, CompiledCircuit, VerifyOutcome};
     pub use crate::core::baselines::{bennett, cone_wise};
     pub use crate::core::{
+        minimize, BudgetSchedule, CardEncoding, EncodingOptions, Engine, MinimizeResult, Move,
+        MoveMode, PebbleOutcome, PebbleSolver, PebblingSession, PortfolioOutcome, PortfolioSolver,
+        ProbeEvent, Report, SessionError, SessionOutcome, ShareOptions, SharedClausePool,
+        SharedSearchState, SolverOptions, Strategy,
+    };
+    // Deprecated 8-way API, kept so downstream code compiles while it
+    // migrates to `PebblingSession` (every shim routes through it).
+    #[allow(deprecated)]
+    pub use crate::core::{
         minimize_pebbles, minimize_pebbles_fresh, minimize_portfolio, minimize_portfolio_shared,
-        solve_with_pebbles, solve_with_pebbles_portfolio, BudgetSchedule, CardEncoding,
-        EncodingOptions, MinimizeResult, Move, MoveMode, PebbleOutcome, PebbleSolver,
-        PortfolioOutcome, PortfolioSolver, ShareOptions, SharedClausePool, SharedSearchState,
-        SolverOptions, Strategy,
+        solve_with_pebbles, solve_with_pebbles_portfolio,
     };
     pub use crate::graph::{parse_bench, Dag, NodeId, Op, Slp, Source};
 }
@@ -117,5 +137,14 @@ mod tests {
         assert_eq!(dag.num_nodes(), 6);
         let strategy = crate::core::baselines::bennett(&dag);
         assert!(strategy.validate(&dag, None).is_ok());
+    }
+
+    #[test]
+    fn session_front_door_is_reachable_through_the_prelude() {
+        use crate::prelude::*;
+        let dag = crate::graph::generators::paper_example();
+        let report = PebblingSession::new(&dag).pebbles(4).run().expect("valid");
+        assert_eq!(report.engine, Engine::Single);
+        assert_eq!(report.minimum, Some(4));
     }
 }

@@ -31,19 +31,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "pebbles", "steps", "Add", "Sub", "Sqr", "Mul", "total"
     );
     for budget in [16, 12, 10, 8, 7] {
-        let options = SolverOptions {
-            encoding: EncodingOptions {
-                max_pebbles: Some(budget),
-                move_mode: MoveMode::Sequential,
-                ..EncodingOptions::default()
-            },
-            // Double K on failure, then binary-refine: much faster than
-            // the paper's K+1 loop near the feasibility boundary.
-            schedule: revpebble::core::StepSchedule::ExponentialRefine,
-            timeout: Some(std::time::Duration::from_secs(30)),
-            ..SolverOptions::default()
+        // Double K on failure, then binary-refine: much faster than the
+        // paper's K+1 loop near the feasibility boundary.
+        let report = PebblingSession::new(&dag)
+            .pebbles(budget)
+            .move_mode(MoveMode::Sequential)
+            .steps(revpebble::core::StepSchedule::ExponentialRefine)
+            .timeout(std::time::Duration::from_secs(30))
+            .run()?;
+        let revpebble::core::SessionOutcome::Single(outcome) = report.outcome else {
+            unreachable!("a fixed-budget session drives the single engine");
         };
-        let outcome = PebbleSolver::new(&dag, options).solve();
         match outcome {
             PebbleOutcome::Solved(strategy) => {
                 strategy.validate(&dag, Some(budget))?;

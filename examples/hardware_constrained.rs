@@ -42,7 +42,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 3. SAT pebbling constrained to the device: 9 input qubits leave
     //    16 − 9 = 7 pebbles for intermediate results and the output.
     let budget = DEVICE_QUBITS - dag.num_inputs();
-    let strategy = solve_with_pebbles(&dag, budget)
+    let strategy = PebblingSession::new(&dag)
+        .pebbles(budget)
+        .run()?
         .into_strategy()
         .expect("7 pebbles are feasible for the 8-node tree");
     strategy.validate(&dag, Some(budget))?;

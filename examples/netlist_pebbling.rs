@@ -30,22 +30,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         greedy.num_steps()
     );
 
-    // Table I methodology: smallest P solvable within a per-query budget.
-    let base = SolverOptions {
-        encoding: EncodingOptions {
-            move_mode: MoveMode::Sequential,
-            ..EncodingOptions::default()
-        },
-        max_steps: 200,
-        ..SolverOptions::default()
-    };
-    let result = minimize_pebbles(&dag, base, Duration::from_secs(10));
-    let (p, strategy) = result.best.expect("c17 is easily pebbled");
+    // Table I methodology: smallest P solvable within a per-query
+    // budget, driven through the session front door with a live probe
+    // trace on stderr.
+    let report = PebblingSession::new(&dag)
+        .minimize()
+        .max_steps(200)
+        .per_query_timeout(Duration::from_secs(10))
+        .on_event(|event| eprintln!("  {event}"))
+        .run()?;
+    let p = report.minimum.expect("c17 is easily pebbled");
+    let probes = report.probes();
+    let strategy = report.into_strategy().expect("certified");
     println!(
-        "SAT:       {} pebbles, {} steps  (probes: {:?})",
+        "SAT:       {} pebbles, {} steps  ({probes} probes)",
         p,
         strategy.num_steps(),
-        result.probes
     );
     strategy.validate(&dag, Some(p))?;
 

@@ -24,9 +24,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     println!("{}", naive.render_grid(&dag));
 
-    // --- SAT-based pebbling with a 4-pebble budget. ---
-    let outcome = solve_with_pebbles(&dag, 4);
-    let tight = outcome.into_strategy().expect("4 pebbles are feasible");
+    // --- SAT-based pebbling with a 4-pebble budget, through the one
+    // front door every engine shares. ---
+    let report = PebblingSession::new(&dag).pebbles(4).run()?;
+    let tight = report.into_strategy().expect("4 pebbles are feasible");
     tight.validate(&dag, Some(4))?;
     println!(
         "SAT strategy:     {} pebbles, {} steps",
@@ -37,15 +38,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // --- The same bound, raced: 4 worker threads with distinct solver
     // configurations; the first strategy found cancels the rest. ---
-    let raced = solve_with_pebbles_portfolio(&dag, 4, 4);
-    let winner = raced.winning_report().expect("feasible, so someone wins");
+    let raced = PebblingSession::new(&dag).pebbles(4).portfolio(4).run()?;
+    let winner = raced
+        .workers
+        .iter()
+        .find(|worker| worker.winner)
+        .expect("feasible, so someone wins");
     println!(
         "Portfolio (4 workers): won by {} in {:.1?}",
-        winner.describe(),
-        winner.elapsed
+        winner.config, winner.elapsed
     );
     raced
-        .outcome
         .into_strategy()
         .expect("winner carries a strategy")
         .validate(&dag, Some(4))?;

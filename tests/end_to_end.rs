@@ -158,8 +158,11 @@ fn random_dags_full_pipeline() {
     for seed in 0..6 {
         let dag = random_dag(5, 14, seed);
         let budget = revpebble::core::bounds::pebble_lower_bound(&dag) + 3;
-        let outcome = solve_with_pebbles(&dag, budget.min(dag.num_nodes()));
-        if let Some(strategy) = outcome.into_strategy() {
+        let report = PebblingSession::new(&dag)
+            .pebbles(budget.min(dag.num_nodes()))
+            .run()
+            .expect("a valid configuration");
+        if let Some(strategy) = report.into_strategy() {
             let compiled = compile(&dag, &strategy).expect("compiles");
             assert!(
                 matches!(verify(&dag, &compiled), VerifyOutcome::Correct { .. }),

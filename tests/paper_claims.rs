@@ -62,7 +62,10 @@ fn fig4_optimized_4_pebbles() {
     assert_eq!(paper_strategy.num_steps(), 14);
     assert_eq!(paper_strategy.max_pebbles(&dag), 4);
 
-    let optimal = solve_with_pebbles(&dag, 4)
+    let optimal = PebblingSession::new(&dag)
+        .pebbles(4)
+        .run()
+        .expect("a valid configuration")
         .into_strategy()
         .expect("feasible");
     assert_eq!(optimal.num_steps(), 12);
@@ -98,7 +101,10 @@ fn fig6d_barenco_11_qubits_48_gates() {
 fn fig6c_pebbling_crossover() {
     let dag = and_tree(9);
     let budget = 16 - dag.num_inputs(); // 7 pebbles
-    let strategy = solve_with_pebbles(&dag, budget)
+    let strategy = PebblingSession::new(&dag)
+        .pebbles(budget)
+        .run()
+        .expect("a valid configuration")
         .into_strategy()
         .expect("feasible");
     let compiled = compile(&dag, &strategy).expect("compiles");
@@ -123,8 +129,14 @@ fn table1_c17_methodology() {
         max_steps: 100,
         ..SolverOptions::default()
     };
-    let result = revpebble::core::minimize_pebbles(&dag, base, Duration::from_secs(20));
-    let (p, strategy) = result.best.expect("feasible");
+    let report = PebblingSession::new(&dag)
+        .solver_options(base)
+        .minimize()
+        .per_query_timeout(Duration::from_secs(20))
+        .run()
+        .expect("a valid configuration");
+    let p = report.minimum.expect("feasible");
+    let strategy = report.into_strategy().expect("feasible");
     let naive_p = bennett(&dag).max_pebbles(&dag);
     assert!(p < naive_p, "SAT ({p}) must beat Bennett ({naive_p})");
     strategy.validate(&dag, Some(p)).expect("valid");

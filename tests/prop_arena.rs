@@ -6,9 +6,11 @@
 
 use proptest::prelude::*;
 use revpebble::core::{
-    minimize_pebbles, EncodingOptions, MoveMode, PebbleOutcome, PebbleSolver, SolverOptions,
+    EncodingOptions, MinimizeResult, MoveMode, PebbleOutcome, PebbleSolver, PebblingSession,
+    SessionOutcome, SolverOptions,
 };
 use revpebble::graph::generators::random_dag;
+use revpebble::graph::Dag;
 use revpebble::sat::SolverConfig;
 use std::time::Duration;
 
@@ -38,6 +40,20 @@ fn base(sat: SolverConfig) -> SolverOptions {
 
 const PER_QUERY: Duration = Duration::from_secs(60);
 
+/// One incremental minimize search through the session front door.
+fn minimize_session(dag: &Dag, base: SolverOptions) -> MinimizeResult {
+    let report = PebblingSession::new(dag)
+        .solver_options(base)
+        .minimize()
+        .per_query_timeout(PER_QUERY)
+        .run()
+        .expect("a valid configuration");
+    match report.outcome {
+        SessionOutcome::Minimize(result) => result,
+        _ => unreachable!("a single-worker minimize session ran"),
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(12))]
 
@@ -48,8 +64,8 @@ proptest! {
         seed in any::<u64>(),
     ) {
         let dag = random_dag(inputs, nodes, seed);
-        let compacting = minimize_pebbles(&dag, base(gc_heavy()), PER_QUERY);
-        let reference = minimize_pebbles(&dag, base(SolverConfig::default()), PER_QUERY);
+        let compacting = minimize_session(&dag, base(gc_heavy()));
+        let reference = minimize_session(&dag, base(SolverConfig::default()));
 
         prop_assert_eq!(
             compacting.best.as_ref().map(|&(p, _)| p),

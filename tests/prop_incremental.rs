@@ -6,11 +6,33 @@
 
 use proptest::prelude::*;
 use revpebble::core::{
-    minimize, minimize_pebbles, minimize_pebbles_fresh, BudgetSchedule, EncodingOptions,
-    MinimizeOptions, MoveMode, SolverOptions,
+    BudgetSchedule, EncodingOptions, MinimizeResult, MoveMode, PebblingSession, SessionOutcome,
+    SolverOptions,
 };
 use revpebble::graph::generators::random_dag;
+use revpebble::graph::Dag;
 use std::time::Duration;
+
+/// One minimize search through the session front door.
+fn minimize_session(
+    dag: &Dag,
+    base: SolverOptions,
+    schedule: BudgetSchedule,
+    incremental: bool,
+) -> MinimizeResult {
+    let report = PebblingSession::new(dag)
+        .solver_options(base)
+        .minimize()
+        .budget(schedule)
+        .incremental(incremental)
+        .per_query_timeout(PER_QUERY)
+        .run()
+        .expect("a valid configuration");
+    match report.outcome {
+        SessionOutcome::Minimize(result) => result,
+        _ => unreachable!("a single-worker minimize session ran"),
+    }
+}
 
 fn base() -> SolverOptions {
     SolverOptions {
@@ -37,8 +59,8 @@ proptest! {
         seed in any::<u64>(),
     ) {
         let dag = random_dag(inputs, nodes, seed);
-        let fresh = minimize_pebbles_fresh(&dag, base(), PER_QUERY);
-        let incremental = minimize_pebbles(&dag, base(), PER_QUERY);
+        let fresh = minimize_session(&dag, base(), BudgetSchedule::Binary, false);
+        let incremental = minimize_session(&dag, base(), BudgetSchedule::Binary, true);
 
         // Identical minimal budgets…
         prop_assert_eq!(
@@ -73,15 +95,9 @@ proptest! {
         stride in 1usize..4,
     ) {
         let dag = random_dag(inputs, nodes, seed);
-        let binary = minimize_pebbles(&dag, base(), PER_QUERY);
-        let descending = minimize(
-            &dag,
-            MinimizeOptions {
-                schedule: BudgetSchedule::Descending { stride },
-                ..MinimizeOptions::new(base(), PER_QUERY)
-            },
-            None,
-        );
+        let binary = minimize_session(&dag, base(), BudgetSchedule::Binary, true);
+        let descending =
+            minimize_session(&dag, base(), BudgetSchedule::Descending { stride }, true);
         prop_assert_eq!(
             binary.best.as_ref().map(|&(p, _)| p),
             descending.best.as_ref().map(|&(p, _)| p)

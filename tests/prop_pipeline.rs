@@ -44,7 +44,14 @@ proptest! {
     ) {
         let dag = random_dag(inputs, nodes, seed);
         let budget = (pebble_lower_bound(&dag) + 1 + slack).min(dag.num_nodes());
-        match solve_with_pebbles(&dag, budget) {
+        let report = PebblingSession::new(&dag)
+            .pebbles(budget)
+            .run()
+            .expect("a valid configuration");
+        let SessionOutcome::Single(outcome) = report.outcome else {
+            panic!("a fixed-budget session drives the single engine");
+        };
+        match outcome {
             PebbleOutcome::Solved(strategy) => {
                 prop_assert!(strategy.validate(&dag, Some(budget)).is_ok());
                 let compiled = compile(&dag, &strategy).expect("compiles");
@@ -72,7 +79,11 @@ proptest! {
         seed in any::<u64>(),
     ) {
         let dag = random_dag(inputs, nodes, seed);
-        if let PebbleOutcome::Solved(strategy) = solve_with_pebbles(&dag, dag.num_nodes()) {
+        let report = PebblingSession::new(&dag)
+            .pebbles(dag.num_nodes())
+            .run()
+            .expect("a valid configuration");
+        if let Some(strategy) = report.into_strategy() {
             // With unlimited-ish pebbles the optimum equals Bennett's count.
             prop_assert_eq!(strategy.num_moves(), step_lower_bound(&dag));
         }

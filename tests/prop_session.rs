@@ -1,0 +1,187 @@
+//! Property tests for the `PebblingSession` front door: on random DAGs,
+//! every deprecated free-function entry point and its session-builder
+//! equivalent must certify identical minima, identical floors, and
+//! produce valid strategies. Probes run in the decisive regime (generous
+//! budgets, adequate step caps) so the answers are theorems, not clock
+//! races.
+//!
+//! The deprecated names are exercised deliberately — that is the subject
+//! under test.
+#![allow(deprecated)]
+
+use std::time::Duration;
+
+use proptest::prelude::*;
+use revpebble::core::{
+    minimize_pebbles, minimize_pebbles_descending, minimize_pebbles_fresh, solve_with_pebbles,
+    solve_with_pebbles_portfolio, BudgetSchedule, MinimizeResult, PebblingSession, SessionOutcome,
+    SolverOptions,
+};
+use revpebble::graph::generators::random_dag;
+use revpebble::graph::Dag;
+use revpebble::prelude::{PebbleOutcome, ShareOptions};
+
+const PER_QUERY: Duration = Duration::from_secs(60);
+
+fn decisive_base(nodes: usize) -> SolverOptions {
+    SolverOptions {
+        // Step caps above any optimum these little DAGs admit, so every
+        // probe ends in SAT or a certified StepLimit, never a timeout.
+        max_steps: 4 * nodes + 20,
+        ..SolverOptions::default()
+    }
+}
+
+fn session_minimize(
+    dag: &Dag,
+    base: SolverOptions,
+    schedule: BudgetSchedule,
+    incremental: bool,
+) -> MinimizeResult {
+    let report = PebblingSession::new(dag)
+        .solver_options(base)
+        .minimize()
+        .budget(schedule)
+        .incremental(incremental)
+        .per_query_timeout(PER_QUERY)
+        .run()
+        .expect("a valid configuration");
+    match report.outcome {
+        SessionOutcome::Minimize(result) => result,
+        _ => unreachable!("a single-worker minimize session ran"),
+    }
+}
+
+fn assert_equivalent(dag: &Dag, label: &str, legacy: &MinimizeResult, session: &MinimizeResult) {
+    assert_eq!(
+        legacy.best.as_ref().map(|&(p, _)| p),
+        session.best.as_ref().map(|&(p, _)| p),
+        "{label}: certified minima diverge"
+    );
+    assert_eq!(
+        legacy.floor, session.floor,
+        "{label}: certified floors diverge"
+    );
+    for (p, strategy) in legacy.best.iter().chain(session.best.iter()) {
+        assert!(
+            strategy.validate(dag, Some(*p)).is_ok(),
+            "{label}: certified strategy invalid at budget {p}"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn deprecated_solve_matches_session(
+        inputs in 2usize..5,
+        nodes in 3usize..12,
+        seed in any::<u64>(),
+        slack in 0usize..3,
+    ) {
+        let dag = random_dag(inputs, nodes, seed);
+        let budget = (revpebble::core::bounds::pebble_lower_bound(&dag) + slack)
+            .min(dag.num_nodes())
+            .max(1);
+        let legacy = solve_with_pebbles(&dag, budget);
+        let report = PebblingSession::new(&dag)
+            .pebbles(budget)
+            .run()
+            .expect("a valid configuration");
+        let SessionOutcome::Single(session) = &report.outcome else {
+            panic!("a fixed-budget session drives the single engine");
+        };
+        let solved = |o: &PebbleOutcome| matches!(o, PebbleOutcome::Solved(_));
+        prop_assert_eq!(
+            solved(&legacy), solved(session),
+            "budget {}: {:?} vs {:?}", budget, legacy, session
+        );
+        for outcome in [&legacy, session] {
+            if let PebbleOutcome::Solved(strategy) = outcome {
+                prop_assert!(strategy.validate(&dag, Some(budget)).is_ok());
+            }
+        }
+    }
+
+    #[test]
+    fn deprecated_minimize_entry_points_match_session(
+        inputs in 2usize..5,
+        nodes in 3usize..10,
+        seed in any::<u64>(),
+        stride in 1usize..4,
+    ) {
+        let dag = random_dag(inputs, nodes, seed);
+        let base = decisive_base(dag.num_nodes());
+
+        let legacy = minimize_pebbles(&dag, base, PER_QUERY);
+        let session = session_minimize(&dag, base, BudgetSchedule::Binary, true);
+        assert_equivalent(&dag, "minimize_pebbles", &legacy, &session);
+
+        let legacy = minimize_pebbles_fresh(&dag, base, PER_QUERY);
+        let session = session_minimize(&dag, base, BudgetSchedule::Binary, false);
+        assert_equivalent(&dag, "minimize_pebbles_fresh", &legacy, &session);
+
+        let legacy = minimize_pebbles_descending(&dag, base, PER_QUERY, stride);
+        let session =
+            session_minimize(&dag, base, BudgetSchedule::Descending { stride }, true);
+        assert_equivalent(&dag, "minimize_pebbles_descending", &legacy, &session);
+    }
+}
+
+proptest! {
+    // Portfolio runs spawn threads per case; fewer cases keep CI quick.
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    #[test]
+    fn deprecated_portfolio_entry_points_match_session(
+        inputs in 2usize..4,
+        nodes in 3usize..9,
+        seed in any::<u64>(),
+    ) {
+        let dag = random_dag(inputs, nodes, seed);
+        let base = decisive_base(dag.num_nodes());
+
+        // Fixed-budget race: same solvability as the session's race.
+        let budget = dag.num_nodes().max(1);
+        let legacy = solve_with_pebbles_portfolio(&dag, budget, 2);
+        let report = PebblingSession::new(&dag)
+            .pebbles(budget)
+            .portfolio(2)
+            .run()
+            .expect("a valid configuration");
+        let SessionOutcome::Portfolio(session) = &report.outcome else {
+            panic!("a fixed-budget portfolio session drives the race engine");
+        };
+        prop_assert_eq!(
+            matches!(legacy.outcome, PebbleOutcome::Solved(_)),
+            matches!(session.outcome, PebbleOutcome::Solved(_))
+        );
+
+        // Cooperative minimize race: the shared portfolio, the deprecated
+        // wrapper and the single-worker incremental engine all certify
+        // the same minimum in the decisive regime.
+        let single = session_minimize(&dag, base, BudgetSchedule::Binary, true);
+        let legacy = revpebble::core::minimize_portfolio_shared(&dag, base, PER_QUERY, 2);
+        let shared_report = PebblingSession::new(&dag)
+            .solver_options(base)
+            .minimize()
+            .portfolio(2)
+            .share_clauses(ShareOptions::default())
+            .per_query_timeout(PER_QUERY)
+            .run()
+            .expect("a valid configuration");
+        let SessionOutcome::MinimizePortfolio(shared) = &shared_report.outcome else {
+            panic!("a minimize portfolio ran");
+        };
+        let minimum = |best: &Option<(usize, revpebble::core::Strategy)>| {
+            best.as_ref().map(|&(p, _)| p)
+        };
+        prop_assert_eq!(minimum(&legacy.best), minimum(&single.best));
+        prop_assert_eq!(minimum(&shared.best), minimum(&single.best));
+        prop_assert_eq!(shared_report.minimum, minimum(&single.best));
+        if let Some((p, strategy)) = &shared.best {
+            prop_assert!(strategy.validate(&dag, Some(*p)).is_ok());
+        }
+    }
+}

@@ -34,8 +34,26 @@ proptest! {
         let base = decisive_base(dag.num_nodes());
         let per_query = Duration::from_secs(60);
 
-        let single = minimize_pebbles(&dag, base, per_query);
-        let shared = minimize_portfolio_shared(&dag, base, per_query, 4);
+        let single_report = PebblingSession::new(&dag)
+            .solver_options(base)
+            .minimize()
+            .per_query_timeout(per_query)
+            .run()
+            .expect("a valid configuration");
+        let SessionOutcome::Minimize(single) = single_report.outcome else {
+            panic!("a single-worker minimize session ran");
+        };
+        let shared_report = PebblingSession::new(&dag)
+            .solver_options(base)
+            .minimize()
+            .portfolio(4)
+            .share_clauses(ShareOptions::default())
+            .per_query_timeout(per_query)
+            .run()
+            .expect("a valid configuration");
+        let SessionOutcome::MinimizePortfolio(shared) = shared_report.outcome else {
+            panic!("a minimize portfolio ran");
+        };
 
         let single_min = single.best.as_ref().map(|&(p, _)| p);
         let shared_min = shared.best.as_ref().map(|&(p, _)| p);
@@ -62,7 +80,15 @@ proptest! {
     ) {
         let dag = random_dag(inputs, nodes, seed);
         let base = decisive_base(dag.num_nodes());
-        let result = minimize_pebbles(&dag, base, Duration::from_secs(60));
+        let report = PebblingSession::new(&dag)
+            .solver_options(base)
+            .minimize()
+            .per_query_timeout(Duration::from_secs(60))
+            .run()
+            .expect("a valid configuration");
+        let SessionOutcome::Minimize(result) = report.outcome else {
+            panic!("a single-worker minimize session ran");
+        };
         let (minimum, strategy) = result.best.as_ref().expect("decisive probes always certify");
         strategy.validate(&dag, Some(*minimum)).expect("valid");
         prop_assert!(
