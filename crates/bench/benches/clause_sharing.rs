@@ -13,6 +13,14 @@
 //! parallel moves + exponential refine and a step cap) the audit checks
 //! that clause imports are nonzero and at least one core-derived
 //! lower-bound tightening fires.
+//!
+//! A worker-scaling sweep additionally times the diversified shared race
+//! on `b3_m4` at 2/4/8/16 workers and lands each point in the
+//! machine-readable `BENCH_sat.json` (wall clock plus the summed
+//! imports/exports/dropped counters of the lock-free pool), giving
+//! `bench_gate` a committed scaling curve to compare against: the
+//! 2→16-worker speedup may not collapse relative to the baseline, and
+//! sharing counters that were alive may not drop to zero.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use revpebble::core::{
@@ -23,31 +31,50 @@ use revpebble::graph::generators::chain;
 use revpebble::graph::parse_bench;
 use revpebble::graph::slp::h_operator_sized;
 use revpebble::graph::Dag;
+use revpebble_bench::{record_bench_json, BenchRecord};
 use std::hint::black_box;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 const WORKERS: usize = 4;
 
-/// One minimize race through the session front door.
-fn race(
+/// One minimize race through the session front door, at an explicit
+/// worker count (the scaling sweep varies it; the audit uses [`WORKERS`]).
+fn race_with(
     dag: &Dag,
     base: SolverOptions,
     per_query: Duration,
-    shared: bool,
+    workers: usize,
+    share: Option<ShareOptions>,
 ) -> MinimizePortfolioOutcome {
     let mut session = PebblingSession::new(dag)
         .solver_options(base)
         .minimize()
-        .portfolio(WORKERS)
+        .portfolio(workers)
         .per_query_timeout(per_query);
-    if shared {
-        session = session.share_clauses(ShareOptions::default());
+    if let Some(share) = share {
+        session = session.share_clauses(share);
     }
     let report = session.run().expect("a valid bench configuration");
     match report.outcome {
         SessionOutcome::MinimizePortfolio(outcome) => outcome,
         _ => unreachable!("a minimize portfolio ran"),
     }
+}
+
+/// The audit/criterion configuration: [`WORKERS`] workers, verbatim pool.
+fn race(
+    dag: &Dag,
+    base: SolverOptions,
+    per_query: Duration,
+    shared: bool,
+) -> MinimizePortfolioOutcome {
+    race_with(
+        dag,
+        base,
+        per_query,
+        WORKERS,
+        shared.then(ShareOptions::default),
+    )
 }
 
 /// The single-worker incremental reference, same front door.
@@ -69,9 +96,15 @@ struct Workload {
     dag: Dag,
     base: SolverOptions,
     per_query: Duration,
-    /// Assert nonzero clause imports and ≥ 1 core tightening (set on the
-    /// workloads where the probes deterministically produce them).
+    /// Assert nonzero clause *exports* and ≥ 1 core tightening (set on
+    /// the workloads where the probes deterministically produce them).
     assert_cooperation: bool,
+    /// Additionally assert nonzero clause *imports*. Only sound where the
+    /// probes are slow enough that workers provably interleave: on a
+    /// single-core box a fast decisive race (c17) can be won outright by
+    /// the first scheduled worker, cancelling the rivals before their
+    /// first pool drain — exports flow, but nobody is left to read them.
+    assert_imports: bool,
     /// Every probe ends in SAT/UNSAT within the per-query budget, so all
     /// engines must certify the *same* minimum. Timeout-bound workloads
     /// (`b3_m4` under a 2 s probe clock) legitimately disagree: which
@@ -99,6 +132,7 @@ fn workloads() -> Vec<Workload> {
             base: base(MoveMode::Sequential, StepSchedule::Linear, 60),
             per_query: Duration::from_secs(20),
             assert_cooperation: true,
+            assert_imports: false,
             decisive: true,
         },
         Workload {
@@ -111,6 +145,7 @@ fn workloads() -> Vec<Workload> {
             base: base(MoveMode::Parallel, StepSchedule::ExponentialRefine, 150),
             per_query: Duration::from_secs(2),
             assert_cooperation: true,
+            assert_imports: true,
             decisive: false,
         },
         Workload {
@@ -123,12 +158,67 @@ fn workloads() -> Vec<Workload> {
             base: base(MoveMode::Sequential, StepSchedule::ExponentialRefine, 80),
             per_query: Duration::from_secs(2),
             assert_cooperation: false,
+            assert_imports: false,
             decisive: false,
         },
     ]
 }
 
+/// The committed worker-scaling sweep: the diversified shared race on
+/// `b3_m4` at 2/4/8/16 workers, each point recorded for `BENCH_sat.json`.
+/// The probes are timeout-bound (2 s clock), so the sweep reports wall
+/// clock and pool counters rather than asserting a curve shape — the
+/// machine-relative comparison lives in `bench_gate`.
+fn record_scaling_sweep() {
+    let dag = h_operator_sized(59);
+    let options = base(MoveMode::Parallel, StepSchedule::ExponentialRefine, 150);
+    let per_query = Duration::from_secs(2);
+    let mut records = Vec::new();
+    for workers in [2usize, 4, 8, 16] {
+        let start = Instant::now();
+        let outcome = race_with(
+            &dag,
+            options,
+            per_query,
+            workers,
+            Some(ShareOptions::diversified()),
+        );
+        let wall_s = start.elapsed().as_secs_f64();
+        let sums = outcome.workers.iter().fold([0u64; 6], |mut acc, w| {
+            let sat = &w.result.sat;
+            acc[0] += sat.propagations;
+            acc[1] += sat.conflicts;
+            acc[2] += sat.arena_gcs;
+            acc[3] += sat.imported_clauses;
+            acc[4] += sat.exported_clauses;
+            acc[5] += sat.dropped_clauses;
+            acc
+        });
+        println!(
+            "scaling b3_m4 workers={workers}: wall={wall_s:.2}s minimum={:?} \
+             imports={} exports={} dropped={}",
+            outcome.best.as_ref().map(|&(p, _)| p),
+            sums[3],
+            sums[4],
+            sums[5],
+        );
+        records.push(BenchRecord {
+            bench: "clause_sharing",
+            id: format!("shared/b3_m4/workers{workers}"),
+            wall_s,
+            propagations: sums[0],
+            conflicts: sums[1],
+            arena_gcs: sums[2],
+            imports: sums[3],
+            exports: sums[4],
+            dropped: sums[5],
+        });
+    }
+    record_bench_json("clause_sharing", &records);
+}
+
 fn bench_clause_sharing(c: &mut Criterion) {
+    record_scaling_sweep();
     let mut group = c.benchmark_group("clause_sharing");
     group.sample_size(10);
     for workload in workloads() {
@@ -138,6 +228,7 @@ fn bench_clause_sharing(c: &mut Criterion) {
             base,
             per_query,
             assert_cooperation,
+            assert_imports,
             decisive,
         } = workload;
         let shared = race(&dag, base, per_query, true);
@@ -181,11 +272,14 @@ fn bench_clause_sharing(c: &mut Criterion) {
             shared.sharing.floor,
         );
         if assert_cooperation {
-            assert!(imports > 0, "{name}: expected nonzero clause imports");
+            assert!(exports > 0, "{name}: expected nonzero clause exports");
             assert!(
                 tightenings > 0,
                 "{name}: expected at least one core-derived lower-bound tightening"
             );
+        }
+        if assert_imports {
+            assert!(imports > 0, "{name}: expected nonzero clause imports");
         }
         group.bench_function(format!("shared/{name}"), |b| {
             b.iter(|| black_box(race(black_box(&dag), base, per_query, true)))

@@ -85,6 +85,9 @@ fn audit(
         propagations: result.sat.propagations,
         conflicts: result.sat.conflicts,
         arena_gcs: result.sat.arena_gcs,
+        imports: result.sat.imported_clauses,
+        exports: result.sat.exported_clauses,
+        dropped: result.sat.dropped_clauses,
     };
     (result, record)
 }

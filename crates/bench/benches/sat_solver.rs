@@ -125,6 +125,9 @@ fn record_baseline(_c: &mut Criterion) {
             propagations: stats.propagations,
             conflicts: stats.conflicts,
             arena_gcs: stats.arena_gcs,
+            imports: stats.imported_clauses,
+            exports: stats.exported_clauses,
+            dropped: stats.dropped_clauses,
         });
     };
     for holes in [7usize, 8] {

@@ -6,6 +6,13 @@
 //! noise floor (`--min-wall`, default 0.05 s on both sides) and entries
 //! present on only one side are skipped.
 //!
+//! Beyond wall clock, the gate also fails when a clause-sharing counter
+//! (`imports`/`exports`) that was nonzero in the baseline collapses to
+//! zero, and when the `clause_sharing` 2→16-worker scaling speedup falls
+//! more than `--max-ratio` below the baseline's speedup. Both checks skip
+//! silently when either side lacks the relevant entries/fields, so old
+//! baselines keep gating.
+//!
 //! Usage:
 //!   cargo run -p revpebble-bench --bin bench_gate -- \
 //!       [--baseline PATH] [--fresh PATH] [--max-ratio R] [--min-wall S]
@@ -23,7 +30,9 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use revpebble_bench::{arg_value, compare_bench_records, parse_bench_json};
+use revpebble_bench::{
+    arg_value, compare_bench_records, compare_sharing_fields, parse_bench_json, scaling_speedup,
+};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -129,5 +138,52 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
     println!("bench_gate: no wall-clock regressions");
+
+    // Clause-sharing health: a sharing counter that was alive in the
+    // baseline (imports/exports > 0) must not collapse to zero — that
+    // means the lock-free pool silently stopped moving clauses even if
+    // the wall clock still looks fine.
+    let collapses = compare_sharing_fields(&baseline, &fresh);
+    for problem in &collapses {
+        eprintln!("  SHARING {problem}");
+    }
+    if !collapses.is_empty() {
+        eprintln!(
+            "bench_gate: {} sharing counter{} collapsed to zero vs baseline",
+            collapses.len(),
+            if collapses.len() == 1 { "" } else { "s" }
+        );
+        return ExitCode::FAILURE;
+    }
+
+    // Worker-scaling health on the clause_sharing sweep: the fresh
+    // 2→16-worker speedup may not fall more than `max_ratio` below the
+    // baseline's. Absolute curve shapes are machine-dependent (core
+    // counts differ), so the gate compares the *ratio of ratios*.
+    const SCALE_BENCH: &str = "clause_sharing";
+    const SCALE_LOW: &str = "shared/b3_m4/workers2";
+    const SCALE_HIGH: &str = "shared/b3_m4/workers16";
+    let baseline_speedup = scaling_speedup(&baseline, SCALE_BENCH, SCALE_LOW, SCALE_HIGH);
+    let fresh_speedup = scaling_speedup(&fresh, SCALE_BENCH, SCALE_LOW, SCALE_HIGH);
+    match (baseline_speedup, fresh_speedup) {
+        (Some(base), Some(new)) => {
+            println!(
+                "bench_gate: {SCALE_BENCH} 2->16 worker speedup baseline {base:.2}x \
+                 fresh {new:.2}x"
+            );
+            if new < base / max_ratio {
+                eprintln!(
+                    "bench_gate: worker scaling regressed — fresh speedup {new:.2}x is \
+                     more than {max_ratio}x below baseline {base:.2}x"
+                );
+                return ExitCode::FAILURE;
+            }
+        }
+        // One side lacks the sweep (old baseline, or a bench subset run):
+        // nothing to compare, and that is not a regression.
+        _ => println!("bench_gate: {SCALE_BENCH} scaling sweep absent on one side; skipped"),
+    }
+
+    println!("bench_gate: sharing counters and worker scaling healthy");
     ExitCode::SUCCESS
 }

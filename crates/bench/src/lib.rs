@@ -135,6 +135,13 @@ pub struct BenchRecord {
     pub conflicts: u64,
     /// Clause-arena garbage collections during the run.
     pub arena_gcs: u64,
+    /// Clauses imported from the shared pool (0 for solo runs).
+    pub imports: u64,
+    /// Clauses exported to the shared pool (0 for solo runs).
+    pub exports: u64,
+    /// Pool clauses provably missed — lapped in a rival's export ring
+    /// before the import pass reached them (0 for solo runs).
+    pub dropped: u64,
 }
 
 impl BenchRecord {
@@ -143,8 +150,16 @@ impl BenchRecord {
     fn to_json_line(&self) -> String {
         format!(
             "{{\"bench\":\"{}\",\"id\":\"{}\",\"wall_s\":{:.6},\"propagations\":{},\
-             \"conflicts\":{},\"arena_gcs\":{}}}",
-            self.bench, self.id, self.wall_s, self.propagations, self.conflicts, self.arena_gcs
+             \"conflicts\":{},\"arena_gcs\":{},\"imports\":{},\"exports\":{},\"dropped\":{}}}",
+            self.bench,
+            self.id,
+            self.wall_s,
+            self.propagations,
+            self.conflicts,
+            self.arena_gcs,
+            self.imports,
+            self.exports,
+            self.dropped
         )
     }
 }
@@ -209,6 +224,11 @@ pub fn record_bench_json(bench: &'static str, records: &[BenchRecord]) {
 }
 
 /// One parsed `BENCH_sat.json` entry, keyed for baseline comparison.
+///
+/// The sharing counters are optional: entries written before the
+/// lock-free pool (or by benches that never share) simply lack them, and
+/// the parser tolerates *unknown* fields too, so future record shapes
+/// don't break an older gate.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ParsedBenchEntry {
     /// The emitting bench target.
@@ -217,6 +237,12 @@ pub struct ParsedBenchEntry {
     pub id: String,
     /// Wall-clock seconds of the recorded run.
     pub wall_s: f64,
+    /// Clauses imported from the shared pool, when recorded.
+    pub imports: Option<u64>,
+    /// Clauses exported to the shared pool, when recorded.
+    pub exports: Option<u64>,
+    /// Pool clauses provably missed (ring overwrites), when recorded.
+    pub dropped: Option<u64>,
 }
 
 /// Extracts the value of a string field from one JSON entry line.
@@ -251,6 +277,9 @@ pub fn parse_bench_json(text: &str) -> Vec<ParsedBenchEntry> {
                 bench: json_str_field(line, "bench")?,
                 id: json_str_field(line, "id")?,
                 wall_s: json_num_field(line, "wall_s")?,
+                imports: json_num_field(line, "imports").map(|v| v as u64),
+                exports: json_num_field(line, "exports").map(|v| v as u64),
+                dropped: json_num_field(line, "dropped").map(|v| v as u64),
             })
         })
         .collect()
@@ -311,6 +340,66 @@ pub fn compare_bench_records(
         .collect()
 }
 
+/// Compares the sharing counters of matched baseline/fresh entries:
+/// a fresh run whose `imports` or `exports` collapsed to zero while the
+/// baseline recorded a nonzero count means the cooperative layer silently
+/// died (a pool wiring bug the wall-clock gate alone would miss — the
+/// race still terminates, just without cooperation). Returns one message
+/// per such collapse; entries lacking the counters on either side are
+/// skipped (old baselines, solo benches).
+pub fn compare_sharing_fields(
+    baseline: &[ParsedBenchEntry],
+    fresh: &[ParsedBenchEntry],
+) -> Vec<String> {
+    let mut problems = Vec::new();
+    for entry in fresh {
+        let Some(base) = baseline
+            .iter()
+            .find(|b| b.bench == entry.bench && b.id == entry.id)
+        else {
+            continue;
+        };
+        for (field, base_v, fresh_v) in [
+            ("imports", base.imports, entry.imports),
+            ("exports", base.exports, entry.exports),
+        ] {
+            if let (Some(b), Some(f)) = (base_v, fresh_v) {
+                if b > 0 && f == 0 {
+                    problems.push(format!(
+                        "{}/{}: {field} collapsed {b} -> 0 (clause sharing died)",
+                        entry.bench, entry.id
+                    ));
+                }
+            }
+        }
+    }
+    problems
+}
+
+/// The wall-clock speedup between two recorded worker scales of one
+/// bench: `wall(low_id) / wall(high_id)`, i.e. how much faster the
+/// `high_id` configuration ran. `None` when either entry is missing.
+///
+/// The `bench_gate` binary uses this on the `clause_sharing` scaling
+/// records (`shared/b3_m4/workers2` … `workers16`) to catch the shared
+/// portfolio flattening: the fresh 2-to-16-worker speedup must not fall
+/// more than the gate's ratio below the committed baseline's.
+pub fn scaling_speedup(
+    entries: &[ParsedBenchEntry],
+    bench: &str,
+    low_id: &str,
+    high_id: &str,
+) -> Option<f64> {
+    let wall = |id: &str| {
+        entries
+            .iter()
+            .find(|e| e.bench == bench && e.id == id)
+            .map(|e| e.wall_s)
+    };
+    let (low, high) = (wall(low_id)?, wall(high_id)?);
+    (high > 0.0).then(|| low / high)
+}
+
 /// Parses `--flag value` style arguments; returns the value for `flag`.
 pub fn arg_value(args: &[String], flag: &str) -> Option<String> {
     args.iter()
@@ -360,6 +449,9 @@ mod tests {
             propagations: 100,
             conflicts,
             arena_gcs: 1,
+            imports: 0,
+            exports: 0,
+            dropped: 0,
         };
         write_bench_json(&path, "alpha", &[record("alpha", "a/1", 1)]).expect("write");
         write_bench_json(
@@ -401,6 +493,9 @@ mod tests {
                 propagations: 10,
                 conflicts: 1,
                 arena_gcs: 0,
+                imports: 7,
+                exports: 3,
+                dropped: 1,
             },
             BenchRecord {
                 bench: "gate",
@@ -409,6 +504,9 @@ mod tests {
                 propagations: 99,
                 conflicts: 9,
                 arena_gcs: 1,
+                imports: 0,
+                exports: 0,
+                dropped: 0,
             },
         ];
         write_bench_json(&path, "gate", &records).expect("write");
@@ -420,6 +518,84 @@ mod tests {
         assert_eq!(parsed[0].id, "fast");
         assert!((parsed[0].wall_s - 0.25).abs() < 1e-9);
         assert!((parsed[1].wall_s - 2.0).abs() < 1e-9);
+        assert_eq!(parsed[0].imports, Some(7));
+        assert_eq!(parsed[0].exports, Some(3));
+        assert_eq!(parsed[0].dropped, Some(1));
+    }
+
+    #[test]
+    fn parser_tolerates_unknown_and_missing_fields() {
+        // Old-shape entry (no sharing counters) and a future-shape entry
+        // (an unknown field) must both parse; the gate never breaks on a
+        // record schema it predates or postdates.
+        let text = concat!(
+            "{ \"schema\": 1, \"entries\": [\n",
+            "{\"bench\":\"old\",\"id\":\"a\",\"wall_s\":1.0,\"propagations\":5,",
+            "\"conflicts\":2,\"arena_gcs\":0},\n",
+            "{\"bench\":\"new\",\"id\":\"b\",\"wall_s\":2.0,\"propagations\":5,",
+            "\"conflicts\":2,\"arena_gcs\":0,\"imports\":4,\"exports\":6,",
+            "\"dropped\":0,\"mystery_field\":99}\n",
+            "] }\n"
+        );
+        let parsed = parse_bench_json(text);
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed[0].imports, None, "old entries lack the counters");
+        assert_eq!(parsed[1].imports, Some(4));
+        assert_eq!(parsed[1].exports, Some(6));
+        assert_eq!(parsed[1].dropped, Some(0));
+    }
+
+    #[test]
+    fn sharing_collapse_is_flagged_and_absence_is_not() {
+        let entry = |id: &str, imports: Option<u64>, exports: Option<u64>| ParsedBenchEntry {
+            bench: "share".to_string(),
+            id: id.to_string(),
+            wall_s: 1.0,
+            imports,
+            exports,
+            dropped: Some(0),
+        };
+        let baseline = [
+            entry("live", Some(100), Some(50)),
+            entry("old", None, None),
+            entry("solo", Some(0), Some(0)),
+        ];
+        let fresh = [
+            entry("live", Some(0), Some(40)), // imports died: flagged
+            entry("old", Some(9), Some(9)),   // baseline has no counters: skipped
+            entry("solo", Some(0), Some(0)),  // zero on both sides: fine
+        ];
+        let problems = compare_sharing_fields(&baseline, &fresh);
+        assert_eq!(problems.len(), 1, "{problems:?}");
+        assert!(problems[0].contains("share/live"), "{}", problems[0]);
+        assert!(problems[0].contains("imports"), "{}", problems[0]);
+    }
+
+    #[test]
+    fn scaling_speedup_reads_the_worker_sweep() {
+        let entry = |id: &str, wall_s| ParsedBenchEntry {
+            bench: "clause_sharing".to_string(),
+            id: id.to_string(),
+            wall_s,
+            imports: None,
+            exports: None,
+            dropped: None,
+        };
+        let entries = [
+            entry("shared/b3_m4/workers2", 8.0),
+            entry("shared/b3_m4/workers16", 2.0),
+        ];
+        let speedup = scaling_speedup(
+            &entries,
+            "clause_sharing",
+            "shared/b3_m4/workers2",
+            "shared/b3_m4/workers16",
+        );
+        assert_eq!(speedup, Some(4.0));
+        assert_eq!(
+            scaling_speedup(&entries, "clause_sharing", "missing", "also-missing"),
+            None
+        );
     }
 
     #[test]
@@ -428,6 +604,9 @@ mod tests {
             bench: "b".to_string(),
             id: id.to_string(),
             wall_s,
+            imports: None,
+            exports: None,
+            dropped: None,
         };
         let baseline = [
             entry("steady", 1.0),

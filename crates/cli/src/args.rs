@@ -37,6 +37,10 @@ pub struct Args {
     /// one learnt-clause pool and one certified-refutation blackboard
     /// (unsat-core bound tightening) across all workers.
     pub share_clauses: bool,
+    /// `--diversify`: jitter the CDCL heuristics of every
+    /// `--minimize --portfolio` worker but the first (HordeSat-style
+    /// per-worker seeds, restart jitter, polarity inversion, bump noise).
+    pub diversify: bool,
     /// `--json`: print the session's unified report as one JSON object on
     /// stdout instead of the human-readable summary.
     pub json: bool,
@@ -57,6 +61,7 @@ impl Args {
         let mut minimize = false;
         let mut incremental = false;
         let mut share_clauses = false;
+        let mut diversify = false;
         let mut json = false;
         let mut grid = false;
         let mut qasm = false;
@@ -87,6 +92,7 @@ impl Args {
                 "--minimize" => minimize = true,
                 "--incremental" => incremental = true,
                 "--share-clauses" => share_clauses = true,
+                "--diversify" => diversify = true,
                 "--json" => json = true,
                 "--grid" => grid = true,
                 "--qasm" => qasm = true,
@@ -120,6 +126,7 @@ impl Args {
             minimize,
             incremental,
             share_clauses,
+            diversify,
             json,
             grid,
             qasm,
@@ -191,6 +198,7 @@ mod tests {
         assert!(args.minimize);
         assert!(args.incremental);
         assert!(!args.share_clauses);
+        assert!(!args.diversify);
         assert!(args.json);
         assert_eq!(args.timeout, Some(Duration::from_secs(10)));
     }
@@ -219,9 +227,13 @@ mod tests {
             "--portfolio",
             "4",
             "--share-clauses",
+            "--diversify",
         ]))
         .expect("parses");
         assert!(args.share_clauses);
+        assert!(args.diversify);
+        // `--diversify` without a portfolio parses; the session rejects it.
+        assert!(Args::parse(&strs(&["pebble", "c17", "--minimize", "--diversify"])).is_ok());
     }
 
     #[test]

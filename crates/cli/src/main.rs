@@ -28,13 +28,15 @@
 //! `--incremental` reuses **one** assumption-bounded encoding/solver
 //! across every probe, and `--portfolio N` races `N` incremental budget
 //! schedules. Adding `--share-clauses` makes the portfolio cooperative:
-//! workers exchange short learnt clauses through a shared pool and pool
-//! certified refutations (unsat-core bound tightening), so each prunes
-//! with everything any rival has proven.
+//! workers exchange short learnt clauses through a lock-free shared pool
+//! and pool certified refutations (unsat-core bound tightening), so each
+//! prunes with everything any rival has proven; `--diversify` jitters
+//! every worker's CDCL heuristics but the first (HordeSat-style
+//! per-worker seeds).
 //!
 //! `<input>` is a `.bench` netlist path, `-` for stdin, or one of the
-//! built-in examples: `paper`, `c17`, `andtree9`, `hop`, `kummer`,
-//! `edwards`, `adder4`.
+//! built-in examples: `paper`, `c17`, `andtree9`, `hop`, `b3_m4`,
+//! `kummer`, `edwards`, `adder4`.
 
 use std::io::Read as _;
 use std::process::ExitCode;
@@ -88,13 +90,13 @@ const USAGE: &str = "usage:
   revpebble pebble   <input> --pebbles P [--mode seq|par] [--portfolio N] [--timeout S]
                              [--grid] [--qasm] [--json]
   revpebble pebble   <input> --minimize [--incremental] [--portfolio N] [--share-clauses]
-                             [--timeout S] [--json]
+                             [--diversify] [--timeout S] [--json]
   revpebble minimize <input> [--timeout S] [--incremental] [--portfolio N] [--share-clauses]
-                             [--json]
+                             [--diversify] [--json]
   revpebble frontier <input> [--timeout S] [--json]
   revpebble dot      <input>
 inputs: a .bench file path, '-' (stdin), or a built-in:
-  paper | c17 | andtree9 | hop | kummer | edwards | adder4
+  paper | c17 | andtree9 | hop | b3_m4 | kummer | edwards | adder4
 portfolio: race N configurations (schedule x move mode x cardinality
   encoding) on worker threads; first winner cancels the rest (0 = one
   worker per core)
@@ -102,7 +104,8 @@ minimize: --incremental reuses one assumption-bounded encoding/solver
   across all budget probes; --portfolio N races N incremental budget
   schedules (binary search vs descending strides); --share-clauses makes
   the portfolio cooperative (shared learnt-clause pool + unsat-core
-  bound tightening across workers)
+  bound tightening across workers); --diversify jitters every worker's
+  CDCL heuristics but the first (HordeSat-style per-worker seeds)
 output: probe events stream to stderr while solving; --json prints the
   session report as one JSON object on stdout
 exit codes: 0 success | 1 runtime failure | 2 invalid usage/configuration";
@@ -164,6 +167,9 @@ fn session_for<'a>(dag: &'a Dag, args: &Args) -> PebblingSession<'a> {
     }
     if args.share_clauses {
         session = session.share_clauses(ShareOptions::default());
+    }
+    if args.diversify {
+        session = session.diversify(true);
     }
     session
 }
@@ -294,20 +300,31 @@ fn run_minimize(dag: &Dag, args: &Args) -> Result<(), CliError> {
                     worker.result.sat.exported_clauses,
                 );
             }
-            let (imports, exports) = outcome.workers.iter().fold((0u64, 0u64), |(i, e), w| {
-                (
-                    i + w.result.sat.imported_clauses,
-                    e + w.result.sat.exported_clauses,
-                )
-            });
+            let (imports, exports, dropped) =
+                outcome
+                    .workers
+                    .iter()
+                    .fold((0u64, 0u64, 0u64), |(i, e, d), w| {
+                        (
+                            i + w.result.sat.imported_clauses,
+                            e + w.result.sat.exported_clauses,
+                            d + w.result.sat.dropped_clauses,
+                        )
+                    });
             let sharing = &outcome.sharing;
             if !args.json {
                 println!(
                     "minimize: engine=portfolio workers={} probes={} share-clauses={} \
-                     imports={imports} exports={exports} floor={} core-tightenings={}",
+                     diversify={} imports={imports} exports={exports} dropped={dropped} \
+                     floor={} core-tightenings={}",
                     outcome.workers.len(),
                     report.probes(),
                     if args.share_clauses { "on" } else { "off" },
+                    if sharing.options.diversify {
+                        "on"
+                    } else {
+                        "off"
+                    },
                     sharing.floor,
                     sharing.step_tightenings + sharing.floor_raises,
                 );
@@ -403,6 +420,9 @@ fn load_dag(input: &str) -> Result<Dag, String> {
         "c17" => parse_bench(revpebble::graph::data::C17_BENCH).map_err(|e| e.to_string()),
         "andtree9" => Ok(generators::and_tree(9)),
         "hop" => slp::h_operator().to_dag().map_err(|e| e.to_string()),
+        // Table I's smallest H-operator row (59 nodes), the workload the
+        // clause-sharing benches and the CI stress smoke run on.
+        "b3_m4" => Ok(slp::h_operator_sized(59)),
         "kummer" => slp::kummer_ladder_step()
             .to_dag()
             .map_err(|e| e.to_string()),

@@ -67,10 +67,10 @@ pub use encoding::{BoundMode, EncodingOptions, MoveMode, PebbleEncoding};
 pub use exact::{exact_min_pebbles, solve_exact, ExactOutcome};
 pub use frontier::{frontier, frontier_with_events, FrontierOptions, FrontierPoint};
 pub use portfolio::{
-    default_minimize_portfolio, default_portfolio, minimize_portfolio_with,
-    minimize_portfolio_with_sharing, MinimizeConfig, MinimizePortfolioOutcome,
-    MinimizeWorkerReport, PortfolioOutcome, PortfolioSolver, ShareOptions, SharingReport,
-    WorkerReport,
+    default_minimize_portfolio, default_portfolio, diversify_minimize_portfolio,
+    minimize_portfolio_with, minimize_portfolio_with_sharing, MinimizeConfig,
+    MinimizePortfolioOutcome, MinimizeWorkerReport, PortfolioOutcome, PortfolioSolver,
+    ShareOptions, SharingReport, WorkerReport,
 };
 pub use session::{
     Engine, PebblingSession, ProbeEvent, ProbeEventSender, Report, SessionError, SessionOutcome,

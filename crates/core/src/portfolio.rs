@@ -40,9 +40,10 @@ use std::sync::Arc;
 use std::thread;
 use std::time::{Duration, Instant};
 
+use rand::{rngs::StdRng, Rng, SeedableRng};
 use revpebble_graph::Dag;
 use revpebble_sat::card::CardEncoding;
-use revpebble_sat::{PoolStats, SharedClausePool, SolverStats};
+use revpebble_sat::{PoolConfig, PoolStats, SharedClausePool, SolverStats};
 
 use crate::encoding::MoveMode;
 use crate::session::{ProbeEvent, ProbeEventSender};
@@ -396,15 +397,30 @@ pub struct MinimizeWorkerReport {
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ShareOptions {
     /// Exchange short learnt clauses through one [`SharedClausePool`].
-    /// Only wired to workers whose encoding options equal worker 0's —
-    /// clause exchange is sound only between identical encodings.
+    /// When every worker's encoding options equal worker 0's the
+    /// exchange is verbatim; as soon as any worker differs in
+    /// cardinality encoding (or pebble budget / step cap), *all*
+    /// participants confine the exchange to the canonically-renamed
+    /// pebble-variable prefix (see
+    /// [`PebbleEncoding::enable_prefix_sharing`](crate::encoding::PebbleEncoding::enable_prefix_sharing))
+    /// — the pool is one namespace, so verbatim local ids and canonical
+    /// ids must never mix. Workers diverging on move semantics or
+    /// weighting race without the pool.
     pub clauses: bool,
     /// Share the certified-refutation blackboard
     /// ([`SharedSearchState`]): monotonicity-table entries, universal
     /// (budget-free-core) step refutations and the budget floor. Only
-    /// wired to workers agreeing with worker 0 on the encoding options
-    /// and step cap.
+    /// wired to workers agreeing with worker 0 on move semantics, the
+    /// weighted flag and the step cap — the facts a refutation certifies
+    /// depend on nothing else.
     pub bounds: bool,
+    /// Jitter the workers' CDCL heuristics (HordeSat-style
+    /// diversification): per-worker RNG seeds drive restart-interval
+    /// jitter, VSIDS-decay jitter, polarity inversion and variable-bump
+    /// noise (see [`diversify_minimize_portfolio`]). Worker 0 keeps the
+    /// stock heuristics, so the portfolio always contains the undiversed
+    /// baseline.
+    pub diversify: bool,
 }
 
 impl Default for ShareOptions {
@@ -412,6 +428,7 @@ impl Default for ShareOptions {
         ShareOptions {
             clauses: true,
             bounds: true,
+            diversify: false,
         }
     }
 }
@@ -422,7 +439,105 @@ impl ShareOptions {
         ShareOptions {
             clauses: false,
             bounds: false,
+            diversify: false,
         }
+    }
+
+    /// Full sharing plus heuristic diversification — the HordeSat recipe.
+    pub fn diversified() -> Self {
+        ShareOptions {
+            diversify: true,
+            ..ShareOptions::default()
+        }
+    }
+}
+
+/// How one worker participates in the shared clause pool.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ClauseShareMode {
+    /// Every worker's encoding options and step cap equal worker 0's:
+    /// every admitted learnt clause is exchanged verbatim.
+    Full,
+    /// Same move semantics and weighting as worker 0 but some pool
+    /// participant differs in cardinality encoding, budget or step cap:
+    /// only clauses confined to the canonically-renamed pebble-variable
+    /// prefix are exchanged.
+    Prefix,
+    /// Different move semantics or weighting: no clause exchange.
+    None,
+}
+
+/// Assigns every worker its pool participation mode. Clause exchange is
+/// sound verbatim between identical encodings, and through the
+/// canonically-renamed pebble-variable prefix between encodings that
+/// agree on move semantics and weighting (different cardinality encodings
+/// share the same projected theory — see
+/// [`PebbleEncoding::enable_prefix_sharing`](crate::encoding::PebbleEncoding::enable_prefix_sharing)).
+/// Workers diverging on move semantics or weighting keep racing without
+/// the pool.
+///
+/// The pool is one namespace: a verbatim publisher writes its *local*
+/// variable numbering, a prefix publisher writes *canonical* ids, and a
+/// reader cannot tell the payloads apart. Mixing the two regimes in one
+/// race would have a verbatim worker install a prefix rival's canonical
+/// ids as local literals (and vice versa) — unsound garbage that can
+/// flip probe answers. So verbatim exchange requires *every* pool
+/// participant to match worker 0 exactly; one deviating worker switches
+/// the whole pool to the prefix contract.
+fn clause_share_modes(configs: &[MinimizeConfig]) -> Vec<ClauseShareMode> {
+    let reference = configs[0].base;
+    let mut modes: Vec<ClauseShareMode> = configs
+        .iter()
+        .map(|config| {
+            if config.base.encoding == reference.encoding
+                && config.base.max_steps == reference.max_steps
+            {
+                ClauseShareMode::Full
+            } else if config.base.encoding.move_mode == reference.encoding.move_mode
+                && config.base.encoding.weighted == reference.encoding.weighted
+            {
+                ClauseShareMode::Prefix
+            } else {
+                ClauseShareMode::None
+            }
+        })
+        .collect();
+    if modes.contains(&ClauseShareMode::Prefix) {
+        for mode in &mut modes {
+            if *mode == ClauseShareMode::Full {
+                *mode = ClauseShareMode::Prefix;
+            }
+        }
+    }
+    modes
+}
+
+/// Jitters the CDCL heuristics of every worker but the first, HordeSat
+/// style: deterministic per-worker seeds (so races are reproducible
+/// modulo thread timing) drive restart-interval jitter
+/// ([`restart_base`](revpebble_sat::SolverConfig::restart_base) in
+/// `64..=192`), VSIDS-decay jitter
+/// ([`var_decay`](revpebble_sat::SolverConfig::var_decay) in
+/// `0.90..0.99`), polarity inversion
+/// ([`invert_polarity`](revpebble_sat::SolverConfig::invert_polarity),
+/// a fair coin) and variable-bump noise
+/// ([`activity_noise`](revpebble_sat::SolverConfig::activity_noise) in
+/// `0.0..0.05`). Worker 0 is left untouched so every diversified
+/// portfolio still contains the stock configuration.
+///
+/// [`minimize_portfolio_with_sharing`]-based races apply this
+/// automatically when [`ShareOptions::diversify`] is set; it is public so
+/// custom portfolios can diversify hand-built configuration lists the
+/// same way.
+pub fn diversify_minimize_portfolio(configs: &mut [MinimizeConfig]) {
+    for (worker, config) in configs.iter_mut().enumerate().skip(1) {
+        let mut rng = StdRng::seed_from_u64(0x5EED_0000 ^ worker as u64);
+        let sat = &mut config.base.sat;
+        sat.restart_base = rng.gen_range(64u64..=192);
+        sat.var_decay = 0.90 + 0.09 * rng.gen::<f64>();
+        sat.invert_polarity = rng.gen_bool(0.5);
+        sat.activity_noise = 0.05 * rng.gen::<f64>();
+        sat.seed = rng.gen();
     }
 }
 
@@ -540,12 +655,18 @@ pub fn minimize_portfolio_with(
 /// winner.
 ///
 /// With [`ShareOptions::clauses`] the workers exchange short learnt
-/// clauses through one [`SharedClausePool`]; with
-/// [`ShareOptions::bounds`] they pool certified refutations and the
-/// budget floor on one [`SharedSearchState`]. Both are only wired to
-/// workers whose encoding options (and, for bounds, step cap) equal
-/// worker 0's — sharing between diverging encodings would be unsound, so
-/// incompatible workers silently race isolated.
+/// clauses through one [`SharedClausePool`] — verbatim when every
+/// worker's options equal worker 0's, and through the pebble-variable
+/// prefix contract as soon as any worker differs in cardinality
+/// encoding, budget or step cap (the pool is one namespace, so verbatim
+/// and canonical payloads never mix). With [`ShareOptions::bounds`] they pool
+/// certified refutations and the budget floor on one
+/// [`SharedSearchState`], wired to every worker agreeing with worker 0
+/// on move semantics, weighting and step cap. Workers diverging on move
+/// semantics or weighting silently race isolated — sharing across those
+/// axes would be unsound. [`ShareOptions::diversify`] additionally
+/// jitters every non-reference worker's CDCL heuristics (see
+/// [`diversify_minimize_portfolio`]).
 ///
 /// # Panics
 ///
@@ -565,7 +686,7 @@ pub fn minimize_portfolio_with_sharing(
 /// worker clones.
 pub(crate) fn minimize_portfolio_session(
     dag: &Dag,
-    configs: Vec<MinimizeConfig>,
+    mut configs: Vec<MinimizeConfig>,
     per_query: Duration,
     share: ShareOptions,
     events: Option<ProbeEventSender>,
@@ -577,18 +698,33 @@ pub(crate) fn minimize_portfolio_session(
     assert!(dag.num_nodes() > 0, "cannot pebble an empty DAG");
     dag.validate_for_pebbling()
         .expect("every sink must be an output");
+    if share.diversify {
+        diversify_minimize_portfolio(&mut configs);
+    }
     let stop = Arc::new(AtomicBool::new(false));
-    let pool = share.clauses.then(|| Arc::new(SharedClausePool::new()));
+    let pool = share.clauses.then(|| {
+        Arc::new(SharedClausePool::with_config(PoolConfig {
+            max_workers: configs.len().max(1),
+            ..PoolConfig::default()
+        }))
+    });
     let shared = share.bounds.then(|| Arc::new(SharedSearchState::new()));
     let reference = configs[0].base;
-    // Sharing is sound only between identical encodings (and, for the
-    // floor, identical step caps): incompatible workers keep racing, just
+    // One pool, one namespace — see `clause_share_modes` for why a single
+    // prefix-mode worker switches every participant to the prefix
+    // contract.
+    let clause_mode = clause_share_modes(&configs);
+    // The refutation blackboard certifies facts about budgets under a
+    // step cap; those depend only on move semantics, weighting and the
+    // cap — not the cardinality encoding — so the bounds gate is wider
+    // than strict option equality. Incompatible workers keep racing, just
     // without the pooled facts — and their results are excluded from the
     // certified figures in the sharing report below.
     let compatible: Vec<bool> = configs
         .iter()
         .map(|config| {
-            config.base.encoding == reference.encoding
+            config.base.encoding.move_mode == reference.encoding.move_mode
+                && config.base.encoding.weighted == reference.encoding.weighted
                 && config.base.max_steps == reference.max_steps
         })
         .collect();
@@ -600,10 +736,14 @@ pub(crate) fn minimize_portfolio_session(
             .map(|(index, &config)| {
                 let stop = Arc::clone(&stop);
                 let winner = &winner;
+                let clause_mode = clause_mode[index];
                 let compatible = compatible[index];
                 let ctx = MinimizeContext {
                     stop: Some(Arc::clone(&stop)),
-                    pool: pool.clone().filter(|_| compatible),
+                    pool: pool
+                        .clone()
+                        .filter(|_| clause_mode != ClauseShareMode::None),
+                    prefix: clause_mode == ClauseShareMode::Prefix,
                     shared: shared.clone().filter(|_| compatible),
                     events: events.clone(),
                     worker: index,
@@ -985,6 +1125,129 @@ mod tests {
             "certified floor {} must not exceed the certified minimum {p}",
             shared.sharing.floor
         );
+    }
+
+    #[test]
+    fn mixed_encoding_shared_race_matches_single_worker_minimum() {
+        // Three workers with *different* cardinality encodings share one
+        // pool through the pebble-variable prefix contract; the certified
+        // minimum must match the single-worker incremental engine.
+        let dag = revpebble_graph::parse_bench(revpebble_graph::data::C17_BENCH).expect("parses");
+        let base = SolverOptions {
+            max_steps: 60,
+            ..SolverOptions::default()
+        };
+        let mut configs = default_minimize_portfolio(base, 3);
+        configs[1].base.encoding.card_encoding = CardEncoding::Totalizer;
+        configs[2].base.encoding.card_encoding = CardEncoding::Pairwise;
+        let outcome = minimize_portfolio_with_sharing(
+            &dag,
+            configs,
+            Duration::from_secs(30),
+            ShareOptions::default(),
+        );
+        let (p, strategy) = outcome.best.clone().expect("c17 is feasible");
+        strategy.validate(&dag, Some(p)).expect("valid");
+        let single = crate::solver::minimize_pebbles(&dag, base, Duration::from_secs(30));
+        assert_eq!(Some(p), single.best.map(|(p, _)| p));
+        // Every worker is on the pool (full or prefix mode), and the
+        // mixed-encoding workers still certify a floor no higher than the
+        // minimum.
+        assert!(
+            outcome.sharing.pool.workers >= 3,
+            "all three workers must register on the pool, got {}",
+            outcome.sharing.pool.workers
+        );
+        assert!(outcome.sharing.floor <= p);
+    }
+
+    #[test]
+    fn one_prefix_worker_switches_the_whole_pool_to_prefix_mode() {
+        // Verbatim (local-numbering) and canonical (prefix-renamed)
+        // payloads share one pool and are indistinguishable to a reader,
+        // so the two regimes must never coexist in a race: a verbatim
+        // worker would install a rival's canonical ids as local literals.
+        let base = SolverOptions {
+            max_steps: 60,
+            ..SolverOptions::default()
+        };
+        let uniform = default_minimize_portfolio(base, 3);
+        assert!(
+            clause_share_modes(&uniform)
+                .iter()
+                .all(|&m| m == ClauseShareMode::Full),
+            "identical encodings exchange verbatim"
+        );
+        let mut mixed = default_minimize_portfolio(base, 3);
+        mixed[2].base.encoding.card_encoding = CardEncoding::Totalizer;
+        let modes = clause_share_modes(&mixed);
+        assert!(
+            modes.iter().all(|&m| m == ClauseShareMode::Prefix),
+            "one deviating worker forces the prefix contract on everyone, got {modes:?}"
+        );
+        let mut detached = default_minimize_portfolio(base, 3);
+        detached[1].base.encoding.card_encoding = CardEncoding::Pairwise;
+        detached[2].base.encoding.move_mode = MoveMode::Parallel;
+        assert_eq!(
+            clause_share_modes(&detached),
+            vec![
+                ClauseShareMode::Prefix,
+                ClauseShareMode::Prefix,
+                ClauseShareMode::None
+            ],
+            "move-mode divergence detaches that worker only"
+        );
+    }
+
+    #[test]
+    fn diversification_jitters_every_worker_but_the_first() {
+        let base = SolverOptions {
+            max_steps: 60,
+            ..SolverOptions::default()
+        };
+        let mut configs = default_minimize_portfolio(base, 4);
+        let before: Vec<_> = configs.clone();
+        diversify_minimize_portfolio(&mut configs);
+        assert_eq!(
+            configs[0].base.sat, before[0].base.sat,
+            "worker 0 keeps the stock heuristics"
+        );
+        for (worker, (jittered, stock)) in configs.iter().zip(&before).enumerate().skip(1) {
+            let (j, s) = (&jittered.base.sat, &stock.base.sat);
+            assert_ne!(j, s, "worker {worker} must be jittered");
+            assert!((64..=192).contains(&j.restart_base), "{}", j.restart_base);
+            assert!((0.90..0.99).contains(&j.var_decay), "{}", j.var_decay);
+            assert!((0.0..0.05).contains(&j.activity_noise));
+            // Everything outside the sat knobs is untouched.
+            assert_eq!(jittered.base.encoding, stock.base.encoding);
+            assert_eq!(jittered.schedule, stock.schedule);
+        }
+        // Deterministic: a second pass from the same inputs agrees.
+        let mut again = before.clone();
+        diversify_minimize_portfolio(&mut again);
+        for (a, b) in again.iter().zip(&configs) {
+            assert_eq!(a.base.sat, b.base.sat);
+        }
+        // Distinct workers draw distinct seeds.
+        assert_ne!(configs[1].base.sat.seed, configs[2].base.sat.seed);
+    }
+
+    #[test]
+    fn diversified_shared_race_agrees_on_the_minimum() {
+        let dag = paper_example();
+        let base = SolverOptions {
+            max_steps: 60,
+            ..SolverOptions::default()
+        };
+        let configs = default_minimize_portfolio(base, 3);
+        let outcome = minimize_portfolio_with_sharing(
+            &dag,
+            configs,
+            Duration::from_secs(20),
+            ShareOptions::diversified(),
+        );
+        assert_eq!(outcome.best.as_ref().map(|&(p, _)| p), Some(4));
+        assert!(outcome.sharing.options.diversify);
     }
 
     #[test]

@@ -218,6 +218,9 @@ pub enum SessionError {
     ShareClausesWithoutPortfolio,
     /// Clause sharing only applies to the minimize search.
     ShareClausesWithoutMinimize,
+    /// Diversification jitters portfolio workers against each other; a
+    /// single run has nobody to diverge from.
+    DiversifyWithoutPortfolio,
     /// Minimize-portfolio workers always run incrementally; a fresh
     /// solver per probe cannot share clauses or certified bounds.
     FreshPortfolio,
@@ -266,6 +269,10 @@ impl fmt::Display for SessionError {
             SessionError::ShareClausesWithoutMinimize => {
                 write!(f, "--share-clauses only applies to the minimize search")
             }
+            SessionError::DiversifyWithoutPortfolio => write!(
+                f,
+                "--diversify only applies to the minimize portfolio (--minimize --portfolio N)"
+            ),
             SessionError::FreshPortfolio => write!(
                 f,
                 "minimize-portfolio workers always run incrementally; drop the fresh-per-probe \
@@ -556,6 +563,7 @@ pub struct PebblingSession<'a> {
     incremental: Option<bool>,
     portfolio: Option<usize>,
     share: Option<ShareOptions>,
+    diversify: Option<bool>,
     per_query: Option<Duration>,
     frontier_range: (Option<usize>, Option<usize>),
     #[allow(clippy::type_complexity)]
@@ -594,6 +602,7 @@ impl<'a> PebblingSession<'a> {
             incremental: None,
             portfolio: None,
             share: None,
+            diversify: None,
             per_query: None,
             frontier_range: (None, None),
             on_event: None,
@@ -670,6 +679,21 @@ impl<'a> PebblingSession<'a> {
     /// [`minimize`](Self::minimize) + [`portfolio`](Self::portfolio).
     pub fn share_clauses(mut self, share: ShareOptions) -> Self {
         self.share = Some(share);
+        self
+    }
+
+    /// Jitters the CDCL heuristics of every minimize-portfolio worker but
+    /// the first (HordeSat-style diversification: per-worker RNG seeds,
+    /// restart-interval jitter, VSIDS-decay jitter, polarity inversion,
+    /// variable-bump noise — see
+    /// [`diversify_minimize_portfolio`](crate::portfolio::diversify_minimize_portfolio)).
+    /// Works with or without [`share_clauses`](Self::share_clauses);
+    /// requires [`minimize`](Self::minimize) +
+    /// [`portfolio`](Self::portfolio). Overrides the
+    /// [`ShareOptions::diversify`] flag of any options passed to
+    /// `share_clauses`.
+    pub fn diversify(mut self, diversify: bool) -> Self {
+        self.diversify = Some(diversify);
         self
     }
 
@@ -770,6 +794,9 @@ impl<'a> PebblingSession<'a> {
             if self.share.is_some() {
                 return Err(SessionError::ShareClausesWithoutMinimize);
             }
+            if self.diversify == Some(true) {
+                return Err(SessionError::DiversifyWithoutPortfolio);
+            }
             Engine::Frontier
         } else if self.minimize {
             if let Some(budget) = self.pebbles {
@@ -790,6 +817,9 @@ impl<'a> PebblingSession<'a> {
                     if self.share.is_some() {
                         return Err(SessionError::ShareClausesWithoutPortfolio);
                     }
+                    if self.diversify == Some(true) {
+                        return Err(SessionError::DiversifyWithoutPortfolio);
+                    }
                     if self.incremental.unwrap_or(true) {
                         Engine::MinimizeIncremental
                     } else {
@@ -800,6 +830,9 @@ impl<'a> PebblingSession<'a> {
         } else {
             if self.share.is_some() {
                 return Err(SessionError::ShareClausesWithoutMinimize);
+            }
+            if self.diversify == Some(true) {
+                return Err(SessionError::DiversifyWithoutPortfolio);
             }
             let Some(_) = self.pebbles else {
                 return Err(SessionError::MissingBudget);
@@ -817,7 +850,13 @@ impl<'a> PebblingSession<'a> {
             budget_schedule: self.budget_schedule,
             pebbles: self.pebbles,
             workers: self.portfolio.unwrap_or(0),
-            share: self.share.unwrap_or_else(ShareOptions::isolated),
+            share: {
+                let mut share = self.share.unwrap_or_else(ShareOptions::isolated);
+                if let Some(diversify) = self.diversify {
+                    share.diversify = diversify;
+                }
+                share
+            },
             incremental: self.incremental.unwrap_or(true),
             frontier_range: self.frontier_range,
         })
@@ -1019,7 +1058,12 @@ fn execute_plan(
             let share = if plan.engine == Engine::MinimizePortfolioShared {
                 plan.share
             } else {
-                ShareOptions::isolated()
+                // An isolated race still honors the diversification knob:
+                // jitter needs no pool, only distinct worker configs.
+                ShareOptions {
+                    diversify: plan.share.diversify,
+                    ..ShareOptions::isolated()
+                }
             };
             let outcome = minimize_portfolio_session(dag, configs, plan.per_query, share, Some(tx));
             let workers = outcome
@@ -1113,6 +1157,29 @@ mod tests {
     }
 
     #[test]
+    fn diversify_folds_into_the_share_plan() {
+        let dag = paper_example();
+        let plan = PebblingSession::new(&dag)
+            .minimize()
+            .portfolio(2)
+            .diversify(true)
+            .plan()
+            .expect("valid");
+        assert_eq!(plan.engine, Engine::MinimizePortfolio);
+        assert!(plan.share.diversify);
+        assert!(!plan.share.clauses, "diversify alone shares nothing");
+        let plan = PebblingSession::new(&dag)
+            .minimize()
+            .portfolio(2)
+            .share_clauses(ShareOptions::default())
+            .diversify(true)
+            .plan()
+            .expect("valid");
+        assert_eq!(plan.engine, Engine::MinimizePortfolioShared);
+        assert!(plan.share.diversify && plan.share.clauses && plan.share.bounds);
+    }
+
+    #[test]
     fn invalid_combinations_are_rejected_with_typed_errors() {
         let dag = paper_example();
         let err = |session: PebblingSession<'_>| session.plan().expect_err("invalid");
@@ -1152,6 +1219,17 @@ mod tests {
         assert_eq!(
             err(PebblingSession::new(&dag).sweep_frontier().portfolio(2)),
             SessionError::FrontierWithPortfolio
+        );
+        assert_eq!(
+            err(PebblingSession::new(&dag).minimize().diversify(true)),
+            SessionError::DiversifyWithoutPortfolio
+        );
+        assert_eq!(
+            err(PebblingSession::new(&dag)
+                .pebbles(4)
+                .portfolio(4)
+                .diversify(true)),
+            SessionError::DiversifyWithoutPortfolio
         );
         assert_eq!(
             err(PebblingSession::new(&dag).pebbles(4).max_steps(0)),

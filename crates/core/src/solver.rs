@@ -162,6 +162,10 @@ pub struct PebbleSolver<'a> {
     /// Clause-sharing pool, attached to the encoding's solver when the
     /// encoding is (re)built.
     pool: Option<Arc<SharedClausePool>>,
+    /// Restrict the pool exchange to canonically-renamed pebble variables
+    /// (see [`PebbleEncoding::enable_prefix_sharing`]); set when this
+    /// worker's encoding options differ from its pool rivals'.
+    prefix_share: bool,
 }
 
 impl<'a> PebbleSolver<'a> {
@@ -184,6 +188,7 @@ impl<'a> PebbleSolver<'a> {
             encoding: None,
             shared: Arc::new(SharedSearchState::new()),
             pool: None,
+            prefix_share: false,
         }
     }
 
@@ -225,14 +230,33 @@ impl<'a> PebbleSolver<'a> {
     }
 
     /// Connects this solver's (current and future) encoding to a portfolio
-    /// clause-sharing pool. Sound only between workers encoding the same
-    /// DAG with equal [`EncodingOptions`]
-    /// (see [`PebbleEncoding::attach_clause_pool`]).
+    /// clause-sharing pool. Sound between workers encoding the same DAG
+    /// with equal [`EncodingOptions`]; with
+    /// [`set_prefix_sharing`](Self::set_prefix_sharing) additionally
+    /// sound across differing cardinality encodings (see
+    /// [`PebbleEncoding::attach_clause_pool`]).
     pub fn set_clause_pool(&mut self, pool: Option<Arc<SharedClausePool>>) {
         if let (Some(encoding), Some(pool)) = (self.encoding.as_mut(), pool.clone()) {
             encoding.attach_clause_pool(pool);
+            if self.prefix_share {
+                encoding.enable_prefix_sharing();
+            }
         }
         self.pool = pool;
+    }
+
+    /// Restricts the pool exchange to the canonical pebble-variable
+    /// prefix (see [`PebbleEncoding::enable_prefix_sharing`]). Required
+    /// whenever pool rivals' [`EncodingOptions`] differ in the
+    /// cardinality encoding; enabling it cannot be undone on a live
+    /// encoding.
+    pub fn set_prefix_sharing(&mut self, enabled: bool) {
+        self.prefix_share = self.prefix_share || enabled;
+        if enabled {
+            if let Some(encoding) = self.encoding.as_mut() {
+                encoding.enable_prefix_sharing();
+            }
+        }
     }
 
     fn stop_requested(&self) -> bool {
@@ -297,7 +321,13 @@ impl<'a> PebbleSolver<'a> {
         let mut encoding = match self.encoding.take() {
             Some(mut encoding) => {
                 // Re-entering the persistent instance: only the assumed
-                // budget changes, all learnt state carries over.
+                // budget changes, all learnt state carries over — minus
+                // the stale tail. Earlier probes' low-value learnt
+                // clauses would otherwise pile up query over query and
+                // tax every propagation of this one (the incremental
+                // b3_m4 bench paid 4.6× the fresh baseline's conflicts
+                // before this forgetting pass existed).
+                encoding.forget_stale_learnts();
                 encoding.set_bound(self.options.encoding.max_pebbles);
                 encoding
             }
@@ -310,6 +340,9 @@ impl<'a> PebbleSolver<'a> {
                 encoding.set_stop_flag(self.stop.clone());
                 if let Some(pool) = self.pool.clone() {
                     encoding.attach_clause_pool(pool);
+                }
+                if self.prefix_share {
+                    encoding.enable_prefix_sharing();
                 }
                 encoding
             }
@@ -687,6 +720,8 @@ fn sum_stats(a: SolverStats, b: SolverStats) -> SolverStats {
         exported_clauses: a.exported_clauses + b.exported_clauses,
         imported_clauses: a.imported_clauses + b.imported_clauses,
         arena_gcs: a.arena_gcs + b.arena_gcs,
+        dropped_clauses: a.dropped_clauses + b.dropped_clauses,
+        overwritten_clauses: a.overwritten_clauses + b.overwritten_clauses,
     }
 }
 
@@ -701,6 +736,7 @@ impl<'a> Prober<'a> {
             if let Some(shared) = ctx.shared.clone() {
                 solver.set_shared_state(shared);
             }
+            solver.set_prefix_sharing(ctx.prefix);
             solver.set_clause_pool(ctx.pool.clone());
             Prober::Incremental(Box::new(solver))
         } else {
@@ -901,8 +937,14 @@ pub struct MinimizeContext {
     pub stop: Option<Arc<AtomicBool>>,
     /// Clause-sharing pool wired into the incremental engine's solver
     /// (ignored by the fresh baseline). All workers on one pool must use
-    /// equal [`EncodingOptions`].
+    /// equal [`EncodingOptions`] — or, when [`prefix`](Self::prefix) is
+    /// set, options agreeing on move mode and the weighted flag.
     pub pool: Option<Arc<SharedClausePool>>,
+    /// Restrict the pool exchange to canonically-renamed pebble
+    /// variables (see [`PebbleEncoding::enable_prefix_sharing`]); set by
+    /// the portfolio when this worker's encoding options differ from the
+    /// pool's reference options.
+    pub prefix: bool,
     /// Refutation blackboard shared with rival workers (ignored by the
     /// fresh baseline); a private one is created when absent. All workers
     /// on one blackboard must agree on move mode, weighted flag and

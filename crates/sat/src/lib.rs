@@ -19,8 +19,9 @@
 //! - [`card`]: pairwise, sequential-counter and totalizer encodings of
 //!   `Σ xᵢ ≤ k`, the building block of the paper's "at most `P` pebbles
 //!   per step" constraint.
-//! - [`pool`]: a bounded, sharded [`SharedClausePool`] through which
-//!   cooperative portfolio workers exchange short learnt clauses.
+//! - [`pool`]: a lock-free [`SharedClausePool`] of per-worker broadcast
+//!   rings (HordeSat-style) through which cooperative portfolio workers
+//!   exchange short learnt clauses without ever blocking each other.
 //! - [`dimacs`]: DIMACS CNF parsing and printing.
 //! - [`reference`](mod@reference): an exponential DPLL oracle used to cross-validate the
 //!   CDCL solver in tests.
@@ -55,6 +56,6 @@ pub mod tseitin;
 pub mod types;
 
 pub use dimacs::{parse_dimacs, Cnf, ParseDimacsError};
-pub use pool::{ClauseBatch, PoolConfig, PoolStats, SharedClausePool};
+pub use pool::{ClauseBatch, PoolConfig, PoolStats, Publish, RingStats, SharedClausePool};
 pub use solver::{SolveResult, Solver, SolverConfig, SolverStats};
 pub use types::{LBool, Lit, Var};

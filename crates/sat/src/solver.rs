@@ -31,7 +31,7 @@ use std::time::{Duration, Instant};
 
 use crate::clause::{ClauseDb, ClauseRef};
 use crate::heap::VarHeap;
-use crate::pool::{ClauseBatch, SharedClausePool};
+use crate::pool::{ClauseBatch, Publish, SharedClausePool};
 use crate::types::{LBool, Lit, Var};
 
 /// Outcome of a [`Solver::solve`] call.
@@ -73,6 +73,15 @@ pub struct SolverStats {
     /// Mark-compact garbage collections of the clause arena (run at
     /// clause-database-reduction time; see [`crate::clause::ClauseDb`]).
     pub arena_gcs: u64,
+    /// Rivals' clauses this solver provably missed: lapped in the pool's
+    /// ring buffers before this solver's import pass reached them, or
+    /// overwritten mid-copy and discarded (see
+    /// [`crate::pool::SharedClausePool::collect_new`]).
+    pub dropped_clauses: u64,
+    /// Own publications that overwrote the oldest slot of this solver's
+    /// full export ring (they still count as exported; some slow reader
+    /// will record a drop).
+    pub overwritten_clauses: u64,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -83,7 +92,7 @@ struct Watcher {
 
 /// Tunable solver parameters. The defaults work well for the pebbling
 /// encodings produced by `revpebble-core`.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SolverConfig {
     /// Multiplicative VSIDS decay (activity increment grows by `1/decay`).
     pub var_decay: f64,
@@ -101,6 +110,21 @@ pub struct SolverConfig {
     /// database reductions — and thus arena garbage collections — by
     /// lowering it.
     pub min_learnts: f64,
+    /// Initial saved phase for fresh variables: `false` (the default)
+    /// branches negative first, `true` positive first. Portfolio
+    /// diversification flips this on some workers (HordeSat-style
+    /// polarity inversion) so they explore the search space from the
+    /// opposite corner.
+    pub invert_polarity: bool,
+    /// Amplitude of the random initial VSIDS activity given to every
+    /// fresh variable, in activity units. `0.0` (the default) keeps
+    /// tie-breaking deterministic; small positive values perturb the
+    /// initial branching order per worker (variable-bump jitter).
+    pub activity_noise: f64,
+    /// Seed of the solver-internal PRNG that drives
+    /// [`activity_noise`](Self::activity_noise). Distinct per-worker
+    /// seeds make the jitter decorrelate the portfolio.
+    pub seed: u64,
 }
 
 impl Default for SolverConfig {
@@ -112,6 +136,9 @@ impl Default for SolverConfig {
             learntsize_factor: 1.0 / 3.0,
             learntsize_inc: 1.1,
             min_learnts: 1000.0,
+            invert_polarity: false,
+            activity_noise: 0.0,
+            seed: 0,
         }
     }
 }
@@ -165,21 +192,73 @@ pub struct Solver {
     /// Only clauses whose variables all lie below this index are exchanged
     /// through the pool — the portfolio's common variable prefix.
     share_limit: usize,
+    /// Local ↔ canonical shared-id variable translation for cross-encoding
+    /// sharing (see [`Solver::enable_share_translation`]). `None` means
+    /// the pool speaks this solver's own numbering.
+    translation: Option<ShareTranslation>,
+    /// Reusable literal buffer for translating one clause on the
+    /// export/import paths.
+    xlate: Vec<Lit>,
+    /// SplitMix64 state behind [`SolverConfig::activity_noise`].
+    rng_state: u64,
 }
 
 /// This solver's view of a [`SharedClausePool`]: its registration id,
-/// per-shard read cursors, and clauses seen but not yet installable
-/// (they mention variables this solver has not created yet).
+/// per-ring read cursors, and clauses seen but not yet installable
+/// (they mention variables this solver has not created or mapped yet).
 #[derive(Debug)]
 struct PoolEndpoint {
     pool: Arc<SharedClausePool>,
     source: usize,
-    cursors: Vec<usize>,
+    cursors: Vec<u64>,
+    /// Clauses awaiting variables. When translation is enabled these stay
+    /// in the pool's canonical numbering until every mentioned id maps.
     deferred: ClauseBatch,
     /// Reusable staging buffer for [`Solver::import_shared_clauses`]:
     /// kept (empty) between imports so the pool round-trip allocates
     /// nothing once the buffers have warmed up.
     scratch: ClauseBatch,
+}
+
+/// Sentinel for an absent entry in a [`ShareTranslation`] table.
+const UNMAPPED: u32 = u32::MAX;
+
+/// A bijection between this solver's variables and the pool's canonical
+/// shared ids, sparse on both sides. Clauses are translated local →
+/// canonical at publish time and canonical → local at import time; a
+/// clause touching any unmapped variable on either side is filtered
+/// (export) or deferred (import).
+#[derive(Debug, Default)]
+struct ShareTranslation {
+    /// Canonical id per local variable index ([`UNMAPPED`] = private).
+    to_global: Vec<u32>,
+    /// Local variable index per canonical id ([`UNMAPPED`] = unknown).
+    to_local: Vec<u32>,
+}
+
+impl ShareTranslation {
+    fn map(&mut self, local: Var, global: u32) {
+        let li = local.index();
+        if self.to_global.len() <= li {
+            self.to_global.resize(li + 1, UNMAPPED);
+        }
+        let gi = global as usize;
+        if self.to_local.len() <= gi {
+            self.to_local.resize(gi + 1, UNMAPPED);
+        }
+        self.to_global[li] = global;
+        self.to_local[gi] = li as u32;
+    }
+
+    fn to_global(&self, lit: Lit) -> Option<Lit> {
+        let g = *self.to_global.get(lit.var().index())?;
+        (g != UNMAPPED).then(|| Lit::new(Var::from_index(g as usize), lit.is_positive()))
+    }
+
+    fn to_local(&self, lit: Lit) -> Option<Lit> {
+        let l = *self.to_local.get(lit.var().index())?;
+        (l != UNMAPPED).then(|| Lit::new(Var::from_index(l as usize), lit.is_positive()))
+    }
 }
 
 impl Default for Solver {
@@ -225,17 +304,37 @@ impl Solver {
             conflict_core: Vec::new(),
             shared_pool: None,
             share_limit: usize::MAX,
+            translation: None,
+            xlate: Vec::new(),
+            rng_state: config.seed,
         }
+    }
+
+    /// The next value of the solver-internal SplitMix64 PRNG (seeded by
+    /// [`SolverConfig::seed`]).
+    fn next_rand(&mut self) -> u64 {
+        self.rng_state = self.rng_state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.rng_state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
     }
 
     /// Creates a fresh variable and returns it.
     pub fn new_var(&mut self) -> Var {
         let var = Var::from_index(self.assigns.len());
+        let activity = if self.config.activity_noise > 0.0 {
+            // A uniform draw in [0, noise): enough to perturb the initial
+            // branching order, too small to outlive real VSIDS bumps.
+            self.config.activity_noise * ((self.next_rand() >> 11) as f64 / (1u64 << 53) as f64)
+        } else {
+            0.0
+        };
         self.assigns.push(LBool::Undef);
-        self.polarity.push(false);
+        self.polarity.push(self.config.invert_polarity);
         self.reason.push(None);
         self.level.push(0);
-        self.activity.push(0.0);
+        self.activity.push(activity);
         self.seen.push(false);
         self.watches.push(Vec::new());
         self.watches.push(Vec::new());
@@ -329,27 +428,82 @@ impl Solver {
         self.share_limit = limit.unwrap_or(usize::MAX);
     }
 
+    /// Switches clause sharing to *translated* mode: instead of copying
+    /// literals verbatim, the solver renames variables to the canonical
+    /// shared ids registered via
+    /// [`map_shared_var`](Self::map_shared_var) on export, and back on
+    /// import. A learnt clause touching any variable without a canonical
+    /// id is kept private (the publish-time prefix filter); an incoming
+    /// clause naming an id this solver has not mapped yet is deferred
+    /// until the mapping appears. This is what makes sharing sound
+    /// between *different* encodings of one instance: only the agreed
+    /// common vocabulary ever crosses the pool (see the
+    /// [pool module docs](crate::pool)).
+    pub fn enable_share_translation(&mut self) {
+        if self.translation.is_none() {
+            self.translation = Some(ShareTranslation::default());
+        }
+    }
+
+    /// Registers `local` ↔ `global` in the share-translation table
+    /// (enabling translation if needed). `global` is the variable's
+    /// canonical id in the pool's shared numbering; `u32::MAX` is
+    /// reserved.
+    pub fn map_shared_var(&mut self, local: Var, global: u32) {
+        debug_assert_ne!(global, UNMAPPED, "u32::MAX is the unmapped sentinel");
+        self.enable_share_translation();
+        self.translation
+            .as_mut()
+            .expect("just enabled")
+            .map(local, global);
+    }
+
     /// Publishes a freshly learnt clause to the pool, if it passes the
-    /// caps and lies within the shared variable prefix.
+    /// caps and lies within the shared variable prefix (numeric
+    /// [`share limit`](Self::set_share_limit), or the mapped vocabulary
+    /// when [translation](Self::enable_share_translation) is on).
     fn export_learnt(&mut self, lits: &[Lit], lbd: u32) {
-        let Some(endpoint) = &self.shared_pool else {
+        let Some(endpoint) = self.shared_pool.as_ref() else {
             return;
         };
         if !endpoint.pool.admits(lits.len(), lbd) {
             return;
         }
-        if lits.iter().any(|l| l.var().index() >= self.share_limit) {
-            return;
-        }
-        if endpoint.pool.publish(endpoint.source, lits, lbd) {
-            self.stats.exported_clauses += 1;
+        let payload: &[Lit] = match self.translation.as_ref() {
+            Some(translation) => {
+                self.xlate.clear();
+                for &lit in lits {
+                    // Publish-time prefix filter: one unmapped variable
+                    // keeps the whole clause private.
+                    let Some(global) = translation.to_global(lit) else {
+                        return;
+                    };
+                    self.xlate.push(global);
+                }
+                &self.xlate
+            }
+            None => {
+                if lits.iter().any(|l| l.var().index() >= self.share_limit) {
+                    return;
+                }
+                lits
+            }
+        };
+        match endpoint.pool.publish(endpoint.source, payload, lbd) {
+            Publish::Stored => self.stats.exported_clauses += 1,
+            Publish::Overwrote => {
+                self.stats.exported_clauses += 1;
+                self.stats.overwritten_clauses += 1;
+            }
+            Publish::Rejected => {}
         }
     }
 
     /// Installs rivals' pooled clauses. Must run at decision level 0 (the
     /// solver imports at restart boundaries and between queries). Clauses
-    /// over variables this solver has not created yet — a rival's encoding
-    /// may have grown further — are deferred and retried on later imports.
+    /// over variables this solver has not created (or, in translated
+    /// mode, not mapped) yet — a rival's encoding may have grown further —
+    /// are deferred and retried on later imports.
     fn import_shared_clauses(&mut self) {
         debug_assert_eq!(self.decision_level(), 0);
         let Some(mut endpoint) = self.shared_pool.take() else {
@@ -363,10 +517,12 @@ impl Solver {
             std::mem::take(&mut endpoint.scratch),
         );
         debug_assert!(endpoint.deferred.is_empty());
-        endpoint
-            .pool
-            .collect_new(endpoint.source, &mut endpoint.cursors, &mut pending);
+        self.stats.dropped_clauses +=
+            endpoint
+                .pool
+                .collect_new(endpoint.source, &mut endpoint.cursors, &mut pending);
         let limit = self.share_limit.min(self.num_vars());
+        let mut xlate = std::mem::take(&mut self.xlate);
         for idx in 0..pending.len() {
             let (lits, lbd) = pending.get(idx);
             if !self.ok {
@@ -375,12 +531,35 @@ impl Solver {
                 endpoint.deferred.push(lits, lbd);
                 continue;
             }
-            if lits.iter().any(|l| l.var().index() >= limit) {
-                endpoint.deferred.push(lits, lbd);
-                continue;
+            match self.translation.as_ref() {
+                Some(translation) => {
+                    // Pool clauses are in canonical numbering; rename to
+                    // local variables, deferring (still canonical) any
+                    // clause naming an id we have not mapped yet.
+                    xlate.clear();
+                    let mapped = lits.iter().all(|&lit| match translation.to_local(lit) {
+                        Some(local) => {
+                            xlate.push(local);
+                            true
+                        }
+                        None => false,
+                    });
+                    if mapped {
+                        self.install_imported(&xlate, lbd);
+                    } else {
+                        endpoint.deferred.push(lits, lbd);
+                    }
+                }
+                None => {
+                    if lits.iter().any(|l| l.var().index() >= limit) {
+                        endpoint.deferred.push(lits, lbd);
+                        continue;
+                    }
+                    self.install_imported(lits, lbd);
+                }
             }
-            self.install_imported(lits, lbd);
         }
+        self.xlate = xlate;
         pending.clear();
         endpoint.scratch = pending;
         self.shared_pool = Some(endpoint);
@@ -815,6 +994,25 @@ impl Solver {
     /// with nothing to reclaim.
     pub fn force_clause_gc(&mut self) {
         self.gc_now();
+    }
+
+    /// Between-query hygiene for long-lived incremental instances:
+    /// deletes the stale half of the learnt-clause database (the
+    /// high-LBD, low-activity clauses; glue and locked clauses survive)
+    /// exactly as an in-search reduction would — but only once the
+    /// database exceeds [`SolverConfig::min_learnts`], so short-lived
+    /// solvers are untouched. Without it, every query of an incremental
+    /// search drags the full residue of all earlier queries through each
+    /// propagation.
+    ///
+    /// Must be called at decision level 0 (between
+    /// [`solve`](Self::solve) calls).
+    pub fn forget_stale_learnts(&mut self) {
+        debug_assert_eq!(self.decision_level(), 0);
+        if (self.clauses.num_learnt() as f64) < self.config.min_learnts {
+            return;
+        }
+        self.reduce_db();
     }
 
     fn pick_branch_var(&mut self) -> Option<Var> {
@@ -1528,6 +1726,101 @@ mod tests {
         assert_eq!(a.solve(), SolveResult::Unsat);
         assert_eq!(a.stats().exported_clauses, 0);
         assert_eq!(pool.stats().published, 0);
+    }
+
+    #[test]
+    fn translation_keeps_clauses_with_unmapped_vars_private() {
+        use crate::pool::SharedClausePool;
+        // Translation enabled but *no* variable mapped: every learnt
+        // clause touches an unmapped variable, so the publish-time prefix
+        // filter must keep all of them out of the pool.
+        let pool = Arc::new(SharedClausePool::new());
+        let mut a = pigeonhole(6);
+        a.attach_clause_pool(Arc::clone(&pool));
+        a.enable_share_translation();
+        assert_eq!(a.solve(), SolveResult::Unsat);
+        assert_eq!(a.stats().exported_clauses, 0);
+        assert_eq!(pool.stats().published, 0);
+    }
+
+    #[test]
+    fn translated_sharing_works_under_an_identity_map() {
+        use crate::pool::SharedClausePool;
+        // Identity-mapping every variable makes translated sharing
+        // equivalent to verbatim sharing: exports flow through the
+        // canonical numbering and a rival with the same map imports them.
+        let pool = Arc::new(SharedClausePool::new());
+        let mut a = pigeonhole(6);
+        let mut b = pigeonhole(6);
+        for s in [&mut a, &mut b] {
+            s.attach_clause_pool(Arc::clone(&pool));
+            for v in 0..s.num_vars() {
+                s.map_shared_var(Var::from_index(v), v as u32);
+            }
+        }
+        assert_eq!(a.solve(), SolveResult::Unsat);
+        assert!(a.stats().exported_clauses > 0);
+        assert_eq!(pool.stats().published, a.stats().exported_clauses);
+        assert_eq!(b.solve(), SolveResult::Unsat);
+        assert!(b.stats().imported_clauses > 0);
+    }
+
+    #[test]
+    fn translated_imports_rename_canonical_ids_and_defer_unknown_ones() {
+        use crate::pool::SharedClausePool;
+        let pool = Arc::new(SharedClausePool::new());
+        let publisher = pool.register();
+        let mut s = Solver::new();
+        s.attach_clause_pool(Arc::clone(&pool));
+        let v0 = s.new_var();
+        let v1 = s.new_var();
+        // Local numbering differs wildly from the canonical one.
+        s.map_shared_var(v0, 200);
+        s.map_shared_var(v1, 100);
+        let global = |id: usize| Lit::new(Var::from_index(id), true);
+        pool.publish(publisher, &[global(100), global(200)], 2);
+        s.add_clause([v1.negative()]);
+        assert_eq!(s.solve(), SolveResult::Sat);
+        assert_eq!(s.stats().imported_clauses, 1);
+        // The translated clause is (v1 ∨ v0); with ¬v1 it forces v0.
+        assert_eq!(s.model_value(v0.positive()), Some(true));
+        // A clause naming an unmapped canonical id waits for the mapping.
+        pool.publish(publisher, &[global(300)], 1);
+        assert_eq!(s.solve(), SolveResult::Sat);
+        assert_eq!(s.stats().imported_clauses, 1, "deferred, not installed");
+        let v2 = s.new_var();
+        s.map_shared_var(v2, 300);
+        assert_eq!(s.solve(), SolveResult::Sat);
+        assert_eq!(s.stats().imported_clauses, 2, "installed once mapped");
+        assert_eq!(s.model_value(v2.positive()), Some(true));
+    }
+
+    #[test]
+    fn diversification_knobs_change_heuristics_not_answers() {
+        let mut plain = pigeonhole(6);
+        let mut jittered = pigeonhole_with(
+            6,
+            SolverConfig {
+                invert_polarity: true,
+                activity_noise: 0.1,
+                seed: 0xDECAF,
+                restart_base: 73,
+                ..SolverConfig::default()
+            },
+        );
+        assert_eq!(plain.solve(), SolveResult::Unsat);
+        assert_eq!(jittered.solve(), SolveResult::Unsat);
+        // And on a satisfiable instance, inverted polarity branches
+        // positive first: an unconstrained variable lands true.
+        let mut s = Solver::with_config(SolverConfig {
+            invert_polarity: true,
+            ..SolverConfig::default()
+        });
+        let free = s.new_var();
+        let anchor = s.new_var();
+        s.add_clause([anchor.positive(), free.positive()]);
+        assert_eq!(s.solve(), SolveResult::Sat);
+        assert_eq!(s.model_value(free.positive()), Some(true));
     }
 
     #[test]
