@@ -212,6 +212,7 @@ fn record_scaling_sweep() {
             imports: sums[3],
             exports: sums[4],
             dropped: sums[5],
+            certified: outcome.best.as_ref().map(|&(p, _)| p as u64),
         });
     }
     record_bench_json("clause_sharing", &records);

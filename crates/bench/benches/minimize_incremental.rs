@@ -88,6 +88,7 @@ fn audit(
         imports: result.sat.imported_clauses,
         exports: result.sat.exported_clauses,
         dropped: result.sat.dropped_clauses,
+        certified: result.best.as_ref().map(|&(p, _)| p as u64),
     };
     (result, record)
 }

@@ -128,6 +128,7 @@ fn record_baseline(_c: &mut Criterion) {
             imports: stats.imported_clauses,
             exports: stats.exported_clauses,
             dropped: stats.dropped_clauses,
+            certified: None,
         });
     };
     for holes in [7usize, 8] {

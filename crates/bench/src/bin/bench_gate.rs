@@ -8,15 +8,18 @@
 //!
 //! Beyond wall clock, the gate also fails when a clause-sharing counter
 //! (`imports`/`exports`) that was nonzero in the baseline collapses to
-//! zero, and when the `clause_sharing` 2→16-worker scaling speedup falls
-//! more than `--max-ratio` below the baseline's speedup. Both checks skip
-//! silently when either side lacks the relevant entries/fields, so old
-//! baselines keep gating.
+//! zero, when the `clause_sharing` 2→16-worker scaling speedup falls
+//! more than `--max-ratio` below the baseline's speedup, and when the
+//! incremental minimize engine runs more than `--max-incremental-ratio`
+//! (default 1.25) slower than the fresh-per-probe baseline on a
+//! work-matched `b3_m4` run (equal certified budgets — see
+//! [`paired_wall_ratio`]). These checks skip with a note when either
+//! side lacks the relevant entries/fields, so old baselines keep gating.
 //!
 //! Usage:
 //!   cargo run -p revpebble-bench --bin bench_gate -- \
 //!       [--baseline PATH] [--fresh PATH] [--max-ratio R] [--min-wall S]
-//!       [--update-baseline]
+//!       [--max-incremental-ratio R] [--update-baseline]
 //!
 //! `--baseline` defaults to the committed workspace `BENCH_sat.json` —
 //! deliberately *not* `$BENCH_SAT_JSON`, which CI points at the fresh
@@ -31,7 +34,8 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 use revpebble_bench::{
-    arg_value, compare_bench_records, compare_sharing_fields, parse_bench_json, scaling_speedup,
+    arg_value, compare_bench_records, compare_sharing_fields, paired_wall_ratio, parse_bench_json,
+    scaling_speedup, RatioVerdict,
 };
 
 fn main() -> ExitCode {
@@ -184,6 +188,38 @@ fn main() -> ExitCode {
         _ => println!("bench_gate: {SCALE_BENCH} scaling sweep absent on one side; skipped"),
     }
 
-    println!("bench_gate: sharing counters and worker scaling healthy");
+    // Incremental-engine overhead on the fresh `minimize_incremental`
+    // records: the incremental engine may not run more than
+    // `--max-incremental-ratio` (default 1.25) slower than the
+    // fresh-per-probe baseline on `b3_m4`. The check only fires when
+    // both engines certified the *same* budget — the workload is
+    // timeout-bound, and a run that certified a tighter budget
+    // legitimately spent its extra wall on more probes (see
+    // `paired_wall_ratio`); incomparable runs are reported and skipped.
+    let max_incremental: f64 = arg_value(&args, "--max-incremental-ratio")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1.25);
+    const INC_BENCH: &str = "minimize_incremental";
+    const INC_ID: &str = "incremental/b3_m4";
+    const FRESH_ID: &str = "fresh/b3_m4";
+    match paired_wall_ratio(&fresh, INC_BENCH, INC_ID, FRESH_ID, max_incremental) {
+        RatioVerdict::Within { ratio } => println!(
+            "bench_gate: {INC_ID} ran {ratio:.2}x the {FRESH_ID} wall \
+             (allowed {max_incremental}x)"
+        ),
+        RatioVerdict::Exceeded { ratio } => {
+            eprintln!(
+                "bench_gate: incremental engine regressed — {INC_ID} ran {ratio:.2}x \
+                 the {FRESH_ID} wall on the same certified budget \
+                 (allowed {max_incremental}x); check forget_stale_learnts hygiene"
+            );
+            return ExitCode::FAILURE;
+        }
+        RatioVerdict::Incomparable(reason) => {
+            println!("bench_gate: incremental ratio check skipped — {reason}");
+        }
+    }
+
+    println!("bench_gate: sharing counters, worker scaling, and engine ratios healthy");
     ExitCode::SUCCESS
 }

@@ -142,15 +142,21 @@ pub struct BenchRecord {
     /// Pool clauses provably missed — lapped in a rival's export ring
     /// before the import pass reached them (0 for solo runs).
     pub dropped: u64,
+    /// The pebble budget the run certified, when the workload is a
+    /// minimize search (`None` for fixed-budget and pure-SAT benches).
+    /// The gate's engine-ratio check uses it to decide whether two
+    /// engines' walls are comparable: under a deterministic budget
+    /// schedule, equal certified budgets mean equal probe walks.
+    pub certified: Option<u64>,
 }
 
 impl BenchRecord {
     /// The entry as one JSON object on a single line. `bench` and `id`
     /// are code-controlled identifiers (no quotes/escapes needed).
     fn to_json_line(&self) -> String {
-        format!(
+        let mut line = format!(
             "{{\"bench\":\"{}\",\"id\":\"{}\",\"wall_s\":{:.6},\"propagations\":{},\
-             \"conflicts\":{},\"arena_gcs\":{},\"imports\":{},\"exports\":{},\"dropped\":{}}}",
+             \"conflicts\":{},\"arena_gcs\":{},\"imports\":{},\"exports\":{},\"dropped\":{}",
             self.bench,
             self.id,
             self.wall_s,
@@ -160,7 +166,12 @@ impl BenchRecord {
             self.imports,
             self.exports,
             self.dropped
-        )
+        );
+        if let Some(certified) = self.certified {
+            line.push_str(&format!(",\"certified\":{certified}"));
+        }
+        line.push('}');
+        line
     }
 }
 
@@ -243,6 +254,8 @@ pub struct ParsedBenchEntry {
     pub exports: Option<u64>,
     /// Pool clauses provably missed (ring overwrites), when recorded.
     pub dropped: Option<u64>,
+    /// Certified pebble budget, when recorded (minimize workloads only).
+    pub certified: Option<u64>,
 }
 
 /// Extracts the value of a string field from one JSON entry line.
@@ -280,6 +293,7 @@ pub fn parse_bench_json(text: &str) -> Vec<ParsedBenchEntry> {
                 imports: json_num_field(line, "imports").map(|v| v as u64),
                 exports: json_num_field(line, "exports").map(|v| v as u64),
                 dropped: json_num_field(line, "dropped").map(|v| v as u64),
+                certified: json_num_field(line, "certified").map(|v| v as u64),
             })
         })
         .collect()
@@ -400,6 +414,73 @@ pub fn scaling_speedup(
     (high > 0.0).then(|| low / high)
 }
 
+/// Verdict of [`paired_wall_ratio`]: how one engine's wall clock compares
+/// to a rival's on the same workload.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RatioVerdict {
+    /// The two runs did different amounts of work (certified budgets
+    /// differ, or one side is missing/unannotated): their walls are not
+    /// comparable, and skipping is not a regression.
+    Incomparable(String),
+    /// Comparable runs, ratio within the allowed bound.
+    Within {
+        /// `numerator wall / denominator wall`.
+        ratio: f64,
+    },
+    /// Comparable runs, ratio above the allowed bound.
+    Exceeded {
+        /// `numerator wall / denominator wall`.
+        ratio: f64,
+    },
+}
+
+/// Compares the wall clocks of two entries of one bench — e.g. the
+/// incremental vs the fresh-per-probe minimize engine on `b3_m4` — but
+/// only when the runs are *work-matched*: both entries must carry a
+/// [`certified`](ParsedBenchEntry::certified) budget and the budgets must
+/// be equal. Under a deterministic budget schedule, equal certified
+/// budgets mean both engines walked the same probe sequence, so their
+/// walls measure the same work; a timeout-bound run that certified a
+/// *tighter* budget legitimately spent more wall on more probes, and
+/// gating that as a regression would be noise.
+///
+/// The `bench_gate` binary uses this on the fresh `minimize_incremental`
+/// records to enforce incremental ≤ `max_ratio` × fresh on `b3_m4`.
+pub fn paired_wall_ratio(
+    entries: &[ParsedBenchEntry],
+    bench: &str,
+    numerator_id: &str,
+    denominator_id: &str,
+    max_ratio: f64,
+) -> RatioVerdict {
+    let find = |id: &str| entries.iter().find(|e| e.bench == bench && e.id == id);
+    let (Some(num), Some(den)) = (find(numerator_id), find(denominator_id)) else {
+        return RatioVerdict::Incomparable(format!(
+            "{bench}: {numerator_id} or {denominator_id} not recorded"
+        ));
+    };
+    let (Some(num_certified), Some(den_certified)) = (num.certified, den.certified) else {
+        return RatioVerdict::Incomparable(format!(
+            "{bench}: certified budgets not recorded (old baseline shape)"
+        ));
+    };
+    if num_certified != den_certified {
+        return RatioVerdict::Incomparable(format!(
+            "{bench}: certified budgets differ ({numerator_id} -> {num_certified}, \
+             {denominator_id} -> {den_certified}): different probe walks"
+        ));
+    }
+    if den.wall_s <= 0.0 {
+        return RatioVerdict::Incomparable(format!("{bench}: {denominator_id} wall is zero"));
+    }
+    let ratio = num.wall_s / den.wall_s;
+    if ratio > max_ratio {
+        RatioVerdict::Exceeded { ratio }
+    } else {
+        RatioVerdict::Within { ratio }
+    }
+}
+
 /// Parses `--flag value` style arguments; returns the value for `flag`.
 pub fn arg_value(args: &[String], flag: &str) -> Option<String> {
     args.iter()
@@ -452,6 +533,7 @@ mod tests {
             imports: 0,
             exports: 0,
             dropped: 0,
+            certified: None,
         };
         write_bench_json(&path, "alpha", &[record("alpha", "a/1", 1)]).expect("write");
         write_bench_json(
@@ -496,6 +578,7 @@ mod tests {
                 imports: 7,
                 exports: 3,
                 dropped: 1,
+                certified: Some(20),
             },
             BenchRecord {
                 bench: "gate",
@@ -507,6 +590,7 @@ mod tests {
                 imports: 0,
                 exports: 0,
                 dropped: 0,
+                certified: None,
             },
         ];
         write_bench_json(&path, "gate", &records).expect("write");
@@ -521,6 +605,61 @@ mod tests {
         assert_eq!(parsed[0].imports, Some(7));
         assert_eq!(parsed[0].exports, Some(3));
         assert_eq!(parsed[0].dropped, Some(1));
+        assert_eq!(parsed[0].certified, Some(20));
+        assert_eq!(parsed[1].certified, None, "unannotated entries stay None");
+    }
+
+    #[test]
+    fn engine_ratio_gates_only_work_matched_runs() {
+        let entry = |id: &str, wall_s, certified| ParsedBenchEntry {
+            bench: "minimize_incremental".to_string(),
+            id: id.to_string(),
+            wall_s,
+            imports: None,
+            exports: None,
+            dropped: None,
+            certified,
+        };
+        let check = |entries: &[ParsedBenchEntry]| {
+            paired_wall_ratio(
+                entries,
+                "minimize_incremental",
+                "incremental/b3_m4",
+                "fresh/b3_m4",
+                1.25,
+            )
+        };
+        // Same certified budget: walls are comparable, ratio gates.
+        let matched = [
+            entry("fresh/b3_m4", 6.0, Some(20)),
+            entry("incremental/b3_m4", 6.6, Some(20)),
+        ];
+        assert!(
+            matches!(check(&matched), RatioVerdict::Within { ratio } if (ratio - 1.1).abs() < 1e-9)
+        );
+        let regressed = [
+            entry("fresh/b3_m4", 6.0, Some(20)),
+            entry("incremental/b3_m4", 9.0, Some(20)),
+        ];
+        assert_eq!(check(&regressed), RatioVerdict::Exceeded { ratio: 1.5 });
+        // A tighter certified budget bought with more wall is more work,
+        // not a regression: incomparable, skipped.
+        let deeper = [
+            entry("fresh/b3_m4", 6.0, Some(21)),
+            entry("incremental/b3_m4", 9.0, Some(18)),
+        ];
+        assert!(matches!(check(&deeper), RatioVerdict::Incomparable(_)));
+        // Old baseline shape (no certified field): skipped.
+        let unannotated = [
+            entry("fresh/b3_m4", 6.0, None),
+            entry("incremental/b3_m4", 9.0, None),
+        ];
+        assert!(matches!(check(&unannotated), RatioVerdict::Incomparable(_)));
+        // Missing entries: skipped.
+        assert!(matches!(
+            check(&[entry("fresh/b3_m4", 6.0, Some(20))]),
+            RatioVerdict::Incomparable(_)
+        ));
     }
 
     #[test]
@@ -554,6 +693,7 @@ mod tests {
             imports,
             exports,
             dropped: Some(0),
+            certified: None,
         };
         let baseline = [
             entry("live", Some(100), Some(50)),
@@ -580,6 +720,7 @@ mod tests {
             imports: None,
             exports: None,
             dropped: None,
+            certified: None,
         };
         let entries = [
             entry("shared/b3_m4/workers2", 8.0),
@@ -607,6 +748,7 @@ mod tests {
             imports: None,
             exports: None,
             dropped: None,
+            certified: None,
         };
         let baseline = [
             entry("steady", 1.0),

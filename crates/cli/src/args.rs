@@ -13,10 +13,13 @@ use revpebble::core::MoveMode;
 /// Parsed command line.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Args {
-    /// The subcommand (`info`, `pebble`, …).
+    /// The subcommand (`info`, `pebble`, `batch`, …).
     pub command: String,
-    /// The input designator (path, `-`, or built-in name).
+    /// The first input designator (path, `-`, or built-in name).
     pub input: String,
+    /// Every input designator, in order. Only `batch` accepts more than
+    /// one; for the other commands this is `[input]`.
+    pub inputs: Vec<String>,
     /// `--pebbles P`.
     pub pebbles: Option<usize>,
     /// `--timeout S` (seconds).
@@ -26,6 +29,14 @@ pub struct Args {
     /// `--portfolio N`: race `N` solver configurations on worker threads,
     /// first winner takes all (0 picks one worker per available core).
     pub portfolio: Option<usize>,
+    /// `--workers N`: run the session's fan-out on a shared `N`-thread
+    /// `Executor` (the `batch` pool size; `0` is rejected by the
+    /// session as `ZeroWorkerPool`).
+    pub workers: Option<usize>,
+    /// `--quota N`: cap each session at `N` SAT conflicts; an exhausted
+    /// session stops with `stop_reason: "quota"` (`0` is rejected by the
+    /// session as `QuotaExceeded`).
+    pub quota: Option<u64>,
     /// `--minimize`: search for the smallest feasible pebble budget
     /// instead of solving one fixed budget.
     pub minimize: bool,
@@ -58,6 +69,8 @@ impl Args {
         let mut timeout = None;
         let mut mode = MoveMode::Sequential;
         let mut portfolio = None;
+        let mut workers = None;
+        let mut quota = None;
         let mut minimize = false;
         let mut incremental = false;
         let mut share_clauses = false;
@@ -89,6 +102,14 @@ impl Args {
                     let value = iter.next().ok_or("--portfolio needs a worker count")?;
                     portfolio = Some(value.parse().map_err(|_| "bad --portfolio value")?);
                 }
+                "--workers" => {
+                    let value = iter.next().ok_or("--workers needs a thread count")?;
+                    workers = Some(value.parse().map_err(|_| "bad --workers value")?);
+                }
+                "--quota" => {
+                    let value = iter.next().ok_or("--quota needs a conflict count")?;
+                    quota = Some(value.parse().map_err(|_| "bad --quota value")?);
+                }
                 "--minimize" => minimize = true,
                 "--incremental" => incremental = true,
                 "--share-clauses" => share_clauses = true,
@@ -104,9 +125,13 @@ impl Args {
         }
         let mut positional = positional.into_iter();
         let command = positional.next().ok_or("missing command")?;
-        let input = positional.next().ok_or("missing input")?;
-        if let Some(extra) = positional.next() {
-            return Err(format!("unexpected argument {extra:?}"));
+        let inputs: Vec<String> = positional.collect();
+        let Some(input) = inputs.first().cloned() else {
+            return Err("missing input".into());
+        };
+        // Only `batch` serves several inputs in one invocation.
+        if command != "batch" && inputs.len() > 1 {
+            return Err(format!("unexpected argument {:?}", inputs[1]));
         }
         // Output-format conflicts are the CLI's own concern; everything
         // about the *search configuration* is validated by the session.
@@ -119,10 +144,13 @@ impl Args {
         Ok(Args {
             command,
             input,
+            inputs,
             pebbles,
             timeout,
             mode,
             portfolio,
+            workers,
+            quota,
             minimize,
             incremental,
             share_clauses,
@@ -176,11 +204,44 @@ mod tests {
         assert_eq!(args.timeout, None);
         assert_eq!(args.mode, MoveMode::Sequential);
         assert_eq!(args.portfolio, None);
+        assert_eq!(args.workers, None);
+        assert_eq!(args.quota, None);
+        assert_eq!(args.inputs, vec!["paper".to_string()]);
         assert!(!args.minimize);
         assert!(!args.incremental);
         assert!(!args.json);
         assert!(!args.grid);
         assert!(!args.qasm);
+    }
+
+    #[test]
+    fn batch_takes_many_inputs_and_serving_flags() {
+        let args = Args::parse(&strs(&[
+            "batch",
+            "paper",
+            "c17",
+            "paper",
+            "--workers",
+            "2",
+            "--quota",
+            "100000",
+            "--minimize",
+        ]))
+        .expect("parses");
+        assert_eq!(args.command, "batch");
+        assert_eq!(args.input, "paper");
+        assert_eq!(args.inputs, strs(&["paper", "c17", "paper"]));
+        assert_eq!(args.workers, Some(2));
+        assert_eq!(args.quota, Some(100_000));
+        // Other commands keep their single-input arity.
+        assert!(Args::parse(&strs(&["pebble", "paper", "c17"])).is_err());
+        // Zero values parse; the session rejects them with typed errors.
+        let args = Args::parse(&strs(&["batch", "paper", "--workers", "0", "--quota", "0"]))
+            .expect("parses");
+        assert_eq!(args.workers, Some(0));
+        assert_eq!(args.quota, Some(0));
+        assert!(Args::parse(&strs(&["batch", "paper", "--workers"])).is_err());
+        assert!(Args::parse(&strs(&["batch", "paper", "--quota", "x"])).is_err());
     }
 
     #[test]

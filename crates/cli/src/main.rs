@@ -8,6 +8,7 @@
 //! revpebble pebble   <input> --minimize [options]    smallest feasible P
 //! revpebble minimize <input> [--timeout S]           smallest feasible P
 //! revpebble frontier <input> [--timeout S]           pebble/step frontier
+//! revpebble batch    <input>... [--workers N]        many DAGs, one pool
 //! revpebble dot      <input>                         Graphviz export
 //! ```
 //!
@@ -35,11 +36,12 @@
 //! per-worker seeds).
 //!
 //! `<input>` is a `.bench` netlist path, `-` for stdin, or one of the
-//! built-in examples: `paper`, `c17`, `andtree9`, `hop`, `b3_m4`,
-//! `kummer`, `edwards`, `adder4`.
+//! built-in examples: `paper`, `c17`, `andtree9`, `chain12`, `hop`,
+//! `b3_m4`, `kummer`, `edwards`, `adder4`.
 
 use std::io::Read as _;
 use std::process::ExitCode;
+use std::sync::Arc;
 use std::time::Duration;
 
 use revpebble::circuit::lowering;
@@ -94,9 +96,11 @@ const USAGE: &str = "usage:
   revpebble minimize <input> [--timeout S] [--incremental] [--portfolio N] [--share-clauses]
                              [--diversify] [--json]
   revpebble frontier <input> [--timeout S] [--json]
+  revpebble batch    <input> [<input>...] [--workers N] [--quota C] [--pebbles P | --minimize]
+                             [--timeout S]
   revpebble dot      <input>
 inputs: a .bench file path, '-' (stdin), or a built-in:
-  paper | c17 | andtree9 | hop | b3_m4 | kummer | edwards | adder4
+  paper | c17 | andtree9 | chain12 | hop | b3_m4 | kummer | edwards | adder4
 portfolio: race N configurations (schedule x move mode x cardinality
   encoding) on worker threads; first winner cancels the rest (0 = one
   worker per core)
@@ -106,12 +110,19 @@ minimize: --incremental reuses one assumption-bounded encoding/solver
   the portfolio cooperative (shared learnt-clause pool + unsat-core
   bound tightening across workers); --diversify jitters every worker's
   CDCL heuristics but the first (HordeSat-style per-worker seeds)
+batch: every input becomes one session on a shared --workers N pool
+  (default: one per core) with a shared result cache — repeated DAGs are
+  answered without solving; --quota C caps each session's SAT conflicts;
+  the report is always one JSON object on stdout
 output: probe events stream to stderr while solving; --json prints the
   session report as one JSON object on stdout
 exit codes: 0 success | 1 runtime failure | 2 invalid usage/configuration";
 
 fn run(raw: &[String]) -> Result<(), CliError> {
     let args = Args::parse(raw).map_err(CliError::Usage)?;
+    if args.command == "batch" {
+        return run_batch(&args);
+    }
     let dag = load_dag(&args.input).map_err(CliError::Failed)?;
     match args.command.as_str() {
         "info" => {
@@ -148,9 +159,9 @@ fn run(raw: &[String]) -> Result<(), CliError> {
 }
 
 /// Builds the session every solving command shares: base solver options
-/// from the common flags, plus the fixed-budget / portfolio / sharing
-/// setters. Validation happens inside the session's `plan()`.
-fn session_for<'a>(dag: &'a Dag, args: &Args) -> PebblingSession<'a> {
+/// from the common flags, plus the fixed-budget / portfolio / sharing /
+/// quota setters. Validation happens inside the session's `plan()`.
+fn configure_session<'a>(session: PebblingSession<'a>, args: &Args) -> PebblingSession<'a> {
     let base = SolverOptions {
         encoding: EncodingOptions {
             move_mode: args.mode,
@@ -158,7 +169,7 @@ fn session_for<'a>(dag: &'a Dag, args: &Args) -> PebblingSession<'a> {
         },
         ..SolverOptions::default()
     };
-    let mut session = PebblingSession::new(dag).solver_options(base);
+    let mut session = session.solver_options(base);
     if let Some(budget) = args.pebbles {
         session = session.pebbles(budget);
     }
@@ -171,13 +182,30 @@ fn session_for<'a>(dag: &'a Dag, args: &Args) -> PebblingSession<'a> {
     if args.diversify {
         session = session.diversify(true);
     }
+    if let Some(quota) = args.quota {
+        session = session.quota(quota);
+    }
     session
+}
+
+/// [`configure_session`] plus the `--workers` pool: fan the session's
+/// portfolio / frontier sub-jobs onto one shared `Executor` instead of a
+/// private thread per worker. `--workers 0` is rejected like the library
+/// rejects it.
+fn session_for<'a>(dag: &'a Dag, args: &Args) -> Result<PebblingSession<'a>, CliError> {
+    let mut session = configure_session(PebblingSession::new(dag), args);
+    match args.workers {
+        None => {}
+        Some(0) => return Err(CliError::Invalid(SessionError::ZeroWorkerPool)),
+        Some(n) => session = session.executor(Arc::new(Executor::new(n))),
+    }
+    Ok(session)
 }
 
 /// `pebble --pebbles P`: one fixed-budget solve, optionally raced by a
 /// portfolio.
 fn run_pebble(dag: &Dag, args: &Args) -> Result<(), CliError> {
-    let mut session = session_for(dag, args);
+    let mut session = session_for(dag, args)?;
     if let Some(timeout) = args.timeout {
         session = session.timeout(timeout);
     }
@@ -271,7 +299,7 @@ fn describe_failure(report: &Report, budget: usize) -> String {
 /// paper's fresh-solver-per-probe methodology.
 fn run_minimize(dag: &Dag, args: &Args) -> Result<(), CliError> {
     let per_query = args.timeout.unwrap_or(Duration::from_secs(10));
-    let mut session = session_for(dag, args)
+    let mut session = session_for(dag, args)?
         .minimize()
         .per_query_timeout(per_query);
     if args.portfolio.is_none() {
@@ -377,9 +405,117 @@ fn run_minimize(dag: &Dag, args: &Args) -> Result<(), CliError> {
     }
 }
 
+/// `batch`: serve every input through one [`BatchSession`] — a shared
+/// worker pool, per-session conflict quotas and a shared result cache
+/// (repeated DAGs are answered without solving). Prints one JSON object
+/// on stdout; per-session progress goes to stderr.
+fn run_batch(args: &Args) -> Result<(), CliError> {
+    let workers = match args.workers {
+        Some(n) => n,
+        None => std::thread::available_parallelism().map_or(1, |cores| cores.get()),
+    };
+    let mut batch = BatchSession::new(workers).map_err(CliError::Invalid)?;
+    if let Some(quota) = args.quota {
+        batch = batch.per_session_quota(quota);
+    }
+    // Load every DAG before solving anything: a bad path fails the whole
+    // invocation up front instead of after minutes of SAT time.
+    let mut dags = Vec::new();
+    for input in &args.inputs {
+        dags.push((input.clone(), load_dag(input).map_err(CliError::Failed)?));
+    }
+    let per_query = args.timeout.unwrap_or(Duration::from_secs(10));
+    for (name, dag) in &dags {
+        batch
+            .submit(name.clone(), dag, |session| {
+                let mut session = configure_session(session, args).per_query_timeout(per_query);
+                // Without a fixed budget, a batch entry minimizes — the
+                // serving workload's natural question.
+                if args.minimize || args.pebbles.is_none() {
+                    session = session.minimize();
+                }
+                session
+            })
+            .map_err(CliError::Invalid)?;
+    }
+    eprintln!(
+        "batch: {} sessions on {workers} workers{}",
+        dags.len(),
+        match args.quota {
+            Some(quota) => format!(", quota {quota} conflicts each"),
+            None => String::new(),
+        }
+    );
+    let report = batch.finish();
+    let mut failures = Vec::new();
+    use std::fmt::Write as _;
+    let mut out = String::from("{");
+    let _ = write!(out, "\"workers\":{workers},\"sessions\":[");
+    for (index, (name, session)) in report.sessions.iter().enumerate() {
+        if index > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"name\":\"{}\",\"report\":{}}}",
+            json_escape(name),
+            session.to_json()
+        );
+        let status = match session.stop_reason {
+            Some(reason) => format!("stopped ({reason})"),
+            None => match session.minimum {
+                Some(minimum) => format!("minimum {minimum}"),
+                None => "nothing certified".to_string(),
+            },
+        };
+        let cached = if session.cache_hits > 0 {
+            ", cached"
+        } else {
+            ""
+        };
+        eprintln!("  {name}: {status}{cached}");
+        if session.minimum.is_none() {
+            failures.push(name.clone());
+        }
+    }
+    let _ = write!(
+        out,
+        "],\"cache_hits\":{},\"cache_misses\":{}}}",
+        report.cache_hits, report.cache_misses
+    );
+    println!("{out}");
+    if failures.is_empty() {
+        Ok(())
+    } else {
+        Err(CliError::Failed(format!(
+            "{} of {} sessions certified nothing: {}",
+            failures.len(),
+            report.sessions.len(),
+            failures.join(", ")
+        )))
+    }
+}
+
+/// Minimal JSON string escaping for user-supplied input names.
+fn json_escape(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    for c in text.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                use std::fmt::Write as _;
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
 /// `frontier`: sweep the pebble/step trade-off through the session.
 fn run_frontier(dag: &Dag, args: &Args) -> Result<(), CliError> {
-    let report = session_for(dag, args)
+    let report = session_for(dag, args)?
         .sweep_frontier()
         .per_query_timeout(args.timeout.unwrap_or(Duration::from_secs(10)))
         .on_event(|event| eprintln!("  {event}"))
@@ -419,6 +555,9 @@ fn load_dag(input: &str) -> Result<Dag, String> {
         "paper" => Ok(generators::paper_example()),
         "c17" => parse_bench(revpebble::graph::data::C17_BENCH).map_err(|e| e.to_string()),
         "andtree9" => Ok(generators::and_tree(9)),
+        // A 12-node dependency chain: the worst case for pebble reuse
+        // (every node feeds the next), cheap enough for CI smokes.
+        "chain12" => Ok(generators::chain(12)),
         "hop" => slp::h_operator().to_dag().map_err(|e| e.to_string()),
         // Table I's smallest H-operator row (59 nodes), the workload the
         // clause-sharing benches and the CI stress smoke run on.

@@ -77,6 +77,78 @@ fn session_errors_exit_two_missing_budget() {
 }
 
 #[test]
+fn session_errors_exit_two_zero_quota() {
+    let output = revpebble(&["pebble", "paper", "--pebbles", "4", "--quota", "0"]);
+    assert_eq!(output.status.code(), Some(2));
+    let stderr = stderr(&output);
+    assert!(
+        stderr.contains("conflict quota of 0 is exhausted"),
+        "{stderr}"
+    );
+}
+
+#[test]
+fn session_errors_exit_two_zero_worker_pool() {
+    for args in [
+        &["batch", "paper", "--workers", "0"][..],
+        &["pebble", "paper", "--pebbles", "4", "--workers", "0"][..],
+    ] {
+        let output = revpebble(args);
+        assert_eq!(output.status.code(), Some(2), "{args:?}");
+        let stderr = stderr(&output);
+        assert!(
+            stderr.contains("needs at least one worker"),
+            "{args:?}: {stderr}"
+        );
+    }
+}
+
+#[test]
+fn batch_serves_many_inputs_as_one_json_report() {
+    // One worker serializes the three sessions, so the repeated `paper`
+    // input is a *guaranteed* cache hit (the first run has inserted its
+    // answer before the third starts).
+    let output = revpebble(&[
+        "batch",
+        "paper",
+        "c17",
+        "paper",
+        "--workers",
+        "1",
+        "--quota",
+        "5000000",
+        "--pebbles",
+        "4",
+    ]);
+    assert_eq!(output.status.code(), Some(0), "{}", stderr(&output));
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    let json = stdout.trim();
+    assert!(json.starts_with('{') && json.ends_with('}'), "{json}");
+    for key in [
+        "\"workers\":1",
+        "\"sessions\":[",
+        "\"name\":\"paper\"",
+        "\"name\":\"c17\"",
+        "\"cache_hits\":1",
+        "\"cache_misses\":2",
+    ] {
+        assert!(json.contains(key), "{key} missing in {json}");
+    }
+    // One JSON object, one line: machine-readable stdout.
+    assert_eq!(stdout.trim().lines().count(), 1, "{stdout}");
+}
+
+#[test]
+fn an_exhausted_quota_fails_the_batch_entry() {
+    // One conflict is nowhere near enough to minimize the paper DAG, so
+    // the session stops on its quota and the batch reports the failure.
+    let output = revpebble(&["batch", "paper", "--workers", "1", "--quota", "1"]);
+    assert_eq!(output.status.code(), Some(1), "{}", stderr(&output));
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(stdout.contains("\"stop_reason\":\"quota\""), "{stdout}");
+}
+
+#[test]
 fn parse_errors_exit_two_with_usage() {
     let output = revpebble(&["pebble", "paper", "--bogus"]);
     assert_eq!(output.status.code(), Some(2));

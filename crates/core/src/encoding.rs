@@ -25,12 +25,12 @@
 //! one per transition, which makes `K` comparable with Definition 3 and
 //! with the Bennett step count.
 
-use std::sync::atomic::AtomicBool;
 use std::sync::Arc;
+use std::time::Instant;
 
 use revpebble_graph::{Dag, NodeId};
 use revpebble_sat::card::{self, CardEncoding, IncrementalTotalizer};
-use revpebble_sat::{Lit, SharedClausePool, SolveResult, Solver, SolverConfig, Var};
+use revpebble_sat::{CancelToken, Lit, SharedClausePool, SolveResult, Solver, SolverConfig, Var};
 
 use crate::strategy::{Move, Strategy};
 
@@ -48,10 +48,10 @@ pub enum BoundMode {
     /// instead. One encoding (and one solver with all its learnt clauses,
     /// activities and saved phases) then serves every budget — the engine
     /// behind [`PebbleSolver::resolve_with_budget`] and the incremental
-    /// [`minimize_pebbles`] search.
+    /// [`minimize`] search.
     ///
     /// [`PebbleSolver::resolve_with_budget`]: crate::solver::PebbleSolver::resolve_with_budget
-    /// [`minimize_pebbles`]: crate::solver::minimize_pebbles
+    /// [`minimize`]: crate::solver::minimize
     Assumed,
 }
 
@@ -114,6 +114,11 @@ pub struct PebbleEncoding<'a> {
     /// shared ids as the encoding grows (see
     /// [`enable_prefix_sharing`](Self::enable_prefix_sharing)).
     prefix_share: bool,
+    /// Ambient cancellation (session/race scope). Each
+    /// [`solve_at`](Self::solve_at) query installs a *child* of this token
+    /// carrying the per-query deadline, so caller cancellation and query
+    /// timeouts travel on one carrier.
+    cancel: Option<CancelToken>,
 }
 
 impl<'a> PebbleEncoding<'a> {
@@ -140,6 +145,7 @@ impl<'a> PebbleEncoding<'a> {
             counters: Vec::new(),
             last_budget_assumptions: Vec::new(),
             prefix_share: false,
+            cancel: None,
         };
         encoding.push_time_point();
         // Initial clauses: nothing is pebbled at time 0.
@@ -177,11 +183,14 @@ impl<'a> PebbleEncoding<'a> {
         self.solver.forget_stale_learnts();
     }
 
-    /// Installs a cooperative cancellation flag on the underlying solver
-    /// (see [`Solver::set_stop_flag`]); raised by portfolio rivals to
-    /// cancel this encoding's queries.
-    pub fn set_stop_flag(&mut self, stop: Option<Arc<AtomicBool>>) {
-        self.solver.set_stop_flag(stop);
+    /// Installs the ambient cooperative [`CancelToken`] (see
+    /// [`Solver::set_cancel_token`]); fired by portfolio rivals or a
+    /// session caller to cancel this encoding's queries. Per-query
+    /// deadlines are attached as children of this token by
+    /// [`solve_at`](Self::solve_at).
+    pub fn set_cancel_token(&mut self, cancel: Option<CancelToken>) {
+        self.solver.set_cancel_token(cancel.clone());
+        self.cancel = cancel;
     }
 
     /// Connects the underlying solver to a portfolio clause-sharing pool
@@ -436,7 +445,18 @@ impl<'a> PebbleEncoding<'a> {
         self.last_budget_assumptions = assumptions.clone();
         assumptions.extend(self.final_assumptions(k));
         self.solver.set_conflict_budget(conflict_budget);
-        self.solver.set_time_budget(time_budget);
+        // The query's deadline rides a child of the ambient token, so one
+        // poll in the search loop observes both the per-query timeout and
+        // any session/race cancellation.
+        let query = match (&self.cancel, time_budget) {
+            (Some(ambient), Some(t)) => {
+                Some(ambient.child_with_limits(Some(Instant::now() + t), None))
+            }
+            (Some(ambient), None) => Some(ambient.clone()),
+            (None, Some(t)) => Some(CancelToken::with_limits(Some(Instant::now() + t), None)),
+            (None, None) => None,
+        };
+        self.solver.set_cancel_token(query);
         self.solver.solve_with(&assumptions)
     }
 

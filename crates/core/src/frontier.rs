@@ -12,13 +12,23 @@
 //! activities, saved phases and the refuted-steps table all carry from
 //! budget to budget — the whole frontier costs one encoding instead of
 //! one per point.
+//!
+//! A *fresh* (non-incremental) sweep has no state to carry, so when the
+//! session runtime hands it an [`Executor`] the
+//! per-budget probes are submitted as independent jobs and race on the
+//! shared pool; the resulting points are identical to the sequential
+//! sweep's (including early-stop truncation), only the wall-clock
+//! differs.
 
+use std::sync::Arc;
 use std::time::Duration;
 
 use revpebble_graph::Dag;
+use revpebble_sat::CancelToken;
 
 use crate::bounds::pebble_lower_bound;
 use crate::encoding::BoundMode;
+use crate::exec::{scatter, Executor};
 use crate::session::{ProbeEvent, ProbeEventSender};
 use crate::solver::{PebbleOutcome, PebbleSolver, SolverOptions};
 use crate::strategy::Strategy;
@@ -90,10 +100,31 @@ pub fn frontier_with_events(
     options: FrontierOptions,
     events: Option<ProbeEventSender>,
 ) -> Vec<FrontierPoint> {
+    frontier_on(dag, options, events, None, None)
+}
+
+/// The sweep engine under [`frontier_with_events`] and the session
+/// runtime: optionally cancellable via an ambient [`CancelToken`], and —
+/// for the fresh (non-incremental) sweep only — optionally fanned out as
+/// per-budget jobs on a shared [`Executor`]. The incremental sweep stays
+/// sequential by construction: its whole point is one persistent solver
+/// carrying state from budget to budget.
+pub(crate) fn frontier_on(
+    dag: &Dag,
+    options: FrontierOptions,
+    events: Option<ProbeEventSender>,
+    executor: Option<&Executor>,
+    cancel: Option<&CancelToken>,
+) -> Vec<FrontierPoint> {
     let min = options
         .min_pebbles
         .unwrap_or_else(|| pebble_lower_bound(dag));
     let max = options.max_pebbles.unwrap_or_else(|| dag.num_nodes());
+    if !options.incremental {
+        if let Some(executor) = executor {
+            return frontier_scatter(dag, options, events, executor, cancel, min, max);
+        }
+    }
     let emit = |event: ProbeEvent| {
         if let Some(events) = &events {
             let _ = events.send(event);
@@ -107,9 +138,14 @@ pub fn frontier_with_events(
         let mut base = options.base;
         base.encoding.bound_mode = BoundMode::Assumed;
         base.timeout = Some(options.per_budget);
-        PebbleSolver::new(dag, base)
+        let mut solver = PebbleSolver::new(dag, base);
+        solver.set_cancel_token(cancel.cloned());
+        solver
     });
     for pebbles in (min..=max).rev() {
+        if cancel.is_some_and(|token| token.poll().is_some()) {
+            break;
+        }
         let probe = points.len();
         emit(ProbeEvent::ProbeStarted {
             worker: 0,
@@ -122,7 +158,9 @@ pub fn frontier_with_events(
                 let mut probe = options.base;
                 probe.encoding.max_pebbles = Some(pebbles);
                 probe.timeout = Some(options.per_budget);
-                PebbleSolver::new(dag, probe).solve()
+                let mut solver = PebbleSolver::new(dag, probe);
+                solver.set_cancel_token(cancel.cloned());
+                solver.solve()
             }
         };
         let (strategy, timed_out) = match outcome {
@@ -155,6 +193,88 @@ pub fn frontier_with_events(
     }
     points.reverse();
     points
+}
+
+/// The fresh sweep as independent per-budget jobs on a shared pool: one
+/// job per budget, descending. With `stop_at_first_failure` the result is
+/// truncated at the highest-budget failure afterwards, so the returned
+/// points match the sequential sweep's exactly — the probes below the cut
+/// are wasted work the parallelism paid for the latency win.
+#[allow(clippy::too_many_arguments)]
+fn frontier_scatter(
+    dag: &Dag,
+    options: FrontierOptions,
+    events: Option<ProbeEventSender>,
+    executor: &Executor,
+    cancel: Option<&CancelToken>,
+    min: usize,
+    max: usize,
+) -> Vec<FrontierPoint> {
+    let dag = Arc::new(dag.clone());
+    let tasks: Vec<_> = (min..=max)
+        .rev()
+        .enumerate()
+        .map(|(worker, pebbles)| {
+            let dag = Arc::clone(&dag);
+            let events = events.clone();
+            let cancel = cancel.cloned();
+            move || {
+                let emit = |event: ProbeEvent| {
+                    if let Some(events) = &events {
+                        let _ = events.send(event);
+                    }
+                };
+                emit(ProbeEvent::ProbeStarted {
+                    worker,
+                    probe: 0,
+                    budget: pebbles,
+                });
+                let mut probe = options.base;
+                probe.encoding.max_pebbles = Some(pebbles);
+                probe.timeout = Some(options.per_budget);
+                let mut solver = PebbleSolver::new(&dag, probe);
+                solver.set_cancel_token(cancel);
+                let outcome = solver.solve();
+                let (strategy, timed_out) = match outcome {
+                    PebbleOutcome::Solved(s) => (Some(s), false),
+                    PebbleOutcome::Timeout { .. } => (None, true),
+                    PebbleOutcome::StepLimit { .. } | PebbleOutcome::Infeasible { .. } => {
+                        (None, false)
+                    }
+                };
+                emit(match &strategy {
+                    Some(s) => ProbeEvent::ProbeSolved {
+                        worker,
+                        probe: 0,
+                        budget: pebbles,
+                        achieved: crate::session::achieved_budget(
+                            &dag,
+                            options.base.encoding.weighted,
+                            s,
+                        ),
+                    },
+                    None => ProbeEvent::ProbeRefuted {
+                        worker,
+                        probe: 0,
+                        budget: pebbles,
+                    },
+                });
+                FrontierPoint {
+                    pebbles,
+                    strategy,
+                    timed_out,
+                }
+            }
+        })
+        .collect();
+    let mut descending = scatter(executor, tasks);
+    if options.stop_at_first_failure {
+        if let Some(cut) = descending.iter().position(|point| point.strategy.is_none()) {
+            descending.truncate(cut + 1);
+        }
+    }
+    descending.reverse();
+    descending
 }
 
 /// Renders a frontier as a compact table (pebbles, steps, gate total).
@@ -243,6 +363,46 @@ mod tests {
         };
         assert_eq!(feasible(&persistent), feasible(&fresh));
         assert_eq!(persistent.len(), fresh.len());
+    }
+
+    #[test]
+    fn scattered_fresh_sweep_matches_the_sequential_points() {
+        let dag = paper_example();
+        let options = FrontierOptions {
+            base: base(),
+            per_budget: Duration::from_secs(30),
+            incremental: false,
+            ..FrontierOptions::default()
+        };
+        let sequential = frontier(&dag, options);
+        let executor = Executor::new(2);
+        let scattered = frontier_on(&dag, options, None, Some(&executor), None);
+        let shape = |points: &[FrontierPoint]| -> Vec<(usize, Option<usize>)> {
+            points
+                .iter()
+                .map(|p| (p.pebbles, p.strategy.as_ref().map(Strategy::num_steps)))
+                .collect()
+        };
+        assert_eq!(shape(&sequential), shape(&scattered));
+    }
+
+    #[test]
+    fn cancelled_sweep_returns_no_points() {
+        let dag = paper_example();
+        let token = CancelToken::new();
+        token.cancel();
+        let points = frontier_on(
+            &dag,
+            FrontierOptions {
+                base: base(),
+                per_budget: Duration::from_secs(30),
+                ..FrontierOptions::default()
+            },
+            None,
+            None,
+            Some(&token),
+        );
+        assert!(points.is_empty(), "a pre-cancelled sweep probes nothing");
     }
 
     #[test]

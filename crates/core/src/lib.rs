@@ -51,9 +51,11 @@
 
 pub mod baselines;
 pub mod bounds;
+pub mod cache;
 pub mod config;
 pub mod encoding;
 pub mod exact;
+pub mod exec;
 pub mod frontier;
 pub mod optimize;
 pub mod portfolio;
@@ -62,9 +64,11 @@ pub mod sharing;
 pub mod solver;
 pub mod strategy;
 
+pub use cache::ResultCache;
 pub use config::PebbleConfig;
 pub use encoding::{BoundMode, EncodingOptions, MoveMode, PebbleEncoding};
 pub use exact::{exact_min_pebbles, solve_exact, ExactOutcome};
+pub use exec::{scatter, Executor};
 pub use frontier::{frontier, frontier_with_events, FrontierOptions, FrontierPoint};
 pub use portfolio::{
     default_minimize_portfolio, default_portfolio, diversify_minimize_portfolio,
@@ -73,8 +77,8 @@ pub use portfolio::{
     ShareOptions, SharingReport, WorkerReport,
 };
 pub use session::{
-    Engine, PebblingSession, ProbeEvent, ProbeEventSender, Report, SessionError, SessionOutcome,
-    SessionPlan, WorkerSummary,
+    BatchReport, BatchSession, Engine, PebblingSession, ProbeEvent, ProbeEventSender, Report,
+    SessionError, SessionHandle, SessionOutcome, SessionPlan, WorkerSummary,
 };
 pub use sharing::SharedSearchState;
 pub use solver::{
@@ -83,15 +87,6 @@ pub use solver::{
 };
 pub use strategy::{InvalidStrategy, Move, Step, Strategy};
 
-// The deprecated 8-way free-function API stays re-exported (as shims over
-// the session) so downstream code keeps compiling while it migrates.
-#[allow(deprecated)]
-pub use portfolio::{minimize_portfolio, minimize_portfolio_shared, solve_with_pebbles_portfolio};
-#[allow(deprecated)]
-pub use solver::{
-    minimize_pebbles, minimize_pebbles_descending, minimize_pebbles_fresh, minimize_with_context,
-    solve_with_pebbles,
-};
-
 pub use revpebble_sat::card::CardEncoding;
 pub use revpebble_sat::pool::{PoolConfig, PoolStats, SharedClausePool};
+pub use revpebble_sat::{CancelReason, CancelToken};

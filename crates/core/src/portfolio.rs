@@ -7,11 +7,12 @@
 //! choice: exponential deepening wins on hard instances, linear deepening
 //! on easy ones; the totalizer beats the sequential counter on wide
 //! cardinality bounds and loses on narrow ones. A *portfolio* sidesteps
-//! the choice: spawn one worker thread per configuration on its own
+//! the choice: submit one job per configuration to a shared
+//! [`Executor`], each on its own
 //! [`PebbleEncoding`](crate::encoding::PebbleEncoding), race them on the
 //! same instance, and let the first worker to find a strategy cancel the
-//! rest through a shared [`AtomicBool`] threaded all the way into the
-//! CDCL search loop ([`revpebble_sat::Solver::set_stop_flag`]).
+//! rest through a shared race [`CancelToken`] threaded all the way into
+//! the CDCL search loop ([`revpebble_sat::Solver::set_cancel_token`]).
 //!
 //! ```
 //! use revpebble_core::{PortfolioSolver, SolverOptions, EncodingOptions};
@@ -28,24 +29,24 @@
 //! assert!(result.winner.is_some());
 //! ```
 //!
-//! Beyond single-budget races, [`minimize_portfolio`] races whole
-//! *budget-minimization searches*: every worker drives one incremental
-//! assumption-bounded encoding through its own [`BudgetSchedule`] (binary
-//! search vs. descending strides), and the first complete search cancels
-//! the rest — so the portfolio now explores budget schedules, not just
-//! option sets.
+//! Beyond single-budget races, [`minimize_portfolio_with_sharing`] races
+//! whole *budget-minimization searches*: every worker drives one
+//! incremental assumption-bounded encoding through its own
+//! [`BudgetSchedule`] (binary search vs. descending strides), and the
+//! first complete search cancels the rest — so the portfolio explores
+//! budget schedules, not just option sets.
 
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
-use std::thread;
 use std::time::{Duration, Instant};
 
 use rand::{rngs::StdRng, Rng, SeedableRng};
 use revpebble_graph::Dag;
 use revpebble_sat::card::CardEncoding;
-use revpebble_sat::{PoolConfig, PoolStats, SharedClausePool, SolverStats};
+use revpebble_sat::{CancelToken, PoolConfig, PoolStats, SharedClausePool, SolverStats};
 
 use crate::encoding::MoveMode;
+use crate::exec::{scatter, Executor};
 use crate::session::{ProbeEvent, ProbeEventSender};
 use crate::sharing::SharedSearchState;
 use crate::solver::{
@@ -70,8 +71,9 @@ pub struct WorkerReport {
     pub sat: SolverStats,
     /// Wall-clock time from spawn to return.
     pub elapsed: Duration,
-    /// `true` when the worker gave up because a rival raised the stop
-    /// flag (as opposed to exhausting its own budgets).
+    /// `true` when the worker gave up because the race token fired — a
+    /// rival won, or an ambient session token was cancelled — as opposed
+    /// to exhausting its own budgets.
     pub cancelled: bool,
 }
 
@@ -236,93 +238,94 @@ impl<'a> PortfolioSolver<'a> {
         &self.configs
     }
 
-    /// Runs every configuration on its own thread and returns the
+    /// Races every configuration on a private pool (one worker per
+    /// configuration, the historical behaviour) and returns the
     /// first-found strategy plus per-worker reports. The winning worker
-    /// raises a shared stop flag that cancels the rivals' searches inside
+    /// cancels the race token, which stops the rivals' searches inside
     /// the CDCL loop, so the call returns shortly after the first win
     /// even when rival configurations would run far longer.
     pub fn solve(&self) -> PortfolioOutcome {
-        self.solve_with_events(None)
+        let executor = Executor::new(self.configs.len());
+        self.solve_on(&executor, None, None)
     }
 
-    /// [`solve`](Self::solve) with a live probe-event stream: each worker
-    /// emits [`ProbeEvent::ProbeStarted`] before its search and a
-    /// solved/refuted event after — the session executor's view into the
+    /// [`solve`](Self::solve) on a caller-provided [`Executor`], under an
+    /// optional ambient cancel token (the race token is its child), with
+    /// an optional live probe-event stream: each worker emits
+    /// [`ProbeEvent::ProbeStarted`] before its search and a
+    /// solved/refuted event after — the session runtime's view into the
     /// race.
-    pub(crate) fn solve_with_events(&self, events: Option<ProbeEventSender>) -> PortfolioOutcome {
-        let stop = Arc::new(AtomicBool::new(false));
-        let winner = AtomicUsize::new(NO_WINNER);
-        let workers: Vec<WorkerReport> = thread::scope(|scope| {
-            let handles: Vec<_> = self
-                .configs
-                .iter()
-                .enumerate()
-                .map(|(index, &options)| {
-                    let stop = Arc::clone(&stop);
-                    let winner = &winner;
-                    let events = events.clone();
-                    scope.spawn(move || {
-                        let start = Instant::now();
-                        let budget = options.encoding.max_pebbles.unwrap_or_default();
-                        let emit = |event: ProbeEvent| {
-                            if let Some(events) = &events {
-                                let _ = events.send(event);
-                            }
-                        };
-                        emit(ProbeEvent::ProbeStarted {
+    pub(crate) fn solve_on(
+        &self,
+        executor: &Executor,
+        cancel: Option<&CancelToken>,
+        events: Option<ProbeEventSender>,
+    ) -> PortfolioOutcome {
+        let race = cancel.map_or_else(CancelToken::new, CancelToken::child);
+        let winner = Arc::new(AtomicUsize::new(NO_WINNER));
+        let dag = Arc::new(self.dag.clone());
+        let tasks: Vec<_> = self
+            .configs
+            .iter()
+            .enumerate()
+            .map(|(index, &options)| {
+                let race = race.clone();
+                let winner = Arc::clone(&winner);
+                let events = events.clone();
+                let dag = Arc::clone(&dag);
+                move || {
+                    let start = Instant::now();
+                    let budget = options.encoding.max_pebbles.unwrap_or_default();
+                    let emit = |event: ProbeEvent| {
+                        if let Some(events) = &events {
+                            let _ = events.send(event);
+                        }
+                    };
+                    emit(ProbeEvent::ProbeStarted {
+                        worker: index,
+                        probe: 0,
+                        budget,
+                    });
+                    let mut solver = PebbleSolver::new(&dag, options);
+                    solver.set_cancel_token(Some(race.clone()));
+                    let outcome = solver.solve();
+                    let solved = matches!(outcome, PebbleOutcome::Solved(_));
+                    emit(match &outcome {
+                        PebbleOutcome::Solved(strategy) => ProbeEvent::ProbeSolved {
                             worker: index,
                             probe: 0,
                             budget,
-                        });
-                        let mut solver = PebbleSolver::new(self.dag, options);
-                        solver.set_stop_flag(Some(Arc::clone(&stop)));
-                        let outcome = solver.solve();
-                        let solved = matches!(outcome, PebbleOutcome::Solved(_));
-                        emit(match &outcome {
-                            PebbleOutcome::Solved(strategy) => ProbeEvent::ProbeSolved {
-                                worker: index,
-                                probe: 0,
-                                budget,
-                                achieved: crate::session::achieved_budget(
-                                    self.dag,
-                                    options.encoding.weighted,
-                                    strategy,
-                                ),
-                            },
-                            _ => ProbeEvent::ProbeRefuted {
-                                worker: index,
-                                probe: 0,
-                                budget,
-                            },
-                        });
-                        if solved
-                            && winner
-                                .compare_exchange(
-                                    NO_WINNER,
-                                    index,
-                                    Ordering::AcqRel,
-                                    Ordering::Acquire,
-                                )
-                                .is_ok()
-                        {
-                            stop.store(true, Ordering::Release);
-                        }
-                        WorkerReport {
-                            options,
-                            search: solver.stats(),
-                            sat: solver.sat_stats(),
-                            elapsed: start.elapsed(),
-                            cancelled: !solved && stop.load(Ordering::Acquire),
-                            outcome,
-                        }
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|handle| handle.join().expect("portfolio worker panicked"))
-                .collect()
-        });
+                            achieved: crate::session::achieved_budget(
+                                &dag,
+                                options.encoding.weighted,
+                                strategy,
+                            ),
+                        },
+                        _ => ProbeEvent::ProbeRefuted {
+                            worker: index,
+                            probe: 0,
+                            budget,
+                        },
+                    });
+                    if solved
+                        && winner
+                            .compare_exchange(NO_WINNER, index, Ordering::AcqRel, Ordering::Acquire)
+                            .is_ok()
+                    {
+                        race.cancel();
+                    }
+                    WorkerReport {
+                        options,
+                        search: solver.stats(),
+                        sat: solver.sat_stats(),
+                        elapsed: start.elapsed(),
+                        cancelled: !solved && race.is_cancelled(),
+                        outcome,
+                    }
+                }
+            })
+            .collect();
+        let workers = scatter(executor, tasks);
 
         let winner = match winner.load(Ordering::Acquire) {
             NO_WINNER => None,
@@ -358,8 +361,8 @@ impl<'a> PortfolioSolver<'a> {
     }
 }
 
-/// One worker's slice of a [`minimize_portfolio`] race: a solver
-/// configuration paired with a budget schedule.
+/// One worker's slice of a [`minimize_portfolio_with_sharing`] race: a
+/// solver configuration paired with a budget schedule.
 #[derive(Debug, Clone, Copy)]
 pub struct MinimizeConfig {
     /// Options every probe of this worker shares.
@@ -378,7 +381,7 @@ pub fn describe_minimize_config(config: &MinimizeConfig) -> String {
     format!("{schedule}/{}", describe_options(&config.base))
 }
 
-/// What one [`minimize_portfolio`] worker did.
+/// What one [`minimize_portfolio_with_sharing`] worker did.
 #[derive(Debug, Clone)]
 pub struct MinimizeWorkerReport {
     /// The configuration this worker ran.
@@ -387,13 +390,14 @@ pub struct MinimizeWorkerReport {
     pub result: MinimizeResult,
     /// Wall-clock time from spawn to return.
     pub elapsed: Duration,
-    /// `true` when a rival finished first and raised the stop flag.
+    /// `true` when the race token fired on this worker — a rival finished
+    /// first, or an ambient session token was cancelled.
     pub cancelled: bool,
 }
 
 /// What a [`minimize_portfolio_with_sharing`] race shares between its
 /// workers. [`Default`] shares everything; [`ShareOptions::isolated`] is
-/// the PR-2 behaviour (workers only share the stop flag).
+/// the PR-2 behaviour (workers only share first-winner cancellation).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ShareOptions {
     /// Exchange short learnt clauses through one [`SharedClausePool`].
@@ -566,7 +570,7 @@ pub struct SharingReport {
     pub pool: PoolStats,
 }
 
-/// The result of a [`minimize_portfolio`] race.
+/// The result of a [`minimize_portfolio_with_sharing`] race.
 #[derive(Debug, Clone)]
 pub struct MinimizePortfolioOutcome {
     /// The smallest certified budget across *all* workers (a cancelled
@@ -677,19 +681,23 @@ pub fn minimize_portfolio_with_sharing(
     per_query: Duration,
     share: ShareOptions,
 ) -> MinimizePortfolioOutcome {
-    minimize_portfolio_session(dag, configs, per_query, share, None)
+    let executor = Executor::new(configs.len().max(1));
+    minimize_portfolio_on(dag, configs, per_query, share, None, &executor, None)
 }
 
-/// The minimize-race executor under
-/// [`minimize_portfolio_with_sharing`] and the session's portfolio
-/// engines: the same race, with an optional live probe-event stream every
-/// worker clones.
-pub(crate) fn minimize_portfolio_session(
+/// The minimize-race engine under [`minimize_portfolio_with_sharing`]
+/// and the session runtime's portfolio engines: the same race, run as
+/// jobs on a caller-provided [`Executor`] under an optional ambient
+/// cancel token (the race token is its child), with an optional live
+/// probe-event stream every worker clones.
+pub(crate) fn minimize_portfolio_on(
     dag: &Dag,
     mut configs: Vec<MinimizeConfig>,
     per_query: Duration,
     share: ShareOptions,
     events: Option<ProbeEventSender>,
+    executor: &Executor,
+    cancel: Option<&CancelToken>,
 ) -> MinimizePortfolioOutcome {
     assert!(
         !configs.is_empty(),
@@ -701,7 +709,7 @@ pub(crate) fn minimize_portfolio_session(
     if share.diversify {
         diversify_minimize_portfolio(&mut configs);
     }
-    let stop = Arc::new(AtomicBool::new(false));
+    let race = cancel.map_or_else(CancelToken::new, CancelToken::child);
     let pool = share.clauses.then(|| {
         Arc::new(SharedClausePool::with_config(PoolConfig {
             max_workers: configs.len().max(1),
@@ -728,57 +736,54 @@ pub(crate) fn minimize_portfolio_session(
                 && config.base.max_steps == reference.max_steps
         })
         .collect();
-    let winner = AtomicUsize::new(NO_WINNER);
-    let workers: Vec<MinimizeWorkerReport> = thread::scope(|scope| {
-        let handles: Vec<_> = configs
-            .iter()
-            .enumerate()
-            .map(|(index, &config)| {
-                let stop = Arc::clone(&stop);
-                let winner = &winner;
-                let clause_mode = clause_mode[index];
-                let compatible = compatible[index];
-                let ctx = MinimizeContext {
-                    stop: Some(Arc::clone(&stop)),
-                    pool: pool
-                        .clone()
-                        .filter(|_| clause_mode != ClauseShareMode::None),
-                    prefix: clause_mode == ClauseShareMode::Prefix,
-                    shared: shared.clone().filter(|_| compatible),
-                    events: events.clone(),
-                    worker: index,
+    let winner = Arc::new(AtomicUsize::new(NO_WINNER));
+    let owned_dag = Arc::new(dag.clone());
+    let tasks: Vec<_> = configs
+        .iter()
+        .enumerate()
+        .map(|(index, &config)| {
+            let race = race.clone();
+            let winner = Arc::clone(&winner);
+            let dag = Arc::clone(&owned_dag);
+            let clause_mode = clause_mode[index];
+            let compatible = compatible[index];
+            let ctx = MinimizeContext {
+                cancel: Some(race.clone()),
+                pool: pool
+                    .clone()
+                    .filter(|_| clause_mode != ClauseShareMode::None),
+                prefix: clause_mode == ClauseShareMode::Prefix,
+                shared: shared.clone().filter(|_| compatible),
+                events: events.clone(),
+                worker: index,
+            };
+            move || {
+                let start = Instant::now();
+                let options = MinimizeOptions {
+                    base: config.base,
+                    per_query,
+                    schedule: config.schedule,
+                    incremental: true,
                 };
-                scope.spawn(move || {
-                    let start = Instant::now();
-                    let options = MinimizeOptions {
-                        base: config.base,
-                        per_query,
-                        schedule: config.schedule,
-                        incremental: true,
-                    };
-                    let result = run_minimize_with_context(dag, options, ctx);
-                    let finished = result.best.is_some() && !stop.load(Ordering::Acquire);
-                    if finished
-                        && winner
-                            .compare_exchange(NO_WINNER, index, Ordering::AcqRel, Ordering::Acquire)
-                            .is_ok()
-                    {
-                        stop.store(true, Ordering::Release);
-                    }
-                    MinimizeWorkerReport {
-                        config,
-                        cancelled: !finished && stop.load(Ordering::Acquire),
-                        result,
-                        elapsed: start.elapsed(),
-                    }
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|handle| handle.join().expect("minimize worker panicked"))
-            .collect()
-    });
+                let result = run_minimize_with_context(&dag, options, ctx);
+                let finished = result.best.is_some() && !race.is_cancelled();
+                if finished
+                    && winner
+                        .compare_exchange(NO_WINNER, index, Ordering::AcqRel, Ordering::Acquire)
+                        .is_ok()
+                {
+                    race.cancel();
+                }
+                MinimizeWorkerReport {
+                    config,
+                    cancelled: !finished && race.is_cancelled(),
+                    result,
+                    elapsed: start.elapsed(),
+                }
+            }
+        })
+        .collect();
+    let workers = scatter(executor, tasks);
     let winner = match winner.load(Ordering::Acquire) {
         NO_WINNER => None,
         index => Some(index),
@@ -828,116 +833,93 @@ pub(crate) fn minimize_portfolio_session(
     }
 }
 
-/// Unwraps a minimize-portfolio session's result (shim plumbing).
-fn session_minimize_portfolio(
-    session: crate::session::PebblingSession<'_>,
-) -> MinimizePortfolioOutcome {
-    let report = session
-        .run()
-        .unwrap_or_else(|err| panic!("invalid pebbling configuration: {err}"));
-    match report.outcome {
-        crate::session::SessionOutcome::MinimizePortfolio(outcome) => outcome,
-        _ => unreachable!("a minimize-portfolio session drives the portfolio engine"),
-    }
-}
-
-/// Races `n` [`default_minimize_portfolio`] configurations (`n == 0` = one
-/// per available core) with no sharing — the isolated baseline.
-///
-/// # Deprecated
-///
-/// Shim over [`session::PebblingSession`](crate::session::PebblingSession):
-/// `PebblingSession::new(dag).minimize().portfolio(n).run()`.
-#[deprecated(
-    since = "0.2.0",
-    note = "use `session::PebblingSession::new(dag).minimize().portfolio(n).run()`"
-)]
-pub fn minimize_portfolio(
-    dag: &Dag,
-    base: SolverOptions,
-    per_query: Duration,
-    n: usize,
-) -> MinimizePortfolioOutcome {
-    session_minimize_portfolio(
-        crate::session::PebblingSession::new(dag)
-            .solver_options(base)
-            .minimize()
-            .portfolio(n)
-            .per_query_timeout(per_query),
-    )
-}
-
-/// Races `n` [`default_minimize_portfolio`] configurations (`n == 0` = one
-/// per available core) with full cooperation: one clause pool and one
-/// certified-refutation blackboard across all workers — the engine behind
-/// `pebble --minimize --portfolio N --share-clauses`.
-///
-/// # Deprecated
-///
-/// Shim over [`session::PebblingSession`](crate::session::PebblingSession):
-/// add [`share_clauses`](crate::session::PebblingSession::share_clauses)
-/// to a minimize-portfolio session.
-#[deprecated(
-    since = "0.2.0",
-    note = "use `session::PebblingSession::new(dag).minimize().portfolio(n)\
-            .share_clauses(ShareOptions::default()).run()`"
-)]
-pub fn minimize_portfolio_shared(
-    dag: &Dag,
-    base: SolverOptions,
-    per_query: Duration,
-    n: usize,
-) -> MinimizePortfolioOutcome {
-    session_minimize_portfolio(
-        crate::session::PebblingSession::new(dag)
-            .solver_options(base)
-            .minimize()
-            .portfolio(n)
-            .share_clauses(ShareOptions::default())
-            .per_query_timeout(per_query),
-    )
-}
-
-/// Convenience: race `workers` default-portfolio configurations with the
-/// given pebble budget and otherwise default options (`workers == 0` =
-/// one per available core).
-///
-/// # Deprecated
-///
-/// Shim over [`session::PebblingSession`](crate::session::PebblingSession):
-/// `PebblingSession::new(dag).pebbles(p).portfolio(workers).run()`.
-#[deprecated(
-    since = "0.2.0",
-    note = "use `session::PebblingSession::new(dag).pebbles(p).portfolio(workers).run()`"
-)]
-pub fn solve_with_pebbles_portfolio(
-    dag: &Dag,
-    max_pebbles: usize,
-    workers: usize,
-) -> PortfolioOutcome {
-    let report = crate::session::PebblingSession::new(dag)
-        .pebbles(max_pebbles)
-        .portfolio(workers)
-        .run()
-        .unwrap_or_else(|err| panic!("invalid pebbling configuration: {err}"));
-    match report.outcome {
-        crate::session::SessionOutcome::Portfolio(outcome) => outcome,
-        _ => unreachable!("a fixed-budget portfolio session drives the race engine"),
-    }
-}
-
 #[cfg(test)]
 mod tests {
-    // The deprecated convenience shims stay exercised here on purpose:
-    // these unit tests cover both the engine and the shim → session →
-    // engine plumbing (equivalence is additionally property-tested at the
-    // workspace level).
-    #![allow(deprecated)]
-
     use super::*;
     use crate::encoding::EncodingOptions;
-    use crate::solver::solve_with_pebbles;
+    use crate::session::{PebblingSession, SessionOutcome};
     use revpebble_graph::generators::paper_example;
+
+    /// Session-backed equivalents of the retired free-function shims:
+    /// the tests still cover the session → engine plumbing end to end.
+    fn solve_with_pebbles(dag: &Dag, max_pebbles: usize) -> PebbleOutcome {
+        let report = PebblingSession::new(dag)
+            .pebbles(max_pebbles)
+            .run()
+            .expect("valid pebbling configuration");
+        match report.outcome {
+            SessionOutcome::Single(outcome) => outcome,
+            _ => unreachable!("a fixed-budget session drives the single engine"),
+        }
+    }
+
+    fn solve_with_pebbles_portfolio(
+        dag: &Dag,
+        max_pebbles: usize,
+        workers: usize,
+    ) -> PortfolioOutcome {
+        let report = PebblingSession::new(dag)
+            .pebbles(max_pebbles)
+            .portfolio(workers)
+            .run()
+            .expect("valid pebbling configuration");
+        match report.outcome {
+            SessionOutcome::Portfolio(outcome) => outcome,
+            _ => unreachable!("a fixed-budget portfolio session drives the race engine"),
+        }
+    }
+
+    fn session_minimize_portfolio(session: PebblingSession<'_>) -> MinimizePortfolioOutcome {
+        let report = session.run().expect("valid pebbling configuration");
+        match report.outcome {
+            SessionOutcome::MinimizePortfolio(outcome) => outcome,
+            _ => unreachable!("a minimize-portfolio session drives the portfolio engine"),
+        }
+    }
+
+    fn minimize_portfolio(
+        dag: &Dag,
+        base: SolverOptions,
+        per_query: Duration,
+        n: usize,
+    ) -> MinimizePortfolioOutcome {
+        session_minimize_portfolio(
+            PebblingSession::new(dag)
+                .solver_options(base)
+                .minimize()
+                .portfolio(n)
+                .per_query_timeout(per_query),
+        )
+    }
+
+    fn minimize_portfolio_shared(
+        dag: &Dag,
+        base: SolverOptions,
+        per_query: Duration,
+        n: usize,
+    ) -> MinimizePortfolioOutcome {
+        session_minimize_portfolio(
+            PebblingSession::new(dag)
+                .solver_options(base)
+                .minimize()
+                .portfolio(n)
+                .share_clauses(ShareOptions::default())
+                .per_query_timeout(per_query),
+        )
+    }
+
+    fn minimize_single(dag: &Dag, base: SolverOptions, per_query: Duration) -> MinimizeResult {
+        let report = PebblingSession::new(dag)
+            .solver_options(base)
+            .minimize()
+            .per_query_timeout(per_query)
+            .run()
+            .expect("valid pebbling configuration");
+        match report.outcome {
+            SessionOutcome::Minimize(result) => result,
+            _ => unreachable!("a minimize session drives the minimize engine"),
+        }
+    }
 
     fn budgeted(max_pebbles: usize) -> SolverOptions {
         SolverOptions {
@@ -1109,7 +1091,7 @@ mod tests {
         let (p, strategy) = shared.best.clone().expect("c17 is feasible");
         strategy.validate(&dag, Some(p)).expect("valid");
         // The single-worker incremental engine agrees on the minimum.
-        let single = crate::solver::minimize_pebbles(&dag, base, Duration::from_secs(30));
+        let single = minimize_single(&dag, base, Duration::from_secs(30));
         assert_eq!(Some(p), single.best.map(|(p, _)| p));
         // The cooperative layer was actually on and did something.
         assert!(shared.sharing.options.clauses && shared.sharing.options.bounds);
@@ -1148,7 +1130,7 @@ mod tests {
         );
         let (p, strategy) = outcome.best.clone().expect("c17 is feasible");
         strategy.validate(&dag, Some(p)).expect("valid");
-        let single = crate::solver::minimize_pebbles(&dag, base, Duration::from_secs(30));
+        let single = minimize_single(&dag, base, Duration::from_secs(30));
         assert_eq!(Some(p), single.best.map(|(p, _)| p));
         // Every worker is on the pool (full or prefix mode), and the
         // mixed-encoding workers still certify a floor no higher than the

@@ -37,25 +37,49 @@
 //! live (the CLI prints progress lines from it, benches collect
 //! structured traces). The terminal [`ProbeEvent::BudgetCertified`] event
 //! is emitted exactly once per session, after every worker has finished —
-//! even when a portfolio cancels rivals mid-probe.
+//! even when a portfolio cancels rivals mid-probe — *unless* the
+//! session's own cancel token fired first: a cancelled session ends its
+//! stream without certifying anything.
+//!
+//! ## The session runtime
+//!
+//! Beyond the one-shot [`run`](PebblingSession::run), sessions are
+//! first-class *jobs*:
+//!
+//! - [`PebblingSession::cancel_token`] installs an ambient
+//!   [`CancelToken`] every solver in the session polls;
+//!   [`PebblingSession::quota`] caps the session's total SAT conflicts.
+//!   A fired token ends the run promptly with a partial [`Report`] whose
+//!   [`stop_reason`](Report::stop_reason) names the cause.
+//! - [`PebblingSession::spawn_on`] submits the whole session to a shared
+//!   [`Executor`] and returns a [`SessionHandle`] (join / cancel /
+//!   try_report) instead of blocking.
+//! - [`BatchSession`] serves many DAGs over one worker pool with
+//!   per-session conflict quotas and a shared [`ResultCache`] keyed by
+//!   [`Dag::canonical_fingerprint`], so repeated instances skip the
+//!   solver entirely.
 
+use std::collections::hash_map::DefaultHasher;
 use std::fmt;
+use std::hash::{Hash, Hasher};
 use std::sync::mpsc;
+use std::sync::Arc;
 use std::thread;
 use std::time::{Duration, Instant};
 
 use revpebble_graph::{Dag, DagError};
-use revpebble_sat::SolverConfig;
+use revpebble_sat::{CancelReason, CancelToken, SolverConfig};
 
 use revpebble_sat::card::CardEncoding;
 
 use crate::bounds::{pebble_lower_bound, weighted_pebble_lower_bound};
+use crate::cache::{CacheKey, CachedReport, ResultCache};
 use crate::encoding::MoveMode;
-use crate::frontier::{frontier_with_events, FrontierOptions, FrontierPoint};
+use crate::exec::Executor;
+use crate::frontier::{frontier_on, FrontierOptions, FrontierPoint};
 use crate::portfolio::{
-    default_minimize_portfolio, describe_minimize_config, describe_options,
-    minimize_portfolio_session, MinimizeConfig, MinimizePortfolioOutcome, PortfolioOutcome,
-    PortfolioSolver, ShareOptions,
+    default_minimize_portfolio, describe_minimize_config, describe_options, minimize_portfolio_on,
+    MinimizeConfig, MinimizePortfolioOutcome, PortfolioOutcome, PortfolioSolver, ShareOptions,
 };
 use crate::solver::{
     run_minimize_with_context, BudgetSchedule, MinimizeContext, MinimizeOptions, MinimizeResult,
@@ -234,6 +258,14 @@ pub enum SessionError {
     },
     /// A step cap of zero admits no strategy on any DAG.
     ZeroStepCap,
+    /// A conflict quota of zero is exhausted before the first probe; no
+    /// session can do anything under it.
+    QuotaExceeded {
+        /// The rejected quota.
+        quota: u64,
+    },
+    /// A worker pool of zero threads can never run a job.
+    ZeroWorkerPool,
 }
 
 impl fmt::Display for SessionError {
@@ -286,6 +318,13 @@ impl fmt::Display for SessionError {
                 "weighted budget {budget} exceeds the DAG's total weight {total_weight}"
             ),
             SessionError::ZeroStepCap => write!(f, "a step cap of 0 admits no strategy"),
+            SessionError::QuotaExceeded { quota } => write!(
+                f,
+                "a conflict quota of {quota} is exhausted before the first probe"
+            ),
+            SessionError::ZeroWorkerPool => {
+                write!(f, "a worker pool needs at least one worker")
+            }
         }
     }
 }
@@ -314,7 +353,7 @@ pub enum Engine {
     /// encoding/solver instance.
     MinimizeIncremental,
     /// A race of incremental minimize workers over budget schedules,
-    /// sharing nothing but the first-winner stop flag.
+    /// sharing nothing but first-winner cancellation.
     MinimizePortfolio,
     /// The cooperative race: minimize workers on one learnt-clause pool
     /// and one certified-refutation blackboard.
@@ -402,8 +441,9 @@ pub struct WorkerSummary {
 
 /// The engine-specific artifact behind a [`Report`], for callers that
 /// need more than the unified fields (per-probe stats snapshots, the
-/// full frontier, per-worker minimize results).
-#[derive(Debug)]
+/// full frontier, per-worker minimize results). `Clone` so a
+/// [`ResultCache`] can hold finished outcomes.
+#[derive(Debug, Clone)]
 #[non_exhaustive]
 pub enum SessionOutcome {
     /// [`Engine::Single`]: the raw outcome.
@@ -438,8 +478,23 @@ pub struct Report {
     /// One summary per worker, in configuration order.
     pub workers: Vec<WorkerSummary>,
     /// Events delivered over the session's channel (including the
-    /// terminal [`ProbeEvent::BudgetCertified`]).
+    /// terminal [`ProbeEvent::BudgetCertified`], which a cancelled
+    /// session never emits).
     pub events_emitted: u64,
+    /// Why the session stopped early, if its cancel token fired:
+    /// explicit cancellation, a deadline, or an exhausted conflict
+    /// quota. `None` for a run that completed on its own — only such
+    /// runs certify budgets and populate the result cache.
+    pub stop_reason: Option<CancelReason>,
+    /// Result-cache lookups this run answered from the cache (`1` when
+    /// the whole session was served without solving). Zero when no cache
+    /// is installed.
+    pub cache_hits: u64,
+    /// Result-cache lookups this run had to solve for. Zero when no
+    /// cache is installed.
+    pub cache_misses: u64,
+    /// Wall-clock time of the whole run.
+    pub wall: Duration,
     /// The engine-specific artifact (probe logs, per-worker results,
     /// frontier points).
     pub outcome: SessionOutcome,
@@ -516,6 +571,18 @@ impl Report {
         out.push(']');
         let _ = write!(out, ",\"events_emitted\":{}", self.events_emitted);
         let _ = write!(out, ",\"probes\":{}", self.probes());
+        match self.stop_reason {
+            Some(reason) => {
+                let _ = write!(out, ",\"stop_reason\":\"{}\"", reason.as_str());
+            }
+            None => out.push_str(",\"stop_reason\":null"),
+        }
+        let _ = write!(
+            out,
+            ",\"cache_hits\":{},\"cache_misses\":{}",
+            self.cache_hits, self.cache_misses
+        );
+        let _ = write!(out, ",\"wall_s\":{:.6}", self.wall.as_secs_f64());
         match self.strategy() {
             Some(strategy) => {
                 let _ = write!(
@@ -566,9 +633,17 @@ pub struct PebblingSession<'a> {
     diversify: Option<bool>,
     per_query: Option<Duration>,
     frontier_range: (Option<usize>, Option<usize>),
-    #[allow(clippy::type_complexity)]
-    on_event: Option<Box<dyn FnMut(ProbeEvent) + Send + 'a>>,
+    cancel: Option<CancelToken>,
+    quota: Option<u64>,
+    cache: Option<Arc<ResultCache>>,
+    executor: Option<Arc<Executor>>,
+    on_event: Option<SessionCallback>,
 }
+
+/// The observer installed with [`PebblingSession::on_event`]. `'static`
+/// (+ `Send`) so a session can be handed to an [`Executor`] whole; borrow
+/// state through an `Arc` to collect events.
+type SessionCallback = Box<dyn FnMut(ProbeEvent) + Send + 'static>;
 
 impl fmt::Debug for PebblingSession<'_> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -582,6 +657,10 @@ impl fmt::Debug for PebblingSession<'_> {
             .field("portfolio", &self.portfolio)
             .field("share", &self.share)
             .field("per_query", &self.per_query)
+            .field("cancel", &self.cancel)
+            .field("quota", &self.quota)
+            .field("cache", &self.cache.is_some())
+            .field("executor", &self.executor.is_some())
             .field("on_event", &self.on_event.is_some())
             .finish_non_exhaustive()
     }
@@ -605,6 +684,10 @@ impl<'a> PebblingSession<'a> {
             diversify: None,
             per_query: None,
             frontier_range: (None, None),
+            cancel: None,
+            quota: None,
+            cache: None,
+            executor: None,
             on_event: None,
         }
     }
@@ -753,9 +836,51 @@ impl<'a> PebblingSession<'a> {
 
     /// Installs a live observer for [`ProbeEvent`]s. The callback runs on
     /// the session's own thread while workers solve, in channel-delivery
-    /// order; the terminal [`ProbeEvent::BudgetCertified`] arrives last.
-    pub fn on_event(mut self, callback: impl FnMut(ProbeEvent) + Send + 'a) -> Self {
+    /// order; the terminal [`ProbeEvent::BudgetCertified`] arrives last
+    /// — unless the session's cancel token fired, in which case the
+    /// stream ends without certifying. `'static` + `Send` so the whole
+    /// session can be handed to an [`Executor`]; collect events through
+    /// an `Arc<Mutex<_>>` or a channel sender.
+    pub fn on_event(mut self, callback: impl FnMut(ProbeEvent) + Send + 'static) -> Self {
         self.on_event = Some(Box::new(callback));
+        self
+    }
+
+    /// Installs an ambient [`CancelToken`] every solver in the session
+    /// polls: cancel it (or let its deadline pass) and the run ends
+    /// promptly with a partial [`Report`] whose
+    /// [`stop_reason`](Report::stop_reason) names the cause.
+    pub fn cancel_token(mut self, token: CancelToken) -> Self {
+        self.cancel = Some(token);
+        self
+    }
+
+    /// Caps the session's total SAT conflicts. The cap is enforced
+    /// through a child of the session's [`cancel_token`](Self::cancel_token)
+    /// (or a private token when none is installed): once exhausted, the
+    /// run stops with [`Report::stop_reason`] =
+    /// [`CancelReason::QuotaExhausted`]. A quota of zero is rejected at
+    /// [`plan`](Self::plan) time.
+    pub fn quota(mut self, conflicts: u64) -> Self {
+        self.quota = Some(conflicts);
+        self
+    }
+
+    /// Installs a shared [`ResultCache`]: before solving, the session
+    /// looks itself up under (DAG fingerprint × plan hash) and returns
+    /// the cached answer on a hit; after an uncancelled run, it inserts
+    /// its result. Without a cache, behavior is bit-identical to older
+    /// builds.
+    pub fn result_cache(mut self, cache: Arc<ResultCache>) -> Self {
+        self.cache = Some(cache);
+        self
+    }
+
+    /// Runs this session's portfolio / frontier fan-out as jobs on a
+    /// shared [`Executor`] instead of private per-engine worker pools.
+    /// Single-threaded engines ignore it.
+    pub fn executor(mut self, executor: Arc<Executor>) -> Self {
+        self.executor = Some(executor);
         self
     }
 
@@ -771,6 +896,9 @@ impl<'a> PebblingSession<'a> {
         }
         if self.base.max_steps == 0 {
             return Err(SessionError::ZeroStepCap);
+        }
+        if self.quota == Some(0) {
+            return Err(SessionError::QuotaExceeded { quota: 0 });
         }
         if let (true, Some(budget)) = (self.base.encoding.weighted, self.pebbles) {
             let total_weight = usize::try_from(self.dag.total_weight()).unwrap_or(usize::MAX);
@@ -867,80 +995,387 @@ impl<'a> PebblingSession<'a> {
     /// workers solve, and returns the unified [`Report`].
     pub fn run(mut self) -> Result<Report, SessionError> {
         let plan = self.plan()?;
-        let dag = self.dag;
-        let mut callback = self.on_event.take();
-        let mut events_emitted: u64 = 0;
-        let (tx, rx) = mpsc::channel();
-        let (outcome, workers) = match callback.as_mut() {
-            // Live stream: the engine runs on a scoped thread while this
-            // thread drains the channel, so each event reaches the
-            // callback while rivals are still solving.
-            Some(callback) => thread::scope(|scope| {
-                let engine_plan = plan.clone();
-                let handle = scope.spawn(move || execute_plan(dag, &engine_plan, tx));
-                // Drains until the engine (and every worker clone)
-                // drops its sender.
-                for event in rx {
-                    events_emitted += 1;
-                    callback(event);
-                }
-                handle.join().expect("session engine panicked")
-            }),
-            // No observer: run inline — no thread spawn on the
-            // library's hottest path — and tally the buffered events
-            // afterwards so `events_emitted` stays accurate.
-            None => {
-                let result = execute_plan(dag, &plan, tx);
-                events_emitted += rx.try_iter().count() as u64;
-                result
+        let token = self.compose_token();
+        let callback = self.on_event.take();
+        Ok(run_with_runtime(
+            self.dag,
+            &plan,
+            callback,
+            token,
+            self.cache.clone(),
+            self.executor.as_ref(),
+        ))
+    }
+
+    /// Validates ([`plan`](Self::plan)), clones the DAG into an owned
+    /// job, submits the whole session to `executor` and returns a
+    /// non-blocking [`SessionHandle`] immediately. The session's engines
+    /// fan their own sub-jobs onto the same pool (workers help while
+    /// waiting, so nested fan-out cannot deadlock the pool).
+    pub fn spawn_on(mut self, executor: &Arc<Executor>) -> Result<SessionHandle, SessionError> {
+        let plan = self.plan()?;
+        // The handle always has a token to cancel through, even when the
+        // builder composed none.
+        let token = self.compose_token().unwrap_or_default();
+        let callback = self.on_event.take();
+        let cache = self.cache.clone();
+        let dag = Arc::new(self.dag.clone());
+        let job_executor = Arc::clone(executor);
+        let job_token = token.clone();
+        let (report_tx, report_rx) = mpsc::channel();
+        executor.submit(move || {
+            let report = run_with_runtime(
+                &dag,
+                &plan,
+                callback,
+                Some(job_token),
+                cache,
+                Some(&job_executor),
+            );
+            let _ = report_tx.send(report);
+        });
+        Ok(SessionHandle {
+            token,
+            receiver: report_rx,
+            report: None,
+        })
+    }
+
+    /// The session token the run polls: the installed
+    /// [`cancel_token`](Self::cancel_token), wrapped in a quota-carrying
+    /// child when [`quota`](Self::quota) is set, or `None` when neither
+    /// was requested (the default — no token overhead at all).
+    fn compose_token(&self) -> Option<CancelToken> {
+        match (&self.cancel, self.quota) {
+            (None, None) => None,
+            (Some(token), None) => Some(token.clone()),
+            (Some(token), Some(quota)) => Some(token.child_with_limits(None, Some(quota))),
+            (None, Some(quota)) => Some(CancelToken::with_limits(None, Some(quota))),
+        }
+    }
+}
+
+/// The unified `(minimum, floor)` pair for a finished engine run.
+fn certified(dag: &Dag, plan: &SessionPlan, outcome: &SessionOutcome) -> (Option<usize>, usize) {
+    let structural = if plan.base.encoding.weighted {
+        weighted_pebble_lower_bound(dag)
+    } else {
+        pebble_lower_bound(dag)
+    };
+    let achieved =
+        |strategy: &Strategy| achieved_budget(dag, plan.base.encoding.weighted, strategy);
+    match outcome {
+        SessionOutcome::Single(outcome) => (outcome.strategy().map(achieved), structural),
+        SessionOutcome::Portfolio(outcome) => {
+            (outcome.outcome.strategy().map(achieved), structural)
+        }
+        SessionOutcome::Minimize(result) => (result.best.as_ref().map(|&(p, _)| p), result.floor),
+        SessionOutcome::MinimizePortfolio(outcome) => (
+            outcome.best.as_ref().map(|&(p, _)| p),
+            outcome.sharing.floor,
+        ),
+        SessionOutcome::Frontier(points) => (
+            points
+                .iter()
+                .filter(|point| point.strategy.is_some())
+                .map(|point| point.pebbles)
+                .min(),
+            structural,
+        ),
+    }
+}
+
+/// Hash of every plan field that can change a session's answer — the
+/// plan half of a [`CacheKey`]. [`SessionPlan`] aggregates plain-data
+/// option structs that all derive `Debug`, so the debug rendering is a
+/// faithful digest of the whole configuration that cannot silently miss
+/// a newly added field.
+fn plan_hash(plan: &SessionPlan) -> u64 {
+    let mut hasher = DefaultHasher::new();
+    format!("{plan:?}").hash(&mut hasher);
+    hasher.finish()
+}
+
+/// The one engine driver behind [`PebblingSession::run`],
+/// [`PebblingSession::spawn_on`] and [`BatchSession`]: consult the
+/// result cache, drive the planned engine under the composed cancel
+/// token, suppress certification when the token fired, and populate the
+/// cache on a clean finish.
+fn run_with_runtime(
+    dag: &Dag,
+    plan: &SessionPlan,
+    mut callback: Option<SessionCallback>,
+    token: Option<CancelToken>,
+    cache: Option<Arc<ResultCache>>,
+    executor: Option<&Arc<Executor>>,
+) -> Report {
+    let start = Instant::now();
+    let key = cache.as_ref().map(|_| CacheKey {
+        fingerprint: dag.canonical_fingerprint(),
+        plan: plan_hash(plan),
+    });
+    if let (Some(cache), Some(key)) = (cache.as_ref(), key.as_ref()) {
+        if let Some(hit) = cache.lookup(key) {
+            // Served whole from the cache: no solver runs, no workers
+            // report; the stream is the terminal event alone.
+            if let Some(callback) = callback.as_mut() {
+                callback(ProbeEvent::BudgetCertified {
+                    minimum: hit.minimum,
+                });
             }
-        };
-        let (minimum, floor) = self.certified(&plan, &outcome);
-        // The terminal event: exactly once per session, after every
-        // worker joined — a cancelled rival can never emit after it.
+            return Report {
+                engine: plan.engine,
+                minimum: hit.minimum,
+                floor: hit.floor,
+                workers: Vec::new(),
+                events_emitted: 1,
+                stop_reason: None,
+                cache_hits: 1,
+                cache_misses: 0,
+                wall: start.elapsed(),
+                outcome: hit.outcome,
+            };
+        }
+    }
+    let mut events_emitted: u64 = 0;
+    let (tx, rx) = mpsc::channel();
+    let (outcome, workers) = match callback.as_mut() {
+        // Live stream: the engine runs on a scoped thread while this
+        // thread drains the channel, so each event reaches the
+        // callback while rivals are still solving.
+        Some(callback) => thread::scope(|scope| {
+            let engine_plan = plan.clone();
+            let engine_token = token.clone();
+            let handle = scope.spawn(move || {
+                execute_plan(dag, &engine_plan, tx, engine_token.as_ref(), executor)
+            });
+            // Drains until the engine (and every worker clone)
+            // drops its sender.
+            for event in rx {
+                events_emitted += 1;
+                callback(event);
+            }
+            handle.join().expect("session engine panicked")
+        }),
+        // No observer: run inline — no thread spawn on the
+        // library's hottest path — and tally the buffered events
+        // afterwards so `events_emitted` stays accurate.
+        None => {
+            let result = execute_plan(dag, plan, tx, token.as_ref(), executor);
+            events_emitted += rx.try_iter().count() as u64;
+            result
+        }
+    };
+    let (minimum, floor) = certified(dag, plan, &outcome);
+    let stop_reason = token.as_ref().and_then(|token| token.poll());
+    // The terminal event: exactly once per session, after every worker
+    // joined — but never after the session's own token fired. A
+    // cancelled session ends its stream without certifying anything.
+    if stop_reason.is_none() {
         events_emitted += 1;
         if let Some(callback) = callback.as_mut() {
             callback(ProbeEvent::BudgetCertified { minimum });
         }
-        Ok(Report {
-            engine: plan.engine,
-            minimum,
-            floor,
-            workers,
-            events_emitted,
-            outcome,
+    }
+    let mut cache_misses = 0;
+    if let (Some(cache), Some(key)) = (cache.as_ref(), key) {
+        cache_misses = 1;
+        // Only clean finishes are answers; a cancelled run's partial
+        // result must never be served as the instance's answer.
+        if stop_reason.is_none() {
+            cache.insert(
+                key,
+                CachedReport {
+                    minimum,
+                    floor,
+                    outcome: outcome.clone(),
+                },
+            );
+        }
+    }
+    Report {
+        engine: plan.engine,
+        minimum,
+        floor,
+        workers,
+        events_emitted,
+        stop_reason,
+        cache_hits: 0,
+        cache_misses,
+        wall: start.elapsed(),
+        outcome,
+    }
+}
+
+/// A non-blocking handle to a session submitted to an [`Executor`] with
+/// [`PebblingSession::spawn_on`]: poll it ([`try_report`](Self::try_report)),
+/// stop it ([`cancel`](Self::cancel) — [`join`](Self::join) then returns
+/// the partial [`Report`] with its [`stop_reason`](Report::stop_reason)
+/// set), or block for the result ([`join`](Self::join)).
+#[derive(Debug)]
+pub struct SessionHandle {
+    token: CancelToken,
+    receiver: mpsc::Receiver<Report>,
+    report: Option<Report>,
+}
+
+impl SessionHandle {
+    /// The session's own [`CancelToken`] (compose children off it, or
+    /// inspect the fired reason).
+    pub fn token(&self) -> &CancelToken {
+        &self.token
+    }
+
+    /// Fires the session's cancel token. The running session stops at
+    /// its next poll point and [`join`](Self::join) returns a partial
+    /// [`Report`] promptly.
+    pub fn cancel(&self) {
+        self.token.cancel();
+    }
+
+    /// The finished [`Report`], or `None` while the session still runs.
+    /// Never blocks.
+    pub fn try_report(&mut self) -> Option<&Report> {
+        if self.report.is_none() {
+            if let Ok(report) = self.receiver.try_recv() {
+                self.report = Some(report);
+            }
+        }
+        self.report.as_ref()
+    }
+
+    /// Blocks until the session finishes and returns its [`Report`] — a
+    /// partial one, with [`Report::stop_reason`] set, when the session
+    /// was cancelled.
+    pub fn join(mut self) -> Report {
+        match self.report.take() {
+            Some(report) => report,
+            None => self.receiver.recv().expect("session job panicked"),
+        }
+    }
+}
+
+/// Many DAGs, one worker pool: sessions submitted here share a
+/// fixed-size [`Executor`], a [`ResultCache`] (repeated instances are
+/// answered without solving), an optional per-session conflict quota,
+/// and one root [`CancelToken`] ([`cancel_all`](Self::cancel_all)).
+///
+/// ```
+/// use revpebble_core::session::BatchSession;
+/// use revpebble_graph::generators::paper_example;
+///
+/// let dag = paper_example();
+/// let mut batch = BatchSession::new(2).expect("workers");
+/// for name in ["first", "again"] {
+///     batch
+///         .submit(name, &dag, |session| session.minimize())
+///         .expect("valid configuration");
+/// }
+/// let report = batch.finish();
+/// assert_eq!(report.sessions.len(), 2);
+/// assert!(report.sessions.iter().all(|(_, r)| r.minimum == Some(4)));
+/// ```
+#[derive(Debug)]
+pub struct BatchSession {
+    executor: Arc<Executor>,
+    cache: Arc<ResultCache>,
+    quota: Option<u64>,
+    root: CancelToken,
+    pending: Vec<(String, SessionHandle)>,
+}
+
+/// What [`BatchSession::finish`] returns: per-session reports in submit
+/// order plus the shared cache's counters.
+#[derive(Debug)]
+#[non_exhaustive]
+pub struct BatchReport {
+    /// `(name, report)` per submitted session, in submit order.
+    pub sessions: Vec<(String, Report)>,
+    /// Sessions answered from the shared result cache.
+    pub cache_hits: u64,
+    /// Sessions that had to solve.
+    pub cache_misses: u64,
+}
+
+impl BatchSession {
+    /// A batch served by `workers` pool threads (rejects zero).
+    pub fn new(workers: usize) -> Result<Self, SessionError> {
+        if workers == 0 {
+            return Err(SessionError::ZeroWorkerPool);
+        }
+        Ok(BatchSession {
+            executor: Arc::new(Executor::new(workers)),
+            cache: Arc::new(ResultCache::default()),
+            quota: None,
+            root: CancelToken::new(),
+            pending: Vec::new(),
         })
     }
 
-    /// The unified `(minimum, floor)` pair for a finished engine run.
-    fn certified(&self, plan: &SessionPlan, outcome: &SessionOutcome) -> (Option<usize>, usize) {
-        let structural = if plan.base.encoding.weighted {
-            weighted_pebble_lower_bound(self.dag)
-        } else {
-            pebble_lower_bound(self.dag)
-        };
-        let achieved =
-            |strategy: &Strategy| achieved_budget(self.dag, plan.base.encoding.weighted, strategy);
-        match outcome {
-            SessionOutcome::Single(outcome) => (outcome.strategy().map(achieved), structural),
-            SessionOutcome::Portfolio(outcome) => {
-                (outcome.outcome.strategy().map(achieved), structural)
-            }
-            SessionOutcome::Minimize(result) => {
-                (result.best.as_ref().map(|&(p, _)| p), result.floor)
-            }
-            SessionOutcome::MinimizePortfolio(outcome) => (
-                outcome.best.as_ref().map(|&(p, _)| p),
-                outcome.sharing.floor,
-            ),
-            SessionOutcome::Frontier(points) => (
-                points
-                    .iter()
-                    .filter(|point| point.strategy.is_some())
-                    .map(|point| point.pebbles)
-                    .min(),
-                structural,
-            ),
+    /// Caps every *subsequently* submitted session at `conflicts` SAT
+    /// conflicts; an exhausted session reports
+    /// [`CancelReason::QuotaExhausted`] instead of starving its batch
+    /// neighbors. Zero is rejected at
+    /// submit time.
+    pub fn per_session_quota(mut self, conflicts: u64) -> Self {
+        self.quota = Some(conflicts);
+        self
+    }
+
+    /// The shared worker pool, e.g. to co-schedule other jobs on it.
+    pub fn executor(&self) -> &Arc<Executor> {
+        &self.executor
+    }
+
+    /// Sessions submitted and not yet joined.
+    pub fn pending(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Fires the batch-wide root token: every running and queued session
+    /// stops promptly; [`finish`](Self::finish) returns partial reports.
+    pub fn cancel_all(&self) {
+        self.root.cancel();
+    }
+
+    /// Submits one session on `dag`. `configure` shapes the session
+    /// (engine, schedules, observers) on the caller's thread; the batch
+    /// then wires in a child of its root token, the per-session quota
+    /// and the shared cache, and hands the session to the pool.
+    pub fn submit<F>(
+        &mut self,
+        name: impl Into<String>,
+        dag: &Dag,
+        configure: F,
+    ) -> Result<(), SessionError>
+    where
+        F: for<'d> FnOnce(PebblingSession<'d>) -> PebblingSession<'d>,
+    {
+        let mut session = configure(PebblingSession::new(dag))
+            // A child, not the root itself: cancelling one session's
+            // handle must not take the whole batch down with it.
+            .cancel_token(self.root.child())
+            .result_cache(Arc::clone(&self.cache));
+        if let Some(quota) = self.quota {
+            session = session.quota(quota);
+        }
+        let handle = session.spawn_on(&self.executor)?;
+        self.pending.push((name.into(), handle));
+        Ok(())
+    }
+
+    /// Joins every submitted session, in submit order, and returns the
+    /// [`BatchReport`].
+    pub fn finish(mut self) -> BatchReport {
+        let sessions = self
+            .pending
+            .drain(..)
+            .map(|(name, handle)| (name, handle.join()))
+            .collect();
+        BatchReport {
+            sessions,
+            cache_hits: self.cache.hits(),
+            cache_misses: self.cache.misses(),
         }
     }
 }
@@ -964,6 +1399,8 @@ fn execute_plan(
     dag: &Dag,
     plan: &SessionPlan,
     tx: ProbeEventSender,
+    cancel: Option<&CancelToken>,
+    executor: Option<&Arc<Executor>>,
 ) -> (SessionOutcome, Vec<WorkerSummary>) {
     match plan.engine {
         Engine::Single => {
@@ -975,6 +1412,7 @@ fn execute_plan(
                 budget,
             });
             let mut solver = PebbleSolver::new(dag, plan.base);
+            solver.set_cancel_token(cancel.cloned());
             let outcome = solver.solve();
             let event = match &outcome {
                 PebbleOutcome::Solved(strategy) => ProbeEvent::ProbeSolved {
@@ -1005,7 +1443,15 @@ fn execute_plan(
         }
         Engine::SinglePortfolio => {
             let portfolio = PortfolioSolver::with_default_portfolio(dag, plan.base, plan.workers);
-            let outcome = portfolio.solve_with_events(Some(tx));
+            let outcome = match executor {
+                Some(executor) => portfolio.solve_on(executor, cancel, Some(tx)),
+                None => {
+                    // No shared pool installed: preserve the historical
+                    // one-thread-per-configuration race.
+                    let private = Executor::new(portfolio.configs().len().max(1));
+                    portfolio.solve_on(&private, cancel, Some(tx))
+                }
+            };
             let workers = outcome
                 .workers
                 .iter()
@@ -1033,6 +1479,7 @@ fn execute_plan(
                 incremental: plan.engine == Engine::MinimizeIncremental,
             };
             let ctx = MinimizeContext {
+                cancel: cancel.cloned(),
                 events: Some(tx),
                 ..MinimizeContext::default()
             };
@@ -1065,7 +1512,29 @@ fn execute_plan(
                     ..ShareOptions::isolated()
                 }
             };
-            let outcome = minimize_portfolio_session(dag, configs, plan.per_query, share, Some(tx));
+            let outcome = match executor {
+                Some(executor) => minimize_portfolio_on(
+                    dag,
+                    configs,
+                    plan.per_query,
+                    share,
+                    Some(tx),
+                    executor,
+                    cancel,
+                ),
+                None => {
+                    let private = Executor::new(configs.len().max(1));
+                    minimize_portfolio_on(
+                        dag,
+                        configs,
+                        plan.per_query,
+                        share,
+                        Some(tx),
+                        &private,
+                        cancel,
+                    )
+                }
+            };
             let workers = outcome
                 .workers
                 .iter()
@@ -1094,7 +1563,13 @@ fn execute_plan(
                 incremental: plan.incremental,
                 ..FrontierOptions::default()
             };
-            let points = frontier_with_events(dag, options, Some(tx));
+            let points = frontier_on(
+                dag,
+                options,
+                Some(tx),
+                executor.map(|arc| arc.as_ref()),
+                cancel,
+            );
             let summary = WorkerSummary {
                 config: format!("frontier/{}", describe_options(&plan.base)),
                 probes: points.len(),
@@ -1364,5 +1839,164 @@ mod tests {
             node: revpebble_graph::NodeId::from_index(0),
         });
         assert!(std::error::Error::source(&err).is_some());
+    }
+
+    #[test]
+    fn zero_quota_is_rejected_at_plan_time() {
+        let dag = paper_example();
+        let err = PebblingSession::new(&dag)
+            .pebbles(4)
+            .quota(0)
+            .plan()
+            .expect_err("zero quota");
+        assert_eq!(err, SessionError::QuotaExceeded { quota: 0 });
+    }
+
+    #[test]
+    fn a_fired_token_ends_the_run_without_certification() {
+        let dag = paper_example();
+        let token = CancelToken::new();
+        token.cancel();
+        let report = PebblingSession::new(&dag)
+            .minimize()
+            .cancel_token(token)
+            .run()
+            .expect("valid configuration");
+        assert_eq!(report.stop_reason, Some(CancelReason::Cancelled));
+        assert_eq!(report.minimum, None, "nothing certified under a dead token");
+    }
+
+    #[test]
+    fn an_exhausted_quota_names_itself_in_the_report() {
+        let dag = paper_example();
+        let report = PebblingSession::new(&dag)
+            .minimize()
+            .max_steps(60)
+            .quota(1)
+            .run()
+            .expect("valid configuration");
+        assert_eq!(report.stop_reason, Some(CancelReason::QuotaExhausted));
+        assert!(report.to_json().contains("\"stop_reason\":\"quota\""));
+    }
+
+    #[test]
+    fn spawn_on_runs_the_session_off_thread() {
+        let dag = paper_example();
+        let executor = Arc::new(Executor::new(2));
+        let mut handle = PebblingSession::new(&dag)
+            .pebbles(4)
+            .spawn_on(&executor)
+            .expect("valid configuration");
+        // try_report never blocks; eventually the report lands.
+        let report = loop {
+            if handle.try_report().is_some() {
+                break handle.join();
+            }
+            thread::yield_now();
+        };
+        assert_eq!(report.minimum, Some(4));
+        assert!(report.stop_reason.is_none());
+    }
+
+    #[test]
+    fn a_cancelled_handle_joins_to_a_partial_report() {
+        let dag = paper_example();
+        let executor = Arc::new(Executor::new(1));
+        let handle = PebblingSession::new(&dag)
+            .minimize()
+            .spawn_on(&executor)
+            .expect("valid configuration");
+        handle.cancel();
+        let report = handle.join();
+        // The token may have fired before the first probe or mid-run;
+        // either way the join returns and names the cancellation —
+        // unless the session already finished, which tiny instances may.
+        if let Some(reason) = report.stop_reason {
+            assert_eq!(reason, CancelReason::Cancelled);
+        }
+    }
+
+    #[test]
+    fn a_repeated_dag_is_served_from_the_result_cache() {
+        let dag = paper_example();
+        let cache = Arc::new(ResultCache::default());
+        let first = PebblingSession::new(&dag)
+            .minimize()
+            .result_cache(Arc::clone(&cache))
+            .run()
+            .expect("valid configuration");
+        assert_eq!((first.cache_hits, first.cache_misses), (0, 1));
+        let again = PebblingSession::new(&dag)
+            .minimize()
+            .result_cache(Arc::clone(&cache))
+            .run()
+            .expect("valid configuration");
+        assert_eq!((again.cache_hits, again.cache_misses), (1, 0));
+        assert_eq!(again.minimum, first.minimum);
+        assert!(again.workers.is_empty(), "no solver ran on the hit");
+        // A different plan on the same DAG is a different key.
+        let other = PebblingSession::new(&dag)
+            .pebbles(4)
+            .result_cache(Arc::clone(&cache))
+            .run()
+            .expect("valid configuration");
+        assert_eq!((other.cache_hits, other.cache_misses), (0, 1));
+        assert_eq!((cache.hits(), cache.misses()), (1, 2));
+    }
+
+    #[test]
+    fn a_zero_worker_batch_is_rejected() {
+        match BatchSession::new(0) {
+            Err(err) => assert_eq!(err, SessionError::ZeroWorkerPool),
+            Ok(_) => panic!("zero workers must be rejected"),
+        }
+    }
+
+    #[test]
+    fn batch_runs_three_sessions_on_two_workers_with_quotas_and_cache() {
+        let dag = paper_example();
+        let mut batch = BatchSession::new(2)
+            .expect("two workers")
+            .per_session_quota(5_000_000);
+        for name in ["a", "b", "c"] {
+            batch
+                .submit(name, &dag, |session| session.pebbles(4))
+                .expect("valid configuration");
+        }
+        assert_eq!(batch.pending(), 3);
+        let report = batch.finish();
+        assert_eq!(report.sessions.len(), 3);
+        for (name, session) in &report.sessions {
+            assert_eq!(session.minimum, Some(4), "session {name}");
+            assert!(session.stop_reason.is_none(), "session {name}");
+        }
+        // Two workers run `a` and `b` concurrently; `c` only starts
+        // after one of them finished and published its result, so the
+        // repeated instance is served from the cache deterministically.
+        assert_eq!(report.cache_hits + report.cache_misses, 3);
+        assert!(
+            report.cache_hits >= 1,
+            "repeat served from cache: hits={} misses={}",
+            report.cache_hits,
+            report.cache_misses
+        );
+    }
+
+    #[test]
+    fn cancel_all_stops_a_whole_batch() {
+        let dag = paper_example();
+        let mut batch = BatchSession::new(1).expect("one worker");
+        for name in ["a", "b"] {
+            batch
+                .submit(name, &dag, |session| {
+                    session
+                        .minimize()
+                        .per_query_timeout(Duration::from_secs(30))
+                })
+                .expect("valid configuration");
+        }
+        batch.cancel_all();
+        let report = batch.finish();
+        assert_eq!(report.sessions.len(), 2, "partial reports still join");
     }
 }

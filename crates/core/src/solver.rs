@@ -6,14 +6,13 @@
 //! the number of steps to K+1 until a satisfying solution is found").
 //!
 //! *Table I methodology*: find the smallest `P` for which a solution is
-//! found within a time budget — [`minimize_pebbles`].
+//! found within a time budget — [`minimize`].
 
-use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use revpebble_graph::Dag;
-use revpebble_sat::{SharedClausePool, SolveResult, SolverConfig, SolverStats};
+use revpebble_sat::{CancelToken, SharedClausePool, SolveResult, SolverConfig, SolverStats};
 
 use crate::bounds::{
     parallel_step_lower_bound, pebble_lower_bound, step_lower_bound, weighted_pebble_lower_bound,
@@ -143,7 +142,7 @@ pub struct PebbleSolver<'a> {
     options: SolverOptions,
     stats: SearchStats,
     sat_stats: SolverStats,
-    stop: Option<Arc<AtomicBool>>,
+    cancel: Option<CancelToken>,
     /// In [`BoundMode::Assumed`] the encoding survives between [`solve`]
     /// calls, so [`resolve_with_budget`] re-enters with every learnt
     /// clause, variable activity and saved phase intact.
@@ -184,7 +183,7 @@ impl<'a> PebbleSolver<'a> {
             options,
             stats: SearchStats::default(),
             sat_stats: SolverStats::default(),
-            stop: None,
+            cancel: None,
             encoding: None,
             shared: Arc::new(SharedSearchState::new()),
             pool: None,
@@ -204,15 +203,16 @@ impl<'a> PebbleSolver<'a> {
         self.sat_stats
     }
 
-    /// Installs a cooperative cancellation flag, checked between and
-    /// inside SAT queries. When another thread raises it — the portfolio's
-    /// first winner does — the search unwinds with
+    /// Installs a cooperative [`CancelToken`], checked between and inside
+    /// SAT queries. When it fires — a caller cancels the session, the
+    /// portfolio's first winner stops its rivals, or an ancestor's
+    /// deadline or conflict quota runs out — the search unwinds with
     /// [`PebbleOutcome::Timeout`] promptly.
-    pub fn set_stop_flag(&mut self, stop: Option<Arc<AtomicBool>>) {
+    pub fn set_cancel_token(&mut self, cancel: Option<CancelToken>) {
         if let Some(encoding) = self.encoding.as_mut() {
-            encoding.set_stop_flag(stop.clone());
+            encoding.set_cancel_token(cancel.clone());
         }
-        self.stop = stop;
+        self.cancel = cancel;
     }
 
     /// Replaces the solver's private refutation blackboard with a shared
@@ -259,10 +259,10 @@ impl<'a> PebbleSolver<'a> {
         }
     }
 
-    fn stop_requested(&self) -> bool {
-        self.stop
+    fn cancel_requested(&self) -> bool {
+        self.cancel
             .as_ref()
-            .is_some_and(|flag| flag.load(Ordering::Relaxed))
+            .is_some_and(|token| token.poll().is_some())
     }
 
     /// Whether a rival's certified floor has ruled out this solver's
@@ -337,7 +337,7 @@ impl<'a> PebbleSolver<'a> {
                     self.options.encoding,
                     self.options.sat,
                 );
-                encoding.set_stop_flag(self.stop.clone());
+                encoding.set_cancel_token(self.cancel.clone());
                 if let Some(pool) = self.pool.clone() {
                     encoding.attach_clause_pool(pool);
                 }
@@ -377,7 +377,7 @@ impl<'a> PebbleSolver<'a> {
     /// ([`BoundMode::Assumed`]), so probes at different budgets share the
     /// transition relation, all learnt clauses, VSIDS activities and saved
     /// phases. This is the per-probe engine of the incremental
-    /// [`minimize_pebbles`] search; statistics accumulate across calls.
+    /// [`minimize`] search; statistics accumulate across calls.
     ///
     /// The first call switches the options to [`BoundMode::Assumed`]
     /// (subsequent [`solve`](Self::solve) calls stay incremental too).
@@ -461,7 +461,7 @@ impl<'a> PebbleSolver<'a> {
                     steps_checked: self.options.max_steps,
                 };
             }
-            if self.stop_requested() {
+            if self.cancel_requested() {
                 return PebbleOutcome::Timeout { steps_reached: k };
             }
             if self.budget_ruled_out() {
@@ -501,7 +501,7 @@ impl<'a> PebbleSolver<'a> {
             if k > self.options.max_steps {
                 k = self.options.max_steps;
             }
-            if self.stop_requested() {
+            if self.cancel_requested() {
                 return PebbleOutcome::Timeout { steps_reached: k };
             }
             if self.budget_ruled_out() {
@@ -550,7 +550,7 @@ impl<'a> PebbleSolver<'a> {
         let mut lo = last_failed;
         while lo + 1 < sat_k {
             let mid = lo + (sat_k - lo) / 2;
-            if self.stop_requested() {
+            if self.cancel_requested() {
                 // Cancelled mid-refinement: the growth-phase strategy is
                 // already valid, just not step-minimal.
                 return PebbleOutcome::Solved(best);
@@ -570,40 +570,9 @@ impl<'a> PebbleSolver<'a> {
     }
 }
 
-/// Convenience: solve one instance with the given pebble budget and
-/// otherwise default options.
-///
-/// # Deprecated
-///
-/// Shim over the one front door,
-/// [`session::PebblingSession`](crate::session::PebblingSession) — this
-/// call is `PebblingSession::new(dag).pebbles(p).run()` with the result
-/// unwrapped. Defaults are unchanged (paper-faithful sequential moves,
-/// linear deepening).
-///
-/// # Panics
-///
-/// Panics when the configuration is invalid (empty DAG, unmarked sink) —
-/// the historical behaviour. The session returns a typed
-/// [`SessionError`](crate::session::SessionError) instead.
-#[deprecated(
-    since = "0.2.0",
-    note = "use `session::PebblingSession::new(dag).pebbles(p).run()`"
-)]
-pub fn solve_with_pebbles(dag: &Dag, max_pebbles: usize) -> PebbleOutcome {
-    let report = crate::session::PebblingSession::new(dag)
-        .pebbles(max_pebbles)
-        .run()
-        .unwrap_or_else(|err| panic!("invalid pebbling configuration: {err}"));
-    match report.outcome {
-        crate::session::SessionOutcome::Single(outcome) => outcome,
-        _ => unreachable!("a fixed-budget session drives the single engine"),
-    }
-}
-
 /// How a [`minimize`] search walks the budget axis. Portfolio workers can
 /// race different schedules on the same instance (see
-/// [`minimize_portfolio`](crate::portfolio::minimize_portfolio)).
+/// [`minimize_portfolio_with`](crate::portfolio::minimize_portfolio_with)).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum BudgetSchedule {
     /// Binary search over `[lower bound, full budget]` — the paper's
@@ -703,7 +672,7 @@ enum Prober<'a> {
 struct FreshProber<'a> {
     dag: &'a Dag,
     base: SolverOptions,
-    stop: Option<Arc<AtomicBool>>,
+    cancel: Option<CancelToken>,
     search: SearchStats,
     sat: SolverStats,
     last: SolverStats,
@@ -722,6 +691,9 @@ fn sum_stats(a: SolverStats, b: SolverStats) -> SolverStats {
         arena_gcs: a.arena_gcs + b.arena_gcs,
         dropped_clauses: a.dropped_clauses + b.dropped_clauses,
         overwritten_clauses: a.overwritten_clauses + b.overwritten_clauses,
+        // The earlier run's stop reason wins: it is the one that ended
+        // the combined search.
+        stop_reason: a.stop_reason.or(b.stop_reason),
     }
 }
 
@@ -732,7 +704,7 @@ impl<'a> Prober<'a> {
         if options.incremental {
             base.encoding.bound_mode = BoundMode::Assumed;
             let mut solver = PebbleSolver::new(dag, base);
-            solver.set_stop_flag(ctx.stop.clone());
+            solver.set_cancel_token(ctx.cancel.clone());
             if let Some(shared) = ctx.shared.clone() {
                 solver.set_shared_state(shared);
             }
@@ -746,7 +718,7 @@ impl<'a> Prober<'a> {
             Prober::Fresh(Box::new(FreshProber {
                 dag,
                 base,
-                stop: ctx.stop.clone(),
+                cancel: ctx.cancel.clone(),
                 search: SearchStats::default(),
                 sat: SolverStats::default(),
                 last: SolverStats::default(),
@@ -772,7 +744,7 @@ impl<'a> Prober<'a> {
                 let mut options = fresh.base;
                 options.encoding.max_pebbles = Some(p);
                 let mut solver = PebbleSolver::new(fresh.dag, options);
-                solver.set_stop_flag(fresh.stop.clone());
+                solver.set_cancel_token(fresh.cancel.clone());
                 let outcome = solver.solve();
                 fresh.search.queries += solver.stats().queries;
                 fresh.search.max_k = fresh.search.max_k.max(solver.stats().max_k);
@@ -809,7 +781,7 @@ struct MinimizeRun<'a> {
     best: Option<(usize, Strategy)>,
     probes: Vec<(usize, bool)>,
     probe_stats: Vec<SolverStats>,
-    stop: Option<Arc<AtomicBool>>,
+    cancel: Option<CancelToken>,
     /// Live probe-event stream of the owning session, if any.
     events: Option<ProbeEventSender>,
     /// Worker index stamped on every emitted event.
@@ -906,9 +878,9 @@ impl MinimizeRun<'_> {
     }
 
     fn stopped(&self) -> bool {
-        self.stop
+        self.cancel
             .as_ref()
-            .is_some_and(|flag| flag.load(Ordering::Relaxed))
+            .is_some_and(|token| token.poll().is_some())
     }
 
     fn finish(self) -> MinimizeResult {
@@ -926,15 +898,16 @@ impl MinimizeRun<'_> {
     }
 }
 
-/// Cross-cutting hooks of one [`minimize_with_context`] run: the
-/// portfolio's cancellation flag, clause-sharing pool and refutation
-/// blackboard. [`Default`] is a fully isolated run.
+/// Cross-cutting hooks of one [`minimize`] run: the portfolio's
+/// cancellation token, clause-sharing pool and refutation blackboard.
+/// [`Default`] is a fully isolated run.
 #[derive(Debug, Clone, Default)]
 pub struct MinimizeContext {
-    /// Cooperative cancellation (the portfolio's first-winner broadcast):
-    /// once raised, no further probes start and the current one unwinds
-    /// promptly.
-    pub stop: Option<Arc<AtomicBool>>,
+    /// Cooperative cancellation (caller abandonment, the portfolio's
+    /// first-winner broadcast, a session deadline or conflict quota):
+    /// once the token fires, no further probes start and the current one
+    /// unwinds promptly.
+    pub cancel: Option<CancelToken>,
     /// Clause-sharing pool wired into the incremental engine's solver
     /// (ignored by the fresh baseline). All workers on one pool must use
     /// equal [`EncodingOptions`] — or, when [`prefix`](Self::prefix) is
@@ -966,46 +939,25 @@ pub struct MinimizeContext {
 /// range is `[weighted lower bound, total weight]` — weight units, which
 /// on heavy DAGs extend past `num_nodes()`.
 ///
-/// `stop` is a cooperative cancellation flag (the portfolio's
-/// first-winner broadcast): once raised, no further probes start and the
-/// current one unwinds promptly. For clause sharing, a cross-worker
-/// refutation blackboard and live probe events, construct a
+/// `cancel` is a cooperative cancellation token (caller abandonment, the
+/// portfolio's first-winner broadcast, an ancestor deadline or quota):
+/// once it fires, no further probes start and the current one unwinds
+/// promptly. For clause sharing, a cross-worker refutation blackboard and
+/// live probe events, construct a
 /// [`session::PebblingSession`](crate::session::PebblingSession).
 pub fn minimize(
     dag: &Dag,
     options: MinimizeOptions,
-    stop: Option<Arc<AtomicBool>>,
+    cancel: Option<CancelToken>,
 ) -> MinimizeResult {
     run_minimize_with_context(
         dag,
         options,
         MinimizeContext {
-            stop,
+            cancel,
             ..MinimizeContext::default()
         },
     )
-}
-
-/// [`minimize`] with explicit sharing hooks.
-///
-/// # Deprecated
-///
-/// The [`session::PebblingSession`](crate::session::PebblingSession)
-/// builder is the one front door now; its executors wire the stop flag,
-/// clause pool, refutation blackboard and event stream for you. This
-/// shim forwards to the same engine the session drives and remains for
-/// callers that thread a hand-built [`MinimizeContext`].
-#[deprecated(
-    since = "0.2.0",
-    note = "construct a `session::PebblingSession` instead; its portfolio executors wire the \
-            sharing hooks"
-)]
-pub fn minimize_with_context(
-    dag: &Dag,
-    options: MinimizeOptions,
-    ctx: MinimizeContext,
-) -> MinimizeResult {
-    run_minimize_with_context(dag, options, ctx)
 }
 
 /// The minimize engine under every session executor and every worker of
@@ -1044,7 +996,7 @@ pub(crate) fn run_minimize_with_context(
         best: None,
         probes: Vec::new(),
         probe_stats: Vec::new(),
-        stop: ctx.stop,
+        cancel: ctx.cancel,
         events: ctx.events,
         worker: ctx.worker,
         share_ticks: ctx.pool.is_some(),
@@ -1118,110 +1070,73 @@ pub(crate) fn run_minimize_with_context(
     run.finish()
 }
 
-/// Unwraps a minimize session's result (shim plumbing).
-fn session_minimize(session: crate::session::PebblingSession<'_>) -> MinimizeResult {
-    let report = session
-        .run()
-        .unwrap_or_else(|err| panic!("invalid pebbling configuration: {err}"));
-    match report.outcome {
-        crate::session::SessionOutcome::Minimize(result) => result,
-        _ => unreachable!("a single-worker minimize session drives the minimize engine"),
-    }
-}
-
-/// Incremental binary-search budget minimization: every budget probe runs
-/// on **one** assumption-bounded [`PebbleEncoding`]/solver instance, so
-/// learnt clauses and heuristic state carry across the whole search
-/// (audit via [`MinimizeResult::sat`]).
-///
-/// # Deprecated
-///
-/// Shim over [`session::PebblingSession`](crate::session::PebblingSession):
-/// `PebblingSession::new(dag).solver_options(base).minimize()
-/// .per_query_timeout(per_query).run()`.
-#[deprecated(
-    since = "0.2.0",
-    note = "use `session::PebblingSession::new(dag).minimize().run()`"
-)]
-pub fn minimize_pebbles(dag: &Dag, base: SolverOptions, per_query: Duration) -> MinimizeResult {
-    session_minimize(
-        crate::session::PebblingSession::new(dag)
-            .solver_options(base)
-            .minimize()
-            .per_query_timeout(per_query),
-    )
-}
-
-/// The paper's fresh-solver-per-probe binary search: every probe rebuilds
-/// the encoding and discards all learnt state — the baseline the
-/// `minimize_incremental` bench compares against.
-///
-/// # Deprecated
-///
-/// Shim over [`session::PebblingSession`](crate::session::PebblingSession):
-/// add [`fresh_per_probe`](crate::session::PebblingSession::fresh_per_probe)
-/// to a minimize session.
-#[deprecated(
-    since = "0.2.0",
-    note = "use `session::PebblingSession::new(dag).minimize().fresh_per_probe().run()`"
-)]
-pub fn minimize_pebbles_fresh(
-    dag: &Dag,
-    base: SolverOptions,
-    per_query: Duration,
-) -> MinimizeResult {
-    session_minimize(
-        crate::session::PebblingSession::new(dag)
-            .solver_options(base)
-            .minimize()
-            .fresh_per_probe()
-            .per_query_timeout(per_query),
-    )
-}
-
-/// Incremental descending budget search (see
-/// [`BudgetSchedule::Descending`]): probes share one solver instance and
-/// descend from the full budget, paying for at most one failed probe per
-/// stride level. Falls back to certifying the full budget when even the
-/// first probe fails.
-///
-/// # Deprecated
-///
-/// Shim over [`session::PebblingSession`](crate::session::PebblingSession):
-/// pass [`BudgetSchedule::Descending`] to
-/// [`budget`](crate::session::PebblingSession::budget) on a minimize
-/// session.
-#[deprecated(
-    since = "0.2.0",
-    note = "use `session::PebblingSession::new(dag).minimize().budget(BudgetSchedule::Descending \
-            { stride }).run()`"
-)]
-pub fn minimize_pebbles_descending(
-    dag: &Dag,
-    base: SolverOptions,
-    per_query: Duration,
-    stride: usize,
-) -> MinimizeResult {
-    session_minimize(
-        crate::session::PebblingSession::new(dag)
-            .solver_options(base)
-            .minimize()
-            .budget(BudgetSchedule::Descending { stride })
-            .per_query_timeout(per_query),
-    )
-}
-
 #[cfg(test)]
 mod tests {
-    // The deprecated convenience shims stay exercised here on purpose:
-    // these unit tests cover both the engine and the shim → session →
-    // engine plumbing (equivalence is additionally property-tested at the
-    // workspace level).
-    #![allow(deprecated)]
-
     use super::*;
     use crate::baselines::bennett;
+    use crate::session::{PebblingSession, SessionOutcome};
     use revpebble_graph::generators::{and_tree, chain, paper_example, random_dag};
+
+    // These unit tests drive the engine through the one front door,
+    // `PebblingSession` — the helpers below unwrap the session plumbing so
+    // the assertions read against the engine's own result types.
+
+    fn solve_with_pebbles(dag: &Dag, max_pebbles: usize) -> PebbleOutcome {
+        let report = PebblingSession::new(dag)
+            .pebbles(max_pebbles)
+            .run()
+            .expect("valid pebbling configuration");
+        match report.outcome {
+            SessionOutcome::Single(outcome) => outcome,
+            _ => unreachable!("a fixed-budget session drives the single engine"),
+        }
+    }
+
+    fn session_minimize(session: PebblingSession<'_>) -> MinimizeResult {
+        let report = session.run().expect("valid pebbling configuration");
+        match report.outcome {
+            SessionOutcome::Minimize(result) => result,
+            _ => unreachable!("a single-worker minimize session drives the minimize engine"),
+        }
+    }
+
+    fn minimize_pebbles(dag: &Dag, base: SolverOptions, per_query: Duration) -> MinimizeResult {
+        session_minimize(
+            PebblingSession::new(dag)
+                .solver_options(base)
+                .minimize()
+                .per_query_timeout(per_query),
+        )
+    }
+
+    fn minimize_pebbles_fresh(
+        dag: &Dag,
+        base: SolverOptions,
+        per_query: Duration,
+    ) -> MinimizeResult {
+        session_minimize(
+            PebblingSession::new(dag)
+                .solver_options(base)
+                .minimize()
+                .fresh_per_probe()
+                .per_query_timeout(per_query),
+        )
+    }
+
+    fn minimize_pebbles_descending(
+        dag: &Dag,
+        base: SolverOptions,
+        per_query: Duration,
+        stride: usize,
+    ) -> MinimizeResult {
+        session_minimize(
+            PebblingSession::new(dag)
+                .solver_options(base)
+                .minimize()
+                .budget(BudgetSchedule::Descending { stride })
+                .per_query_timeout(per_query),
+        )
+    }
 
     #[test]
     fn paper_example_minimum_steps_with_6_pebbles() {

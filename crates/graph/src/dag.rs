@@ -486,6 +486,49 @@ impl Dag {
         result
     }
 
+    /// A 128-bit canonical fingerprint of the DAG's *pebbling-relevant*
+    /// structure, suitable as a result-cache key.
+    ///
+    /// Two DAGs receive the same fingerprint whenever they are isomorphic
+    /// as pebbling instances: per node only the weight, the output mark
+    /// and the multiset of child subtree fingerprints enter the hash —
+    /// not node names, operations, insertion order or primary-input
+    /// fanins (inputs are always available and never pebbled, so they
+    /// don't constrain any strategy). Isomorphic instances admit exactly
+    /// the same pebbling strategies, which is what makes the fingerprint
+    /// sound as a cache key; 128 bits come from two independently salted
+    /// streams so accidental collisions are out of reach for any
+    /// realistic workload.
+    pub fn canonical_fingerprint(&self) -> [u64; 2] {
+        const SALTS: [u64; 2] = [0x9E37_79B9_7F4A_7C15, 0xC2B2_AE3D_27D4_EB4F];
+        let mut fingerprint = [0u64; 2];
+        for (slot, &salt) in fingerprint.iter_mut().zip(&SALTS) {
+            // Bottom-up Merkle pass: ids are topological, so every child
+            // hash exists before its consumers read it.
+            let mut hashes = vec![0u64; self.nodes.len()];
+            for id in self.node_ids() {
+                let node = &self.nodes[id.index()];
+                let mut children: Vec<u64> = self.children(id).map(|c| hashes[c.index()]).collect();
+                children.sort_unstable();
+                let mut h = splitmix64(
+                    salt ^ (u64::from(node.weight) << 1) ^ u64::from(self.is_output(id)),
+                );
+                for child in children {
+                    h = splitmix64(h ^ child);
+                }
+                hashes[id.index()] = h;
+            }
+            // Order-invariant roll-up over the node multiset.
+            hashes.sort_unstable();
+            let mut acc = splitmix64(salt ^ self.nodes.len() as u64);
+            for h in hashes {
+                acc = splitmix64(acc ^ h);
+            }
+            *slot = acc;
+        }
+        fingerprint
+    }
+
     /// Renders the DAG in Graphviz DOT format.
     pub fn to_dot(&self) -> String {
         use std::fmt::Write as _;
@@ -523,6 +566,14 @@ impl Dag {
         out.push_str("}\n");
         out
     }
+}
+
+/// SplitMix64's finalizer: a cheap, well-mixed 64-bit permutation.
+fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 impl fmt::Display for Dag {
@@ -724,6 +775,63 @@ mod tests {
             assert!(dot.contains(&format!("n{}", id.index())));
         }
         assert!(dot.contains("doublecircle")); // outputs are highlighted
+    }
+
+    #[test]
+    fn fingerprint_is_isomorphism_invariant() {
+        // Build the paper DAG twice with different node names, operations
+        // and insertion order of the independent first layer.
+        let a = paper_dag();
+        let mut b = Dag::new();
+        let y1 = b.add_input("p");
+        let y2 = b.add_input("q");
+        let y3 = b.add_input("r");
+        let y4 = b.add_input("s");
+        // B before A; names and ops differ; structure is identical.
+        let nb = b.add_node("beta", Op::And, [y3, y4]).expect("valid");
+        let na = b.add_node("alpha", Op::Xor, [y2, y3]).expect("valid");
+        let nd = b
+            .add_node("delta", Op::And, [nb.into(), y3])
+            .expect("valid");
+        let nc = b
+            .add_node("gamma", Op::And, [na.into(), y3])
+            .expect("valid");
+        let ne = b
+            .add_node("eps", Op::And, [nc.into(), nd.into()])
+            .expect("valid");
+        let nf = b.add_node("phi", Op::And, [y1, na.into()]).expect("valid");
+        b.mark_output(ne);
+        b.mark_output(nf);
+        assert_eq!(a.canonical_fingerprint(), b.canonical_fingerprint());
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_structure_weights_and_outputs() {
+        let base = paper_dag();
+        // An extra node changes the fingerprint.
+        let mut extra = paper_dag();
+        let x = extra.add_input("x5");
+        let g = extra.add_node("G", Op::Opaque, [x]).expect("valid");
+        extra.mark_output(g);
+        assert_ne!(base.canonical_fingerprint(), extra.canonical_fingerprint());
+        // A weight change alone changes the fingerprint.
+        let mut dag_w1 = Dag::new();
+        let x = dag_w1.add_input("x");
+        let mut dag_w2 = dag_w1.clone();
+        let n1 = dag_w1.add_node_weighted("n", Op::Buf, [x], 1).expect("ok");
+        dag_w1.mark_output(n1);
+        let n2 = dag_w2.add_node_weighted("n", Op::Buf, [x], 2).expect("ok");
+        dag_w2.mark_output(n2);
+        assert_ne!(
+            dag_w1.canonical_fingerprint(),
+            dag_w2.canonical_fingerprint()
+        );
+        // An output mark alone changes the fingerprint.
+        let mut marked = paper_dag();
+        marked.mark_output(NodeId::from_index(0));
+        assert_ne!(base.canonical_fingerprint(), marked.canonical_fingerprint());
+        // Deterministic across calls.
+        assert_eq!(base.canonical_fingerprint(), base.canonical_fingerprint());
     }
 
     #[test]

@@ -78,18 +78,22 @@
 //! [`ProbeEvent`](core::ProbeEvent)s:
 //!
 //! ```
+//! use std::sync::{Arc, Mutex};
 //! use std::time::Duration;
 //! use revpebble::prelude::*;
 //!
 //! let dag = revpebble::graph::generators::paper_example();
-//! let mut trace = Vec::new();
+//! // The observer is `Send + 'static` (sessions can run on a shared
+//! // worker pool), so collect events through an Arc.
+//! let trace = Arc::new(Mutex::new(Vec::new()));
+//! let sink = Arc::clone(&trace);
 //! let report = PebblingSession::new(&dag)
 //!     .minimize()
 //!     .portfolio(2)
 //!     .share_clauses(ShareOptions::default())
 //!     .max_steps(60)
 //!     .per_query_timeout(Duration::from_secs(30))
-//!     .on_event(|event| trace.push(event))
+//!     .on_event(move |event| sink.lock().unwrap().push(event))
 //!     .run()
 //!     .expect("valid");
 //! assert_eq!(report.minimum, Some(4));
@@ -97,9 +101,36 @@
 //! assert!(report.floor <= 4);
 //! // The terminal event arrives exactly once, after every worker.
 //! assert!(matches!(
-//!     trace.last(),
+//!     trace.lock().unwrap().last(),
 //!     Some(ProbeEvent::BudgetCertified { minimum: Some(4) })
 //! ));
+//! ```
+//!
+//! ## Serving many sessions
+//!
+//! Sessions are first-class jobs: hand one to a shared
+//! [`Executor`](core::Executor) with
+//! [`spawn_on`](core::PebblingSession::spawn_on) and poll or cancel the
+//! returned [`SessionHandle`](core::SessionHandle), or serve a whole
+//! workload through a [`BatchSession`](core::BatchSession) — one worker
+//! pool, per-session conflict quotas, and a shared
+//! [`ResultCache`](core::ResultCache) keyed by canonical DAG fingerprint
+//! so repeated instances skip the solver:
+//!
+//! ```
+//! use revpebble::prelude::*;
+//!
+//! let dag = revpebble::graph::generators::paper_example();
+//! let mut batch = BatchSession::new(2)
+//!     .expect("workers")
+//!     .per_session_quota(5_000_000);
+//! for name in ["first", "again"] {
+//!     batch
+//!         .submit(name, &dag, |session| session.pebbles(4))
+//!         .expect("valid");
+//! }
+//! let report = batch.finish();
+//! assert!(report.sessions.iter().all(|(_, r)| r.minimum == Some(4)));
 //! ```
 
 #![deny(missing_docs)]
@@ -114,17 +145,11 @@ pub mod prelude {
     pub use crate::circuit::{compile, verify, Circuit, CompiledCircuit, VerifyOutcome};
     pub use crate::core::baselines::{bennett, cone_wise};
     pub use crate::core::{
-        minimize, BudgetSchedule, CardEncoding, EncodingOptions, Engine, MinimizeResult, Move,
-        MoveMode, PebbleOutcome, PebbleSolver, PebblingSession, PortfolioOutcome, PortfolioSolver,
-        ProbeEvent, Report, SessionError, SessionOutcome, ShareOptions, SharedClausePool,
-        SharedSearchState, SolverOptions, Strategy,
-    };
-    // Deprecated 8-way API, kept so downstream code compiles while it
-    // migrates to `PebblingSession` (every shim routes through it).
-    #[allow(deprecated)]
-    pub use crate::core::{
-        minimize_pebbles, minimize_pebbles_fresh, minimize_portfolio, minimize_portfolio_shared,
-        solve_with_pebbles, solve_with_pebbles_portfolio,
+        minimize, BatchReport, BatchSession, BudgetSchedule, CancelReason, CancelToken,
+        CardEncoding, EncodingOptions, Engine, Executor, MinimizeResult, Move, MoveMode,
+        PebbleOutcome, PebbleSolver, PebblingSession, PortfolioOutcome, PortfolioSolver,
+        ProbeEvent, Report, ResultCache, SessionError, SessionHandle, SessionOutcome, ShareOptions,
+        SharedClausePool, SharedSearchState, SolverOptions, Strategy,
     };
     pub use crate::graph::{parse_bench, Dag, NodeId, Op, Slp, Source};
 }

@@ -10,7 +10,8 @@
 //!
 //! - [`Solver`]: two-watched-literal propagation, first-UIP learning,
 //!   VSIDS + phase saving, Luby restarts, clause-database reduction,
-//!   incremental solving under assumptions, and conflict/time budgets
+//!   incremental solving under assumptions, and cooperative cancellation
+//!   with per-query deadlines and conflict quotas via [`CancelToken`]
 //!   (needed for the paper's timeout-based pebble minimization).
 //! - [`clause`](mod@clause): the flat clause arena underneath — one
 //!   contiguous `u32`-word buffer with inline headers, reclaimed by a
@@ -45,6 +46,7 @@
 
 #![warn(missing_docs)]
 
+pub mod cancel;
 pub mod card;
 pub mod clause;
 pub mod dimacs;
@@ -55,6 +57,7 @@ pub mod solver;
 pub mod tseitin;
 pub mod types;
 
+pub use cancel::{CancelReason, CancelToken};
 pub use dimacs::{parse_dimacs, Cnf, ParseDimacsError};
 pub use pool::{ClauseBatch, PoolConfig, PoolStats, Publish, RingStats, SharedClausePool};
 pub use solver::{SolveResult, Solver, SolverConfig, SolverStats};

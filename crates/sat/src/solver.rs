@@ -25,10 +25,9 @@
 //! assert_eq!(solver.model_value(b), Some(true));
 //! ```
 
-use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
-use std::time::{Duration, Instant};
 
+use crate::cancel::{CancelReason, CancelToken};
 use crate::clause::{ClauseDb, ClauseRef};
 use crate::heap::VarHeap;
 use crate::pool::{ClauseBatch, Publish, SharedClausePool};
@@ -82,6 +81,11 @@ pub struct SolverStats {
     /// full export ring (they still count as exported; some slow reader
     /// will record a drop).
     pub overwritten_clauses: u64,
+    /// Why the **last** [`Solver::solve`]/[`Solver::solve_with`] call
+    /// returned [`SolveResult::Unknown`]: the reason observed on the
+    /// installed [`CancelToken`] (cancelled / deadline / quota). `None`
+    /// after a decisive (Sat/Unsat) answer.
+    pub stop_reason: Option<CancelReason>,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -175,14 +179,16 @@ pub struct Solver {
     /// Scratch for simplifying one imported clause against the level-0
     /// trail (reused so pool imports stop allocating per clause).
     import_tmp: Vec<Lit>,
-    // budgets (per solve call)
+    // conflict budget (per solve call)
     conflict_budget: Option<u64>,
-    deadline: Option<Instant>,
-    /// Cooperative cancellation: when the flag is raised by another thread
-    /// the search unwinds with [`SolveResult::Unknown`]. Unlike the
-    /// budgets, the flag persists across `solve` calls — a cancelled
-    /// portfolio worker must stay cancelled for its remaining queries.
-    stop: Option<Arc<AtomicBool>>,
+    /// Cooperative cancellation: once the token fires — cancelled by a
+    /// rival or caller, past its deadline, or out of conflict quota — the
+    /// current and every future search unwinds with
+    /// [`SolveResult::Unknown`]. The token persists across `solve` calls
+    /// (a cancelled portfolio worker must stay cancelled for its remaining
+    /// queries); callers install a fresh child token per query to express
+    /// per-query deadlines.
+    cancel: Option<CancelToken>,
     /// Failed assumptions of the last Unsat result (an unsat core over the
     /// assumption set), when the conflict involved assumptions.
     conflict_core: Vec<Lit>,
@@ -299,8 +305,7 @@ impl Solver {
             analyze_lits: Vec::new(),
             import_tmp: Vec::new(),
             conflict_budget: None,
-            deadline: None,
-            stop: None,
+            cancel: None,
             conflict_core: Vec::new(),
             shared_pool: None,
             share_limit: usize::MAX,
@@ -373,27 +378,30 @@ impl Solver {
         self.conflict_budget = conflicts;
     }
 
-    /// Limits the next [`solve`](Self::solve) call to roughly `timeout`
-    /// of wall-clock time; `None` removes the limit.
-    pub fn set_time_budget(&mut self, timeout: Option<Duration>) {
-        self.deadline = timeout.map(|t| Instant::now() + t);
-    }
-
-    /// Installs a cooperative cancellation flag, shared with other threads
-    /// (e.g. the portfolio's first-winner-takes-all broadcast). The search
-    /// loop polls it at every decision and restart; once raised, the
+    /// Installs a cooperative cancellation token, shared with other
+    /// threads (e.g. the portfolio's first-winner-takes-all broadcast).
+    /// The search loop polls its latched state at every decision and its
+    /// deadline at every budget-check site; once the token fires, the
     /// current and every future [`solve`](Self::solve) call return
-    /// [`SolveResult::Unknown`] promptly. `None` removes the flag.
-    pub fn set_stop_flag(&mut self, stop: Option<Arc<AtomicBool>>) {
-        self.stop = stop;
+    /// [`SolveResult::Unknown`] promptly and
+    /// [`SolverStats::stop_reason`] records why. `None` removes the
+    /// token.
+    pub fn set_cancel_token(&mut self, cancel: Option<CancelToken>) {
+        self.cancel = cancel;
     }
 
-    /// Whether the installed cancellation flag has been raised.
+    /// The installed cancellation token, if any.
+    pub fn cancel_token(&self) -> Option<&CancelToken> {
+        self.cancel.as_ref()
+    }
+
+    /// Whether the installed cancellation token has latched a stop (cheap:
+    /// no clock read; deadlines latch at the budget-check sites).
     #[inline]
-    pub fn stop_requested(&self) -> bool {
-        self.stop
+    pub fn cancel_requested(&self) -> bool {
+        self.cancel
             .as_ref()
-            .is_some_and(|flag| flag.load(Ordering::Relaxed))
+            .is_some_and(|token| token.is_cancelled())
     }
 
     /// Connects this solver to a clause-sharing pool: learnt clauses that
@@ -996,14 +1004,27 @@ impl Solver {
         self.gc_now();
     }
 
-    /// Between-query hygiene for long-lived incremental instances:
-    /// deletes the stale half of the learnt-clause database (the
-    /// high-LBD, low-activity clauses; glue and locked clauses survive)
-    /// exactly as an in-search reduction would — but only once the
-    /// database exceeds [`SolverConfig::min_learnts`], so short-lived
-    /// solvers are untouched. Without it, every query of an incremental
-    /// search drags the full residue of all earlier queries through each
-    /// propagation.
+    /// Between-query hygiene for long-lived incremental instances, called
+    /// when the assumed constraint window moves (a new budget is probed):
+    ///
+    /// 1. **Activity renormalization.** Variable and clause activities
+    ///    earned under the *previous* query's assumptions keep steering
+    ///    VSIDS — and shielding residue clauses from reduction — deep
+    ///    into the next query, where the window has moved. Both profiles
+    ///    are rescaled to unit range and the increments reset, demoting
+    ///    the old ordering to a weak prior: it still breaks ties, but a
+    ///    few hundred conflicts of the new query rewrite it completely
+    ///    (exactly like a fresh solver's warm-up, minus the re-encoding).
+    /// 2. **Reduction to the floor.** Earlier probes' low-value learnt
+    ///    clauses (high LBD, low activity) are deleted until the database
+    ///    fits [`SolverConfig::min_learnts`] again — not just halved
+    ///    once, which after a long probe still leaves tens of thousands
+    ///    of stale clauses taxing every propagation. Glue and locked
+    ///    clauses always survive, so the loop terminates when only the
+    ///    provably valuable residue remains.
+    ///
+    /// Instances below [`SolverConfig::min_learnts`] are untouched, so
+    /// short-lived solvers keep their exact single-query behavior.
     ///
     /// Must be called at decision level 0 (between
     /// [`solve`](Self::solve) calls).
@@ -1012,7 +1033,35 @@ impl Solver {
         if (self.clauses.num_learnt() as f64) < self.config.min_learnts {
             return;
         }
-        self.reduce_db();
+        let max = self.activity.iter().fold(0.0f64, |m, &a| m.max(a));
+        if max > 0.0 {
+            // A uniform rescale preserves the order heap's comparisons,
+            // so no rebuild is needed.
+            for a in &mut self.activity {
+                *a /= max;
+            }
+        }
+        self.var_inc = 1.0;
+        let refs: Vec<ClauseRef> = self.clauses.iter_learnt_refs().collect();
+        let cla_max = refs
+            .iter()
+            .fold(0.0f32, |m, &r| m.max(self.clauses.activity(r)));
+        if cla_max > 0.0 {
+            for &r in &refs {
+                self.clauses.rescale_activity(r, 1.0 / cla_max);
+            }
+        }
+        self.clause_inc = 1.0;
+        loop {
+            let before = self.clauses.num_learnt();
+            if (before as f64) < self.config.min_learnts {
+                break;
+            }
+            self.reduce_db();
+            if self.clauses.num_learnt() >= before {
+                break; // only glue/locked clauses left
+            }
+        }
     }
 
     fn pick_branch_var(&mut self) -> Option<Var> {
@@ -1085,6 +1134,7 @@ impl Solver {
     /// assumptions (incremental solving).
     pub fn solve_with(&mut self, assumptions: &[Lit]) -> SolveResult {
         self.stats.solves += 1;
+        self.stats.stop_reason = None;
         self.conflict_core.clear();
         if !self.ok {
             return SolveResult::Unsat;
@@ -1107,7 +1157,8 @@ impl Solver {
                 LBool::True => break SolveResult::Sat,
                 LBool::False => break SolveResult::Unsat,
                 LBool::Undef => {
-                    if self.stop_requested() || self.budget_exhausted(budget_start) {
+                    if let Some(reason) = self.stop_reason_now(budget_start) {
+                        self.stats.stop_reason = Some(reason);
                         break SolveResult::Unknown;
                     }
                     restarts += 1;
@@ -1123,22 +1174,26 @@ impl Solver {
         };
         self.cancel_until(0);
         self.conflict_budget = None;
-        self.deadline = None;
         result
     }
 
-    fn budget_exhausted(&self, budget_start: u64) -> bool {
+    /// The full stop check, run at budget-check sites (restart boundaries
+    /// and every 64th conflict): the token's latched state and deadline,
+    /// then the per-query conflict budget (reported as quota exhaustion).
+    fn stop_reason_now(&self, budget_start: u64) -> Option<CancelReason> {
+        if let Some(reason) = self.cancel.as_ref().and_then(|token| token.poll()) {
+            return Some(reason);
+        }
         if let Some(max_conflicts) = self.conflict_budget {
             if self.stats.conflicts - budget_start >= max_conflicts {
-                return true;
+                return Some(CancelReason::QuotaExhausted);
             }
         }
-        if let Some(deadline) = self.deadline {
-            if Instant::now() >= deadline {
-                return true;
-            }
-        }
-        false
+        None
+    }
+
+    fn budget_exhausted(&self, budget_start: u64) -> bool {
+        self.stop_reason_now(budget_start).is_some()
     }
 
     /// Searches for a model or a conflict at level 0, restarting after
@@ -1150,6 +1205,13 @@ impl Solver {
             if let Some(conflict) = self.propagate() {
                 self.stats.conflicts += 1;
                 conflicts_here += 1;
+                // Conflicts are the work unit of session quotas: charge
+                // the token (and its quota-bearing ancestors) as they
+                // happen, so a batch-level allowance is shared accurately
+                // across concurrent workers.
+                if let Some(token) = &self.cancel {
+                    token.charge(1);
+                }
                 if self.decision_level() == 0 {
                     self.ok = false;
                     return LBool::False;
@@ -1172,7 +1234,7 @@ impl Solver {
                 self.decay_activities();
             } else {
                 if conflicts_here >= conflicts_allowed
-                    || self.stop_requested()
+                    || self.cancel_requested()
                     || (self.stats.conflicts.is_multiple_of(64)
                         && self.budget_exhausted(budget_start))
                 {
@@ -1279,6 +1341,7 @@ fn luby(y: f64, mut x: u64) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::time::{Duration, Instant};
 
     fn lit(solver_vars: &[Var], dimacs: i32) -> Lit {
         let v = solver_vars[(dimacs.unsigned_abs() - 1) as usize];
@@ -1645,50 +1708,89 @@ mod tests {
     }
 
     #[test]
-    fn raised_stop_flag_preempts_search() {
+    fn cancelled_token_preempts_search() {
         let mut s = pigeonhole(10);
-        let stop = Arc::new(AtomicBool::new(true));
-        s.set_stop_flag(Some(stop));
-        // The flag is already raised: the solver must give up without
+        let token = CancelToken::new();
+        token.cancel();
+        s.set_cancel_token(Some(token));
+        // The token already fired: the solver must give up without
         // searching (a full refutation of PHP(11, 10) would take far
         // longer than this test allows).
         let start = Instant::now();
         assert_eq!(s.solve(), SolveResult::Unknown);
         assert!(start.elapsed() < Duration::from_secs(5));
-        // The flag persists across calls, unlike the per-call budgets.
+        assert_eq!(s.stats().stop_reason, Some(CancelReason::Cancelled));
+        // The token persists across calls, unlike the per-call budgets.
         assert_eq!(s.solve(), SolveResult::Unknown);
     }
 
     #[test]
-    fn stop_flag_raised_mid_search_cancels_promptly() {
+    fn token_cancelled_mid_search_stops_promptly() {
         let mut s = pigeonhole(10);
-        let stop = Arc::new(AtomicBool::new(false));
-        s.set_stop_flag(Some(Arc::clone(&stop)));
+        let token = CancelToken::new();
+        s.set_cancel_token(Some(token.clone()));
         let setter = std::thread::spawn({
-            let stop = Arc::clone(&stop);
+            let token = token.clone();
             move || {
                 std::thread::sleep(Duration::from_millis(30));
-                stop.store(true, Ordering::Relaxed);
+                token.cancel();
             }
         });
         let start = Instant::now();
         let result = s.solve();
         setter.join().expect("setter thread");
         assert_eq!(result, SolveResult::Unknown);
-        // Generous bound: the search polls the flag at every decision, so
+        assert_eq!(s.stats().stop_reason, Some(CancelReason::Cancelled));
+        // Generous bound: the search polls the token at every decision, so
         // cancellation latency is microseconds, not seconds.
         assert!(start.elapsed() < Duration::from_secs(10));
     }
 
     #[test]
-    fn clearing_the_stop_flag_resumes_solving() {
+    fn removing_the_cancel_token_resumes_solving() {
         let mut s = Solver::new();
         let v = s.new_var();
         s.add_clause([v.positive()]);
-        s.set_stop_flag(Some(Arc::new(AtomicBool::new(true))));
+        let token = CancelToken::new();
+        token.cancel();
+        s.set_cancel_token(Some(token));
         assert_eq!(s.solve(), SolveResult::Unknown);
-        s.set_stop_flag(None);
+        s.set_cancel_token(None);
         assert_eq!(s.solve(), SolveResult::Sat);
+        assert_eq!(s.stats().stop_reason, None, "decisive answers clear it");
+    }
+
+    #[test]
+    fn parent_cancellation_reaches_a_child_installed_on_the_solver() {
+        let session = CancelToken::new();
+        let mut s = pigeonhole(10);
+        s.set_cancel_token(Some(session.child_with_limits(None, None)));
+        session.cancel();
+        assert_eq!(s.solve(), SolveResult::Unknown);
+        assert_eq!(s.stats().stop_reason, Some(CancelReason::Cancelled));
+    }
+
+    #[test]
+    fn token_deadline_stops_search_with_deadline_reason() {
+        let mut s = pigeonhole(10);
+        let deadline = Instant::now() + Duration::from_millis(50);
+        s.set_cancel_token(Some(CancelToken::with_limits(Some(deadline), None)));
+        let start = Instant::now();
+        assert_eq!(s.solve(), SolveResult::Unknown);
+        assert_eq!(s.stats().stop_reason, Some(CancelReason::Deadline));
+        // Deadlines are polled every 64 conflicts: latency is bounded.
+        assert!(start.elapsed() < Duration::from_secs(10));
+    }
+
+    #[test]
+    fn token_quota_stops_search_with_quota_reason() {
+        let mut s = pigeonhole(10);
+        s.set_cancel_token(Some(CancelToken::with_limits(None, Some(100))));
+        assert_eq!(s.solve(), SolveResult::Unknown);
+        assert_eq!(s.stats().stop_reason, Some(CancelReason::QuotaExhausted));
+        // Conflicts are charged one by one and checked at the next
+        // decision, so the overshoot is at most a restart's worth.
+        assert!(s.stats().conflicts >= 100);
     }
 
     #[test]

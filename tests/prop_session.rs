@@ -1,20 +1,20 @@
 //! Property tests for the `PebblingSession` front door: on random DAGs,
-//! every deprecated free-function entry point and its session-builder
-//! equivalent must certify identical minima, identical floors, and
-//! produce valid strategies. Probes run in the decisive regime (generous
-//! budgets, adequate step caps) so the answers are theorems, not clock
-//! races.
-//!
-//! The deprecated names are exercised deliberately — that is the subject
-//! under test.
-#![allow(deprecated)]
+//! every engine variant that answers the same question must certify
+//! identical minima and identical floors — the incremental engine, the
+//! paper's fresh-per-probe baseline, the descending schedule and the
+//! cooperative portfolio cross-check each other. The session runtime
+//! must be invisible to the answers: a session replayed through a
+//! `ResultCache` and a session spawned onto a shared `Executor` report
+//! exactly what the blocking run reports. Probes run in the decisive
+//! regime (generous budgets, adequate step caps) so the answers are
+//! theorems, not clock races.
 
+use std::sync::Arc;
 use std::time::Duration;
 
 use proptest::prelude::*;
 use revpebble::core::{
-    minimize_pebbles, minimize_pebbles_descending, minimize_pebbles_fresh, solve_with_pebbles,
-    solve_with_pebbles_portfolio, BudgetSchedule, MinimizeResult, PebblingSession, SessionOutcome,
+    BudgetSchedule, Executor, MinimizeResult, PebblingSession, ResultCache, SessionOutcome,
     SolverOptions,
 };
 use revpebble::graph::generators::random_dag;
@@ -52,17 +52,25 @@ fn session_minimize(
     }
 }
 
-fn assert_equivalent(dag: &Dag, label: &str, legacy: &MinimizeResult, session: &MinimizeResult) {
+fn assert_equivalent(dag: &Dag, label: &str, left: &MinimizeResult, right: &MinimizeResult) {
     assert_eq!(
-        legacy.best.as_ref().map(|&(p, _)| p),
-        session.best.as_ref().map(|&(p, _)| p),
+        left.best.as_ref().map(|&(p, _)| p),
+        right.best.as_ref().map(|&(p, _)| p),
         "{label}: certified minima diverge"
     );
-    assert_eq!(
-        legacy.floor, session.floor,
-        "{label}: certified floors diverge"
-    );
-    for (p, strategy) in legacy.best.iter().chain(session.best.iter()) {
+    // Floors are engine-specific certificates (probe order decides which
+    // refutations each engine pays for), so they need not be equal — but
+    // each must stay below its own certified minimum.
+    for result in [left, right] {
+        if let Some(&(minimum, _)) = result.best.as_ref() {
+            assert!(
+                result.floor <= minimum,
+                "{label}: floor {} above certified minimum {minimum}",
+                result.floor
+            );
+        }
+    }
+    for (p, strategy) in left.best.iter().chain(right.best.iter()) {
         assert!(
             strategy.validate(dag, Some(*p)).is_ok(),
             "{label}: certified strategy invalid at budget {p}"
@@ -74,7 +82,7 @@ proptest! {
     #![proptest_config(ProptestConfig::with_cases(8))]
 
     #[test]
-    fn deprecated_solve_matches_session(
+    fn blocking_spawned_and_cached_runs_agree(
         inputs in 2usize..5,
         nodes in 3usize..12,
         seed in any::<u64>(),
@@ -84,28 +92,52 @@ proptest! {
         let budget = (revpebble::core::bounds::pebble_lower_bound(&dag) + slack)
             .min(dag.num_nodes())
             .max(1);
-        let legacy = solve_with_pebbles(&dag, budget);
         let report = PebblingSession::new(&dag)
             .pebbles(budget)
             .run()
             .expect("a valid configuration");
-        let SessionOutcome::Single(session) = &report.outcome else {
+        let SessionOutcome::Single(blocking) = &report.outcome else {
             panic!("a fixed-budget session drives the single engine");
         };
         let solved = |o: &PebbleOutcome| matches!(o, PebbleOutcome::Solved(_));
-        prop_assert_eq!(
-            solved(&legacy), solved(session),
-            "budget {}: {:?} vs {:?}", budget, legacy, session
-        );
-        for outcome in [&legacy, session] {
-            if let PebbleOutcome::Solved(strategy) = outcome {
-                prop_assert!(strategy.validate(&dag, Some(budget)).is_ok());
-            }
+        if let PebbleOutcome::Solved(strategy) = blocking {
+            prop_assert!(strategy.validate(&dag, Some(budget)).is_ok());
         }
+
+        // The same session handed to a shared pool answers identically.
+        let executor = Arc::new(Executor::new(2));
+        let spawned = PebblingSession::new(&dag)
+            .pebbles(budget)
+            .spawn_on(&executor)
+            .expect("a valid configuration")
+            .join();
+        prop_assert_eq!(spawned.minimum, report.minimum);
+        prop_assert_eq!(spawned.floor, report.floor);
+        let SessionOutcome::Single(off_thread) = &spawned.outcome else {
+            panic!("the spawned session drives the same engine");
+        };
+        prop_assert_eq!(solved(blocking), solved(off_thread));
+
+        // A cached replay serves the identical answer without solving.
+        let cache = Arc::new(ResultCache::default());
+        let first = PebblingSession::new(&dag)
+            .pebbles(budget)
+            .result_cache(Arc::clone(&cache))
+            .run()
+            .expect("a valid configuration");
+        let replay = PebblingSession::new(&dag)
+            .pebbles(budget)
+            .result_cache(Arc::clone(&cache))
+            .run()
+            .expect("a valid configuration");
+        prop_assert_eq!((replay.cache_hits, replay.cache_misses), (1, 0));
+        prop_assert_eq!(replay.minimum, first.minimum);
+        prop_assert_eq!(replay.floor, first.floor);
+        prop_assert_eq!(first.minimum, report.minimum);
     }
 
     #[test]
-    fn deprecated_minimize_entry_points_match_session(
+    fn minimize_engine_variants_certify_the_same_answer(
         inputs in 2usize..5,
         nodes in 3usize..10,
         seed in any::<u64>(),
@@ -114,18 +146,13 @@ proptest! {
         let dag = random_dag(inputs, nodes, seed);
         let base = decisive_base(dag.num_nodes());
 
-        let legacy = minimize_pebbles(&dag, base, PER_QUERY);
-        let session = session_minimize(&dag, base, BudgetSchedule::Binary, true);
-        assert_equivalent(&dag, "minimize_pebbles", &legacy, &session);
+        let incremental = session_minimize(&dag, base, BudgetSchedule::Binary, true);
+        let fresh = session_minimize(&dag, base, BudgetSchedule::Binary, false);
+        assert_equivalent(&dag, "incremental vs fresh", &incremental, &fresh);
 
-        let legacy = minimize_pebbles_fresh(&dag, base, PER_QUERY);
-        let session = session_minimize(&dag, base, BudgetSchedule::Binary, false);
-        assert_equivalent(&dag, "minimize_pebbles_fresh", &legacy, &session);
-
-        let legacy = minimize_pebbles_descending(&dag, base, PER_QUERY, stride);
-        let session =
+        let descending =
             session_minimize(&dag, base, BudgetSchedule::Descending { stride }, true);
-        assert_equivalent(&dag, "minimize_pebbles_descending", &legacy, &session);
+        assert_equivalent(&dag, "incremental vs descending", &incremental, &descending);
     }
 }
 
@@ -134,7 +161,7 @@ proptest! {
     #![proptest_config(ProptestConfig::with_cases(4))]
 
     #[test]
-    fn deprecated_portfolio_entry_points_match_session(
+    fn portfolio_engines_match_their_single_worker_answers(
         inputs in 2usize..4,
         nodes in 3usize..9,
         seed in any::<u64>(),
@@ -142,46 +169,55 @@ proptest! {
         let dag = random_dag(inputs, nodes, seed);
         let base = decisive_base(dag.num_nodes());
 
-        // Fixed-budget race: same solvability as the session's race.
+        // Fixed-budget race: same solvability as the single engine.
         let budget = dag.num_nodes().max(1);
-        let legacy = solve_with_pebbles_portfolio(&dag, budget, 2);
+        let single_report = PebblingSession::new(&dag)
+            .pebbles(budget)
+            .run()
+            .expect("a valid configuration");
+        let SessionOutcome::Single(single_outcome) = &single_report.outcome else {
+            panic!("a fixed-budget session drives the single engine");
+        };
         let report = PebblingSession::new(&dag)
             .pebbles(budget)
             .portfolio(2)
             .run()
             .expect("a valid configuration");
-        let SessionOutcome::Portfolio(session) = &report.outcome else {
+        let SessionOutcome::Portfolio(race) = &report.outcome else {
             panic!("a fixed-budget portfolio session drives the race engine");
         };
         prop_assert_eq!(
-            matches!(legacy.outcome, PebbleOutcome::Solved(_)),
-            matches!(session.outcome, PebbleOutcome::Solved(_))
+            matches!(single_outcome, PebbleOutcome::Solved(_)),
+            matches!(race.outcome, PebbleOutcome::Solved(_))
         );
 
-        // Cooperative minimize race: the shared portfolio, the deprecated
-        // wrapper and the single-worker incremental engine all certify
-        // the same minimum in the decisive regime.
+        // Cooperative minimize race: the shared portfolio and the
+        // single-worker incremental engine certify the same minimum in
+        // the decisive regime — whether the race runs on its private
+        // per-worker threads or on a shared two-worker executor.
         let single = session_minimize(&dag, base, BudgetSchedule::Binary, true);
-        let legacy = revpebble::core::minimize_portfolio_shared(&dag, base, PER_QUERY, 2);
-        let shared_report = PebblingSession::new(&dag)
-            .solver_options(base)
-            .minimize()
-            .portfolio(2)
-            .share_clauses(ShareOptions::default())
-            .per_query_timeout(PER_QUERY)
-            .run()
-            .expect("a valid configuration");
-        let SessionOutcome::MinimizePortfolio(shared) = &shared_report.outcome else {
-            panic!("a minimize portfolio ran");
-        };
         let minimum = |best: &Option<(usize, revpebble::core::Strategy)>| {
             best.as_ref().map(|&(p, _)| p)
         };
-        prop_assert_eq!(minimum(&legacy.best), minimum(&single.best));
-        prop_assert_eq!(minimum(&shared.best), minimum(&single.best));
-        prop_assert_eq!(shared_report.minimum, minimum(&single.best));
-        if let Some((p, strategy)) = &shared.best {
-            prop_assert!(strategy.validate(&dag, Some(*p)).is_ok());
+        for shared_pool in [false, true] {
+            let mut session = PebblingSession::new(&dag)
+                .solver_options(base)
+                .minimize()
+                .portfolio(2)
+                .share_clauses(ShareOptions::default())
+                .per_query_timeout(PER_QUERY);
+            if shared_pool {
+                session = session.executor(Arc::new(Executor::new(2)));
+            }
+            let shared_report = session.run().expect("a valid configuration");
+            let SessionOutcome::MinimizePortfolio(shared) = &shared_report.outcome else {
+                panic!("a minimize portfolio ran");
+            };
+            prop_assert_eq!(minimum(&shared.best), minimum(&single.best));
+            prop_assert_eq!(shared_report.minimum, minimum(&single.best));
+            if let Some((p, strategy)) = &shared.best {
+                prop_assert!(strategy.validate(&dag, Some(*p)).is_ok());
+            }
         }
     }
 }

@@ -5,7 +5,10 @@
 //! - every probe's started event precedes its resolution event;
 //! - `BudgetCertified` is terminal: exactly one per session, delivered
 //!   last — even for portfolio runs whose rivals are cancelled mid-probe;
-//! - the callback sees exactly `events_emitted` events.
+//! - the callback sees exactly `events_emitted` events;
+//! - a fired [`CancelToken`] ends the stream *without* a terminal event:
+//!   a cancelled session never pretends to certify, and its report names
+//!   the stop reason.
 
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
@@ -152,6 +155,80 @@ fn isolated_portfolio_and_fixed_budget_race_stay_terminal_once() {
     let (report, events) = collect(PebblingSession::new(&dag).pebbles(4).portfolio(4));
     assert_stream_invariants(&report, &events);
     assert_eq!(report.minimum, Some(4));
+}
+
+#[test]
+fn a_token_fired_mid_probe_stops_promptly_without_certifying() {
+    // `b3_m4` (the smallest H-operator bench instance) minimizes in
+    // seconds of SAT time — plenty of mid-probe window. The callback
+    // fires the session's own token at the first `ProbeStarted`, so the
+    // cancellation lands while the solver is deep in a probe.
+    let dag = revpebble::graph::slp::h_operator_sized(59);
+    let token = CancelToken::new();
+    let trigger = token.clone();
+    let events: Arc<Mutex<Vec<ProbeEvent>>> = Arc::new(Mutex::new(Vec::new()));
+    let sink = Arc::clone(&events);
+    let start = std::time::Instant::now();
+    let report = PebblingSession::new(&dag)
+        .minimize()
+        .incremental(true)
+        .per_query_timeout(Duration::from_secs(120))
+        .cancel_token(token)
+        .on_event(move |event| {
+            if matches!(event, ProbeEvent::ProbeStarted { .. }) {
+                trigger.cancel();
+            }
+            sink.lock().expect("event sink").push(event);
+        })
+        .run()
+        .expect("a valid configuration");
+    let events = events.lock().expect("event sink").clone();
+
+    // Prompt: the stop must land well inside the first probe, not after
+    // the full multi-second minimize (let alone the per-query timeout).
+    assert!(
+        start.elapsed() < Duration::from_secs(60),
+        "cancellation took {:?}",
+        start.elapsed()
+    );
+    assert_eq!(report.stop_reason, Some(CancelReason::Cancelled));
+    assert_eq!(
+        report.minimum, None,
+        "a cancelled session certifies nothing"
+    );
+    // No terminal event after a cancel: the stream just ends.
+    assert!(
+        !events
+            .iter()
+            .any(|e| matches!(e, ProbeEvent::BudgetCertified { .. })),
+        "no BudgetCertified after cancel: {events:?}"
+    );
+    assert!(
+        events
+            .iter()
+            .any(|e| matches!(e, ProbeEvent::ProbeStarted { .. })),
+        "the cancellation was observed mid-probe: {events:?}"
+    );
+    assert_eq!(events.len() as u64, report.events_emitted);
+}
+
+#[test]
+fn a_cancelled_handle_joins_to_a_partial_report() {
+    let dag = revpebble::graph::slp::h_operator_sized(59);
+    let executor = Arc::new(Executor::new(2));
+    let handle = PebblingSession::new(&dag)
+        .minimize()
+        .incremental(true)
+        .per_query_timeout(Duration::from_secs(120))
+        .spawn_on(&executor)
+        .expect("a valid configuration");
+    handle.cancel();
+    let report = handle.join();
+    assert_eq!(report.stop_reason, Some(CancelReason::Cancelled));
+    assert_eq!(
+        report.minimum, None,
+        "a cancelled session certifies nothing"
+    );
 }
 
 #[test]
