@@ -22,6 +22,7 @@
 //! (even one worker), because every waiter is also a worker.
 
 use std::collections::VecDeque;
+use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::mpsc;
 use std::sync::{Arc, Condvar, Mutex};
@@ -136,9 +137,9 @@ impl Drop for Executor {
 }
 
 /// A job panic must not take the pool down with it: the worker (or
-/// helping waiter) swallows the unwind and moves on. [`scatter`] turns
-/// the missing result into its own panic at the join point, where the
-/// caller's context is attached.
+/// helping waiter) swallows the unwind and moves on. [`scatter_settle`]
+/// catches its own tasks' panics earlier, with the task index attached,
+/// and reports them as typed [`TaskFailure`]s at the join point.
 fn run_job(job: Job) {
     let _ = catch_unwind(AssertUnwindSafe(job));
 }
@@ -164,6 +165,39 @@ fn worker_loop(inner: &Inner) {
     }
 }
 
+/// One scattered task that panicked instead of returning: which task (by
+/// submission index, which is also its slot in the result vector) and the
+/// panic payload's message. This is the typed per-task failure
+/// [`scatter_settle`] reports so a fan-out can survive a poisoned worker —
+/// a portfolio race certifies from the survivors instead of unwinding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TaskFailure {
+    /// Index of the task in the submitted `tasks` vector.
+    pub index: usize,
+    /// The panic payload, when it was a string (`panic!("…")` always is);
+    /// a placeholder otherwise.
+    pub message: String,
+}
+
+impl fmt::Display for TaskFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "task {} panicked: {}", self.index, self.message)
+    }
+}
+
+/// The panic payload's message, for panics carrying the usual string
+/// payloads (`&str` from `panic!("literal")`, `String` from
+/// `panic!("{…}")`); a placeholder for exotic payload types.
+pub(crate) fn payload_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(message) = payload.downcast_ref::<&str>() {
+        (*message).to_string()
+    } else if let Some(message) = payload.downcast_ref::<String>() {
+        message.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
 /// Runs every task on the pool and returns their results in task order,
 /// helping with queued jobs while waiting (see the [module docs](self)).
 /// This is the join point every engine fans out through — portfolio
@@ -171,23 +205,49 @@ fn worker_loop(inner: &Inner) {
 ///
 /// # Panics
 ///
-/// Panics if any task panicked (after all other tasks finished).
+/// Panics if any task panicked (after all other tasks finished), naming
+/// the panicked task's index and its payload message. Fan-outs that must
+/// *survive* a panicked task use [`scatter_settle`] instead.
 pub fn scatter<T, F>(executor: &Executor, tasks: Vec<F>) -> Vec<T>
 where
     T: Send + 'static,
     F: FnOnce() -> T + Send + 'static,
 {
+    scatter_settle(executor, tasks)
+        .into_iter()
+        .map(|slot| match slot {
+            Ok(value) => value,
+            Err(failure) => panic!("scatter {failure}"),
+        })
+        .collect()
+}
+
+/// Like [`scatter`], but converts a task panic into a typed per-task
+/// [`TaskFailure`] instead of panicking at the join: the result vector is
+/// in task order, `Ok` for tasks that returned and `Err` for tasks that
+/// panicked (with the panicked task's index and payload message). The
+/// other tasks always run to completion — one poisoned worker cannot
+/// take the fan-out down.
+pub fn scatter_settle<T, F>(executor: &Executor, tasks: Vec<F>) -> Vec<Result<T, TaskFailure>>
+where
+    T: Send + 'static,
+    F: FnOnce() -> T + Send + 'static,
+{
     let total = tasks.len();
-    let (tx, rx) = mpsc::channel::<(usize, T)>();
+    let (tx, rx) = mpsc::channel::<(usize, Result<T, String>)>();
     for (index, task) in tasks.into_iter().enumerate() {
         let tx = tx.clone();
         executor.submit(move || {
-            let result = task();
+            // Catch the unwind *here*, where the task index is known, so
+            // the join point learns which task died and why — the pool's
+            // own catch in `run_job` only protects the worker thread.
+            let result = catch_unwind(AssertUnwindSafe(task))
+                .map_err(|payload| payload_message(payload.as_ref()));
             let _ = tx.send((index, result));
         });
     }
     drop(tx);
-    let mut results: Vec<Option<T>> = (0..total).map(|_| None).collect();
+    let mut results: Vec<Option<Result<T, String>>> = (0..total).map(|_| None).collect();
     let mut received = 0;
     while received < total {
         match rx.try_recv() {
@@ -209,13 +269,23 @@ where
                     }
                 }
             }
-            // Every sender dropped with results missing: a task panicked.
             Err(mpsc::TryRecvError::Disconnected) => break,
         }
     }
     results
         .into_iter()
-        .map(|slot| slot.expect("an executor task panicked before reporting its result"))
+        .enumerate()
+        .map(|(index, slot)| match slot {
+            Some(Ok(value)) => Ok(value),
+            Some(Err(message)) => Err(TaskFailure { index, message }),
+            // Unreachable in practice — every submitted wrapper sends
+            // exactly once — but a dropped sender must stay a typed
+            // failure, not a silent missing slot.
+            None => Err(TaskFailure {
+                index,
+                message: "task result channel closed before a result arrived".to_string(),
+            }),
+        })
         .collect()
 }
 
@@ -289,5 +359,51 @@ mod tests {
         executor.submit(|| panic!("job panic"));
         let results = scatter(&executor, vec![|| 7]);
         assert_eq!(results, vec![7]);
+    }
+
+    #[test]
+    fn scatter_settle_reports_the_panicked_task_and_payload() {
+        let executor = Executor::new(2);
+        let tasks: Vec<Box<dyn FnOnce() -> usize + Send>> = vec![
+            Box::new(|| 10),
+            Box::new(|| panic!("injected fault in task one")),
+            Box::new(|| 30),
+        ];
+        let results = scatter_settle(&executor, tasks);
+        assert_eq!(results[0], Ok(10));
+        assert_eq!(results[2], Ok(30));
+        let failure = results[1].as_ref().expect_err("task 1 panicked");
+        assert_eq!(failure.index, 1);
+        assert_eq!(failure.message, "injected fault in task one");
+    }
+
+    #[test]
+    fn scatter_settle_survives_every_task_panicking() {
+        let executor = Executor::new(2);
+        let tasks: Vec<_> = (0..4)
+            .map(|i| move || -> usize { panic!("worker {i} down") })
+            .collect();
+        let results = scatter_settle(&executor, tasks);
+        for (index, slot) in results.iter().enumerate() {
+            let failure = slot.as_ref().expect_err("every task panicked");
+            assert_eq!(failure.index, index);
+            assert_eq!(failure.message, format!("worker {index} down"));
+        }
+        // The pool is still alive afterwards.
+        assert_eq!(scatter(&executor, vec![|| 1, || 2]), vec![1, 2]);
+    }
+
+    #[test]
+    fn scatter_names_the_panicked_task_in_its_own_panic() {
+        let executor = Executor::new(1);
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            let tasks: Vec<Box<dyn FnOnce() -> usize + Send>> =
+                vec![Box::new(|| 1), Box::new(|| panic!("the payload"))];
+            scatter(&executor, tasks)
+        }));
+        let payload = result.expect_err("scatter re-panics");
+        let message = payload_message(payload.as_ref());
+        assert!(message.contains("task 1"), "{message}");
+        assert!(message.contains("the payload"), "{message}");
     }
 }
