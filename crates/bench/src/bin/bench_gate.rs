@@ -4,7 +4,9 @@
 //! and fails (exit 1) when any entry's wall-clock drifted more than
 //! `--max-ratio` (default 2.0) above its baseline. Entries below the
 //! noise floor (`--min-wall`, default 0.05 s on both sides) and entries
-//! present on only one side are skipped.
+//! present on only one side are skipped; fresh entries with no baseline
+//! are named in the log as `new-bench (no baseline)` rather than
+//! dropped silently.
 //!
 //! Beyond wall clock, the gate also fails when a clause-sharing counter
 //! (`imports`/`exports`) that was nonzero in the baseline collapses to
@@ -35,7 +37,7 @@ use std::process::ExitCode;
 
 use revpebble_bench::{
     arg_value, compare_bench_records, compare_sharing_fields, paired_wall_ratio, parse_bench_json,
-    scaling_speedup, RatioVerdict,
+    scaling_speedup, unmatched_fresh_keys, RatioVerdict,
 };
 
 fn main() -> ExitCode {
@@ -122,6 +124,13 @@ fn main() -> ExitCode {
         drifts.len(),
         baseline_path.display()
     );
+    // Fresh entries without a baseline are exempt from gating (a new
+    // bench is not a regression), but never silently: a typo'd baseline
+    // key would otherwise disable its gate forever. Each one is named
+    // so the next `--update-baseline` run is expected to adopt it.
+    for key in unmatched_fresh_keys(&baseline, &fresh) {
+        println!("  {key:<40} new-bench (no baseline)");
+    }
     let mut regressions = 0;
     for drift in &drifts {
         let verdict = if drift.regressed { "REGRESSED" } else { "ok" };

@@ -354,6 +354,26 @@ pub fn compare_bench_records(
         .collect()
 }
 
+/// The `bench/id` keys of fresh entries with no baseline counterpart.
+/// [`compare_bench_records`] deliberately skips these (a new bench is
+/// not a regression), but skipping them *silently* would let a typo'd
+/// baseline key disable a gate forever — `bench_gate` prints each one
+/// as `new-bench (no baseline)` so the drop is visible in the CI log.
+pub fn unmatched_fresh_keys(
+    baseline: &[ParsedBenchEntry],
+    fresh: &[ParsedBenchEntry],
+) -> Vec<String> {
+    fresh
+        .iter()
+        .filter(|entry| {
+            !baseline
+                .iter()
+                .any(|b| b.bench == entry.bench && b.id == entry.id)
+        })
+        .map(|entry| format!("{}/{}", entry.bench, entry.id))
+        .collect()
+}
+
 /// Compares the sharing counters of matched baseline/fresh entries:
 /// a fresh run whose `imports` or `exports` collapsed to zero while the
 /// baseline recorded a nonzero count means the cooperative layer silently
@@ -771,6 +791,10 @@ mod tests {
         assert_eq!(regressed, ["b/regressed"]);
         assert_eq!(drifts.len(), 2, "noise + unmatched entries are skipped");
         assert!(drifts.iter().all(|d| d.key != "b/brand-new"));
+        // The skipped fresh-only entry is still *named*, so bench_gate
+        // can log it as `new-bench (no baseline)` instead of losing it.
+        assert_eq!(unmatched_fresh_keys(&baseline, &fresh), ["b/brand-new"]);
+        assert!(unmatched_fresh_keys(&baseline, &baseline[..3]).is_empty());
     }
 
     #[test]

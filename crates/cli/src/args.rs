@@ -52,6 +52,15 @@ pub struct Args {
     /// `--minimize --portfolio` worker but the first (HordeSat-style
     /// per-worker seeds, restart jitter, polarity inversion, bump noise).
     pub diversify: bool,
+    /// `--retries N`: re-run a session that stopped for a retryable
+    /// reason (worker panic, watchdog detach) up to `N` extra times with
+    /// deterministic exponential backoff. `0` (the default) fails fast.
+    pub retries: Option<u32>,
+    /// `--fault-plan SITE:KIND:SEED[:DELAY_MS]` (undocumented; for chaos
+    /// testing): arm a deterministic fail point, e.g.
+    /// `exec.job:panic:0`. Forwarded verbatim; the library rejects
+    /// malformed specs.
+    pub fault_plan: Option<String>,
     /// `--json`: print the session's unified report as one JSON object on
     /// stdout instead of the human-readable summary.
     pub json: bool,
@@ -75,6 +84,8 @@ impl Args {
         let mut incremental = false;
         let mut share_clauses = false;
         let mut diversify = false;
+        let mut retries = None;
+        let mut fault_plan = None;
         let mut json = false;
         let mut grid = false;
         let mut qasm = false;
@@ -109,6 +120,14 @@ impl Args {
                 "--quota" => {
                     let value = iter.next().ok_or("--quota needs a conflict count")?;
                     quota = Some(value.parse().map_err(|_| "bad --quota value")?);
+                }
+                "--retries" => {
+                    let value = iter.next().ok_or("--retries needs a count")?;
+                    retries = Some(value.parse().map_err(|_| "bad --retries value")?);
+                }
+                "--fault-plan" => {
+                    let value = iter.next().ok_or("--fault-plan needs SITE:KIND:SEED")?;
+                    fault_plan = Some(value.clone());
                 }
                 "--minimize" => minimize = true,
                 "--incremental" => incremental = true,
@@ -155,6 +174,8 @@ impl Args {
             incremental,
             share_clauses,
             diversify,
+            retries,
+            fault_plan,
             json,
             grid,
             qasm,
@@ -206,6 +227,8 @@ mod tests {
         assert_eq!(args.portfolio, None);
         assert_eq!(args.workers, None);
         assert_eq!(args.quota, None);
+        assert_eq!(args.retries, None);
+        assert_eq!(args.fault_plan, None);
         assert_eq!(args.inputs, vec!["paper".to_string()]);
         assert!(!args.minimize);
         assert!(!args.incremental);
@@ -242,6 +265,24 @@ mod tests {
         assert_eq!(args.quota, Some(0));
         assert!(Args::parse(&strs(&["batch", "paper", "--workers"])).is_err());
         assert!(Args::parse(&strs(&["batch", "paper", "--quota", "x"])).is_err());
+    }
+
+    #[test]
+    fn fault_containment_flags_parse() {
+        let args = Args::parse(&strs(&[
+            "batch",
+            "paper",
+            "--retries",
+            "2",
+            "--fault-plan",
+            "exec.job:panic:0",
+        ]))
+        .expect("parses");
+        assert_eq!(args.retries, Some(2));
+        assert_eq!(args.fault_plan.as_deref(), Some("exec.job:panic:0"));
+        assert!(Args::parse(&strs(&["batch", "paper", "--retries"])).is_err());
+        assert!(Args::parse(&strs(&["batch", "paper", "--retries", "x"])).is_err());
+        assert!(Args::parse(&strs(&["batch", "paper", "--fault-plan"])).is_err());
     }
 
     #[test]

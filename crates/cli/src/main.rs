@@ -49,6 +49,7 @@ use revpebble::core::frontier::render_frontier;
 use revpebble::core::portfolio::{describe_minimize_config, describe_options};
 use revpebble::core::{default_portfolio, Engine, SessionOutcome};
 use revpebble::prelude::*;
+use revpebble::sat::SolverConfig;
 
 mod args;
 use args::Args;
@@ -97,7 +98,7 @@ const USAGE: &str = "usage:
                              [--diversify] [--json]
   revpebble frontier <input> [--timeout S] [--json]
   revpebble batch    <input> [<input>...] [--workers N] [--quota C] [--pebbles P | --minimize]
-                             [--timeout S]
+                             [--timeout S] [--retries N]
   revpebble dot      <input>
 inputs: a .bench file path, '-' (stdin), or a built-in:
   paper | c17 | andtree9 | chain12 | hop | b3_m4 | kummer | edwards | adder4
@@ -113,7 +114,8 @@ minimize: --incremental reuses one assumption-bounded encoding/solver
 batch: every input becomes one session on a shared --workers N pool
   (default: one per core) with a shared result cache — repeated DAGs are
   answered without solving; --quota C caps each session's SAT conflicts;
-  the report is always one JSON object on stdout
+  --retries N re-runs a session that died to a worker panic up to N
+  extra times; the report is always one JSON object on stdout
 output: probe events stream to stderr while solving; --json prints the
   session report as one JSON object on stdout
 exit codes: 0 success | 1 runtime failure | 2 invalid usage/configuration";
@@ -158,14 +160,36 @@ fn run(raw: &[String]) -> Result<(), CliError> {
     }
 }
 
+/// Parses `--fault-plan` (or returns the disabled plan). Called once
+/// per invocation so a malformed spec is a usage error up front, and so
+/// every session attempt — including batch retries — shares one set of
+/// fail-point visit counters (the seed-th visit fires exactly once per
+/// process, not once per attempt).
+fn parse_fault_plan(args: &Args) -> Result<FaultPlan, CliError> {
+    match args.fault_plan.as_deref() {
+        Some(spec) => FaultPlan::parse(spec)
+            .map_err(|err| CliError::Usage(format!("bad --fault-plan: {err}"))),
+        None => Ok(FaultPlan::none()),
+    }
+}
+
 /// Builds the session every solving command shares: base solver options
 /// from the common flags, plus the fixed-budget / portfolio / sharing /
-/// quota setters. Validation happens inside the session's `plan()`.
-fn configure_session<'a>(session: PebblingSession<'a>, args: &Args) -> PebblingSession<'a> {
+/// quota / retry setters. Validation happens inside the session's
+/// `plan()`.
+fn configure_session<'a>(
+    session: PebblingSession<'a>,
+    args: &Args,
+    faults: FaultPlan,
+) -> PebblingSession<'a> {
     let base = SolverOptions {
         encoding: EncodingOptions {
             move_mode: args.mode,
             ..EncodingOptions::default()
+        },
+        sat: SolverConfig {
+            faults,
+            ..SolverConfig::default()
         },
         ..SolverOptions::default()
     };
@@ -185,6 +209,9 @@ fn configure_session<'a>(session: PebblingSession<'a>, args: &Args) -> PebblingS
     if let Some(quota) = args.quota {
         session = session.quota(quota);
     }
+    if let Some(extra) = args.retries {
+        session = session.retries(extra);
+    }
     session
 }
 
@@ -193,7 +220,8 @@ fn configure_session<'a>(session: PebblingSession<'a>, args: &Args) -> PebblingS
 /// private thread per worker. `--workers 0` is rejected like the library
 /// rejects it.
 fn session_for<'a>(dag: &'a Dag, args: &Args) -> Result<PebblingSession<'a>, CliError> {
-    let mut session = configure_session(PebblingSession::new(dag), args);
+    let faults = parse_fault_plan(args)?;
+    let mut session = configure_session(PebblingSession::new(dag), args, faults);
     match args.workers {
         None => {}
         Some(0) => return Err(CliError::Invalid(SessionError::ZeroWorkerPool)),
@@ -414,9 +442,13 @@ fn run_batch(args: &Args) -> Result<(), CliError> {
         Some(n) => n,
         None => std::thread::available_parallelism().map_or(1, |cores| cores.get()),
     };
+    let faults = parse_fault_plan(args)?;
     let mut batch = BatchSession::new(workers).map_err(CliError::Invalid)?;
     if let Some(quota) = args.quota {
         batch = batch.per_session_quota(quota);
+    }
+    if let Some(extra) = args.retries {
+        batch = batch.retry_policy(RetryPolicy::attempts(extra.saturating_add(1)));
     }
     // Load every DAG before solving anything: a bad path fails the whole
     // invocation up front instead of after minutes of SAT time.
@@ -426,9 +458,13 @@ fn run_batch(args: &Args) -> Result<(), CliError> {
     }
     let per_query = args.timeout.unwrap_or(Duration::from_secs(10));
     for (name, dag) in &dags {
+        // The closure is a respawn recipe (`--retries` re-runs it), so
+        // it owns its configuration.
+        let args = args.clone();
         batch
-            .submit(name.clone(), dag, |session| {
-                let mut session = configure_session(session, args).per_query_timeout(per_query);
+            .submit(name.clone(), dag, move |session| {
+                let mut session =
+                    configure_session(session, &args, faults).per_query_timeout(per_query);
                 // Without a fixed budget, a batch entry minimizes — the
                 // serving workload's natural question.
                 if args.minimize || args.pebbles.is_none() {
@@ -455,10 +491,16 @@ fn run_batch(args: &Args) -> Result<(), CliError> {
         if index > 0 {
             out.push(',');
         }
+        let stop_reason = match session.stop_reason {
+            Some(reason) => format!("\"{}\"", reason.as_str()),
+            None => "null".to_string(),
+        };
         let _ = write!(
             out,
-            "{{\"name\":\"{}\",\"report\":{}}}",
+            "{{\"name\":\"{}\",\"stop_reason\":{},\"retries\":{},\"report\":{}}}",
             json_escape(name),
+            stop_reason,
+            session.retries,
             session.to_json()
         );
         let status = match session.stop_reason {

@@ -131,11 +131,66 @@ fn batch_serves_many_inputs_as_one_json_report() {
         "\"name\":\"c17\"",
         "\"cache_hits\":1",
         "\"cache_misses\":2",
+        // Every batch entry carries its own fault-containment verdict:
+        // a clean run has a null stop_reason and zero re-runs.
+        "\"stop_reason\":null",
+        "\"retries\":0",
     ] {
         assert!(json.contains(key), "{key} missing in {json}");
     }
     // One JSON object, one line: machine-readable stdout.
     assert_eq!(stdout.trim().lines().count(), 1, "{stdout}");
+}
+
+#[test]
+fn an_injected_panic_is_contained_and_named_in_the_batch_report() {
+    // `--fault-plan exec.job:panic:0` kills the first session job on
+    // entry. The batch survives: exit 1 (a failed entry), not a crash,
+    // and the entry names the panic in its stop_reason.
+    let output = revpebble(&[
+        "batch",
+        "paper",
+        "--workers",
+        "1",
+        "--fault-plan",
+        "exec.job:panic:0",
+    ]);
+    assert_eq!(output.status.code(), Some(1), "{}", stderr(&output));
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(
+        stdout.contains("\"stop_reason\":\"worker-panicked\""),
+        "{stdout}"
+    );
+}
+
+#[test]
+fn retries_recover_an_injected_panic() {
+    // The fail point fires on the first visit only; `--retries 1`
+    // re-runs the session, which then completes cleanly — entry-level
+    // retries counts the re-run.
+    let output = revpebble(&[
+        "batch",
+        "paper",
+        "--workers",
+        "1",
+        "--retries",
+        "1",
+        "--fault-plan",
+        "exec.job:panic:0",
+    ]);
+    assert_eq!(output.status.code(), Some(0), "{}", stderr(&output));
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(stdout.contains("\"stop_reason\":null"), "{stdout}");
+    assert!(stdout.contains("\"retries\":1"), "{stdout}");
+    assert!(stdout.contains("\"minimum\":4"), "{stdout}");
+}
+
+#[test]
+fn a_bad_fault_plan_exits_two() {
+    let output = revpebble(&["batch", "paper", "--fault-plan", "nowhere:panic:0"]);
+    assert_eq!(output.status.code(), Some(2));
+    let stderr = stderr(&output);
+    assert!(stderr.contains("bad --fault-plan"), "{stderr}");
 }
 
 #[test]

@@ -30,7 +30,10 @@ use std::time::Instant;
 
 use revpebble_graph::{Dag, NodeId};
 use revpebble_sat::card::{self, CardEncoding, IncrementalTotalizer};
-use revpebble_sat::{CancelToken, Lit, SharedClausePool, SolveResult, Solver, SolverConfig, Var};
+use revpebble_sat::{
+    CancelReason, CancelToken, Heartbeat, Lit, SharedClausePool, SolveResult, Solver, SolverConfig,
+    Var,
+};
 
 use crate::strategy::{Move, Strategy};
 
@@ -191,6 +194,12 @@ impl<'a> PebbleEncoding<'a> {
     pub fn set_cancel_token(&mut self, cancel: Option<CancelToken>) {
         self.solver.set_cancel_token(cancel.clone());
         self.cancel = cancel;
+    }
+
+    /// Installs the session watchdog's liveness [`Heartbeat`] on the
+    /// underlying solver (see [`Solver::set_heartbeat`]).
+    pub fn set_heartbeat(&mut self, heartbeat: Option<Heartbeat>) {
+        self.solver.set_heartbeat(heartbeat);
     }
 
     /// Connects the underlying solver to a portfolio clause-sharing pool
@@ -456,8 +465,22 @@ impl<'a> PebbleEncoding<'a> {
             (None, Some(t)) => Some(CancelToken::with_limits(Some(Instant::now() + t), None)),
             (None, None) => None,
         };
-        self.solver.set_cancel_token(query);
-        self.solver.solve_with(&assumptions)
+        self.solver.set_cancel_token(query.clone());
+        let result = self.solver.solve_with(&assumptions);
+        // The per-query child is invisible to callers, so an explicit
+        // `Cancelled` latched on it (an in-solver fault degrading to a
+        // spurious cancellation — never the deadline it carries) has to
+        // be surfaced on the ambient token, where the probe-level retry
+        // can see it. Without this hop the query dies as a silent
+        // `Unknown` and the minimize schedule mistakes it for evidence.
+        // (When the query ran on the ambient token itself — no time
+        // budget — the two reasons coincide and this arm cannot fire.)
+        if let (Some(ambient), Some(query)) = (&self.cancel, &query) {
+            if ambient.reason().is_none() && query.reason() == Some(CancelReason::Cancelled) {
+                ambient.cancel();
+            }
+        }
+        result
     }
 
     /// Extracts the strategy from the current model (after a successful

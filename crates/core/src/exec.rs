@@ -130,7 +130,18 @@ impl Drop for Executor {
             queue.shutdown = true;
         }
         self.inner.signal.notify_all();
+        let current = thread::current().id();
         for worker in self.workers.drain(..) {
+            // The last `Arc<Executor>` can die *on a pool thread*: a job
+            // holding the pool (session jobs do) finishes its send, the
+            // external handles drop first, and this destructor runs on
+            // the worker that ran the job. Joining ourselves would
+            // EDEADLK-panic in the pool; detach instead — shutdown is
+            // already signalled, so the thread exits right after this
+            // closure returns to its loop.
+            if worker.thread().id() == current {
+                continue;
+            }
             let _ = worker.join();
         }
     }

@@ -24,7 +24,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use revpebble_graph::Dag;
-use revpebble_sat::CancelToken;
+use revpebble_sat::{CancelToken, Heartbeat};
 
 use crate::bounds::pebble_lower_bound;
 use crate::encoding::BoundMode;
@@ -100,7 +100,7 @@ pub fn frontier_with_events(
     options: FrontierOptions,
     events: Option<ProbeEventSender>,
 ) -> Vec<FrontierPoint> {
-    frontier_on(dag, options, events, None, None)
+    frontier_on(dag, options, events, None, None, None)
 }
 
 /// The sweep engine under [`frontier_with_events`] and the session
@@ -115,6 +115,7 @@ pub(crate) fn frontier_on(
     events: Option<ProbeEventSender>,
     executor: Option<&Executor>,
     cancel: Option<&CancelToken>,
+    heartbeat: Option<Heartbeat>,
 ) -> Vec<FrontierPoint> {
     let min = options
         .min_pebbles
@@ -122,7 +123,7 @@ pub(crate) fn frontier_on(
     let max = options.max_pebbles.unwrap_or_else(|| dag.num_nodes());
     if !options.incremental {
         if let Some(executor) = executor {
-            return frontier_scatter(dag, options, events, executor, cancel, min, max);
+            return frontier_scatter(dag, options, events, executor, cancel, heartbeat, min, max);
         }
     }
     let emit = |event: ProbeEvent| {
@@ -140,6 +141,7 @@ pub(crate) fn frontier_on(
         base.timeout = Some(options.per_budget);
         let mut solver = PebbleSolver::new(dag, base);
         solver.set_cancel_token(cancel.cloned());
+        solver.set_heartbeat(heartbeat.clone());
         solver
     });
     for pebbles in (min..=max).rev() {
@@ -160,6 +162,7 @@ pub(crate) fn frontier_on(
                 probe.timeout = Some(options.per_budget);
                 let mut solver = PebbleSolver::new(dag, probe);
                 solver.set_cancel_token(cancel.cloned());
+                solver.set_heartbeat(heartbeat.clone());
                 solver.solve()
             }
         };
@@ -207,6 +210,7 @@ fn frontier_scatter(
     events: Option<ProbeEventSender>,
     executor: &Executor,
     cancel: Option<&CancelToken>,
+    heartbeat: Option<Heartbeat>,
     min: usize,
     max: usize,
 ) -> Vec<FrontierPoint> {
@@ -218,6 +222,7 @@ fn frontier_scatter(
             let dag = Arc::clone(&dag);
             let events = events.clone();
             let cancel = cancel.cloned();
+            let heartbeat = heartbeat.clone();
             move || {
                 let emit = |event: ProbeEvent| {
                     if let Some(events) = &events {
@@ -234,6 +239,7 @@ fn frontier_scatter(
                 probe.timeout = Some(options.per_budget);
                 let mut solver = PebbleSolver::new(&dag, probe);
                 solver.set_cancel_token(cancel);
+                solver.set_heartbeat(heartbeat);
                 let outcome = solver.solve();
                 let (strategy, timed_out) = match outcome {
                     PebbleOutcome::Solved(s) => (Some(s), false),
@@ -376,7 +382,7 @@ mod tests {
         };
         let sequential = frontier(&dag, options);
         let executor = Executor::new(2);
-        let scattered = frontier_on(&dag, options, None, Some(&executor), None);
+        let scattered = frontier_on(&dag, options, None, Some(&executor), None, None);
         let shape = |points: &[FrontierPoint]| -> Vec<(usize, Option<usize>)> {
             points
                 .iter()
@@ -401,6 +407,7 @@ mod tests {
             None,
             None,
             Some(&token),
+            None,
         );
         assert!(points.is_empty(), "a pre-cancelled sweep probes nothing");
     }

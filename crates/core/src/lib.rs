@@ -68,7 +68,7 @@ pub use cache::ResultCache;
 pub use config::PebbleConfig;
 pub use encoding::{BoundMode, EncodingOptions, MoveMode, PebbleEncoding};
 pub use exact::{exact_min_pebbles, solve_exact, ExactOutcome};
-pub use exec::{scatter, Executor};
+pub use exec::{scatter, scatter_settle, Executor, TaskFailure};
 pub use frontier::{frontier, frontier_with_events, FrontierOptions, FrontierPoint};
 pub use portfolio::{
     default_minimize_portfolio, default_portfolio, diversify_minimize_portfolio,
@@ -78,15 +78,16 @@ pub use portfolio::{
 };
 pub use session::{
     BatchReport, BatchSession, Engine, PebblingSession, ProbeEvent, ProbeEventSender, Report,
-    SessionError, SessionHandle, SessionOutcome, SessionPlan, WorkerSummary,
+    SessionError, SessionHandle, SessionOutcome, SessionPlan, StopReason, WorkerSummary,
 };
 pub use sharing::SharedSearchState;
 pub use solver::{
     minimize, BudgetSchedule, MinimizeContext, MinimizeOptions, MinimizeResult, PebbleOutcome,
-    PebbleSolver, SearchStats, SolverOptions, StepSchedule,
+    PebbleSolver, RetryPolicy, SearchStats, SolverOptions, StepSchedule,
 };
 pub use strategy::{InvalidStrategy, Move, Step, Strategy};
 
 pub use revpebble_sat::card::CardEncoding;
+pub use revpebble_sat::faults;
 pub use revpebble_sat::pool::{PoolConfig, PoolStats, SharedClausePool};
-pub use revpebble_sat::{CancelReason, CancelToken};
+pub use revpebble_sat::{CancelReason, CancelToken, FaultKind, FaultPlan, FaultSite, Heartbeat};

@@ -43,15 +43,16 @@ use std::time::{Duration, Instant};
 use rand::{rngs::StdRng, Rng, SeedableRng};
 use revpebble_graph::Dag;
 use revpebble_sat::card::CardEncoding;
-use revpebble_sat::{CancelToken, PoolConfig, PoolStats, SharedClausePool, SolverStats};
+use revpebble_sat::faults::FaultSite;
+use revpebble_sat::{CancelToken, Heartbeat, PoolConfig, PoolStats, SharedClausePool, SolverStats};
 
 use crate::encoding::MoveMode;
-use crate::exec::{scatter, Executor};
+use crate::exec::{scatter_settle, Executor};
 use crate::session::{ProbeEvent, ProbeEventSender};
 use crate::sharing::SharedSearchState;
 use crate::solver::{
     run_minimize_with_context, BudgetSchedule, MinimizeContext, MinimizeOptions, MinimizeResult,
-    PebbleOutcome, PebbleSolver, SearchStats, SolverOptions, StepSchedule,
+    PebbleOutcome, PebbleSolver, RetryPolicy, SearchStats, SolverOptions, StepSchedule,
 };
 use crate::strategy::Strategy;
 
@@ -75,6 +76,11 @@ pub struct WorkerReport {
     /// rival won, or an ambient session token was cancelled — as opposed
     /// to exhausting its own budgets.
     pub cancelled: bool,
+    /// The panic payload when this worker's job panicked instead of
+    /// returning. The entry is a placeholder (default statistics, a
+    /// `Timeout` outcome) kept in configuration order so winner indices
+    /// stay valid; the race certifies from the survivors.
+    pub panicked: Option<String>,
 }
 
 impl WorkerReport {
@@ -246,7 +252,7 @@ impl<'a> PortfolioSolver<'a> {
     /// even when rival configurations would run far longer.
     pub fn solve(&self) -> PortfolioOutcome {
         let executor = Executor::new(self.configs.len());
-        self.solve_on(&executor, None, None)
+        self.solve_on(&executor, None, None, None)
     }
 
     /// [`solve`](Self::solve) on a caller-provided [`Executor`], under an
@@ -260,6 +266,7 @@ impl<'a> PortfolioSolver<'a> {
         executor: &Executor,
         cancel: Option<&CancelToken>,
         events: Option<ProbeEventSender>,
+        heartbeat: Option<Heartbeat>,
     ) -> PortfolioOutcome {
         let race = cancel.map_or_else(CancelToken::new, CancelToken::child);
         let winner = Arc::new(AtomicUsize::new(NO_WINNER));
@@ -273,8 +280,22 @@ impl<'a> PortfolioSolver<'a> {
                 let winner = Arc::clone(&winner);
                 let events = events.clone();
                 let dag = Arc::clone(&dag);
+                let heartbeat = heartbeat.clone();
                 move || {
                     let start = Instant::now();
+                    // Containment: the worker runs under its own child of
+                    // the race token, so an injected spurious cancel (or
+                    // an injected transient, which has no other channel
+                    // here) degrades this one worker without stopping the
+                    // race. The winner still cancels the shared parent.
+                    let worker_token = race.child();
+                    if options
+                        .sat
+                        .faults
+                        .trip(FaultSite::ExecJob, Some(&worker_token))
+                    {
+                        worker_token.cancel();
+                    }
                     let budget = options.encoding.max_pebbles.unwrap_or_default();
                     let emit = |event: ProbeEvent| {
                         if let Some(events) = &events {
@@ -287,7 +308,8 @@ impl<'a> PortfolioSolver<'a> {
                         budget,
                     });
                     let mut solver = PebbleSolver::new(&dag, options);
-                    solver.set_cancel_token(Some(race.clone()));
+                    solver.set_cancel_token(Some(worker_token.clone()));
+                    solver.set_heartbeat(heartbeat);
                     let outcome = solver.solve();
                     let solved = matches!(outcome, PebbleOutcome::Solved(_));
                     emit(match &outcome {
@@ -319,13 +341,32 @@ impl<'a> PortfolioSolver<'a> {
                         search: solver.stats(),
                         sat: solver.sat_stats(),
                         elapsed: start.elapsed(),
-                        cancelled: !solved && race.is_cancelled(),
+                        cancelled: !solved && worker_token.is_cancelled(),
                         outcome,
+                        panicked: None,
                     }
                 }
             })
             .collect();
-        let workers = scatter(executor, tasks);
+        // Panic isolation: a panicked worker becomes a placeholder entry
+        // (in configuration order, so winner indices stay valid) and the
+        // race certifies from the survivors.
+        let workers: Vec<WorkerReport> = scatter_settle(executor, tasks)
+            .into_iter()
+            .enumerate()
+            .map(|(index, slot)| match slot {
+                Ok(report) => report,
+                Err(failure) => WorkerReport {
+                    options: self.configs[index],
+                    outcome: PebbleOutcome::Timeout { steps_reached: 0 },
+                    search: SearchStats::default(),
+                    sat: SolverStats::default(),
+                    elapsed: Duration::ZERO,
+                    cancelled: false,
+                    panicked: Some(failure.message),
+                },
+            })
+            .collect();
 
         let winner = match winner.load(Ordering::Acquire) {
             NO_WINNER => None,
@@ -393,6 +434,10 @@ pub struct MinimizeWorkerReport {
     /// `true` when the race token fired on this worker — a rival finished
     /// first, or an ambient session token was cancelled.
     pub cancelled: bool,
+    /// The panic payload when this worker's job panicked instead of
+    /// returning (the entry is then a placeholder in configuration
+    /// order; the race certifies from the survivors).
+    pub panicked: Option<String>,
 }
 
 /// What a [`minimize_portfolio_with_sharing`] race shares between its
@@ -682,7 +727,17 @@ pub fn minimize_portfolio_with_sharing(
     share: ShareOptions,
 ) -> MinimizePortfolioOutcome {
     let executor = Executor::new(configs.len().max(1));
-    minimize_portfolio_on(dag, configs, per_query, share, None, &executor, None)
+    minimize_portfolio_on(
+        dag,
+        configs,
+        per_query,
+        share,
+        None,
+        &executor,
+        None,
+        RetryPolicy::none(),
+        None,
+    )
 }
 
 /// The minimize-race engine under [`minimize_portfolio_with_sharing`]
@@ -690,6 +745,7 @@ pub fn minimize_portfolio_with_sharing(
 /// jobs on a caller-provided [`Executor`] under an optional ambient
 /// cancel token (the race token is its child), with an optional live
 /// probe-event stream every worker clones.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn minimize_portfolio_on(
     dag: &Dag,
     mut configs: Vec<MinimizeConfig>,
@@ -698,6 +754,8 @@ pub(crate) fn minimize_portfolio_on(
     events: Option<ProbeEventSender>,
     executor: &Executor,
     cancel: Option<&CancelToken>,
+    retry: RetryPolicy,
+    heartbeat: Option<Heartbeat>,
 ) -> MinimizePortfolioOutcome {
     assert!(
         !configs.is_empty(),
@@ -747,8 +805,14 @@ pub(crate) fn minimize_portfolio_on(
             let dag = Arc::clone(&owned_dag);
             let clause_mode = clause_mode[index];
             let compatible = compatible[index];
+            // Containment: the worker runs under its own child of the
+            // race token, so a spurious cancellation (injected at
+            // `exec.job`, or an external child-holder) degrades this one
+            // worker without stopping the race. The winner still cancels
+            // the shared parent, which shines through every child.
+            let worker_token = race.child();
             let ctx = MinimizeContext {
-                cancel: Some(race.clone()),
+                cancel: Some(worker_token.clone()),
                 pool: pool
                     .clone()
                     .filter(|_| clause_mode != ClauseShareMode::None),
@@ -756,9 +820,19 @@ pub(crate) fn minimize_portfolio_on(
                 shared: shared.clone().filter(|_| compatible),
                 events: events.clone(),
                 worker: index,
+                retry,
+                heartbeat: heartbeat.clone(),
             };
             move || {
                 let start = Instant::now();
+                if config
+                    .base
+                    .sat
+                    .faults
+                    .trip(FaultSite::ExecJob, Some(&worker_token))
+                {
+                    worker_token.cancel();
+                }
                 let options = MinimizeOptions {
                     base: config.base,
                     per_query,
@@ -766,7 +840,7 @@ pub(crate) fn minimize_portfolio_on(
                     incremental: true,
                 };
                 let result = run_minimize_with_context(&dag, options, ctx);
-                let finished = result.best.is_some() && !race.is_cancelled();
+                let finished = result.best.is_some() && !worker_token.is_cancelled();
                 if finished
                     && winner
                         .compare_exchange(NO_WINNER, index, Ordering::AcqRel, Ordering::Acquire)
@@ -776,14 +850,41 @@ pub(crate) fn minimize_portfolio_on(
                 }
                 MinimizeWorkerReport {
                     config,
-                    cancelled: !finished && race.is_cancelled(),
+                    cancelled: !finished && worker_token.is_cancelled(),
                     result,
                     elapsed: start.elapsed(),
+                    panicked: None,
                 }
             }
         })
         .collect();
-    let workers = scatter(executor, tasks);
+    // Panic isolation: a panicked worker becomes a placeholder entry (in
+    // configuration order, so winner indices stay valid); its floor of 0
+    // and empty result never contribute to the certified aggregates.
+    let workers: Vec<MinimizeWorkerReport> = scatter_settle(executor, tasks)
+        .into_iter()
+        .enumerate()
+        .map(|(index, slot)| match slot {
+            Ok(report) => report,
+            Err(failure) => MinimizeWorkerReport {
+                config: configs[index],
+                result: MinimizeResult {
+                    best: None,
+                    probes: Vec::new(),
+                    probe_stats: Vec::new(),
+                    search: SearchStats::default(),
+                    sat: SolverStats::default(),
+                    floor: 0,
+                    step_tightenings: 0,
+                    floor_raises: 0,
+                    retries: 0,
+                },
+                elapsed: Duration::ZERO,
+                cancelled: false,
+                panicked: Some(failure.message),
+            },
+        })
+        .collect();
     let winner = match winner.load(Ordering::Acquire) {
         NO_WINNER => None,
         index => Some(index),

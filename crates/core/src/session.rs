@@ -68,14 +68,15 @@ use std::thread;
 use std::time::{Duration, Instant};
 
 use revpebble_graph::{Dag, DagError};
-use revpebble_sat::{CancelReason, CancelToken, SolverConfig};
+use revpebble_sat::faults::FaultSite;
+use revpebble_sat::{CancelReason, CancelToken, Heartbeat, SolverConfig};
 
 use revpebble_sat::card::CardEncoding;
 
 use crate::bounds::{pebble_lower_bound, weighted_pebble_lower_bound};
 use crate::cache::{CacheKey, CachedReport, ResultCache};
 use crate::encoding::MoveMode;
-use crate::exec::Executor;
+use crate::exec::{payload_message, Executor};
 use crate::frontier::{frontier_on, FrontierOptions, FrontierPoint};
 use crate::portfolio::{
     default_minimize_portfolio, describe_minimize_config, describe_options, minimize_portfolio_on,
@@ -83,7 +84,7 @@ use crate::portfolio::{
 };
 use crate::solver::{
     run_minimize_with_context, BudgetSchedule, MinimizeContext, MinimizeOptions, MinimizeResult,
-    PebbleOutcome, PebbleSolver, SolverOptions, StepSchedule,
+    PebbleOutcome, PebbleSolver, RetryPolicy, SolverOptions, StepSchedule,
 };
 use crate::strategy::Strategy;
 
@@ -384,6 +385,77 @@ impl fmt::Display for Engine {
     }
 }
 
+/// Why a session stopped before certifying on its own. The first three
+/// variants mirror [`CancelReason`] (the session's token fired); the
+/// rest are fault-containment outcomes: worker panics survived as
+/// degraded reports, or a wedged session the watchdog detached from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum StopReason {
+    /// The session's [`CancelToken`] was cancelled explicitly.
+    Cancelled,
+    /// The session's deadline passed.
+    Deadline,
+    /// The session's conflict quota ran out.
+    QuotaExhausted,
+    /// `count` workers (or the engine job itself) panicked and nothing
+    /// was certified from the survivors. When survivors certify, the
+    /// run counts as clean and the panics show up only as
+    /// [`WorkerSummary::failed`] rows.
+    WorkerPanicked {
+        /// How many workers panicked.
+        count: usize,
+    },
+    /// [`SessionHandle::join`] cancelled a wedged session and detached
+    /// from it: its token had fired but its heartbeat stayed still for
+    /// the whole detach grace period.
+    Detached,
+}
+
+impl StopReason {
+    /// A stable machine-readable name (the `stop_reason` key of
+    /// [`Report::to_json`]). The first three match
+    /// [`CancelReason::as_str`] exactly, so existing consumers keep
+    /// parsing.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            StopReason::Cancelled => "cancelled",
+            StopReason::Deadline => "deadline",
+            StopReason::QuotaExhausted => "quota",
+            StopReason::WorkerPanicked { .. } => "worker-panicked",
+            StopReason::Detached => "detached",
+        }
+    }
+
+    /// Whether a [`BatchSession`] governed by `policy` should re-run a
+    /// session that stopped for this reason. Token-driven stops
+    /// (cancel, deadline, quota) are deliberate and deterministic —
+    /// never retried; panics and detaches are environmental and retry
+    /// when the policy opts in.
+    fn retryable_under(&self, policy: &RetryPolicy) -> bool {
+        match self {
+            StopReason::Cancelled | StopReason::Deadline | StopReason::QuotaExhausted => false,
+            StopReason::WorkerPanicked { .. } | StopReason::Detached => policy.retry_panicked,
+        }
+    }
+}
+
+impl From<CancelReason> for StopReason {
+    fn from(reason: CancelReason) -> Self {
+        match reason {
+            CancelReason::Cancelled => StopReason::Cancelled,
+            CancelReason::Deadline => StopReason::Deadline,
+            CancelReason::QuotaExhausted => StopReason::QuotaExhausted,
+        }
+    }
+}
+
+impl fmt::Display for StopReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
 /// A validated execution plan: what [`PebblingSession::run`] will do,
 /// with every invariant already checked. Produced by
 /// [`PebblingSession::plan`]; useful on its own to validate a
@@ -412,6 +484,8 @@ pub struct SessionPlan {
     pub incremental: bool,
     /// Budget range of a frontier sweep (`None` = structural bounds).
     pub frontier_range: (Option<usize>, Option<usize>),
+    /// How transiently failed probes and batch sessions are re-run.
+    pub retry: RetryPolicy,
 }
 
 /// What one worker of a session did — a uniform per-worker view across
@@ -437,6 +511,11 @@ pub struct WorkerSummary {
     pub winner: bool,
     /// Wall-clock from spawn to return.
     pub elapsed: Duration,
+    /// `true` when this worker's job panicked; its row is a placeholder
+    /// (zero stats) and the session certified from the survivors.
+    pub failed: bool,
+    /// Probe attempts this worker re-ran after transient failures.
+    pub retries: u64,
 }
 
 /// The engine-specific artifact behind a [`Report`], for callers that
@@ -458,6 +537,10 @@ pub enum SessionOutcome {
     MinimizePortfolio(MinimizePortfolioOutcome),
     /// [`Engine::Frontier`]: the swept trade-off points.
     Frontier(Vec<FrontierPoint>),
+    /// The engine job died (panicked or was detached) before producing
+    /// an outcome; the surrounding [`Report`] is a partial placeholder
+    /// whose [`stop_reason`](Report::stop_reason) names the failure.
+    Aborted,
 }
 
 /// The unified result of a session: what every engine reports, in one
@@ -481,11 +564,16 @@ pub struct Report {
     /// terminal [`ProbeEvent::BudgetCertified`], which a cancelled
     /// session never emits).
     pub events_emitted: u64,
-    /// Why the session stopped early, if its cancel token fired:
-    /// explicit cancellation, a deadline, or an exhausted conflict
-    /// quota. `None` for a run that completed on its own — only such
-    /// runs certify budgets and populate the result cache.
-    pub stop_reason: Option<CancelReason>,
+    /// Why the session stopped early: its token fired (cancel /
+    /// deadline / quota), workers panicked with nothing certified from
+    /// the survivors, or the watchdog detached from a wedged run.
+    /// `None` for a run that completed on its own — only such runs
+    /// certify budgets and populate the result cache.
+    pub stop_reason: Option<StopReason>,
+    /// Probe and session attempts re-run after transient failures,
+    /// summed across workers (plus batch-level re-runs when the report
+    /// comes out of a [`BatchSession`]).
+    pub retries: u64,
     /// Result-cache lookups this run answered from the cache (`1` when
     /// the whole session was served without solving). Zero when no cache
     /// is installed.
@@ -511,6 +599,7 @@ impl Report {
             SessionOutcome::Frontier(points) => {
                 points.iter().find_map(|point| point.strategy.as_ref())
             }
+            SessionOutcome::Aborted => None,
         }
     }
 
@@ -522,6 +611,7 @@ impl Report {
             SessionOutcome::Minimize(result) => result.best.map(|(_, s)| s),
             SessionOutcome::MinimizePortfolio(outcome) => outcome.best.map(|(_, s)| s),
             SessionOutcome::Frontier(points) => points.into_iter().find_map(|point| point.strategy),
+            SessionOutcome::Aborted => None,
         }
     }
 
@@ -556,7 +646,7 @@ impl Report {
                 out,
                 "{{\"config\":\"{}\",\"probes\":{},\"queries\":{},\"conflicts\":{},\
                  \"imported\":{},\"exported\":{},\"cancelled\":{},\"winner\":{},\
-                 \"elapsed_s\":{:.6}}}",
+                 \"failed\":{},\"retries\":{},\"elapsed_s\":{:.6}}}",
                 worker.config,
                 worker.probes,
                 worker.queries,
@@ -565,6 +655,8 @@ impl Report {
                 worker.exported,
                 worker.cancelled,
                 worker.winner,
+                worker.failed,
+                worker.retries,
                 worker.elapsed.as_secs_f64(),
             );
         }
@@ -577,6 +669,7 @@ impl Report {
             }
             None => out.push_str(",\"stop_reason\":null"),
         }
+        let _ = write!(out, ",\"retries\":{}", self.retries);
         let _ = write!(
             out,
             ",\"cache_hits\":{},\"cache_misses\":{}",
@@ -635,6 +728,7 @@ pub struct PebblingSession<'a> {
     frontier_range: (Option<usize>, Option<usize>),
     cancel: Option<CancelToken>,
     quota: Option<u64>,
+    retry: Option<RetryPolicy>,
     cache: Option<Arc<ResultCache>>,
     executor: Option<Arc<Executor>>,
     on_event: Option<SessionCallback>,
@@ -659,6 +753,7 @@ impl fmt::Debug for PebblingSession<'_> {
             .field("per_query", &self.per_query)
             .field("cancel", &self.cancel)
             .field("quota", &self.quota)
+            .field("retry", &self.retry)
             .field("cache", &self.cache.is_some())
             .field("executor", &self.executor.is_some())
             .field("on_event", &self.on_event.is_some())
@@ -686,6 +781,7 @@ impl<'a> PebblingSession<'a> {
             frontier_range: (None, None),
             cancel: None,
             quota: None,
+            retry: None,
             cache: None,
             executor: None,
             on_event: None,
@@ -866,6 +962,23 @@ impl<'a> PebblingSession<'a> {
         self
     }
 
+    /// Installs a full [`RetryPolicy`]: transiently failed minimize
+    /// probes re-run (with the monotonicity table intact) after a
+    /// deterministic exponential backoff, and a [`BatchSession`]
+    /// re-submits sessions that stopped for a retryable reason.
+    pub fn retry_policy(mut self, policy: RetryPolicy) -> Self {
+        self.retry = Some(policy);
+        self
+    }
+
+    /// Convenience for [`retry_policy`](Self::retry_policy): allow up
+    /// to `extra` re-runs on top of the first attempt (so `retries(0)`
+    /// is the default fail-fast behavior), including after worker
+    /// panics.
+    pub fn retries(self, extra: u32) -> Self {
+        self.retry_policy(RetryPolicy::attempts(extra.saturating_add(1)))
+    }
+
     /// Installs a shared [`ResultCache`]: before solving, the session
     /// looks itself up under (DAG fingerprint × plan hash) and returns
     /// the cached answer on a hit; after an uncancelled run, it inserts
@@ -987,6 +1100,7 @@ impl<'a> PebblingSession<'a> {
             },
             incremental: self.incremental.unwrap_or(true),
             frontier_range: self.frontier_range,
+            retry: self.retry.unwrap_or_default(),
         })
     }
 
@@ -1004,6 +1118,7 @@ impl<'a> PebblingSession<'a> {
             token,
             self.cache.clone(),
             self.executor.as_ref(),
+            None,
         ))
     }
 
@@ -1017,13 +1132,27 @@ impl<'a> PebblingSession<'a> {
         // The handle always has a token to cancel through, even when the
         // builder composed none.
         let token = self.compose_token().unwrap_or_default();
+        let engine = plan.engine;
         let callback = self.on_event.take();
         let cache = self.cache.clone();
         let dag = Arc::new(self.dag.clone());
         let job_executor = Arc::clone(executor);
         let job_token = token.clone();
+        let heartbeat = Heartbeat::new();
+        let job_heartbeat = heartbeat.clone();
         let (report_tx, report_rx) = mpsc::channel();
         executor.submit(move || {
+            // Fail point `exec.job`: the whole session is one executor
+            // job. A transient failure here degrades to cancelling the
+            // session's own token.
+            if plan
+                .base
+                .sat
+                .faults
+                .trip(FaultSite::ExecJob, Some(&job_token))
+            {
+                job_token.cancel();
+            }
             let report = run_with_runtime(
                 &dag,
                 &plan,
@@ -1031,6 +1160,7 @@ impl<'a> PebblingSession<'a> {
                 Some(job_token),
                 cache,
                 Some(&job_executor),
+                Some(job_heartbeat),
             );
             let _ = report_tx.send(report);
         });
@@ -1038,6 +1168,10 @@ impl<'a> PebblingSession<'a> {
             token,
             receiver: report_rx,
             report: None,
+            engine,
+            heartbeat,
+            detach_grace: Duration::from_secs(5),
+            started: Instant::now(),
         })
     }
 
@@ -1082,6 +1216,8 @@ fn certified(dag: &Dag, plan: &SessionPlan, outcome: &SessionOutcome) -> (Option
                 .min(),
             structural,
         ),
+        // Nothing certified beyond what the DAG's structure guarantees.
+        SessionOutcome::Aborted => (None, structural),
     }
 }
 
@@ -1108,6 +1244,7 @@ fn run_with_runtime(
     token: Option<CancelToken>,
     cache: Option<Arc<ResultCache>>,
     executor: Option<&Arc<Executor>>,
+    heartbeat: Option<Heartbeat>,
 ) -> Report {
     let start = Instant::now();
     let key = cache.as_ref().map(|_| CacheKey {
@@ -1130,6 +1267,7 @@ fn run_with_runtime(
                 workers: Vec::new(),
                 events_emitted: 1,
                 stop_reason: None,
+                retries: 0,
                 cache_hits: 1,
                 cache_misses: 0,
                 wall: start.elapsed(),
@@ -1139,15 +1277,26 @@ fn run_with_runtime(
     }
     let mut events_emitted: u64 = 0;
     let (tx, rx) = mpsc::channel();
-    let (outcome, workers) = match callback.as_mut() {
+    // The engine job is a panic containment boundary: an escaping panic
+    // (injected or real) becomes an `Aborted` partial report instead of
+    // unwinding through the caller.
+    let (engine_result, engine_panic) = match callback.as_mut() {
         // Live stream: the engine runs on a scoped thread while this
         // thread drains the channel, so each event reaches the
         // callback while rivals are still solving.
         Some(callback) => thread::scope(|scope| {
             let engine_plan = plan.clone();
             let engine_token = token.clone();
+            let engine_heartbeat = heartbeat.clone();
             let handle = scope.spawn(move || {
-                execute_plan(dag, &engine_plan, tx, engine_token.as_ref(), executor)
+                execute_plan(
+                    dag,
+                    &engine_plan,
+                    tx,
+                    engine_token.as_ref(),
+                    executor,
+                    engine_heartbeat,
+                )
             });
             // Drains until the engine (and every worker clone)
             // drops its sender.
@@ -1155,19 +1304,56 @@ fn run_with_runtime(
                 events_emitted += 1;
                 callback(event);
             }
-            handle.join().expect("session engine panicked")
+            match handle.join() {
+                Ok(result) => (result, None),
+                Err(payload) => (
+                    (SessionOutcome::Aborted, Vec::new()),
+                    Some(payload_message(payload.as_ref())),
+                ),
+            }
         }),
         // No observer: run inline — no thread spawn on the
         // library's hottest path — and tally the buffered events
         // afterwards so `events_emitted` stays accurate.
         None => {
-            let result = execute_plan(dag, plan, tx, token.as_ref(), executor);
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                execute_plan(dag, plan, tx, token.as_ref(), executor, heartbeat.clone())
+            }));
+            let result = match result {
+                Ok(result) => (result, None),
+                Err(payload) => (
+                    (SessionOutcome::Aborted, Vec::new()),
+                    Some(payload_message(payload.as_ref())),
+                ),
+            };
             events_emitted += rx.try_iter().count() as u64;
             result
         }
     };
+    let (outcome, workers) = engine_result;
     let (minimum, floor) = certified(dag, plan, &outcome);
-    let stop_reason = token.as_ref().and_then(|token| token.poll());
+    let failed_workers = workers.iter().filter(|worker| worker.failed).count();
+    // Token verdicts win; otherwise a run that lost workers *and* has
+    // nothing certified from the survivors stopped because of the
+    // panics. Survivor-certified runs stay clean — the panics remain
+    // visible as `failed` worker rows.
+    let stop_reason = token
+        .as_ref()
+        .and_then(|token| token.poll())
+        .map(StopReason::from)
+        .or_else(|| {
+            if engine_panic.is_some() {
+                Some(StopReason::WorkerPanicked {
+                    count: failed_workers.max(1),
+                })
+            } else if failed_workers > 0 && minimum.is_none() {
+                Some(StopReason::WorkerPanicked {
+                    count: failed_workers,
+                })
+            } else {
+                None
+            }
+        });
     // The terminal event: exactly once per session, after every worker
     // joined — but never after the session's own token fired. A
     // cancelled session ends its stream without certifying anything.
@@ -1180,9 +1366,16 @@ fn run_with_runtime(
     let mut cache_misses = 0;
     if let (Some(cache), Some(key)) = (cache.as_ref(), key) {
         cache_misses = 1;
-        // Only clean finishes are answers; a cancelled run's partial
-        // result must never be served as the instance's answer.
-        if stop_reason.is_none() {
+        // Only clean finishes with a full complement of workers are
+        // answers; a cancelled run's partial result — or one certified
+        // over a quarantined (panicked) worker's hole — must never be
+        // served as the instance's answer. Fail point `cache.insert`:
+        // a transient failure skips the insert (the report is
+        // unaffected; the next identical run solves again).
+        if stop_reason.is_none()
+            && failed_workers == 0
+            && !plan.base.sat.faults.trip(FaultSite::CacheInsert, None)
+        {
             cache.insert(
                 key,
                 CachedReport {
@@ -1197,6 +1390,7 @@ fn run_with_runtime(
         engine: plan.engine,
         minimum,
         floor,
+        retries: workers.iter().map(|worker| worker.retries).sum(),
         workers,
         events_emitted,
         stop_reason,
@@ -1217,7 +1411,15 @@ pub struct SessionHandle {
     token: CancelToken,
     receiver: mpsc::Receiver<Report>,
     report: Option<Report>,
+    engine: Engine,
+    heartbeat: Heartbeat,
+    detach_grace: Duration,
+    started: Instant,
 }
+
+/// How often [`SessionHandle::join`]'s watchdog wakes to check the
+/// session's token and heartbeat while blocking on the report channel.
+const WATCHDOG_POLL: Duration = Duration::from_millis(25);
 
 impl SessionHandle {
     /// The session's own [`CancelToken`] (compose children off it, or
@@ -1231,6 +1433,20 @@ impl SessionHandle {
     /// [`Report`] promptly.
     pub fn cancel(&self) {
         self.token.cancel();
+    }
+
+    /// The liveness counter the session's solvers tick once per SAT
+    /// conflict — what [`join`](Self::join)'s watchdog watches.
+    pub fn heartbeat(&self) -> &Heartbeat {
+        &self.heartbeat
+    }
+
+    /// How long [`join`](Self::join) keeps waiting after the session's
+    /// token fired while the heartbeat shows no progress, before it
+    /// detaches with a [`StopReason::Detached`] report (default 5s).
+    pub fn detach_grace(mut self, grace: Duration) -> Self {
+        self.detach_grace = grace;
+        self
     }
 
     /// The finished [`Report`], or `None` while the session still runs.
@@ -1247,10 +1463,70 @@ impl SessionHandle {
     /// Blocks until the session finishes and returns its [`Report`] — a
     /// partial one, with [`Report::stop_reason`] set, when the session
     /// was cancelled.
+    ///
+    /// `join` never unwinds and never blocks forever: a session job
+    /// that panicked past its own containment yields a
+    /// [`StopReason::WorkerPanicked`] placeholder report, and once the
+    /// session's token has fired, a watchdog tracks the heartbeat — if
+    /// no solver makes progress for the whole detach grace period, the
+    /// wedged job is cancelled (again) and *detached*: join returns a
+    /// [`StopReason::Detached`] placeholder and the job's thread is
+    /// left to die on its own.
     pub fn join(mut self) -> Report {
-        match self.report.take() {
-            Some(report) => report,
-            None => self.receiver.recv().expect("session job panicked"),
+        if let Some(report) = self.report.take() {
+            return report;
+        }
+        // `None` until the token fires; then the tick count last seen
+        // and when it was seen, to measure heartbeat stalls.
+        let mut stalled: Option<(u64, Instant)> = None;
+        loop {
+            match self.receiver.recv_timeout(WATCHDOG_POLL) {
+                Ok(report) => return report,
+                // The job died without reporting: its panic escaped
+                // every containment layer below.
+                Err(mpsc::RecvTimeoutError::Disconnected) => {
+                    return self.placeholder(StopReason::WorkerPanicked { count: 1 })
+                }
+                Err(mpsc::RecvTimeoutError::Timeout) => {}
+            }
+            if self.token.poll().is_none() {
+                continue;
+            }
+            // Escalation, step 1: the token fired (deadline / quota /
+            // explicit) — make sure the latch is set so every child
+            // poll sees it.
+            self.token.cancel();
+            let ticks = self.heartbeat.ticks();
+            let now = Instant::now();
+            match stalled {
+                Some((seen, _)) if seen != ticks => stalled = Some((ticks, now)),
+                Some((_, since)) if now.duration_since(since) >= self.detach_grace => {
+                    // Escalation, step 2: cancelled, and no conflict in
+                    // a whole grace period — the job is wedged
+                    // somewhere that polls nothing. Detach.
+                    return self.placeholder(StopReason::Detached);
+                }
+                Some(_) => {}
+                None => stalled = Some((ticks, now)),
+            }
+        }
+    }
+
+    /// The partial report `join` synthesizes when the session job can
+    /// no longer produce one itself.
+    fn placeholder(&self, reason: StopReason) -> Report {
+        Report {
+            engine: self.engine,
+            minimum: None,
+            floor: 0,
+            workers: Vec::new(),
+            events_emitted: 0,
+            stop_reason: Some(reason),
+            retries: 0,
+            cache_hits: 0,
+            cache_misses: 0,
+            wall: self.started.elapsed(),
+            outcome: SessionOutcome::Aborted,
         }
     }
 }
@@ -1275,13 +1551,33 @@ impl SessionHandle {
 /// assert_eq!(report.sessions.len(), 2);
 /// assert!(report.sessions.iter().all(|(_, r)| r.minimum == Some(4)));
 /// ```
-#[derive(Debug)]
 pub struct BatchSession {
     executor: Arc<Executor>,
     cache: Arc<ResultCache>,
     quota: Option<u64>,
+    retry: RetryPolicy,
     root: CancelToken,
-    pending: Vec<(String, SessionHandle)>,
+    pending: Vec<PendingSession>,
+}
+
+/// One submitted, not-yet-joined batch entry: its handle plus a respawn
+/// thunk [`BatchSession::finish`] can call to re-run the whole session
+/// when it stops for a retryable reason.
+struct PendingSession {
+    name: String,
+    handle: SessionHandle,
+    respawn: Box<dyn Fn() -> Result<SessionHandle, SessionError>>,
+}
+
+impl fmt::Debug for BatchSession {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("BatchSession")
+            .field("quota", &self.quota)
+            .field("retry", &self.retry)
+            .field("root", &self.root)
+            .field("pending", &self.pending.len())
+            .finish_non_exhaustive()
+    }
 }
 
 /// What [`BatchSession::finish`] returns: per-session reports in submit
@@ -1307,6 +1603,7 @@ impl BatchSession {
             executor: Arc::new(Executor::new(workers)),
             cache: Arc::new(ResultCache::default()),
             quota: None,
+            retry: RetryPolicy::none(),
             root: CancelToken::new(),
             pending: Vec::new(),
         })
@@ -1319,6 +1616,17 @@ impl BatchSession {
     /// submit time.
     pub fn per_session_quota(mut self, conflicts: u64) -> Self {
         self.quota = Some(conflicts);
+        self
+    }
+
+    /// Re-runs every *subsequently* submitted session that stops for a
+    /// retryable reason (worker panics and watchdog detaches when the
+    /// policy opts in — never deliberate cancels, deadlines or quota
+    /// trips), waiting out the policy's deterministic exponential
+    /// backoff between attempts. Re-runs are counted in each report's
+    /// [`Report::retries`].
+    pub fn retry_policy(mut self, policy: RetryPolicy) -> Self {
+        self.retry = policy;
         self
     }
 
@@ -1349,28 +1657,74 @@ impl BatchSession {
         configure: F,
     ) -> Result<(), SessionError>
     where
-        F: for<'d> FnOnce(PebblingSession<'d>) -> PebblingSession<'d>,
+        F: for<'d> Fn(PebblingSession<'d>) -> PebblingSession<'d> + 'static,
     {
-        let mut session = configure(PebblingSession::new(dag))
-            // A child, not the root itself: cancelling one session's
-            // handle must not take the whole batch down with it.
-            .cancel_token(self.root.child())
-            .result_cache(Arc::clone(&self.cache));
-        if let Some(quota) = self.quota {
-            session = session.quota(quota);
-        }
-        let handle = session.spawn_on(&self.executor)?;
-        self.pending.push((name.into(), handle));
+        // Everything a re-run needs is owned by the thunk, so `finish`
+        // can respawn the session verbatim after a retryable failure.
+        let dag = Arc::new(dag.clone());
+        let executor = Arc::clone(&self.executor);
+        let cache = Arc::clone(&self.cache);
+        let quota = self.quota;
+        let root = self.root.clone();
+        let spawn = move || {
+            let mut session = configure(PebblingSession::new(&dag))
+                // A child, not the root itself: cancelling one session's
+                // handle must not take the whole batch down with it.
+                .cancel_token(root.child())
+                .result_cache(Arc::clone(&cache));
+            if let Some(quota) = quota {
+                session = session.quota(quota);
+            }
+            session.spawn_on(&executor)
+        };
+        let handle = spawn()?;
+        self.pending.push(PendingSession {
+            name: name.into(),
+            handle,
+            respawn: Box::new(spawn),
+        });
         Ok(())
     }
 
     /// Joins every submitted session, in submit order, and returns the
-    /// [`BatchReport`].
+    /// [`BatchReport`]. Sessions that stopped for a reason the
+    /// [`retry_policy`](Self::retry_policy) deems retryable are
+    /// respawned (after backoff) up to the policy's attempt cap —
+    /// unless the batch root token itself has fired.
     pub fn finish(mut self) -> BatchReport {
+        let retry = self.retry;
         let sessions = self
             .pending
             .drain(..)
-            .map(|(name, handle)| (name, handle.join()))
+            .map(|pending| {
+                let PendingSession {
+                    name,
+                    handle,
+                    respawn,
+                } = pending;
+                let mut report = handle.join();
+                let mut retries: u64 = 0;
+                let mut attempt: u32 = 1;
+                while attempt < retry.max_attempts
+                    && self.root.reason().is_none()
+                    && report
+                        .stop_reason
+                        .as_ref()
+                        .is_some_and(|reason| reason.retryable_under(&retry))
+                {
+                    thread::sleep(retry.backoff_for(attempt));
+                    attempt += 1;
+                    match respawn() {
+                        Ok(handle) => {
+                            retries += 1;
+                            report = handle.join();
+                        }
+                        Err(_) => break,
+                    }
+                }
+                report.retries += retries;
+                (name, report)
+            })
             .collect();
         BatchReport {
             sessions,
@@ -1401,6 +1755,7 @@ fn execute_plan(
     tx: ProbeEventSender,
     cancel: Option<&CancelToken>,
     executor: Option<&Arc<Executor>>,
+    heartbeat: Option<Heartbeat>,
 ) -> (SessionOutcome, Vec<WorkerSummary>) {
     match plan.engine {
         Engine::Single => {
@@ -1413,6 +1768,7 @@ fn execute_plan(
             });
             let mut solver = PebbleSolver::new(dag, plan.base);
             solver.set_cancel_token(cancel.cloned());
+            solver.set_heartbeat(heartbeat);
             let outcome = solver.solve();
             let event = match &outcome {
                 PebbleOutcome::Solved(strategy) => ProbeEvent::ProbeSolved {
@@ -1438,18 +1794,20 @@ fn execute_plan(
                 cancelled: false,
                 winner: matches!(outcome, PebbleOutcome::Solved(_)),
                 elapsed: start.elapsed(),
+                failed: false,
+                retries: 0,
             };
             (SessionOutcome::Single(outcome), vec![summary])
         }
         Engine::SinglePortfolio => {
             let portfolio = PortfolioSolver::with_default_portfolio(dag, plan.base, plan.workers);
             let outcome = match executor {
-                Some(executor) => portfolio.solve_on(executor, cancel, Some(tx)),
+                Some(executor) => portfolio.solve_on(executor, cancel, Some(tx), heartbeat),
                 None => {
                     // No shared pool installed: preserve the historical
                     // one-thread-per-configuration race.
                     let private = Executor::new(portfolio.configs().len().max(1));
-                    portfolio.solve_on(&private, cancel, Some(tx))
+                    portfolio.solve_on(&private, cancel, Some(tx), heartbeat)
                 }
             };
             let workers = outcome
@@ -1466,6 +1824,8 @@ fn execute_plan(
                     cancelled: worker.cancelled,
                     winner: outcome.winner == Some(index),
                     elapsed: worker.elapsed,
+                    failed: worker.panicked.is_some(),
+                    retries: 0,
                 })
                 .collect();
             (SessionOutcome::Portfolio(outcome), workers)
@@ -1481,6 +1841,8 @@ fn execute_plan(
             let ctx = MinimizeContext {
                 cancel: cancel.cloned(),
                 events: Some(tx),
+                retry: plan.retry,
+                heartbeat,
                 ..MinimizeContext::default()
             };
             let result = run_minimize_with_context(dag, options, ctx);
@@ -1497,6 +1859,8 @@ fn execute_plan(
                 cancelled: false,
                 winner: result.best.is_some(),
                 elapsed: start.elapsed(),
+                failed: false,
+                retries: result.retries,
             };
             (SessionOutcome::Minimize(result), vec![summary])
         }
@@ -1521,6 +1885,8 @@ fn execute_plan(
                     Some(tx),
                     executor,
                     cancel,
+                    plan.retry,
+                    heartbeat,
                 ),
                 None => {
                     let private = Executor::new(configs.len().max(1));
@@ -1532,6 +1898,8 @@ fn execute_plan(
                         Some(tx),
                         &private,
                         cancel,
+                        plan.retry,
+                        heartbeat,
                     )
                 }
             };
@@ -1549,6 +1917,8 @@ fn execute_plan(
                     cancelled: worker.cancelled,
                     winner: outcome.winner == Some(index),
                     elapsed: worker.elapsed,
+                    failed: worker.panicked.is_some(),
+                    retries: worker.result.retries,
                 })
                 .collect();
             (SessionOutcome::MinimizePortfolio(outcome), workers)
@@ -1569,6 +1939,7 @@ fn execute_plan(
                 Some(tx),
                 executor.map(|arc| arc.as_ref()),
                 cancel,
+                heartbeat,
             );
             let summary = WorkerSummary {
                 config: format!("frontier/{}", describe_options(&plan.base)),
@@ -1580,6 +1951,8 @@ fn execute_plan(
                 cancelled: false,
                 winner: points.iter().any(|point| point.strategy.is_some()),
                 elapsed: start.elapsed(),
+                failed: false,
+                retries: 0,
             };
             (SessionOutcome::Frontier(points), vec![summary])
         }
@@ -1862,7 +2235,7 @@ mod tests {
             .cancel_token(token)
             .run()
             .expect("valid configuration");
-        assert_eq!(report.stop_reason, Some(CancelReason::Cancelled));
+        assert_eq!(report.stop_reason, Some(StopReason::Cancelled));
         assert_eq!(report.minimum, None, "nothing certified under a dead token");
     }
 
@@ -1875,7 +2248,7 @@ mod tests {
             .quota(1)
             .run()
             .expect("valid configuration");
-        assert_eq!(report.stop_reason, Some(CancelReason::QuotaExhausted));
+        assert_eq!(report.stop_reason, Some(StopReason::QuotaExhausted));
         assert!(report.to_json().contains("\"stop_reason\":\"quota\""));
     }
 
@@ -1912,7 +2285,7 @@ mod tests {
         // either way the join returns and names the cancellation —
         // unless the session already finished, which tiny instances may.
         if let Some(reason) = report.stop_reason {
-            assert_eq!(reason, CancelReason::Cancelled);
+            assert_eq!(reason, StopReason::Cancelled);
         }
     }
 

@@ -12,7 +12,10 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use revpebble_graph::Dag;
-use revpebble_sat::{CancelToken, SharedClausePool, SolveResult, SolverConfig, SolverStats};
+use revpebble_sat::faults::{FaultPlan, FaultSite};
+use revpebble_sat::{
+    CancelToken, Heartbeat, SharedClausePool, SolveResult, SolverConfig, SolverStats,
+};
 
 use crate::bounds::{
     parallel_step_lower_bound, pebble_lower_bound, step_lower_bound, weighted_pebble_lower_bound,
@@ -165,6 +168,9 @@ pub struct PebbleSolver<'a> {
     /// (see [`PebbleEncoding::enable_prefix_sharing`]); set when this
     /// worker's encoding options differ from its pool rivals'.
     prefix_share: bool,
+    /// Session-watchdog liveness counter, installed on the encoding's
+    /// solver (current and rebuilt).
+    heartbeat: Option<Heartbeat>,
 }
 
 impl<'a> PebbleSolver<'a> {
@@ -188,6 +194,7 @@ impl<'a> PebbleSolver<'a> {
             shared: Arc::new(SharedSearchState::new()),
             pool: None,
             prefix_share: false,
+            heartbeat: None,
         }
     }
 
@@ -213,6 +220,16 @@ impl<'a> PebbleSolver<'a> {
             encoding.set_cancel_token(cancel.clone());
         }
         self.cancel = cancel;
+    }
+
+    /// Installs the session watchdog's liveness [`Heartbeat`], ticked by
+    /// the underlying SAT solver on every conflict (see
+    /// [`revpebble_sat::Solver::set_heartbeat`]).
+    pub fn set_heartbeat(&mut self, heartbeat: Option<Heartbeat>) {
+        if let Some(encoding) = self.encoding.as_mut() {
+            encoding.set_heartbeat(heartbeat.clone());
+        }
+        self.heartbeat = heartbeat;
     }
 
     /// Replaces the solver's private refutation blackboard with a shared
@@ -338,6 +355,7 @@ impl<'a> PebbleSolver<'a> {
                     self.options.sat,
                 );
                 encoding.set_cancel_token(self.cancel.clone());
+                encoding.set_heartbeat(self.heartbeat.clone());
                 if let Some(pool) = self.pool.clone() {
                     encoding.attach_clause_pool(pool);
                 }
@@ -619,6 +637,59 @@ impl MinimizeOptions {
     }
 }
 
+/// Deterministic retry policy for *transient* failures: an injected
+/// transient fault, or a probe whose own child token was cancelled while
+/// the session token stayed live (a spurious cancellation). Applied
+/// per-probe by [`minimize`] (the shared monotonicity blackboard
+/// survives, so a retried probe resumes with everything already
+/// certified) and per-session by
+/// [`BatchSession`](crate::session::BatchSession).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts including the first; `1` disables retries.
+    pub max_attempts: u32,
+    /// Base of the deterministic exponential backoff: retry `n`
+    /// (1-based) sleeps `backoff_base · 2ⁿ⁻¹` first.
+    pub backoff_base: Duration,
+    /// Whether [`BatchSession`](crate::session::BatchSession) re-runs a
+    /// session whose worker panicked (probe-level retries never rerun a
+    /// panic: the panic already unwound the prober).
+    pub retry_panicked: bool,
+}
+
+impl RetryPolicy {
+    /// No retries at all (the default).
+    pub const fn none() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 1,
+            backoff_base: Duration::from_millis(0),
+            retry_panicked: false,
+        }
+    }
+
+    /// Up to `max_attempts` total attempts with a 5 ms backoff base,
+    /// retrying panicked sessions too. `0` is treated as `1`.
+    pub fn attempts(max_attempts: u32) -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: max_attempts.max(1),
+            backoff_base: Duration::from_millis(5),
+            retry_panicked: true,
+        }
+    }
+
+    /// The deterministic sleep before retry `attempt` (1-based):
+    /// `backoff_base · 2^(attempt−1)`.
+    pub fn backoff_for(&self, attempt: u32) -> Duration {
+        self.backoff_base * 2u32.saturating_pow(attempt.saturating_sub(1))
+    }
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy::none()
+    }
+}
+
 /// The result of a [`minimize`] search.
 #[derive(Debug, Clone)]
 pub struct MinimizeResult {
@@ -658,6 +729,9 @@ pub struct MinimizeResult {
     pub step_tightenings: u64,
     /// Times the budget floor was raised by an exhausted probe.
     pub floor_raises: u64,
+    /// Probe attempts re-run under the [`RetryPolicy`] after a transient
+    /// failure or spurious cancellation.
+    pub retries: u64,
 }
 
 /// Per-probe engine: either one persistent assumption-bounded instance or
@@ -673,6 +747,7 @@ struct FreshProber<'a> {
     dag: &'a Dag,
     base: SolverOptions,
     cancel: Option<CancelToken>,
+    heartbeat: Option<Heartbeat>,
     search: SearchStats,
     sat: SolverStats,
     last: SolverStats,
@@ -705,6 +780,7 @@ impl<'a> Prober<'a> {
             base.encoding.bound_mode = BoundMode::Assumed;
             let mut solver = PebbleSolver::new(dag, base);
             solver.set_cancel_token(ctx.cancel.clone());
+            solver.set_heartbeat(ctx.heartbeat.clone());
             if let Some(shared) = ctx.shared.clone() {
                 solver.set_shared_state(shared);
             }
@@ -719,10 +795,21 @@ impl<'a> Prober<'a> {
                 dag,
                 base,
                 cancel: ctx.cancel.clone(),
+                heartbeat: ctx.heartbeat.clone(),
                 search: SearchStats::default(),
                 sat: SolverStats::default(),
                 last: SolverStats::default(),
             }))
+        }
+    }
+
+    /// Installs the token one probe attempt runs under — a child of the
+    /// session token, so a spurious cancellation (injected or external)
+    /// kills the attempt, never the session.
+    fn set_probe_token(&mut self, token: Option<CancelToken>) {
+        match self {
+            Prober::Incremental(solver) => solver.set_cancel_token(token),
+            Prober::Fresh(fresh) => fresh.cancel = token,
         }
     }
 
@@ -745,6 +832,7 @@ impl<'a> Prober<'a> {
                 options.encoding.max_pebbles = Some(p);
                 let mut solver = PebbleSolver::new(fresh.dag, options);
                 solver.set_cancel_token(fresh.cancel.clone());
+                solver.set_heartbeat(fresh.heartbeat.clone());
                 let outcome = solver.solve();
                 fresh.search.queries += solver.stats().queries;
                 fresh.search.max_k = fresh.search.max_k.max(solver.stats().max_k);
@@ -792,6 +880,13 @@ struct MinimizeRun<'a> {
     /// Last floor observed, so only actual raises emit
     /// [`ProbeEvent::FloorRaised`].
     last_floor: usize,
+    /// Fail-point plan (from `base.sat.faults`); polls `session.probe`
+    /// at the top of every probe attempt.
+    faults: FaultPlan,
+    /// Per-probe retry policy for transient failures.
+    retry: RetryPolicy,
+    /// Probe attempts re-run under [`retry`](Self::retry).
+    retries: u64,
 }
 
 impl MinimizeRun<'_> {
@@ -814,7 +909,42 @@ impl MinimizeRun<'_> {
             probe: probe_index,
             budget: p,
         });
-        let outcome = self.prober.probe(p);
+        let mut attempt = 0u32;
+        let outcome = loop {
+            attempt += 1;
+            // Containment: each attempt runs under its own child of the
+            // session token, so a cancellation of the *probe* (injected,
+            // or an external caller holding the child) kills one attempt,
+            // never the session. The child carries no extra limits; the
+            // session's deadline and quota shine through it.
+            let probe_token = self.cancel.as_ref().map(|token| token.child());
+            self.prober.set_probe_token(probe_token.clone());
+            // Fail point `session.probe`: a transient fault means this
+            // attempt produces no outcome and is retried under the
+            // policy; a spurious cancel latches the probe token above.
+            let transient = self
+                .faults
+                .trip(FaultSite::SessionProbe, probe_token.as_ref());
+            let outcome = if transient {
+                PebbleOutcome::Timeout { steps_reached: 0 }
+            } else {
+                self.prober.probe(p)
+            };
+            // A probe token that fired while the session token stayed
+            // live is by construction spurious — nothing above it asked
+            // for the stop — so the attempt is retryable.
+            let session_live = self.cancel.as_ref().is_none_or(|t| t.reason().is_none());
+            let spurious = session_live
+                && probe_token
+                    .as_ref()
+                    .is_some_and(|token| token.reason().is_some());
+            if (transient || spurious) && session_live && attempt < self.retry.max_attempts {
+                self.retries += 1;
+                std::thread::sleep(self.retry.backoff_for(attempt));
+                continue;
+            }
+            break outcome;
+        };
         let achieved = match outcome {
             PebbleOutcome::Solved(strategy) => {
                 let used = if self.weighted {
@@ -894,6 +1024,7 @@ impl MinimizeRun<'_> {
             floor: self.shared.floor(),
             step_tightenings: self.shared.step_tightenings(),
             floor_raises: self.shared.floor_raises(),
+            retries: self.retries,
         }
     }
 }
@@ -930,6 +1061,13 @@ pub struct MinimizeContext {
     /// Worker index stamped on this run's events (portfolio executors
     /// number their workers; single runs use 0).
     pub worker: usize,
+    /// Per-probe [`RetryPolicy`] for transient failures (injected faults
+    /// and spurious probe-token cancellations). The default never
+    /// retries.
+    pub retry: RetryPolicy,
+    /// Session-watchdog liveness counter, ticked by this run's SAT
+    /// solver(s) on every conflict.
+    pub heartbeat: Option<Heartbeat>,
 }
 
 /// Finds the smallest pebble budget `P` for which a strategy can be found
@@ -1001,6 +1139,9 @@ pub(crate) fn run_minimize_with_context(
         worker: ctx.worker,
         share_ticks: ctx.pool.is_some(),
         last_floor,
+        faults: options.base.sat.faults,
+        retry: ctx.retry,
+        retries: 0,
     };
     match options.schedule {
         BudgetSchedule::Binary => {

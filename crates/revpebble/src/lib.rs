@@ -146,10 +146,11 @@ pub mod prelude {
     pub use crate::core::baselines::{bennett, cone_wise};
     pub use crate::core::{
         minimize, BatchReport, BatchSession, BudgetSchedule, CancelReason, CancelToken,
-        CardEncoding, EncodingOptions, Engine, Executor, MinimizeResult, Move, MoveMode,
-        PebbleOutcome, PebbleSolver, PebblingSession, PortfolioOutcome, PortfolioSolver,
-        ProbeEvent, Report, ResultCache, SessionError, SessionHandle, SessionOutcome, ShareOptions,
-        SharedClausePool, SharedSearchState, SolverOptions, Strategy,
+        CardEncoding, EncodingOptions, Engine, Executor, FaultKind, FaultPlan, FaultSite,
+        Heartbeat, MinimizeResult, Move, MoveMode, PebbleOutcome, PebbleSolver, PebblingSession,
+        PortfolioOutcome, PortfolioSolver, ProbeEvent, Report, ResultCache, RetryPolicy,
+        SessionError, SessionHandle, SessionOutcome, ShareOptions, SharedClausePool,
+        SharedSearchState, SolverOptions, StopReason, Strategy,
     };
     pub use crate::graph::{parse_bench, Dag, NodeId, Op, Slp, Source};
 }

@@ -235,6 +235,35 @@ impl CancelToken {
     }
 }
 
+/// A shared liveness counter: the solver ticks it on every conflict, and
+/// the session watchdog reads it to distinguish a *slow* worker (ticks
+/// still advancing — keep waiting) from a *wedged* one (no ticks across
+/// a grace window after its token fired — cancel, then detach). Cloning
+/// shares the counter, like [`CancelToken`].
+#[derive(Debug, Clone, Default)]
+pub struct Heartbeat {
+    ticks: Arc<AtomicU64>,
+}
+
+impl Heartbeat {
+    /// A fresh heartbeat with zero ticks.
+    pub fn new() -> Heartbeat {
+        Heartbeat::default()
+    }
+
+    /// Records one unit of progress (one conflict). Relaxed: the watchdog
+    /// only compares successive reads, it never synchronizes on them.
+    #[inline]
+    pub fn tick(&self) {
+        self.ticks.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total ticks so far.
+    pub fn ticks(&self) -> u64 {
+        self.ticks.load(Ordering::Relaxed)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -332,5 +361,116 @@ mod tests {
         let u = t.clone();
         t.cancel();
         assert!(u.is_cancelled());
+    }
+
+    #[test]
+    fn heartbeat_clones_share_one_counter() {
+        let hb = Heartbeat::new();
+        let observer = hb.clone();
+        assert_eq!(observer.ticks(), 0);
+        hb.tick();
+        hb.tick();
+        assert_eq!(observer.ticks(), 2);
+    }
+
+    // --- concurrent-fire coverage -----------------------------------
+    //
+    // These stress the latch and quota paths from several threads; they
+    // also run under the TSan CI job (`-p revpebble-sat cancel`), which
+    // is what turns them into a real data-race check.
+
+    #[test]
+    fn a_child_cancelled_before_its_parent_keeps_the_parent_cause() {
+        // Child latches Cancelled first; the parent's later latch must
+        // still shine through as the nearest-to-root cause.
+        for _ in 0..64 {
+            let parent = CancelToken::with_limits(None, Some(1));
+            let child = parent.child();
+            let c = child.clone();
+            let p = parent.clone();
+            let t1 = std::thread::spawn(move || c.cancel());
+            let t2 = std::thread::spawn(move || p.charge(1));
+            t1.join().unwrap();
+            t2.join().unwrap();
+            // Whatever the interleaving, the child reports the parent's
+            // quota (root cause wins) and both are latched exactly once.
+            assert_eq!(child.reason(), Some(CancelReason::QuotaExhausted));
+            assert_eq!(parent.reason(), Some(CancelReason::QuotaExhausted));
+        }
+    }
+
+    #[test]
+    fn a_parent_latch_is_visible_to_every_child_thread() {
+        let parent = CancelToken::new();
+        let children: Vec<CancelToken> = (0..8).map(|_| parent.child()).collect();
+        let barrier = Arc::new(std::sync::Barrier::new(children.len() + 1));
+        let spinners: Vec<_> = children
+            .into_iter()
+            .map(|child| {
+                let barrier = Arc::clone(&barrier);
+                std::thread::spawn(move || {
+                    barrier.wait();
+                    // Spin until the parent's cancellation shines through;
+                    // a missed latch would hang here (and trip the test
+                    // timeout) rather than pass silently.
+                    while !child.is_cancelled() {
+                        std::hint::spin_loop();
+                    }
+                    child.reason()
+                })
+            })
+            .collect();
+        barrier.wait();
+        parent.cancel();
+        for spinner in spinners {
+            assert_eq!(spinner.join().unwrap(), Some(CancelReason::Cancelled));
+        }
+    }
+
+    #[test]
+    fn concurrent_charges_race_to_one_quota_latch() {
+        // Two threads charge one shared allowance; the total must be
+        // exact (no lost updates) and the latch must fire exactly when
+        // the allowance fills, regardless of interleaving.
+        for _ in 0..64 {
+            let batch = CancelToken::with_limits(None, Some(1_000));
+            let a = batch.child();
+            let b = batch.child();
+            let ta = std::thread::spawn(move || {
+                for _ in 0..600 {
+                    a.charge(1);
+                }
+            });
+            let tb = std::thread::spawn(move || {
+                for _ in 0..600 {
+                    b.charge(1);
+                }
+            });
+            ta.join().unwrap();
+            tb.join().unwrap();
+            assert_eq!(batch.used(), 1_200);
+            assert_eq!(batch.reason(), Some(CancelReason::QuotaExhausted));
+        }
+    }
+
+    #[test]
+    fn charges_below_the_quota_never_latch() {
+        let batch = CancelToken::with_limits(None, Some(1_201));
+        let a = batch.child();
+        let b = batch.child();
+        let ta = std::thread::spawn(move || {
+            for _ in 0..600 {
+                a.charge(1);
+            }
+        });
+        let tb = std::thread::spawn(move || {
+            for _ in 0..600 {
+                b.charge(1);
+            }
+        });
+        ta.join().unwrap();
+        tb.join().unwrap();
+        assert_eq!(batch.used(), 1_200);
+        assert_eq!(batch.reason(), None);
     }
 }

@@ -50,6 +50,7 @@ pub mod cancel;
 pub mod card;
 pub mod clause;
 pub mod dimacs;
+pub mod faults;
 mod heap;
 pub mod pool;
 pub mod reference;
@@ -57,8 +58,9 @@ pub mod solver;
 pub mod tseitin;
 pub mod types;
 
-pub use cancel::{CancelReason, CancelToken};
+pub use cancel::{CancelReason, CancelToken, Heartbeat};
 pub use dimacs::{parse_dimacs, Cnf, ParseDimacsError};
+pub use faults::{FaultKind, FaultPlan, FaultSite};
 pub use pool::{ClauseBatch, PoolConfig, PoolStats, Publish, RingStats, SharedClausePool};
 pub use solver::{SolveResult, Solver, SolverConfig, SolverStats};
 pub use types::{LBool, Lit, Var};

@@ -27,8 +27,9 @@
 
 use std::sync::Arc;
 
-use crate::cancel::{CancelReason, CancelToken};
+use crate::cancel::{CancelReason, CancelToken, Heartbeat};
 use crate::clause::{ClauseDb, ClauseRef};
+use crate::faults::{FaultPlan, FaultSite};
 use crate::heap::VarHeap;
 use crate::pool::{ClauseBatch, Publish, SharedClausePool};
 use crate::types::{LBool, Lit, Var};
@@ -129,6 +130,11 @@ pub struct SolverConfig {
     /// [`activity_noise`](Self::activity_noise). Distinct per-worker
     /// seeds make the jitter decorrelate the portfolio.
     pub seed: u64,
+    /// Fault-injection plan for chaos testing (disabled by default; a
+    /// single branch per fail-point poll when disabled). The solver
+    /// polls [`FaultSite::SolverConflict`] on every conflict and
+    /// [`FaultSite::PoolPublish`] on every clause export.
+    pub faults: FaultPlan,
 }
 
 impl Default for SolverConfig {
@@ -143,6 +149,7 @@ impl Default for SolverConfig {
             invert_polarity: false,
             activity_noise: 0.0,
             seed: 0,
+            faults: FaultPlan::none(),
         }
     }
 }
@@ -207,6 +214,9 @@ pub struct Solver {
     xlate: Vec<Lit>,
     /// SplitMix64 state behind [`SolverConfig::activity_noise`].
     rng_state: u64,
+    /// Liveness counter for the session watchdog, ticked once per
+    /// conflict (see [`Solver::set_heartbeat`]).
+    heartbeat: Option<Heartbeat>,
 }
 
 /// This solver's view of a [`SharedClausePool`]: its registration id,
@@ -312,6 +322,7 @@ impl Solver {
             translation: None,
             xlate: Vec::new(),
             rng_state: config.seed,
+            heartbeat: None,
         }
     }
 
@@ -395,6 +406,14 @@ impl Solver {
         self.cancel.as_ref()
     }
 
+    /// Installs a liveness [`Heartbeat`], ticked once per conflict. The
+    /// session watchdog compares successive tick counts to tell a slow
+    /// worker (still ticking) from a wedged one (stalled after its token
+    /// fired). `None` removes it.
+    pub fn set_heartbeat(&mut self, heartbeat: Option<Heartbeat>) {
+        self.heartbeat = heartbeat;
+    }
+
     /// Whether the installed cancellation token has latched a stop (cheap:
     /// no clock read; deadlines latch at the budget-check sites).
     #[inline]
@@ -475,6 +494,16 @@ impl Solver {
             return;
         };
         if !endpoint.pool.admits(lits.len(), lbd) {
+            return;
+        }
+        // Fail point `pool.publish`: a transient fault drops this one
+        // export on the floor — sharing is best-effort, so correctness
+        // must not depend on any particular clause arriving.
+        if self
+            .config
+            .faults
+            .trip(FaultSite::PoolPublish, self.cancel.as_ref())
+        {
             return;
         }
         let payload: &[Lit] = match self.translation.as_ref() {
@@ -1205,6 +1234,25 @@ impl Solver {
             if let Some(conflict) = self.propagate() {
                 self.stats.conflicts += 1;
                 conflicts_here += 1;
+                // Conflicts are also the unit of liveness: tick the
+                // watchdog heartbeat so a stalled counter means a truly
+                // wedged worker, not a slow one.
+                if let Some(heartbeat) = &self.heartbeat {
+                    heartbeat.tick();
+                }
+                // Fail point `solver.conflict` (disabled plans cost one
+                // branch). Transient has no error channel this deep, so
+                // it degrades to a spurious cancellation of the query
+                // token.
+                if self
+                    .config
+                    .faults
+                    .trip(FaultSite::SolverConflict, self.cancel.as_ref())
+                {
+                    if let Some(token) = &self.cancel {
+                        token.cancel();
+                    }
+                }
                 // Conflicts are the work unit of session quotas: charge
                 // the token (and its quota-bearing ancestors) as they
                 // happen, so a batch-level allowance is shared accurately

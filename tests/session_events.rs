@@ -191,7 +191,7 @@ fn a_token_fired_mid_probe_stops_promptly_without_certifying() {
         "cancellation took {:?}",
         start.elapsed()
     );
-    assert_eq!(report.stop_reason, Some(CancelReason::Cancelled));
+    assert_eq!(report.stop_reason, Some(StopReason::Cancelled));
     assert_eq!(
         report.minimum, None,
         "a cancelled session certifies nothing"
@@ -224,7 +224,7 @@ fn a_cancelled_handle_joins_to_a_partial_report() {
         .expect("a valid configuration");
     handle.cancel();
     let report = handle.join();
-    assert_eq!(report.stop_reason, Some(CancelReason::Cancelled));
+    assert_eq!(report.stop_reason, Some(StopReason::Cancelled));
     assert_eq!(
         report.minimum, None,
         "a cancelled session certifies nothing"
