@@ -1,0 +1,152 @@
+//! Loopback serving throughput of the `revpebble-serve` daemon: eight
+//! persistent clients each stream six requests (alternating two
+//! cacheable fixed-budget workloads) at a 4-worker daemon over TCP on
+//! 127.0.0.1. The first round pays the cold solves; every later round is
+//! answered from the shared `ResultCache`, so the measured mix is
+//! dominated by the daemon's own overhead — framing, parsing,
+//! admission, cancellation plumbing — exactly what this bench guards.
+//!
+//! Measured quantities, landed in `BENCH_sat.json` for the `bench_gate`
+//! wall-clock drift check (all in seconds, so the generic ≤2× gate
+//! applies to each):
+//!
+//! - `loopback48/workers4/wall` — total wall of the whole run;
+//! - `loopback48/workers4/s_per_request` — mean seconds per answered
+//!   request (the inverse of requests/sec, oriented so drift *up* =
+//!   regression);
+//! - `loopback48/workers4/p50` and `…/p99` — per-request latency
+//!   percentiles as the clients saw them (send → response line).
+//!
+//! Machine-robust invariants are asserted (every request answers `ok`,
+//! repeat rounds hit the cache); absolute rates are printed.
+
+use std::time::Instant;
+
+use revpebble::graph::parse_json;
+use revpebble_bench::{record_bench_json, BenchRecord};
+use revpebble_serve::{Client, Request, ServeConfig, Server};
+
+const WORKERS: usize = 4;
+const CLIENTS: usize = 8;
+const ROUNDS: usize = 6;
+
+/// The two alternating workloads: fixed budgets known feasible (the
+/// paper example fits in 4 pebbles; so does the real `c17`), so a cold
+/// solve is milliseconds and a warm one is a cache lookup.
+fn request_for(client: usize, round: usize) -> Request {
+    let dag = if (client + round).is_multiple_of(2) {
+        "paper"
+    } else {
+        "c17"
+    };
+    let mut request = Request::builtin(format!("c{client}-r{round}"), dag);
+    request.pebbles = Some(4);
+    request
+}
+
+fn percentile(sorted: &[f64], fraction: f64) -> f64 {
+    let index = ((sorted.len() as f64 - 1.0) * fraction).round() as usize;
+    sorted[index]
+}
+
+fn main() {
+    let server = Server::bind(ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: WORKERS,
+        connections: CLIENTS * 2,
+        max_pending: CLIENTS * ROUNDS,
+        ..ServeConfig::default()
+    })
+    .expect("bind an ephemeral loopback port");
+    let addr = server.local_addr();
+    let handle = server.handle();
+    let accept_thread = std::thread::spawn(move || server.run());
+
+    let start = Instant::now();
+    let clients: Vec<_> = (0..CLIENTS)
+        .map(|client| {
+            std::thread::spawn(move || {
+                let mut connection = Client::connect(addr).expect("connect to the daemon");
+                let mut latencies = Vec::with_capacity(ROUNDS);
+                for round in 0..ROUNDS {
+                    let frame = request_for(client, round).to_json();
+                    let sent = Instant::now();
+                    let response = connection.send_raw(&frame).expect("a response line");
+                    latencies.push(sent.elapsed().as_secs_f64());
+                    let value = parse_json(&response).expect("valid response JSON");
+                    assert_eq!(
+                        value.get("status").and_then(|s| s.as_str()),
+                        Some("ok"),
+                        "client {client} round {round}: {response}"
+                    );
+                }
+                latencies
+            })
+        })
+        .collect();
+    let mut latencies: Vec<f64> = Vec::with_capacity(CLIENTS * ROUNDS);
+    for client in clients {
+        latencies.extend(client.join().expect("client thread"));
+    }
+    let wall_s = start.elapsed().as_secs_f64();
+    let requests = CLIENTS * ROUNDS;
+
+    let stats = {
+        handle.shutdown();
+        accept_thread
+            .join()
+            .expect("the accept loop must not panic")
+    };
+    assert_eq!(stats.ok as usize, requests, "every request answers ok");
+    assert_eq!(
+        (stats.cache_hits + stats.cache_misses) as usize,
+        requests,
+        "every request consults the shared cache exactly once"
+    );
+    // Two distinct (dag, configuration) questions exist; in the worst
+    // race every first-round client misses, but every later round must
+    // be served from the cache.
+    assert!(
+        stats.cache_hits as usize >= requests - 2 * CLIENTS,
+        "repeat rounds are served from the cache (hits: {})",
+        stats.cache_hits
+    );
+
+    latencies.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+    let p50 = percentile(&latencies, 0.50);
+    let p99 = percentile(&latencies, 0.99);
+    let per_request = wall_s / requests as f64;
+    println!(
+        "serve_loopback: {requests} requests from {CLIENTS} clients on {WORKERS} workers \
+         in {wall_s:.3}s ({:.1} requests/s) | latency p50={p50:.4}s p99={p99:.4}s \
+         | cache {} hits / {} misses | {} contained panics",
+        requests as f64 / wall_s,
+        stats.cache_hits,
+        stats.cache_misses,
+        stats.contained_panics,
+    );
+
+    // The daemon surfaces no propagation counters over the wire; the
+    // unmeasured counters stay 0.
+    let record = |suffix: &str, value: f64| BenchRecord {
+        bench: "serve_loopback",
+        id: format!("loopback{requests}/workers{WORKERS}/{suffix}"),
+        wall_s: value,
+        propagations: 0,
+        conflicts: 0,
+        arena_gcs: 0,
+        imports: 0,
+        exports: 0,
+        dropped: 0,
+        certified: None,
+    };
+    record_bench_json(
+        "serve_loopback",
+        &[
+            record("wall", wall_s),
+            record("s_per_request", per_request),
+            record("p50", p50),
+            record("p99", p99),
+        ],
+    );
+}

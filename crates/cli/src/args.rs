@@ -61,6 +61,21 @@ pub struct Args {
     /// `exec.job:panic:0`. Forwarded verbatim; the library rejects
     /// malformed specs.
     pub fault_plan: Option<String>,
+    /// `--addr HOST:PORT`: where `serve` listens / `submit` connects.
+    pub addr: Option<String>,
+    /// `--connections N`: `serve`'s connection-handler thread count.
+    pub connections: Option<usize>,
+    /// `--max-pending N`: `serve`'s admitted-session bound; requests
+    /// beyond it are answered `"overloaded"`.
+    pub max_pending: Option<usize>,
+    /// `--name NAME`: the label `submit` puts in the request frame
+    /// (echoed in the response; defaults to the input designator).
+    pub name: Option<String>,
+    /// `--raw`: `submit` sends its input argument verbatim as the frame
+    /// instead of building a request from the flags.
+    pub raw: bool,
+    /// `--wait S`: how long `submit` waits for the response line.
+    pub wait: Option<Duration>,
     /// `--json`: print the session's unified report as one JSON object on
     /// stdout instead of the human-readable summary.
     pub json: bool,
@@ -86,6 +101,12 @@ impl Args {
         let mut diversify = false;
         let mut retries = None;
         let mut fault_plan = None;
+        let mut addr = None;
+        let mut connections = None;
+        let mut max_pending = None;
+        let mut name = None;
+        let mut raw_frame = false;
+        let mut wait = None;
         let mut json = false;
         let mut grid = false;
         let mut qasm = false;
@@ -129,6 +150,28 @@ impl Args {
                     let value = iter.next().ok_or("--fault-plan needs SITE:KIND:SEED")?;
                     fault_plan = Some(value.clone());
                 }
+                "--addr" => {
+                    let value = iter.next().ok_or("--addr needs HOST:PORT")?;
+                    addr = Some(value.clone());
+                }
+                "--connections" => {
+                    let value = iter.next().ok_or("--connections needs a handler count")?;
+                    connections = Some(value.parse().map_err(|_| "bad --connections value")?);
+                }
+                "--max-pending" => {
+                    let value = iter.next().ok_or("--max-pending needs a session count")?;
+                    max_pending = Some(value.parse().map_err(|_| "bad --max-pending value")?);
+                }
+                "--name" => {
+                    let value = iter.next().ok_or("--name needs a label")?;
+                    name = Some(value.clone());
+                }
+                "--wait" => {
+                    let value = iter.next().ok_or("--wait needs a value")?;
+                    let secs: u64 = value.parse().map_err(|_| "bad --wait value")?;
+                    wait = Some(Duration::from_secs(secs));
+                }
+                "--raw" => raw_frame = true,
                 "--minimize" => minimize = true,
                 "--incremental" => incremental = true,
                 "--share-clauses" => share_clauses = true,
@@ -145,8 +188,14 @@ impl Args {
         let mut positional = positional.into_iter();
         let command = positional.next().ok_or("missing command")?;
         let inputs: Vec<String> = positional.collect();
-        let Some(input) = inputs.first().cloned() else {
-            return Err("missing input".into());
+        // `serve` is the one command with no input: it listens instead.
+        let input = if command == "serve" {
+            if let Some(extra) = inputs.first() {
+                return Err(format!("serve takes no input (got {extra:?})"));
+            }
+            String::new()
+        } else {
+            inputs.first().cloned().ok_or("missing input")?
         };
         // Only `batch` serves several inputs in one invocation.
         if command != "batch" && inputs.len() > 1 {
@@ -176,6 +225,12 @@ impl Args {
             diversify,
             retries,
             fault_plan,
+            addr,
+            connections,
+            max_pending,
+            name,
+            raw: raw_frame,
+            wait,
             json,
             grid,
             qasm,
@@ -265,6 +320,61 @@ mod tests {
         assert_eq!(args.quota, Some(0));
         assert!(Args::parse(&strs(&["batch", "paper", "--workers"])).is_err());
         assert!(Args::parse(&strs(&["batch", "paper", "--quota", "x"])).is_err());
+    }
+
+    #[test]
+    fn serve_takes_flags_but_no_input() {
+        let args = Args::parse(&strs(&[
+            "serve",
+            "--addr",
+            "127.0.0.1:0",
+            "--workers",
+            "4",
+            "--connections",
+            "8",
+            "--max-pending",
+            "3",
+            "--quota",
+            "100000",
+        ]))
+        .expect("parses");
+        assert_eq!(args.command, "serve");
+        assert_eq!(args.input, "");
+        assert!(args.inputs.is_empty());
+        assert_eq!(args.addr.as_deref(), Some("127.0.0.1:0"));
+        assert_eq!(args.workers, Some(4));
+        assert_eq!(args.connections, Some(8));
+        assert_eq!(args.max_pending, Some(3));
+        assert_eq!(args.quota, Some(100_000));
+        assert!(Args::parse(&strs(&["serve", "paper"])).is_err());
+        assert!(Args::parse(&strs(&["serve", "--addr"])).is_err());
+        assert!(Args::parse(&strs(&["serve", "--max-pending", "x"])).is_err());
+    }
+
+    #[test]
+    fn submit_flags_parse() {
+        let args = Args::parse(&strs(&[
+            "submit",
+            "paper",
+            "--addr",
+            "127.0.0.1:7979",
+            "--name",
+            "job-1",
+            "--minimize",
+            "--wait",
+            "30",
+        ]))
+        .expect("parses");
+        assert_eq!(args.command, "submit");
+        assert_eq!(args.input, "paper");
+        assert_eq!(args.name.as_deref(), Some("job-1"));
+        assert_eq!(args.wait, Some(Duration::from_secs(30)));
+        assert!(!args.raw);
+        let args = Args::parse(&strs(&["submit", "{\"dag\":\"paper\"}", "--raw"])).expect("parses");
+        assert!(args.raw);
+        assert_eq!(args.input, "{\"dag\":\"paper\"}");
+        assert!(Args::parse(&strs(&["submit", "paper", "--wait", "x"])).is_err());
+        assert!(Args::parse(&strs(&["submit", "paper", "--name"])).is_err());
     }
 
     #[test]

@@ -9,6 +9,8 @@
 //! revpebble minimize <input> [--timeout S]           smallest feasible P
 //! revpebble frontier <input> [--timeout S]           pebble/step frontier
 //! revpebble batch    <input>... [--workers N]        many DAGs, one pool
+//! revpebble serve    [--addr A] [--workers N]        network daemon
+//! revpebble submit   <input> [--addr A]              one request to a daemon
 //! revpebble dot      <input>                         Graphviz export
 //! ```
 //!
@@ -48,8 +50,10 @@ use revpebble::circuit::lowering;
 use revpebble::core::frontier::render_frontier;
 use revpebble::core::portfolio::{describe_minimize_config, describe_options};
 use revpebble::core::{default_portfolio, Engine, SessionOutcome};
+use revpebble::graph::{builtin_dag, json_escape, parse_json};
 use revpebble::prelude::*;
 use revpebble::sat::SolverConfig;
+use revpebble_serve::{submit_frame, Request, ServeConfig, ServeError, Server};
 
 mod args;
 use args::Args;
@@ -62,6 +66,9 @@ enum CliError {
     /// A configuration the session rejects ([`SessionError`]): exit 2 —
     /// the library and the CLI reject identically.
     Invalid(SessionError),
+    /// A request a daemon rejected (bad frame, session error, panic
+    /// response): exit 2, like a local configuration error.
+    Rejected(String),
     /// A runtime failure (infeasible budget, timeout, IO): exit 1.
     Failed(String),
 }
@@ -78,6 +85,10 @@ fn main() -> ExitCode {
         }
         Err(CliError::Invalid(error)) => {
             eprintln!("error: {error}");
+            ExitCode::from(2)
+        }
+        Err(CliError::Rejected(message)) => {
+            eprintln!("error: {message}");
             ExitCode::from(2)
         }
         Err(CliError::Failed(message)) => {
@@ -99,6 +110,11 @@ const USAGE: &str = "usage:
   revpebble frontier <input> [--timeout S] [--json]
   revpebble batch    <input> [<input>...] [--workers N] [--quota C] [--pebbles P | --minimize]
                              [--timeout S] [--retries N]
+  revpebble serve    [--addr HOST:PORT] [--workers N] [--connections N] [--max-pending N]
+                             [--quota C]
+  revpebble submit   <input> [--addr HOST:PORT] [--name LABEL] [--raw] [--wait S]
+                             [--pebbles P | --minimize] [--portfolio N] [--share-clauses]
+                             [--diversify] [--incremental] [--quota C] [--timeout S]
   revpebble dot      <input>
 inputs: a .bench file path, '-' (stdin), or a built-in:
   paper | c17 | andtree9 | chain12 | hop | b3_m4 | kummer | edwards | adder4
@@ -111,6 +127,15 @@ minimize: --incremental reuses one assumption-bounded encoding/solver
   the portfolio cooperative (shared learnt-clause pool + unsat-core
   bound tightening across workers); --diversify jitters every worker's
   CDCL heuristics but the first (HordeSat-style per-worker seeds)
+serve: a pebbling daemon — one newline-delimited JSON request frame per
+  line over TCP, multiplexed onto a shared --workers N pool with a
+  result cache; requests beyond --max-pending in-flight sessions are
+  answered \"overloaded\"; --quota C caps every request's SAT conflicts
+  (a request's own quota may tighten but never widen it); SIGTERM/
+  SIGINT drain in-flight sessions and exit 0
+submit: send one request frame to a daemon and print the response line
+  on stdout; the input is a builtin name (sent by name), a .bench path
+  or '-' (sent inline), or with --raw the frame text itself
 batch: every input becomes one session on a shared --workers N pool
   (default: one per core) with a shared result cache — repeated DAGs are
   answered without solving; --quota C caps each session's SAT conflicts;
@@ -124,6 +149,12 @@ fn run(raw: &[String]) -> Result<(), CliError> {
     let args = Args::parse(raw).map_err(CliError::Usage)?;
     if args.command == "batch" {
         return run_batch(&args);
+    }
+    if args.command == "serve" {
+        return run_serve(&args);
+    }
+    if args.command == "submit" {
+        return run_submit(&args);
     }
     let dag = load_dag(&args.input).map_err(CliError::Failed)?;
     match args.command.as_str() {
@@ -538,22 +569,143 @@ fn run_batch(args: &Args) -> Result<(), CliError> {
     }
 }
 
-/// Minimal JSON string escaping for user-supplied input names.
-fn json_escape(text: &str) -> String {
-    let mut out = String::with_capacity(text.len());
-    for c in text.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            c if (c as u32) < 0x20 => {
-                use std::fmt::Write as _;
-                let _ = write!(out, "\\u{:04x}", c as u32);
-            }
-            c => out.push(c),
+/// `serve`: run the network daemon until SIGTERM/SIGINT, then drain
+/// in-flight sessions and exit 0. Configuration problems (zero workers,
+/// zero connection handlers) exit 2 like every other invalid
+/// configuration; a bind failure is a runtime error (exit 1).
+fn run_serve(args: &Args) -> Result<(), CliError> {
+    let faults = parse_fault_plan(args)?;
+    let defaults = ServeConfig::default();
+    let config = ServeConfig {
+        addr: args.addr.clone().unwrap_or(defaults.addr),
+        workers: args.workers.unwrap_or(defaults.workers),
+        connections: args.connections.unwrap_or(defaults.connections),
+        max_pending: args.max_pending.unwrap_or(defaults.max_pending),
+        quota: args.quota,
+        faults,
+        ..defaults
+    };
+    let server = Server::bind(config).map_err(|err| match err {
+        ServeError::Config(message) => CliError::Rejected(message),
+        ServeError::Io(io) => CliError::Failed(format!("cannot bind: {io}")),
+    })?;
+    eprintln!("serve: listening on {}", server.local_addr());
+    let handle = server.handle();
+    install_termination_handler();
+    std::thread::spawn(move || {
+        while !termination_requested() {
+            std::thread::sleep(Duration::from_millis(50));
         }
-    }
-    out
+        eprintln!("serve: shutdown requested; draining in-flight sessions");
+        handle.shutdown();
+    });
+    let stats = server.run();
+    eprintln!(
+        "serve: drained; {} connections, {} requests ({} ok, {} errors, {} overloaded), \
+         {} cancelled disconnects, {} contained panics, cache {}/{}",
+        stats.connections,
+        stats.requests,
+        stats.ok,
+        stats.errors,
+        stats.overloaded,
+        stats.cancelled_disconnects,
+        stats.contained_panics,
+        stats.cache_hits,
+        stats.cache_hits + stats.cache_misses,
+    );
+    Ok(())
 }
+
+/// `submit`: build one request frame from the flags (or send `<input>`
+/// verbatim with `--raw`), print the daemon's response line on stdout,
+/// and map its status to the CLI's exit codes: `ok` exits 0, a rejected
+/// request exits 2, `overloaded` and timeouts exit 1.
+fn run_submit(args: &Args) -> Result<(), CliError> {
+    let addr = args.addr.as_deref().unwrap_or("127.0.0.1:7979");
+    let frame = if args.raw {
+        args.input.clone()
+    } else {
+        let label = args.name.clone().unwrap_or_else(|| args.input.clone());
+        let mut request = if builtin_dag(&args.input).is_some() {
+            Request::builtin(label, args.input.clone())
+        } else {
+            // A file or stdin netlist travels inline as an adjacency
+            // object, so the daemon needs no access to local paths.
+            Request::inline(label, load_dag(&args.input).map_err(CliError::Failed)?)
+        };
+        request.pebbles = args.pebbles;
+        request.minimize = args.minimize;
+        request.portfolio = args.portfolio;
+        request.share_clauses = args.share_clauses;
+        request.diversify = args.diversify;
+        if args.incremental {
+            request.incremental = Some(true);
+        }
+        request.quota = args.quota;
+        request.timeout_ms = args.timeout.map(|t| t.as_millis() as u64);
+        request.to_json()
+    };
+    let wait = args.wait.unwrap_or(Duration::from_secs(60));
+    let response = submit_frame(addr, &frame, wait)
+        .map_err(|err| CliError::Failed(format!("submit to {addr}: {err}")))?;
+    println!("{response}");
+    let status = parse_json(&response).ok().and_then(|value| {
+        value
+            .get("status")
+            .and_then(|s| s.as_str().map(str::to_owned))
+    });
+    match status.as_deref() {
+        Some("ok") => Ok(()),
+        Some("overloaded") => Err(CliError::Failed(
+            "the daemon is at max pending sessions; retry later".into(),
+        )),
+        Some("error") => {
+            let detail = parse_json(&response)
+                .ok()
+                .and_then(|value| {
+                    value
+                        .get("error")
+                        .and_then(|e| e.as_str().map(str::to_owned))
+                })
+                .unwrap_or_else(|| "request rejected".into());
+            Err(CliError::Rejected(detail))
+        }
+        _ => Err(CliError::Failed(format!(
+            "unrecognized response from {addr}"
+        ))),
+    }
+}
+
+/// Set once a termination signal arrives; the `serve` watcher thread
+/// polls it. Signal handlers may only do async-signal-safe work, so the
+/// handler stores a flag and nothing else.
+static TERMINATION: std::sync::atomic::AtomicBool = std::sync::atomic::AtomicBool::new(false);
+
+fn termination_requested() -> bool {
+    TERMINATION.load(std::sync::atomic::Ordering::SeqCst)
+}
+
+/// Routes SIGTERM and SIGINT into [`TERMINATION`] so `serve` can drain
+/// and exit 0 instead of dying with the default signal disposition.
+#[cfg(unix)]
+fn install_termination_handler() {
+    use std::os::raw::c_int;
+    extern "C" fn on_termination_signal(_signal: c_int) {
+        TERMINATION.store(true, std::sync::atomic::Ordering::SeqCst);
+    }
+    extern "C" {
+        fn signal(signum: c_int, handler: extern "C" fn(c_int)) -> usize;
+    }
+    const SIGINT: c_int = 2;
+    const SIGTERM: c_int = 15;
+    unsafe {
+        signal(SIGTERM, on_termination_signal);
+        signal(SIGINT, on_termination_signal);
+    }
+}
+
+#[cfg(not(unix))]
+fn install_termination_handler() {}
 
 /// `frontier`: sweep the pebble/step trade-off through the session.
 fn run_frontier(dag: &Dag, args: &Args) -> Result<(), CliError> {
@@ -590,27 +742,12 @@ fn report_strategy(dag: &Dag, strategy: &Strategy, grid: bool) {
 }
 
 fn load_dag(input: &str) -> Result<Dag, String> {
-    use revpebble::graph::generators;
-    use revpebble::graph::network::xmg_ripple_adder;
-    use revpebble::graph::slp;
+    // Builtin names resolve through the one shared table (the serve
+    // daemon resolves request frames against the same one).
+    if let Some(dag) = builtin_dag(input) {
+        return Ok(dag);
+    }
     match input {
-        "paper" => Ok(generators::paper_example()),
-        "c17" => parse_bench(revpebble::graph::data::C17_BENCH).map_err(|e| e.to_string()),
-        "andtree9" => Ok(generators::and_tree(9)),
-        // A 12-node dependency chain: the worst case for pebble reuse
-        // (every node feeds the next), cheap enough for CI smokes.
-        "chain12" => Ok(generators::chain(12)),
-        "hop" => slp::h_operator().to_dag().map_err(|e| e.to_string()),
-        // Table I's smallest H-operator row (59 nodes), the workload the
-        // clause-sharing benches and the CI stress smoke run on.
-        "b3_m4" => Ok(slp::h_operator_sized(59)),
-        "kummer" => slp::kummer_ladder_step()
-            .to_dag()
-            .map_err(|e| e.to_string()),
-        "edwards" => slp::edwards_add_projective()
-            .to_dag()
-            .map_err(|e| e.to_string()),
-        "adder4" => Ok(xmg_ripple_adder(4).to_dag()),
         "-" => {
             let mut text = String::new();
             std::io::stdin()

@@ -77,8 +77,9 @@ pub use portfolio::{
     ShareOptions, SharingReport, WorkerReport,
 };
 pub use session::{
-    BatchReport, BatchSession, Engine, PebblingSession, ProbeEvent, ProbeEventSender, Report,
-    SessionError, SessionHandle, SessionOutcome, SessionPlan, StopReason, WorkerSummary,
+    AdmitGuard, BatchReport, BatchSession, Engine, PebblingSession, ProbeEvent, ProbeEventSender,
+    Report, SessionError, SessionHandle, SessionOutcome, SessionPlan, SessionRuntime, StopReason,
+    WorkerSummary,
 };
 pub use sharing::SharedSearchState;
 pub use solver::{

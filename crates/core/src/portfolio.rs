@@ -1233,12 +1233,13 @@ mod tests {
         strategy.validate(&dag, Some(p)).expect("valid");
         let single = minimize_single(&dag, base, Duration::from_secs(30));
         assert_eq!(Some(p), single.best.map(|(p, _)| p));
-        // Every worker is on the pool (full or prefix mode), and the
-        // mixed-encoding workers still certify a floor no higher than the
-        // minimum.
+        // At least one worker registered on the pool (on a 1-core box a
+        // decisive race can certify and cancel its rivals before they
+        // ever attach), and the mixed-encoding workers still certify a
+        // floor no higher than the minimum.
         assert!(
-            outcome.sharing.pool.workers >= 3,
-            "all three workers must register on the pool, got {}",
+            outcome.sharing.pool.workers >= 1,
+            "the winning worker must register on the pool, got {}",
             outcome.sharing.pool.workers
         );
         assert!(outcome.sharing.floor <= p);

@@ -621,12 +621,16 @@ impl Report {
     }
 
     /// The report as one JSON object (no external serialization crate;
-    /// every string is code-controlled, so no escaping is needed).
+    /// the one free-form string — each worker's `config` line — is
+    /// escaped with [`revpebble_graph::json::json_escape`], so the
+    /// output stays valid JSON even for hostile names arriving over the
+    /// wire).
     ///
     /// Keys: `engine`, `minimum` (number or `null`), `floor`, `workers`
     /// (array of per-worker objects), `events_emitted`, `probes`,
     /// `strategy` (object or `null`), and for frontier runs `frontier`.
     pub fn to_json(&self) -> String {
+        use revpebble_graph::json::json_escape;
         use std::fmt::Write as _;
         let mut out = String::from("{");
         let _ = write!(out, "\"engine\":\"{}\"", self.engine.as_str());
@@ -647,7 +651,7 @@ impl Report {
                 "{{\"config\":\"{}\",\"probes\":{},\"queries\":{},\"conflicts\":{},\
                  \"imported\":{},\"exported\":{},\"cancelled\":{},\"winner\":{},\
                  \"failed\":{},\"retries\":{},\"elapsed_s\":{:.6}}}",
-                worker.config,
+                json_escape(&worker.config),
                 worker.probes,
                 worker.queries,
                 worker.conflicts,
@@ -1531,6 +1535,180 @@ impl SessionHandle {
     }
 }
 
+/// The shared substrate one process multiplexes many sessions onto: a
+/// fixed [`Executor`] pool, a fingerprint-keyed [`ResultCache`], one
+/// root [`CancelToken`], a default per-session conflict quota, a
+/// [`RetryPolicy`], and a bounded in-flight gauge for backpressure.
+///
+/// [`BatchSession`] composes one for its submit/finish lifecycle; the
+/// `revpebble-serve` daemon shares one runtime across every client
+/// connection so repeated DAGs hit one cache and all clients draw from
+/// one pool. The runtime is `Clone` — clones share the same pool,
+/// cache, token and gauge — so a respawn thunk or a connection handler
+/// can own a handle to it.
+#[derive(Clone)]
+pub struct SessionRuntime {
+    executor: Arc<Executor>,
+    cache: Arc<ResultCache>,
+    root: CancelToken,
+    quota: Option<u64>,
+    retry: RetryPolicy,
+    max_in_flight: Option<usize>,
+    in_flight: Arc<std::sync::atomic::AtomicUsize>,
+}
+
+impl fmt::Debug for SessionRuntime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SessionRuntime")
+            .field("quota", &self.quota)
+            .field("retry", &self.retry)
+            .field("max_in_flight", &self.max_in_flight)
+            .field("in_flight", &self.in_flight())
+            .finish_non_exhaustive()
+    }
+}
+
+/// An admission slot handed out by [`SessionRuntime::admit`]; dropping
+/// it frees the slot. Hold it for the whole life of the admitted
+/// session (spawn through join) so the gauge means "sessions the pool
+/// has accepted responsibility for".
+#[derive(Debug)]
+pub struct AdmitGuard {
+    in_flight: Arc<std::sync::atomic::AtomicUsize>,
+}
+
+impl Drop for AdmitGuard {
+    fn drop(&mut self) {
+        self.in_flight
+            .fetch_sub(1, std::sync::atomic::Ordering::SeqCst);
+    }
+}
+
+impl SessionRuntime {
+    /// A runtime served by `workers` pool threads (rejects zero), with
+    /// an unbounded admission gauge, no quota and no retries.
+    pub fn new(workers: usize) -> Result<Self, SessionError> {
+        if workers == 0 {
+            return Err(SessionError::ZeroWorkerPool);
+        }
+        Ok(SessionRuntime {
+            executor: Arc::new(Executor::new(workers)),
+            cache: Arc::new(ResultCache::default()),
+            root: CancelToken::new(),
+            quota: None,
+            retry: RetryPolicy::none(),
+            max_in_flight: None,
+            in_flight: Arc::new(std::sync::atomic::AtomicUsize::new(0)),
+        })
+    }
+
+    /// Caps every session spawned through the runtime at `conflicts`
+    /// SAT conflicts (rides the token tree as a quota-carrying child).
+    pub fn per_session_quota(mut self, conflicts: u64) -> Self {
+        self.quota = Some(conflicts);
+        self
+    }
+
+    /// The retry policy consumers of the runtime (e.g.
+    /// [`BatchSession::finish`]) apply to retryable stops.
+    pub fn retry_policy(mut self, policy: RetryPolicy) -> Self {
+        self.retry = policy;
+        self
+    }
+
+    /// Bounds [`admit`](Self::admit) at `sessions` concurrently admitted
+    /// sessions; beyond it admission fails fast (the serve daemon turns
+    /// that into an `"overloaded"` response instead of queueing without
+    /// bound).
+    pub fn max_in_flight(mut self, sessions: usize) -> Self {
+        self.max_in_flight = Some(sessions);
+        self
+    }
+
+    /// The shared worker pool.
+    pub fn executor(&self) -> &Arc<Executor> {
+        &self.executor
+    }
+
+    /// The shared result cache.
+    pub fn cache(&self) -> &Arc<ResultCache> {
+        &self.cache
+    }
+
+    /// The runtime's root token; children of it are what per-session
+    /// tokens should descend from, so [`cancel_all`](Self::cancel_all)
+    /// reaches everything.
+    pub fn root(&self) -> &CancelToken {
+        &self.root
+    }
+
+    /// The configured per-session quota, if any.
+    pub fn quota(&self) -> Option<u64> {
+        self.quota
+    }
+
+    /// The configured retry policy.
+    pub fn retry(&self) -> RetryPolicy {
+        self.retry
+    }
+
+    /// Sessions currently admitted (spawned and not yet released).
+    pub fn in_flight(&self) -> usize {
+        self.in_flight.load(std::sync::atomic::Ordering::SeqCst)
+    }
+
+    /// Fires the root token: every running and queued session descending
+    /// from it stops promptly.
+    pub fn cancel_all(&self) {
+        self.root.cancel();
+    }
+
+    /// Claims an admission slot, or `None` when the runtime is already
+    /// at [`max_in_flight`](Self::max_in_flight) — the caller's cue to
+    /// shed load *before* spawning.
+    pub fn admit(&self) -> Option<AdmitGuard> {
+        use std::sync::atomic::Ordering;
+        let mut current = self.in_flight.load(Ordering::SeqCst);
+        loop {
+            if self.max_in_flight.is_some_and(|max| current >= max) {
+                return None;
+            }
+            match self.in_flight.compare_exchange(
+                current,
+                current + 1,
+                Ordering::SeqCst,
+                Ordering::SeqCst,
+            ) {
+                Ok(_) => {
+                    return Some(AdmitGuard {
+                        in_flight: Arc::clone(&self.in_flight),
+                    })
+                }
+                Err(seen) => current = seen,
+            }
+        }
+    }
+
+    /// Wires a configured session into the runtime — `token` (a
+    /// descendant of [`root`](Self::root)), the shared cache, the
+    /// default quota — and hands it to the pool. Validation happens in
+    /// [`PebblingSession::spawn_on`], so a bad configuration comes back
+    /// as a typed [`SessionError`] without consuming a pool slot.
+    pub fn spawn(
+        &self,
+        session: PebblingSession<'_>,
+        token: CancelToken,
+    ) -> Result<SessionHandle, SessionError> {
+        let mut session = session
+            .cancel_token(token)
+            .result_cache(Arc::clone(&self.cache));
+        if let Some(quota) = self.quota {
+            session = session.quota(quota);
+        }
+        session.spawn_on(&self.executor)
+    }
+}
+
 /// Many DAGs, one worker pool: sessions submitted here share a
 /// fixed-size [`Executor`], a [`ResultCache`] (repeated instances are
 /// answered without solving), an optional per-session conflict quota,
@@ -1552,11 +1730,7 @@ impl SessionHandle {
 /// assert!(report.sessions.iter().all(|(_, r)| r.minimum == Some(4)));
 /// ```
 pub struct BatchSession {
-    executor: Arc<Executor>,
-    cache: Arc<ResultCache>,
-    quota: Option<u64>,
-    retry: RetryPolicy,
-    root: CancelToken,
+    runtime: SessionRuntime,
     pending: Vec<PendingSession>,
 }
 
@@ -1572,9 +1746,7 @@ struct PendingSession {
 impl fmt::Debug for BatchSession {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("BatchSession")
-            .field("quota", &self.quota)
-            .field("retry", &self.retry)
-            .field("root", &self.root)
+            .field("runtime", &self.runtime)
             .field("pending", &self.pending.len())
             .finish_non_exhaustive()
     }
@@ -1596,17 +1768,17 @@ pub struct BatchReport {
 impl BatchSession {
     /// A batch served by `workers` pool threads (rejects zero).
     pub fn new(workers: usize) -> Result<Self, SessionError> {
-        if workers == 0 {
-            return Err(SessionError::ZeroWorkerPool);
-        }
-        Ok(BatchSession {
-            executor: Arc::new(Executor::new(workers)),
-            cache: Arc::new(ResultCache::default()),
-            quota: None,
-            retry: RetryPolicy::none(),
-            root: CancelToken::new(),
+        Ok(Self::on_runtime(SessionRuntime::new(workers)?))
+    }
+
+    /// A batch over an existing [`SessionRuntime`] — sessions submitted
+    /// here share that runtime's pool, cache, root token, quota and
+    /// retry policy with whatever else runs on it.
+    pub fn on_runtime(runtime: SessionRuntime) -> Self {
+        BatchSession {
+            runtime,
             pending: Vec::new(),
-        })
+        }
     }
 
     /// Caps every *subsequently* submitted session at `conflicts` SAT
@@ -1615,7 +1787,7 @@ impl BatchSession {
     /// neighbors. Zero is rejected at
     /// submit time.
     pub fn per_session_quota(mut self, conflicts: u64) -> Self {
-        self.quota = Some(conflicts);
+        self.runtime = self.runtime.per_session_quota(conflicts);
         self
     }
 
@@ -1626,13 +1798,18 @@ impl BatchSession {
     /// backoff between attempts. Re-runs are counted in each report's
     /// [`Report::retries`].
     pub fn retry_policy(mut self, policy: RetryPolicy) -> Self {
-        self.retry = policy;
+        self.runtime = self.runtime.retry_policy(policy);
         self
     }
 
     /// The shared worker pool, e.g. to co-schedule other jobs on it.
     pub fn executor(&self) -> &Arc<Executor> {
-        &self.executor
+        self.runtime.executor()
+    }
+
+    /// The underlying runtime (pool, cache, root token).
+    pub fn runtime(&self) -> &SessionRuntime {
+        &self.runtime
     }
 
     /// Sessions submitted and not yet joined.
@@ -1643,7 +1820,7 @@ impl BatchSession {
     /// Fires the batch-wide root token: every running and queued session
     /// stops promptly; [`finish`](Self::finish) returns partial reports.
     pub fn cancel_all(&self) {
-        self.root.cancel();
+        self.runtime.cancel_all();
     }
 
     /// Submits one session on `dag`. `configure` shapes the session
@@ -1662,20 +1839,12 @@ impl BatchSession {
         // Everything a re-run needs is owned by the thunk, so `finish`
         // can respawn the session verbatim after a retryable failure.
         let dag = Arc::new(dag.clone());
-        let executor = Arc::clone(&self.executor);
-        let cache = Arc::clone(&self.cache);
-        let quota = self.quota;
-        let root = self.root.clone();
+        let runtime = self.runtime.clone();
         let spawn = move || {
-            let mut session = configure(PebblingSession::new(&dag))
-                // A child, not the root itself: cancelling one session's
-                // handle must not take the whole batch down with it.
-                .cancel_token(root.child())
-                .result_cache(Arc::clone(&cache));
-            if let Some(quota) = quota {
-                session = session.quota(quota);
-            }
-            session.spawn_on(&executor)
+            // A child, not the root itself: cancelling one session's
+            // handle must not take the whole batch down with it.
+            let token = runtime.root().child();
+            runtime.spawn(configure(PebblingSession::new(&dag)), token)
         };
         let handle = spawn()?;
         self.pending.push(PendingSession {
@@ -1692,7 +1861,7 @@ impl BatchSession {
     /// respawned (after backoff) up to the policy's attempt cap —
     /// unless the batch root token itself has fired.
     pub fn finish(mut self) -> BatchReport {
-        let retry = self.retry;
+        let retry = self.runtime.retry();
         let sessions = self
             .pending
             .drain(..)
@@ -1706,7 +1875,7 @@ impl BatchSession {
                 let mut retries: u64 = 0;
                 let mut attempt: u32 = 1;
                 while attempt < retry.max_attempts
-                    && self.root.reason().is_none()
+                    && self.runtime.root().reason().is_none()
                     && report
                         .stop_reason
                         .as_ref()
@@ -1728,8 +1897,8 @@ impl BatchSession {
             .collect();
         BatchReport {
             sessions,
-            cache_hits: self.cache.hits(),
-            cache_misses: self.cache.misses(),
+            cache_hits: self.runtime.cache().hits(),
+            cache_misses: self.runtime.cache().misses(),
         }
     }
 }
@@ -2025,6 +2194,69 @@ mod tests {
             .expect("valid");
         assert_eq!(plan.engine, Engine::MinimizePortfolioShared);
         assert!(plan.share.diversify && plan.share.clauses && plan.share.bounds);
+    }
+
+    #[test]
+    fn report_json_survives_hostile_worker_configs() {
+        use revpebble_graph::json::parse_json;
+        let hostile = "cfg \"quoted\" back\\slash\nnewline\ttab \u{1} ctrl";
+        let report = Report {
+            engine: Engine::Single,
+            minimum: Some(4),
+            floor: 2,
+            workers: vec![WorkerSummary {
+                config: hostile.to_owned(),
+                probes: 1,
+                queries: 1,
+                conflicts: 0,
+                imported: 0,
+                exported: 0,
+                cancelled: false,
+                winner: true,
+                elapsed: Duration::from_millis(3),
+                failed: false,
+                retries: 0,
+            }],
+            events_emitted: 0,
+            stop_reason: None,
+            retries: 0,
+            cache_hits: 0,
+            cache_misses: 0,
+            wall: Duration::from_millis(5),
+            outcome: SessionOutcome::Aborted,
+        };
+        let value = parse_json(&report.to_json()).expect("hostile config must stay valid JSON");
+        let workers = value.get("workers").unwrap().as_array().unwrap();
+        assert_eq!(workers[0].get("config").unwrap().as_str(), Some(hostile));
+    }
+
+    #[test]
+    fn runtime_admission_is_bounded_and_released_on_drop() {
+        let runtime = SessionRuntime::new(1).expect("workers").max_in_flight(2);
+        let first = runtime.admit().expect("first slot");
+        let _second = runtime.admit().expect("second slot");
+        assert!(runtime.admit().is_none(), "third admit must shed load");
+        assert_eq!(runtime.in_flight(), 2);
+        drop(first);
+        assert_eq!(runtime.in_flight(), 1);
+        assert!(runtime.admit().is_some(), "released slot is reusable");
+    }
+
+    #[test]
+    fn runtime_spawns_share_one_result_cache() {
+        let dag = paper_example();
+        let runtime = SessionRuntime::new(2).expect("workers");
+        for _ in 0..2 {
+            let handle = runtime
+                .spawn(
+                    PebblingSession::new(&dag).minimize(),
+                    runtime.root().child(),
+                )
+                .expect("valid configuration");
+            assert_eq!(handle.join().minimum, Some(4));
+        }
+        assert_eq!(runtime.cache().misses(), 1, "first run solves");
+        assert_eq!(runtime.cache().hits(), 1, "second run is served from cache");
     }
 
     #[test]

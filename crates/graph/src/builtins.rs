@@ -1,0 +1,70 @@
+//! Named built-in workloads.
+//!
+//! One table mapping the short workload names used throughout the
+//! project — CLI arguments, serve-daemon request frames, bench ids, CI
+//! smokes — to their DAGs. Keeping the table here (the lowest crate)
+//! lets the CLI and the network daemon resolve the same names without
+//! either depending on the other.
+
+use crate::bench_format::parse_bench;
+use crate::dag::Dag;
+use crate::network::xmg_ripple_adder;
+use crate::{data, generators, slp};
+
+/// Every name [`builtin_dag`] resolves, in a stable order (usage/help
+/// text, error messages).
+pub const BUILTIN_DAG_NAMES: [&str; 9] = [
+    "paper", "c17", "andtree9", "chain12", "hop", "b3_m4", "kummer", "edwards", "adder4",
+];
+
+/// Resolves a built-in workload name to its DAG:
+///
+/// - `paper`: the running example of Fig. 2;
+/// - `c17`: the real ISCAS `c17` netlist (Table I's smallest row);
+/// - `andtree9`: Fig. 6's 9-input AND tree;
+/// - `chain12`: a 12-node dependency chain — the worst case for pebble
+///   reuse, cheap enough for CI smokes;
+/// - `hop`: Section IV-B's `H` operator straight-line program;
+/// - `b3_m4`: Table I's smallest H-operator row (59 nodes);
+/// - `kummer` / `edwards`: Fig. 5's scalar-multiplication programs;
+/// - `adder4`: a 4-bit XMG ripple-carry adder.
+///
+/// Returns `None` for unknown names so callers can fall back to files
+/// or inline descriptions with their own error wording.
+pub fn builtin_dag(name: &str) -> Option<Dag> {
+    let dag = match name {
+        "paper" => generators::paper_example(),
+        "c17" => parse_bench(data::C17_BENCH).expect("embedded c17 netlist parses"),
+        "andtree9" => generators::and_tree(9),
+        "chain12" => generators::chain(12),
+        "hop" => slp::h_operator()
+            .to_dag()
+            .expect("embedded H operator compiles"),
+        "b3_m4" => slp::h_operator_sized(59),
+        "kummer" => slp::kummer_ladder_step()
+            .to_dag()
+            .expect("embedded Kummer program compiles"),
+        "edwards" => slp::edwards_add_projective()
+            .to_dag()
+            .expect("embedded Edwards program compiles"),
+        "adder4" => xmg_ripple_adder(4).to_dag(),
+        _ => return None,
+    };
+    Some(dag)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_listed_name_resolves_to_a_pebblable_dag() {
+        for name in BUILTIN_DAG_NAMES {
+            let dag = builtin_dag(name).unwrap_or_else(|| panic!("{name} is listed"));
+            assert!(dag.num_nodes() > 0, "{name} is empty");
+            dag.validate_for_pebbling()
+                .unwrap_or_else(|err| panic!("{name}: {err}"));
+        }
+        assert_eq!(builtin_dag("not-a-workload"), None);
+    }
+}

@@ -1,0 +1,1006 @@
+//! Minimal JSON support for the wire layer: a dependency-free value
+//! parser, a string-escape helper, and a [`Dag`] adjacency round-trip.
+//!
+//! The serving daemon (`revpebble-serve`) speaks newline-delimited JSON
+//! frames, and the compat-crate constraint rules out `serde`, so this
+//! module hand-rolls the minimum: a recursive-descent parser into
+//! [`JsonValue`] (strict — rejects trailing garbage, raw control
+//! characters in strings, and unreasonable nesting) and the inverse of
+//! the escaping every hand-rolled `to_json` in the workspace performs.
+//!
+//! On top of that, [`Dag::from_json`] / [`Dag::to_adjacency_json`] give
+//! remote callers a way to ship non-builtin DAGs: a flat adjacency
+//! description with nodes in any order, resolved topologically so cycles
+//! are rejected with a typed error rather than an infinite loop.
+//!
+//! # Adjacency schema
+//!
+//! ```json
+//! {
+//!   "inputs": ["x", "y"],
+//!   "nodes": [
+//!     {"name": "g", "op": "and", "fanins": ["x", "y"]},
+//!     {"name": "h", "op": "not", "fanins": ["g"], "weight": 2}
+//!   ],
+//!   "outputs": ["h"]
+//! }
+//! ```
+//!
+//! `inputs` and `outputs` are optional (`outputs` defaults to every
+//! sink); `weight` defaults to 1; `op` names are case-insensitive
+//! ([`Op::parse`]).
+
+use std::fmt;
+
+use crate::dag::{Dag, DagError, Source};
+use crate::op::Op;
+
+/// Maximum `inputs + nodes` a [`Dag::from_json`] description may carry.
+/// Table I's largest netlist (`c7552`) is ~3.5k nodes; this leaves two
+/// orders of magnitude of headroom while keeping one hostile frame from
+/// allocating without bound.
+pub const MAX_JSON_DAG_NODES: usize = 100_000;
+
+/// Maximum nesting depth [`parse_json`] accepts before giving up — deep
+/// enough for any real frame, shallow enough that a `[[[[…` bomb cannot
+/// overflow the parser's stack.
+const MAX_JSON_DEPTH: usize = 64;
+
+/// A parsed JSON value.
+///
+/// Objects keep their key order as a `Vec` of pairs — the frames this
+/// crate parses are small, so linear [`get`](Self::get) beats hashing.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number (parsed as `f64`, like JavaScript).
+    Num(f64),
+    /// A string, with escapes resolved.
+    Str(String),
+    /// An array.
+    Array(Vec<JsonValue>),
+    /// An object, in source key order.
+    Object(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// Looks a key up in an object (first match, linear scan). `None`
+    /// for missing keys and for non-objects.
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Object(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The boolean payload, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            JsonValue::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload as an exact unsigned integer: a number that
+    /// is whole, non-negative and within `f64`'s exact-integer range.
+    pub fn as_u64(&self) -> Option<u64> {
+        let n = self.as_f64()?;
+        if n >= 0.0 && n.fract() == 0.0 && n <= 9_007_199_254_740_992.0 {
+            Some(n as u64)
+        } else {
+            None
+        }
+    }
+
+    /// [`as_u64`](Self::as_u64) narrowed to `usize`.
+    pub fn as_usize(&self) -> Option<usize> {
+        self.as_u64().and_then(|n| usize::try_from(n).ok())
+    }
+
+    /// The elements, if this is an array.
+    pub fn as_array(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The key/value pairs, if this is an object.
+    pub fn as_object(&self) -> Option<&[(String, JsonValue)]> {
+        match self {
+            JsonValue::Object(pairs) => Some(pairs),
+            _ => None,
+        }
+    }
+
+    /// A short noun for error messages ("string", "object", …).
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            JsonValue::Null => "null",
+            JsonValue::Bool(_) => "boolean",
+            JsonValue::Num(_) => "number",
+            JsonValue::Str(_) => "string",
+            JsonValue::Array(_) => "array",
+            JsonValue::Object(_) => "object",
+        }
+    }
+}
+
+/// A parse failure, with the byte offset where it was detected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    /// Byte offset into the input where parsing failed.
+    pub offset: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid JSON at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+/// Parses one complete JSON value; trailing non-whitespace is an error.
+pub fn parse_json(text: &str) -> Result<JsonValue, JsonError> {
+    let mut parser = Parser {
+        text,
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    parser.skip_ws();
+    let value = parser.value(0)?;
+    parser.skip_ws();
+    if parser.pos != parser.bytes.len() {
+        return Err(parser.fail("trailing characters after the value"));
+    }
+    Ok(value)
+}
+
+/// Escapes `text` for embedding inside a JSON string literal: quotes,
+/// backslashes, and every control character below `0x20` (named escapes
+/// for the common ones, `\u00XX` otherwise). The inverse of the string
+/// handling in [`parse_json`].
+pub fn json_escape(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    for ch in text.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+struct Parser<'a> {
+    text: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn fail(&self, message: impl Into<String>) -> JsonError {
+        JsonError {
+            offset: self.pos,
+            message: message.into(),
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), JsonError> {
+        if self.bytes.get(self.pos) == Some(&byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.fail(format!("expected {:?}", byte as char)))
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<JsonValue, JsonError> {
+        if depth > MAX_JSON_DEPTH {
+            return Err(self.fail("nesting too deep"));
+        }
+        match self.bytes.get(self.pos) {
+            Some(b'{') => self.object(depth),
+            Some(b'[') => self.array(depth),
+            Some(b'"') => self.string().map(JsonValue::Str),
+            Some(b't') => self.literal("true", JsonValue::Bool(true)),
+            Some(b'f') => self.literal("false", JsonValue::Bool(false)),
+            Some(b'n') => self.literal("null", JsonValue::Null),
+            Some(b'-') | Some(b'0'..=b'9') => self.number(),
+            Some(&b) => Err(self.fail(format!("unexpected character {:?}", b as char))),
+            None => Err(self.fail("unexpected end of input")),
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: JsonValue) -> Result<JsonValue, JsonError> {
+        if self.text[self.pos..].starts_with(word) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(self.fail(format!("expected {word:?}")))
+        }
+    }
+
+    fn number(&mut self) -> Result<JsonValue, JsonError> {
+        let start = self.pos;
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if matches!(b, b'-' | b'+' | b'.' | b'e' | b'E' | b'0'..=b'9') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        let slice = &self.text[start..self.pos];
+        match slice.parse::<f64>() {
+            Ok(n) if n.is_finite() => Ok(JsonValue::Num(n)),
+            _ => Err(self.fail(format!("invalid number {slice:?}"))),
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        let mut run = self.pos;
+        loop {
+            match self.bytes.get(self.pos) {
+                None => return Err(self.fail("unterminated string")),
+                Some(b'"') => {
+                    out.push_str(&self.text[run..self.pos]);
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    out.push_str(&self.text[run..self.pos]);
+                    self.pos += 1;
+                    out.push(self.escape_char()?);
+                    run = self.pos;
+                }
+                Some(&b) if b < 0x20 => {
+                    return Err(self.fail("raw control character in string"));
+                }
+                Some(_) => {
+                    // Skip over one UTF-8 scalar (the input is a &str,
+                    // so boundaries are already valid).
+                    self.pos += 1;
+                    while self.bytes.get(self.pos).is_some_and(|&b| b & 0xC0 == 0x80) {
+                        self.pos += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    fn escape_char(&mut self) -> Result<char, JsonError> {
+        let Some(&b) = self.bytes.get(self.pos) else {
+            return Err(self.fail("unterminated escape"));
+        };
+        self.pos += 1;
+        Ok(match b {
+            b'"' => '"',
+            b'\\' => '\\',
+            b'/' => '/',
+            b'b' => '\u{8}',
+            b'f' => '\u{c}',
+            b'n' => '\n',
+            b'r' => '\r',
+            b't' => '\t',
+            b'u' => {
+                let unit = self.hex4()?;
+                if (0xD800..0xDC00).contains(&unit) {
+                    // High surrogate: pair it with the following \uXXXX
+                    // low surrogate, or degrade to U+FFFD.
+                    if self.bytes.get(self.pos) == Some(&b'\\')
+                        && self.bytes.get(self.pos + 1) == Some(&b'u')
+                    {
+                        self.pos += 2;
+                        let low = self.hex4()?;
+                        if (0xDC00..0xE000).contains(&low) {
+                            let scalar = 0x10000 + ((unit - 0xD800) << 10) + (low - 0xDC00);
+                            char::from_u32(scalar).unwrap_or('\u{FFFD}')
+                        } else {
+                            '\u{FFFD}'
+                        }
+                    } else {
+                        '\u{FFFD}'
+                    }
+                } else {
+                    char::from_u32(unit).unwrap_or('\u{FFFD}')
+                }
+            }
+            other => {
+                self.pos -= 1;
+                return Err(self.fail(format!("unknown escape \\{}", other as char)));
+            }
+        })
+    }
+
+    fn hex4(&mut self) -> Result<u32, JsonError> {
+        let end = self.pos + 4;
+        let slice = self
+            .bytes
+            .get(self.pos..end)
+            .ok_or_else(|| self.fail("truncated \\u escape"))?;
+        let text = std::str::from_utf8(slice).map_err(|_| self.fail("bad \\u escape"))?;
+        let unit = u32::from_str_radix(text, 16).map_err(|_| self.fail("bad \\u escape"))?;
+        self.pos = end;
+        Ok(unit)
+    }
+
+    fn array(&mut self, depth: usize) -> Result<JsonValue, JsonError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.bytes.get(self.pos) == Some(&b']') {
+            self.pos += 1;
+            return Ok(JsonValue::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value(depth + 1)?);
+            self.skip_ws();
+            match self.bytes.get(self.pos) {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Array(items));
+                }
+                _ => return Err(self.fail("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn object(&mut self, depth: usize) -> Result<JsonValue, JsonError> {
+        self.expect(b'{')?;
+        let mut pairs = Vec::new();
+        self.skip_ws();
+        if self.bytes.get(self.pos) == Some(&b'}') {
+            self.pos += 1;
+            return Ok(JsonValue::Object(pairs));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value(depth + 1)?;
+            pairs.push((key, value));
+            self.skip_ws();
+            match self.bytes.get(self.pos) {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Object(pairs));
+                }
+                _ => return Err(self.fail("expected ',' or '}'")),
+            }
+        }
+    }
+}
+
+/// Why a JSON adjacency description could not become a [`Dag`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum DagJsonError {
+    /// The text is not valid JSON at all.
+    Json(JsonError),
+    /// A field has the wrong shape (wrong type, missing, …).
+    BadField {
+        /// Dotted path of the offending field, e.g. `nodes[3].op`.
+        field: String,
+        /// What the field should have been.
+        expected: &'static str,
+    },
+    /// A top-level key the schema does not define (typo guard — a
+    /// misspelled `"outputs"` should not silently change the DAG).
+    UnknownField(String),
+    /// Two inputs/nodes share a name, so fanin references are ambiguous.
+    DuplicateName(String),
+    /// A node's operation name is not one of [`Op::ALL`].
+    UnknownOp {
+        /// The node whose op failed to parse.
+        node: String,
+        /// The unrecognized operation name.
+        op: String,
+    },
+    /// A fanin names neither an input nor a node.
+    UnknownFanin {
+        /// The referencing node.
+        node: String,
+        /// The name that resolved to nothing.
+        fanin: String,
+    },
+    /// An `outputs` entry names no node.
+    UnknownOutput(String),
+    /// The description contains a dependency cycle (or the named node
+    /// depends on one), so no topological order exists.
+    Cycle {
+        /// A node that could not be ordered.
+        node: String,
+    },
+    /// More inputs+nodes than the limit allows.
+    TooLarge {
+        /// Inputs plus nodes in the description.
+        nodes: usize,
+        /// The limit that was exceeded.
+        limit: usize,
+    },
+    /// Structurally valid JSON that violates a [`Dag`] builder rule
+    /// (arity, zero weight, …).
+    Dag(DagError),
+}
+
+impl fmt::Display for DagJsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DagJsonError::Json(err) => write!(f, "{err}"),
+            DagJsonError::BadField { field, expected } => {
+                write!(f, "field {field:?} must be {expected}")
+            }
+            DagJsonError::UnknownField(field) => {
+                write!(f, "unknown field {field:?} (expected inputs/nodes/outputs)")
+            }
+            DagJsonError::DuplicateName(name) => {
+                write!(f, "duplicate name {name:?}")
+            }
+            DagJsonError::UnknownOp { node, op } => {
+                write!(f, "node {node:?} has unknown op {op:?}")
+            }
+            DagJsonError::UnknownFanin { node, fanin } => {
+                write!(f, "node {node:?} references unknown fanin {fanin:?}")
+            }
+            DagJsonError::UnknownOutput(name) => {
+                write!(f, "output {name:?} names no node")
+            }
+            DagJsonError::Cycle { node } => {
+                write!(f, "node {node:?} is part of (or depends on) a cycle")
+            }
+            DagJsonError::TooLarge { nodes, limit } => {
+                write!(f, "description has {nodes} inputs+nodes, limit is {limit}")
+            }
+            DagJsonError::Dag(err) => write!(f, "{err}"),
+        }
+    }
+}
+
+impl std::error::Error for DagJsonError {}
+
+impl From<JsonError> for DagJsonError {
+    fn from(err: JsonError) -> Self {
+        DagJsonError::Json(err)
+    }
+}
+
+impl From<DagError> for DagJsonError {
+    fn from(err: DagError) -> Self {
+        DagJsonError::Dag(err)
+    }
+}
+
+/// One node row pulled out of the `"nodes"` array before ordering.
+struct PendingNode {
+    name: String,
+    op: Op,
+    fanins: Vec<String>,
+    weight: u32,
+}
+
+impl Dag {
+    /// Parses a JSON adjacency description (see the [module
+    /// docs](self) for the schema) with the default
+    /// [`MAX_JSON_DAG_NODES`] size cap.
+    ///
+    /// Nodes may appear in any order; the description is ordered
+    /// topologically, and cyclic or oversized inputs are rejected with a
+    /// typed [`DagJsonError`].
+    pub fn from_json(text: &str) -> Result<Dag, DagJsonError> {
+        Self::from_json_bounded(text, MAX_JSON_DAG_NODES)
+    }
+
+    /// [`from_json`](Self::from_json) with an explicit `inputs + nodes`
+    /// cap (the serving daemon bounds untrusted frames tighter).
+    pub fn from_json_bounded(text: &str, max_nodes: usize) -> Result<Dag, DagJsonError> {
+        Self::from_json_value(&parse_json(text)?, max_nodes)
+    }
+
+    /// [`from_json_bounded`](Self::from_json_bounded) over an
+    /// already-parsed [`JsonValue`] — the serve daemon embeds the
+    /// adjacency description inside a larger request frame and hands the
+    /// sub-value here without re-serializing.
+    pub fn from_json_value(root: &JsonValue, max_nodes: usize) -> Result<Dag, DagJsonError> {
+        let Some(pairs) = root.as_object() else {
+            return Err(DagJsonError::BadField {
+                field: "<root>".into(),
+                expected: "an object",
+            });
+        };
+        for (key, _) in pairs {
+            if !matches!(key.as_str(), "inputs" | "nodes" | "outputs") {
+                return Err(DagJsonError::UnknownField(key.clone()));
+            }
+        }
+
+        let inputs: Vec<String> = match root.get("inputs") {
+            None => Vec::new(),
+            Some(value) => {
+                let items = value.as_array().ok_or(DagJsonError::BadField {
+                    field: "inputs".into(),
+                    expected: "an array of strings",
+                })?;
+                items
+                    .iter()
+                    .map(|item| {
+                        item.as_str()
+                            .map(str::to_owned)
+                            .ok_or(DagJsonError::BadField {
+                                field: "inputs[]".into(),
+                                expected: "a string",
+                            })
+                    })
+                    .collect::<Result<_, _>>()?
+            }
+        };
+
+        let node_rows =
+            root.get("nodes")
+                .and_then(JsonValue::as_array)
+                .ok_or(DagJsonError::BadField {
+                    field: "nodes".into(),
+                    expected: "an array of node objects",
+                })?;
+        if inputs.len() + node_rows.len() > max_nodes {
+            return Err(DagJsonError::TooLarge {
+                nodes: inputs.len() + node_rows.len(),
+                limit: max_nodes,
+            });
+        }
+
+        let mut pending = Vec::with_capacity(node_rows.len());
+        for (index, row) in node_rows.iter().enumerate() {
+            let field = |suffix: &str| format!("nodes[{index}].{suffix}");
+            if row.as_object().is_none() {
+                return Err(DagJsonError::BadField {
+                    field: format!("nodes[{index}]"),
+                    expected: "an object",
+                });
+            }
+            if let Some((key, _)) = row
+                .as_object()
+                .unwrap()
+                .iter()
+                .find(|(key, _)| !matches!(key.as_str(), "name" | "op" | "fanins" | "weight"))
+            {
+                return Err(DagJsonError::UnknownField(format!("nodes[{index}].{key}")));
+            }
+            let name = row
+                .get("name")
+                .and_then(JsonValue::as_str)
+                .ok_or(DagJsonError::BadField {
+                    field: field("name"),
+                    expected: "a string",
+                })?
+                .to_owned();
+            let op_name = match row.get("op") {
+                None => "op",
+                Some(value) => value.as_str().ok_or(DagJsonError::BadField {
+                    field: field("op"),
+                    expected: "a string",
+                })?,
+            };
+            let op = Op::parse(op_name).ok_or_else(|| DagJsonError::UnknownOp {
+                node: name.clone(),
+                op: op_name.to_owned(),
+            })?;
+            let fanins: Vec<String> = match row.get("fanins") {
+                None => Vec::new(),
+                Some(value) => value
+                    .as_array()
+                    .ok_or(DagJsonError::BadField {
+                        field: field("fanins"),
+                        expected: "an array of strings",
+                    })?
+                    .iter()
+                    .map(|item| {
+                        item.as_str()
+                            .map(str::to_owned)
+                            .ok_or(DagJsonError::BadField {
+                                field: field("fanins[]"),
+                                expected: "a string",
+                            })
+                    })
+                    .collect::<Result<_, _>>()?,
+            };
+            let weight = match row.get("weight") {
+                None => 1,
+                Some(value) => value.as_u64().and_then(|w| u32::try_from(w).ok()).ok_or(
+                    DagJsonError::BadField {
+                        field: field("weight"),
+                        expected: "a small non-negative integer",
+                    },
+                )?,
+            };
+            pending.push(PendingNode {
+                name,
+                op,
+                fanins,
+                weight,
+            });
+        }
+
+        // Name resolution. Inputs and nodes share one namespace so fanin
+        // strings are unambiguous.
+        use std::collections::HashMap;
+        let mut input_sources: HashMap<&str, Source> = HashMap::new();
+        let mut dag = Dag::new();
+        for name in &inputs {
+            if input_sources
+                .insert(name.as_str(), dag.add_input(name.clone()))
+                .is_some()
+            {
+                return Err(DagJsonError::DuplicateName(name.clone()));
+            }
+        }
+        let mut node_index: HashMap<&str, usize> = HashMap::new();
+        for (index, node) in pending.iter().enumerate() {
+            if input_sources.contains_key(node.name.as_str())
+                || node_index.insert(node.name.as_str(), index).is_some()
+            {
+                return Err(DagJsonError::DuplicateName(node.name.clone()));
+            }
+        }
+
+        // Kahn's algorithm over node→node edges: rows may arrive in any
+        // order, and a description that never drains is cyclic. The ready
+        // set is a min-heap on the row index so resolution is stable: a
+        // description already in topological order (like the output of
+        // `to_adjacency_json`) round-trips with identical node numbering.
+        use std::cmp::Reverse;
+        use std::collections::BinaryHeap;
+        let mut missing: Vec<usize> = vec![0; pending.len()];
+        let mut dependents: Vec<Vec<usize>> = vec![Vec::new(); pending.len()];
+        let mut ready: BinaryHeap<Reverse<usize>> = BinaryHeap::new();
+        for (index, node) in pending.iter().enumerate() {
+            for fanin in &node.fanins {
+                if let Some(&dep) = node_index.get(fanin.as_str()) {
+                    missing[index] += 1;
+                    dependents[dep].push(index);
+                } else if !input_sources.contains_key(fanin.as_str()) {
+                    return Err(DagJsonError::UnknownFanin {
+                        node: node.name.clone(),
+                        fanin: fanin.clone(),
+                    });
+                }
+            }
+            if missing[index] == 0 {
+                ready.push(Reverse(index));
+            }
+        }
+
+        let mut sources: Vec<Option<Source>> = vec![None; pending.len()];
+        let mut ordered = 0;
+        while let Some(Reverse(index)) = ready.pop() {
+            ordered += 1;
+            let node = &pending[index];
+            let fanins: Vec<Source> = node
+                .fanins
+                .iter()
+                .map(|fanin| match input_sources.get(fanin.as_str()) {
+                    Some(&source) => source,
+                    None => sources[node_index[fanin.as_str()]]
+                        .expect("dependencies resolved before dependents"),
+                })
+                .collect();
+            let id = dag.add_node_weighted(node.name.clone(), node.op, fanins, node.weight)?;
+            sources[index] = Some(Source::Node(id));
+            for &dependent in &dependents[index] {
+                missing[dependent] -= 1;
+                if missing[dependent] == 0 {
+                    ready.push(Reverse(dependent));
+                }
+            }
+        }
+        if ordered != pending.len() {
+            let stuck = pending
+                .iter()
+                .enumerate()
+                .find(|(index, _)| sources[*index].is_none())
+                .map(|(_, node)| node.name.clone())
+                .unwrap_or_default();
+            return Err(DagJsonError::Cycle { node: stuck });
+        }
+
+        match root.get("outputs") {
+            None => dag.mark_sinks_as_outputs(),
+            Some(value) => {
+                let items = value.as_array().ok_or(DagJsonError::BadField {
+                    field: "outputs".into(),
+                    expected: "an array of strings",
+                })?;
+                for item in items {
+                    let name = item.as_str().ok_or(DagJsonError::BadField {
+                        field: "outputs[]".into(),
+                        expected: "a string",
+                    })?;
+                    let id = node_index
+                        .get(name)
+                        .and_then(|&index| sources[index])
+                        .and_then(Source::as_node)
+                        .ok_or_else(|| DagJsonError::UnknownOutput(name.to_owned()))?;
+                    dag.mark_output(id);
+                }
+            }
+        }
+        Ok(dag)
+    }
+
+    /// Serializes the DAG as the adjacency description
+    /// [`from_json`](Self::from_json) parses. Names are escaped, nodes
+    /// are emitted in (topological) storage order, and `weight` is only
+    /// written when it differs from the default 1.
+    pub fn to_adjacency_json(&self) -> String {
+        let source_name = |source: Source| match source {
+            Source::Input(id) => self.input_names()[id.index()].as_str(),
+            Source::Node(id) => self.node(id).name.as_str(),
+        };
+        let mut out = String::from("{\"inputs\":[");
+        for (index, name) in self.input_names().iter().enumerate() {
+            if index > 0 {
+                out.push(',');
+            }
+            out.push('"');
+            out.push_str(&json_escape(name));
+            out.push('"');
+        }
+        out.push_str("],\"nodes\":[");
+        for (index, id) in self.node_ids().enumerate() {
+            let node = self.node(id);
+            if index > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"name\":\"{}\",\"op\":\"{}\",\"fanins\":[",
+                json_escape(&node.name),
+                node.op.to_string().to_ascii_lowercase(),
+            ));
+            for (fanin_index, &fanin) in node.fanins.iter().enumerate() {
+                if fanin_index > 0 {
+                    out.push(',');
+                }
+                out.push('"');
+                out.push_str(&json_escape(source_name(fanin)));
+                out.push('"');
+            }
+            out.push(']');
+            if node.weight != 1 {
+                out.push_str(&format!(",\"weight\":{}", node.weight));
+            }
+            out.push('}');
+        }
+        out.push_str("],\"outputs\":[");
+        for (index, &id) in self.outputs().iter().enumerate() {
+            if index > 0 {
+                out.push(',');
+            }
+            out.push('"');
+            out.push_str(&json_escape(&self.node(id).name));
+            out.push('"');
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_scalars_and_containers() {
+        assert_eq!(parse_json("null").unwrap(), JsonValue::Null);
+        assert_eq!(parse_json(" true ").unwrap(), JsonValue::Bool(true));
+        assert_eq!(parse_json("-2.5e1").unwrap(), JsonValue::Num(-25.0));
+        assert_eq!(
+            parse_json("\"a\\n\\\"b\\\\c\\u0041\"").unwrap(),
+            JsonValue::Str("a\n\"b\\cA".to_owned())
+        );
+        let value = parse_json("{\"xs\": [1, 2], \"ok\": false}").unwrap();
+        assert_eq!(value.get("ok"), Some(&JsonValue::Bool(false)));
+        assert_eq!(value.get("xs").unwrap().as_array().unwrap().len(), 2);
+        assert_eq!(value.get("missing"), None);
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        for bad in [
+            "",
+            "{",
+            "[1,]",
+            "{\"a\"}",
+            "tru",
+            "1 2",
+            "\"\x01\"",
+            "nan",
+            "\"unterminated",
+            "{\"a\":}",
+            "[1 2]",
+            "\"\\q\"",
+        ] {
+            assert!(parse_json(bad).is_err(), "accepted {bad:?}");
+        }
+        let deep = format!("{}1{}", "[".repeat(100), "]".repeat(100));
+        assert!(parse_json(&deep).is_err());
+    }
+
+    #[test]
+    fn surrogate_pairs_decode() {
+        assert_eq!(
+            parse_json("\"\\ud83e\\udde9\"").unwrap(),
+            JsonValue::Str("🧩".to_owned())
+        );
+        // Lone surrogates degrade to U+FFFD instead of failing.
+        assert_eq!(
+            parse_json("\"\\ud800x\"").unwrap(),
+            JsonValue::Str("\u{FFFD}x".to_owned())
+        );
+    }
+
+    #[test]
+    fn escape_round_trips_hostile_strings() {
+        for hostile in [
+            "plain",
+            "with \"quotes\" and \\backslashes\\",
+            "newline\nand\ttab and \r",
+            "control\u{1}\u{1f}chars",
+            "unicode ✓ 🧩",
+        ] {
+            let literal = format!("\"{}\"", json_escape(hostile));
+            assert_eq!(
+                parse_json(&literal).unwrap(),
+                JsonValue::Str(hostile.to_owned()),
+                "round trip failed for {hostile:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn adjacency_round_trips() {
+        let mut dag = Dag::new();
+        let x = dag.add_input("x");
+        let y = dag.add_input("y");
+        let g = dag.add_node("g", Op::And, [x, y]).unwrap();
+        let h = dag
+            .add_node_weighted("h", Op::Not, [Source::Node(g)], 3)
+            .unwrap();
+        dag.mark_output(h);
+        let text = dag.to_adjacency_json();
+        let parsed = Dag::from_json(&text).unwrap();
+        assert_eq!(parsed, dag);
+        assert_eq!(parsed.canonical_fingerprint(), dag.canonical_fingerprint());
+    }
+
+    #[test]
+    fn adjacency_round_trips_hostile_names() {
+        let mut dag = Dag::new();
+        let x = dag.add_input("in\"put\\one");
+        let g = dag
+            .add_node("node\nwith\tcontrol\u{1}chars", Op::Buf, [x])
+            .unwrap();
+        dag.mark_output(g);
+        let parsed = Dag::from_json(&dag.to_adjacency_json()).unwrap();
+        assert_eq!(parsed, dag);
+    }
+
+    #[test]
+    fn nodes_in_any_order_resolve_topologically() {
+        let text = r#"{
+            "inputs": ["x"],
+            "nodes": [
+                {"name": "late", "op": "not", "fanins": ["early"]},
+                {"name": "early", "op": "buf", "fanins": ["x"]}
+            ],
+            "outputs": ["late"]
+        }"#;
+        let dag = Dag::from_json(text).unwrap();
+        assert_eq!(dag.num_nodes(), 2);
+        assert_eq!(dag.num_outputs(), 1);
+    }
+
+    #[test]
+    fn outputs_default_to_sinks() {
+        let text = r#"{"inputs":["x"],"nodes":[{"name":"g","op":"not","fanins":["x"]}]}"#;
+        let dag = Dag::from_json(text).unwrap();
+        assert_eq!(dag.num_outputs(), 1);
+    }
+
+    #[test]
+    fn cycles_are_rejected() {
+        let text = r#"{
+            "nodes": [
+                {"name": "a", "op": "not", "fanins": ["b"]},
+                {"name": "b", "op": "not", "fanins": ["a"]}
+            ]
+        }"#;
+        match Dag::from_json(text) {
+            Err(DagJsonError::Cycle { node }) => assert!(node == "a" || node == "b"),
+            other => panic!("expected Cycle, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn oversized_descriptions_are_rejected() {
+        let text = r#"{"inputs":["x","y"],"nodes":[{"name":"g","op":"and","fanins":["x","y"]}]}"#;
+        assert!(Dag::from_json_bounded(text, 16).is_ok());
+        match Dag::from_json_bounded(text, 2) {
+            Err(DagJsonError::TooLarge { nodes: 3, limit: 2 }) => {}
+            other => panic!("expected TooLarge, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn typed_errors_cover_the_schema() {
+        assert!(matches!(
+            Dag::from_json("[1]"),
+            Err(DagJsonError::BadField { .. })
+        ));
+        assert!(matches!(
+            Dag::from_json(r#"{"nodes":[],"surprise":1}"#),
+            Err(DagJsonError::UnknownField(_))
+        ));
+        assert!(matches!(
+            Dag::from_json(r#"{"inputs":["x","x"],"nodes":[]}"#),
+            Err(DagJsonError::DuplicateName(_))
+        ));
+        assert!(matches!(
+            Dag::from_json(r#"{"nodes":[{"name":"g","op":"frob","fanins":[]}]}"#),
+            Err(DagJsonError::UnknownOp { .. })
+        ));
+        assert!(matches!(
+            Dag::from_json(r#"{"nodes":[{"name":"g","op":"not","fanins":["ghost"]}]}"#),
+            Err(DagJsonError::UnknownFanin { .. })
+        ));
+        assert!(matches!(
+            Dag::from_json(r#"{"inputs":["x"],"nodes":[],"outputs":["x"]}"#),
+            Err(DagJsonError::UnknownOutput(_))
+        ));
+        // Arity violations surface as the builder's own typed error.
+        assert!(matches!(
+            Dag::from_json(r#"{"inputs":["x"],"nodes":[{"name":"g","op":"maj","fanins":["x"]}]}"#),
+            Err(DagJsonError::Dag(DagError::ArityMismatch { .. }))
+        ));
+    }
+}

@@ -35,14 +35,18 @@
 #![warn(missing_docs)]
 
 pub mod bench_format;
+pub mod builtins;
 pub mod dag;
 pub mod data;
 pub mod generators;
+pub mod json;
 pub mod network;
 pub mod op;
 pub mod slp;
 
 pub use bench_format::{parse_bench, ParseBenchError};
+pub use builtins::{builtin_dag, BUILTIN_DAG_NAMES};
 pub use dag::{Dag, DagError, InputId, Node, NodeId, Source};
+pub use json::{json_escape, parse_json, DagJsonError, JsonError, JsonValue, MAX_JSON_DAG_NODES};
 pub use op::Op;
 pub use slp::{Slp, SlpError, SlpOp};

@@ -65,6 +65,18 @@ impl Op {
         Op::Opaque,
     ];
 
+    /// Parses a case-insensitive operation name as rendered by
+    /// [`Display`](fmt::Display) (`"and"`, `"XOR"`, …). `Opaque` answers
+    /// to both its display name `"op"` and the spelled-out `"opaque"`.
+    pub fn parse(name: &str) -> Option<Op> {
+        if name.eq_ignore_ascii_case("opaque") {
+            return Some(Op::Opaque);
+        }
+        Op::ALL
+            .into_iter()
+            .find(|op| name.eq_ignore_ascii_case(&op.to_string()))
+    }
+
     /// `true` for the arithmetic operations used by straight-line programs.
     pub fn is_arithmetic(self) -> bool {
         matches!(self, Op::Add | Op::Sub | Op::Mul | Op::Sqr)

@@ -58,16 +58,24 @@ pub enum FaultSite {
     /// The top of one minimization probe (one "is `p` pebbles enough?"
     /// SAT query).
     SessionProbe,
+    /// A freshly accepted connection in the serve daemon, before any
+    /// frame is read.
+    ServeAccept,
+    /// One request frame in the serve daemon, after parsing and before
+    /// the session is spawned.
+    ServeRequest,
 }
 
 impl FaultSite {
     /// Every site, in counter-index order.
-    pub const ALL: [FaultSite; 5] = [
+    pub const ALL: [FaultSite; 7] = [
         FaultSite::SolverConflict,
         FaultSite::PoolPublish,
         FaultSite::ExecJob,
         FaultSite::CacheInsert,
         FaultSite::SessionProbe,
+        FaultSite::ServeAccept,
+        FaultSite::ServeRequest,
     ];
 
     /// Stable dotted name, used by `--fault-plan` and in panic payloads.
@@ -78,6 +86,8 @@ impl FaultSite {
             FaultSite::ExecJob => "exec.job",
             FaultSite::CacheInsert => "cache.insert",
             FaultSite::SessionProbe => "session.probe",
+            FaultSite::ServeAccept => "serve.accept",
+            FaultSite::ServeRequest => "serve.request",
         }
     }
 
@@ -93,6 +103,8 @@ impl FaultSite {
             FaultSite::ExecJob => 2,
             FaultSite::CacheInsert => 3,
             FaultSite::SessionProbe => 4,
+            FaultSite::ServeAccept => 5,
+            FaultSite::ServeRequest => 6,
         }
     }
 }
@@ -117,7 +129,7 @@ pub enum FaultKind {
     SpuriousCancel,
     /// Fail transiently, in the site's own vocabulary: a skipped
     /// publish/insert, or a retryable probe error. Sites with no error
-    /// channel degrade this to [`SpuriousCancel`].
+    /// channel degrade this to [`FaultKind::SpuriousCancel`].
     Transient,
 }
 
@@ -175,7 +187,7 @@ impl fmt::Debug for Arm {
 struct PlanInner {
     arms: Vec<Arm>,
     /// Per-site visit counters, indexed by [`FaultSite::index`].
-    hits: [AtomicU64; 5],
+    hits: [AtomicU64; 7],
     /// How many arms have fired so far.
     injected: AtomicU64,
 }

@@ -261,9 +261,7 @@ fn scrub_timings(json: &str) -> String {
             Some((at, key_len)) => {
                 out.push_str(&rest[..at + key_len]);
                 rest = &rest[at + key_len..];
-                let end = rest
-                    .find([',', '}'])
-                    .unwrap_or(rest.len());
+                let end = rest.find([',', '}']).unwrap_or(rest.len());
                 out.push('0');
                 rest = &rest[end..];
             }
