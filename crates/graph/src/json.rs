@@ -101,10 +101,13 @@ impl JsonValue {
     }
 
     /// The numeric payload as an exact unsigned integer: a number that
-    /// is whole, non-negative and within `f64`'s exact-integer range.
+    /// is whole, non-negative and strictly below 2^53. The bound is
+    /// strict because 2^53 itself is where `f64` parsing starts rounding
+    /// — `9007199254740993` already parses to `2^53`, so accepting it
+    /// would silently return the wrong value.
     pub fn as_u64(&self) -> Option<u64> {
         let n = self.as_f64()?;
-        if n >= 0.0 && n.fract() == 0.0 && n <= 9_007_199_254_740_992.0 {
+        if n >= 0.0 && n.fract() == 0.0 && n < 9_007_199_254_740_992.0 {
             Some(n as u64)
         } else {
             None
@@ -176,6 +179,19 @@ pub fn parse_json(text: &str) -> Result<JsonValue, JsonError> {
         return Err(parser.fail("trailing characters after the value"));
     }
     Ok(value)
+}
+
+/// The first key that appears more than once in an object's pairs.
+/// Validators reject these alongside unknown fields: the parser keeps
+/// source order and readers take the first match, so a duplicate would
+/// silently shadow its later occurrences.
+pub fn duplicate_key(pairs: &[(String, JsonValue)]) -> Option<&str> {
+    pairs.iter().enumerate().find_map(|(index, (key, _))| {
+        pairs[..index]
+            .iter()
+            .any(|(earlier, _)| earlier == key)
+            .then_some(key.as_str())
+    })
 }
 
 /// Escapes `text` for embedding inside a JSON string literal: quotes,
@@ -429,6 +445,9 @@ pub enum DagJsonError {
     /// A top-level key the schema does not define (typo guard — a
     /// misspelled `"outputs"` should not silently change the DAG).
     UnknownField(String),
+    /// An object repeats a key, e.g. two `"nodes"` arrays — readers take
+    /// the first, so the second would be silently ignored.
+    DuplicateField(String),
     /// Two inputs/nodes share a name, so fanin references are ambiguous.
     DuplicateName(String),
     /// A node's operation name is not one of [`Op::ALL`].
@@ -474,6 +493,9 @@ impl fmt::Display for DagJsonError {
             }
             DagJsonError::UnknownField(field) => {
                 write!(f, "unknown field {field:?} (expected inputs/nodes/outputs)")
+            }
+            DagJsonError::DuplicateField(field) => {
+                write!(f, "duplicate field {field:?}")
             }
             DagJsonError::DuplicateName(name) => {
                 write!(f, "duplicate name {name:?}")
@@ -554,6 +576,9 @@ impl Dag {
                 return Err(DagJsonError::UnknownField(key.clone()));
             }
         }
+        if let Some(key) = duplicate_key(pairs) {
+            return Err(DagJsonError::DuplicateField(key.to_owned()));
+        }
 
         let inputs: Vec<String> = match root.get("inputs") {
             None => Vec::new(),
@@ -606,6 +631,11 @@ impl Dag {
                 .find(|(key, _)| !matches!(key.as_str(), "name" | "op" | "fanins" | "weight"))
             {
                 return Err(DagJsonError::UnknownField(format!("nodes[{index}].{key}")));
+            }
+            if let Some(key) = duplicate_key(row.as_object().unwrap()) {
+                return Err(DagJsonError::DuplicateField(format!(
+                    "nodes[{index}].{key}"
+                )));
             }
             let name = row
                 .get("name")
@@ -867,6 +897,21 @@ mod tests {
     }
 
     #[test]
+    fn as_u64_only_accepts_exactly_representable_integers() {
+        assert_eq!(
+            parse_json("9007199254740991").unwrap().as_u64(),
+            Some(9_007_199_254_740_991)
+        );
+        // 2^53 is where f64 parsing starts rounding: 9007199254740993
+        // parses to the same f64 as 2^53, so both must be rejected
+        // rather than silently returning a rounded value.
+        assert_eq!(parse_json("9007199254740992").unwrap().as_u64(), None);
+        assert_eq!(parse_json("9007199254740993").unwrap().as_u64(), None);
+        assert_eq!(parse_json("-1").unwrap().as_u64(), None);
+        assert_eq!(parse_json("1.5").unwrap().as_u64(), None);
+    }
+
+    #[test]
     fn surrogate_pairs_decode() {
         assert_eq!(
             parse_json("\"\\ud83e\\udde9\"").unwrap(),
@@ -980,6 +1025,14 @@ mod tests {
         assert!(matches!(
             Dag::from_json(r#"{"nodes":[],"surprise":1}"#),
             Err(DagJsonError::UnknownField(_))
+        ));
+        assert!(matches!(
+            Dag::from_json(r#"{"nodes":[],"nodes":[]}"#),
+            Err(DagJsonError::DuplicateField(_))
+        ));
+        assert!(matches!(
+            Dag::from_json(r#"{"nodes":[{"name":"g","op":"buf","fanins":[],"name":"h"}]}"#),
+            Err(DagJsonError::DuplicateField(_))
         ));
         assert!(matches!(
             Dag::from_json(r#"{"inputs":["x","x"],"nodes":[]}"#),

@@ -65,12 +65,6 @@ impl Client {
         }
         Ok(line)
     }
-
-    /// Half-closes the write side, telling the server no more frames
-    /// are coming while responses can still arrive.
-    pub fn finish_writing(&self) -> std::io::Result<()> {
-        self.writer.shutdown(std::net::Shutdown::Write)
-    }
 }
 
 /// One-shot convenience: connect, send one frame, await one response

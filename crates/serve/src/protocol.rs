@@ -47,7 +47,7 @@
 use std::fmt;
 
 use revpebble_core::session::{Report, SessionError};
-use revpebble_graph::json::{json_escape, parse_json, DagJsonError, JsonValue};
+use revpebble_graph::json::{duplicate_key, json_escape, parse_json, DagJsonError, JsonValue};
 use revpebble_graph::{builtin_dag, Dag, BUILTIN_DAG_NAMES, MAX_JSON_DAG_NODES};
 
 /// The DAG a request asks about: a named builtin or an inline
@@ -165,6 +165,12 @@ impl Request {
             ) {
                 return Err(RequestError::UnknownField(key.clone()));
             }
+        }
+        // A repeated key would be silently shadowed (readers take the
+        // first match), e.g. {"dag":"c17","dag":{…}} ignoring the
+        // second dag — reject it like a typo.
+        if let Some(key) = duplicate_key(pairs) {
+            return Err(RequestError::DuplicateField(key.to_owned()));
         }
         let str_field = |field: &'static str| -> Result<Option<&str>, RequestError> {
             match root.get(field) {
@@ -305,6 +311,9 @@ pub enum RequestError {
     },
     /// A field the schema does not define.
     UnknownField(String),
+    /// A field given more than once (the duplicates would be silently
+    /// ignored otherwise).
+    DuplicateField(String),
     /// `dag` names no builtin workload.
     UnknownBuiltin(String),
     /// The inline adjacency description is invalid (cyclic, oversized,
@@ -323,6 +332,9 @@ impl fmt::Display for RequestError {
                 f,
                 "unknown field {field:?} (see the wire-protocol docs for the schema)"
             ),
+            RequestError::DuplicateField(field) => {
+                write!(f, "field {field:?} is given more than once")
+            }
             RequestError::UnknownBuiltin(name) => write!(
                 f,
                 "unknown builtin DAG {name:?} (expected one of {})",
@@ -415,6 +427,10 @@ mod tests {
         assert!(matches!(
             Request::parse(r#"{"dag":"paper","surprise":1}"#),
             Err(RequestError::UnknownField(_))
+        ));
+        assert!(matches!(
+            Request::parse(r#"{"dag":"c17","dag":"paper"}"#),
+            Err(RequestError::DuplicateField(_))
         ));
         assert!(matches!(
             Request::parse(r#"{"dag":"atlantis"}"#),

@@ -305,6 +305,10 @@ impl Server {
                             .overloaded
                             .fetch_add(1, Ordering::SeqCst);
                         let mut stream = stream;
+                        // The accepted socket may have inherited the
+                        // listener's non-blocking flag (BSD/macOS); a
+                        // blocking write must not fail with WouldBlock.
+                        let _ = stream.set_nonblocking(false);
                         let _ = stream.write_all(overloaded_response("connection").as_bytes());
                         let _ = stream.write_all(b"\n");
                     }
@@ -322,32 +326,59 @@ impl Server {
     }
 }
 
+/// What [`read_frame`] produced.
+enum Frame {
+    /// One complete `\n`-terminated frame line.
+    Line(String),
+    /// The client exceeded `max_frame_bytes` before finishing the frame
+    /// — a buffering attack. The stream cannot be resynchronized (the
+    /// frame boundary is unknown), so answer an error and close.
+    Oversized,
+    /// Close silently: EOF, a non-UTF-8 frame, an I/O error, or an idle
+    /// connection during shutdown.
+    Gone,
+}
+
 /// Reads one `\n`-terminated frame, polling the shutdown flag while the
-/// connection is idle. `None` means close the connection: EOF, a
-/// non-UTF-8 or over-long partial frame, an I/O error, or an idle
-/// connection during shutdown.
-fn read_frame(reader: &mut BufReader<TcpStream>, state: &ServerState) -> Option<String> {
-    let mut line = String::new();
+/// connection is idle. The `max_frame_bytes` cap is enforced on the
+/// bytes accumulated so far on *every* buffered chunk — not just when a
+/// read times out — so a client streaming newline-free data
+/// continuously cannot grow the buffer without bound.
+fn read_frame(reader: &mut BufReader<TcpStream>, state: &ServerState) -> Frame {
+    let mut buf: Vec<u8> = Vec::new();
     loop {
-        match reader.read_line(&mut line) {
-            Ok(0) => return None,
-            Ok(_) => return Some(line),
+        match reader.fill_buf() {
+            Ok([]) => return Frame::Gone, // EOF
+            Ok(chunk) => {
+                let (take, complete) = match chunk.iter().position(|&b| b == b'\n') {
+                    Some(pos) => (pos + 1, true),
+                    None => (chunk.len(), false),
+                };
+                if buf.len() + take > state.max_frame_bytes {
+                    reader.consume(take);
+                    return Frame::Oversized;
+                }
+                buf.extend_from_slice(&chunk[..take]);
+                reader.consume(take);
+                if complete {
+                    return match String::from_utf8(buf) {
+                        Ok(line) => Frame::Line(line),
+                        Err(_) => Frame::Gone,
+                    };
+                }
+            }
             Err(err)
                 if matches!(
                     err.kind(),
                     ErrorKind::WouldBlock | ErrorKind::TimedOut | ErrorKind::Interrupted
                 ) =>
             {
-                // Partial frames past the cap are a buffering attack;
-                // idle connections during shutdown just close.
-                if line.len() > state.max_frame_bytes {
-                    return None;
-                }
-                if state.shutting_down() && line.is_empty() {
-                    return None;
+                // Idle connections during shutdown just close.
+                if state.shutting_down() && buf.is_empty() {
+                    return Frame::Gone;
                 }
             }
-            Err(_) => return None,
+            Err(_) => return Frame::Gone,
         }
     }
 }
@@ -368,6 +399,12 @@ fn handle_connection(state: &Arc<ServerState>, stream: TcpStream) {
         return;
     }
     let _ = stream.set_nodelay(true);
+    // On BSD/macOS an accepted socket inherits the listener's
+    // non-blocking flag, which would defeat the read timeout below and
+    // turn the poll loops into busy-spins.
+    if stream.set_nonblocking(false).is_err() {
+        return;
+    }
     if stream.set_read_timeout(Some(POLL_INTERVAL)).is_err() {
         return;
     }
@@ -381,20 +418,25 @@ fn handle_connection(state: &Arc<ServerState>, stream: TcpStream) {
     // connection still has in flight with one shot.
     let connection_token = state.runtime.root().child();
 
-    while let Some(line) = read_frame(&mut reader, state) {
+    loop {
+        let line = match read_frame(&mut reader, state) {
+            Frame::Line(line) => line,
+            Frame::Oversized => {
+                state.counters.requests.fetch_add(1, Ordering::SeqCst);
+                state.counters.errors.fetch_add(1, Ordering::SeqCst);
+                write_response(
+                    &mut writer,
+                    &error_response("session", "bad-request", "frame exceeds the size limit"),
+                );
+                break;
+            }
+            Frame::Gone => break,
+        };
         let line = line.trim().to_owned();
         if line.is_empty() {
             continue;
         }
         state.counters.requests.fetch_add(1, Ordering::SeqCst);
-        if line.len() > state.max_frame_bytes {
-            state.counters.errors.fetch_add(1, Ordering::SeqCst);
-            write_response(
-                &mut writer,
-                &error_response("session", "bad-request", "frame exceeds the size limit"),
-            );
-            continue;
-        }
         let request = match Request::parse(&line) {
             Ok(request) => request,
             Err(err) => {

@@ -188,6 +188,13 @@ fn a_malformed_frame_answers_an_error_and_the_connection_survives() {
         .expect("response");
     assert_eq!(status_of(&unknown_field), "error");
 
+    // A duplicate key would silently shadow its second occurrence, so
+    // it is rejected like a typo.
+    let duplicate_field = client
+        .send_raw(r#"{"dag":"paper","dag":"c17"}"#)
+        .expect("response");
+    assert_eq!(status_of(&duplicate_field), "error");
+
     // Same connection, next frame: served normally.
     let ok = client
         .send(&fast_request("after-garbage"))
@@ -195,9 +202,50 @@ fn a_malformed_frame_answers_an_error_and_the_connection_survives() {
     assert_eq!(status_of(&ok), "ok");
 
     let stats = server.finish();
-    assert_eq!(stats.errors, 2);
+    assert_eq!(stats.errors, 3);
     assert_eq!(stats.ok, 1);
     assert_eq!(stats.connections, 1);
+}
+
+#[test]
+fn a_newline_free_flood_is_capped_not_buffered() {
+    use std::io::Write as _;
+
+    // A hostile client streams bytes continuously without ever sending
+    // a newline. The frame cap must trip on the accumulated bytes even
+    // though data keeps arriving (no read ever times out), instead of
+    // buffering the stream without bound.
+    let server = start(ServeConfig {
+        max_frame_bytes: 4096,
+        ..ServeConfig::default()
+    });
+    let mut flood = std::net::TcpStream::connect(server.addr).expect("connect");
+    let chunk = [b'x'; 1024];
+    for _ in 0..256 {
+        // Once the server bails it closes the socket; later writes
+        // failing with EPIPE/ECONNRESET is the expected outcome.
+        if flood.write_all(&chunk).is_err() {
+            break;
+        }
+    }
+    let handle = server.handle.clone();
+    assert!(
+        wait_until(Duration::from_secs(30), || handle.stats().errors >= 1),
+        "the oversized frame must be rejected while the client is still streaming"
+    );
+
+    // The daemon survives and serves the next client normally.
+    let response = submit_frame(
+        server.addr,
+        &fast_request("after-flood").to_json(),
+        Duration::from_secs(120),
+    )
+    .expect("a response line");
+    assert_eq!(status_of(&response), "ok");
+
+    let stats = server.finish();
+    assert!(stats.errors >= 1);
+    assert_eq!(stats.ok, 1);
 }
 
 #[test]
